@@ -1,0 +1,119 @@
+// Ablation — antenna count (the paper's future-work direction: larger
+// arrays sharpen angle estimation and stabilize path weighting).
+//
+// Sweeps the RX array size for (a) AoA accuracy of the static wall
+// reflection and (b) combined-scheme detection on one campaign case.
+#include <cmath>
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/music.h"
+#include "core/sanitize.h"
+#include "dsp/stats.h"
+#include "experiments/campaign.h"
+#include "experiments/format.h"
+
+using namespace mulink;
+namespace ex = mulink::experiments;
+
+int main() {
+  ex::PrintBanner(std::cout, "Ablation — antenna count");
+
+  // (a) AoA accuracy of the static reflected path on the short wall link.
+  {
+    const ex::LinkCase lc = ex::MakeShortWallLink();
+    // Ground truth: strongest wall-reflection angle from the ray tracer.
+    auto reference = ex::MakeSimulator(lc);
+    double truth_deg = 0.0, best_gain = 0.0;
+    for (const auto& path : reference.StaticPaths()) {
+      if (path.kind == propagation::PathKind::kWallReflection &&
+          path.gain_at_center > best_gain) {
+        const double theta =
+            RadToDeg(reference.array().BroadsideAngle(
+                path.arrival_direction_rad));
+        if (std::abs(theta) < 75.0) {
+          best_gain = path.gain_at_center;
+          truth_deg = theta;
+        }
+      }
+    }
+
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t antennas : {2u, 3u, 4u, 8u}) {
+      auto sim = ex::MakeSimulator(lc, ex::DefaultSimConfig(), antennas);
+      Rng rng(21);
+      std::vector<double> errors;
+      for (int trial = 0; trial < 20; ++trial) {
+        const auto clean = core::SanitizePhase(
+            sim.CaptureSession(50, std::nullopt, rng), sim.band());
+        core::MusicConfig config;
+        config.num_sources = antennas >= 3 ? 2 : 1;
+        const auto spectrum = core::ComputeMusicSpectrum(
+            clean, sim.array(), sim.band(), config);
+        // Nearest peak to the truth.
+        double best_err = 180.0;
+        for (double peak : spectrum.PeakAngles(3)) {
+          best_err = std::min(best_err, std::abs(peak - truth_deg));
+        }
+        errors.push_back(best_err);
+      }
+      rows.push_back({std::to_string(antennas),
+                      ex::Fmt(dsp::Median(errors), 1),
+                      ex::Fmt(dsp::Quantile(errors, 0.9), 1)});
+    }
+    std::cout << "truth: wall reflection at " << ex::Fmt(truth_deg, 1)
+              << " deg\n";
+    ex::PrintTable(std::cout, "AoA error of the static wall reflection",
+                   {"antennas", "median_err_deg", "p90_err_deg"}, rows);
+  }
+
+  // (b) Combined-scheme detection vs antenna count on case 1.
+  {
+    const auto lc = ex::MakePaperCases()[0];
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t antennas : {2u, 3u, 4u, 8u}) {
+      ex::CampaignConfig config;
+      config.packets_per_location = 300;
+      config.calibration_packets = 300;
+      config.empty_packets = 900;
+      config.seed = 22;
+
+      // Campaign with a custom antenna count: build the spots and run.
+      auto sim_config = ex::DefaultSimConfig();
+      // RunCampaign always builds 3-antenna simulators; do it manually here.
+      auto simulator = ex::MakeSimulator(lc, sim_config, antennas);
+      Rng rng(23);
+      const auto calibration =
+          simulator.CaptureSession(config.calibration_packets, std::nullopt,
+                                   rng);
+      core::DetectorConfig dc;
+      dc.scheme = core::DetectionScheme::kSubcarrierAndPathWeighting;
+      dc.music.num_sources = antennas >= 3 ? 2 : 1;
+      auto detector = core::Detector::Calibrate(calibration, simulator.band(),
+                                                simulator.array(), dc);
+      std::vector<double> pos, neg;
+      for (std::size_t i = 0; i < config.empty_packets / 25; ++i) {
+        neg.push_back(
+            detector.Score(simulator.CaptureSession(25, std::nullopt, rng)));
+      }
+      for (const auto& spot : ex::Grid3x3(lc)) {
+        propagation::HumanBody body;
+        body.position = spot.position;
+        for (std::size_t i = 0; i < config.packets_per_location / 25; ++i) {
+          pos.push_back(
+              detector.Score(simulator.CaptureSession(25, body, rng)));
+        }
+      }
+      const auto roc = core::ComputeRoc(pos, neg);
+      const auto best = roc.BestBalancedAccuracy();
+      rows.push_back({std::to_string(antennas), ex::Fmt(roc.Auc()),
+                      ex::Fmt(best.true_positive_rate * 100.0, 1),
+                      ex::Fmt(best.false_positive_rate * 100.0, 1)});
+    }
+    ex::PrintTable(std::cout, "combined scheme vs antenna count (case 1)",
+                   {"antennas", "AUC", "TP %", "FP %"}, rows);
+  }
+  std::cout << "Expected: accuracy and AoA precision improve with aperture — "
+               "the paper's\nmotivation for larger arrays / SAR.\n";
+  return 0;
+}

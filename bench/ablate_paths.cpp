@@ -1,0 +1,87 @@
+// Ablation — path weighting design choices (Eq. 17).
+//
+// The paper fixes [theta_min, theta_max] = [-60, 60] "empirically" and
+// leaves the rest unspecified. This bench quantifies: the angular window
+// half-width, the pseudospectrum floor protecting 1/Ps, and the covariance
+// noise-floor subtraction, on the full 5-case campaign (combined scheme).
+#include <iostream>
+
+#include "experiments/campaign.h"
+#include "experiments/format.h"
+
+using namespace mulink;
+namespace ex = mulink::experiments;
+
+namespace {
+
+void RunOne(const std::vector<ex::LinkCase>& cases,
+            const std::vector<std::vector<ex::HumanSpot>>& spots,
+            const core::DetectorConfig& detector, const std::string& label,
+            std::vector<std::vector<std::string>>& rows) {
+  ex::CampaignConfig config;
+  config.packets_per_location = 400;
+  config.calibration_packets = 400;
+  config.empty_packets = 1000;
+  config.seed = 16;
+  config.detector = detector;
+
+  const auto result = ex::RunCampaign(
+      cases, spots, {core::DetectionScheme::kSubcarrierAndPathWeighting},
+      config);
+  const auto roc = result.schemes[0].Roc();
+  const auto best = roc.BestBalancedAccuracy();
+  rows.push_back({label, ex::Fmt(roc.Auc()),
+                  ex::Fmt(best.true_positive_rate * 100.0, 1),
+                  ex::Fmt(best.false_positive_rate * 100.0, 1)});
+}
+
+}  // namespace
+
+int main() {
+  ex::PrintBanner(std::cout, "Ablation — path weighting design (Eq. 17)");
+
+  const auto cases = ex::MakePaperCases();
+  std::vector<std::vector<ex::HumanSpot>> spots;
+  for (const auto& lc : cases) spots.push_back(ex::Grid3x3(lc));
+
+  std::vector<std::vector<std::string>> rows;
+
+  // Angular window half-width (paper: 60 deg).
+  for (double half_width : {30.0, 60.0, 90.0}) {
+    core::DetectorConfig detector;
+    detector.path_weighting.theta_min_deg = -half_width;
+    detector.path_weighting.theta_max_deg = half_width;
+    RunOne(cases, spots, detector,
+           "window +-" + ex::Fmt(half_width, 0) + "deg", rows);
+  }
+
+  // Pseudospectrum floor for the 1/Ps inversion.
+  for (double floor : {0.02, 0.1, 0.5}) {
+    core::DetectorConfig detector;
+    detector.path_weighting.spectrum_floor_ratio = floor;
+    RunOne(cases, spots, detector, "floor " + ex::Fmt(floor, 2), rows);
+  }
+
+  // Uniform in-window weights (w = 1 inside the window) via a total floor:
+  // floor ratio 1.0 clips every direction to the max, flattening 1/Ps.
+  {
+    core::DetectorConfig detector;
+    detector.path_weighting.spectrum_floor_ratio = 1.0;
+    RunOne(cases, spots, detector, "uniform in-window (no 1/Ps)", rows);
+  }
+
+  // Covariance noise-floor subtraction on/off.
+  {
+    core::DetectorConfig detector;
+    detector.noise_floor_subtraction = false;
+    RunOne(cases, spots, detector, "no noise-floor subtraction", rows);
+  }
+
+  ex::PrintTable(std::cout, "combined scheme ablation",
+                 {"variant", "AUC", "TP %", "FP %"}, rows);
+  std::cout << "Expected: +-60 deg beats both the narrow window (misses NLOS "
+               "directions)\nand the full +-90 (admits error-prone endfire "
+               "estimates); 1/Ps beats uniform;\nnoise-floor subtraction "
+               "protects against co-channel interference.\n";
+  return 0;
+}

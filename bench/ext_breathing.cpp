@@ -1,0 +1,76 @@
+// Extension — respiration monitoring (the intro's refs [9][10]: Wi-Sleep,
+// WiBreathe). Sweeps respiration rates and sleeper positions, reporting the
+// estimation error and detection confidence of the periodogram estimator.
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/breath.h"
+#include "dsp/stats.h"
+#include "experiments/format.h"
+#include "experiments/scenario.h"
+
+using namespace mulink;
+namespace ex = mulink::experiments;
+
+int main() {
+  ex::PrintBanner(std::cout, "Extension — respiration rate estimation");
+
+  auto lc = ex::MakeClassroomLink();
+  lc.walker_bases.clear();
+  auto config = ex::DefaultSimConfig();
+  config.interference_entry_prob = 0.0;  // a quiet bedroom, not an office
+  config.slow_gain_drift_db = 0.05;
+  config.human_sway_sigma_m = 0.001;
+  config.background_jitter_m = 0.001;
+  auto sim = ex::MakeSimulator(lc, config);
+  Rng rng(17);
+
+  // (a) Rate sweep at a fixed bedside position, 20 s captures at 50 pkt/s.
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (double bpm : {10.0, 14.0, 18.0, 24.0, 30.0}) {
+      propagation::HumanBody sleeper;
+      sleeper.position = {3.0, 4.7};
+      sleeper.breathing_amplitude_m = 0.006;
+      sleeper.breathing_rate_hz = bpm / 60.0;
+      const auto session = sim.CaptureSession(1000, sleeper, rng);
+      const auto estimate = core::EstimateBreathing(session, 50.0);
+      rows.push_back({ex::Fmt(bpm, 0), ex::Fmt(estimate.rate_hz * 60.0, 1),
+                      ex::Fmt(std::abs(estimate.rate_hz * 60.0 - bpm), 1),
+                      ex::Fmt(estimate.confidence, 1)});
+    }
+    ex::PrintTable(std::cout, "rate sweep (sleeper 0.7 m off the LOS)",
+                   {"true bpm", "estimated bpm", "error bpm", "confidence"},
+                   rows);
+  }
+
+  // (b) Distance sweep at a fixed 15 breaths/min.
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (double lateral : {0.5, 1.0, 2.0, 3.0}) {
+      propagation::HumanBody sleeper;
+      sleeper.position = {3.0, 4.0 + lateral};
+      sleeper.breathing_amplitude_m = 0.006;
+      sleeper.breathing_rate_hz = 0.25;
+      const auto session = sim.CaptureSession(1000, sleeper, rng);
+      const auto estimate = core::EstimateBreathing(session, 50.0);
+      rows.push_back(
+          {ex::Fmt(lateral, 1), ex::Fmt(estimate.rate_hz * 60.0, 1),
+           ex::Fmt(estimate.confidence, 1),
+           estimate.confidence > 3.0 ? "tracked" : "lost"});
+    }
+    // Reference row: empty room.
+    const auto empty = sim.CaptureSession(1000, std::nullopt, rng);
+    const auto baseline = core::EstimateBreathing(empty, 50.0);
+    rows.push_back({"(empty)", "-", ex::Fmt(baseline.confidence, 1), "quiet"});
+    ex::PrintTable(std::cout, "lateral-distance sweep (15 bpm)",
+                   {"lateral m", "estimated bpm", "confidence", "status"},
+                   rows);
+  }
+  std::cout << "Shape: mm-scale chest motion stays visible across the room "
+               "(the periodic\nreflection of Eq. 7/8 needs only to beat the "
+               "noise floor at ONE frequency bin),\nwhile the empty room "
+               "shows no periodicity — matching Wi-Sleep/WiBreathe's\n"
+               "whole-room monitoring claims.\n";
+  return 0;
+}

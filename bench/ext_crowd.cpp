@@ -1,0 +1,79 @@
+// Extension — crowd counting in the style of Electronic Frog Eye (the
+// paper's ref [29]): the perturbed-subcarrier fraction grows and saturates
+// with head count; a saturating regression inverts it.
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/crowd.h"
+#include "dsp/stats.h"
+#include "experiments/format.h"
+#include "experiments/scenario.h"
+
+using namespace mulink;
+namespace ex = mulink::experiments;
+
+int main() {
+  ex::PrintBanner(std::cout, "Extension — crowd counting (perturbed fraction)");
+
+  auto lc = ex::MakeClassroomLink();
+  lc.walker_bases.clear();
+  auto config = ex::DefaultSimConfig();
+  config.interference_entry_prob = 0.0;
+  auto sim = ex::MakeSimulator(lc, config);
+  Rng rng(41);
+
+  const std::vector<geometry::Vec2> spots = {
+      {2.0, 4.3}, {3.5, 3.6}, {4.2, 4.6}, {2.8, 5.0},
+      {1.6, 3.4}, {3.0, 2.8}, {4.5, 5.2}};
+  const auto people = [&](std::size_t count) {
+    std::vector<propagation::HumanBody> crowd;
+    for (std::size_t i = 0; i < count && i < spots.size(); ++i) {
+      propagation::HumanBody body;
+      body.position = spots[i];
+      crowd.push_back(body);
+    }
+    return crowd;
+  };
+
+  auto estimator =
+      core::CrowdEstimator::Calibrate(sim.CaptureSession(300, std::nullopt, rng));
+
+  // Train on four windows per count 0..5 (survey noise averages out).
+  std::vector<std::pair<std::size_t, std::vector<wifi::CsiPacket>>> labelled;
+  for (std::size_t count = 0; count <= 5; ++count) {
+    for (int repeat = 0; repeat < 4; ++repeat) {
+      labelled.emplace_back(count,
+                            sim.CaptureSessionMulti(50, people(count), rng));
+    }
+  }
+  estimator.Train(labelled);
+  std::cout << "fitted model: fraction = " << ex::Fmt(estimator.fraction_scale())
+            << " * (1 - exp(-" << ex::Fmt(estimator.rate()) << " * n))\n\n";
+
+  // Evaluate on fresh windows, 6 trials each.
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t truth = 0; truth <= 6; ++truth) {
+    std::vector<double> fractions, estimates;
+    for (int trial = 0; trial < 6; ++trial) {
+      const auto window = sim.CaptureSessionMulti(50, people(truth), rng);
+      fractions.push_back(estimator.PerturbedFraction(window));
+      estimates.push_back(
+          static_cast<double>(estimator.EstimateCount(window)));
+    }
+    rows.push_back({std::to_string(truth),
+                    ex::Fmt(dsp::Mean(fractions), 3),
+                    ex::Fmt(dsp::Median(estimates), 1),
+                    ex::Fmt(dsp::Max(estimates) - dsp::Min(estimates), 0)});
+  }
+  ex::PrintTable(std::cout, "head-count estimation (fresh windows)",
+                 {"true count", "mean perturbed fraction", "median estimate",
+                  "estimate spread"},
+                 rows);
+  std::cout << "Shape per [29]: the perturbed fraction rises monotonically "
+               "with head count and\nsaturates as bodies shadow overlapping "
+               "channel structure. Counts are usable up\nto the saturation "
+               "knee (~4 here); past it the inverse diverges and a deployment"
+               "\nshould report 'many' (the capped estimate) instead of a "
+               "number.\n";
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Extension — HMM static-profile modeling (the paper's own suggestion in
+// Sec. V-B1 for its ROC plateau: "one solution is to model the static
+// profiles as well, e.g. via hidden Markov models").
+//
+// Generates long alternating empty/occupied timelines on each case and
+// compares window error rates: raw threshold vs causal HMM filter vs
+// forward-backward smoother. Uses the subcarrier-weighting scheme, whose
+// raw negatives carry the outlier tail (interference bursts, walker
+// excursions) that temporal modeling is meant to absorb.
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/detector.h"
+#include "core/hmm.h"
+#include "experiments/format.h"
+#include "experiments/scenario.h"
+#include "experiments/workload.h"
+
+using namespace mulink;
+namespace ex = mulink::experiments;
+
+int main() {
+  ex::PrintBanner(std::cout, "Extension — HMM smoothing of window decisions");
+
+  std::size_t raw_fp = 0, raw_fn = 0;
+  std::size_t filt_fp = 0, filt_fn = 0;
+  std::size_t smooth_fp = 0, smooth_fn = 0;
+  std::size_t total_empty = 0, total_occupied = 0;
+
+  for (const auto& lc : ex::MakePaperCases()) {
+    auto sim = ex::MakeSimulator(lc);
+    Rng rng(51);
+
+    core::DetectorConfig config;
+    config.scheme = core::DetectionScheme::kSubcarrierWeighting;
+    // Aggressive threshold: the deployment must catch WEAK (far-corner)
+    // targets, so the margin over the empty mean is small — the regime
+    // where a memoryless threshold bleeds false alarms.
+    config.threshold_sigma = 1.0;
+    auto detector = core::Detector::Calibrate(
+        sim.CaptureSession(400, std::nullopt, rng), sim.band(), sim.array(),
+        config);
+    std::vector<std::vector<wifi::CsiPacket>> empty_windows;
+    std::vector<double> empty_scores;
+    for (int i = 0; i < 16; ++i) {
+      empty_windows.push_back(sim.CaptureSession(25, std::nullopt, rng));
+      empty_scores.push_back(detector.Score(empty_windows.back()));
+    }
+    detector.CalibrateThreshold(empty_windows);
+    // Semi-supervised fit: a short calibration walk-through at two spots
+    // not used in the evaluation timeline supplies occupied-state scores.
+    std::vector<double> occupied_scores;
+    const auto calib_grid = ex::Grid3x3(lc);
+    for (std::size_t spot : {std::size_t{0}, std::size_t{4}}) {
+      propagation::HumanBody person;
+      person.position = calib_grid[spot].position;
+      for (int i = 0; i < 8; ++i) {
+        occupied_scores.push_back(
+            detector.Score(sim.CaptureSession(25, person, rng)));
+      }
+    }
+    const auto hmm = core::PresenceHmm::FitFromLabelledScores(
+        empty_scores, occupied_scores);
+
+    // Timeline: empty(20) -> person A(15) -> empty(20) -> person B(15)
+    // -> empty(20), one window per entry.
+    const auto grid = ex::Grid3x3(lc);
+    std::vector<double> scores;
+    std::vector<bool> truth;
+    const auto append = [&](std::optional<propagation::HumanBody> human,
+                            int windows) {
+      for (int i = 0; i < windows; ++i) {
+        scores.push_back(detector.Score(sim.CaptureSession(25, human, rng)));
+        truth.push_back(human.has_value());
+      }
+    };
+    // Weak targets: the two far corners of the grid.
+    propagation::HumanBody a, b;
+    a.position = grid[6].position;
+    b.position = grid[8].position;
+    append(std::nullopt, 20);
+    append(a, 15);
+    append(std::nullopt, 20);
+    append(b, 15);
+    append(std::nullopt, 20);
+
+    // Evaluate the three decision rules.
+    core::PresenceHmm::Filter filter(hmm);
+    const auto posterior = hmm.PosteriorOccupied(scores);
+    for (std::size_t t = 0; t < scores.size(); ++t) {
+      const bool raw = scores[t] >= detector.threshold();
+      const bool filtered = filter.Update(scores[t]) >= 0.5;
+      const bool smoothed = posterior[t] >= 0.5;
+      if (truth[t]) {
+        ++total_occupied;
+        raw_fn += raw ? 0 : 1;
+        filt_fn += filtered ? 0 : 1;
+        smooth_fn += smoothed ? 0 : 1;
+      } else {
+        ++total_empty;
+        raw_fp += raw ? 1 : 0;
+        filt_fp += filtered ? 1 : 0;
+        smooth_fp += smoothed ? 1 : 0;
+      }
+    }
+  }
+
+  const auto pct = [](std::size_t n, std::size_t d) {
+    return ex::Fmt(100.0 * static_cast<double>(n) / static_cast<double>(d), 1);
+  };
+  ex::PrintTable(std::cout, "window error rates over 5-case timelines",
+                 {"decision rule", "FP %", "miss %"},
+                 {{"raw threshold", pct(raw_fp, total_empty),
+                   pct(raw_fn, total_occupied)},
+                  {"HMM filter (causal)", pct(filt_fp, total_empty),
+                   pct(filt_fn, total_occupied)},
+                  {"HMM smoother (offline)", pct(smooth_fp, total_empty),
+                   pct(smooth_fn, total_occupied)}});
+  std::cout << "Reading: the HMM variants absorb the score outliers "
+               "(interference bursts,\nwalker excursions) that the "
+               "aggressive raw threshold converts into false\nalarms — at "
+               "the cost of misses concentrated at occupancy transitions "
+               "and on\nthe weakest windows (the persistence prior needs "
+               "sustained evidence). Tune\ntransition_prob to trade the "
+               "two; the paper's Sec. V-B1 expects exactly this\n"
+               "FP-suppression role for profile modeling.\n";
+  return 0;
+}

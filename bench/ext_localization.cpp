@@ -1,0 +1,125 @@
+// Extension — localization bake-off: fingerprinting (the paper's ref [15]
+// approach, site-survey-heavy, cell-level) vs Radio Tomographic Imaging
+// (ref [3], infrastructure-heavy, metric), both on the classroom.
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/fingerprint.h"
+#include "core/rti.h"
+#include "dsp/stats.h"
+#include "experiments/format.h"
+#include "experiments/scenario.h"
+
+using namespace mulink;
+namespace ex = mulink::experiments;
+
+int main() {
+  ex::PrintBanner(std::cout,
+                  "Extension — fingerprint vs tomographic localization");
+
+  auto lc = ex::MakeClassroomLink();
+  lc.walker_bases.clear();
+  auto sim_config = ex::DefaultSimConfig();
+  sim_config.interference_entry_prob = 0.0;
+  sim_config.slow_gain_drift_db = 0.05;
+
+  // Shared evaluation cells: a 2 x 3 grid of 2 m cells across the room.
+  struct Cell {
+    std::string label;
+    geometry::Vec2 center;
+  };
+  std::vector<Cell> cells;
+  for (int gx = 0; gx < 2; ++gx) {
+    for (int gy = 0; gy < 3; ++gy) {
+      cells.push_back({"cell-" + std::to_string(gx) + std::to_string(gy),
+                       {1.5 + 3.0 * gx, 1.5 + 2.5 * gy}});
+    }
+  }
+
+  // --- Fingerprinting on the single 3-antenna link.
+  double fp_cell_accuracy = 0.0;
+  double fp_mean_error = 0.0;
+  {
+    auto sim = ex::MakeSimulator(lc, sim_config);
+    Rng rng(71);
+    core::FingerprintLocalizer localizer;
+    for (const auto& cell : cells) {
+      propagation::HumanBody body;
+      body.position = cell.center;
+      for (int i = 0; i < 8; ++i) {
+        localizer.AddTrainingWindow(cell.label,
+                                    sim.CaptureSession(25, body, rng));
+      }
+    }
+    int correct = 0, total = 0;
+    for (const auto& cell : cells) {
+      propagation::HumanBody body;
+      body.position = cell.center;
+      for (int trial = 0; trial < 5; ++trial) {
+        ++total;
+        const auto result = localizer.Locate(sim.CaptureSession(25, body, rng));
+        if (result.label == cell.label) {
+          ++correct;
+        } else {
+          for (const auto& other : cells) {
+            if (other.label == result.label) {
+              fp_mean_error += geometry::Distance(other.center, cell.center);
+            }
+          }
+        }
+      }
+    }
+    fp_cell_accuracy = 100.0 * correct / total;
+    fp_mean_error /= static_cast<double>(total);
+  }
+
+  // --- RTI with 8 perimeter nodes.
+  double rti_median_error = 0.0;
+  {
+    const auto nodes =
+        core::PerimeterNodes(lc.room.width(), lc.room.depth(), 8, 0.5);
+    core::RtiConfig config;
+    config.ellipse_excess_m = 0.3;
+    const core::RtiImager imager(nodes, lc.room.width(), lc.room.depth(),
+                                 config);
+    std::vector<nic::ChannelSimulator> sims;
+    for (const auto& [a, b] : imager.links()) {
+      sims.emplace_back(lc.room, nodes[a], nodes[b],
+                        wifi::UniformLinearArray(1, kWavelength / 2.0, 0.0),
+                        wifi::BandPlan::Intel5300Channel11(), sim_config);
+    }
+    Rng rng(72);
+    std::vector<double> errors;
+    for (const auto& cell : cells) {
+      std::vector<double> delta(imager.links().size(), 0.0);
+      for (std::size_t l = 0; l < sims.size(); ++l) {
+        const auto empty = sims[l].CaptureSession(20, std::nullopt, rng);
+        propagation::HumanBody body;
+        body.position = cell.center;
+        const auto occupied = sims[l].CaptureSession(20, body, rng);
+        double p0 = 0.0, p1 = 0.0;
+        for (const auto& packet : empty) p0 += packet.TotalPower();
+        for (const auto& packet : occupied) p1 += packet.TotalPower();
+        delta[l] = std::max(0.0, 10.0 * std::log10(p0 / p1));
+      }
+      errors.push_back(geometry::Distance(
+          imager.LocateMax(imager.Reconstruct(delta)), cell.center));
+    }
+    rti_median_error = dsp::Median(errors);
+  }
+
+  ex::PrintTable(
+      std::cout, "localization comparison (6 cells, classroom)",
+      {"approach", "infrastructure", "survey effort", "result"},
+      {{"fingerprint k-NN [15]", "1 link (2 radios)", "8 windows x 6 cells",
+        ex::Fmt(fp_cell_accuracy, 0) + "% cell accuracy (" +
+            ex::Fmt(fp_mean_error, 2) + " m mean confusion)"},
+       {"RTI [3]", "8 radios, 28 links", "per-link empty profile",
+        ex::Fmt(rti_median_error, 2) + " m median error (metric)"}});
+  std::cout << "The trade the paper navigates between: fingerprints are "
+               "cheap in hardware but\nneed a labour-intensive site survey "
+               "(its words); RTI needs no survey but an\norder more radios. "
+               "The paper's contribution sits before both — making the\n"
+               "detection primitive reliable on ONE link.\n";
+  return 0;
+}

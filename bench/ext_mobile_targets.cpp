@@ -1,0 +1,72 @@
+// Extension — mobile targets: mean vs variance statistics (Sec. III cites
+// [18]: mean of the RSS difference for stationary targets, variance for
+// mobile ones). Compares all four schemes on walking intruders.
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/detector.h"
+#include "core/roc.h"
+#include "experiments/format.h"
+#include "experiments/scenario.h"
+#include "experiments/workload.h"
+
+using namespace mulink;
+namespace ex = mulink::experiments;
+
+int main() {
+  ex::PrintBanner(std::cout, "Extension — detecting WALKING intruders");
+
+  const auto cases = ex::MakePaperCases();
+  std::vector<std::vector<std::string>> rows;
+
+  for (auto scheme : {core::DetectionScheme::kBaseline,
+                      core::DetectionScheme::kSubcarrierWeighting,
+                      core::DetectionScheme::kSubcarrierAndPathWeighting,
+                      core::DetectionScheme::kVarianceMobile}) {
+    std::vector<double> positives, negatives;
+    for (const auto& lc : cases) {
+      auto sim = ex::MakeSimulator(lc);
+      Rng rng(41);
+      core::DetectorConfig config;
+      config.scheme = scheme;
+      auto detector = core::Detector::Calibrate(
+          sim.CaptureSession(400, std::nullopt, rng), sim.band(), sim.array(),
+          config);
+
+      // Negatives: empty-room windows.
+      for (int i = 0; i < 32; ++i) {
+        negatives.push_back(
+            detector.Score(sim.CaptureSession(25, std::nullopt, rng)));
+      }
+      // Positives: walks crossing the link at several points and speeds.
+      for (double cross_t : {0.3, 0.5, 0.7}) {
+        for (double speed : {0.6, 1.2}) {
+          const auto trace = ex::CrossLinkWalk(lc, cross_t, 1.8);
+          propagation::HumanBody body;
+          const auto walk =
+              sim.CaptureWalk(150, body, trace.from, trace.to, speed, rng);
+          for (std::size_t start = 0; start + 25 <= walk.size();
+               start += 25) {
+            positives.push_back(detector.Score(std::vector<wifi::CsiPacket>(
+                walk.begin() + static_cast<std::ptrdiff_t>(start),
+                walk.begin() + static_cast<std::ptrdiff_t>(start + 25))));
+          }
+        }
+      }
+    }
+    const auto roc = core::ComputeRoc(positives, negatives);
+    const auto best = roc.BestBalancedAccuracy();
+    rows.push_back({core::ToString(scheme), ex::Fmt(roc.Auc()),
+                    ex::Fmt(best.true_positive_rate * 100.0, 1),
+                    ex::Fmt(best.false_positive_rate * 100.0, 1)});
+  }
+
+  ex::PrintTable(std::cout,
+                 "walking intruders, all 5 cases (windows during the walk "
+                 "= positives)",
+                 {"scheme", "AUC", "TP %", "FP %"}, rows);
+  std::cout << "Expected: the variance statistic is competitive for moving "
+               "targets (its design\npoint), while remaining blind to "
+               "perfectly still ones — pick per deployment.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Extension — Radio Tomographic Imaging baseline (the paper's ref [3]).
+//
+// The dense-deployment alternative the introduction argues against: N
+// perimeter nodes, all-pairs links, ellipse-model image inversion. Measures
+// localization error and infrastructure cost vs node count, against the
+// paper's single adapted 3-antenna link (which detects but does not
+// localize — the paper frames detection as the primary step).
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/rti.h"
+#include "dsp/stats.h"
+#include "experiments/format.h"
+#include "experiments/scenario.h"
+
+using namespace mulink;
+namespace ex = mulink::experiments;
+
+int main() {
+  ex::PrintBanner(std::cout, "Extension — RTI dense-deployment baseline");
+
+  auto lc = ex::MakeClassroomLink();
+  lc.walker_bases.clear();  // RTI literature assumes an otherwise-still room
+  const double width = lc.room.width(), depth = lc.room.depth();
+
+  auto sim_config = ex::DefaultSimConfig();
+  sim_config.interference_entry_prob = 0.0;
+  sim_config.slow_gain_drift_db = 0.05;
+
+  const std::vector<geometry::Vec2> test_positions = {
+      {2.0, 2.0}, {4.0, 3.0}, {3.0, 5.5}, {1.5, 6.5}, {4.5, 6.0}};
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t node_count : {4u, 6u, 8u, 12u}) {
+    const auto nodes = core::PerimeterNodes(width, depth, node_count, 0.5);
+    core::RtiConfig config;
+    config.ellipse_excess_m = 0.3;
+    const core::RtiImager imager(nodes, width, depth, config);
+
+    std::vector<nic::ChannelSimulator> sims;
+    for (const auto& [a, b] : imager.links()) {
+      sims.emplace_back(lc.room, nodes[a], nodes[b],
+                        wifi::UniformLinearArray(1, kWavelength / 2.0, 0.0),
+                        wifi::BandPlan::Intel5300Channel11(), sim_config);
+    }
+
+    Rng rng(91);
+    std::vector<double> errors;
+    double empty_peak = 0.0, occupied_peak = 0.0;
+    for (const auto& person : test_positions) {
+      std::vector<double> delta(imager.links().size(), 0.0);
+      std::vector<double> delta_empty(imager.links().size(), 0.0);
+      for (std::size_t l = 0; l < sims.size(); ++l) {
+        const auto profile = sims[l].CaptureSession(20, std::nullopt, rng);
+        propagation::HumanBody body;
+        body.position = person;
+        const auto occupied = sims[l].CaptureSession(20, body, rng);
+        const auto still_empty = sims[l].CaptureSession(20, std::nullopt, rng);
+        double p0 = 0.0, p1 = 0.0, p2 = 0.0;
+        for (const auto& packet : profile) p0 += packet.TotalPower();
+        for (const auto& packet : occupied) p1 += packet.TotalPower();
+        for (const auto& packet : still_empty) p2 += packet.TotalPower();
+        delta[l] = std::max(0.0, 10.0 * std::log10(p0 / p1));
+        delta_empty[l] = std::max(0.0, 10.0 * std::log10(p0 / p2));
+      }
+      const auto image = imager.Reconstruct(delta);
+      errors.push_back(
+          geometry::Distance(imager.LocateMax(image), person));
+      occupied_peak += imager.PeakValue(image);
+      empty_peak += imager.PeakValue(imager.Reconstruct(delta_empty));
+    }
+    rows.push_back({std::to_string(node_count),
+                    std::to_string(imager.links().size()),
+                    ex::Fmt(dsp::Median(errors), 2),
+                    ex::Fmt(dsp::Max(errors), 2),
+                    ex::Fmt(occupied_peak / empty_peak, 1)});
+  }
+  ex::PrintTable(std::cout, "RTI vs node count (classroom, 5 test positions)",
+                 {"nodes", "links", "median loc err m", "max loc err m",
+                  "peak contrast (occ/empty)"},
+                 rows);
+  std::cout << "RTI localizes — at the cost of N transceivers and N(N-1)/2 "
+               "link profiles.\nThe paper's single adapted link (3 RX "
+               "antennas) detects with two radios;\nlocalization is the "
+               "'higher-level context' its conclusion defers to follow-ups.\n";
+  return 0;
+}

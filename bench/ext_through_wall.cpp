@@ -1,0 +1,82 @@
+// Extension — through-wall detection (the intro's "can work through-walls"
+// selling point, exercised end to end).
+//
+// One space split by a drywall partition: the AP sits in the west room, the
+// receiver in the east room. Detection rates for people at a grid of
+// positions in each room, per scheme.
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/detector.h"
+#include "experiments/format.h"
+#include "experiments/scenario.h"
+
+using namespace mulink;
+namespace ex = mulink::experiments;
+
+int main() {
+  ex::PrintBanner(std::cout, "Extension — through-wall human detection");
+
+  const auto lc = ex::MakeThroughWallLink();
+  std::cout << "layout: AP at (" << lc.tx.x << "," << lc.tx.y
+            << ") west room | drywall partition at x=3 | RX at (" << lc.rx.x
+            << "," << lc.rx.y << ") east room\n\n";
+
+  // Probe grids per room (east = receiver's room, west = AP's room).
+  std::vector<geometry::Vec2> east, west;
+  for (double x : {3.8, 4.6, 5.4}) {
+    for (double y : {1.5, 3.0, 4.5}) east.push_back({x, y});
+  }
+  for (double x : {0.8, 1.6, 2.4}) {
+    for (double y : {1.5, 3.0, 4.5}) west.push_back({x, y});
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (auto scheme : {core::DetectionScheme::kBaseline,
+                      core::DetectionScheme::kSubcarrierWeighting,
+                      core::DetectionScheme::kSubcarrierAndPathWeighting}) {
+    auto sim = ex::MakeSimulator(lc);
+    Rng rng(81);
+    core::DetectorConfig config;
+    config.scheme = scheme;
+    auto detector = core::Detector::Calibrate(
+        sim.CaptureSession(400, std::nullopt, rng), sim.band(), sim.array(),
+        config);
+    std::vector<std::vector<wifi::CsiPacket>> empties;
+    for (int i = 0; i < 12; ++i) {
+      empties.push_back(sim.CaptureSession(25, std::nullopt, rng));
+    }
+    detector.CalibrateThreshold(empties);
+
+    const auto rate = [&](const std::vector<geometry::Vec2>& spots) {
+      int hits = 0, total = 0;
+      for (const auto& pos : spots) {
+        propagation::HumanBody body;
+        body.position = pos;
+        for (int i = 0; i < 4; ++i) {
+          ++total;
+          if (detector.Detect(sim.CaptureSession(25, body, rng))) ++hits;
+        }
+      }
+      return 100.0 * hits / total;
+    };
+    int false_alarms = 0;
+    for (int i = 0; i < 20; ++i) {
+      if (detector.Detect(sim.CaptureSession(25, std::nullopt, rng))) {
+        ++false_alarms;
+      }
+    }
+    rows.push_back({core::ToString(scheme), ex::Fmt(rate(east), 1),
+                    ex::Fmt(rate(west), 1),
+                    ex::Fmt(100.0 * false_alarms / 20.0, 1)});
+  }
+  ex::PrintTable(std::cout, "through-wall detection rate %",
+                 {"scheme", "east room (RX side)", "west room (AP side)",
+                  "idle FA %"},
+                 rows);
+  std::cout << "Both rooms remain detectable through drywall. The naive "
+               "baseline buys its\nrates with a heavy idle false-alarm "
+               "bill; the weighted schemes detect on both\nsides of the "
+               "partition at a fraction of the false alarms.\n";
+  return 0;
+}

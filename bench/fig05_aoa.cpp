@@ -1,0 +1,134 @@
+// Fig. 5 — Impact of angle-of-arrival on signal strength (3 m link near a
+// concrete wall).
+//
+//  (b) MUSIC pseudospectrum of the static link with a 3-antenna array: one
+//      peak at the LOS (broadside) and one at the wall reflection.
+//  (c) Per-subcarrier RSS change for 16 human locations on a 1 m arc around
+//      the receiver (-90..90 degrees): largest change along the LOS
+//      direction, a secondary bump along the NLOS direction.
+#include <algorithm>
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/music.h"
+#include "core/sanitize.h"
+#include "dsp/stats.h"
+#include "experiments/format.h"
+#include "experiments/scenario.h"
+#include "experiments/workload.h"
+
+using namespace mulink;
+namespace ex = mulink::experiments;
+
+int main() {
+  const ex::LinkCase lc = ex::MakeShortWallLink();
+  auto sim = ex::MakeSimulator(lc);
+  Rng rng(5);
+
+  ex::PrintBanner(std::cout, "Fig. 5b — MUSIC pseudospectrum (static link)");
+  const auto calibration =
+      core::SanitizePhase(sim.CaptureSession(200, std::nullopt, rng),
+                          sim.band());
+  const auto spectrum =
+      core::ComputeMusicSpectrum(calibration, sim.array(), sim.band());
+  // Print in dB relative to the peak, downsampled to 5-degree steps.
+  const double peak = dsp::Max(spectrum.power);
+  std::vector<double> xs, ys;
+  for (std::size_t i = 0; i < spectrum.theta_deg.size(); i += 5) {
+    xs.push_back(spectrum.theta_deg[i]);
+    ys.push_back(10.0 * std::log10(std::max(spectrum.power[i] / peak,
+                                            1e-12)));
+  }
+  ex::PrintSeries(std::cout, "pseudospectrum", "angle_deg", "power_db_rel",
+                  xs, ys);
+  std::cout << "peaks:";
+  for (double angle : spectrum.PeakAngles(3)) {
+    std::cout << " " << ex::Fmt(angle, 1) << "deg";
+  }
+  std::cout << "\n(paper: two peaks — the LOS and the wall reflection)\n";
+
+  // Ground truth from the ray tracer for reference.
+  std::cout << "ray-tracer path angles:";
+  for (const auto& path : sim.StaticPaths()) {
+    const double theta =
+        RadToDeg(sim.array().BroadsideAngle(path.arrival_direction_rad));
+    std::cout << " " << ex::Fmt(theta, 1) << "deg(" << ToString(path.kind)
+              << ")";
+  }
+  std::cout << "\n";
+
+  ex::PrintBanner(std::cout, "Fig. 5c — RSS change over arrival angles");
+  // Static profile per (antenna, subcarrier).
+  const std::size_t num_ant = calibration[0].NumAntennas();
+  const std::size_t num_sc = sim.band().NumSubcarriers();
+  std::vector<std::vector<double>> profile(num_ant,
+                                           std::vector<double>(num_sc, 0.0));
+  for (std::size_t m = 0; m < num_ant; ++m) {
+    for (std::size_t k = 0; k < num_sc; ++k) {
+      double p = 0.0;
+      for (const auto& packet : calibration) p += packet.SubcarrierPower(m, k);
+      profile[m][k] = 10.0 * std::log10(
+                          std::max(p / static_cast<double>(calibration.size()),
+                                   1e-30));
+    }
+  }
+
+  std::vector<double> angles;
+  for (int a = -90; a <= 90; a += 12) angles.push_back(a);
+  const auto spots = ex::AngularArc(lc, 1.0, angles);
+
+  std::vector<double> angle_x, change_y;
+  for (const auto& spot : spots) {
+    propagation::HumanBody body;
+    body.position = spot.position;
+    const auto clean =
+        core::SanitizePhase(sim.CaptureSession(150, body, rng), sim.band());
+    // Median power per subcarrier (robust to interference bursts), averaged
+    // across the three antennas as in the paper's Fig. 5c.
+    double mean_abs_change = 0.0;
+    std::vector<double> powers(clean.size());
+    for (std::size_t m = 0; m < num_ant; ++m) {
+      for (std::size_t k = 0; k < num_sc; ++k) {
+        for (std::size_t i = 0; i < clean.size(); ++i) {
+          powers[i] = clean[i].SubcarrierPower(m, k);
+        }
+        mean_abs_change += std::abs(
+            10.0 * std::log10(std::max(dsp::Median(powers), 1e-30)) -
+            profile[m][k]);
+      }
+    }
+    angle_x.push_back(spot.angle_deg);
+    change_y.push_back(mean_abs_change /
+                       static_cast<double>(num_sc * num_ant));
+  }
+  ex::PrintSeries(std::cout, "mean |RSS change| vs human angle", "angle_deg",
+                  "mean_abs_change_db", angle_x, change_y);
+
+  // Regional shape summary (the paper's claims): dramatic changes along the
+  // LOS direction; another notable change along the wall-reflection (NLOS)
+  // direction; weakest on the reflection-free room side.
+  // Negative angles are the wall side for this link geometry.
+  double los_sum = 0.0, nlos_sum = 0.0, control_sum = 0.0;
+  int los_n = 0, nlos_n = 0, control_n = 0;
+  for (std::size_t i = 0; i < angle_x.size(); ++i) {
+    if (std::abs(angle_x[i]) <= 20.0) {
+      los_sum += change_y[i];
+      ++los_n;
+    } else if (angle_x[i] <= -35.0) {
+      nlos_sum += change_y[i];
+      ++nlos_n;
+    } else if (angle_x[i] >= 35.0) {
+      control_sum += change_y[i];
+      ++control_n;
+    }
+  }
+  std::cout << "mean |change| near LOS (|a|<=20):        "
+            << ex::Fmt(los_sum / los_n) << " dB\n"
+            << "mean |change| wall/NLOS side (a<=-35):   "
+            << ex::Fmt(nlos_sum / nlos_n) << " dB\n"
+            << "mean |change| room side (a>=+35):        "
+            << ex::Fmt(control_sum / control_n) << " dB\n"
+            << "(paper: LOS direction strongest; a second notable region "
+               "along the NLOS direction)\n";
+  return 0;
+}

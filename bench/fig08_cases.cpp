@@ -1,0 +1,48 @@
+// Fig. 8 — Detection rate per testing case (the 5 links of Fig. 6) at the
+// global balanced-accuracy threshold derived from the Fig. 7 ROC.
+//
+// Paper shape: no dramatic gap between cases; case 3 (short vacant link with
+// a strong LOS) is slightly best for all schemes, and path weighting brings
+// only marginal gain there (little NLOS to exploit); case 1 can even dip
+// slightly with path weighting due to angle estimation errors.
+#include <iostream>
+
+#include "experiments/campaign.h"
+#include "experiments/format.h"
+
+using namespace mulink;
+namespace ex = mulink::experiments;
+
+int main() {
+  ex::PrintBanner(std::cout, "Fig. 8 — Detection rate per case");
+
+  ex::CampaignConfig config;
+  config.packets_per_location = 600;
+  config.calibration_packets = 400;
+  config.empty_packets = 1200;
+  config.seed = 8;
+
+  const auto result = ex::RunPaperCampaign(config);
+  const auto cases = ex::MakePaperCases();
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    std::vector<std::string> row = {cases[ci].name};
+    for (const auto& scheme : result.schemes) {
+      const auto best = scheme.Roc().BestBalancedAccuracy();
+      const double rate = scheme.DetectionRate(
+          best.threshold, [&](const ex::ScoredWindow& w) {
+            return w.case_index == static_cast<int>(ci);
+          });
+      row.push_back(ex::Fmt(rate * 100.0, 1));
+    }
+    rows.push_back(std::move(row));
+  }
+  ex::PrintTable(std::cout, "detection rate % at the global balanced threshold",
+                 {"case", "baseline", "subcarrier", "subcarrier+path"}, rows);
+
+  std::cout << "Paper shape: all cases comparable; case 3 best; path "
+               "weighting adds little on case 3\n(strong LOS, little NLOS) "
+               "and can dip slightly on case 1 (angle errors).\n";
+  return 0;
+}

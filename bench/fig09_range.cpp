@@ -1,0 +1,86 @@
+// Fig. 9 — Detection rate vs human distance to the receiver (1 m .. 5 m).
+//
+// Paper shape: the baseline collapses with distance (< 60% at 5 m) while
+// both weighted schemes stay above 90% out to 5 m, with path weighting
+// strongest for distant humans (+12%). At a required detection rate of 90%,
+// the weighted schemes roughly double the usable range ("~1x gain").
+#include <iostream>
+
+#include "experiments/campaign.h"
+#include "experiments/format.h"
+
+using namespace mulink;
+namespace ex = mulink::experiments;
+
+int main() {
+  ex::PrintBanner(std::cout, "Fig. 9 — Detection rate vs distance to RX");
+
+  // Distance-sweep workload aggregated over all five links, mirroring the
+  // paper's 1..5 m bins (far bins mix near-AP and far-off-link locations).
+  const auto cases = ex::MakePaperCases();
+
+  const std::vector<double> distances = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<std::vector<ex::HumanSpot>> spots;
+  for (const auto& lc : cases) {
+    spots.push_back(ex::RangeSweep(lc, distances, {-1.0, 0.0, 1.0}));
+  }
+
+  ex::CampaignConfig config;
+  config.packets_per_location = 400;
+  config.calibration_packets = 400;
+  config.empty_packets = 1000;
+  config.seed = 9;
+
+  const auto result = ex::RunCampaign(
+      cases, spots,
+      {core::DetectionScheme::kBaseline,
+       core::DetectionScheme::kSubcarrierWeighting,
+       core::DetectionScheme::kSubcarrierAndPathWeighting},
+      config);
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::vector<double>> rates_per_scheme(result.schemes.size());
+  for (std::size_t di = 0; di < distances.size(); ++di) {
+    const double lo = distances[di] - 0.5;
+    const double hi = distances[di] + 0.5;
+    std::vector<std::string> row = {ex::Fmt(distances[di], 1)};
+    for (std::size_t s = 0; s < result.schemes.size(); ++s) {
+      const auto& scheme = result.schemes[s];
+      const auto best = scheme.Roc().BestBalancedAccuracy();
+      const double rate = scheme.DetectionRate(
+          best.threshold, [&](const ex::ScoredWindow& w) {
+            return w.distance_to_rx_m >= lo && w.distance_to_rx_m < hi;
+          });
+      rates_per_scheme[s].push_back(rate);
+      row.push_back(ex::Fmt(rate * 100.0, 1));
+    }
+    rows.push_back(std::move(row));
+  }
+  ex::PrintTable(std::cout, "detection rate % by distance bin",
+                 {"distance_m", "baseline", "subcarrier", "subcarrier+path"},
+                 rows);
+
+  // Range at >= 90% detection: the paper's "~1x gain" headline.
+  const auto range_at_90 = [&](const std::vector<double>& rates) {
+    double range = 0.0;
+    for (std::size_t di = 0; di < distances.size(); ++di) {
+      if (rates[di] >= 0.9) {
+        range = distances[di];
+      } else {
+        break;
+      }
+    }
+    return range;
+  };
+  std::vector<std::vector<std::string>> range_rows;
+  for (std::size_t s = 0; s < result.schemes.size(); ++s) {
+    range_rows.push_back(
+        {core::ToString(result.schemes[s].scheme),
+         ex::Fmt(range_at_90(rates_per_scheme[s]), 1)});
+  }
+  ex::PrintTable(std::cout, "max distance with detection rate >= 90%",
+                 {"scheme", "range_m"}, range_rows);
+  std::cout << "Paper: baseline < 60% at 5 m; weighted schemes >= 90% at "
+               "5 m -> ~1x range gain.\n";
+  return 0;
+}

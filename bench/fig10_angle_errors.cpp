@@ -1,0 +1,75 @@
+// Fig. 10 — CDF of angle estimation errors with the 3-antenna array.
+//
+// Paper shape: median error can exceed 20 degrees from one packet; averaging
+// over multiple packets improves moderately (the person is never perfectly
+// still, so averaging sweeps a tiny synthetic aperture), but large tail
+// errors remain — the root cause of path weighting's occasional dips.
+#include <algorithm>
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/music.h"
+#include "core/sanitize.h"
+#include "linalg/hermitian_eig.h"
+#include "dsp/stats.h"
+#include "experiments/format.h"
+#include "experiments/scenario.h"
+#include "experiments/workload.h"
+
+using namespace mulink;
+namespace ex = mulink::experiments;
+
+int main() {
+  ex::PrintBanner(std::cout, "Fig. 10 — Angle estimation error CDF");
+
+  const ex::LinkCase lc = ex::MakeShortWallLink();
+  auto sim = ex::MakeSimulator(lc);
+  Rng rng(10);
+
+  const auto calibration = core::SanitizePhase(
+      sim.CaptureSession(300, std::nullopt, rng), sim.band());
+  const auto static_cov = core::SampleCovariance(calibration);
+
+  // Humans on a 1.2 m arc at known angles; estimate each from 2 packets and
+  // from 30 packets.
+  std::vector<double> errors_single, errors_averaged;
+  for (int truth = -50; truth <= 50; truth += 10) {
+    const auto spots = ex::AngularArc(lc, 1.2, {static_cast<double>(truth)});
+    propagation::HumanBody body;
+    body.position = spots[0].position;
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto few = core::SanitizePhase(sim.CaptureSession(2, body, rng),
+                                           sim.band());
+      const auto many = core::SanitizePhase(sim.CaptureSession(30, body, rng),
+                                            sim.band());
+      errors_single.push_back(std::abs(
+          core::EstimateNewPathAngleDeg(few, static_cov, sim.array(),
+                                        sim.band()) -
+          spots[0].angle_deg));
+      errors_averaged.push_back(std::abs(
+          core::EstimateNewPathAngleDeg(many, static_cov, sim.array(),
+                                        sim.band()) -
+          spots[0].angle_deg));
+    }
+  }
+
+  for (auto* errors : {&errors_single, &errors_averaged}) {
+    const char* label =
+        errors == &errors_single ? "2-packet estimate" : "30-packet estimate";
+    const auto cdf = dsp::EmpiricalCdf(*errors, 21);
+    std::vector<double> xs, ys;
+    for (const auto& point : cdf) {
+      xs.push_back(point.value);
+      ys.push_back(point.probability);
+    }
+    ex::PrintSeries(std::cout, std::string("angle error CDF — ") + label,
+                    "error_deg", "cdf", xs, ys);
+    std::cout << "  median " << ex::Fmt(dsp::Median(*errors), 1) << " deg, "
+              << "p90 " << ex::Fmt(dsp::Quantile(*errors, 0.9), 1)
+              << " deg\n\n";
+  }
+
+  std::cout << "Paper shape: averaging reduces errors moderately; large tail "
+               "errors remain\n(3-antenna aperture limits resolution).\n";
+  return 0;
+}

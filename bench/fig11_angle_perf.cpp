@@ -1,0 +1,76 @@
+// Fig. 11 — Detection performance of human locations at different angles
+// (same radius from the receiver).
+//
+// Paper shape: path weighting gives a notable improvement at relatively
+// large angles (off the LOS direction) and only marginal gain near 0 deg,
+// where the LOS already dominates detection.
+#include <iostream>
+
+#include "experiments/campaign.h"
+#include "experiments/format.h"
+
+using namespace mulink;
+namespace ex = mulink::experiments;
+
+int main() {
+  ex::PrintBanner(std::cout, "Fig. 11 — Detection rate vs human angle");
+
+  const auto all_cases = ex::MakePaperCases();
+  std::vector<ex::LinkCase> cases = {all_cases[0], all_cases[1], all_cases[3]};
+
+  const std::vector<double> angles = {-60, -45, -30, -15, 0, 15, 30, 45, 60};
+  std::vector<std::vector<ex::HumanSpot>> spots;
+  for (const auto& lc : cases) {
+    spots.push_back(ex::AngularArc(lc, 2.0, angles));
+  }
+
+  ex::CampaignConfig config;
+  config.packets_per_location = 600;
+  config.calibration_packets = 400;
+  config.empty_packets = 1000;
+  config.seed = 11;
+
+  const auto result = ex::RunCampaign(
+      cases, spots,
+      {core::DetectionScheme::kSubcarrierWeighting,
+       core::DetectionScheme::kSubcarrierAndPathWeighting},
+      config);
+
+  std::vector<std::vector<std::string>> rows;
+  double gain_small_angle = 0.0, gain_large_angle = 0.0;
+  int small_count = 0, large_count = 0;
+  for (double angle : angles) {
+    std::vector<std::string> row = {ex::Fmt(angle, 0)};
+    std::vector<double> rates;
+    for (const auto& scheme : result.schemes) {
+      const auto best = scheme.Roc().BestBalancedAccuracy();
+      const double rate = scheme.DetectionRate(
+          best.threshold, [&](const ex::ScoredWindow& w) {
+            return std::abs(w.angle_deg - angle) < 7.0;
+          });
+      rates.push_back(rate);
+      row.push_back(ex::Fmt(rate * 100.0, 1));
+    }
+    const double gain = rates[1] - rates[0];
+    row.push_back(ex::Fmt(gain * 100.0, 1));
+    if (std::abs(angle) < 5.0) {
+      gain_small_angle += gain;
+      ++small_count;
+    } else if (std::abs(angle) >= 30.0) {
+      gain_large_angle += gain;
+      ++large_count;
+    }
+    rows.push_back(std::move(row));
+  }
+  ex::PrintTable(std::cout, "detection rate % by angle (radius 2 m)",
+                 {"angle_deg", "subcarrier", "subcarrier+path", "path gain"},
+                 rows);
+
+  std::cout << "path-weighting gain on the LOS direction (0 deg):  "
+            << ex::Fmt(gain_small_angle / small_count * 100.0, 1) << " pts\n"
+            << "mean gain away from the LOS (|angle| >= 30 deg):   "
+            << ex::Fmt(gain_large_angle / large_count * 100.0, 1) << " pts\n"
+            << "Paper shape: notable improvement at large angles, marginal "
+               "near zero degrees.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 12 — Impact of packet quantity (monitoring window length M).
+//
+// Paper shape: at 50 packets per second the detection rate saturates with
+// only ~0.5 s of measurements (M ~ 25), so decisions arrive with sub-second
+// latency; the weighting schemes' compute cost is negligible next to the
+// packet budget.
+#include <iostream>
+
+#include "experiments/campaign.h"
+#include "experiments/format.h"
+
+using namespace mulink;
+namespace ex = mulink::experiments;
+
+int main() {
+  ex::PrintBanner(std::cout, "Fig. 12 — Detection rate vs window packets");
+
+  const auto all_cases = ex::MakePaperCases();
+  std::vector<ex::LinkCase> cases = {all_cases[0], all_cases[2]};
+  std::vector<std::vector<ex::HumanSpot>> spots;
+  for (const auto& lc : cases) spots.push_back(ex::Grid3x3(lc));
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t window : {5u, 10u, 15u, 25u, 50u, 100u}) {
+    ex::CampaignConfig config;
+    config.window_packets = window;
+    config.packets_per_location = 400;
+    config.calibration_packets = 400;
+    config.empty_packets = 1200;
+    config.seed = 12;
+
+    const auto result = ex::RunCampaign(
+        cases, spots,
+        {core::DetectionScheme::kBaseline,
+         core::DetectionScheme::kSubcarrierWeighting,
+         core::DetectionScheme::kSubcarrierAndPathWeighting},
+        config);
+
+    // Detection rate at a fixed 10% false-positive budget, so rows with
+    // different window lengths are directly comparable.
+    std::vector<std::string> row = {
+        std::to_string(window),
+        ex::Fmt(static_cast<double>(window) / 50.0, 2)};
+    for (const auto& scheme : result.schemes) {
+      const auto point = scheme.Roc().PointAtFalsePositive(0.10);
+      row.push_back(ex::Fmt(point.true_positive_rate * 100.0, 1));
+    }
+    rows.push_back(std::move(row));
+  }
+  ex::PrintTable(
+      std::cout,
+      "detection rate % at 10% false-positive budget vs window length",
+      {"packets", "seconds", "baseline", "subcarrier", "subcarrier+path"},
+      rows);
+  std::cout << "Paper shape: rates stabilize by ~0.5 s of packets (M ~ 25); "
+               "longer windows add little.\n";
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Microbenchmarks backing Sec. V-B4's claim that "the weighting schemes are
+// low in computation complexity": per-packet and per-window costs of every
+// pipeline stage, so the packet budget (not compute) dominates latency.
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "common/rng.h"
+#include "core/detector.h"
+#include "core/multipath_factor.h"
+#include "core/music.h"
+#include "core/sanitize.h"
+#include "core/subcarrier_weighting.h"
+#include "experiments/scenario.h"
+
+using namespace mulink;
+namespace ex = mulink::experiments;
+
+namespace {
+
+struct Fixture {
+  ex::LinkCase link = ex::MakeClassroomLink();
+  nic::ChannelSimulator sim = ex::MakeSimulator(link);
+  Rng rng{77};
+  std::vector<wifi::CsiPacket> calibration =
+      sim.CaptureSession(400, std::nullopt, rng);
+  std::vector<wifi::CsiPacket> window =
+      sim.CaptureSession(25, std::nullopt, rng);
+  std::vector<wifi::CsiPacket> sanitized =
+      core::SanitizePhase(window, sim.band());
+};
+
+Fixture& Shared() {
+  static Fixture fixture;
+  return fixture;
+}
+
+void BM_CapturePacket(benchmark::State& state) {
+  auto& f = Shared();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.sim.CapturePacket(std::nullopt, f.rng));
+  }
+}
+BENCHMARK(BM_CapturePacket);
+
+void BM_SanitizePhase(benchmark::State& state) {
+  auto& f = Shared();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SanitizePhase(f.window[0], f.sim.band()));
+  }
+}
+BENCHMARK(BM_SanitizePhase);
+
+void BM_MultipathFactors(benchmark::State& state) {
+  auto& f = Shared();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::MeasureMultipathFactors(f.sanitized[0], f.sim.band()));
+  }
+}
+BENCHMARK(BM_MultipathFactors);
+
+void BM_SubcarrierWeights(benchmark::State& state) {
+  auto& f = Shared();
+  const auto mu = core::MeasureMultipathFactors(f.sanitized, f.sim.band());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ComputeSubcarrierWeights(mu));
+  }
+}
+BENCHMARK(BM_SubcarrierWeights);
+
+void BM_SampleCovariance(benchmark::State& state) {
+  auto& f = Shared();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SampleCovariance(f.sanitized));
+  }
+}
+BENCHMARK(BM_SampleCovariance);
+
+void BM_MusicSpectrum(benchmark::State& state) {
+  auto& f = Shared();
+  const auto cov = core::SampleCovariance(f.sanitized);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::ComputeMusicSpectrum(cov, f.sim.array(), f.sim.band()));
+  }
+}
+BENCHMARK(BM_MusicSpectrum);
+
+void BM_BartlettSpectrum(benchmark::State& state) {
+  auto& f = Shared();
+  const auto cov = core::SampleCovariance(f.sanitized);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::ComputeBartlettSpectrum(cov, f.sim.array(), f.sim.band()));
+  }
+}
+BENCHMARK(BM_BartlettSpectrum);
+
+void BM_ScoreWindow(benchmark::State& state) {
+  auto& f = Shared();
+  core::DetectorConfig config;
+  config.scheme = static_cast<core::DetectionScheme>(state.range(0));
+  const auto detector = core::Detector::Calibrate(f.calibration, f.sim.band(),
+                                                  f.sim.array(), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Score(f.window));
+  }
+}
+BENCHMARK(BM_ScoreWindow)
+    ->Arg(static_cast<int>(core::DetectionScheme::kBaseline))
+    ->Arg(static_cast<int>(core::DetectionScheme::kSubcarrierWeighting))
+    ->Arg(static_cast<int>(core::DetectionScheme::kSubcarrierAndPathWeighting))
+    ->Arg(static_cast<int>(core::DetectionScheme::kVarianceMobile));
+
+void BM_Calibrate(benchmark::State& state) {
+  auto& f = Shared();
+  core::DetectorConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Detector::Calibrate(
+        f.calibration, f.sim.band(), f.sim.array(), config));
+  }
+}
+BENCHMARK(BM_Calibrate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Intrusion monitor: stream CSI windows and raise entry/exit events.
+//
+// Plays out a small scenario on the classroom link: the room is quiet, an
+// intruder walks in, loiters near the far corner, crosses the link, and
+// leaves. The monitor consumes 0.5 s windows (25 packets at 50 pkt/s, the
+// paper's saturation point from Fig. 12) and runs a simple two-threshold
+// hysteresis state machine on the detector score.
+#include <iostream>
+#include <optional>
+
+#include "core/detector.h"
+#include "dsp/stats.h"
+#include "experiments/format.h"
+#include "experiments/scenario.h"
+
+int main() {
+  using namespace mulink;
+  namespace ex = mulink::experiments;
+
+  const ex::LinkCase link = ex::MakeClassroomLink();
+  auto simulator = ex::MakeSimulator(link);
+  Rng rng(99);
+
+  // Calibrate and pick thresholds from empty-room windows.
+  const auto calibration = simulator.CaptureSession(400, std::nullopt, rng);
+  core::DetectorConfig config;
+  config.scheme = core::DetectionScheme::kSubcarrierAndPathWeighting;
+  auto detector = core::Detector::Calibrate(calibration, simulator.band(),
+                                            simulator.array(), config);
+  std::vector<std::vector<wifi::CsiPacket>> empty_windows;
+  std::vector<double> empty_scores;
+  for (int i = 0; i < 16; ++i) {
+    empty_windows.push_back(simulator.CaptureSession(25, std::nullopt, rng));
+    empty_scores.push_back(detector.Score(empty_windows.back()));
+  }
+  detector.CalibrateThreshold(empty_windows);
+  const double enter_threshold = detector.threshold();
+  // Hysteresis is temporal rather than amplitude-based: entry fires on one
+  // hot window, clearing requires 3 consecutive windows back below the
+  // threshold (occasional empty-room windows graze it, so a single quiet
+  // window is not proof the room emptied).
+  const double exit_threshold = enter_threshold;
+
+  ex::PrintBanner(std::cout, "Intrusion monitor: " + link.name);
+  std::cout << "enter >= " << ex::Fmt(enter_threshold, 3)
+            << " (1 window); clear < " << ex::Fmt(exit_threshold, 3)
+            << " (3 consecutive windows)\n\n";
+
+  // Script: (seconds, position or empty). 2 windows per second.
+  struct Phase {
+    const char* label;
+    std::optional<geometry::Vec2> position;
+    int windows;
+  };
+  const Phase script[] = {
+      {"room empty", std::nullopt, 6},
+      {"intruder enters far corner", geometry::Vec2{1.0, 6.5}, 4},
+      {"loiters mid-room", geometry::Vec2{2.2, 5.4}, 4},
+      {"approaches the link", geometry::Vec2{3.0, 4.6}, 4},
+      {"crosses the LOS", geometry::Vec2{3.0, 4.0}, 4},
+      {"walks away", geometry::Vec2{4.8, 6.6}, 4},
+      {"room empty again", std::nullopt, 8},
+  };
+
+  bool occupied = false;
+  int quiet_streak = 0;  // debounce: clear only after 3 quiet windows
+  int window_index = 0;
+  for (const auto& phase : script) {
+    for (int i = 0; i < phase.windows; ++i, ++window_index) {
+      std::optional<propagation::HumanBody> human;
+      if (phase.position.has_value()) {
+        propagation::HumanBody body;
+        body.position = *phase.position;
+        human = body;
+      }
+      const auto window = simulator.CaptureSession(25, human, rng);
+      const double score = detector.Score(window);
+
+      const char* event = "";
+      if (!occupied && score >= enter_threshold) {
+        occupied = true;
+        quiet_streak = 0;
+        event = "  << PRESENCE DETECTED";
+      } else if (occupied) {
+        quiet_streak = score < exit_threshold ? quiet_streak + 1 : 0;
+        if (quiet_streak >= 3) {
+          occupied = false;
+          quiet_streak = 0;
+          event = "  << room clear";
+        }
+      }
+      std::cout << "t=" << ex::Fmt(window_index * 0.5, 1) << "s  ["
+                << (occupied ? "OCCUPIED" : "  idle  ") << "]  score "
+                << ex::Fmt(score, 3) << "  (" << phase.label << ")" << event
+                << "\n";
+    }
+  }
+  std::cout << "\nNote: sub-second reaction (one 0.5 s window) matches the "
+               "paper's Fig. 12 finding\nthat detection saturates with ~25 "
+               "packets at 50 packets/second.\n";
+  return 0;
+}

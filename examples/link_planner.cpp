@@ -1,0 +1,115 @@
+// Link planner: compare candidate AP placements before deploying.
+//
+// The paper's closing pitch is "guidelines for optimal deployment and
+// parameter configurations". This example evaluates several candidate AP
+// positions/heights against a fixed receiver and ranks them by (a) predicted
+// sensitivity from the closed-form link model (Eq. 6 over the measured
+// multipath factor) and (b) measured detection coverage over a probe grid.
+#include <iostream>
+
+#include "core/detector.h"
+#include "common/constants.h"
+#include "core/link_model.h"
+#include "core/multipath_factor.h"
+#include "core/sanitize.h"
+#include "dsp/stats.h"
+#include "experiments/format.h"
+#include "experiments/scenario.h"
+#include "experiments/workload.h"
+
+int main() {
+  using namespace mulink;
+  namespace ex = mulink::experiments;
+
+  // The room to cover: room A of the paper's evaluation, RX fixed on a desk.
+  const auto base_case = ex::MakePaperCases()[1];  // room A geometry
+  const geometry::Vec2 rx = {4.0, 4.9};
+
+  struct Candidate {
+    const char* label;
+    geometry::Vec2 tx;
+    double tx_height;
+  };
+  const Candidate candidates[] = {
+      {"short link, desk AP", {2.0, 4.5}, 1.4},
+      {"long link, wall AP", {0.8, 7.8}, 2.2},
+      {"diagonal, shelf AP", {1.2, 2.0}, 1.7},
+      {"corner-to-center, desk AP", {6.2, 8.2}, 1.3},
+  };
+
+  ex::PrintBanner(std::cout, "Link planner: candidate AP placements");
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& candidate : candidates) {
+    ex::LinkCase lc = base_case;
+    lc.name = candidate.label;
+    lc.tx = candidate.tx;
+    lc.rx = rx;
+    lc.heights = {candidate.tx_height, 1.1};
+
+    auto simulator = ex::MakeSimulator(lc);
+    Rng rng(7);
+
+    // Calibrate a combined detector and an operating threshold.
+    const auto calibration = simulator.CaptureSession(300, std::nullopt, rng);
+    core::DetectorConfig config;
+    config.scheme = core::DetectionScheme::kSubcarrierAndPathWeighting;
+    auto detector = core::Detector::Calibrate(calibration, simulator.band(),
+                                              simulator.array(), config);
+    std::vector<std::vector<wifi::CsiPacket>> empty_windows;
+    for (int i = 0; i < 10; ++i) {
+      empty_windows.push_back(simulator.CaptureSession(25, std::nullopt, rng));
+    }
+    detector.CalibrateThreshold(empty_windows);
+
+    // (a) Model-predicted sensitivity: estimate gamma (LOS-to-reflections
+    // amplitude ratio) from the traced static paths, then average the
+    // Eq. 5 shadowing sensitivity over the superposition phase.
+    const auto paths = simulator.StaticPaths();
+    const int los_index = propagation::FindLineOfSight(paths);
+    double nlos_power = 0.0;
+    for (const auto& path : paths) {
+      if (path.kind != propagation::PathKind::kLineOfSight) {
+        nlos_power += path.gain_at_center * path.gain_at_center;
+      }
+    }
+    const double gamma =
+        paths[static_cast<std::size_t>(los_index)].gain_at_center /
+        std::max(std::sqrt(nlos_power), 1e-12);
+    double predicted_delta_db = 0.0;
+    const int phase_samples = 36;
+    for (int i = 0; i < phase_samples; ++i) {
+      const double phi = 2.0 * kPi * i / phase_samples;
+      predicted_delta_db +=
+          std::abs(core::ShadowingDeltaDbFromPhase(0.3, gamma, phi));
+    }
+    predicted_delta_db /= phase_samples;
+
+    // (b) Measured coverage: fraction of probe-grid spots detected.
+    int detected = 0, total = 0;
+    for (const auto& spot : ex::Grid3x3(lc)) {
+      propagation::HumanBody body;
+      body.position = spot.position;
+      ++total;
+      if (detector.Detect(simulator.CaptureSession(25, body, rng))) {
+        ++detected;
+      }
+    }
+
+    rows.push_back({candidate.label,
+                    ex::Fmt(geometry::Distance(candidate.tx, rx), 1),
+                    ex::Fmt(candidate.tx_height, 1), ex::Fmt(gamma, 2),
+                    ex::Fmt(predicted_delta_db, 1),
+                    ex::Fmt(100.0 * detected / total, 0) + "%"});
+  }
+
+  ex::PrintTable(std::cout, "candidates ranked data",
+                 {"placement", "link_m", "AP_h_m", "gamma",
+                  "pred |dS| dB", "grid coverage"},
+                 rows);
+  std::cout << "Reading: gamma is the traced LOS-to-reflections amplitude "
+               "ratio; pred |dS| is the\nphase-averaged Eq. 5 sensitivity "
+               "to a mid-link blocker; coverage is the measured\nend-to-end "
+               "detection rate over a 3x3 probe grid.\n";
+  return 0;
+}

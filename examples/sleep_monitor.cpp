@@ -1,0 +1,88 @@
+// Sleep monitor: presence detection + respiration tracking on one link.
+//
+// Composes the paper's detector (is anyone in the bedroom?) with the
+// breath-monitoring extension (what is their respiration rate?) — the
+// pipeline its introduction sketches: detect first, then extract
+// higher-level context.
+#include <iostream>
+#include <optional>
+
+#include "core/breath.h"
+#include "core/detector.h"
+#include "experiments/format.h"
+#include "experiments/scenario.h"
+
+int main() {
+  using namespace mulink;
+  namespace ex = mulink::experiments;
+
+  // A quiet bedroom: the classroom geometry without office stressors.
+  auto link = ex::MakeClassroomLink();
+  link.walker_bases.clear();
+  auto sim_config = ex::DefaultSimConfig();
+  sim_config.interference_entry_prob = 0.0;
+  sim_config.slow_gain_drift_db = 0.05;
+  sim_config.human_sway_sigma_m = 0.001;
+  sim_config.background_jitter_m = 0.001;
+  auto simulator = ex::MakeSimulator(link, sim_config);
+  Rng rng(2024);
+
+  // Calibrate presence detection.
+  core::DetectorConfig config;
+  config.scheme = core::DetectionScheme::kSubcarrierAndPathWeighting;
+  auto detector = core::Detector::Calibrate(
+      simulator.CaptureSession(400, std::nullopt, rng), simulator.band(),
+      simulator.array(), config);
+  std::vector<std::vector<wifi::CsiPacket>> empty_windows;
+  for (int i = 0; i < 12; ++i) {
+    empty_windows.push_back(simulator.CaptureSession(25, std::nullopt, rng));
+  }
+  detector.CalibrateThreshold(empty_windows);
+
+  ex::PrintBanner(std::cout, "Overnight monitoring (20 s epochs)");
+
+  struct Epoch {
+    const char* label;
+    std::optional<propagation::HumanBody> occupant;
+  };
+  const auto sleeper = [&](double bpm) {
+    propagation::HumanBody body;
+    body.position = {3.2, 4.8};  // the bed, ~0.8 m off the link
+    body.breathing_amplitude_m = 0.006;
+    body.breathing_rate_hz = bpm / 60.0;
+    return body;
+  };
+  const Epoch night[] = {
+      {"22:00 room empty", std::nullopt},
+      {"23:00 goes to bed (16 bpm)", sleeper(16.0)},
+      {"01:00 deep sleep (11 bpm)", sleeper(11.0)},
+      {"05:30 light sleep (15 bpm)", sleeper(15.0)},
+      {"07:00 up and away", std::nullopt},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& epoch : night) {
+    // One 20 s capture per epoch (1000 packets at 50 pkt/s).
+    const auto session = simulator.CaptureSession(1000, epoch.occupant, rng);
+
+    // Presence: score the epoch's last window.
+    const std::vector<wifi::CsiPacket> window(session.end() - 25,
+                                              session.end());
+    const bool present = detector.Detect(window);
+
+    std::string respiration = "-";
+    if (present) {
+      const auto estimate = core::EstimateBreathing(session, 50.0);
+      respiration = estimate.confidence > 3.0
+                        ? ex::Fmt(estimate.rate_hz * 60.0, 1) + " bpm"
+                        : "moving/irregular";
+    }
+    rows.push_back({epoch.label, present ? "occupied" : "empty", respiration});
+  }
+  ex::PrintTable(std::cout, "night log",
+                 {"epoch", "presence", "respiration"}, rows);
+  std::cout << "Pipeline: the paper's detector gates the respiration "
+               "estimator — no breathing\nanalysis runs (or is reported) "
+               "while the room is empty.\n";
+  return 0;
+}

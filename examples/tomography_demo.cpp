@@ -1,0 +1,100 @@
+// Tomography demo: watch a Radio Tomographic Imaging network track a person
+// walking through the classroom, rendered as ASCII frames.
+//
+// This is the dense-deployment counterpoint to the paper's single adapted
+// link (see bench/ext_rti for the quantitative comparison): 8 perimeter
+// nodes, 28 links, ellipse-model image inversion.
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/rti.h"
+#include "core/tracker.h"
+#include "experiments/format.h"
+#include "experiments/scenario.h"
+
+int main() {
+  using namespace mulink;
+  namespace ex = mulink::experiments;
+
+  auto lc = ex::MakeClassroomLink();
+  lc.walker_bases.clear();
+  const double width = lc.room.width(), depth = lc.room.depth();
+
+  const auto nodes = core::PerimeterNodes(width, depth, 8, 0.5);
+  core::RtiConfig config;
+  config.ellipse_excess_m = 0.3;
+  config.pixel_size_m = 0.5;
+  const core::RtiImager imager(nodes, width, depth, config);
+
+  auto sim_config = ex::DefaultSimConfig();
+  sim_config.interference_entry_prob = 0.0;
+  sim_config.slow_gain_drift_db = 0.05;
+  std::vector<nic::ChannelSimulator> sims;
+  for (const auto& [a, b] : imager.links()) {
+    sims.emplace_back(lc.room, nodes[a], nodes[b],
+                      wifi::UniformLinearArray(1, kWavelength / 2.0, 0.0),
+                      wifi::BandPlan::Intel5300Channel11(), sim_config);
+  }
+
+  ex::PrintBanner(std::cout, "RTI tracking demo (8 nodes, 28 links)");
+  std::cout << "legend: '#' strong attenuation, '+' medium, '.' weak, "
+               "'@' true position, 'o' estimate\n";
+
+  Rng rng(7);
+  // Per-link empty profiles.
+  std::vector<double> profile_power(sims.size(), 0.0);
+  for (std::size_t l = 0; l < sims.size(); ++l) {
+    const auto session = sims[l].CaptureSession(30, std::nullopt, rng);
+    for (const auto& packet : session) profile_power[l] += packet.TotalPower();
+  }
+
+  // The person walks a diagonal across the room; one frame per step. A
+  // constant-velocity Kalman tracker smooths the raw per-frame fixes.
+  core::PositionTracker tracker;
+  const std::vector<geometry::Vec2> trajectory = {
+      {1.2, 1.5}, {2.2, 3.0}, {3.0, 4.2}, {3.8, 5.4}, {4.8, 6.8}};
+  for (const auto& person : trajectory) {
+    std::vector<double> delta(sims.size(), 0.0);
+    for (std::size_t l = 0; l < sims.size(); ++l) {
+      propagation::HumanBody body;
+      body.position = person;
+      const auto session = sims[l].CaptureSession(15, body, rng);
+      double power = 0.0;
+      for (const auto& packet : session) power += packet.TotalPower();
+      const double profile_mean = profile_power[l] / 30.0;
+      const double occupied_mean = power / 15.0;
+      delta[l] =
+          std::max(0.0, 10.0 * std::log10(profile_mean / occupied_mean));
+    }
+    const auto image = imager.Reconstruct(delta);
+    const auto estimate = imager.LocateMax(image);
+    const double peak = imager.PeakValue(image);
+    const auto tracked = tracker.Update(estimate, 1.0);
+
+    std::cout << "\nperson at (" << ex::Fmt(person.x, 1) << ","
+              << ex::Fmt(person.y, 1) << "), fix ("
+              << ex::Fmt(estimate.x, 1) << "," << ex::Fmt(estimate.y, 1)
+              << ") err " << ex::Fmt(geometry::Distance(person, estimate), 2)
+              << " m, tracked (" << ex::Fmt(tracked.x, 1) << ","
+              << ex::Fmt(tracked.y, 1) << ") err "
+              << ex::Fmt(geometry::Distance(person, tracked), 2) << " m\n";
+    const auto& grid = imager.grid();
+    for (std::size_t iy = grid.ny; iy > 0; --iy) {
+      std::cout << "  ";
+      for (std::size_t ix = 0; ix < grid.nx; ++ix) {
+        const std::size_t p = (iy - 1) * grid.nx + ix;
+        const auto c = grid.PixelCenter(p);
+        if (geometry::Distance(c, person) < 0.36) {
+          std::cout << '@';
+        } else if (geometry::Distance(c, estimate) < 0.36) {
+          std::cout << 'o';
+        } else {
+          const double v = peak > 0.0 ? image[p] / peak : 0.0;
+          std::cout << (v > 0.7 ? '#' : v > 0.4 ? '+' : v > 0.2 ? '.' : ' ');
+        }
+      }
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+#include "common/assert.h"
+
+#include <sstream>
+
+namespace mulink::detail {
+
+void ContractFailure(const char* kind, const char* expr, const char* file,
+                     int line, const std::string& message) {
+  std::ostringstream oss;
+  oss << "mulink " << kind << " failed: (" << expr << ") at " << file << ":"
+      << line;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  if (kind == std::string("precondition")) {
+    throw PreconditionError(oss.str());
+  }
+  throw InvariantError(oss.str());
+}
+
+}  // namespace mulink::detail

@@ -1,0 +1,44 @@
+// Contract-checking macros for mulink.
+//
+// MULINK_ASSERT checks an internal invariant; MULINK_REQUIRE validates a
+// caller-supplied argument (precondition). Both throw, so failures surface in
+// tests and long-running experiment harnesses instead of silently corrupting
+// results. They are always on: this library powers measurement reproduction,
+// where a wrong number is worse than a slow one.
+#pragma once
+
+#include <string>
+
+#include "common/error.h"
+
+namespace mulink::detail {
+
+[[noreturn]] void ContractFailure(const char* kind, const char* expr,
+                                  const char* file, int line,
+                                  const std::string& message);
+
+}  // namespace mulink::detail
+
+#define MULINK_ASSERT(expr)                                                  \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::mulink::detail::ContractFailure("assertion", #expr, __FILE__,        \
+                                        __LINE__, "");                       \
+    }                                                                        \
+  } while (false)
+
+#define MULINK_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::mulink::detail::ContractFailure("assertion", #expr, __FILE__,        \
+                                        __LINE__, (msg));                    \
+    }                                                                        \
+  } while (false)
+
+#define MULINK_REQUIRE(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::mulink::detail::ContractFailure("precondition", #expr, __FILE__,     \
+                                        __LINE__, (msg));                    \
+    }                                                                        \
+  } while (false)

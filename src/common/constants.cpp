@@ -1,0 +1,23 @@
+#include "common/constants.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace mulink {
+
+double DbToPowerRatio(double db) { return std::pow(10.0, db / 10.0); }
+
+double PowerRatioToDb(double ratio) {
+  MULINK_REQUIRE(ratio > 0.0, "power ratio must be positive");
+  return 10.0 * std::log10(ratio);
+}
+
+double DbToAmplitudeRatio(double db) { return std::pow(10.0, db / 20.0); }
+
+double AmplitudeRatioToDb(double ratio) {
+  MULINK_REQUIRE(ratio > 0.0, "amplitude ratio must be positive");
+  return 20.0 * std::log10(ratio);
+}
+
+}  // namespace mulink

@@ -1,0 +1,55 @@
+// Physical constants and the 802.11n channel plan used throughout the paper.
+//
+// The testbed in the paper operates at 2.4 GHz channel 11 with an Intel 5300
+// NIC, whose CSI Tool reports 30 subcarriers out of the 56 occupied HT20
+// subcarriers. Footnote 1 of the paper gives the exact index map, reproduced
+// in kIntel5300SubcarrierIndices below.
+#pragma once
+
+#include <array>
+#include <complex>
+
+namespace mulink {
+
+using Complex = std::complex<double>;
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kSpeedOfLight = 2.99792458e8;  // m/s
+
+// 802.11 channel 11 center frequency (2.4 GHz ISM band).
+inline constexpr double kChannel11CenterHz = 2.462e9;
+
+// HT20 OFDM subcarrier spacing: 20 MHz / 64.
+inline constexpr double kSubcarrierSpacingHz = 312.5e3;
+
+// Wavelength at the channel 11 center frequency (~12.18 cm).
+inline constexpr double kWavelength = kSpeedOfLight / kChannel11CenterHz;
+
+// Number of subcarriers the Intel 5300 CSI Tool reports per (TX,RX) stream.
+inline constexpr int kNumSubcarriers = 30;
+
+// Subcarrier indices reported by the Intel 5300 CSI Tool for HT20
+// (paper footnote 1; also the CSI Tool documentation for grouping Ng=2).
+inline constexpr std::array<int, kNumSubcarriers> kIntel5300SubcarrierIndices =
+    {-28, -26, -24, -22, -20, -18, -16, -14, -12, -10, -8, -6, -4, -2, -1,
+     1,   3,   5,   7,   9,   11,  13,  15,  17,  19,  21, 23, 25, 27, 28};
+
+// Absolute RF frequency of the k-th reported subcarrier (0-based position in
+// kIntel5300SubcarrierIndices).
+constexpr double SubcarrierFrequencyHz(int position) {
+  return kChannel11CenterHz +
+         kSubcarrierSpacingHz *
+             static_cast<double>(kIntel5300SubcarrierIndices[
+                 static_cast<std::size_t>(position)]);
+}
+
+// dB <-> linear power helpers.
+double DbToPowerRatio(double db);
+double PowerRatioToDb(double ratio);
+double DbToAmplitudeRatio(double db);
+double AmplitudeRatioToDb(double ratio);
+
+inline constexpr double DegToRad(double deg) { return deg * kPi / 180.0; }
+inline constexpr double RadToDeg(double rad) { return rad * 180.0 / kPi; }
+
+}  // namespace mulink

@@ -1,0 +1,33 @@
+// Exception hierarchy for mulink.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mulink {
+
+// Base class for all library-raised errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A caller violated a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+// An internal invariant did not hold (a library bug).
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+// A numerical routine failed to converge or produced an unusable result.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace mulink

@@ -1,0 +1,86 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/constants.h"
+
+namespace mulink {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u) {
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+std::uint32_t Rng::NextU32() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+double Rng::NextDouble() {
+  // 53 random bits -> [0, 1).
+  const std::uint64_t hi = NextU32();
+  const std::uint64_t lo = NextU32();
+  const std::uint64_t bits = ((hi << 32) | lo) >> 11;
+  return static_cast<double>(bits) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  MULINK_REQUIRE(lo <= hi, "Uniform: lo must be <= hi");
+  return lo + (hi - lo) * NextDouble();
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  MULINK_REQUIRE(lo <= hi, "UniformInt: lo must be <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int>(
+                  static_cast<std::uint64_t>(NextDouble() * static_cast<double>(span)) %
+                  span);
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  cached_gaussian_ = mag * std::sin(2.0 * kPi * u2);
+  has_cached_gaussian_ = true;
+  return mag * std::cos(2.0 * kPi * u2);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  MULINK_REQUIRE(stddev >= 0.0, "Gaussian: stddev must be non-negative");
+  return mean + stddev * NextGaussian();
+}
+
+Rng Rng::Fork() {
+  ++forks_;
+  // Child seed mixes parent entropy; child stream mixes the fork counter so
+  // repeated forks are independent.
+  const std::uint64_t child_seed =
+      (static_cast<std::uint64_t>(NextU32()) << 32) | NextU32();
+  return Rng(child_seed, (inc_ >> 1) ^ (forks_ * 0x9E3779B97F4A7C15ULL));
+}
+
+std::vector<std::size_t> Rng::Permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        UniformInt(0, static_cast<int>(i) - 1));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+}  // namespace mulink

@@ -1,0 +1,89 @@
+#include "core/breath.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "dsp/fft.h"
+#include "dsp/stats.h"
+
+namespace mulink::core {
+
+BreathEstimate EstimateBreathing(const std::vector<wifi::CsiPacket>& session,
+                                 double packet_rate_hz,
+                                 const BreathConfig& config) {
+  MULINK_REQUIRE(session.size() >= 64,
+                 "EstimateBreathing: need >= 64 packets (a few seconds)");
+  MULINK_REQUIRE(packet_rate_hz > 0.0,
+                 "EstimateBreathing: packet rate must be > 0");
+  MULINK_REQUIRE(dsp::IsPowerOfTwo(config.fft_size) &&
+                     config.fft_size >= session.size(),
+                 "EstimateBreathing: fft_size must be a power of two >= "
+                 "session length");
+  MULINK_REQUIRE(config.max_rate_hz > config.min_rate_hz &&
+                     config.min_rate_hz > 0.0,
+                 "EstimateBreathing: empty rate band");
+  MULINK_REQUIRE(config.max_rate_hz < packet_rate_hz / 2.0,
+                 "EstimateBreathing: band exceeds Nyquist");
+
+  const std::size_t num_ant = session[0].NumAntennas();
+  const std::size_t num_sc = session[0].NumSubcarriers();
+  const std::size_t n = session.size();
+
+  // Aggregate normalized periodograms across (antenna, subcarrier) series.
+  std::vector<double> aggregate(config.fft_size / 2, 0.0);
+  std::vector<Complex> buffer;
+  std::vector<double> series(n);
+  for (std::size_t m = 0; m < num_ant; ++m) {
+    for (std::size_t k = 0; k < num_sc; ++k) {
+      for (std::size_t t = 0; t < n; ++t) {
+        series[t] = session[t].SubcarrierPower(m, k);
+      }
+      const double mean = dsp::Mean(series);
+      if (mean <= 0.0) continue;
+      double variance = 0.0;
+      buffer.assign(config.fft_size, Complex(0.0, 0.0));
+      for (std::size_t t = 0; t < n; ++t) {
+        // Detrend and normalize to relative power so strong subcarriers do
+        // not monopolize the aggregate; apply a Hann window.
+        const double x = (series[t] - mean) / mean;
+        variance += x * x;
+        const double window =
+            0.5 * (1.0 - std::cos(2.0 * kPi * static_cast<double>(t) /
+                                  static_cast<double>(n - 1)));
+        buffer[t] = Complex(x * window, 0.0);
+      }
+      if (variance <= 0.0) continue;
+      dsp::Fft(buffer);
+      for (std::size_t b = 0; b < aggregate.size(); ++b) {
+        aggregate[b] += std::norm(buffer[b]) / variance;
+      }
+    }
+  }
+
+  // Restrict to the respiration band.
+  const double bin_hz =
+      packet_rate_hz / static_cast<double>(config.fft_size);
+  BreathEstimate estimate;
+  for (std::size_t b = 1; b < aggregate.size(); ++b) {
+    const double f = static_cast<double>(b) * bin_hz;
+    if (f < config.min_rate_hz || f > config.max_rate_hz) continue;
+    estimate.frequencies_hz.push_back(f);
+    estimate.spectrum.push_back(aggregate[b]);
+  }
+  MULINK_REQUIRE(estimate.spectrum.size() >= 3,
+                 "EstimateBreathing: band too narrow for the resolution; "
+                 "capture longer or raise fft_size");
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < estimate.spectrum.size(); ++i) {
+    if (estimate.spectrum[i] > estimate.spectrum[best]) best = i;
+  }
+  estimate.rate_hz = estimate.frequencies_hz[best];
+  const double median = dsp::Median(estimate.spectrum);
+  estimate.confidence =
+      median > 0.0 ? estimate.spectrum[best] / median : 0.0;
+  return estimate;
+}
+
+}  // namespace mulink::core

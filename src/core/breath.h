@@ -1,0 +1,44 @@
+// Respiration rate estimation from CSI time series — the breath-monitoring
+// context the paper's introduction cites (Wi-Sleep [9], WiBreathe [10]) as a
+// downstream consumer of reliable device-free detection.
+//
+// A breathing person's chest sweeps a few millimetres periodically; the
+// human-created reflection's phase rotates with it and modulates every
+// subcarrier's power at the respiration rate. The estimator detrends each
+// (antenna, subcarrier) power series, takes its periodogram, aggregates
+// spectra across subcarriers, and picks the dominant peak inside the human
+// respiration band.
+#pragma once
+
+#include <vector>
+
+#include "wifi/csi.h"
+
+namespace mulink::core {
+
+struct BreathConfig {
+  // Human respiration band (Hz): ~6 to 36 breaths per minute.
+  double min_rate_hz = 0.1;
+  double max_rate_hz = 0.6;
+  // Zero-padded FFT length for the periodogram (power of two).
+  std::size_t fft_size = 1024;
+};
+
+struct BreathEstimate {
+  double rate_hz = 0.0;
+  // Peak-to-median power ratio of the aggregated in-band spectrum; empty
+  // rooms produce values near 1, a breather well above (threshold ~3).
+  double confidence = 0.0;
+  // The aggregated in-band spectrum (for plotting / debugging).
+  std::vector<double> spectrum;
+  std::vector<double> frequencies_hz;
+};
+
+// Estimate the respiration rate from a capture session (>= ~15 s of packets
+// recommended for sub-0.02 Hz resolution). `packet_rate_hz` is the capture
+// rate (50 in the paper's testbed).
+BreathEstimate EstimateBreathing(const std::vector<wifi::CsiPacket>& session,
+                                 double packet_rate_hz,
+                                 const BreathConfig& config = {});
+
+}  // namespace mulink::core

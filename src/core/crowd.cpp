@@ -1,0 +1,114 @@
+#include "core/crowd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "dsp/stats.h"
+
+namespace mulink::core {
+
+CrowdEstimator CrowdEstimator::Calibrate(
+    const std::vector<wifi::CsiPacket>& empty_session,
+    const CrowdConfig& config) {
+  MULINK_REQUIRE(empty_session.size() >= 10,
+                 "CrowdEstimator: need >= 10 calibration packets");
+  MULINK_REQUIRE(config.variance_factor > 1.0,
+                 "CrowdEstimator: variance factor must exceed 1");
+  CrowdEstimator estimator;
+  estimator.config_ = config;
+  estimator.num_antennas_ = empty_session[0].NumAntennas();
+  estimator.num_subcarriers_ = empty_session[0].NumSubcarriers();
+
+  estimator.empty_variance_.assign(
+      estimator.num_antennas_,
+      std::vector<double>(estimator.num_subcarriers_, 0.0));
+  std::vector<double> series(empty_session.size());
+  for (std::size_t m = 0; m < estimator.num_antennas_; ++m) {
+    for (std::size_t k = 0; k < estimator.num_subcarriers_; ++k) {
+      for (std::size_t t = 0; t < empty_session.size(); ++t) {
+        series[t] = empty_session[t].SubcarrierPower(m, k);
+      }
+      // Keep a floor so a dead subcarrier cannot flag on pure noise.
+      estimator.empty_variance_[m][k] =
+          std::max(dsp::Variance(series), 1e-30);
+    }
+  }
+  return estimator;
+}
+
+double CrowdEstimator::PerturbedFraction(
+    const std::vector<wifi::CsiPacket>& window) const {
+  MULINK_REQUIRE(window.size() >= 4,
+                 "CrowdEstimator: need >= 4 packets per window");
+  MULINK_REQUIRE(window[0].NumAntennas() == num_antennas_ &&
+                     window[0].NumSubcarriers() == num_subcarriers_,
+                 "CrowdEstimator: window shape mismatch vs calibration");
+  std::size_t perturbed = 0;
+  std::vector<double> series(window.size());
+  for (std::size_t m = 0; m < num_antennas_; ++m) {
+    for (std::size_t k = 0; k < num_subcarriers_; ++k) {
+      for (std::size_t t = 0; t < window.size(); ++t) {
+        series[t] = window[t].SubcarrierPower(m, k);
+      }
+      if (dsp::Variance(series) >
+          config_.variance_factor * empty_variance_[m][k]) {
+        ++perturbed;
+      }
+    }
+  }
+  return static_cast<double>(perturbed) /
+         static_cast<double>(num_antennas_ * num_subcarriers_);
+}
+
+void CrowdEstimator::Train(
+    const std::vector<std::pair<std::size_t, std::vector<wifi::CsiPacket>>>&
+        labelled) {
+  MULINK_REQUIRE(labelled.size() >= 2,
+                 "CrowdEstimator: need >= 2 labelled windows");
+  // Least-squares grid fit of f(n) = fmax (1 - exp(-c n)).
+  std::vector<std::pair<double, double>> points;  // (count, fraction)
+  double max_fraction = 0.0;
+  bool has_positive = false;
+  for (const auto& [count, window] : labelled) {
+    const double fraction = PerturbedFraction(window);
+    points.emplace_back(static_cast<double>(count), fraction);
+    max_fraction = std::max(max_fraction, fraction);
+    if (count > 0) has_positive = true;
+  }
+  MULINK_REQUIRE(has_positive,
+                 "CrowdEstimator: need at least one occupied training window");
+
+  double best_error = 1e300;
+  for (double fmax = std::max(max_fraction, 0.05); fmax <= 1.0;
+       fmax += 0.05) {
+    for (double c = 0.05; c <= 3.0; c += 0.05) {
+      double error = 0.0;
+      for (const auto& [n, f] : points) {
+        const double predicted = fmax * (1.0 - std::exp(-c * n));
+        error += (predicted - f) * (predicted - f);
+      }
+      if (error < best_error) {
+        best_error = error;
+        fraction_scale_ = fmax;
+        rate_ = c;
+      }
+    }
+  }
+  trained_ = true;
+}
+
+std::size_t CrowdEstimator::EstimateCount(
+    const std::vector<wifi::CsiPacket>& window) const {
+  MULINK_REQUIRE(trained_, "CrowdEstimator: call Train before EstimateCount");
+  const double fraction = PerturbedFraction(window);
+  // Invert f = fmax (1 - exp(-c n)): n = -ln(1 - f/fmax) / c. Near
+  // saturation the inverse diverges, so the ratio is capped — counts beyond
+  // the saturation knee are reported as "many" rather than extrapolated.
+  const double ratio =
+      std::clamp(fraction / fraction_scale_, 0.0, 0.95);
+  const double n = -std::log1p(-ratio) / rate_;
+  return static_cast<std::size_t>(std::lround(std::max(0.0, n)));
+}
+
+}  // namespace mulink::core

@@ -1,0 +1,60 @@
+// Device-free crowd counting in the style of Electronic Frog Eye (Xi et
+// al., INFOCOM'14 — the paper's reference [29]).
+//
+// The key observable: more people perturb more of the channel. The metric
+// here is the "perturbed fraction" — the share of (antenna, subcarrier)
+// cells whose windowed variance significantly exceeds the calibrated
+// empty-room variance — which grows monotonically (and saturates) with the
+// number of people. A tiny monotone regression maps the fraction to a count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "wifi/csi.h"
+
+namespace mulink::core {
+
+struct CrowdConfig {
+  // A cell counts as perturbed when its window variance exceeds this factor
+  // times its calibrated empty-room variance.
+  double variance_factor = 3.0;
+};
+
+class CrowdEstimator {
+ public:
+  // Calibrate the per-cell empty-room variance from an empty session.
+  static CrowdEstimator Calibrate(const std::vector<wifi::CsiPacket>& empty_session,
+                                  const CrowdConfig& config = {});
+
+  // Fraction of cells perturbed in a monitoring window (0..1).
+  double PerturbedFraction(const std::vector<wifi::CsiPacket>& window) const;
+
+  // Fit the fraction -> count mapping from labelled training windows
+  // (count, window). Uses the saturating model f = fmax (1 - exp(-c n))
+  // grid-fitted over c, anchored at the measured singleton fraction.
+  void Train(const std::vector<std::pair<std::size_t,
+                                         std::vector<wifi::CsiPacket>>>& labelled);
+
+  // Estimated head count for a window (requires Train; rounds to the
+  // nearest non-negative integer).
+  std::size_t EstimateCount(const std::vector<wifi::CsiPacket>& window) const;
+
+  bool trained() const { return trained_; }
+  double fraction_scale() const { return fraction_scale_; }
+  double rate() const { return rate_; }
+
+ private:
+  CrowdEstimator() = default;
+
+  CrowdConfig config_;
+  std::vector<std::vector<double>> empty_variance_;  // [antenna][subcarrier]
+  std::size_t num_antennas_ = 0;
+  std::size_t num_subcarriers_ = 0;
+
+  bool trained_ = false;
+  double fraction_scale_ = 1.0;  // fmax of the saturating model
+  double rate_ = 0.5;            // c of the saturating model
+};
+
+}  // namespace mulink::core

@@ -1,0 +1,69 @@
+#include "core/fade_level.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace mulink::core {
+
+namespace {
+
+double PredictedPower(const FadeLevelModel& model, double distance_m,
+                      double freq_hz) {
+  return model.tx_power_scale * model.friis.PowerGain(distance_m, freq_hz);
+}
+
+}  // namespace
+
+double MeasureFadeLevel(const wifi::CsiPacket& packet,
+                        const wifi::BandPlan& band, double distance_m,
+                        const FadeLevelModel& model) {
+  MULINK_REQUIRE(distance_m > 0.0, "MeasureFadeLevel: distance must be > 0");
+  MULINK_REQUIRE(packet.NumSubcarriers() == band.NumSubcarriers(),
+                 "MeasureFadeLevel: packet/band subcarrier mismatch");
+  double measured = 0.0, predicted = 0.0;
+  for (std::size_t m = 0; m < packet.NumAntennas(); ++m) {
+    for (std::size_t k = 0; k < band.NumSubcarriers(); ++k) {
+      measured += packet.SubcarrierPower(m, k);
+      predicted += PredictedPower(model, distance_m, band.FrequencyHz(k));
+    }
+  }
+  MULINK_REQUIRE(predicted > 0.0, "MeasureFadeLevel: model predicts no power");
+  constexpr double kFloor = 1e-30;
+  return 10.0 * std::log10(std::max(measured, kFloor) / predicted);
+}
+
+std::vector<double> MeasureFadeLevelPerSubcarrier(
+    const wifi::CsiPacket& packet, const wifi::BandPlan& band,
+    double distance_m, const FadeLevelModel& model) {
+  MULINK_REQUIRE(distance_m > 0.0,
+                 "MeasureFadeLevelPerSubcarrier: distance must be > 0");
+  MULINK_REQUIRE(packet.NumSubcarriers() == band.NumSubcarriers(),
+                 "MeasureFadeLevelPerSubcarrier: subcarrier mismatch");
+  std::vector<double> fade(band.NumSubcarriers());
+  constexpr double kFloor = 1e-30;
+  for (std::size_t k = 0; k < band.NumSubcarriers(); ++k) {
+    double measured = 0.0;
+    for (std::size_t m = 0; m < packet.NumAntennas(); ++m) {
+      measured += packet.SubcarrierPower(m, k);
+    }
+    measured /= static_cast<double>(packet.NumAntennas());
+    const double predicted =
+        PredictedPower(model, distance_m, band.FrequencyHz(k));
+    fade[k] = 10.0 * std::log10(std::max(measured, kFloor) /
+                                std::max(predicted, kFloor));
+  }
+  return fade;
+}
+
+std::size_t MostFadedSubcarrier(const wifi::CsiPacket& packet,
+                                const wifi::BandPlan& band, double distance_m,
+                                const FadeLevelModel& model) {
+  const auto fade = MeasureFadeLevelPerSubcarrier(packet, band, distance_m,
+                                                  model);
+  return static_cast<std::size_t>(
+      std::min_element(fade.begin(), fade.end()) - fade.begin());
+}
+
+}  // namespace mulink::core

@@ -1,0 +1,53 @@
+// Fade level — the related-work link-state metric the paper's multipath
+// factor competes with (Wilson & Patwari, TMC'12 [12]; channel-sweeping
+// adaptation in Kaltiokallio et al., MASS'12 [28]).
+//
+// Fade level = measured RSS (dB) minus the RSS a pure path-loss model
+// predicts for the link distance. Deep-faded links (negative fade level,
+// destructive superposition) are more sensitive to nearby motion; anti-fade
+// links respond mostly to LOS crossings.
+//
+// The paper criticizes fade level on two counts this module lets benches
+// verify head-to-head (bench/ablate_metrics):
+//  (1) it depends on a propagation formula — a wrong path-loss exponent or
+//      TX-power assumption biases it, while the multipath factor is a pure
+//      power ratio measured from one packet;
+//  (2) it is a per-link scalar, while mu is available per subcarrier.
+#pragma once
+
+#include <vector>
+
+#include "propagation/friis.h"
+#include "wifi/band.h"
+#include "wifi/csi.h"
+
+namespace mulink::core {
+
+struct FadeLevelModel {
+  // The path-loss model assumed by the metric (not necessarily the truth).
+  propagation::FriisModel friis;
+  // Assumed transmit power scale: |H|^2 predicted = tx_power_scale * Friis
+  // power gain. 1.0 when CSI is calibrated to pure channel units.
+  double tx_power_scale = 1.0;
+};
+
+// Per-link fade level in dB: mean measured subcarrier power vs the model's
+// prediction at `distance_m`.
+double MeasureFadeLevel(const wifi::CsiPacket& packet,
+                        const wifi::BandPlan& band, double distance_m,
+                        const FadeLevelModel& model = {});
+
+// Per-subcarrier variant (Kaltiokallio-style channel diversity view):
+// fade_level[k] uses the model prediction at subcarrier k's frequency.
+std::vector<double> MeasureFadeLevelPerSubcarrier(
+    const wifi::CsiPacket& packet, const wifi::BandPlan& band,
+    double distance_m, const FadeLevelModel& model = {});
+
+// Channel-sweeping selection (the ZigBee adaptation of [28], transplanted to
+// OFDM subcarriers): index of the most-faded subcarrier — the one fade-level
+// theory predicts is most motion-sensitive.
+std::size_t MostFadedSubcarrier(const wifi::CsiPacket& packet,
+                                const wifi::BandPlan& band, double distance_m,
+                                const FadeLevelModel& model = {});
+
+}  // namespace mulink::core

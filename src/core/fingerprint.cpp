@@ -1,0 +1,108 @@
+#include "core/fingerprint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/assert.h"
+#include "dsp/stats.h"
+
+namespace mulink::core {
+
+FingerprintLocalizer::FingerprintLocalizer(FingerprintConfig config)
+    : config_(config) {
+  MULINK_REQUIRE(config_.k_neighbors >= 1,
+                 "FingerprintLocalizer: k must be >= 1");
+}
+
+std::vector<double> FingerprintLocalizer::Feature(
+    const std::vector<wifi::CsiPacket>& window) {
+  MULINK_REQUIRE(!window.empty(), "FingerprintLocalizer: empty window");
+  const std::size_t num_ant = window[0].NumAntennas();
+  const std::size_t num_sc = window[0].NumSubcarriers();
+
+  std::vector<double> feature;
+  feature.reserve(num_ant * num_sc);
+  std::vector<double> amps(window.size());
+  for (std::size_t m = 0; m < num_ant; ++m) {
+    for (std::size_t k = 0; k < num_sc; ++k) {
+      for (std::size_t t = 0; t < window.size(); ++t) {
+        amps[t] = std::sqrt(window[t].SubcarrierPower(m, k));
+      }
+      feature.push_back(dsp::Median(amps));
+    }
+  }
+  double norm = 0.0;
+  for (double v : feature) norm += v * v;
+  norm = std::sqrt(norm);
+  MULINK_REQUIRE(norm > 0.0, "FingerprintLocalizer: zero-power window");
+  for (double& v : feature) v /= norm;
+  return feature;
+}
+
+void FingerprintLocalizer::AddTrainingWindow(
+    const std::string& label, const std::vector<wifi::CsiPacket>& window) {
+  MULINK_REQUIRE(!label.empty(), "FingerprintLocalizer: empty label");
+  auto feature = Feature(window);
+  if (!samples_.empty()) {
+    MULINK_REQUIRE(feature.size() == samples_[0].feature.size(),
+                   "FingerprintLocalizer: inconsistent window shapes");
+  }
+  samples_.push_back({label, std::move(feature)});
+}
+
+std::vector<std::string> FingerprintLocalizer::Labels() const {
+  std::vector<std::string> labels;
+  for (const auto& s : samples_) {
+    if (std::find(labels.begin(), labels.end(), s.label) == labels.end()) {
+      labels.push_back(s.label);
+    }
+  }
+  return labels;
+}
+
+FingerprintLocalizer::Result FingerprintLocalizer::Locate(
+    const std::vector<wifi::CsiPacket>& window) const {
+  MULINK_REQUIRE(samples_.size() >= config_.k_neighbors,
+                 "FingerprintLocalizer: not enough training samples");
+  const auto feature = Feature(window);
+  MULINK_REQUIRE(feature.size() == samples_[0].feature.size(),
+                 "FingerprintLocalizer: window shape mismatch vs training");
+
+  // Distances to every training sample.
+  std::vector<std::pair<double, std::size_t>> distances;
+  distances.reserve(samples_.size());
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    double d = 0.0;
+    for (std::size_t j = 0; j < feature.size(); ++j) {
+      const double diff = feature[j] - samples_[i].feature[j];
+      d += diff * diff;
+    }
+    distances.emplace_back(std::sqrt(d), i);
+  }
+  std::partial_sort(distances.begin(),
+                    distances.begin() +
+                        static_cast<std::ptrdiff_t>(config_.k_neighbors),
+                    distances.end());
+
+  // Majority vote over the k nearest, ties broken by the nearer neighbour.
+  std::map<std::string, std::size_t> votes;
+  for (std::size_t i = 0; i < config_.k_neighbors; ++i) {
+    ++votes[samples_[distances[i].second].label];
+  }
+  Result result;
+  std::size_t best_votes = 0;
+  for (std::size_t i = 0; i < config_.k_neighbors; ++i) {
+    const auto& label = samples_[distances[i].second].label;
+    if (votes[label] > best_votes) {
+      best_votes = votes[label];
+      result.label = label;
+    }
+  }
+  result.confidence = static_cast<double>(best_votes) /
+                      static_cast<double>(config_.k_neighbors);
+  result.nearest_distance = distances[0].first;
+  return result;
+}
+
+}  // namespace mulink::core

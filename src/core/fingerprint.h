@@ -1,0 +1,60 @@
+// Fingerprint-based passive localization (the approach of the authors' own
+// prior work, ref [15]): train per-cell CSI signatures offline, locate a
+// person by nearest-neighbour matching online.
+//
+// The paper contrasts its calibration-light scheme against exactly this
+// "labor-intensive site-survey" approach; having both in one library lets
+// deployments choose (and bench/ext_localization quantify) the trade.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wifi/csi.h"
+
+namespace mulink::core {
+
+struct FingerprintConfig {
+  std::size_t k_neighbors = 3;
+};
+
+class FingerprintLocalizer {
+ public:
+  explicit FingerprintLocalizer(FingerprintConfig config = {});
+
+  // Add one labelled training window (a cell label such as "cell-2x3" or
+  // "empty"). Windows need >= 1 packet; all windows must share one
+  // (antennas, subcarriers) shape.
+  void AddTrainingWindow(const std::string& label,
+                         const std::vector<wifi::CsiPacket>& window);
+
+  std::size_t NumTrainingSamples() const { return samples_.size(); }
+  std::vector<std::string> Labels() const;
+
+  struct Result {
+    std::string label;
+    // Fraction of the k nearest neighbours agreeing with the winner.
+    double confidence = 0.0;
+    // Feature distance to the nearest neighbour.
+    double nearest_distance = 0.0;
+  };
+
+  // k-NN match of a monitoring window against the survey.
+  Result Locate(const std::vector<wifi::CsiPacket>& window) const;
+
+  // The feature extractor (exposed for tests): per-(antenna, subcarrier)
+  // median amplitude over the window, L2-normalized — scale-free, so AGC
+  // and TX-power drift do not displace fingerprints.
+  static std::vector<double> Feature(const std::vector<wifi::CsiPacket>& window);
+
+ private:
+  struct Sample {
+    std::string label;
+    std::vector<double> feature;
+  };
+
+  FingerprintConfig config_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace mulink::core

@@ -1,0 +1,87 @@
+#include "core/fusion.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace mulink::core {
+
+const char* ToString(FusionRule rule) {
+  switch (rule) {
+    case FusionRule::kAny:
+      return "any";
+    case FusionRule::kMajority:
+      return "majority";
+    case FusionRule::kMeanScore:
+      return "mean-score";
+    case FusionRule::kMaxScore:
+      return "max-score";
+  }
+  return "unknown";
+}
+
+MultiLinkDetector::MultiLinkDetector(FusionRule rule) : rule_(rule) {}
+
+void MultiLinkDetector::AddLink(Detector detector) {
+  MULINK_REQUIRE(detector.threshold() > 0.0,
+                 "MultiLinkDetector: link threshold must be set and positive "
+                 "(it doubles as the score normalizer)");
+  links_.push_back(std::move(detector));
+}
+
+const Detector& MultiLinkDetector::link(std::size_t i) const {
+  MULINK_REQUIRE(i < links_.size(), "MultiLinkDetector: link out of range");
+  return links_[i];
+}
+
+std::vector<double> MultiLinkDetector::NormalizedScores(
+    const std::vector<std::vector<wifi::CsiPacket>>& windows) const {
+  MULINK_REQUIRE(!links_.empty(), "MultiLinkDetector: no links added");
+  MULINK_REQUIRE(windows.size() == links_.size(),
+                 "MultiLinkDetector: one window per link required");
+  std::vector<double> scores(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    scores[i] = links_[i].Score(windows[i]) / links_[i].threshold();
+  }
+  return scores;
+}
+
+double MultiLinkDetector::FusedScore(
+    const std::vector<std::vector<wifi::CsiPacket>>& windows) const {
+  const auto scores = NormalizedScores(windows);
+  switch (rule_) {
+    case FusionRule::kAny:
+    case FusionRule::kMajority: {
+      std::size_t alarms = 0;
+      for (double s : scores) {
+        if (s >= 1.0) ++alarms;
+      }
+      return static_cast<double>(alarms) / static_cast<double>(scores.size());
+    }
+    case FusionRule::kMeanScore: {
+      double sum = 0.0;
+      for (double s : scores) sum += s;
+      return sum / static_cast<double>(scores.size());
+    }
+    case FusionRule::kMaxScore:
+      return *std::max_element(scores.begin(), scores.end());
+  }
+  return 0.0;
+}
+
+bool MultiLinkDetector::Detect(
+    const std::vector<std::vector<wifi::CsiPacket>>& windows) const {
+  const double fused = FusedScore(windows);
+  switch (rule_) {
+    case FusionRule::kAny:
+      return fused > 0.0;
+    case FusionRule::kMajority:
+      return fused > 0.5;
+    case FusionRule::kMeanScore:
+    case FusionRule::kMaxScore:
+      return fused >= 1.0;
+  }
+  return false;
+}
+
+}  // namespace mulink::core

@@ -1,0 +1,56 @@
+// Multi-link fusion.
+//
+// The paper's introduction contrasts its approach — making ONE link
+// sensitive and wide via multipath adaptation — with prior art that blankets
+// a space with many naive links. This module provides the many-links side of
+// that comparison (and the natural production composition: several adapted
+// links covering a large space).
+#pragma once
+
+#include <vector>
+
+#include "core/detector.h"
+
+namespace mulink::core {
+
+enum class FusionRule {
+  kAny,        // alarm if any link alarms (max coverage, sums the FPs)
+  kMajority,   // alarm if more than half of the links alarm
+  kMeanScore,  // threshold the mean of threshold-normalized scores
+  kMaxScore,   // threshold the max of threshold-normalized scores
+};
+
+const char* ToString(FusionRule rule);
+
+class MultiLinkDetector {
+ public:
+  explicit MultiLinkDetector(FusionRule rule = FusionRule::kAny);
+
+  // Add a calibrated link detector. Its threshold must already be set — it
+  // doubles as the per-link score normalizer.
+  void AddLink(Detector detector);
+
+  std::size_t NumLinks() const { return links_.size(); }
+  const Detector& link(std::size_t i) const;
+
+  // Threshold-normalized score per link: score / link threshold, so 1.0 is
+  // each link's own operating point. `windows[i]` feeds link i.
+  std::vector<double> NormalizedScores(
+      const std::vector<std::vector<wifi::CsiPacket>>& windows) const;
+
+  // Fused scalar statistic (kMeanScore / kMaxScore semantics; for the voting
+  // rules this is the fraction of links alarming).
+  double FusedScore(
+      const std::vector<std::vector<wifi::CsiPacket>>& windows) const;
+
+  // Fused decision per the configured rule.
+  bool Detect(const std::vector<std::vector<wifi::CsiPacket>>& windows) const;
+
+  FusionRule rule() const { return rule_; }
+
+ private:
+  FusionRule rule_;
+  std::vector<Detector> links_;
+};
+
+}  // namespace mulink::core

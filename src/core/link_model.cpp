@@ -1,0 +1,81 @@
+#include "core/link_model.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/constants.h"
+
+namespace mulink::core {
+
+namespace {
+
+void CheckGamma(double gamma) {
+  MULINK_REQUIRE(gamma > 0.0, "link model: gamma must be > 0");
+}
+
+void CheckBeta(double beta) {
+  MULINK_REQUIRE(beta > 0.0 && beta <= 1.0, "link model: beta must be in (0,1]");
+}
+
+}  // namespace
+
+double MultipathFactorClosedForm(double gamma, double phi_rad) {
+  CheckGamma(gamma);
+  const double denom = gamma * gamma + 1.0 + 2.0 * gamma * std::cos(phi_rad);
+  MULINK_REQUIRE(denom > 0.0,
+                 "MultipathFactorClosedForm: total power vanished "
+                 "(perfect destructive superposition)");
+  return gamma * gamma / denom;
+}
+
+double ShadowingDeltaDbFromPhase(double beta, double gamma, double phi_rad) {
+  CheckBeta(beta);
+  CheckGamma(gamma);
+  const double cosphi = std::cos(phi_rad);
+  const double num = beta * beta * gamma * gamma + 1.0 + 2.0 * beta * gamma * cosphi;
+  const double den = gamma * gamma + 1.0 + 2.0 * gamma * cosphi;
+  MULINK_REQUIRE(num > 0.0 && den > 0.0,
+                 "ShadowingDeltaDbFromPhase: degenerate superposition");
+  return 10.0 * std::log10(num / den);
+}
+
+double ShadowingDeltaDbFromMu(double beta, double gamma, double mu) {
+  CheckBeta(beta);
+  CheckGamma(gamma);
+  MULINK_REQUIRE(mu > 0.0, "ShadowingDeltaDbFromMu: mu must be > 0");
+  const double arg =
+      beta + (1.0 - beta) * (1.0 - beta * gamma * gamma) / (gamma * gamma) * mu;
+  MULINK_REQUIRE(arg > 0.0, "ShadowingDeltaDbFromMu: non-positive power ratio");
+  return 10.0 * std::log10(arg);
+}
+
+double ReflectionDeltaDbFromMu(double eta, double gamma, double phi_rad,
+                               double phi_prime_rad, double mu) {
+  CheckGamma(gamma);
+  MULINK_REQUIRE(eta >= 0.0, "ReflectionDeltaDbFromMu: eta must be >= 0");
+  MULINK_REQUIRE(mu > 0.0, "ReflectionDeltaDbFromMu: mu must be > 0");
+  const double bracket = gamma * std::cos(phi_prime_rad) +
+                         std::cos(phi_prime_rad - phi_rad);
+  const double arg =
+      1.0 + (eta * eta + 2.0 * eta * bracket) / (gamma * gamma) * mu;
+  MULINK_REQUIRE(arg > 0.0, "ReflectionDeltaDbFromMu: non-positive power ratio");
+  return 10.0 * std::log10(arg);
+}
+
+double SinglePathShadowingDeltaDb(double beta) {
+  CheckBeta(beta);
+  return 10.0 * std::log10(beta * beta);
+}
+
+bool ShadowingRaisesRss(double beta, double gamma, double phi_rad) {
+  return ShadowingDeltaDbFromPhase(beta, gamma, phi_rad) > 0.0;
+}
+
+double PhaseFromExcessLength(double excess_length_m, double freq_hz) {
+  MULINK_REQUIRE(excess_length_m >= 0.0,
+                 "PhaseFromExcessLength: excess length must be >= 0");
+  MULINK_REQUIRE(freq_hz > 0.0, "PhaseFromExcessLength: frequency must be > 0");
+  return 2.0 * kPi * freq_hz * excess_length_m / kSpeedOfLight;
+}
+
+}  // namespace mulink::core

@@ -1,0 +1,45 @@
+// Closed-form one-bounce link sensitivity models (paper Sec. III-B).
+//
+// All equations assume the receiver is phase-synchronized to the LOS path
+// (phi_L = 0), gamma = a_L / a_R > 1 is the LOS-to-reflection amplitude
+// ratio, and phi is the reflected path's phase lag. They drive the
+// model-vs-measurement validation tests and the predictive examples.
+#pragma once
+
+namespace mulink::core {
+
+// Eq. 3: multipath factor mu = (a_L / |h_N|)^2 = gamma^2 / (gamma^2 + 1 +
+// 2 gamma cos phi). For the idealized two-path channel this is the exact
+// LOS-power share of total received power.
+double MultipathFactorClosedForm(double gamma, double phi_rad);
+
+// Eq. 5: shadowing sensitivity in dB as a function of the raw phase phi.
+// beta in (0, 1] is the human-induced LOS amplitude attenuation.
+double ShadowingDeltaDbFromPhase(double beta, double gamma, double phi_rad);
+
+// Eq. 6: the same quantity re-expressed through the multipath factor:
+//   Delta_s = 10 lg [ beta + (1 - beta) (1 - beta gamma^2) / gamma^2 * mu ]
+double ShadowingDeltaDbFromMu(double beta, double gamma, double mu);
+
+// Eq. 8: reflection sensitivity in dB when the person adds a path of
+// relative amplitude eta = a'_R / a_R at phase phi_prime:
+//   Delta_s = 10 lg { 1 + (eta^2 + 2 eta [gamma cos phi' + cos(phi' - phi)])
+//                         / gamma^2 * mu }
+double ReflectionDeltaDbFromMu(double eta, double gamma, double phi_rad,
+                               double phi_prime_rad, double mu);
+
+// Single-path (LOS only) shadowing change: 10 lg beta^2 — the paper's
+// reference point "Delta_s = 10 lg beta^2 < 0".
+double SinglePathShadowingDeltaDb(double beta);
+
+// Sec. III-B "Diverse Link Behaviors": threshold condition under which
+// shadowing *raises* RSS — cos phi < -gamma (beta + 1) / 2 ... rearranged,
+// returns true when Eq. 5 yields Delta_s > 0 for the given parameters.
+bool ShadowingRaisesRss(double beta, double gamma, double phi_rad);
+
+// Phase lag of a reflected path with excess length delta_d at frequency f:
+// phi = 2 pi f delta_d / c (the frequency-configurability relation of
+// Sec. III-B "Configurable Link Sensitivity").
+double PhaseFromExcessLength(double excess_length_m, double freq_hz);
+
+}  // namespace mulink::core

@@ -1,0 +1,65 @@
+#include "core/multipath_factor.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "dsp/delay_domain.h"
+
+namespace mulink::core {
+
+std::vector<double> EstimateLosPower(const std::vector<Complex>& cfr,
+                                     const wifi::BandPlan& band) {
+  MULINK_REQUIRE(cfr.size() == band.NumSubcarriers(),
+                 "EstimateLosPower: CFR/band size mismatch");
+  const double dominant = dsp::DominantTapPower(cfr);
+
+  double inv_f2_sum = 0.0;
+  std::vector<double> inv_f2(cfr.size());
+  for (std::size_t k = 0; k < cfr.size(); ++k) {
+    const double f = band.FrequencyHz(k);
+    inv_f2[k] = 1.0 / (f * f);
+    inv_f2_sum += inv_f2[k];
+  }
+
+  std::vector<double> los(cfr.size());
+  for (std::size_t k = 0; k < cfr.size(); ++k) {
+    los[k] = inv_f2[k] / inv_f2_sum * dominant;
+  }
+  return los;
+}
+
+std::vector<double> MeasureMultipathFactors(const std::vector<Complex>& cfr,
+                                            const wifi::BandPlan& band) {
+  const auto los = EstimateLosPower(cfr, band);
+  std::vector<double> mu(cfr.size());
+  for (std::size_t k = 0; k < cfr.size(); ++k) {
+    const double power = std::norm(cfr[k]);
+    mu[k] = power > 0.0 ? los[k] / power : 0.0;
+  }
+  return mu;
+}
+
+std::vector<double> MeasureMultipathFactors(const wifi::CsiPacket& packet,
+                                            const wifi::BandPlan& band) {
+  MULINK_REQUIRE(packet.NumAntennas() >= 1,
+                 "MeasureMultipathFactors: packet has no antennas");
+  std::vector<double> avg(packet.NumSubcarriers(), 0.0);
+  for (std::size_t m = 0; m < packet.NumAntennas(); ++m) {
+    const auto mu = MeasureMultipathFactors(packet.AntennaCfr(m), band);
+    for (std::size_t k = 0; k < mu.size(); ++k) avg[k] += mu[k];
+  }
+  for (auto& v : avg) v /= static_cast<double>(packet.NumAntennas());
+  return avg;
+}
+
+std::vector<std::vector<double>> MeasureMultipathFactors(
+    const std::vector<wifi::CsiPacket>& packets, const wifi::BandPlan& band) {
+  std::vector<std::vector<double>> out;
+  out.reserve(packets.size());
+  for (const auto& p : packets) {
+    out.push_back(MeasureMultipathFactors(p, band));
+  }
+  return out;
+}
+
+}  // namespace mulink::core

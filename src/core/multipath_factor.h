@@ -1,0 +1,36 @@
+// Runtime measurement of the multipath factor mu (paper Sec. IV-A1,
+// Eq. 9–11) — the paper's central measurable proxy for detection
+// sensitivity, extracted from a single packet.
+//
+// mu_k = P_L(f_k) / |H(f_k)|^2, with the per-subcarrier LOS power split from
+// the dominant delay tap by Friis' f^{-2} frequency dependence:
+//   P_L(f_k) = (f_k^{-2} / sum_i f_i^{-2}) * |h_hat(0)|^2.
+#pragma once
+
+#include <vector>
+
+#include "wifi/band.h"
+#include "wifi/csi.h"
+
+namespace mulink::core {
+
+// Per-subcarrier LOS power estimate P_L(f_k) of Eq. 10 for one antenna's CFR.
+std::vector<double> EstimateLosPower(const std::vector<Complex>& cfr,
+                                     const wifi::BandPlan& band);
+
+// Eq. 11 multipath factors for one antenna's CFR (one value per subcarrier).
+// Subcarriers whose measured power quantized to zero yield mu = 0.
+std::vector<double> MeasureMultipathFactors(const std::vector<Complex>& cfr,
+                                            const wifi::BandPlan& band);
+
+// Antenna-averaged multipath factors for a whole packet. The paper's
+// single-antenna schemes average metrics across the three antennas.
+std::vector<double> MeasureMultipathFactors(const wifi::CsiPacket& packet,
+                                            const wifi::BandPlan& band);
+
+// Multipath factors for every packet of a session: result[m][k] is packet
+// m's factor on subcarrier k.
+std::vector<std::vector<double>> MeasureMultipathFactors(
+    const std::vector<wifi::CsiPacket>& packets, const wifi::BandPlan& band);
+
+}  // namespace mulink::core

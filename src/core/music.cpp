@@ -1,0 +1,281 @@
+#include "core/music.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "dsp/peaks.h"
+#include "linalg/hermitian_eig.h"
+
+namespace mulink::core {
+
+std::vector<double> Pseudospectrum::PeakAngles(std::size_t max_peaks) const {
+  dsp::PeakOptions options;
+  options.max_peaks = max_peaks;
+  // MUSIC peak heights span decades (1 / noise-subspace projection), so a
+  // secondary path's peak can sit orders of magnitude below the primary's;
+  // keep only a permissive floor to reject grid ripple.
+  options.min_relative_height = 1e-6;
+  options.min_relative_prominence = 1e-6;
+  const auto peaks = dsp::FindPeaks(power, options);
+  std::vector<double> angles;
+  angles.reserve(peaks.size());
+  for (const auto& p : peaks) angles.push_back(theta_deg[p.index]);
+  return angles;
+}
+
+double Pseudospectrum::ValueAt(double angle_deg) const {
+  MULINK_REQUIRE(!theta_deg.empty(), "Pseudospectrum::ValueAt: empty spectrum");
+  std::size_t best = 0;
+  double best_dist = std::abs(theta_deg[0] - angle_deg);
+  for (std::size_t i = 1; i < theta_deg.size(); ++i) {
+    const double d = std::abs(theta_deg[i] - angle_deg);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return power[best];
+}
+
+Pseudospectrum Pseudospectrum::Normalized() const {
+  double norm_sq = 0.0;
+  for (double v : power) norm_sq += v * v;
+  Pseudospectrum out = *this;
+  if (norm_sq > 0.0) {
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (auto& v : out.power) v *= inv;
+  }
+  return out;
+}
+
+Pseudospectrum Pseudospectrum::Smoothed(double sigma_deg) const {
+  MULINK_REQUIRE(sigma_deg > 0.0, "Smoothed: sigma must be > 0");
+  MULINK_REQUIRE(theta_deg.size() >= 2, "Smoothed: need >= 2 grid points");
+  const double step = theta_deg[1] - theta_deg[0];
+  const double sigma_pts = sigma_deg / step;
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma_pts)));
+
+  std::vector<double> kernel(static_cast<std::size_t>(2 * radius + 1));
+  double kernel_sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-0.5 * (i / sigma_pts) * (i / sigma_pts));
+    kernel[static_cast<std::size_t>(i + radius)] = v;
+    kernel_sum += v;
+  }
+  for (auto& v : kernel) v /= kernel_sum;
+
+  Pseudospectrum out = *this;
+  const int n = static_cast<int>(power.size());
+  for (int i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (int j = -radius; j <= radius; ++j) {
+      const int idx = std::clamp(i + j, 0, n - 1);  // replicate edges
+      acc += kernel[static_cast<std::size_t>(j + radius)] *
+             power[static_cast<std::size_t>(idx)];
+    }
+    out.power[static_cast<std::size_t>(i)] = acc;
+  }
+  return out;
+}
+
+linalg::CMatrix SampleCovariance(const std::vector<wifi::CsiPacket>& packets,
+                                 const std::vector<double>& weights) {
+  MULINK_REQUIRE(!packets.empty(), "SampleCovariance: need >= 1 packet");
+  const std::size_t num_ant = packets[0].NumAntennas();
+  const std::size_t num_sc = packets[0].NumSubcarriers();
+  MULINK_REQUIRE(num_ant >= 2, "SampleCovariance: need >= 2 antennas");
+  MULINK_REQUIRE(weights.empty() || weights.size() == num_sc,
+                 "SampleCovariance: weights size mismatch");
+
+  linalg::CMatrix r(num_ant, num_ant);
+  double total_weight = 0.0;
+  std::vector<Complex> x(num_ant);
+  for (const auto& packet : packets) {
+    MULINK_REQUIRE(packet.NumAntennas() == num_ant &&
+                       packet.NumSubcarriers() == num_sc,
+                   "SampleCovariance: inconsistent packet dimensions");
+    for (std::size_t k = 0; k < num_sc; ++k) {
+      const double w = weights.empty() ? 1.0 : weights[k];
+      if (w <= 0.0) continue;
+      for (std::size_t m = 0; m < num_ant; ++m) x[m] = packet.csi.At(m, k);
+      for (std::size_t i = 0; i < num_ant; ++i) {
+        for (std::size_t j = 0; j < num_ant; ++j) {
+          r.At(i, j) += w * x[i] * std::conj(x[j]);
+        }
+      }
+      total_weight += w;
+    }
+  }
+  MULINK_REQUIRE(total_weight > 0.0, "SampleCovariance: all weights are zero");
+  r *= Complex(1.0 / total_weight, 0.0);
+  return r;
+}
+
+Pseudospectrum ComputeMusicSpectrum(const linalg::CMatrix& covariance,
+                                    const wifi::UniformLinearArray& array,
+                                    const wifi::BandPlan& band,
+                                    const MusicConfig& config) {
+  const std::size_t num_ant = array.num_antennas();
+  MULINK_REQUIRE(covariance.rows() == num_ant && covariance.cols() == num_ant,
+                 "ComputeMusicSpectrum: covariance/array size mismatch");
+  MULINK_REQUIRE(config.num_sources >= 1 && config.num_sources < num_ant,
+                 "ComputeMusicSpectrum: num_sources must be in [1, antennas)");
+  MULINK_REQUIRE(config.num_points >= 3,
+                 "ComputeMusicSpectrum: need >= 3 grid points");
+  MULINK_REQUIRE(config.theta_max_deg > config.theta_min_deg,
+                 "ComputeMusicSpectrum: empty angle range");
+
+  const auto eig = linalg::HermitianEigen(covariance);
+  // Noise subspace: eigenvectors of the smallest (num_ant - num_sources)
+  // eigenvalues (HermitianEigen sorts ascending).
+  const std::size_t noise_dim = num_ant - config.num_sources;
+
+  Pseudospectrum spectrum;
+  spectrum.theta_deg.resize(config.num_points);
+  spectrum.power.resize(config.num_points);
+
+  for (std::size_t i = 0; i < config.num_points; ++i) {
+    const double frac = static_cast<double>(i) /
+                        static_cast<double>(config.num_points - 1);
+    const double theta_deg =
+        config.theta_min_deg + frac * (config.theta_max_deg - config.theta_min_deg);
+    const double theta = DegToRad(theta_deg);
+    const auto steering = array.SteeringVector(theta, band.center_hz());
+
+    // ||E_n^H a||^2 = sum over noise eigenvectors of |<e, a>|^2.
+    double denom = 0.0;
+    for (std::size_t n = 0; n < noise_dim; ++n) {
+      const auto e = eig.Vector(n);
+      denom += std::norm(linalg::Dot(e, steering));
+    }
+    spectrum.theta_deg[i] = theta_deg;
+    spectrum.power[i] = 1.0 / std::max(denom, 1e-12);
+  }
+  return spectrum;
+}
+
+Pseudospectrum ComputeBartlettSpectrum(const linalg::CMatrix& covariance,
+                                       const wifi::UniformLinearArray& array,
+                                       const wifi::BandPlan& band,
+                                       const MusicConfig& config) {
+  const std::size_t num_ant = array.num_antennas();
+  MULINK_REQUIRE(covariance.rows() == num_ant && covariance.cols() == num_ant,
+                 "ComputeBartlettSpectrum: covariance/array size mismatch");
+  MULINK_REQUIRE(config.num_points >= 3,
+                 "ComputeBartlettSpectrum: need >= 3 grid points");
+  MULINK_REQUIRE(config.theta_max_deg > config.theta_min_deg,
+                 "ComputeBartlettSpectrum: empty angle range");
+
+  Pseudospectrum spectrum;
+  spectrum.theta_deg.resize(config.num_points);
+  spectrum.power.resize(config.num_points);
+  for (std::size_t i = 0; i < config.num_points; ++i) {
+    const double frac = static_cast<double>(i) /
+                        static_cast<double>(config.num_points - 1);
+    const double theta_deg =
+        config.theta_min_deg +
+        frac * (config.theta_max_deg - config.theta_min_deg);
+    const auto a = array.SteeringVector(DegToRad(theta_deg), band.center_hz());
+    // a^H R a — real and non-negative for Hermitian PSD R.
+    const auto ra = covariance.Apply(a);
+    const double value = linalg::Dot(a, ra).real() /
+                         static_cast<double>(num_ant * num_ant);
+    spectrum.theta_deg[i] = theta_deg;
+    spectrum.power[i] = std::max(value, 0.0);
+  }
+  return spectrum;
+}
+
+Pseudospectrum ComputeBartlettSpectrum(
+    const std::vector<wifi::CsiPacket>& packets,
+    const wifi::UniformLinearArray& array, const wifi::BandPlan& band,
+    const MusicConfig& config, const std::vector<double>& weights) {
+  return ComputeBartlettSpectrum(SampleCovariance(packets, weights), array,
+                                 band, config);
+}
+
+Pseudospectrum ComputeMusicSpectrum(const std::vector<wifi::CsiPacket>& packets,
+                                    const wifi::UniformLinearArray& array,
+                                    const wifi::BandPlan& band,
+                                    const MusicConfig& config,
+                                    const std::vector<double>& weights) {
+  return ComputeMusicSpectrum(SampleCovariance(packets, weights), array, band,
+                              config);
+}
+
+double AngleFromPhaseShift(double delta_phi_rad) {
+  const double ratio = std::clamp(delta_phi_rad / kPi, -1.0, 1.0);
+  return std::asin(ratio);
+}
+
+double EstimateNewPathAngleDeg(const std::vector<wifi::CsiPacket>& window,
+                               const linalg::CMatrix& static_covariance,
+                               const wifi::UniformLinearArray& array,
+                               const wifi::BandPlan& band) {
+  const auto monitor_cov = SampleCovariance(window);
+  MULINK_REQUIRE(static_covariance.rows() == monitor_cov.rows(),
+                 "EstimateNewPathAngleDeg: covariance size mismatch");
+  auto diff = monitor_cov - static_covariance;
+  // The difference of two PSD matrices may be indefinite; shift by the
+  // smallest eigenvalue so MUSIC sees a PSD matrix.
+  const auto eig = linalg::HermitianEigen(diff);
+  const double lambda_min = std::min(eig.values.front(), 0.0);
+  for (std::size_t i = 0; i < diff.rows(); ++i) {
+    diff.At(i, i) -= Complex(lambda_min, 0.0);
+  }
+  MusicConfig config;
+  config.num_sources = 1;
+  const auto spectrum = ComputeMusicSpectrum(diff, array, band, config);
+  const auto peaks = spectrum.PeakAngles(1);
+  return peaks.empty() ? 0.0 : peaks[0];
+}
+
+linalg::CMatrix SpatiallySmoothedCovariance(const linalg::CMatrix& covariance,
+                                            std::size_t subarray_size) {
+  const std::size_t m = covariance.rows();
+  MULINK_REQUIRE(covariance.cols() == m,
+                 "SpatiallySmoothedCovariance: covariance must be square");
+  MULINK_REQUIRE(subarray_size >= 2 && subarray_size <= m,
+                 "SpatiallySmoothedCovariance: subarray size must be in "
+                 "[2, antennas]");
+  const std::size_t num_subarrays = m - subarray_size + 1;
+
+  // Forward smoothing: average the principal L x L blocks.
+  linalg::CMatrix forward(subarray_size, subarray_size);
+  for (std::size_t s = 0; s < num_subarrays; ++s) {
+    for (std::size_t i = 0; i < subarray_size; ++i) {
+      for (std::size_t j = 0; j < subarray_size; ++j) {
+        forward.At(i, j) += covariance.At(s + i, s + j);
+      }
+    }
+  }
+  forward *= Complex(1.0 / static_cast<double>(num_subarrays), 0.0);
+
+  // Backward smoothing: J * conj(R_f) * J (exchange-conjugate), averaged in.
+  linalg::CMatrix smoothed(subarray_size, subarray_size);
+  for (std::size_t i = 0; i < subarray_size; ++i) {
+    for (std::size_t j = 0; j < subarray_size; ++j) {
+      const Complex backward = std::conj(
+          forward.At(subarray_size - 1 - i, subarray_size - 1 - j));
+      smoothed.At(i, j) = 0.5 * (forward.At(i, j) + backward);
+    }
+  }
+  return smoothed;
+}
+
+Pseudospectrum ComputeSmoothedMusicSpectrum(
+    const std::vector<wifi::CsiPacket>& packets,
+    const wifi::UniformLinearArray& array, const wifi::BandPlan& band,
+    std::size_t subarray_size, const MusicConfig& config) {
+  MULINK_REQUIRE(config.num_sources < subarray_size,
+                 "ComputeSmoothedMusicSpectrum: num_sources must be < "
+                 "subarray size");
+  const auto full = SampleCovariance(packets);
+  const auto smoothed = SpatiallySmoothedCovariance(full, subarray_size);
+  const wifi::UniformLinearArray subarray(subarray_size, array.spacing_m(),
+                                          array.axis_angle_rad());
+  return ComputeMusicSpectrum(smoothed, subarray, band, config);
+}
+
+}  // namespace mulink::core

@@ -1,0 +1,118 @@
+// MUSIC angle-of-arrival estimation (Schmidt '86; paper Sec. IV-B1).
+//
+// Snapshots are the per-subcarrier antenna vectors of each CSI packet (the
+// standard trick for bandwidth-limited WiFi: 30 subcarriers x M packets
+// snapshots for a 3x3 covariance). The paper deliberately uses *plain*
+// MUSIC rather than spatially smoothed MUSIC: smoothing would halve the
+// effective aperture and a 3-antenna array could then resolve only one path.
+#pragma once
+
+#include <vector>
+
+#include "linalg/cmatrix.h"
+#include "wifi/array.h"
+#include "wifi/band.h"
+#include "wifi/csi.h"
+
+namespace mulink::core {
+
+struct MusicConfig {
+  double theta_min_deg = -90.0;
+  double theta_max_deg = 90.0;
+  std::size_t num_points = 181;
+  // Assumed signal-subspace dimension; must be < number of antennas.
+  std::size_t num_sources = 2;
+};
+
+struct Pseudospectrum {
+  std::vector<double> theta_deg;
+  std::vector<double> power;
+
+  // Angles of the strongest local maxima, strongest first.
+  std::vector<double> PeakAngles(std::size_t max_peaks = 0) const;
+
+  // Value at the grid point nearest to the given angle.
+  double ValueAt(double angle_deg) const;
+
+  // Scale so that the L2 norm of `power` is 1 (for scale-free comparison).
+  Pseudospectrum Normalized() const;
+
+  // Gaussian smoothing along the angle axis (sigma in degrees). MUSIC peaks
+  // from a high-SNR covariance are razor sharp, so a +-1 grid-point peak
+  // jitter between two spectra produces huge pointwise ratios; smoothing to
+  // roughly the array's angular resolution makes spectrum comparison stable.
+  Pseudospectrum Smoothed(double sigma_deg) const;
+};
+
+// Sample covariance across antennas, accumulated over all packets and
+// subcarriers, optionally weighting subcarrier k's contribution by
+// weights[k] (the subcarrier-weighted variant of Sec. IV-C).
+linalg::CMatrix SampleCovariance(const std::vector<wifi::CsiPacket>& packets,
+                                 const std::vector<double>& weights = {});
+
+// MUSIC pseudospectrum P(theta) = 1 / (a^H E_n E_n^H a) from a covariance.
+Pseudospectrum ComputeMusicSpectrum(const linalg::CMatrix& covariance,
+                                    const wifi::UniformLinearArray& array,
+                                    const wifi::BandPlan& band,
+                                    const MusicConfig& config = {});
+
+// Conventional (Bartlett) beamformer spectrum B(theta) = a^H R a.
+//
+// Unlike MUSIC it is *linear* in the covariance — and hence in per-
+// subcarrier signal strength — which is the property Sec. IV-C leans on to
+// weight monitoring and calibration sides independently before subtracting.
+// The detector uses it for the monitoring-stage angular comparison; MUSIC
+// remains the calibration-stage tool for AoA and the Eq. 17 path weights.
+Pseudospectrum ComputeBartlettSpectrum(const linalg::CMatrix& covariance,
+                                       const wifi::UniformLinearArray& array,
+                                       const wifi::BandPlan& band,
+                                       const MusicConfig& config = {});
+
+// Bartlett spectrum straight from packets (optionally subcarrier-weighted).
+Pseudospectrum ComputeBartlettSpectrum(
+    const std::vector<wifi::CsiPacket>& packets,
+    const wifi::UniformLinearArray& array, const wifi::BandPlan& band,
+    const MusicConfig& config = {}, const std::vector<double>& weights = {});
+
+// Convenience: covariance + spectrum in one call.
+Pseudospectrum ComputeMusicSpectrum(const std::vector<wifi::CsiPacket>& packets,
+                                    const wifi::UniformLinearArray& array,
+                                    const wifi::BandPlan& band,
+                                    const MusicConfig& config = {},
+                                    const std::vector<double>& weights = {});
+
+// Eq. 16: incident angle from the inter-antenna phase shift at
+// half-wavelength spacing, theta = arcsin(delta_phi / pi). Exposed for the
+// two-antenna sanity checks and tests.
+double AngleFromPhaseShift(double delta_phi_rad);
+
+// Estimate the angle of a NEW path (e.g. a person's reflection) by
+// subtracting the calibration-time covariance from the monitoring-window
+// covariance and running MUSIC on the (PSD-shifted) residual — the angle
+// estimator behind Fig. 10's error study.
+double EstimateNewPathAngleDeg(const std::vector<wifi::CsiPacket>& window,
+                               const linalg::CMatrix& static_covariance,
+                               const wifi::UniformLinearArray& array,
+                               const wifi::BandPlan& band);
+
+// Forward-backward spatially smoothed covariance (Shan/Wax/Kailath; the
+// smoothed MUSIC of ArrayTrack [17] and Wi-Vi [24] the paper discusses in
+// Sec. IV-B1). Averages all length-L subarray covariances of an M-antenna
+// ULA covariance, plus the conjugate-reversed ("backward") copies, restoring
+// rank for fully correlated (coherent multipath) sources at the cost of the
+// effective aperture: the result is L x L, resolving at most L-1 sources.
+//
+// This is exactly why the paper sticks with plain MUSIC on 3 antennas: L = 2
+// leaves room for only ONE path, and it needs at least two (LOS + bounce).
+linalg::CMatrix SpatiallySmoothedCovariance(const linalg::CMatrix& covariance,
+                                            std::size_t subarray_size);
+
+// Smoothed-MUSIC pseudospectrum: smooth the covariance, then run MUSIC with
+// a subarray-sized steering vector (same element spacing as `array`).
+// Requires config.num_sources < subarray_size.
+Pseudospectrum ComputeSmoothedMusicSpectrum(
+    const std::vector<wifi::CsiPacket>& packets,
+    const wifi::UniformLinearArray& array, const wifi::BandPlan& band,
+    std::size_t subarray_size, const MusicConfig& config = {});
+
+}  // namespace mulink::core

@@ -1,0 +1,50 @@
+#include "core/path_weighting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace mulink::core {
+
+PathWeights ComputePathWeights(const Pseudospectrum& static_spectrum,
+                               const PathWeightingConfig& config) {
+  MULINK_REQUIRE(!static_spectrum.power.empty(),
+                 "ComputePathWeights: empty static spectrum");
+  MULINK_REQUIRE(config.theta_max_deg > config.theta_min_deg,
+                 "ComputePathWeights: empty angular window");
+  MULINK_REQUIRE(config.spectrum_floor_ratio > 0.0,
+                 "ComputePathWeights: floor ratio must be > 0");
+
+  const double max_power = *std::max_element(static_spectrum.power.begin(),
+                                             static_spectrum.power.end());
+  MULINK_REQUIRE(max_power > 0.0,
+                 "ComputePathWeights: static spectrum has no power");
+  const double floor = max_power * config.spectrum_floor_ratio;
+
+  PathWeights w;
+  w.theta_deg = static_spectrum.theta_deg;
+  w.weights.resize(static_spectrum.power.size());
+  for (std::size_t i = 0; i < w.weights.size(); ++i) {
+    const double theta = static_spectrum.theta_deg[i];
+    if (theta < config.theta_min_deg || theta > config.theta_max_deg) {
+      w.weights[i] = 0.0;
+    } else {
+      w.weights[i] = 1.0 / std::max(static_spectrum.power[i], floor);
+    }
+  }
+  return w;
+}
+
+std::vector<double> ApplyPathWeights(const PathWeights& weights,
+                                     const Pseudospectrum& spectrum) {
+  MULINK_REQUIRE(weights.weights.size() == spectrum.power.size(),
+                 "ApplyPathWeights: grid size mismatch");
+  std::vector<double> out(spectrum.power.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = weights.weights[i] * spectrum.power[i];
+  }
+  return out;
+}
+
+}  // namespace mulink::core

@@ -1,0 +1,100 @@
+#include "core/roc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace mulink::core {
+
+double RocCurve::Auc() const {
+  MULINK_REQUIRE(points.size() >= 2, "RocCurve::Auc: need >= 2 points");
+  double area = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double dx =
+        points[i].false_positive_rate - points[i - 1].false_positive_rate;
+    const double avg_y =
+        0.5 * (points[i].true_positive_rate + points[i - 1].true_positive_rate);
+    area += dx * avg_y;
+  }
+  return area;
+}
+
+RocPoint RocCurve::BestBalancedAccuracy() const {
+  MULINK_REQUIRE(!points.empty(), "RocCurve: empty curve");
+  RocPoint best = points.front();
+  double best_acc = BalancedAccuracy(best);
+  for (const auto& p : points) {
+    const double acc = BalancedAccuracy(p);
+    if (acc > best_acc) {
+      best_acc = acc;
+      best = p;
+    }
+  }
+  return best;
+}
+
+RocPoint RocCurve::PointAtFalsePositive(double max_fpr) const {
+  MULINK_REQUIRE(!points.empty(), "RocCurve: empty curve");
+  RocPoint best{std::numeric_limits<double>::infinity(), 0.0, 0.0};
+  bool found = false;
+  for (const auto& p : points) {
+    if (p.false_positive_rate <= max_fpr &&
+        (!found || p.true_positive_rate > best.true_positive_rate)) {
+      best = p;
+      found = true;
+    }
+  }
+  return found ? best : points.front();
+}
+
+double RocCurve::TruePositiveAt(double fpr) const {
+  MULINK_REQUIRE(points.size() >= 2, "RocCurve: need >= 2 points");
+  // Step semantics: the best TPR achievable without exceeding the FPR budget
+  // (ROC curves are step functions of the threshold; interpolating between
+  // operating points would promise rates no threshold delivers).
+  return PointAtFalsePositive(fpr).true_positive_rate;
+}
+
+RocCurve ComputeRoc(const std::vector<double>& positive_scores,
+                    const std::vector<double>& negative_scores) {
+  MULINK_REQUIRE(!positive_scores.empty() && !negative_scores.empty(),
+                 "ComputeRoc: need scores from both classes");
+
+  std::vector<double> thresholds;
+  thresholds.reserve(positive_scores.size() + negative_scores.size() + 2);
+  thresholds.insert(thresholds.end(), positive_scores.begin(),
+                    positive_scores.end());
+  thresholds.insert(thresholds.end(), negative_scores.begin(),
+                    negative_scores.end());
+  std::sort(thresholds.begin(), thresholds.end(), std::greater<>());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+
+  RocCurve curve;
+  curve.points.reserve(thresholds.size() + 2);
+
+  const auto rate_above = [](const std::vector<double>& scores, double thr) {
+    std::size_t count = 0;
+    for (double s : scores) {
+      if (s >= thr) ++count;
+    }
+    return static_cast<double>(count) / static_cast<double>(scores.size());
+  };
+
+  // Leading point: threshold above every score -> (0, 0).
+  curve.points.push_back(
+      {thresholds.front() + 1.0, 0.0, 0.0});
+  for (double thr : thresholds) {
+    curve.points.push_back(
+        {thr, rate_above(positive_scores, thr), rate_above(negative_scores, thr)});
+  }
+  return curve;
+}
+
+double BalancedAccuracy(const RocPoint& point) {
+  return 0.5 * (point.true_positive_rate + (1.0 - point.false_positive_rate));
+}
+
+}  // namespace mulink::core

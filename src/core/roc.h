@@ -1,0 +1,41 @@
+// Receiver Operating Characteristic computation for the evaluation
+// (paper Sec. V, Fig. 7) and for calibrating operating thresholds.
+#pragma once
+
+#include <vector>
+
+namespace mulink::core {
+
+struct RocPoint {
+  double threshold = 0.0;
+  double true_positive_rate = 0.0;   // TP: detected / human-present windows
+  double false_positive_rate = 0.0;  // FP: detected / human-absent windows
+};
+
+struct RocCurve {
+  // Sorted by descending threshold, i.e. from (0,0) toward (1,1).
+  std::vector<RocPoint> points;
+
+  // Area under the curve via trapezoidal integration.
+  double Auc() const;
+
+  // Operating point maximizing balanced accuracy (TPR + (1 - FPR)) / 2 —
+  // the "balanced detection accuracy" the paper reports.
+  RocPoint BestBalancedAccuracy() const;
+
+  // Highest-TPR point whose FPR does not exceed `max_fpr`.
+  RocPoint PointAtFalsePositive(double max_fpr) const;
+
+  // TPR linearly interpolated at the given FPR.
+  double TruePositiveAt(double fpr) const;
+};
+
+// Build the ROC from decision scores; higher score = more human-like.
+// Thresholds sweep over all distinct observed scores.
+RocCurve ComputeRoc(const std::vector<double>& positive_scores,
+                    const std::vector<double>& negative_scores);
+
+// Balanced accuracy of one operating point: (TPR + (1 - FPR)) / 2.
+double BalancedAccuracy(const RocPoint& point);
+
+}  // namespace mulink::core

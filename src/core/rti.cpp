@@ -1,0 +1,143 @@
+#include "core/rti.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace mulink::core {
+
+geometry::Vec2 RtiGrid::PixelCenter(std::size_t pixel) const {
+  MULINK_REQUIRE(pixel < NumPixels(), "RtiGrid: pixel out of range");
+  const std::size_t ix = pixel % nx;
+  const std::size_t iy = pixel / nx;
+  return {(static_cast<double>(ix) + 0.5) * pixel_size_m,
+          (static_cast<double>(iy) + 0.5) * pixel_size_m};
+}
+
+RtiImager::RtiImager(std::vector<geometry::Vec2> nodes, double width_m,
+                     double depth_m, const RtiConfig& config)
+    : nodes_(std::move(nodes)), config_(config) {
+  MULINK_REQUIRE(nodes_.size() >= 3, "RtiImager: need >= 3 nodes");
+  MULINK_REQUIRE(width_m > 0.0 && depth_m > 0.0,
+                 "RtiImager: area must be positive");
+  MULINK_REQUIRE(config_.pixel_size_m > 0.0,
+                 "RtiImager: pixel size must be > 0");
+  MULINK_REQUIRE(config_.regularization > 0.0,
+                 "RtiImager: regularization must be > 0");
+
+  grid_.width_m = width_m;
+  grid_.depth_m = depth_m;
+  grid_.pixel_size_m = config_.pixel_size_m;
+  grid_.nx = static_cast<std::size_t>(
+      std::ceil(width_m / config_.pixel_size_m));
+  grid_.ny = static_cast<std::size_t>(
+      std::ceil(depth_m / config_.pixel_size_m));
+
+  for (std::size_t i = 0; i + 1 < nodes_.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes_.size(); ++j) {
+      links_.emplace_back(i, j);
+    }
+  }
+
+  // Ellipse weight matrix (Wilson & Patwari's 1/sqrt(link length) inside the
+  // excess-path ellipse).
+  const std::size_t num_pixels = grid_.NumPixels();
+  weights_.assign(links_.size() * num_pixels, 0.0);
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    const auto& [a, b] = links_[l];
+    const double link_length = geometry::Distance(nodes_[a], nodes_[b]);
+    if (link_length < 1e-9) continue;
+    const double weight = 1.0 / std::sqrt(link_length);
+    for (std::size_t p = 0; p < num_pixels; ++p) {
+      const auto center = grid_.PixelCenter(p);
+      const double excess = geometry::Distance(center, nodes_[a]) +
+                            geometry::Distance(center, nodes_[b]) -
+                            link_length;
+      if (excess < config_.ellipse_excess_m) {
+        weights_[l * num_pixels + p] = weight;
+      }
+    }
+  }
+
+  // Gram matrix W W^T + alpha I (L x L).
+  gram_ = linalg::RMatrix(links_.size(), links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    for (std::size_t j = i; j < links_.size(); ++j) {
+      double dot = 0.0;
+      for (std::size_t p = 0; p < num_pixels; ++p) {
+        dot += weights_[i * num_pixels + p] * weights_[j * num_pixels + p];
+      }
+      gram_.At(i, j) = dot;
+      gram_.At(j, i) = dot;
+    }
+    gram_.At(i, i) += config_.regularization;
+  }
+}
+
+double RtiImager::Weight(std::size_t link, std::size_t pixel) const {
+  MULINK_REQUIRE(link < links_.size(), "RtiImager: link out of range");
+  MULINK_REQUIRE(pixel < grid_.NumPixels(), "RtiImager: pixel out of range");
+  return weights_[link * grid_.NumPixels() + pixel];
+}
+
+std::vector<double> RtiImager::Reconstruct(
+    const std::vector<double>& delta_rss_db) const {
+  MULINK_REQUIRE(delta_rss_db.size() == links_.size(),
+                 "RtiImager: one RSS change per link required");
+  // Dual-form Tikhonov: u = (W W^T + alpha I)^-1 Delta_y; x = W^T u.
+  const auto u = linalg::SolveLinear(gram_, delta_rss_db);
+  const std::size_t num_pixels = grid_.NumPixels();
+  std::vector<double> image(num_pixels, 0.0);
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    if (u[l] == 0.0) continue;
+    for (std::size_t p = 0; p < num_pixels; ++p) {
+      image[p] += weights_[l * num_pixels + p] * u[l];
+    }
+  }
+  return image;
+}
+
+geometry::Vec2 RtiImager::LocateMax(const std::vector<double>& image) const {
+  MULINK_REQUIRE(image.size() == grid_.NumPixels(),
+                 "RtiImager: image size mismatch");
+  const auto best =
+      std::max_element(image.begin(), image.end()) - image.begin();
+  return grid_.PixelCenter(static_cast<std::size_t>(best));
+}
+
+double RtiImager::PeakValue(const std::vector<double>& image) const {
+  MULINK_REQUIRE(!image.empty(), "RtiImager: empty image");
+  return *std::max_element(image.begin(), image.end());
+}
+
+std::vector<geometry::Vec2> PerimeterNodes(double width_m, double depth_m,
+                                           std::size_t count,
+                                           double margin_m) {
+  MULINK_REQUIRE(count >= 3, "PerimeterNodes: need >= 3 nodes");
+  MULINK_REQUIRE(width_m > 2.0 * margin_m && depth_m > 2.0 * margin_m,
+                 "PerimeterNodes: margin too large for the area");
+  const double w = width_m - 2.0 * margin_m;
+  const double d = depth_m - 2.0 * margin_m;
+  const double perimeter = 2.0 * (w + d);
+  std::vector<geometry::Vec2> nodes;
+  nodes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    double s = perimeter * static_cast<double>(i) /
+               static_cast<double>(count);
+    geometry::Vec2 p;
+    if (s < w) {
+      p = {margin_m + s, margin_m};
+    } else if (s < w + d) {
+      p = {width_m - margin_m, margin_m + (s - w)};
+    } else if (s < 2.0 * w + d) {
+      p = {width_m - margin_m - (s - w - d), depth_m - margin_m};
+    } else {
+      p = {margin_m, depth_m - margin_m - (s - 2.0 * w - d)};
+    }
+    nodes.push_back(p);
+  }
+  return nodes;
+}
+
+}  // namespace mulink::core

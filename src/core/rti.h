@@ -1,0 +1,85 @@
+// Radio Tomographic Imaging (Wilson & Patwari, TMC'10 — the paper's
+// reference [3]): the dense-deployment prior art the introduction positions
+// multipath adaptation against.
+//
+// A perimeter network of N nodes forms L = N(N-1)/2 links; a person
+// attenuates the links whose ellipse they stand in. RTI discretizes the
+// space into pixels, models per-link RSS change as Delta_y = W x (W the
+// ellipse weight matrix, x the pixel attenuation image), and inverts with
+// Tikhonov regularization:
+//   x = (W^T W + alpha I)^-1 W^T Delta_y = W^T (W W^T + alpha I)^-1 Delta_y.
+// The dual form on the right needs only an L x L solve, precomputed here.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "geometry/vec2.h"
+#include "linalg/solve.h"
+
+namespace mulink::core {
+
+struct RtiConfig {
+  double pixel_size_m = 0.3;
+  // Excess path length (m) defining a link's sensitivity ellipse: pixel p is
+  // inside link l's ellipse when d(p,tx)+d(p,rx) < d(tx,rx) + excess.
+  double ellipse_excess_m = 0.15;
+  // Tikhonov regularization strength alpha.
+  double regularization = 5.0;
+};
+
+struct RtiGrid {
+  double width_m = 0.0;
+  double depth_m = 0.0;
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  double pixel_size_m = 0.0;
+
+  std::size_t NumPixels() const { return nx * ny; }
+  geometry::Vec2 PixelCenter(std::size_t pixel) const;
+};
+
+class RtiImager {
+ public:
+  // Nodes are transceiver positions (typically on the room perimeter); all
+  // node pairs become links. Needs >= 3 nodes.
+  RtiImager(std::vector<geometry::Vec2> nodes, double width_m, double depth_m,
+            const RtiConfig& config = {});
+
+  const std::vector<std::pair<std::size_t, std::size_t>>& links() const {
+    return links_;
+  }
+  const RtiGrid& grid() const { return grid_; }
+  const std::vector<geometry::Vec2>& nodes() const { return nodes_; }
+
+  // Reconstruct the pixel attenuation image from per-link RSS changes (dB,
+  // one per links() entry; attenuation = positive values expected).
+  std::vector<double> Reconstruct(const std::vector<double>& delta_rss_db) const;
+
+  // Position of the strongest image pixel.
+  geometry::Vec2 LocateMax(const std::vector<double>& image) const;
+
+  // Peak image value (a presence statistic: near zero for an empty room).
+  double PeakValue(const std::vector<double>& image) const;
+
+  // The ellipse weight of link l at pixel p (exposed for tests).
+  double Weight(std::size_t link, std::size_t pixel) const;
+
+ private:
+  std::vector<geometry::Vec2> nodes_;
+  std::vector<std::pair<std::size_t, std::size_t>> links_;
+  RtiGrid grid_;
+  RtiConfig config_;
+  // Dense L x P weight matrix, row-major.
+  std::vector<double> weights_;
+  // Precomputed (W W^T + alpha I), kept factorable per reconstruction.
+  linalg::RMatrix gram_;
+};
+
+// Evenly spaced node positions along a rectangular perimeter with a margin.
+std::vector<geometry::Vec2> PerimeterNodes(double width_m, double depth_m,
+                                           std::size_t count,
+                                           double margin_m = 0.4);
+
+}  // namespace mulink::core

@@ -1,0 +1,80 @@
+#include "core/sanitize.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/constants.h"
+#include "dsp/fit.h"
+
+namespace mulink::core {
+
+std::vector<double> UnwrapPhase(const std::vector<double>& phases) {
+  std::vector<double> out(phases.size());
+  if (phases.empty()) return out;
+  out[0] = phases[0];
+  double accumulator = 0.0;
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    double delta = phases[i] - phases[i - 1];
+    while (delta > kPi) {
+      delta -= 2.0 * kPi;
+      accumulator -= 2.0 * kPi;
+    }
+    while (delta < -kPi) {
+      delta += 2.0 * kPi;
+      accumulator += 2.0 * kPi;
+    }
+    out[i] = phases[i] + accumulator;
+  }
+  return out;
+}
+
+PhaseFit FitLinearPhase(const wifi::CsiPacket& packet,
+                        const wifi::BandPlan& band) {
+  MULINK_REQUIRE(packet.NumSubcarriers() == band.NumSubcarriers(),
+                 "FitLinearPhase: packet/band subcarrier mismatch");
+  const std::size_t num_sc = packet.NumSubcarriers();
+  const std::size_t num_ant = packet.NumAntennas();
+  MULINK_REQUIRE(num_ant >= 1 && num_sc >= 2,
+                 "FitLinearPhase: need >= 1 antenna and >= 2 subcarriers");
+
+  // Antenna-averaged phase per subcarrier. Averaging complex values rather
+  // than raw angles keeps weak antennas from dominating via wrap glitches.
+  std::vector<double> avg_phase(num_sc, 0.0);
+  for (std::size_t k = 0; k < num_sc; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t m = 0; m < num_ant; ++m) acc += packet.csi.At(m, k);
+    avg_phase[k] = std::arg(acc);
+  }
+  const auto unwrapped = UnwrapPhase(avg_phase);
+
+  std::vector<double> offsets(num_sc);
+  for (std::size_t k = 0; k < num_sc; ++k) offsets[k] = band.OffsetHz(k);
+
+  const auto fit = dsp::FitLinear(offsets, unwrapped);
+  return PhaseFit{fit.intercept, fit.slope};
+}
+
+wifi::CsiPacket SanitizePhase(const wifi::CsiPacket& packet,
+                              const wifi::BandPlan& band) {
+  const PhaseFit fit = FitLinearPhase(packet, band);
+  wifi::CsiPacket out = packet;
+  for (std::size_t k = 0; k < packet.NumSubcarriers(); ++k) {
+    const double correction =
+        fit.offset_rad + fit.slope_rad_per_hz * band.OffsetHz(k);
+    const Complex rot(std::cos(-correction), std::sin(-correction));
+    for (std::size_t m = 0; m < packet.NumAntennas(); ++m) {
+      out.csi.At(m, k) = packet.csi.At(m, k) * rot;
+    }
+  }
+  return out;
+}
+
+std::vector<wifi::CsiPacket> SanitizePhase(
+    const std::vector<wifi::CsiPacket>& packets, const wifi::BandPlan& band) {
+  std::vector<wifi::CsiPacket> out;
+  out.reserve(packets.size());
+  for (const auto& p : packets) out.push_back(SanitizePhase(p, band));
+  return out;
+}
+
+}  // namespace mulink::core

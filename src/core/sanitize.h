@@ -1,0 +1,39 @@
+// CSI phase sanitization, following Sen et al., MobiSys'12 (paper ref [26]).
+//
+// Commodity NICs stamp every packet with a random common phase (CFO/PLL) and
+// a random linear phase slope across subcarriers (sampling time offset).
+// Sanitization removes both by fitting a line to the unwrapped cross-
+// subcarrier phase and subtracting it. The *same* correction is applied to
+// every RX antenna — they share an oscillator — so inter-antenna phase
+// relations, which MUSIC needs, are preserved.
+#pragma once
+
+#include <vector>
+
+#include "wifi/band.h"
+#include "wifi/csi.h"
+
+namespace mulink::core {
+
+// Linear phase model fitted during sanitization: phase ~ offset + slope * f_off.
+struct PhaseFit {
+  double offset_rad = 0.0;
+  double slope_rad_per_hz = 0.0;
+};
+
+// Unwrap a phase sequence (adjacent jumps > pi are folded).
+std::vector<double> UnwrapPhase(const std::vector<double>& phases);
+
+// Fit the linear phase model to the antenna-averaged unwrapped CSI phase.
+PhaseFit FitLinearPhase(const wifi::CsiPacket& packet,
+                        const wifi::BandPlan& band);
+
+// Remove the fitted common phase and STO slope from all antennas.
+wifi::CsiPacket SanitizePhase(const wifi::CsiPacket& packet,
+                              const wifi::BandPlan& band);
+
+// Convenience: sanitize a whole capture session.
+std::vector<wifi::CsiPacket> SanitizePhase(
+    const std::vector<wifi::CsiPacket>& packets, const wifi::BandPlan& band);
+
+}  // namespace mulink::core

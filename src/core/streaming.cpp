@@ -1,0 +1,58 @@
+#include "core/streaming.h"
+
+#include "common/assert.h"
+
+namespace mulink::core {
+
+StreamingDetector::StreamingDetector(Detector detector,
+                                     const std::vector<double>& empty_scores,
+                                     StreamingConfig config)
+    : detector_(std::move(detector)), config_(config) {
+  MULINK_REQUIRE(config_.window_packets >= 2,
+                 "StreamingDetector: window must hold >= 2 packets");
+  MULINK_REQUIRE(config_.hop_packets >= 1 &&
+                     config_.hop_packets <= config_.window_packets,
+                 "StreamingDetector: hop must be in [1, window]");
+  if (config_.use_hmm) {
+    hmm_ = PresenceHmm::FitFromEmptyScores(empty_scores, config_.hmm);
+    filter_.emplace(*hmm_);
+  }
+}
+
+void StreamingDetector::Reset() {
+  buffer_.clear();
+  packets_since_decision_ = 0;
+  occupied_ = false;
+  posterior_ = 0.0;
+  if (filter_.has_value()) filter_->Reset();
+}
+
+std::optional<PresenceDecision> StreamingDetector::Push(
+    const wifi::CsiPacket& packet) {
+  buffer_.push_back(packet);
+  while (buffer_.size() > config_.window_packets) buffer_.pop_front();
+  ++packets_since_decision_;
+
+  if (buffer_.size() < config_.window_packets ||
+      packets_since_decision_ < config_.hop_packets) {
+    return std::nullopt;
+  }
+  packets_since_decision_ = 0;
+
+  const std::vector<wifi::CsiPacket> window(buffer_.begin(), buffer_.end());
+  PresenceDecision decision;
+  decision.timestamp_s = window.back().timestamp_s;
+  decision.score = detector_.Score(window);
+  if (filter_.has_value()) {
+    decision.posterior = filter_->Update(decision.score);
+    decision.occupied = decision.posterior >= config_.decision_probability;
+  } else {
+    decision.occupied = decision.score >= detector_.threshold();
+    decision.posterior = decision.occupied ? 1.0 : 0.0;
+  }
+  occupied_ = decision.occupied;
+  posterior_ = decision.posterior;
+  return decision;
+}
+
+}  // namespace mulink::core

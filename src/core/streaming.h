@@ -1,0 +1,69 @@
+// Streaming presence detection: packet-at-a-time ingestion with windowed
+// scoring and optional HMM temporal smoothing — the deployable wrapper
+// around Detector for live CSI feeds (50 packets/s in the paper's testbed).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/hmm.h"
+
+namespace mulink::core {
+
+struct StreamingConfig {
+  // Window length scored per decision and the hop between decisions
+  // (hop == window -> non-overlapping decisions, the paper's cadence).
+  std::size_t window_packets = 25;
+  std::size_t hop_packets = 25;
+
+  // Smooth scores with the two-state presence HMM (Sec. V-B1's suggestion);
+  // when off, decisions fall back to the detector's raw threshold.
+  bool use_hmm = true;
+  HmmConfig hmm;
+  // Posterior above which the room is declared occupied (HMM mode).
+  double decision_probability = 0.5;
+};
+
+struct PresenceDecision {
+  double timestamp_s = 0.0;   // timestamp of the newest packet in the window
+  double score = 0.0;         // raw detector statistic
+  double posterior = 0.0;     // P(occupied); equals score>threshold when !use_hmm
+  bool occupied = false;
+};
+
+class StreamingDetector {
+ public:
+  // `detector` must have a calibrated threshold. `empty_scores` are
+  // empty-room window scores used to fit the HMM emission model (>= 2 when
+  // use_hmm is on).
+  StreamingDetector(Detector detector, const std::vector<double>& empty_scores,
+                    StreamingConfig config = {});
+
+  // Feed one packet. Returns a decision whenever a full window (aligned to
+  // the hop) completes, nullopt otherwise.
+  std::optional<PresenceDecision> Push(const wifi::CsiPacket& packet);
+
+  // Current belief (last decision; unoccupied before the first window).
+  bool occupied() const { return occupied_; }
+  double posterior() const { return posterior_; }
+
+  // Drop buffered packets and reset the temporal state.
+  void Reset();
+
+  const StreamingConfig& config() const { return config_; }
+  const Detector& detector() const { return detector_; }
+
+ private:
+  Detector detector_;
+  StreamingConfig config_;
+  std::optional<PresenceHmm> hmm_;
+  std::optional<PresenceHmm::Filter> filter_;
+  std::deque<wifi::CsiPacket> buffer_;
+  std::size_t packets_since_decision_ = 0;
+  bool occupied_ = false;
+  double posterior_ = 0.0;
+};
+
+}  // namespace mulink::core

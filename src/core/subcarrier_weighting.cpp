@@ -1,0 +1,126 @@
+#include "core/subcarrier_weighting.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "core/multipath_factor.h"
+#include "dsp/stats.h"
+
+namespace mulink::core {
+
+const char* ToString(WeightingMode mode) {
+  switch (mode) {
+    case WeightingMode::kUniform:
+      return "uniform";
+    case WeightingMode::kMeanMuOnly:
+      return "mean-mu";
+    case WeightingMode::kStabilityOnly:
+      return "stability";
+    case WeightingMode::kMeanMuTimesStability:
+      return "mean-mu*stability";
+  }
+  return "unknown";
+}
+
+SubcarrierWeights ComputeSubcarrierWeights(
+    const std::vector<std::vector<double>>& mu_per_packet,
+    WeightingMode mode) {
+  MULINK_REQUIRE(!mu_per_packet.empty(),
+                 "ComputeSubcarrierWeights: need >= 1 packet");
+  const std::size_t num_packets = mu_per_packet.size();
+  const std::size_t num_sc = mu_per_packet[0].size();
+  MULINK_REQUIRE(num_sc >= 1, "ComputeSubcarrierWeights: empty mu vector");
+  for (const auto& row : mu_per_packet) {
+    MULINK_REQUIRE(row.size() == num_sc,
+                   "ComputeSubcarrierWeights: ragged mu matrix");
+  }
+
+  SubcarrierWeights w;
+  w.mean_mu.assign(num_sc, 0.0);
+  w.stability.assign(num_sc, 0.0);
+
+  for (std::size_t m = 0; m < num_packets; ++m) {
+    const double median = dsp::Median(mu_per_packet[m]);
+    for (std::size_t k = 0; k < num_sc; ++k) {
+      w.mean_mu[k] += mu_per_packet[m][k];
+      if (mu_per_packet[m][k] > median) {
+        w.stability[k] += 1.0;  // delta_m of Eq. 14
+      }
+    }
+  }
+  for (std::size_t k = 0; k < num_sc; ++k) {
+    w.mean_mu[k] /= static_cast<double>(num_packets);
+    w.stability[k] /= static_cast<double>(num_packets);
+  }
+
+  double sum_mu = 0.0, sum_r = 0.0;
+  for (std::size_t k = 0; k < num_sc; ++k) {
+    sum_mu += w.mean_mu[k];
+    sum_r += w.stability[k];
+  }
+  w.weights.assign(num_sc, 0.0);
+  const double uniform = 1.0 / static_cast<double>(num_sc);
+  bool degenerate = false;
+  switch (mode) {
+    case WeightingMode::kUniform:
+      for (auto& v : w.weights) v = uniform;
+      break;
+    case WeightingMode::kMeanMuOnly:
+      if (sum_mu > 0.0) {
+        for (std::size_t k = 0; k < num_sc; ++k) {
+          w.weights[k] = std::abs(w.mean_mu[k]) / sum_mu;
+        }
+      } else {
+        degenerate = true;
+      }
+      break;
+    case WeightingMode::kStabilityOnly:
+      if (sum_r > 0.0) {
+        for (std::size_t k = 0; k < num_sc; ++k) {
+          w.weights[k] = w.stability[k] / sum_r;
+        }
+      } else {
+        degenerate = true;
+      }
+      break;
+    case WeightingMode::kMeanMuTimesStability:
+      if (sum_mu * sum_r > 0.0) {
+        for (std::size_t k = 0; k < num_sc; ++k) {
+          w.weights[k] =
+              std::abs(w.mean_mu[k] * w.stability[k]) / (sum_mu * sum_r);
+        }
+      } else {
+        degenerate = true;
+      }
+      break;
+  }
+  if (degenerate) {
+    // Degenerate window (all-zero mu or stability): fall back to uniform so
+    // the detector degrades to the baseline instead of reporting zeros.
+    for (auto& v : w.weights) v = uniform;
+  }
+  return w;
+}
+
+SubcarrierWeights ComputeSubcarrierWeightsSinglePacket(
+    const std::vector<double>& mu) {
+  return ComputeSubcarrierWeights(std::vector<std::vector<double>>{mu});
+}
+
+std::vector<double> ApplySubcarrierWeights(const SubcarrierWeights& weights,
+                                           const std::vector<double>& delta_s) {
+  MULINK_REQUIRE(weights.weights.size() == delta_s.size(),
+                 "ApplySubcarrierWeights: size mismatch");
+  std::vector<double> out(delta_s.size());
+  for (std::size_t k = 0; k < delta_s.size(); ++k) {
+    out[k] = weights.weights[k] * delta_s[k];
+  }
+  return out;
+}
+
+SubcarrierWeights ComputeSubcarrierWeights(
+    const std::vector<wifi::CsiPacket>& window, const wifi::BandPlan& band) {
+  return ComputeSubcarrierWeights(MeasureMultipathFactors(window, band));
+}
+
+}  // namespace mulink::core

@@ -1,0 +1,103 @@
+#include "core/tracker.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace mulink::core {
+
+namespace {
+
+// x and y decouple into two independent [position, velocity] filters, so the
+// 4x4 problem reduces to two 2x2 Kalman updates — done here explicitly.
+struct Axis {
+  double pos, vel;      // state
+  double p00, p01, p11; // symmetric covariance
+};
+
+void PredictAxis(Axis& axis, double dt, double accel_sigma) {
+  // x' = F x with F = [1 dt; 0 1]; P' = F P F^T + Q.
+  axis.pos += dt * axis.vel;
+  const double p00 = axis.p00 + dt * (2.0 * axis.p01 + dt * axis.p11);
+  const double p01 = axis.p01 + dt * axis.p11;
+  axis.p00 = p00;
+  axis.p01 = p01;
+  // White-acceleration process noise.
+  const double q = accel_sigma * accel_sigma;
+  axis.p00 += q * dt * dt * dt * dt / 4.0;
+  axis.p01 += q * dt * dt * dt / 2.0;
+  axis.p11 += q * dt * dt;
+}
+
+void UpdateAxis(Axis& axis, double measurement, double meas_sigma) {
+  const double r = meas_sigma * meas_sigma;
+  const double s = axis.p00 + r;           // innovation variance
+  const double k0 = axis.p00 / s;          // Kalman gains
+  const double k1 = axis.p01 / s;
+  const double innovation = measurement - axis.pos;
+  axis.pos += k0 * innovation;
+  axis.vel += k1 * innovation;
+  const double p00 = (1.0 - k0) * axis.p00;
+  const double p01 = (1.0 - k0) * axis.p01;
+  const double p11 = axis.p11 - k1 * axis.p01;
+  axis.p00 = p00;
+  axis.p01 = p01;
+  axis.p11 = p11;
+}
+
+}  // namespace
+
+PositionTracker::PositionTracker(TrackerConfig config) : config_(config) {
+  MULINK_REQUIRE(config_.acceleration_sigma > 0.0 &&
+                     config_.measurement_sigma_m > 0.0 &&
+                     config_.initial_speed_sigma > 0.0,
+                 "PositionTracker: noise parameters must be positive");
+}
+
+void PositionTracker::Reset() {
+  initialized_ = false;
+  state_ = {};
+  covariance_ = {};
+}
+
+geometry::Vec2 PositionTracker::Update(geometry::Vec2 measurement,
+                                       double dt_s) {
+  MULINK_REQUIRE(dt_s >= 0.0, "PositionTracker: dt must be >= 0");
+  if (!initialized_) {
+    state_ = {measurement.x, measurement.y, 0.0, 0.0};
+    const double r = config_.measurement_sigma_m * config_.measurement_sigma_m;
+    const double v = config_.initial_speed_sigma * config_.initial_speed_sigma;
+    covariance_ = {r, 0, 0, 0,  //
+                   0, r, 0, 0,  //
+                   0, 0, v, 0,  //
+                   0, 0, 0, v};
+    initialized_ = true;
+    return measurement;
+  }
+
+  Axis x{state_[0], state_[2], covariance_[0], covariance_[2],
+         covariance_[10]};
+  Axis y{state_[1], state_[3], covariance_[5], covariance_[7],
+         covariance_[15]};
+  PredictAxis(x, dt_s, config_.acceleration_sigma);
+  PredictAxis(y, dt_s, config_.acceleration_sigma);
+  UpdateAxis(x, measurement.x, config_.measurement_sigma_m);
+  UpdateAxis(y, measurement.y, config_.measurement_sigma_m);
+
+  state_ = {x.pos, y.pos, x.vel, y.vel};
+  covariance_[0] = x.p00;
+  covariance_[2] = x.p01;
+  covariance_[10] = x.p11;
+  covariance_[5] = y.p00;
+  covariance_[7] = y.p01;
+  covariance_[15] = y.p11;
+  return position();
+}
+
+geometry::Vec2 PositionTracker::Predict(double dt_s) const {
+  MULINK_REQUIRE(initialized_, "PositionTracker: not initialized");
+  MULINK_REQUIRE(dt_s >= 0.0, "PositionTracker: dt must be >= 0");
+  return {state_[0] + dt_s * state_[2], state_[1] + dt_s * state_[3]};
+}
+
+}  // namespace mulink::core

@@ -1,0 +1,47 @@
+// Constant-velocity Kalman filter over 2-D position measurements — smooths
+// the per-window location estimates of the RTI imager (or any localizer)
+// into a track, the "tracking" half of detect/localize/track pipelines.
+#pragma once
+
+#include <array>
+
+#include "geometry/vec2.h"
+
+namespace mulink::core {
+
+struct TrackerConfig {
+  // Process noise: white acceleration with this standard deviation (m/s^2).
+  double acceleration_sigma = 0.3;
+  // Measurement noise standard deviation (m) of the position fixes.
+  double measurement_sigma_m = 0.5;
+  // Initial velocity uncertainty (m/s).
+  double initial_speed_sigma = 1.5;
+};
+
+class PositionTracker {
+ public:
+  explicit PositionTracker(TrackerConfig config = {});
+
+  // Feed a position fix taken dt_s seconds after the previous one (the
+  // first call initializes the track). Returns the filtered position.
+  geometry::Vec2 Update(geometry::Vec2 measurement, double dt_s);
+
+  // Predict the position dt_s ahead of the last update without consuming a
+  // measurement (for coasting through missed detections).
+  geometry::Vec2 Predict(double dt_s) const;
+
+  bool initialized() const { return initialized_; }
+  geometry::Vec2 position() const { return {state_[0], state_[1]}; }
+  geometry::Vec2 velocity() const { return {state_[2], state_[3]}; }
+
+  void Reset();
+
+ private:
+  TrackerConfig config_;
+  bool initialized_ = false;
+  // State [x, y, vx, vy] and covariance (row-major 4x4).
+  std::array<double, 4> state_{};
+  std::array<double, 16> covariance_{};
+};
+
+}  // namespace mulink::core

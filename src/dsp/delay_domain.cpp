@@ -1,0 +1,53 @@
+#include "dsp/delay_domain.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace mulink::dsp {
+
+std::vector<Complex> DelayTransform(const std::vector<Complex>& cfr,
+                                    const std::vector<double>& offsets_hz,
+                                    const std::vector<double>& delays_s) {
+  MULINK_REQUIRE(cfr.size() == offsets_hz.size(),
+                 "DelayTransform: CFR/offset size mismatch");
+  MULINK_REQUIRE(!cfr.empty(), "DelayTransform: empty CFR");
+  std::vector<Complex> taps(delays_s.size(), Complex(0.0, 0.0));
+  const double scale = 1.0 / static_cast<double>(cfr.size());
+  for (std::size_t t = 0; t < delays_s.size(); ++t) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t k = 0; k < cfr.size(); ++k) {
+      const double angle = 2.0 * kPi * offsets_hz[k] * delays_s[t];
+      acc += cfr[k] * Complex(std::cos(angle), std::sin(angle));
+    }
+    taps[t] = acc * scale;
+  }
+  return taps;
+}
+
+double DominantTapPower(const std::vector<Complex>& cfr) {
+  MULINK_REQUIRE(!cfr.empty(), "DominantTapPower: empty CFR");
+  Complex acc(0.0, 0.0);
+  for (const auto& h : cfr) acc += h;
+  acc /= static_cast<double>(cfr.size());
+  return std::norm(acc);
+}
+
+std::vector<double> PowerDelayProfile(const std::vector<Complex>& cfr,
+                                      const std::vector<double>& offsets_hz,
+                                      double max_delay_s,
+                                      std::size_t num_taps) {
+  MULINK_REQUIRE(num_taps >= 2, "PowerDelayProfile: need >= 2 taps");
+  MULINK_REQUIRE(max_delay_s > 0.0, "PowerDelayProfile: max delay must be > 0");
+  std::vector<double> delays(num_taps);
+  for (std::size_t i = 0; i < num_taps; ++i) {
+    delays[i] =
+        max_delay_s * static_cast<double>(i) / static_cast<double>(num_taps - 1);
+  }
+  const auto taps = DelayTransform(cfr, offsets_hz, delays);
+  std::vector<double> pdp(num_taps);
+  for (std::size_t i = 0; i < num_taps; ++i) pdp[i] = std::norm(taps[i]);
+  return pdp;
+}
+
+}  // namespace mulink::dsp

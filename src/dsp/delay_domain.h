@@ -1,0 +1,36 @@
+// Frequency-to-delay-domain transform of a CSI vector.
+//
+// Eq. 10 of the paper approximates the LOS power from |h_hat(0)|^2, the power
+// of the dominant delay tap of the inverse transform of the measured CFR —
+// the same trick used by FILA (INFOCOM'12) and Sen et al. (MobiSys'13). The
+// Intel 5300 reports 30 unevenly spaced subcarriers, so we use a direct
+// inverse nonuniform DFT over the actual subcarrier offsets rather than a
+// radix-2 IFFT.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "common/constants.h"
+
+namespace mulink::dsp {
+
+// Inverse nonuniform DFT: given per-subcarrier channel values H(f_k) at
+// baseband offsets f_k (Hz relative to the carrier), evaluate
+//   h(tau) = (1/K) * sum_k H(f_k) * exp(+j 2 pi f_k tau)
+// at each requested delay tau (seconds).
+std::vector<Complex> DelayTransform(const std::vector<Complex>& cfr,
+                                    const std::vector<double>& offsets_hz,
+                                    const std::vector<double>& delays_s);
+
+// Power of the zero-delay tap |h_hat(0)|^2 — the dominant-path power proxy of
+// Eq. 10. Equivalent to |mean_k H(f_k)|^2.
+double DominantTapPower(const std::vector<Complex>& cfr);
+
+// Delay profile over a uniform delay grid [0, max_delay_s] with `num_taps`
+// taps; returns per-tap |h(tau)|^2.
+std::vector<double> PowerDelayProfile(const std::vector<Complex>& cfr,
+                                      const std::vector<double>& offsets_hz,
+                                      double max_delay_s, std::size_t num_taps);
+
+}  // namespace mulink::dsp

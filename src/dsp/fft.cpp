@@ -1,0 +1,55 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace mulink::dsp {
+
+bool IsPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+namespace {
+
+void Transform(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  MULINK_REQUIRE(IsPowerOfTwo(n), "Fft: size must be a power of two");
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Danielson–Lanczos butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
+    const Complex w_len(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= w_len;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= scale;
+  }
+}
+
+}  // namespace
+
+void Fft(std::vector<Complex>& data) { Transform(data, false); }
+
+void Ifft(std::vector<Complex>& data) { Transform(data, true); }
+
+}  // namespace mulink::dsp

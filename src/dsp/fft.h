@@ -1,0 +1,19 @@
+// Iterative radix-2 FFT for the OFDM baseband chain.
+#pragma once
+
+#include <vector>
+
+#include "common/constants.h"
+
+namespace mulink::dsp {
+
+// In-place forward DFT: X[k] = sum_n x[n] exp(-j 2 pi k n / N).
+// Size must be a power of two.
+void Fft(std::vector<Complex>& data);
+
+// In-place inverse DFT including the 1/N normalization.
+void Ifft(std::vector<Complex>& data);
+
+bool IsPowerOfTwo(std::size_t n);
+
+}  // namespace mulink::dsp

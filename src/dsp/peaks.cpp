@@ -1,0 +1,51 @@
+#include "dsp/peaks.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace mulink::dsp {
+
+std::vector<Peak> FindPeaks(const std::vector<double>& xs,
+                            const PeakOptions& options) {
+  MULINK_REQUIRE(xs.size() >= 3, "FindPeaks: need >= 3 samples");
+  const double global_max = *std::max_element(xs.begin(), xs.end());
+
+  std::vector<Peak> peaks;
+  for (std::size_t i = 1; i + 1 < xs.size(); ++i) {
+    // A peak is a sample strictly above its left neighbour and at least as
+    // high as its right neighbour (plateaus credit their left edge).
+    if (!(xs[i] > xs[i - 1] && xs[i] >= xs[i + 1])) continue;
+
+    // Walk to the flanking minima.
+    double left_min = xs[i];
+    for (std::size_t j = i; j > 0; --j) {
+      left_min = std::min(left_min, xs[j - 1]);
+      if (xs[j - 1] > xs[i]) break;
+    }
+    double right_min = xs[i];
+    for (std::size_t j = i + 1; j < xs.size(); ++j) {
+      right_min = std::min(right_min, xs[j]);
+      if (xs[j] > xs[i]) break;
+    }
+    Peak p;
+    p.index = i;
+    p.value = xs[i];
+    p.prominence = xs[i] - std::max(left_min, right_min);
+
+    if (global_max > 0.0) {
+      if (p.value < options.min_relative_height * global_max) continue;
+      if (p.prominence < options.min_relative_prominence * global_max) continue;
+    }
+    peaks.push_back(p);
+  }
+
+  std::sort(peaks.begin(), peaks.end(),
+            [](const Peak& a, const Peak& b) { return a.value > b.value; });
+  if (options.max_peaks > 0 && peaks.size() > options.max_peaks) {
+    peaks.resize(options.max_peaks);
+  }
+  return peaks;
+}
+
+}  // namespace mulink::dsp

@@ -1,0 +1,30 @@
+// Local-maximum extraction for angular pseudospectra.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mulink::dsp {
+
+struct Peak {
+  std::size_t index = 0;
+  double value = 0.0;
+  // Height above the higher of the two flanking minima; a crude but effective
+  // prominence measure for rejecting ripple peaks.
+  double prominence = 0.0;
+};
+
+struct PeakOptions {
+  // Keep only peaks whose value is at least this fraction of the global max.
+  double min_relative_height = 0.05;
+  // Keep only peaks whose prominence is at least this fraction of the global max.
+  double min_relative_prominence = 0.01;
+  // At most this many peaks, strongest first (0 = unlimited).
+  std::size_t max_peaks = 0;
+};
+
+// Find local maxima of `xs`, sorted by descending value.
+std::vector<Peak> FindPeaks(const std::vector<double>& xs,
+                            const PeakOptions& options = {});
+
+}  // namespace mulink::dsp

@@ -1,0 +1,148 @@
+#include "dsp/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace mulink::dsp {
+
+double Mean(const std::vector<double>& xs) {
+  MULINK_REQUIRE(!xs.empty(), "Mean: empty input");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  MULINK_REQUIRE(!xs.empty(), "Variance: empty input");
+  const double m = Mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Median(std::vector<double> xs) {
+  MULINK_REQUIRE(!xs.empty(), "Median: empty input");
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  const double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  MULINK_REQUIRE(!xs.empty(), "Quantile: empty input");
+  MULINK_REQUIRE(q >= 0.0 && q <= 1.0, "Quantile: q must be in [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double MedianAbsDeviation(const std::vector<double>& xs) {
+  MULINK_REQUIRE(!xs.empty(), "MedianAbsDeviation: empty input");
+  const double med = Median(std::vector<double>(xs));
+  std::vector<double> deviations;
+  deviations.reserve(xs.size());
+  for (double x : xs) deviations.push_back(std::abs(x - med));
+  return Median(std::move(deviations));
+}
+
+double Min(const std::vector<double>& xs) {
+  MULINK_REQUIRE(!xs.empty(), "Min: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  MULINK_REQUIRE(!xs.empty(), "Max: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double Correlation(const std::vector<double>& xs,
+                   const std::vector<double>& ys) {
+  MULINK_REQUIRE(xs.size() == ys.size() && xs.size() >= 2,
+                 "Correlation: need >= 2 paired samples");
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  MULINK_REQUIRE(sxx > 0.0 && syy > 0.0,
+                 "Correlation: inputs must not be constant");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> xs,
+                                   std::size_t num_points) {
+  MULINK_REQUIRE(!xs.empty(), "EmpiricalCdf: empty input");
+  MULINK_REQUIRE(num_points >= 2, "EmpiricalCdf: need >= 2 points");
+  std::sort(xs.begin(), xs.end());
+  std::vector<CdfPoint> cdf(num_points);
+  for (std::size_t i = 0; i < num_points; ++i) {
+    const double p =
+        static_cast<double>(i) / static_cast<double>(num_points - 1);
+    const double pos = p * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    cdf[i] = {xs[lo] * (1.0 - frac) + xs[hi] * frac, p};
+  }
+  return cdf;
+}
+
+double CdfAt(const std::vector<double>& xs, double threshold) {
+  MULINK_REQUIRE(!xs.empty(), "CdfAt: empty input");
+  std::size_t count = 0;
+  for (double x : xs) {
+    if (x <= threshold) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(xs.size());
+}
+
+double Histogram::BinCenter(std::size_t bin) const {
+  MULINK_REQUIRE(bin < counts.size(), "Histogram::BinCenter: out of range");
+  return lo + (static_cast<double>(bin) + 0.5) * BinWidth();
+}
+
+double Histogram::BinWidth() const {
+  return (hi - lo) / static_cast<double>(counts.size());
+}
+
+std::size_t Histogram::TotalCount() const {
+  std::size_t total = 0;
+  for (auto c : counts) total += c;
+  return total;
+}
+
+Histogram MakeHistogram(const std::vector<double>& xs, double lo, double hi,
+                        std::size_t bins) {
+  MULINK_REQUIRE(hi > lo, "MakeHistogram: hi must exceed lo");
+  MULINK_REQUIRE(bins > 0, "MakeHistogram: need >= 1 bin");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : xs) {
+    if (x < lo || x > hi) continue;
+    auto bin = static_cast<std::size_t>((x - lo) / width);
+    if (bin >= bins) bin = bins - 1;  // x == hi lands in the last bin
+    ++h.counts[bin];
+  }
+  return h;
+}
+
+}  // namespace mulink::dsp

@@ -1,0 +1,59 @@
+// Descriptive statistics used across the characterization and evaluation
+// pipeline (CDFs over human locations, temporal stability of the multipath
+// factor, ROC operating points, ...).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mulink::dsp {
+
+double Mean(const std::vector<double>& xs);
+double Variance(const std::vector<double>& xs);  // population variance
+double StdDev(const std::vector<double>& xs);
+
+// Median via partial sort of a copy; exact for both parities.
+double Median(std::vector<double> xs);
+
+// Linear-interpolated quantile, q in [0, 1].
+double Quantile(std::vector<double> xs, double q);
+
+// Median absolute deviation from the median. Multiply by 1.4826 for a
+// robust, outlier-immune estimate of a Gaussian's standard deviation.
+double MedianAbsDeviation(const std::vector<double>& xs);
+
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+
+// Pearson correlation coefficient.
+double Correlation(const std::vector<double>& xs, const std::vector<double>& ys);
+
+// One point of an empirical CDF evaluation.
+struct CdfPoint {
+  double value = 0.0;
+  double probability = 0.0;
+};
+
+// Empirical CDF sampled at `num_points` evenly spaced probabilities
+// (including 0 and 1). Useful for printing the CDF figures of the paper.
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> xs,
+                                   std::size_t num_points = 101);
+
+// Fraction of samples <= threshold.
+double CdfAt(const std::vector<double>& xs, double threshold);
+
+// Uniform-bin histogram.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;
+
+  double BinCenter(std::size_t bin) const;
+  double BinWidth() const;
+  std::size_t TotalCount() const;
+};
+
+Histogram MakeHistogram(const std::vector<double>& xs, double lo, double hi,
+                        std::size_t bins);
+
+}  // namespace mulink::dsp

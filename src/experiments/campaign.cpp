@@ -1,0 +1,139 @@
+#include "experiments/campaign.h"
+
+#include "common/assert.h"
+
+namespace mulink::experiments {
+
+core::RocCurve SchemeResult::Roc() const {
+  std::vector<double> pos, neg;
+  pos.reserve(positives.size());
+  neg.reserve(negatives.size());
+  for (const auto& w : positives) pos.push_back(w.score);
+  for (const auto& w : negatives) neg.push_back(w.score);
+  return core::ComputeRoc(pos, neg);
+}
+
+double SchemeResult::DetectionRate(double threshold) const {
+  return DetectionRate(threshold, [](const ScoredWindow&) { return true; });
+}
+
+double SchemeResult::FalsePositiveRate(double threshold) const {
+  if (negatives.empty()) return 0.0;
+  std::size_t hit = 0;
+  for (const auto& w : negatives) {
+    if (w.score >= threshold) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(negatives.size());
+}
+
+const SchemeResult& CampaignResult::ForScheme(
+    core::DetectionScheme scheme) const {
+  for (const auto& s : schemes) {
+    if (s.scheme == scheme) return s;
+  }
+  throw PreconditionError("CampaignResult: scheme not present in results");
+}
+
+namespace {
+
+std::vector<std::vector<wifi::CsiPacket>> SplitWindows(
+    const std::vector<wifi::CsiPacket>& session, std::size_t window) {
+  std::vector<std::vector<wifi::CsiPacket>> windows;
+  for (std::size_t start = 0; start + window <= session.size();
+       start += window) {
+    windows.emplace_back(session.begin() + static_cast<std::ptrdiff_t>(start),
+                         session.begin() +
+                             static_cast<std::ptrdiff_t>(start + window));
+  }
+  return windows;
+}
+
+}  // namespace
+
+CampaignResult RunCampaign(
+    const std::vector<LinkCase>& cases,
+    const std::vector<std::vector<HumanSpot>>& spots_per_case,
+    const std::vector<core::DetectionScheme>& schemes,
+    const CampaignConfig& config) {
+  MULINK_REQUIRE(cases.size() == spots_per_case.size(),
+                 "RunCampaign: cases/spots size mismatch");
+  MULINK_REQUIRE(!schemes.empty(), "RunCampaign: need >= 1 scheme");
+  MULINK_REQUIRE(config.window_packets >= 2,
+                 "RunCampaign: window must hold >= 2 packets");
+
+  CampaignResult result;
+  result.schemes.resize(schemes.size());
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    result.schemes[s].scheme = schemes[s];
+  }
+
+  Rng rng(config.seed);
+
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const auto& link_case = cases[ci];
+    auto simulator = MakeSimulator(link_case, config.sim);
+    Rng case_rng = rng.Fork();
+
+    // Calibration session (empty room).
+    const auto calibration =
+        simulator.CaptureSession(config.calibration_packets, std::nullopt,
+                                 case_rng);
+
+    // One detector per scheme, sharing the calibration capture.
+    std::vector<core::Detector> detectors;
+    detectors.reserve(schemes.size());
+    for (auto scheme : schemes) {
+      core::DetectorConfig dc = config.detector;
+      dc.scheme = scheme;
+      dc.window_packets = config.window_packets;
+      detectors.push_back(core::Detector::Calibrate(
+          calibration, simulator.band(), simulator.array(), dc));
+    }
+
+    // Negative windows: a fresh empty-room session.
+    const auto empty_session =
+        simulator.CaptureSession(config.empty_packets, std::nullopt, case_rng);
+    for (const auto& window :
+         SplitWindows(empty_session, config.window_packets)) {
+      for (std::size_t s = 0; s < schemes.size(); ++s) {
+        ScoredWindow sw;
+        sw.score = detectors[s].Score(window);
+        sw.case_index = static_cast<int>(ci);
+        result.schemes[s].negatives.push_back(sw);
+      }
+    }
+
+    // Positive windows: one session per human spot.
+    for (const auto& spot : spots_per_case[ci]) {
+      propagation::HumanBody body = config.human;
+      body.position = spot.position;
+      const auto session = simulator.CaptureSession(
+          config.packets_per_location, body, case_rng);
+      for (const auto& window : SplitWindows(session, config.window_packets)) {
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+          ScoredWindow sw;
+          sw.score = detectors[s].Score(window);
+          sw.case_index = static_cast<int>(ci);
+          sw.distance_to_rx_m = spot.distance_to_rx_m;
+          sw.angle_deg = spot.angle_deg;
+          result.schemes[s].positives.push_back(sw);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+CampaignResult RunPaperCampaign(const CampaignConfig& config) {
+  const auto cases = MakePaperCases();
+  std::vector<std::vector<HumanSpot>> spots;
+  spots.reserve(cases.size());
+  for (const auto& c : cases) spots.push_back(Grid3x3(c));
+  return RunCampaign(cases, spots,
+                     {core::DetectionScheme::kBaseline,
+                      core::DetectionScheme::kSubcarrierWeighting,
+                      core::DetectionScheme::kSubcarrierAndPathWeighting},
+                     config);
+}
+
+}  // namespace mulink::experiments

@@ -1,0 +1,83 @@
+// Measurement-campaign runner: generates CSI sessions for every (case,
+// human-location) pair plus empty-room sessions, scores every monitoring
+// window under each detection scheme, and returns the labelled scores the
+// evaluation figures are computed from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/roc.h"
+#include "experiments/scenario.h"
+#include "experiments/workload.h"
+
+namespace mulink::experiments {
+
+struct CampaignConfig {
+  // Packets per monitoring session at each human location. The paper runs
+  // 3 x 5000 packets per location; the default here is scaled down so the
+  // full campaign finishes in seconds while keeping dozens of windows per
+  // location.
+  std::size_t packets_per_location = 600;
+  std::size_t calibration_packets = 400;
+  // Empty-room monitoring packets per case (negative windows).
+  std::size_t empty_packets = 600;
+  std::size_t window_packets = 25;
+
+  core::DetectorConfig detector;  // scheme field is ignored (all run)
+  nic::ChannelSimConfig sim = DefaultSimConfig();
+  propagation::HumanBody human;  // template body (position overwritten)
+  std::uint64_t seed = 7;
+};
+
+// One scored monitoring window with its ground-truth metadata.
+struct ScoredWindow {
+  double score = 0.0;
+  int case_index = 0;
+  double distance_to_rx_m = 0.0;  // 0 for empty-room windows
+  double angle_deg = 0.0;
+};
+
+struct SchemeResult {
+  core::DetectionScheme scheme{};
+  std::vector<ScoredWindow> positives;  // human present
+  std::vector<ScoredWindow> negatives;  // empty room
+
+  core::RocCurve Roc() const;
+
+  // Detection rate (fraction of positive windows >= threshold) over the
+  // subset of positives selected by `keep`.
+  template <typename Pred>
+  double DetectionRate(double threshold, Pred keep) const {
+    std::size_t total = 0, hit = 0;
+    for (const auto& w : positives) {
+      if (!keep(w)) continue;
+      ++total;
+      if (w.score >= threshold) ++hit;
+    }
+    return total > 0 ? static_cast<double>(hit) / static_cast<double>(total)
+                     : 0.0;
+  }
+  double DetectionRate(double threshold) const;
+  double FalsePositiveRate(double threshold) const;
+};
+
+struct CampaignResult {
+  std::vector<SchemeResult> schemes;
+
+  const SchemeResult& ForScheme(core::DetectionScheme scheme) const;
+};
+
+// Run the campaign over `cases`, testing `spots_per_case[i]` human locations
+// on case i. All three schemes are scored from the same captured packets.
+CampaignResult RunCampaign(const std::vector<LinkCase>& cases,
+                           const std::vector<std::vector<HumanSpot>>& spots_per_case,
+                           const std::vector<core::DetectionScheme>& schemes,
+                           const CampaignConfig& config);
+
+// Convenience: the paper's full Fig. 6 campaign (5 cases, 3x3 grids, all
+// three schemes).
+CampaignResult RunPaperCampaign(const CampaignConfig& config);
+
+}  // namespace mulink::experiments

@@ -1,0 +1,64 @@
+#include "experiments/format.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace mulink::experiments {
+
+void PrintSeries(std::ostream& os, const std::string& title,
+                 const std::string& x_label, const std::string& y_label,
+                 const std::vector<double>& xs, const std::vector<double>& ys) {
+  MULINK_REQUIRE(xs.size() == ys.size(), "PrintSeries: size mismatch");
+  os << "## " << title << "\n";
+  os << "# " << x_label << "\t" << y_label << "\n";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    os << Fmt(xs[i]) << "\t" << Fmt(ys[i]) << "\n";
+  }
+  os << "\n";
+}
+
+void PrintTable(std::ostream& os, const std::string& title,
+                const std::vector<std::string>& headers,
+                const std::vector<std::vector<std::string>>& rows) {
+  os << "## " << title << "\n";
+  std::vector<std::size_t> widths(headers.size(), 0);
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    widths[c] = headers[c].size();
+  }
+  for (const auto& row : rows) {
+    MULINK_REQUIRE(row.size() == headers.size(),
+                   "PrintTable: row width mismatch");
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cells[c];
+    }
+    os << "\n";
+  };
+  print_row(headers);
+  std::string rule;
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    rule += std::string(widths[c], '-') + "  ";
+  }
+  os << rule << "\n";
+  for (const auto& row : rows) print_row(row);
+  os << "\n";
+}
+
+std::string Fmt(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+void PrintBanner(std::ostream& os, const std::string& text) {
+  os << "\n=== " << text << " ===\n\n";
+}
+
+}  // namespace mulink::experiments

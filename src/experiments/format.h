@@ -1,0 +1,26 @@
+// ASCII output helpers shared by the figure-regeneration benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace mulink::experiments {
+
+// Print "name: (x, y)" series, one row per point.
+void PrintSeries(std::ostream& os, const std::string& title,
+                 const std::string& x_label, const std::string& y_label,
+                 const std::vector<double>& xs, const std::vector<double>& ys);
+
+// Simple fixed-width table.
+void PrintTable(std::ostream& os, const std::string& title,
+                const std::vector<std::string>& headers,
+                const std::vector<std::vector<std::string>>& rows);
+
+// Format a double with the given precision.
+std::string Fmt(double value, int precision = 3);
+
+// Section banner.
+void PrintBanner(std::ostream& os, const std::string& text);
+
+}  // namespace mulink::experiments

@@ -1,0 +1,212 @@
+#include "experiments/scenario.h"
+
+#include "common/assert.h"
+#include "common/constants.h"
+
+namespace mulink::experiments {
+
+using geometry::Room;
+using geometry::Scatterer;
+using geometry::Vec2;
+
+LinkCase MakeClassroomLink() {
+  // 6 m x 8 m classroom (Sec. III-A), concrete shell, desks/computers as
+  // scatterers. 4 m link through the room center.
+  Room room = Room::Rectangular(6.0, 8.0, 0.65);
+  room.AddScatterer({{1.0, 1.2}, 0.35, "desk-row-sw"});
+  room.AddScatterer({{5.2, 1.5}, 0.30, "desk-row-se"});
+  room.AddScatterer({{0.8, 6.8}, 0.25, "cabinet-nw"});
+  room.AddScatterer({{5.3, 7.0}, 0.40, "metal-locker-ne"});
+  room.AddScatterer({{3.0, 1.0}, 0.20, "lectern"});
+
+  LinkCase lc;
+  lc.name = "classroom-4m";
+  lc.room = std::move(room);
+  lc.tx = {1.0, 4.0};
+  lc.rx = {5.0, 4.0};
+  lc.heights = {1.2, 1.1};
+  // Sec. III's classroom measurements were controlled, but never sterile:
+  // one person at a desk far from the link.
+  lc.walker_bases = {{5.4, 7.4}};
+  return lc;
+}
+
+LinkCase MakeShortWallLink() {
+  // 3 m link placed ~1.4 m from a concrete wall to create a notable
+  // reflected path (Fig. 5a setup) while leaving room for the 1 m angular
+  // arc of test locations around the receiver (Fig. 5c).
+  Room room = Room::Rectangular(6.0, 8.0, 0.55);
+  room.AddScatterer({{5.0, 6.5}, 0.25, "cabinet"});
+
+  LinkCase lc;
+  lc.name = "short-wall-3m";
+  lc.room = std::move(room);
+  lc.tx = {1.5, 1.4};
+  lc.rx = {4.5, 1.4};
+  lc.heights = {1.2, 1.1};
+  return lc;
+}
+
+LinkCase MakeThroughWallLink() {
+  Room room = Room::Rectangular(7.0, 6.0, 0.5);
+  // Drywall partition at x = 3 with a doorway gap near the south end: two
+  // wall segments, light transmission loss, modest reflectivity.
+  geometry::Wall partition_north;
+  partition_north.segment = {{3.0, 1.2}, {3.0, 6.0}};
+  partition_north.reflection_coefficient = 0.3;
+  partition_north.transmission_loss_db = 5.0;  // drywall
+  partition_north.name = "partition-north";
+  room.AddWall(partition_north);
+  geometry::Wall partition_south;
+  partition_south.segment = {{3.0, 0.0}, {3.0, 0.4}};
+  partition_south.reflection_coefficient = 0.3;
+  partition_south.transmission_loss_db = 5.0;
+  partition_south.name = "partition-south";
+  room.AddWall(partition_south);
+  room.AddScatterer({{5.8, 5.2}, 0.35, "cabinet-east"});
+  room.AddScatterer({{1.0, 5.0}, 0.30, "shelf-west"});
+
+  LinkCase lc;
+  lc.name = "through-wall-drywall";
+  lc.room = std::move(room);
+  lc.tx = {1.2, 3.0};   // west room (AP side)
+  lc.rx = {5.8, 3.0};   // east room (monitored side)
+  lc.heights = {1.6, 1.1};
+  return lc;
+}
+
+std::vector<LinkCase> MakePaperCases() {
+  std::vector<LinkCase> cases;
+
+  // Room A: 7 m x 9 m furnished office.
+  const auto make_room_a = [] {
+    Room room = Room::Rectangular(7.0, 9.0, 0.55);
+    room.AddScatterer({{0.8, 1.0}, 0.35, "desk-cluster-sw"});
+    room.AddScatterer({{6.2, 1.2}, 0.30, "desk-cluster-se"});
+    room.AddScatterer({{0.7, 7.8}, 0.40, "metal-cabinet-nw"});
+    room.AddScatterer({{6.3, 8.0}, 0.25, "shelf-ne"});
+    room.AddScatterer({{3.5, 8.3}, 0.20, "printer-n"});
+    room.AddScatterer({{6.4, 4.5}, 0.30, "bookcase-e"});
+    return room;
+  };
+
+  // Room B: 6 m x 7 m furnished office.
+  const auto make_room_b = [] {
+    Room room = Room::Rectangular(6.0, 7.0, 0.55);
+    room.AddScatterer({{0.9, 0.9}, 0.30, "desk-sw"});
+    room.AddScatterer({{5.1, 1.1}, 0.35, "desk-se"});
+    room.AddScatterer({{5.4, 6.6}, 0.40, "metal-cabinet-ne"});
+    room.AddScatterer({{0.8, 6.1}, 0.25, "shelf-nw"});
+    room.AddScatterer({{3.0, 6.4}, 0.20, "whiteboard-n"});
+    return room;
+  };
+
+  {
+    // Case 1: 5 m link along the cluttered north side of room A. Strong
+    // NLOS components; the paper sees path weighting dip slightly here due
+    // to angle estimation errors.
+    LinkCase lc;
+    lc.name = "case1-roomA-5m";
+    lc.room = make_room_a();
+    lc.tx = {1.0, 7.2};
+    lc.rx = {6.0, 7.2};
+    lc.heights = {2.0, 1.1};  // wall-mounted AP
+    lc.walker_bases = {{5.9, 1.6}, {6.2, 2.2}, {5.5, 1.8}};
+    cases.push_back(std::move(lc));
+  }
+  {
+    // Case 2: 4 m diagonal link through room A.
+    LinkCase lc;
+    lc.name = "case2-roomA-4m";
+    lc.room = make_room_a();
+    lc.tx = {1.2, 2.0};
+    lc.rx = {4.0, 4.9};
+    lc.heights = {1.7, 1.1};  // shelf AP
+    lc.walker_bases = {{6.1, 2.4}, {5.7, 1.6}, {6.2, 3.2}};
+    cases.push_back(std::move(lc));
+  }
+  {
+    // Case 3: 3 m link in the relatively vacant center of room A (strong
+    // LOS, little nearby clutter).
+    LinkCase lc;
+    lc.name = "case3-roomA-3m-vacant";
+    lc.room = make_room_a();
+    lc.tx = {2.0, 4.5};
+    lc.rx = {5.0, 4.5};
+    lc.heights = {1.4, 1.1};  // desk AP
+    lc.walker_bases = {{5.2, 8.4}, {4.8, 0.8}, {5.6, 8.3}};
+    cases.push_back(std::move(lc));
+  }
+  {
+    // Case 4: 4.5 m link across room B.
+    LinkCase lc;
+    lc.name = "case4-roomB-4.5m";
+    lc.room = make_room_b();
+    lc.tx = {0.8, 2.2};
+    lc.rx = {5.3, 2.2};
+    lc.heights = {1.9, 1.1};  // wall-mounted AP
+    lc.walker_bases = {{5.2, 6.4}, {5.5, 6.0}, {4.9, 6.3}};
+    cases.push_back(std::move(lc));
+  }
+  {
+    // Case 5: 3.5 m link near room B's north-east corner clutter.
+    LinkCase lc;
+    lc.name = "case5-roomB-3.5m";
+    lc.room = make_room_b();
+    lc.tx = {1.5, 5.2};
+    lc.rx = {5.0, 5.2};
+    lc.heights = {1.5, 1.1};  // cabinet-top AP
+    lc.walker_bases = {{5.0, 1.6}, {4.6, 1.8}, {5.4, 1.7}};
+    cases.push_back(std::move(lc));
+  }
+  return cases;
+}
+
+wifi::UniformLinearArray MakeArray(const LinkCase& link_case,
+                                   std::size_t num_antennas) {
+  // Axis perpendicular to the link; broadside faces the TX so the LOS
+  // arrives at 0 degrees.
+  const double axis = link_case.LinkDirection() + kPi / 2.0;
+  return wifi::UniformLinearArray(num_antennas, kWavelength / 2.0, axis);
+}
+
+nic::ChannelSimConfig DefaultSimConfig() {
+  nic::ChannelSimConfig config;
+  config.friis.attenuation_factor = 2.1;  // mildly lossier than free space
+  config.trace.max_wall_bounces = 2;      // walls twice, for realistic richness
+  config.trace.include_scatterers = true;
+  config.noise.snr_db = 26.0;
+  config.packet_rate_hz = 50.0;
+  return config;
+}
+
+nic::ChannelSimulator MakeSimulator(const LinkCase& link_case,
+                                    const nic::ChannelSimConfig& config,
+                                    std::size_t num_antennas) {
+  nic::ChannelSimConfig with_walkers = config;
+  with_walkers.heights = link_case.heights;
+  if (with_walkers.walkers.empty()) {
+    for (const auto& base : link_case.walker_bases) {
+      nic::BackgroundWalker walker;
+      walker.base = base;
+      with_walkers.walkers.push_back(walker);
+    }
+  }
+  return nic::ChannelSimulator(link_case.room, link_case.tx, link_case.rx,
+                               MakeArray(link_case, num_antennas),
+                               wifi::BandPlan::Intel5300Channel11(),
+                               with_walkers);
+}
+
+nic::ChannelSimulator MakeSimulator(const LinkCase& link_case) {
+  return MakeSimulator(link_case, DefaultSimConfig());
+}
+
+double SpotAngleDeg(const LinkCase& link_case, geometry::Vec2 position) {
+  const auto array = MakeArray(link_case);
+  // Travel direction of a ray from the person to the RX.
+  const double travel = geometry::DirectionAngle(position, link_case.rx);
+  return RadToDeg(array.BroadsideAngle(travel));
+}
+
+}  // namespace mulink::experiments

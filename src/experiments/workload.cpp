@@ -1,0 +1,134 @@
+#include "experiments/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/constants.h"
+
+namespace mulink::experiments {
+
+using geometry::Vec2;
+
+namespace {
+
+// Clamp a position to lie inside the case's room with a small margin.
+Vec2 ClampIntoRoom(const LinkCase& link_case, Vec2 p, double margin = 0.3) {
+  const auto& room = link_case.room;
+  return {std::clamp(p.x, margin, room.width() - margin),
+          std::clamp(p.y, margin, room.depth() - margin)};
+}
+
+}  // namespace
+
+HumanSpot MakeSpot(const LinkCase& link_case, Vec2 position) {
+  // People cannot occupy the antennas: keep spots at least 0.6 m from both
+  // endpoints (the AP sits on furniture; the RX is a desktop machine).
+  constexpr double kEndpointClearance = 0.6;
+  for (const Vec2 endpoint : {link_case.tx, link_case.rx}) {
+    const double d = geometry::Distance(position, endpoint);
+    if (d < kEndpointClearance) {
+      const Vec2 away = d > 1e-9
+                            ? (position - endpoint) / d
+                            : (link_case.rx - link_case.tx).Normalized().Perp();
+      position = endpoint + away * kEndpointClearance;
+    }
+  }
+  HumanSpot spot;
+  spot.position = position;
+  spot.distance_to_rx_m = geometry::Distance(position, link_case.rx);
+  spot.angle_deg = SpotAngleDeg(link_case, position);
+  return spot;
+}
+
+std::vector<HumanSpot> Grid3x3(const LinkCase& link_case) {
+  // Axes: along the link (from RX toward TX and beyond) and lateral. The
+  // grid covers "different distances and angles with respect to the
+  // receiver" (Sec. V-A): from 1 m out to the link's own length, so each
+  // case monitors its own coverage area.
+  const Vec2 along = (link_case.tx - link_case.rx).Normalized();
+  const Vec2 lateral = along.Perp();
+
+  const double len = link_case.LinkLength();
+  const std::vector<double> distances = {1.0, (1.0 + len) / 2.0, len};
+  const std::vector<double> offsets = {-1.0, 0.0, 1.0};
+
+  std::vector<HumanSpot> spots;
+  spots.reserve(9);
+  for (double d : distances) {
+    for (double off : offsets) {
+      const Vec2 raw = link_case.rx + along * d + lateral * off;
+      spots.push_back(MakeSpot(link_case, ClampIntoRoom(link_case, raw)));
+    }
+  }
+  return spots;
+}
+
+std::vector<HumanSpot> RandomNearLink(const LinkCase& link_case,
+                                      std::size_t count, double max_lateral_m,
+                                      Rng& rng) {
+  MULINK_REQUIRE(count >= 1, "RandomNearLink: count must be >= 1");
+  MULINK_REQUIRE(max_lateral_m >= 0.0,
+                 "RandomNearLink: lateral range must be >= 0");
+  const Vec2 along = (link_case.rx - link_case.tx).Normalized();
+  const Vec2 lateral = along.Perp();
+  const double length = link_case.LinkLength();
+
+  std::vector<HumanSpot> spots;
+  spots.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = rng.Uniform(0.05, 0.95);
+    const double off = rng.Uniform(-max_lateral_m, max_lateral_m);
+    const Vec2 raw = link_case.tx + along * (t * length) + lateral * off;
+    spots.push_back(MakeSpot(link_case, ClampIntoRoom(link_case, raw)));
+  }
+  return spots;
+}
+
+std::vector<HumanSpot> AngularArc(const LinkCase& link_case, double radius_m,
+                                  const std::vector<double>& angles_deg) {
+  MULINK_REQUIRE(radius_m > 0.0, "AngularArc: radius must be > 0");
+  // Broadside direction: from RX toward TX (the array faces the TX).
+  const double broadside = geometry::DirectionAngle(link_case.rx, link_case.tx);
+  // The array axis runs at broadside + 90 degrees; positive angles lean
+  // toward the positive axis direction (consistent with SpotAngleDeg).
+  std::vector<HumanSpot> spots;
+  spots.reserve(angles_deg.size());
+  for (double a : angles_deg) {
+    const double world = broadside - DegToRad(a);
+    const Vec2 raw = link_case.rx + Vec2{std::cos(world), std::sin(world)} * radius_m;
+    spots.push_back(MakeSpot(link_case, ClampIntoRoom(link_case, raw)));
+  }
+  return spots;
+}
+
+std::vector<HumanSpot> RangeSweep(const LinkCase& link_case,
+                                  const std::vector<double>& distances_m,
+                                  const std::vector<double>& lateral_offsets_m) {
+  const Vec2 along = (link_case.tx - link_case.rx).Normalized();
+  const Vec2 lateral = along.Perp();
+  std::vector<HumanSpot> spots;
+  spots.reserve(distances_m.size() * lateral_offsets_m.size());
+  for (double d : distances_m) {
+    for (double off : lateral_offsets_m) {
+      const Vec2 raw = link_case.rx + along * d + lateral * off;
+      spots.push_back(MakeSpot(link_case, ClampIntoRoom(link_case, raw)));
+    }
+  }
+  return spots;
+}
+
+WalkTrace CrossLinkWalk(const LinkCase& link_case, double cross_t,
+                        double half_span_m) {
+  MULINK_REQUIRE(cross_t > 0.0 && cross_t < 1.0,
+                 "CrossLinkWalk: cross_t must be in (0,1)");
+  MULINK_REQUIRE(half_span_m > 0.0, "CrossLinkWalk: span must be > 0");
+  const Vec2 along = (link_case.rx - link_case.tx).Normalized();
+  const Vec2 lateral = along.Perp();
+  const Vec2 crossing =
+      link_case.tx + along * (cross_t * link_case.LinkLength());
+  return {ClampIntoRoom(link_case, crossing - lateral * half_span_m),
+          ClampIntoRoom(link_case, crossing + lateral * half_span_m)};
+}
+
+}  // namespace mulink::experiments

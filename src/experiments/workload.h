@@ -1,0 +1,53 @@
+// Human-presence workloads for the measurement campaigns.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "experiments/scenario.h"
+
+namespace mulink::experiments {
+
+// One tested human-presence location with its evaluation metadata.
+struct HumanSpot {
+  geometry::Vec2 position;
+  double distance_to_rx_m = 0.0;
+  double angle_deg = 0.0;  // broadside-relative angle seen by the RX array
+};
+
+HumanSpot MakeSpot(const LinkCase& link_case, geometry::Vec2 position);
+
+// The per-case 3x3 grid of Sec. V-A: locations covering different distances
+// (1 m .. ~5 m from the receiver, capped by the room) and lateral offsets
+// around the link line. Spots falling outside the room are nudged inside.
+std::vector<HumanSpot> Grid3x3(const LinkCase& link_case);
+
+// The 500-location characterization workload of Sec. III-A: random positions
+// on and near the LOS path (lateral offset up to max_lateral_m).
+std::vector<HumanSpot> RandomNearLink(const LinkCase& link_case,
+                                      std::size_t count, double max_lateral_m,
+                                      Rng& rng);
+
+// Locations on an arc of fixed radius around the receiver, at the given
+// broadside-relative angles (Fig. 5c / Fig. 11 workload).
+std::vector<HumanSpot> AngularArc(const LinkCase& link_case, double radius_m,
+                                  const std::vector<double>& angles_deg);
+
+// Locations binned by distance from the receiver along the link direction
+// (Fig. 9 workload): `distances_m` from the RX toward (and past) the TX,
+// each with the given lateral offsets.
+std::vector<HumanSpot> RangeSweep(const LinkCase& link_case,
+                                  const std::vector<double>& distances_m,
+                                  const std::vector<double>& lateral_offsets_m);
+
+// Endpoints of the Sec. III-A walk "across the link": perpendicular to the
+// LOS, crossing it at parameter `cross_t` in (0,1), extending `half_span_m`
+// to each side.
+struct WalkTrace {
+  geometry::Vec2 from;
+  geometry::Vec2 to;
+};
+WalkTrace CrossLinkWalk(const LinkCase& link_case, double cross_t,
+                        double half_span_m);
+
+}  // namespace mulink::experiments

@@ -1,0 +1,36 @@
+#include "geometry/fresnel.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace mulink::geometry {
+
+double FresnelRadiusAt(const Segment& link, Vec2 p, double wavelength,
+                       int zone) {
+  MULINK_REQUIRE(wavelength > 0.0, "FresnelRadiusAt: wavelength must be > 0");
+  MULINK_REQUIRE(zone >= 1, "FresnelRadiusAt: zone must be >= 1");
+  const double total = link.Length();
+  MULINK_REQUIRE(total > 0.0, "FresnelRadiusAt: degenerate link");
+  const double t = ClosestParameter(p, link);
+  const double d1 = t * total;
+  const double d2 = (1.0 - t) * total;
+  if (d1 <= 0.0 || d2 <= 0.0) return 0.0;  // at an endpoint the zone pinches
+  return std::sqrt(static_cast<double>(zone) * wavelength * d1 * d2 / total);
+}
+
+double FresnelClearanceRatio(const Segment& link, Vec2 p, double wavelength) {
+  const double t = ClosestParameter(p, link);
+  if (t <= 0.0 || t >= 1.0) {
+    // Projects onto an endpoint: the person stands beyond the TX or RX, where
+    // blocking the LOS is geometrically impossible.
+    return std::numeric_limits<double>::infinity();
+  }
+  const double radius = FresnelRadiusAt(link, p, wavelength);
+  if (radius <= 0.0) return std::numeric_limits<double>::infinity();
+  const double dist = DistancePointToSegment(p, link);
+  return dist / radius;
+}
+
+}  // namespace mulink::geometry

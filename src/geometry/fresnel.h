@@ -1,0 +1,27 @@
+// Fresnel-zone geometry for the human shadowing model.
+//
+// The paper (citing Savazzi et al. [19]) notes that the LOS "sensitivity
+// region" of a link is confined to 5–6 wavelengths around the LOS path —
+// i.e. the first few Fresnel zones. The shadowing attenuation applied by
+// propagation::HumanBody is a function of the normalized Fresnel clearance
+// computed here.
+#pragma once
+
+#include "geometry/segment.h"
+#include "geometry/vec2.h"
+
+namespace mulink::geometry {
+
+// Radius of the n-th Fresnel zone at the point along the TX–RX segment
+// closest to `p` (d1/d2 split), for wavelength lambda.
+//   r_n = sqrt(n * lambda * d1 * d2 / (d1 + d2))
+double FresnelRadiusAt(const Segment& link, Vec2 p, double wavelength,
+                       int zone = 1);
+
+// Signed-free clearance ratio: (perpendicular distance of p from the link
+// line) / (first Fresnel radius at that point). 0 on the LOS line, 1 on the
+// first Fresnel boundary. Returns +inf when p projects outside the segment
+// by more than its own Fresnel radius would cover.
+double FresnelClearanceRatio(const Segment& link, Vec2 p, double wavelength);
+
+}  // namespace mulink::geometry

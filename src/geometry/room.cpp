@@ -1,0 +1,36 @@
+#include "geometry/room.h"
+
+#include "common/assert.h"
+
+namespace mulink::geometry {
+
+Room Room::Rectangular(double width, double depth,
+                       double reflection_coefficient) {
+  MULINK_REQUIRE(width > 0.0 && depth > 0.0,
+                 "Room::Rectangular: dimensions must be positive");
+  MULINK_REQUIRE(reflection_coefficient >= 0.0 && reflection_coefficient <= 1.0,
+                 "Room::Rectangular: reflection coefficient must be in [0,1]");
+  Room room;
+  room.width_ = width;
+  room.depth_ = depth;
+  const Vec2 sw{0.0, 0.0}, se{width, 0.0}, ne{width, depth}, nw{0.0, depth};
+  const auto add = [&](Vec2 a, Vec2 b, const char* name) {
+    Wall wall;
+    wall.segment = {a, b};
+    wall.reflection_coefficient = reflection_coefficient;
+    wall.name = name;
+    room.AddWall(std::move(wall));
+  };
+  add(sw, se, "south");
+  add(se, ne, "east");
+  add(ne, nw, "north");
+  add(nw, sw, "west");
+  return room;
+}
+
+bool Room::Contains(Vec2 p, double margin) const {
+  return p.x >= margin && p.x <= width_ - margin && p.y >= margin &&
+         p.y <= depth_ - margin;
+}
+
+}  // namespace mulink::geometry

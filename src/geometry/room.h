@@ -1,0 +1,64 @@
+// Rectangular room with material-tagged walls, plus point scatterers that
+// stand in for furniture. The paper's testbed rooms (a 6m x 8m classroom for
+// the characterization study and two furnished offices for the evaluation)
+// are instances of this type, constructed in experiments::Scenario.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/segment.h"
+#include "geometry/vec2.h"
+
+namespace mulink::geometry {
+
+struct Wall {
+  Segment segment;
+  // Amplitude reflection coefficient in [0, 1] (concrete ~0.4–0.7, drywall
+  // ~0.2–0.4 at 2.4 GHz, per Rappaport [22] Table 4.x magnitudes).
+  double reflection_coefficient = 0.4;
+  // Power loss (dB) of a ray crossing the wall (drywall ~3–6 dB, brick
+  // ~8–12 dB, concrete ~12–20 dB at 2.4 GHz). Applied by
+  // propagation::ApplyWallTransmission for interior partitions and
+  // through-wall scenarios.
+  double transmission_loss_db = 8.0;
+  std::string name;
+};
+
+// A point scatterer standing in for a furniture item / metal cabinet. Its
+// path contributes TX -> scatterer -> RX with a bistatic radar-equation
+// amplitude derived from the radar cross section below.
+struct Scatterer {
+  Vec2 position;
+  double cross_section_m2 = 0.3;
+  std::string name;
+};
+
+class Room {
+ public:
+  // Axis-aligned rectangular room [0,width] x [0,depth] with a uniform wall
+  // reflection coefficient.
+  static Room Rectangular(double width, double depth,
+                          double reflection_coefficient = 0.4);
+
+  Room() = default;
+
+  void AddWall(Wall wall) { walls_.push_back(std::move(wall)); }
+  void AddScatterer(Scatterer s) { scatterers_.push_back(std::move(s)); }
+
+  const std::vector<Wall>& walls() const { return walls_; }
+  const std::vector<Scatterer>& scatterers() const { return scatterers_; }
+
+  double width() const { return width_; }
+  double depth() const { return depth_; }
+
+  bool Contains(Vec2 p, double margin = 0.0) const;
+
+ private:
+  std::vector<Wall> walls_;
+  std::vector<Scatterer> scatterers_;
+  double width_ = 0.0;
+  double depth_ = 0.0;
+};
+
+}  // namespace mulink::geometry

@@ -1,0 +1,46 @@
+#include "geometry/segment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace mulink::geometry {
+
+double ClosestParameter(Vec2 p, const Segment& s) {
+  const Vec2 d = s.b - s.a;
+  const double len_sq = d.NormSq();
+  if (len_sq == 0.0) return 0.0;  // degenerate segment
+  const double t = (p - s.a).Dot(d) / len_sq;
+  return std::clamp(t, 0.0, 1.0);
+}
+
+double DistancePointToSegment(Vec2 p, const Segment& s) {
+  return Distance(p, s.PointAt(ClosestParameter(p, s)));
+}
+
+std::optional<Vec2> Intersect(const Segment& s1, const Segment& s2) {
+  const Vec2 r = s1.b - s1.a;
+  const Vec2 q = s2.b - s2.a;
+  const double denom = r.Cross(q);
+  if (std::abs(denom) < 1e-15) return std::nullopt;  // parallel or degenerate
+  const Vec2 diff = s2.a - s1.a;
+  const double t = diff.Cross(q) / denom;
+  const double u = diff.Cross(r) / denom;
+  const double eps = 1e-12;
+  if (t < -eps || t > 1.0 + eps || u < -eps || u > 1.0 + eps) {
+    return std::nullopt;
+  }
+  return s1.PointAt(std::clamp(t, 0.0, 1.0));
+}
+
+Vec2 MirrorAcross(Vec2 p, const Segment& wall) {
+  const Vec2 d = wall.b - wall.a;
+  const double len_sq = d.NormSq();
+  MULINK_REQUIRE(len_sq > 0.0, "MirrorAcross: degenerate wall segment");
+  const double t = (p - wall.a).Dot(d) / len_sq;  // foot on the infinite line
+  const Vec2 foot = wall.a + d * t;
+  return foot * 2.0 - p;
+}
+
+}  // namespace mulink::geometry

@@ -1,0 +1,36 @@
+// Line segments and point/segment predicates used by the ray tracer and the
+// human shadowing model.
+#pragma once
+
+#include <optional>
+
+#include "geometry/vec2.h"
+
+namespace mulink::geometry {
+
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  double Length() const { return Distance(a, b); }
+  Vec2 Direction() const { return (b - a).Normalized(); }
+  Vec2 Midpoint() const { return (a + b) * 0.5; }
+
+  // Point at parameter t in [0,1].
+  Vec2 PointAt(double t) const { return a + (b - a) * t; }
+};
+
+// Shortest distance from point p to the segment (not the infinite line).
+double DistancePointToSegment(Vec2 p, const Segment& s);
+
+// Parameter t in [0,1] of the point on the segment closest to p.
+double ClosestParameter(Vec2 p, const Segment& s);
+
+// Intersection point of two segments if they properly intersect (including
+// endpoints touching), nullopt for parallel/disjoint segments.
+std::optional<Vec2> Intersect(const Segment& s1, const Segment& s2);
+
+// Mirror image of point p across the infinite line through the segment.
+Vec2 MirrorAcross(Vec2 p, const Segment& wall);
+
+}  // namespace mulink::geometry

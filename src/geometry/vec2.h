@@ -1,0 +1,46 @@
+// Minimal 2-D vector type for the planar ray-bouncing model.
+//
+// The paper's analysis (Sec. III-B) is a planar one-bounce model; the
+// simulator works in 2-D as well, with antenna/AP heights folded into an
+// effective per-case path-gain offset (see experiments::Scenario).
+#pragma once
+
+#include <cmath>
+
+namespace mulink::geometry {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  double Norm() const { return std::hypot(x, y); }
+  constexpr double NormSq() const { return x * x + y * y; }
+  constexpr double Dot(Vec2 o) const { return x * o.x + y * o.y; }
+  // z-component of the 3-D cross product; sign gives the side of a line.
+  constexpr double Cross(Vec2 o) const { return x * o.y - y * o.x; }
+
+  Vec2 Normalized() const {
+    const double n = Norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{0.0, 0.0};
+  }
+  // Counter-clockwise perpendicular.
+  constexpr Vec2 Perp() const { return {-y, x}; }
+};
+
+inline constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+inline double Distance(Vec2 a, Vec2 b) { return (a - b).Norm(); }
+
+// Angle of the direction a->b measured from +x axis, radians in (-pi, pi].
+inline double DirectionAngle(Vec2 a, Vec2 b) {
+  const Vec2 d = b - a;
+  return std::atan2(d.y, d.x);
+}
+
+}  // namespace mulink::geometry

@@ -1,0 +1,182 @@
+#include "linalg/cmatrix.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace mulink::linalg {
+
+CMatrix::CMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, Complex(0.0, 0.0)) {}
+
+CMatrix::CMatrix(std::size_t rows, std::size_t cols, std::vector<Complex> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  MULINK_REQUIRE(data_.size() == rows_ * cols_,
+                 "CMatrix: data size must equal rows*cols");
+}
+
+CMatrix CMatrix::Identity(std::size_t n) {
+  CMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.At(i, i) = Complex(1.0, 0.0);
+  return m;
+}
+
+CMatrix CMatrix::OuterProduct(const std::vector<Complex>& x,
+                              const std::vector<Complex>& y) {
+  CMatrix m(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t j = 0; j < y.size(); ++j) {
+      m.At(i, j) = x[i] * std::conj(y[j]);
+    }
+  }
+  return m;
+}
+
+Complex& CMatrix::At(std::size_t r, std::size_t c) {
+  MULINK_REQUIRE(r < rows_ && c < cols_, "CMatrix::At out of range");
+  return data_[r * cols_ + c];
+}
+
+const Complex& CMatrix::At(std::size_t r, std::size_t c) const {
+  MULINK_REQUIRE(r < rows_ && c < cols_, "CMatrix::At out of range");
+  return data_[r * cols_ + c];
+}
+
+CMatrix CMatrix::Adjoint() const {
+  CMatrix m(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      m.At(c, r) = std::conj(At(r, c));
+    }
+  }
+  return m;
+}
+
+CMatrix CMatrix::Transpose() const {
+  CMatrix m(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      m.At(c, r) = At(r, c);
+    }
+  }
+  return m;
+}
+
+CMatrix CMatrix::Conjugate() const {
+  CMatrix m(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) m.data_[i] = std::conj(data_[i]);
+  return m;
+}
+
+CMatrix CMatrix::operator+(const CMatrix& other) const {
+  MULINK_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                 "CMatrix::operator+: dimension mismatch");
+  CMatrix m(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m.data_[i] = data_[i] + other.data_[i];
+  }
+  return m;
+}
+
+CMatrix CMatrix::operator-(const CMatrix& other) const {
+  MULINK_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                 "CMatrix::operator-: dimension mismatch");
+  CMatrix m(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m.data_[i] = data_[i] - other.data_[i];
+  }
+  return m;
+}
+
+CMatrix CMatrix::operator*(const CMatrix& other) const {
+  MULINK_REQUIRE(cols_ == other.rows_,
+                 "CMatrix::operator*: dimension mismatch");
+  CMatrix m(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const Complex a = At(r, k);
+      if (a == Complex(0.0, 0.0)) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        m.At(r, c) += a * other.At(k, c);
+      }
+    }
+  }
+  return m;
+}
+
+CMatrix CMatrix::operator*(Complex scalar) const {
+  CMatrix m(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) m.data_[i] = data_[i] * scalar;
+  return m;
+}
+
+CMatrix& CMatrix::operator+=(const CMatrix& other) {
+  MULINK_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                 "CMatrix::operator+=: dimension mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+CMatrix& CMatrix::operator*=(Complex scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+std::vector<Complex> CMatrix::Apply(const std::vector<Complex>& x) const {
+  MULINK_REQUIRE(x.size() == cols_, "CMatrix::Apply: dimension mismatch");
+  std::vector<Complex> y(rows_, Complex(0.0, 0.0));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      y[r] += At(r, c) * x[c];
+    }
+  }
+  return y;
+}
+
+double CMatrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (const auto& v : data_) sum += std::norm(v);
+  return std::sqrt(sum);
+}
+
+double CMatrix::OffDiagonalNormSq() const {
+  double sum = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (r != c) sum += std::norm(At(r, c));
+    }
+  }
+  return sum;
+}
+
+bool CMatrix::IsHermitian(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = r; c < cols_; ++c) {
+      if (std::abs(At(r, c) - std::conj(At(c, r))) > tol) return false;
+    }
+  }
+  return true;
+}
+
+Complex CMatrix::Trace() const {
+  MULINK_REQUIRE(rows_ == cols_, "CMatrix::Trace: matrix must be square");
+  Complex t(0.0, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) t += At(i, i);
+  return t;
+}
+
+Complex Dot(const std::vector<Complex>& x, const std::vector<Complex>& y) {
+  MULINK_REQUIRE(x.size() == y.size(), "Dot: dimension mismatch");
+  Complex sum(0.0, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) sum += std::conj(x[i]) * y[i];
+  return sum;
+}
+
+double Norm(const std::vector<Complex>& x) {
+  double sum = 0.0;
+  for (const auto& v : x) sum += std::norm(v);
+  return std::sqrt(sum);
+}
+
+}  // namespace mulink::linalg

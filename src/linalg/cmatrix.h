@@ -1,0 +1,77 @@
+// Small dense complex matrix used by the MUSIC estimator and channel math.
+//
+// Dimensions in this library are tiny (antenna counts of 2–8, subcarrier
+// counts of 30), so the implementation favors clarity and contract checking
+// over blocking/vectorization tricks.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "common/constants.h"
+
+namespace mulink::linalg {
+
+class CMatrix {
+ public:
+  CMatrix() = default;
+
+  // Zero-initialized rows x cols matrix.
+  CMatrix(std::size_t rows, std::size_t cols);
+
+  // Build from row-major data (size must equal rows*cols).
+  CMatrix(std::size_t rows, std::size_t cols, std::vector<Complex> data);
+
+  static CMatrix Identity(std::size_t n);
+
+  // Outer product x * y^H (column vector times row covector).
+  static CMatrix OuterProduct(const std::vector<Complex>& x,
+                              const std::vector<Complex>& y);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  Complex& At(std::size_t r, std::size_t c);
+  const Complex& At(std::size_t r, std::size_t c) const;
+
+  CMatrix Adjoint() const;  // conjugate transpose
+  CMatrix Transpose() const;
+  CMatrix Conjugate() const;
+
+  CMatrix operator+(const CMatrix& other) const;
+  CMatrix operator-(const CMatrix& other) const;
+  CMatrix operator*(const CMatrix& other) const;
+  CMatrix operator*(Complex scalar) const;
+  CMatrix& operator+=(const CMatrix& other);
+  CMatrix& operator*=(Complex scalar);
+
+  // Matrix-vector product. x.size() must equal cols().
+  std::vector<Complex> Apply(const std::vector<Complex>& x) const;
+
+  double FrobeniusNorm() const;
+
+  // Sum of |a_ij|^2 over off-diagonal entries (Jacobi convergence measure).
+  double OffDiagonalNormSq() const;
+
+  // True when max_ij |A - A^H| <= tol.
+  bool IsHermitian(double tol = 1e-9) const;
+
+  Complex Trace() const;
+
+  const std::vector<Complex>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Complex> data_;  // row-major
+};
+
+// Hermitian inner product <x, y> = sum conj(x_i) * y_i.
+Complex Dot(const std::vector<Complex>& x, const std::vector<Complex>& y);
+
+// Euclidean norm of a complex vector.
+double Norm(const std::vector<Complex>& x);
+
+}  // namespace mulink::linalg

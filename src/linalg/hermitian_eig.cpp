@@ -1,0 +1,132 @@
+#include "linalg/hermitian_eig.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.h"
+#include "common/error.h"
+
+namespace mulink::linalg {
+
+std::vector<Complex> EigenSystem::Vector(std::size_t k) const {
+  MULINK_REQUIRE(k < values.size(), "EigenSystem::Vector: index out of range");
+  std::vector<Complex> v(vectors.rows());
+  for (std::size_t i = 0; i < vectors.rows(); ++i) v[i] = vectors.At(i, k);
+  return v;
+}
+
+namespace {
+
+// One complex Jacobi rotation annihilating A[p][q] (and A[q][p]).
+//
+// With a_pq = r e^{i phi}, the unitary G differing from identity only in
+//   G[p][p] = c, G[p][q] = s e^{i phi}, G[q][p] = -s e^{-i phi}, G[q][q] = c
+// zeroes the (p,q) entry of G^H A G when tan(2 theta) is chosen from
+// tau = (a_qq - a_pp) / (2 r), the complex analogue of the classic real
+// symmetric Jacobi update.
+void Rotate(CMatrix& a, CMatrix& v, std::size_t p, std::size_t q) {
+  const Complex apq = a.At(p, q);
+  const double r = std::abs(apq);
+  if (r == 0.0) return;
+  const Complex phase = apq / r;  // e^{i phi}
+
+  const double app = a.At(p, p).real();
+  const double aqq = a.At(q, q).real();
+  const double tau = (aqq - app) / (2.0 * r);
+  const double sign = tau >= 0.0 ? 1.0 : -1.0;
+  const double t = sign / (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+  const double c = 1.0 / std::sqrt(1.0 + t * t);
+  const double s = t * c;
+
+  const std::size_t n = a.rows();
+
+  // Right-multiply by G: updates columns p and q of A and of the accumulated
+  // eigenvector matrix V.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Complex aip = a.At(i, p);
+    const Complex aiq = a.At(i, q);
+    a.At(i, p) = c * aip - s * std::conj(phase) * aiq;
+    a.At(i, q) = s * phase * aip + c * aiq;
+
+    const Complex vip = v.At(i, p);
+    const Complex viq = v.At(i, q);
+    v.At(i, p) = c * vip - s * std::conj(phase) * viq;
+    v.At(i, q) = s * phase * vip + c * viq;
+  }
+
+  // Left-multiply by G^H: updates rows p and q of A.
+  for (std::size_t j = 0; j < n; ++j) {
+    const Complex apj = a.At(p, j);
+    const Complex aqj = a.At(q, j);
+    a.At(p, j) = c * apj - s * phase * aqj;
+    a.At(q, j) = s * std::conj(phase) * apj + c * aqj;
+  }
+
+  // Clamp the annihilated pair to exactly zero and the diagonal to real to
+  // keep rounding noise from accumulating across sweeps.
+  a.At(p, q) = Complex(0.0, 0.0);
+  a.At(q, p) = Complex(0.0, 0.0);
+  a.At(p, p) = Complex(a.At(p, p).real(), 0.0);
+  a.At(q, q) = Complex(a.At(q, q).real(), 0.0);
+}
+
+}  // namespace
+
+EigenSystem HermitianEigen(const CMatrix& input, const JacobiOptions& options) {
+  MULINK_REQUIRE(input.rows() == input.cols(),
+                 "HermitianEigen: matrix must be square");
+  MULINK_REQUIRE(input.IsHermitian(1e-8 * (1.0 + input.FrobeniusNorm())),
+                 "HermitianEigen: matrix must be Hermitian");
+  const std::size_t n = input.rows();
+
+  CMatrix a = input;
+  CMatrix v = CMatrix::Identity(n);
+
+  if (n <= 1) {
+    EigenSystem es;
+    es.vectors = v;
+    if (n == 1) es.values = {a.At(0, 0).real()};
+    return es;
+  }
+
+  const double scale = std::max(1.0, a.FrobeniusNorm());
+  const double threshold_sq =
+      options.tolerance * options.tolerance * scale * scale;
+
+  bool converged = false;
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    if (a.OffDiagonalNormSq() <= threshold_sq) {
+      converged = true;
+      break;
+    }
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        Rotate(a, v, p, q);
+      }
+    }
+  }
+  if (!converged && a.OffDiagonalNormSq() > threshold_sq) {
+    throw NumericalError("HermitianEigen: Jacobi sweeps did not converge");
+  }
+
+  // Sort ascending by eigenvalue, permuting eigenvector columns to match.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return a.At(i, i).real() < a.At(j, j).real();
+  });
+
+  EigenSystem es;
+  es.values.resize(n);
+  es.vectors = CMatrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    es.values[k] = a.At(order[k], order[k]).real();
+    for (std::size_t i = 0; i < n; ++i) {
+      es.vectors.At(i, k) = v.At(i, order[k]);
+    }
+  }
+  return es;
+}
+
+}  // namespace mulink::linalg

@@ -1,0 +1,37 @@
+// Eigendecomposition of complex Hermitian matrices via the cyclic Jacobi
+// method with complex plane rotations.
+//
+// MUSIC needs the full eigensystem of the (tiny: n_antennas x n_antennas)
+// sample covariance matrix. Jacobi is exact-enough, simple, and numerically
+// robust at these sizes; convergence is quadratic once the off-diagonal mass
+// is small.
+#pragma once
+
+#include <vector>
+
+#include "linalg/cmatrix.h"
+
+namespace mulink::linalg {
+
+struct EigenSystem {
+  // Eigenvalues in ascending order. For Hermitian inputs these are real.
+  std::vector<double> values;
+  // Unitary matrix whose columns are the corresponding eigenvectors.
+  CMatrix vectors;
+
+  // Convenience: the k-th eigenvector as a column vector.
+  std::vector<Complex> Vector(std::size_t k) const;
+};
+
+struct JacobiOptions {
+  int max_sweeps = 64;
+  double tolerance = 1e-12;  // stop when off-diagonal Frobenius norm^2 / n^2 < tol^2
+};
+
+// Decompose a Hermitian matrix A into V diag(values) V^H.
+//
+// Throws PreconditionError when A is not square or not Hermitian (to 1e-8),
+// NumericalError when the sweep budget is exhausted before convergence.
+EigenSystem HermitianEigen(const CMatrix& a, const JacobiOptions& options = {});
+
+}  // namespace mulink::linalg

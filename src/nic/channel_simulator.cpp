@@ -1,0 +1,196 @@
+#include "nic/channel_simulator.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/constants.h"
+
+namespace mulink::nic {
+
+using geometry::Vec2;
+
+ChannelSimulator::ChannelSimulator(geometry::Room room, Vec2 tx, Vec2 rx,
+                                   wifi::UniformLinearArray array,
+                                   wifi::BandPlan band,
+                                   ChannelSimConfig config)
+    : room_(std::move(room)),
+      tx_(tx),
+      rx_(rx),
+      array_(std::move(array)),
+      band_(std::move(band)),
+      config_(config),
+      emulator_(config.nic),
+      offsets_hz_(band_.AllOffsetsHz()) {
+  MULINK_REQUIRE(config_.packet_rate_hz > 0.0,
+                 "ChannelSimulator: packet rate must be > 0");
+  walker_positions_.reserve(config_.walkers.size());
+  for (const auto& w : config_.walkers) walker_positions_.push_back(w.base);
+}
+
+geometry::Room ChannelSimulator::JitteredRoom(Rng& rng) const {
+  if (config_.background_jitter_m <= 0.0) return room_;
+  geometry::Room jittered = room_;
+  // Walls stay put; only the furniture-like scatterers breathe.
+  geometry::Room rebuilt;
+  for (const auto& wall : jittered.walls()) rebuilt.AddWall(wall);
+  for (const auto& s : jittered.scatterers()) {
+    geometry::Scatterer moved = s;
+    moved.position.x += rng.Gaussian(0.0, config_.background_jitter_m);
+    moved.position.y += rng.Gaussian(0.0, config_.background_jitter_m);
+    rebuilt.AddScatterer(moved);
+  }
+  return rebuilt;
+}
+
+wifi::CsiPacket ChannelSimulator::CapturePacket(
+    const std::optional<propagation::HumanBody>& human, Rng& rng) {
+  std::vector<propagation::HumanBody> humans;
+  if (human.has_value()) humans.push_back(*human);
+  return CapturePacket(humans, rng);
+}
+
+wifi::CsiPacket ChannelSimulator::CapturePacket(
+    const std::vector<propagation::HumanBody>& humans, Rng& rng) {
+  const geometry::Room snapshot = JitteredRoom(rng);
+  const propagation::RayTracer tracer(snapshot, config_.friis, config_.trace);
+  propagation::PathSet paths = tracer.Trace(tx_, rx_);
+
+  // Background people wander and perturb the channel on every packet,
+  // whether or not a monitored person is present.
+  for (std::size_t w = 0; w < config_.walkers.size(); ++w) {
+    const auto& walker = config_.walkers[w];
+    auto& pos = walker_positions_[w];
+    pos = walker.base + (pos - walker.base) * walker.pull;
+    pos.x += rng.Gaussian(0.0, walker.step_sigma_m);
+    pos.y += rng.Gaussian(0.0, walker.step_sigma_m);
+    propagation::HumanBody body;
+    body.position = pos;
+    body.cross_section_m2 = walker.cross_section_m2;
+    body.height_m = walker.height_m;
+    body.min_shadow_amplitude = walker.min_shadow_amplitude;
+    paths = propagation::ApplyHuman(paths, tx_, rx_, body,
+                                    band_.CenterWavelength(),
+                                    config_.heights);
+  }
+
+  for (const auto& monitored : humans) {
+    propagation::HumanBody body = monitored;
+    if (config_.human_sway_sigma_m > 0.0) {
+      body.position.x += rng.Gaussian(0.0, config_.human_sway_sigma_m);
+      body.position.y += rng.Gaussian(0.0, config_.human_sway_sigma_m);
+    }
+    if (body.breathing_amplitude_m > 0.0 && body.breathing_rate_hz > 0.0) {
+      // Chest displacement toward the receiver, periodic in wall-clock time.
+      const Vec2 toward_rx = (rx_ - body.position).Normalized();
+      const double displacement =
+          body.breathing_amplitude_m *
+          std::sin(2.0 * kPi * body.breathing_rate_hz * clock_s_);
+      body.position = body.position + toward_rx * displacement;
+    }
+    paths = propagation::ApplyHuman(paths, tx_, rx_, body,
+                                    band_.CenterWavelength(),
+                                    config_.heights);
+  }
+
+  // Interior partitions attenuate every leg that crosses them (no-op for
+  // plain rectangular rooms, where no in-room leg crosses the shell).
+  paths = propagation::ApplyWallTransmission(paths, snapshot);
+
+  linalg::CMatrix cfr = wifi::SynthesizeCfr(paths, band_, array_);
+  wifi::ApplyNoise(cfr, offsets_hz_, config_.noise, rng);
+
+  // Slow gain drift (OU process advanced once per packet).
+  if (config_.slow_gain_drift_db > 0.0 && config_.slow_gain_drift_tau_s > 0.0) {
+    const double dt = 1.0 / config_.packet_rate_hz;
+    const double rho = std::exp(-dt / config_.slow_gain_drift_tau_s);
+    gain_drift_state_db_ =
+        rho * gain_drift_state_db_ +
+        rng.Gaussian(0.0, config_.slow_gain_drift_db *
+                              std::sqrt(1.0 - rho * rho));
+    cfr *= Complex(std::pow(10.0, gain_drift_state_db_ / 20.0), 0.0);
+  }
+
+  // Co-channel interference burst state machine.
+  if (config_.interference_entry_prob > 0.0) {
+    if (!interference_active_) {
+      if (rng.NextDouble() < config_.interference_entry_prob) {
+        interference_active_ = true;
+        const int max_start = static_cast<int>(band_.NumSubcarriers()) -
+                              static_cast<int>(config_.interference_width_subcarriers);
+        interference_start_k_ = static_cast<std::size_t>(
+            rng.UniformInt(0, std::max(0, max_start)));
+      }
+    } else if (rng.NextDouble() < config_.interference_exit_prob) {
+      interference_active_ = false;
+    }
+    if (interference_active_) {
+      double mean_power = 0.0;
+      for (std::size_t m = 0; m < cfr.rows(); ++m) {
+        for (std::size_t k = 0; k < cfr.cols(); ++k) {
+          mean_power += std::norm(cfr.At(m, k));
+        }
+      }
+      mean_power /= static_cast<double>(cfr.rows() * cfr.cols());
+      const double sigma = std::sqrt(
+          mean_power * std::pow(10.0, config_.interference_power_db / 10.0) /
+          2.0);
+      const std::size_t end_k =
+          std::min(interference_start_k_ + config_.interference_width_subcarriers,
+                   cfr.cols());
+      for (std::size_t k = interference_start_k_; k < end_k; ++k) {
+        for (std::size_t m = 0; m < cfr.rows(); ++m) {
+          cfr.At(m, k) += Complex(rng.Gaussian(0.0, sigma),
+                                  rng.Gaussian(0.0, sigma));
+        }
+      }
+    }
+  }
+
+  const double timestamp = clock_s_;
+  clock_s_ += 1.0 / config_.packet_rate_hz;
+  return emulator_.Report(cfr, timestamp, next_sequence_++);
+}
+
+std::vector<wifi::CsiPacket> ChannelSimulator::CaptureSession(
+    std::size_t count, const std::optional<propagation::HumanBody>& human,
+    Rng& rng) {
+  std::vector<propagation::HumanBody> humans;
+  if (human.has_value()) humans.push_back(*human);
+  return CaptureSessionMulti(count, humans, rng);
+}
+
+std::vector<wifi::CsiPacket> ChannelSimulator::CaptureSessionMulti(
+    std::size_t count, const std::vector<propagation::HumanBody>& humans,
+    Rng& rng) {
+  std::vector<wifi::CsiPacket> packets;
+  packets.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    packets.push_back(CapturePacket(humans, rng));
+  }
+  return packets;
+}
+
+std::vector<wifi::CsiPacket> ChannelSimulator::CaptureWalk(
+    std::size_t count, propagation::HumanBody body, Vec2 from, Vec2 to,
+    double speed_mps, Rng& rng) {
+  MULINK_REQUIRE(speed_mps > 0.0, "CaptureWalk: speed must be > 0");
+  std::vector<wifi::CsiPacket> packets;
+  packets.reserve(count);
+  const double step_s = 1.0 / config_.packet_rate_hz;
+  const Vec2 dir = (to - from).Normalized();
+  const double total = geometry::Distance(from, to);
+  double travelled = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    body.position = from + dir * std::min(travelled, total);
+    packets.push_back(CapturePacket(body, rng));
+    travelled += speed_mps * step_s;
+  }
+  return packets;
+}
+
+propagation::PathSet ChannelSimulator::StaticPaths() const {
+  const propagation::RayTracer tracer(room_, config_.friis, config_.trace);
+  return tracer.Trace(tx_, rx_);
+}
+
+}  // namespace mulink::nic

@@ -1,0 +1,156 @@
+// End-to-end capture chain: room geometry -> ray tracing -> (optional human)
+// -> CFR synthesis -> receiver impairments -> NIC quantization -> CsiPacket.
+//
+// This is the stand-in for the paper's physical testbed (Tenda AP pinged at
+// 50 packets/s by an Intel 5300 mini PC). One ChannelSimulator models one
+// TX-RX link in one room; CaptureSession produces the 5000-packet bursts the
+// measurement campaign uses.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/room.h"
+#include "nic/intel5300.h"
+#include "propagation/human.h"
+#include "propagation/ray_tracer.h"
+#include "propagation/transmission.h"
+#include "wifi/array.h"
+#include "wifi/band.h"
+#include "wifi/cfr.h"
+#include "wifi/csi.h"
+#include "wifi/noise.h"
+
+namespace mulink::nic {
+
+// A background person (the paper allowed up to 5 students to work at desks
+// and occasionally walk around, staying ~5 m from the link). Modelled as an
+// Ornstein-Uhlenbeck wander around a base position: scatters and occasionally
+// shadows far paths, producing the structured environmental dynamics the
+// weighting schemes must reject.
+struct BackgroundWalker {
+  geometry::Vec2 base;
+  // Per-packet random step (meters); ~2 cm matches fidgeting/slow walking
+  // sampled at 50 packets per second.
+  double step_sigma_m = 0.02;
+  // Pull-back factor toward the base per packet (keeps the wander bounded).
+  double pull = 0.97;
+  // Smaller than a standing person: seated, partially occluded by a desk.
+  double cross_section_m2 = 0.3;
+  // Seated head height; with the vertical-clearance shadow model a seated
+  // person rarely blocks paths to an elevated AP.
+  double height_m = 1.25;
+  // Partial blocker (desk and chair occlude the torso).
+  double min_shadow_amplitude = 0.6;
+};
+
+struct ChannelSimConfig {
+  propagation::FriisModel friis;
+  propagation::TraceOptions trace;
+  wifi::NoiseModel noise;
+  Intel5300Config nic;
+
+  // Packet rate of the ping stream (paper: 50 packets per second).
+  double packet_rate_hz = 50.0;
+
+  // Standing humans are never perfectly still: per-packet Gaussian jitter of
+  // the body position (meters). Drives the temporal instability of the
+  // multipath factor seen in Fig. 4 and the AoA averaging gain of Fig. 10.
+  double human_sway_sigma_m = 0.004;
+
+  // Background dynamics: Gaussian per-packet jitter of scatterer positions
+  // (meters) — thermal/HVAC-scale environment breathing.
+  double background_jitter_m = 0.004;
+
+  // Background people moving about the room (away from the link).
+  std::vector<BackgroundWalker> walkers;
+
+  // TX (AP) and RX mounting heights; the shadowing model fades out where a
+  // path runs above head height.
+  propagation::LinkHeights heights;
+
+  // Slow receiver/transmitter power drift (AGC + transmit power control
+  // hunting): an Ornstein-Uhlenbeck process in dB with this stationary
+  // standard deviation and correlation time. Slow relative to a monitoring
+  // window, so window averaging cannot remove it — a key stressor for
+  // amplitude-based detection statistics (the scale-invariant pseudospectrum
+  // is immune).
+  double slow_gain_drift_db = 0.1;
+  double slow_gain_drift_tau_s = 3.0;
+
+  // Co-channel interference bursts (Bluetooth FHSS / microwave ovens share
+  // 2.4 GHz channel 11): a two-state Markov process. While a burst is
+  // active, a contiguous clump of subcarriers receives strong additive
+  // noise. Per-packet detection statistics eat these raw; window-averaged
+  // statistics suppress them by the window length.
+  double interference_entry_prob = 0.05;   // per packet
+  double interference_exit_prob = 0.45;    // per packet while active
+  std::size_t interference_width_subcarriers = 4;
+  double interference_power_db = 9.0;      // relative to mean subcarrier power
+};
+
+class ChannelSimulator {
+ public:
+  ChannelSimulator(geometry::Room room, geometry::Vec2 tx, geometry::Vec2 rx,
+                   wifi::UniformLinearArray array, wifi::BandPlan band,
+                   ChannelSimConfig config = {});
+
+  // One CSI packet; `human` empty means nobody inside the monitored area.
+  wifi::CsiPacket CapturePacket(
+      const std::optional<propagation::HumanBody>& human, Rng& rng);
+
+  // Multi-person variant (crowd-counting extension, paper ref [29]): every
+  // body is applied to the channel with its own sway realization.
+  wifi::CsiPacket CapturePacket(const std::vector<propagation::HumanBody>& humans,
+                                Rng& rng);
+
+  // Session of `count` packets with several monitored people present.
+  std::vector<wifi::CsiPacket> CaptureSessionMulti(
+      std::size_t count, const std::vector<propagation::HumanBody>& humans,
+      Rng& rng);
+
+  // A burst of `count` packets at the configured rate. Human sway and
+  // background jitter are re-drawn per packet.
+  std::vector<wifi::CsiPacket> CaptureSession(
+      std::size_t count, const std::optional<propagation::HumanBody>& human,
+      Rng& rng);
+
+  // Burst while the human walks along a line from `from` to `to` at
+  // `speed_mps`; returns one packet per time step.
+  std::vector<wifi::CsiPacket> CaptureWalk(std::size_t count,
+                                           propagation::HumanBody body,
+                                           geometry::Vec2 from,
+                                           geometry::Vec2 to, double speed_mps,
+                                           Rng& rng);
+
+  // Noiseless static paths of the link (for analysis / ground truth).
+  propagation::PathSet StaticPaths() const;
+
+  const geometry::Room& room() const { return room_; }
+  geometry::Vec2 tx() const { return tx_; }
+  geometry::Vec2 rx() const { return rx_; }
+  const wifi::BandPlan& band() const { return band_; }
+  const wifi::UniformLinearArray& array() const { return array_; }
+  const ChannelSimConfig& config() const { return config_; }
+
+ private:
+  geometry::Room JitteredRoom(Rng& rng) const;
+
+  geometry::Room room_;
+  geometry::Vec2 tx_;
+  geometry::Vec2 rx_;
+  wifi::UniformLinearArray array_;
+  wifi::BandPlan band_;
+  ChannelSimConfig config_;
+  Intel5300Emulator emulator_;
+  std::vector<double> offsets_hz_;
+  std::vector<geometry::Vec2> walker_positions_;
+  double gain_drift_state_db_ = 0.0;
+  bool interference_active_ = false;
+  std::size_t interference_start_k_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  double clock_s_ = 0.0;
+};
+
+}  // namespace mulink::nic

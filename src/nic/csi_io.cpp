@@ -1,0 +1,134 @@
+#include "nic/csi_io.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/assert.h"
+#include "common/error.h"
+
+namespace mulink::nic {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'L', 'N', 'K'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void WriteValue(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+T ReadValue(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  MULINK_REQUIRE(static_cast<bool>(in), "CSI session file truncated");
+  return value;
+}
+
+}  // namespace
+
+void WriteCsiSession(const std::string& path,
+                     const std::vector<wifi::CsiPacket>& session) {
+  MULINK_REQUIRE(!session.empty(), "WriteCsiSession: empty session");
+  const std::uint32_t antennas =
+      static_cast<std::uint32_t>(session[0].NumAntennas());
+  const std::uint32_t subcarriers =
+      static_cast<std::uint32_t>(session[0].NumSubcarriers());
+  for (const auto& packet : session) {
+    MULINK_REQUIRE(packet.NumAntennas() == antennas &&
+                       packet.NumSubcarriers() == subcarriers,
+                   "WriteCsiSession: inconsistent packet shapes");
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw Error("WriteCsiSession: cannot open " + path + " for writing");
+  }
+  out.write(kMagic, sizeof(kMagic));
+  WriteValue(out, kVersion);
+  WriteValue(out, static_cast<std::uint32_t>(session.size()));
+  WriteValue(out, antennas);
+  WriteValue(out, subcarriers);
+  for (const auto& packet : session) {
+    WriteValue(out, packet.timestamp_s);
+    WriteValue(out, packet.rssi_db);
+    WriteValue(out, packet.sequence);
+    for (std::uint32_t m = 0; m < antennas; ++m) {
+      for (std::uint32_t k = 0; k < subcarriers; ++k) {
+        WriteValue(out, packet.csi.At(m, k).real());
+        WriteValue(out, packet.csi.At(m, k).imag());
+      }
+    }
+  }
+  if (!out) {
+    throw Error("WriteCsiSession: write failed for " + path);
+  }
+}
+
+std::vector<wifi::CsiPacket> ReadCsiSession(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error("ReadCsiSession: cannot open " + path);
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  MULINK_REQUIRE(in && magic[0] == 'M' && magic[1] == 'L' && magic[2] == 'N' &&
+                     magic[3] == 'K',
+                 "ReadCsiSession: bad magic (not a mulink CSI session)");
+  const auto version = ReadValue<std::uint32_t>(in);
+  MULINK_REQUIRE(version == kVersion,
+                 "ReadCsiSession: unsupported format version");
+  const auto packets = ReadValue<std::uint32_t>(in);
+  const auto antennas = ReadValue<std::uint32_t>(in);
+  const auto subcarriers = ReadValue<std::uint32_t>(in);
+  MULINK_REQUIRE(packets > 0 && antennas > 0 && subcarriers > 0,
+                 "ReadCsiSession: empty or malformed header");
+
+  std::vector<wifi::CsiPacket> session;
+  session.reserve(packets);
+  for (std::uint32_t p = 0; p < packets; ++p) {
+    wifi::CsiPacket packet;
+    packet.timestamp_s = ReadValue<double>(in);
+    packet.rssi_db = ReadValue<double>(in);
+    packet.sequence = ReadValue<std::uint64_t>(in);
+    packet.csi = linalg::CMatrix(antennas, subcarriers);
+    for (std::uint32_t m = 0; m < antennas; ++m) {
+      for (std::uint32_t k = 0; k < subcarriers; ++k) {
+        const double re = ReadValue<double>(in);
+        const double im = ReadValue<double>(in);
+        packet.csi.At(m, k) = Complex(re, im);
+      }
+    }
+    session.push_back(std::move(packet));
+  }
+  return session;
+}
+
+void ExportCsiCsv(const std::string& path,
+                  const std::vector<wifi::CsiPacket>& session) {
+  MULINK_REQUIRE(!session.empty(), "ExportCsiCsv: empty session");
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw Error("ExportCsiCsv: cannot open " + path + " for writing");
+  }
+  out << "sequence,timestamp_s,antenna";
+  for (std::size_t k = 0; k < session[0].NumSubcarriers(); ++k) {
+    out << ",amp_db_" << k + 1;
+  }
+  out << "\n";
+  for (const auto& packet : session) {
+    for (std::size_t m = 0; m < packet.NumAntennas(); ++m) {
+      out << packet.sequence << "," << packet.timestamp_s << "," << m;
+      for (std::size_t k = 0; k < packet.NumSubcarriers(); ++k) {
+        out << "," << packet.SubcarrierPowerDb(m, k);
+      }
+      out << "\n";
+    }
+  }
+  if (!out) {
+    throw Error("ExportCsiCsv: write failed for " + path);
+  }
+}
+
+}  // namespace mulink::nic

@@ -1,0 +1,34 @@
+// CSI session serialization.
+//
+// Lets captured sessions (simulated here, or converted from real Intel 5300
+// CSI Tool traces) be stored, replayed, and exchanged: a compact binary
+// format for lossless round-trips plus a CSV exporter for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wifi/csi.h"
+
+namespace mulink::nic {
+
+// Binary format (little-endian host layout):
+//   magic "MLNK", u32 version, u32 packets, u32 antennas, u32 subcarriers,
+//   then per packet: f64 timestamp, f64 rssi_db, u64 sequence,
+//                    antennas*subcarriers * (f64 re, f64 im).
+// All packets in a session must share one (antennas, subcarriers) shape.
+//
+// Throws mulink::Error on IO failure and PreconditionError on malformed
+// input (bad magic/version, truncated file, inconsistent shapes).
+void WriteCsiSession(const std::string& path,
+                     const std::vector<wifi::CsiPacket>& session);
+
+std::vector<wifi::CsiPacket> ReadCsiSession(const std::string& path);
+
+// CSV export for plotting: one row per (packet, antenna) with columns
+//   sequence, timestamp_s, antenna, amp_db_1..amp_db_K
+// (per-subcarrier power in dB).
+void ExportCsiCsv(const std::string& path,
+                  const std::vector<wifi::CsiPacket>& session);
+
+}  // namespace mulink::nic

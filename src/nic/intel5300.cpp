@@ -1,0 +1,56 @@
+#include "nic/intel5300.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace mulink::nic {
+
+Intel5300Emulator::Intel5300Emulator(Intel5300Config config)
+    : config_(config) {
+  MULINK_REQUIRE(config_.full_scale > 0.0,
+                 "Intel5300Emulator: full scale must be > 0");
+}
+
+wifi::CsiPacket Intel5300Emulator::Report(const linalg::CMatrix& cfr,
+                                          double timestamp_s,
+                                          std::uint64_t sequence) const {
+  wifi::CsiPacket packet;
+  packet.timestamp_s = timestamp_s;
+  packet.sequence = sequence;
+
+  if (!config_.quantize) {
+    packet.csi = cfr;
+  } else {
+    // AGC: scale the strongest component to (near) full scale, snap to the
+    // integer lattice, then undo the scale so the packet stays in channel
+    // units with quantization error baked in.
+    double peak = 0.0;
+    for (std::size_t m = 0; m < cfr.rows(); ++m) {
+      for (std::size_t k = 0; k < cfr.cols(); ++k) {
+        peak = std::max({peak, std::abs(cfr.At(m, k).real()),
+                         std::abs(cfr.At(m, k).imag())});
+      }
+    }
+    linalg::CMatrix q(cfr.rows(), cfr.cols());
+    if (peak > 0.0) {
+      const double agc = config_.full_scale / peak;
+      for (std::size_t m = 0; m < cfr.rows(); ++m) {
+        for (std::size_t k = 0; k < cfr.cols(); ++k) {
+          const Complex v = cfr.At(m, k) * agc;
+          const double re = std::clamp(std::round(v.real()), -128.0, 127.0);
+          const double im = std::clamp(std::round(v.imag()), -128.0, 127.0);
+          q.At(m, k) = Complex(re, im) / agc;
+        }
+      }
+    }
+    packet.csi = std::move(q);
+  }
+
+  const double total = packet.TotalPower();
+  packet.rssi_db = total > 0.0 ? 10.0 * std::log10(total) : -300.0;
+  return packet;
+}
+
+}  // namespace mulink::nic

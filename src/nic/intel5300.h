@@ -1,0 +1,39 @@
+// Emulation of the Intel 5300 NIC + Linux CSI Tool reporting path.
+//
+// The CSI Tool reports each H(f_k) as a complex number with 8-bit signed
+// real/imag parts after AGC scaling. The emulator reproduces the two
+// artifacts that matter to the paper's pipeline: (a) quantization noise on
+// weak subcarriers and (b) the per-packet AGC scale that makes absolute
+// amplitudes comparable only after normalization. The reported packet keeps
+// physical scale (we divide the integer lattice back by the AGC gain) so the
+// rest of the pipeline works in channel units, with quantization embedded.
+#pragma once
+
+#include "common/rng.h"
+#include "linalg/cmatrix.h"
+#include "wifi/csi.h"
+
+namespace mulink::nic {
+
+struct Intel5300Config {
+  bool quantize = true;
+  // Max magnitude the int8 lattice can represent; the CSI Tool's internal
+  // scaling targets roughly this peak.
+  double full_scale = 90.0;
+};
+
+class Intel5300Emulator {
+ public:
+  explicit Intel5300Emulator(Intel5300Config config = {});
+
+  // Turn an impaired CFR into a reported CsiPacket (quantization applied).
+  wifi::CsiPacket Report(const linalg::CMatrix& cfr, double timestamp_s,
+                         std::uint64_t sequence) const;
+
+  const Intel5300Config& config() const { return config_; }
+
+ private:
+  Intel5300Config config_;
+};
+
+}  // namespace mulink::nic

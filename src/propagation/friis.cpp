@@ -1,0 +1,43 @@
+#include "propagation/friis.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/constants.h"
+
+namespace mulink::propagation {
+
+double FriisModel::PowerGain(double distance_m, double freq_hz) const {
+  MULINK_REQUIRE(distance_m > 0.0, "FriisModel: distance must be > 0");
+  MULINK_REQUIRE(freq_hz > 0.0, "FriisModel: frequency must be > 0");
+  const double c2 = kSpeedOfLight * kSpeedOfLight;
+  return tx_gain * rx_gain * c2 /
+         (std::pow(4.0 * kPi * distance_m, attenuation_factor) * freq_hz *
+          freq_hz);
+}
+
+double FriisModel::AmplitudeGain(double distance_m, double freq_hz) const {
+  return std::sqrt(PowerGain(distance_m, freq_hz));
+}
+
+double BistaticScatterAmplitude(double d1_m, double d2_m, double freq_hz,
+                                double cross_section_m2) {
+  MULINK_REQUIRE(d1_m > 0.0 && d2_m > 0.0,
+                 "BistaticScatterAmplitude: distances must be > 0");
+  MULINK_REQUIRE(freq_hz > 0.0,
+                 "BistaticScatterAmplitude: frequency must be > 0");
+  MULINK_REQUIRE(cross_section_m2 >= 0.0,
+                 "BistaticScatterAmplitude: cross section must be >= 0");
+  // The radar equation is a far-field model; clamp the legs at a body-scale
+  // Fraunhofer distance so a scatterer brushing an antenna does not produce
+  // an unphysical amplitude blow-up.
+  constexpr double kFarFieldFloor = 0.4;
+  const double d1 = std::max(d1_m, kFarFieldFloor);
+  const double d2 = std::max(d2_m, kFarFieldFloor);
+  const double lambda = kSpeedOfLight / freq_hz;
+  const double power = lambda * lambda * cross_section_m2 /
+                       (std::pow(4.0 * kPi, 3.0) * d1 * d1 * d2 * d2);
+  return std::sqrt(power);
+}
+
+}  // namespace mulink::propagation

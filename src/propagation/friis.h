@@ -1,0 +1,33 @@
+// Free-space path gain per Eq. 9 of the paper (Rappaport [22]):
+//
+//   Pr = Pt * Gt * Gr * c^2 / ((4 pi d)^n * f^2)
+//
+// with environmental attenuation factor n (n = 2 in free space). All gains
+// here are linear *amplitude* gains (sqrt of the power ratio), unit antenna
+// gains unless stated.
+#pragma once
+
+namespace mulink::propagation {
+
+struct FriisModel {
+  double tx_gain = 1.0;           // Gt (linear power gain)
+  double rx_gain = 1.0;           // Gr
+  double attenuation_factor = 2.0;  // n of Eq. 9
+
+  // Amplitude gain a = sqrt(Pr/Pt) for distance d (m) and frequency f (Hz).
+  double AmplitudeGain(double distance_m, double freq_hz) const;
+
+  // Power gain Pr/Pt.
+  double PowerGain(double distance_m, double freq_hz) const;
+};
+
+// Bistatic radar-equation amplitude gain for scattering off a compact object
+// (human body, furniture):
+//   Pr/Pt = Gt * Gr * lambda^2 * sigma / ((4 pi)^3 * d1^2 * d2^2)
+// where sigma is the radar cross section (m^2). This models the
+// human-created reflected path of Eq. 7, whose strength falls with the
+// *product* of the two leg distances rather than their sum.
+double BistaticScatterAmplitude(double d1_m, double d2_m, double freq_hz,
+                                double cross_section_m2);
+
+}  // namespace mulink::propagation

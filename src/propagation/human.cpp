@@ -1,0 +1,101 @@
+#include "propagation/human.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+#include "geometry/fresnel.h"
+#include "geometry/segment.h"
+#include "propagation/friis.h"
+
+namespace mulink::propagation {
+
+using geometry::Segment;
+using geometry::Vec2;
+
+double ShadowAttenuation(const HumanBody& body, double clearance_ratio) {
+  MULINK_REQUIRE(body.min_shadow_amplitude > 0.0 &&
+                     body.min_shadow_amplitude <= 1.0,
+                 "ShadowAttenuation: beta_min must be in (0,1]");
+  MULINK_REQUIRE(body.shadow_width_fresnel > 0.0,
+                 "ShadowAttenuation: shadow width must be > 0");
+  if (!std::isfinite(clearance_ratio)) return 1.0;
+  const double u = clearance_ratio / body.shadow_width_fresnel;
+  return 1.0 - (1.0 - body.min_shadow_amplitude) * std::exp(-u * u);
+}
+
+PathSet ApplyHuman(const PathSet& static_paths, Vec2 tx, Vec2 rx,
+                   const HumanBody& body, double wavelength,
+                   LinkHeights heights) {
+  MULINK_REQUIRE(wavelength > 0.0, "ApplyHuman: wavelength must be > 0");
+
+  PathSet out;
+  out.reserve(static_paths.size() + 1);
+  for (const auto& path : static_paths) {
+    Path shadowed = path;
+    double factor = 1.0;
+    double traversed = 0.0;
+    for (std::size_t i = 0; i + 1 < path.vertices.size(); ++i) {
+      const Segment leg{path.vertices[i], path.vertices[i + 1]};
+      const double leg_length = leg.Length();
+      if (leg_length < 1e-9) continue;
+      const double t = geometry::ClosestParameter(body.position, leg);
+      double u;
+      if (t <= 0.0 || t >= 1.0) {
+        // Projects onto an endpoint: no blockage of this leg.
+        u = std::numeric_limits<double>::infinity();
+      } else {
+        const double radius =
+            geometry::FresnelRadiusAt(leg, body.position, wavelength);
+        if (radius <= 0.0) {
+          u = std::numeric_limits<double>::infinity();
+        } else {
+          const double lateral =
+              geometry::DistancePointToSegment(body.position, leg);
+          // Path height at the closest point (linear in traversed length
+          // along the whole polyline), and the vertical gap above the head.
+          const double frac =
+              (traversed + t * leg_length) / std::max(path.length_m, 1e-9);
+          const double path_height =
+              heights.tx_m + frac * (heights.rx_m - heights.tx_m);
+          const double gap = std::max(0.0, path_height - body.height_m);
+          u = std::sqrt(lateral * lateral + gap * gap) / radius;
+        }
+      }
+      factor *= ShadowAttenuation(body, u);
+      traversed += leg_length;
+    }
+    shadowed.gain_at_center = path.gain_at_center * factor;
+    out.push_back(std::move(shadowed));
+  }
+
+  // Human-created one-bounce reflection (Eq. 7's a'_R e^{-j phi'_R} term).
+  // When the person stands on (or hugs) the direct link, this would be
+  // forward scattering at the same delay as the LOS — energy the shadowing
+  // attenuation beta already accounts for — so the reflection is faded in
+  // only as the body clears the link's first Fresnel zone.
+  const double d1 = geometry::Distance(tx, body.position);
+  const double d2 = geometry::Distance(body.position, rx);
+  if (d1 > 1e-9 && d2 > 1e-9) {
+    const double u_link = geometry::FresnelClearanceRatio(
+        Segment{tx, rx}, body.position, wavelength);
+    double fade_in = 1.0;
+    if (std::isfinite(u_link)) {
+      const double u = u_link / body.shadow_width_fresnel;
+      fade_in = 1.0 - std::exp(-u * u);
+    }
+    Path p;
+    p.kind = PathKind::kHumanReflection;
+    p.vertices = {tx, body.position, rx};
+    p.length_m = d1 + d2;
+    p.gain_at_center = fade_in *
+                       BistaticScatterAmplitude(d1, d2, kChannel11CenterHz,
+                                                body.cross_section_m2);
+    p.arrival_direction_rad =
+        geometry::DirectionAngle(body.position, rx);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace mulink::propagation

@@ -1,0 +1,70 @@
+// Human body model: shadowing and human-created reflection.
+//
+// Follows the paper's Sec. III-B modeling assumptions, which in turn cite
+// Savazzi et al. [19] (dielectric elliptic cylinder; shadowing is pure
+// amplitude attenuation beta < 1 with deterministic phase) and Kaltiokallio
+// et al. [20] (human-created one-bounce reflected path):
+//
+//  * Shadowing — any path segment whose first Fresnel zone the person
+//    intrudes is attenuated by beta(u), a smooth function of the normalized
+//    Fresnel clearance u that reaches beta_min when the person stands dead
+//    on the segment and approaches 1 beyond ~2 Fresnel radii. This yields
+//    exactly the 5-6 wavelength "sensitivity region" the paper quotes.
+//  * Reflection — a new path TX -> person -> RX is added with a bistatic
+//    radar-equation amplitude from the body's radar cross section (Eq. 7's
+//    a'_R term).
+#pragma once
+
+#include "geometry/room.h"
+#include "geometry/vec2.h"
+#include "propagation/path.h"
+
+namespace mulink::propagation {
+
+struct HumanBody {
+  geometry::Vec2 position;
+
+  // Radar cross section of a standing adult at 2.4 GHz (order 0.3–1 m^2).
+  double cross_section_m2 = 1.0;
+
+  // Amplitude attenuation of a fully blocked path (beta of Eq. 4; roughly
+  // -10 dB through-body loss -> beta_min ~ 0.3).
+  double min_shadow_amplitude = 0.3;
+
+  // Width of the shadowing response in units of first Fresnel radii. The
+  // attenuation is beta(u) = 1 - (1 - beta_min) * exp(-(u / width)^2).
+  double shadow_width_fresnel = 0.8;
+
+  // Standing height. When a path runs above the head (elevated AP), the
+  // vertical gap adds to the Fresnel clearance and shadowing fades out —
+  // the paper's testbed varies AP heights per case for exactly this reason.
+  double height_m = 1.75;
+
+  // Respiration model (the intro's breath-monitoring context, refs [9][10]):
+  // the chest displaces sinusoidally by +-breathing_amplitude_m at
+  // breathing_rate_hz. Applied by the channel simulator as a periodic
+  // position modulation toward the receiver; 0 disables it.
+  double breathing_amplitude_m = 0.0;
+  double breathing_rate_hz = 0.0;
+};
+
+// Endpoint heights of a link (meters above floor). Heights are interpolated
+// linearly with traversed length along each propagation path.
+struct LinkHeights {
+  double tx_m = 1.2;
+  double rx_m = 1.2;
+};
+
+// Shadowing amplitude factor beta(u) for normalized Fresnel clearance u.
+double ShadowAttenuation(const HumanBody& body, double clearance_ratio);
+
+// Apply the human model to a static path set: attenuate every path segment
+// the person shadows and append the human-created reflection path.
+//
+// `wavelength` sets the Fresnel geometry (use kWavelength for channel 11);
+// `heights` sets the TX/RX mounting heights for the vertical-clearance term.
+PathSet ApplyHuman(const PathSet& static_paths, geometry::Vec2 tx,
+                   geometry::Vec2 rx, const HumanBody& body,
+                   double wavelength = kWavelength, LinkHeights heights = {});
+
+}  // namespace mulink::propagation

@@ -1,0 +1,50 @@
+#include "propagation/path.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace mulink::propagation {
+
+const char* ToString(PathKind kind) {
+  switch (kind) {
+    case PathKind::kLineOfSight:
+      return "LOS";
+    case PathKind::kWallReflection:
+      return "wall-reflection";
+    case PathKind::kScatter:
+      return "scatter";
+    case PathKind::kHumanReflection:
+      return "human-reflection";
+  }
+  return "unknown";
+}
+
+Complex Path::CoefficientAt(double freq_hz) const {
+  MULINK_REQUIRE(freq_hz > 0.0, "Path::CoefficientAt: frequency must be > 0");
+  const double phase = -2.0 * kPi * freq_hz * length_m / kSpeedOfLight;
+  return GainAt(freq_hz) * Complex(std::cos(phase), std::sin(phase));
+}
+
+std::string Path::Describe() const {
+  std::ostringstream oss;
+  oss << ToString(kind) << " len=" << length_m << "m gain=" << gain_at_center
+      << " aoa=" << arrival_direction_rad * 180.0 / kPi << "deg";
+  return oss.str();
+}
+
+double TotalPathPower(const PathSet& paths) {
+  double sum = 0.0;
+  for (const auto& p : paths) sum += p.gain_at_center * p.gain_at_center;
+  return sum;
+}
+
+int FindLineOfSight(const PathSet& paths) {
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (paths[i].kind == PathKind::kLineOfSight) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace mulink::propagation

@@ -1,0 +1,70 @@
+// Propagation paths produced by the ray tracer.
+//
+// A path is a polyline TX -> (bounce points...) -> RX with a frequency-
+// dependent amplitude gain. The channel impulse response of Eq. 1 in the
+// paper is exactly the sum of these paths; wifi::SynthesizeCfr evaluates the
+// corresponding Channel Frequency Response on the OFDM subcarrier grid.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/constants.h"
+#include "geometry/vec2.h"
+
+namespace mulink::propagation {
+
+enum class PathKind {
+  kLineOfSight,
+  kWallReflection,
+  kScatter,          // furniture / static environment scatterer
+  kHumanReflection,  // the human-created one-bounce path of Eq. 7
+};
+
+const char* ToString(PathKind kind);
+
+struct Path {
+  PathKind kind = PathKind::kLineOfSight;
+
+  // Polyline vertices: front() is the TX, back() is the RX.
+  std::vector<geometry::Vec2> vertices;
+
+  // Total geometric length in meters.
+  double length_m = 0.0;
+
+  // Linear amplitude gain at the carrier center frequency, including path
+  // loss, reflection/scattering coefficients and human shadowing attenuation.
+  double gain_at_center = 0.0;
+
+  // Angle of arrival at the RX: absolute direction (radians from the +x
+  // axis) of the incoming ray's travel direction, i.e. the direction from the
+  // last bounce (or TX) toward the RX.
+  double arrival_direction_rad = 0.0;
+
+  // Amplitude gain at frequency f (Hz). Friis amplitude scales as 1/f, the
+  // property Eq. 10 of the paper uses to split LOS power across subcarriers.
+  double GainAt(double freq_hz) const {
+    return gain_at_center * (kChannel11CenterHz / freq_hz);
+  }
+
+  // Propagation delay in seconds.
+  double DelaySeconds() const { return length_m / kSpeedOfLight; }
+
+  // Complex baseband coefficient a * exp(-j 2 pi f d / c) at frequency f.
+  Complex CoefficientAt(double freq_hz) const;
+
+  // Human-readable one-line description for debugging / examples.
+  std::string Describe() const;
+};
+
+// The set of paths that make up one link state (an entire CIR).
+using PathSet = std::vector<Path>;
+
+// Total received power (sum of squared gains at center frequency; ignores
+// phase — an upper envelope of the coherent sum).
+double TotalPathPower(const PathSet& paths);
+
+// Index of the LOS path or -1 when absent.
+int FindLineOfSight(const PathSet& paths);
+
+}  // namespace mulink::propagation

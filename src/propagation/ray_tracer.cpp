@@ -1,0 +1,150 @@
+#include "propagation/ray_tracer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "geometry/segment.h"
+
+namespace mulink::propagation {
+
+using geometry::Segment;
+using geometry::Vec2;
+
+namespace {
+
+// Travel direction of the final leg (last bounce -> RX).
+double ArrivalDirection(const std::vector<Vec2>& vertices) {
+  const auto n = vertices.size();
+  return geometry::DirectionAngle(vertices[n - 2], vertices[n - 1]);
+}
+
+double PolylineLength(const std::vector<Vec2>& vertices) {
+  double len = 0.0;
+  for (std::size_t i = 0; i + 1 < vertices.size(); ++i) {
+    len += geometry::Distance(vertices[i], vertices[i + 1]);
+  }
+  return len;
+}
+
+}  // namespace
+
+RayTracer::RayTracer(geometry::Room room, FriisModel friis,
+                     TraceOptions options)
+    : room_(std::move(room)), friis_(friis), options_(options) {
+  MULINK_REQUIRE(options_.max_wall_bounces >= 0 &&
+                     options_.max_wall_bounces <= 2,
+                 "RayTracer: max_wall_bounces must be 0, 1, or 2");
+}
+
+PathSet RayTracer::Trace(Vec2 tx, Vec2 rx) const {
+  MULINK_REQUIRE(geometry::Distance(tx, rx) > 1e-9,
+                 "RayTracer::Trace: tx and rx must differ");
+  PathSet paths;
+  AddLineOfSight(tx, rx, paths);
+  if (options_.max_wall_bounces >= 1) AddOneBouncePaths(tx, rx, paths);
+  if (options_.max_wall_bounces >= 2) AddTwoBouncePaths(tx, rx, paths);
+  if (options_.include_scatterers) AddScatterPaths(tx, rx, paths);
+  PruneWeakPaths(paths);
+  return paths;
+}
+
+void RayTracer::AddLineOfSight(Vec2 tx, Vec2 rx, PathSet& out) const {
+  Path p;
+  p.kind = PathKind::kLineOfSight;
+  p.vertices = {tx, rx};
+  p.length_m = geometry::Distance(tx, rx);
+  p.gain_at_center = friis_.AmplitudeGain(p.length_m, kChannel11CenterHz);
+  p.arrival_direction_rad = ArrivalDirection(p.vertices);
+  out.push_back(std::move(p));
+}
+
+void RayTracer::AddOneBouncePaths(Vec2 tx, Vec2 rx, PathSet& out) const {
+  for (const auto& wall : room_.walls()) {
+    if (wall.reflection_coefficient <= 0.0) continue;
+    const Vec2 image = geometry::MirrorAcross(tx, wall.segment);
+    // Degenerate when TX lies on the wall line.
+    if (geometry::Distance(image, tx) < 1e-9) continue;
+    const auto bounce = geometry::Intersect({image, rx}, wall.segment);
+    if (!bounce.has_value()) continue;
+    // Reject grazing cases where the bounce point coincides with TX or RX.
+    if (geometry::Distance(*bounce, tx) < 1e-9 ||
+        geometry::Distance(*bounce, rx) < 1e-9) {
+      continue;
+    }
+    Path p;
+    p.kind = PathKind::kWallReflection;
+    p.vertices = {tx, *bounce, rx};
+    p.length_m = PolylineLength(p.vertices);
+    p.gain_at_center = wall.reflection_coefficient *
+                       friis_.AmplitudeGain(p.length_m, kChannel11CenterHz);
+    p.arrival_direction_rad = ArrivalDirection(p.vertices);
+    out.push_back(std::move(p));
+  }
+}
+
+void RayTracer::AddTwoBouncePaths(Vec2 tx, Vec2 rx, PathSet& out) const {
+  const auto& walls = room_.walls();
+  for (std::size_t i = 0; i < walls.size(); ++i) {
+    for (std::size_t j = 0; j < walls.size(); ++j) {
+      if (i == j) continue;
+      const auto& w1 = walls[i];  // first bounce (nearer TX)
+      const auto& w2 = walls[j];  // second bounce (nearer RX)
+      if (w1.reflection_coefficient <= 0.0 || w2.reflection_coefficient <= 0.0) {
+        continue;
+      }
+      const Vec2 image1 = geometry::MirrorAcross(tx, w1.segment);
+      const Vec2 image2 = geometry::MirrorAcross(image1, w2.segment);
+      if (geometry::Distance(image2, rx) < 1e-9) continue;
+      const auto bounce2 = geometry::Intersect({image2, rx}, w2.segment);
+      if (!bounce2.has_value()) continue;
+      const auto bounce1 = geometry::Intersect({image1, *bounce2}, w1.segment);
+      if (!bounce1.has_value()) continue;
+      if (geometry::Distance(*bounce1, *bounce2) < 1e-9 ||
+          geometry::Distance(*bounce1, tx) < 1e-9 ||
+          geometry::Distance(*bounce2, rx) < 1e-9) {
+        continue;
+      }
+      Path p;
+      p.kind = PathKind::kWallReflection;
+      p.vertices = {tx, *bounce1, *bounce2, rx};
+      p.length_m = PolylineLength(p.vertices);
+      p.gain_at_center = w1.reflection_coefficient * w2.reflection_coefficient *
+                         friis_.AmplitudeGain(p.length_m, kChannel11CenterHz);
+      p.arrival_direction_rad = ArrivalDirection(p.vertices);
+      out.push_back(std::move(p));
+    }
+  }
+}
+
+void RayTracer::AddScatterPaths(Vec2 tx, Vec2 rx, PathSet& out) const {
+  for (const auto& s : room_.scatterers()) {
+    const double d1 = geometry::Distance(tx, s.position);
+    const double d2 = geometry::Distance(s.position, rx);
+    if (d1 < 1e-9 || d2 < 1e-9) continue;
+    Path p;
+    p.kind = PathKind::kScatter;
+    p.vertices = {tx, s.position, rx};
+    p.length_m = d1 + d2;
+    p.gain_at_center = BistaticScatterAmplitude(d1, d2, kChannel11CenterHz,
+                                                s.cross_section_m2);
+    p.arrival_direction_rad = ArrivalDirection(p.vertices);
+    out.push_back(std::move(p));
+  }
+}
+
+void RayTracer::PruneWeakPaths(PathSet& paths) const {
+  const int los = FindLineOfSight(paths);
+  if (los < 0) return;
+  const double floor_gain =
+      paths[static_cast<std::size_t>(los)].gain_at_center *
+      options_.min_relative_gain;
+  paths.erase(std::remove_if(paths.begin(), paths.end(),
+                             [&](const Path& p) {
+                               return p.kind != PathKind::kLineOfSight &&
+                                      p.gain_at_center < floor_gain;
+                             }),
+              paths.end());
+}
+
+}  // namespace mulink::propagation

@@ -1,0 +1,52 @@
+// Image-method ray tracer for rectangular multipath environments.
+//
+// Generates the static (no human) path set of a TX–RX link: the LOS path,
+// specular wall reflections up to a configurable bounce order (the paper's
+// analysis uses the one-bounce model of Fig. 1c), and scatter paths off
+// furniture-like point scatterers.
+#pragma once
+
+#include "geometry/room.h"
+#include "propagation/friis.h"
+#include "propagation/path.h"
+
+namespace mulink::propagation {
+
+struct TraceOptions {
+  // 0 = LOS only, 1 = one-bounce wall reflections (paper model), 2 adds
+  // two-bounce wall reflections.
+  int max_wall_bounces = 1;
+  bool include_scatterers = true;
+  // Drop paths whose amplitude gain is below this fraction of the LOS gain
+  // (keeps the path set free of numerically irrelevant rays).
+  double min_relative_gain = 1e-4;
+};
+
+class RayTracer {
+ public:
+  RayTracer(geometry::Room room, FriisModel friis, TraceOptions options = {});
+
+  // All propagation paths between tx and rx in the static environment.
+  // Throws PreconditionError when tx == rx.
+  PathSet Trace(geometry::Vec2 tx, geometry::Vec2 rx) const;
+
+  const geometry::Room& room() const { return room_; }
+  const FriisModel& friis() const { return friis_; }
+  const TraceOptions& options() const { return options_; }
+
+ private:
+  void AddLineOfSight(geometry::Vec2 tx, geometry::Vec2 rx, PathSet& out) const;
+  void AddOneBouncePaths(geometry::Vec2 tx, geometry::Vec2 rx,
+                         PathSet& out) const;
+  void AddTwoBouncePaths(geometry::Vec2 tx, geometry::Vec2 rx,
+                         PathSet& out) const;
+  void AddScatterPaths(geometry::Vec2 tx, geometry::Vec2 rx,
+                       PathSet& out) const;
+  void PruneWeakPaths(PathSet& paths) const;
+
+  geometry::Room room_;
+  FriisModel friis_;
+  TraceOptions options_;
+};
+
+}  // namespace mulink::propagation

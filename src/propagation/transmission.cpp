@@ -1,0 +1,58 @@
+#include "propagation/transmission.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "geometry/segment.h"
+
+namespace mulink::propagation {
+
+namespace {
+
+// Treat intersections within this distance of a leg endpoint as grazes
+// (bounce vertices sit exactly on their wall).
+constexpr double kEndpointTolerance = 1e-6;
+
+bool ProperCrossing(geometry::Vec2 a, geometry::Vec2 b,
+                    const geometry::Wall& wall) {
+  const auto hit = geometry::Intersect({a, b}, wall.segment);
+  if (!hit.has_value()) return false;
+  if (geometry::Distance(*hit, a) < kEndpointTolerance ||
+      geometry::Distance(*hit, b) < kEndpointTolerance) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t CountWallCrossings(geometry::Vec2 a, geometry::Vec2 b,
+                               const geometry::Room& room) {
+  std::size_t crossings = 0;
+  for (const auto& wall : room.walls()) {
+    if (ProperCrossing(a, b, wall)) ++crossings;
+  }
+  return crossings;
+}
+
+PathSet ApplyWallTransmission(const PathSet& paths,
+                              const geometry::Room& room) {
+  PathSet out;
+  out.reserve(paths.size());
+  for (const auto& path : paths) {
+    Path attenuated = path;
+    double factor = 1.0;
+    for (std::size_t i = 0; i + 1 < path.vertices.size(); ++i) {
+      for (const auto& wall : room.walls()) {
+        if (ProperCrossing(path.vertices[i], path.vertices[i + 1], wall)) {
+          factor *= std::pow(10.0, -wall.transmission_loss_db / 20.0);
+        }
+      }
+    }
+    attenuated.gain_at_center = path.gain_at_center * factor;
+    out.push_back(std::move(attenuated));
+  }
+  return out;
+}
+
+}  // namespace mulink::propagation

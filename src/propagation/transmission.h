@@ -1,0 +1,25 @@
+// Through-wall transmission: attenuate every path leg that crosses a wall.
+//
+// The paper's introduction lists through-wall operation among device-free
+// sensing's selling points; modelling it needs walls that block as well as
+// reflect. This pass runs after ray tracing (and after the human model), so
+// interior partitions attenuate the LOS, bounce legs, and human-created
+// reflections alike. Bounce vertices lie ON their wall — crossings within a
+// small distance of a leg endpoint are not counted.
+#pragma once
+
+#include "geometry/room.h"
+#include "propagation/path.h"
+
+namespace mulink::propagation {
+
+// Number of proper wall crossings of the leg a->b (endpoint grazes excluded).
+std::size_t CountWallCrossings(geometry::Vec2 a, geometry::Vec2 b,
+                               const geometry::Room& room);
+
+// Multiply each path's gain by the product of its legs' wall transmission
+// factors (10^(-loss_db/20) per crossing).
+PathSet ApplyWallTransmission(const PathSet& paths,
+                              const geometry::Room& room);
+
+}  // namespace mulink::propagation

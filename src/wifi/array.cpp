@@ -1,0 +1,55 @@
+#include "wifi/array.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace mulink::wifi {
+
+UniformLinearArray UniformLinearArray::HalfWavelength3(double axis_angle_rad) {
+  return UniformLinearArray(3, kWavelength / 2.0, axis_angle_rad);
+}
+
+UniformLinearArray::UniformLinearArray(std::size_t num_antennas,
+                                       double spacing_m,
+                                       double axis_angle_rad)
+    : num_antennas_(num_antennas),
+      spacing_m_(spacing_m),
+      axis_angle_rad_(axis_angle_rad) {
+  MULINK_REQUIRE(num_antennas_ >= 1, "ULA: need at least one antenna");
+  MULINK_REQUIRE(spacing_m_ > 0.0, "ULA: spacing must be > 0");
+}
+
+double UniformLinearArray::AntennaOffset(std::size_t m) const {
+  MULINK_REQUIRE(m < num_antennas_, "ULA: antenna index out of range");
+  const double center = static_cast<double>(num_antennas_ - 1) / 2.0;
+  return (static_cast<double>(m) - center) * spacing_m_;
+}
+
+double UniformLinearArray::BroadsideAngle(double arrival_direction_rad) const {
+  // Unit vector pointing from the RX back toward the source.
+  const double toward_source = arrival_direction_rad + kPi;
+  // Component along the array axis = sin(theta) with theta from broadside.
+  const double along_axis = std::cos(toward_source - axis_angle_rad_);
+  return std::asin(std::clamp(along_axis, -1.0, 1.0));
+}
+
+double UniformLinearArray::ExcessPathLength(std::size_t m,
+                                            double theta_rad) const {
+  return -AntennaOffset(m) * std::sin(theta_rad);
+}
+
+std::vector<Complex> UniformLinearArray::SteeringVector(double theta_rad,
+                                                        double freq_hz) const {
+  MULINK_REQUIRE(freq_hz > 0.0, "ULA: frequency must be > 0");
+  std::vector<Complex> a(num_antennas_);
+  for (std::size_t m = 0; m < num_antennas_; ++m) {
+    const double phase =
+        -2.0 * kPi * freq_hz * ExcessPathLength(m, theta_rad) / kSpeedOfLight;
+    a[m] = Complex(std::cos(phase), std::sin(phase));
+  }
+  return a;
+}
+
+}  // namespace mulink::wifi

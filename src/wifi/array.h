@@ -1,0 +1,54 @@
+// Uniform linear antenna array (ULA) at the receiver.
+//
+// The paper's receiver is an Intel 5300 with three external omnidirectional
+// antennas at half-wavelength spacing; Sec. IV-B's Eq. 16 is the classic
+// two-element phase relation, and MUSIC generalizes it. This type owns the
+// array geometry and the steering-vector math shared by the synthesizer
+// (forward model) and the MUSIC estimator (inverse model).
+#pragma once
+
+#include <vector>
+
+#include "common/constants.h"
+#include "geometry/vec2.h"
+
+namespace mulink::wifi {
+
+class UniformLinearArray {
+ public:
+  // Three antennas spaced half a wavelength apart, array axis along
+  // `axis_angle_rad` (the broadside normal is axis + 90 degrees).
+  static UniformLinearArray HalfWavelength3(double axis_angle_rad = 0.0);
+
+  UniformLinearArray(std::size_t num_antennas, double spacing_m,
+                     double axis_angle_rad);
+
+  std::size_t num_antennas() const { return num_antennas_; }
+  double spacing_m() const { return spacing_m_; }
+  double axis_angle_rad() const { return axis_angle_rad_; }
+
+  // Signed position of antenna m along the array axis, centered on the array
+  // phase center (so offsets sum to zero).
+  double AntennaOffset(std::size_t m) const;
+
+  // Broadside-relative angle of arrival in [-pi/2, pi/2] for a ray whose
+  // *travel* direction (radians from +x) is `arrival_direction_rad`.
+  // Positive theta = source toward the positive array axis. Front/back
+  // ambiguity is inherent to a ULA and folded into the same theta.
+  double BroadsideAngle(double arrival_direction_rad) const;
+
+  // Extra path length (m) seen by antenna m for a plane wave from broadside
+  // angle theta: -offset(m) * sin(theta).
+  double ExcessPathLength(std::size_t m, double theta_rad) const;
+
+  // Steering vector a(theta) at frequency f: element m is
+  // exp(-j 2 pi f * ExcessPathLength(m, theta) / c).
+  std::vector<Complex> SteeringVector(double theta_rad, double freq_hz) const;
+
+ private:
+  std::size_t num_antennas_;
+  double spacing_m_;
+  double axis_angle_rad_;
+};
+
+}  // namespace mulink::wifi

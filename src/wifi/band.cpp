@@ -1,0 +1,49 @@
+#include "wifi/band.h"
+
+#include "common/assert.h"
+
+namespace mulink::wifi {
+
+BandPlan BandPlan::Intel5300Channel11() { return Intel5300Channel(11); }
+
+BandPlan BandPlan::Intel5300Channel(int channel) {
+  MULINK_REQUIRE(channel >= 1 && channel <= 13,
+                 "BandPlan: 2.4 GHz channel must be in [1, 13]");
+  const double center_hz = 2.412e9 + 5e6 * static_cast<double>(channel - 1);
+  std::vector<int> indices(kIntel5300SubcarrierIndices.begin(),
+                           kIntel5300SubcarrierIndices.end());
+  return BandPlan(center_hz, std::move(indices), kSubcarrierSpacingHz);
+}
+
+BandPlan::BandPlan(double center_hz, std::vector<int> subcarrier_indices,
+                   double spacing_hz)
+    : center_hz_(center_hz),
+      indices_(std::move(subcarrier_indices)),
+      spacing_hz_(spacing_hz) {
+  MULINK_REQUIRE(center_hz_ > 0.0, "BandPlan: center frequency must be > 0");
+  MULINK_REQUIRE(spacing_hz_ > 0.0, "BandPlan: spacing must be > 0");
+  MULINK_REQUIRE(!indices_.empty(), "BandPlan: need at least one subcarrier");
+}
+
+double BandPlan::FrequencyHz(std::size_t k) const {
+  return center_hz_ + OffsetHz(k);
+}
+
+double BandPlan::OffsetHz(std::size_t k) const {
+  MULINK_REQUIRE(k < indices_.size(), "BandPlan: subcarrier out of range");
+  return spacing_hz_ * static_cast<double>(indices_[k]);
+}
+
+std::vector<double> BandPlan::AllFrequenciesHz() const {
+  std::vector<double> fs(indices_.size());
+  for (std::size_t k = 0; k < indices_.size(); ++k) fs[k] = FrequencyHz(k);
+  return fs;
+}
+
+std::vector<double> BandPlan::AllOffsetsHz() const {
+  std::vector<double> fs(indices_.size());
+  for (std::size_t k = 0; k < indices_.size(); ++k) fs[k] = OffsetHz(k);
+  return fs;
+}
+
+}  // namespace mulink::wifi

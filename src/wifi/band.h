@@ -1,0 +1,49 @@
+// OFDM band plan: which subcarriers the NIC reports and at what RF frequency.
+//
+// Defaults to 802.11n HT20 at 2.4 GHz channel 11 with the Intel 5300 CSI
+// Tool's 30-subcarrier index map (paper footnote 1).
+#pragma once
+
+#include <vector>
+
+#include "common/constants.h"
+
+namespace mulink::wifi {
+
+class BandPlan {
+ public:
+  // The paper's configuration: channel 11, Intel 5300 30-subcarrier map.
+  static BandPlan Intel5300Channel11();
+
+  // Any 2.4 GHz channel 1..13 (center 2.412 GHz + 5 MHz per step) with the
+  // same Intel 5300 subcarrier map — for channel-sweeping adaptation in the
+  // style of Kaltiokallio et al. [28].
+  static BandPlan Intel5300Channel(int channel);
+
+  // Custom plan (center frequency in Hz, subcarrier indices, spacing in Hz).
+  BandPlan(double center_hz, std::vector<int> subcarrier_indices,
+           double spacing_hz);
+
+  std::size_t NumSubcarriers() const { return indices_.size(); }
+
+  // Absolute RF frequency of subcarrier position k.
+  double FrequencyHz(std::size_t k) const;
+
+  // Baseband offset (Hz relative to the carrier) of subcarrier position k.
+  double OffsetHz(std::size_t k) const;
+
+  const std::vector<int>& indices() const { return indices_; }
+  double center_hz() const { return center_hz_; }
+  double spacing_hz() const { return spacing_hz_; }
+  double CenterWavelength() const { return kSpeedOfLight / center_hz_; }
+
+  std::vector<double> AllFrequenciesHz() const;
+  std::vector<double> AllOffsetsHz() const;
+
+ private:
+  double center_hz_;
+  std::vector<int> indices_;
+  double spacing_hz_;
+};
+
+}  // namespace mulink::wifi

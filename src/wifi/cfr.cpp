@@ -1,0 +1,43 @@
+#include "wifi/cfr.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace mulink::wifi {
+
+linalg::CMatrix SynthesizeCfr(const propagation::PathSet& paths,
+                              const BandPlan& band,
+                              const UniformLinearArray& array) {
+  MULINK_REQUIRE(!paths.empty(), "SynthesizeCfr: empty path set");
+  const std::size_t num_antennas = array.num_antennas();
+  const std::size_t num_subcarriers = band.NumSubcarriers();
+  linalg::CMatrix h(num_antennas, num_subcarriers);
+
+  for (const auto& path : paths) {
+    if (path.gain_at_center == 0.0) continue;
+    const double theta = array.BroadsideAngle(path.arrival_direction_rad);
+    for (std::size_t k = 0; k < num_subcarriers; ++k) {
+      const double fk = band.FrequencyHz(k);
+      const double gain = path.GainAt(fk);
+      for (std::size_t m = 0; m < num_antennas; ++m) {
+        const double total_length =
+            path.length_m + array.ExcessPathLength(m, theta);
+        const double phase = -2.0 * kPi * fk * total_length / kSpeedOfLight;
+        h.At(m, k) += gain * Complex(std::cos(phase), std::sin(phase));
+      }
+    }
+  }
+  return h;
+}
+
+std::vector<Complex> SynthesizeCfrSingle(const propagation::PathSet& paths,
+                                         const BandPlan& band) {
+  const UniformLinearArray single(1, kWavelength / 2.0, 0.0);
+  const auto h = SynthesizeCfr(paths, band, single);
+  std::vector<Complex> row(band.NumSubcarriers());
+  for (std::size_t k = 0; k < band.NumSubcarriers(); ++k) row[k] = h.At(0, k);
+  return row;
+}
+
+}  // namespace mulink::wifi

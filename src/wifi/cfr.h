@@ -1,0 +1,23 @@
+// Forward channel model: propagation paths -> per-antenna, per-subcarrier
+// Channel Frequency Response (the noiseless CSI of Eq. 1's Fourier pair).
+#pragma once
+
+#include "linalg/cmatrix.h"
+#include "propagation/path.h"
+#include "wifi/array.h"
+#include "wifi/band.h"
+
+namespace mulink::wifi {
+
+// H[m][k] = sum_i a_i(f_k) * exp(-j 2 pi f_k (d_i + delta_m(theta_i)) / c)
+// where delta_m is the antenna-m excess path length for the path's angle of
+// arrival. Rows = antennas, cols = subcarriers.
+linalg::CMatrix SynthesizeCfr(const propagation::PathSet& paths,
+                              const BandPlan& band,
+                              const UniformLinearArray& array);
+
+// Single-antenna convenience (row 0 of the above with a 1-element array).
+std::vector<Complex> SynthesizeCfrSingle(const propagation::PathSet& paths,
+                                         const BandPlan& band);
+
+}  // namespace mulink::wifi

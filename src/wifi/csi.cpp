@@ -1,0 +1,38 @@
+#include "wifi/csi.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace mulink::wifi {
+
+double CsiPacket::SubcarrierPower(std::size_t antenna,
+                                  std::size_t subcarrier) const {
+  return std::norm(csi.At(antenna, subcarrier));
+}
+
+double CsiPacket::SubcarrierPowerDb(std::size_t antenna,
+                                    std::size_t subcarrier) const {
+  constexpr double kFloor = 1e-30;
+  return 10.0 * std::log10(std::max(SubcarrierPower(antenna, subcarrier),
+                                    kFloor));
+}
+
+std::vector<Complex> CsiPacket::AntennaCfr(std::size_t antenna) const {
+  MULINK_REQUIRE(antenna < csi.rows(), "CsiPacket: antenna out of range");
+  std::vector<Complex> row(csi.cols());
+  for (std::size_t k = 0; k < csi.cols(); ++k) row[k] = csi.At(antenna, k);
+  return row;
+}
+
+double CsiPacket::TotalPower() const {
+  double sum = 0.0;
+  for (std::size_t m = 0; m < csi.rows(); ++m) {
+    for (std::size_t k = 0; k < csi.cols(); ++k) {
+      sum += std::norm(csi.At(m, k));
+    }
+  }
+  return sum;
+}
+
+}  // namespace mulink::wifi

@@ -1,0 +1,38 @@
+// Channel State Information packet — what the (emulated) NIC hands to the
+// detection pipeline. Mirrors what the Intel 5300 CSI Tool reports: one
+// complex gain per (RX antenna, subcarrier) pair plus capture metadata.
+#pragma once
+
+#include <vector>
+
+#include "common/constants.h"
+#include "linalg/cmatrix.h"
+
+namespace mulink::wifi {
+
+struct CsiPacket {
+  // rows = RX antennas, cols = subcarriers.
+  linalg::CMatrix csi;
+
+  double timestamp_s = 0.0;
+  // AGC-style total receive power indicator (dB, arbitrary reference).
+  double rssi_db = 0.0;
+  std::uint64_t sequence = 0;
+
+  std::size_t NumAntennas() const { return csi.rows(); }
+  std::size_t NumSubcarriers() const { return csi.cols(); }
+
+  // |H(f_k)|^2 on one antenna/subcarrier.
+  double SubcarrierPower(std::size_t antenna, std::size_t subcarrier) const;
+
+  // 10*lg(|H|^2) with a floor to keep log of quantized zeros finite.
+  double SubcarrierPowerDb(std::size_t antenna, std::size_t subcarrier) const;
+
+  // One antenna's CFR row as a vector (for delay-domain / mu computations).
+  std::vector<Complex> AntennaCfr(std::size_t antenna) const;
+
+  // Total power summed over antennas and subcarriers.
+  double TotalPower() const;
+};
+
+}  // namespace mulink::wifi

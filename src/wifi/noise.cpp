@@ -1,0 +1,51 @@
+#include "wifi/noise.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/constants.h"
+
+namespace mulink::wifi {
+
+void ApplyNoise(linalg::CMatrix& cfr, const std::vector<double>& offsets_hz,
+                const NoiseModel& model, Rng& rng) {
+  MULINK_REQUIRE(cfr.cols() == offsets_hz.size(),
+                 "ApplyNoise: offsets size must match subcarrier count");
+  const std::size_t rows = cfr.rows();
+  const std::size_t cols = cfr.cols();
+  if (rows == 0 || cols == 0) return;
+
+  // Mean signal power per subcarrier sets the AWGN scale.
+  double mean_power = 0.0;
+  for (std::size_t m = 0; m < rows; ++m) {
+    for (std::size_t k = 0; k < cols; ++k) {
+      mean_power += std::norm(cfr.At(m, k));
+    }
+  }
+  mean_power /= static_cast<double>(rows * cols);
+  const double noise_power =
+      mean_power * std::pow(10.0, -model.snr_db / 10.0);
+  const double noise_sigma = std::sqrt(noise_power / 2.0);  // per I/Q leg
+
+  // Packet-level oscillator state shared by all antennas.
+  const double common_phase =
+      model.random_common_phase ? rng.Uniform(0.0, 2.0 * kPi) : 0.0;
+  const double sto = model.sto_range_s > 0.0
+                         ? rng.Uniform(-model.sto_range_s, model.sto_range_s)
+                         : 0.0;
+  const double gain = model.gain_drift_db > 0.0
+                          ? std::pow(10.0, rng.Gaussian(0.0, model.gain_drift_db) / 20.0)
+                          : 1.0;
+
+  for (std::size_t k = 0; k < cols; ++k) {
+    const double phase = common_phase - 2.0 * kPi * offsets_hz[k] * sto;
+    const Complex rot = gain * Complex(std::cos(phase), std::sin(phase));
+    for (std::size_t m = 0; m < rows; ++m) {
+      const Complex awgn(rng.Gaussian(0.0, noise_sigma),
+                         rng.Gaussian(0.0, noise_sigma));
+      cfr.At(m, k) = cfr.At(m, k) * rot + awgn;
+    }
+  }
+}
+
+}  // namespace mulink::wifi

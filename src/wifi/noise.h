@@ -1,0 +1,43 @@
+// Receiver impairment model applied to the ideal CFR before the NIC
+// quantizes it.
+//
+// The paper leans on two facts about commodity-WiFi measurements that this
+// model reproduces:
+//  (1) Raw CSI phase is unusable across packets — carrier frequency offset
+//      puts a random common phase on every packet, and sampling time offset
+//      puts a random linear phase slope across subcarriers. This is *why*
+//      the multipath factor (a power quantity) is the paper's proxy and why
+//      calibration [26] exists.
+//  (2) Amplitudes are comparatively stable but carry thermal noise.
+#pragma once
+
+#include "common/rng.h"
+#include "linalg/cmatrix.h"
+
+namespace mulink::wifi {
+
+struct NoiseModel {
+  // Thermal noise: per-subcarrier complex AWGN at this SNR relative to the
+  // mean subcarrier signal power.
+  double snr_db = 28.0;
+
+  // Random common phase per packet (CFO / PLL), uniform in [0, 2 pi) when on.
+  bool random_common_phase = true;
+
+  // Sampling time offset: per packet, a uniform delay in +-sto_range_s
+  // applied as a linear phase across subcarrier offsets.
+  double sto_range_s = 40e-9;
+
+  // Fast (per-packet, i.i.d.) multiplicative gain ripple, log-normal with
+  // this standard deviation in dB. Slow correlated drift lives in
+  // nic::ChannelSimConfig::slow_gain_drift_db.
+  double gain_drift_db = 0.2;
+};
+
+// Apply the impairments in place. `offsets_hz` are the subcarrier baseband
+// offsets (for the STO phase slope); rows of `cfr` are antennas (they share
+// one oscillator, hence one common phase / STO per packet, as on real NICs).
+void ApplyNoise(linalg::CMatrix& cfr, const std::vector<double>& offsets_hz,
+                const NoiseModel& model, Rng& rng);
+
+}  // namespace mulink::wifi

@@ -1,0 +1,253 @@
+#include "wifi/ofdm.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "dsp/fft.h"
+
+namespace mulink::wifi {
+
+namespace {
+
+constexpr int kMaxIndex = 28;
+
+// Half-width of the windowed-sinc fractional-delay kernel.
+constexpr int kSincHalfWidth = 6;
+
+double WindowedSinc(double x) {
+  // sinc(x) * Hann window over [-kSincHalfWidth, kSincHalfWidth].
+  if (std::abs(x) >= kSincHalfWidth) return 0.0;
+  const double sinc =
+      x == 0.0 ? 1.0 : std::sin(kPi * x) / (kPi * x);
+  const double window =
+      0.5 * (1.0 + std::cos(kPi * x / kSincHalfWidth));
+  return sinc * window;
+}
+
+}  // namespace
+
+std::vector<int> Ht20OccupiedSubcarriers() {
+  std::vector<int> indices;
+  indices.reserve(56);
+  for (int i = -kMaxIndex; i <= kMaxIndex; ++i) {
+    if (i != 0) indices.push_back(i);
+  }
+  return indices;
+}
+
+std::vector<double> TrainingSequence() {
+  // Deterministic +-1 sequence (LCG-driven); any full-power sequence works
+  // for least-squares estimation.
+  std::vector<double> seq;
+  seq.reserve(56);
+  std::uint64_t state = 0x2545F4914F6CDD1DULL;
+  for (int i = 0; i < 56; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    seq.push_back((state >> 62) & 1 ? 1.0 : -1.0);
+  }
+  return seq;
+}
+
+std::vector<Complex> ModulateTrainingSymbol(const OfdmConfig& config) {
+  MULINK_REQUIRE(dsp::IsPowerOfTwo(config.fft_size),
+                 "Ofdm: FFT size must be a power of two");
+  MULINK_REQUIRE(config.cyclic_prefix < config.fft_size,
+                 "Ofdm: cyclic prefix must be shorter than the symbol");
+  MULINK_REQUIRE(config.fft_size >= 2 * kMaxIndex + 2,
+                 "Ofdm: FFT too small for the HT20 subcarrier map");
+
+  const auto occupied = Ht20OccupiedSubcarriers();
+  const auto training = TrainingSequence();
+  std::vector<Complex> bins(config.fft_size, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < occupied.size(); ++i) {
+    const int idx = occupied[i];
+    const std::size_t bin =
+        idx >= 0 ? static_cast<std::size_t>(idx)
+                 : config.fft_size - static_cast<std::size_t>(-idx);
+    bins[bin] = Complex(training[i], 0.0);
+  }
+  dsp::Ifft(bins);
+
+  std::vector<Complex> symbol;
+  symbol.reserve(config.cyclic_prefix + config.fft_size);
+  for (std::size_t i = config.fft_size - config.cyclic_prefix;
+       i < config.fft_size; ++i) {
+    symbol.push_back(bins[i]);
+  }
+  symbol.insert(symbol.end(), bins.begin(), bins.end());
+  return symbol;
+}
+
+std::vector<Complex> ApplyChannel(const std::vector<Complex>& samples,
+                                  const propagation::PathSet& paths,
+                                  const UniformLinearArray& array,
+                                  std::size_t antenna, double carrier_hz,
+                                  const OfdmConfig& config, Rng& rng) {
+  MULINK_REQUIRE(!samples.empty(), "ApplyChannel: empty input");
+  MULINK_REQUIRE(!paths.empty(), "ApplyChannel: empty path set");
+  MULINK_REQUIRE(carrier_hz > 0.0, "ApplyChannel: carrier must be > 0");
+
+  // Build the discrete baseband CIR with fractional-delay sinc taps.
+  double max_delay_samples = 0.0;
+  for (const auto& path : paths) {
+    const double total_length =
+        path.length_m +
+        array.ExcessPathLength(antenna,
+                               array.BroadsideAngle(path.arrival_direction_rad));
+    max_delay_samples = std::max(
+        max_delay_samples, total_length / kSpeedOfLight * config.sample_rate_hz);
+  }
+  const auto cir_length =
+      static_cast<std::size_t>(
+          std::ceil(max_delay_samples + config.bulk_delay_samples)) +
+      2 * kSincHalfWidth + 1;
+  std::vector<Complex> cir(cir_length, Complex(0.0, 0.0));
+  for (const auto& path : paths) {
+    if (path.gain_at_center == 0.0) continue;
+    const double theta = array.BroadsideAngle(path.arrival_direction_rad);
+    const double total_length =
+        path.length_m + array.ExcessPathLength(antenna, theta);
+    const double delay_samples =
+        total_length / kSpeedOfLight * config.sample_rate_hz +
+        config.bulk_delay_samples;
+    const double carrier_phase =
+        -2.0 * kPi * carrier_hz * total_length / kSpeedOfLight;
+    const Complex coeff =
+        path.gain_at_center *
+        Complex(std::cos(carrier_phase), std::sin(carrier_phase));
+    const int center = static_cast<int>(std::floor(delay_samples));
+    for (int k = center - kSincHalfWidth + 1; k <= center + kSincHalfWidth;
+         ++k) {
+      if (k < 0 || static_cast<std::size_t>(k) >= cir.size()) continue;
+      cir[static_cast<std::size_t>(k)] +=
+          coeff * WindowedSinc(static_cast<double>(k) - delay_samples);
+    }
+  }
+
+  // Convolve.
+  std::vector<Complex> out(samples.size() + cir.size() - 1,
+                           Complex(0.0, 0.0));
+  for (std::size_t n = 0; n < samples.size(); ++n) {
+    if (samples[n] == Complex(0.0, 0.0)) continue;
+    for (std::size_t k = 0; k < cir.size(); ++k) {
+      out[n + k] += samples[n] * cir[k];
+    }
+  }
+
+  // Carrier frequency offset.
+  if (config.cfo_hz != 0.0) {
+    for (std::size_t n = 0; n < out.size(); ++n) {
+      const double phase = 2.0 * kPi * config.cfo_hz *
+                           static_cast<double>(n) / config.sample_rate_hz;
+      out[n] *= Complex(std::cos(phase), std::sin(phase));
+    }
+  }
+
+  // AWGN at the configured SNR.
+  if (config.snr_db < 200.0) {
+    double power = 0.0;
+    for (const auto& y : out) power += std::norm(y);
+    power /= static_cast<double>(out.size());
+    const double sigma =
+        std::sqrt(power * std::pow(10.0, -config.snr_db / 10.0) / 2.0);
+    for (auto& y : out) {
+      y += Complex(rng.Gaussian(0.0, sigma), rng.Gaussian(0.0, sigma));
+    }
+  }
+  return out;
+}
+
+std::vector<Complex> EstimateChannel(const std::vector<Complex>& received,
+                                     const OfdmConfig& config) {
+  MULINK_REQUIRE(received.size() >= config.cyclic_prefix + config.fft_size,
+                 "EstimateChannel: received symbol too short");
+  std::vector<Complex> bins(
+      received.begin() + static_cast<std::ptrdiff_t>(config.cyclic_prefix),
+      received.begin() +
+          static_cast<std::ptrdiff_t>(config.cyclic_prefix + config.fft_size));
+  dsp::Fft(bins);
+
+  const auto occupied = Ht20OccupiedSubcarriers();
+  const auto training = TrainingSequence();
+  std::vector<Complex> estimate(occupied.size());
+  for (std::size_t i = 0; i < occupied.size(); ++i) {
+    const int idx = occupied[i];
+    const std::size_t bin =
+        idx >= 0 ? static_cast<std::size_t>(idx)
+                 : config.fft_size - static_cast<std::size_t>(-idx);
+    // Undo the known bulk delay's linear phase.
+    const double phase = 2.0 * kPi * static_cast<double>(idx) *
+                         config.bulk_delay_samples /
+                         static_cast<double>(config.fft_size);
+    estimate[i] = bins[bin] / training[i] *
+                  Complex(std::cos(phase), std::sin(phase));
+  }
+  return estimate;
+}
+
+std::vector<Complex> ExtractReported(const std::vector<Complex>& ht20_estimate,
+                                     const BandPlan& band) {
+  const auto occupied = Ht20OccupiedSubcarriers();
+  MULINK_REQUIRE(ht20_estimate.size() == occupied.size(),
+                 "ExtractReported: expected a 56-subcarrier HT20 estimate");
+  std::vector<Complex> reported;
+  reported.reserve(band.NumSubcarriers());
+  for (int wanted : band.indices()) {
+    bool found = false;
+    for (std::size_t i = 0; i < occupied.size(); ++i) {
+      if (occupied[i] == wanted) {
+        reported.push_back(ht20_estimate[i]);
+        found = true;
+        break;
+      }
+    }
+    MULINK_REQUIRE(found, "ExtractReported: band index not in the HT20 map");
+  }
+  return reported;
+}
+
+double EstimateCfo(const std::vector<Complex>& received,
+                   const OfdmConfig& config) {
+  MULINK_REQUIRE(received.size() >= config.cyclic_prefix + config.fft_size,
+                 "EstimateCfo: received symbol too short");
+  Complex acc(0.0, 0.0);
+  for (std::size_t n = 0; n < config.cyclic_prefix; ++n) {
+    acc += std::conj(received[n]) * received[n + config.fft_size];
+  }
+  const double phase = std::arg(acc);
+  return phase * config.sample_rate_hz /
+         (2.0 * kPi * static_cast<double>(config.fft_size));
+}
+
+std::vector<Complex> CorrectCfo(const std::vector<Complex>& received,
+                                double cfo_hz, double sample_rate_hz) {
+  MULINK_REQUIRE(sample_rate_hz > 0.0,
+                 "CorrectCfo: sample rate must be > 0");
+  std::vector<Complex> out(received.size());
+  for (std::size_t n = 0; n < received.size(); ++n) {
+    const double phase =
+        -2.0 * kPi * cfo_hz * static_cast<double>(n) / sample_rate_hz;
+    out[n] = received[n] * Complex(std::cos(phase), std::sin(phase));
+  }
+  return out;
+}
+
+linalg::CMatrix EstimateCfrViaOfdm(const propagation::PathSet& paths,
+                                   const BandPlan& band,
+                                   const UniformLinearArray& array,
+                                   const OfdmConfig& config, Rng& rng) {
+  const auto tx_symbol = ModulateTrainingSymbol(config);
+  linalg::CMatrix csi(array.num_antennas(), band.NumSubcarriers());
+  for (std::size_t m = 0; m < array.num_antennas(); ++m) {
+    const auto received = ApplyChannel(tx_symbol, paths, array, m,
+                                       band.center_hz(), config, rng);
+    const auto estimate = EstimateChannel(received, config);
+    const auto reported = ExtractReported(estimate, band);
+    for (std::size_t k = 0; k < reported.size(); ++k) {
+      csi.At(m, k) = reported[k];
+    }
+  }
+  return csi;
+}
+
+}  // namespace mulink::wifi

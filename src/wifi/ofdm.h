@@ -1,0 +1,85 @@
+// First-principles OFDM baseband chain: training-symbol transmission,
+// time-domain multipath channel, and least-squares CSI estimation.
+//
+// Everywhere else the simulator evaluates the channel directly in the
+// frequency domain (wifi::SynthesizeCfr). Real NICs cannot: the Intel 5300
+// estimates CSI from the HT-LTF training symbol after the FFT. This module
+// implements that receive path — 64-point OFDM symbol with cyclic prefix,
+// fractional-delay multipath convolution, CFO, AWGN, FFT, per-subcarrier
+// LS division — and the tests confirm it reproduces SynthesizeCfr, closing
+// the loop on the substitution DESIGN.md makes for the CSI Tool.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/cmatrix.h"
+#include "propagation/path.h"
+#include "wifi/array.h"
+#include "wifi/band.h"
+
+namespace mulink::wifi {
+
+struct OfdmConfig {
+  std::size_t fft_size = 64;
+  std::size_t cyclic_prefix = 16;
+  double sample_rate_hz = 20e6;  // HT20
+  // Carrier frequency offset (Hz) between TX and RX oscillators.
+  double cfo_hz = 0.0;
+  // AWGN SNR at the receiver input (dB); values >= 200 disable noise.
+  double snr_db = 300.0;
+  // Constant bulk delay (samples) added to every path so the windowed-sinc
+  // kernel's acausal half is representable; compensated in EstimateChannel.
+  double bulk_delay_samples = 6.0;
+};
+
+// The HT20 occupied (data+pilot) subcarrier indices: -28..-1, 1..28.
+std::vector<int> Ht20OccupiedSubcarriers();
+
+// Deterministic +-1 training sequence on the occupied subcarriers
+// (HT-LTF-flavored; the exact values are irrelevant to LS estimation).
+std::vector<double> TrainingSequence();
+
+// One OFDM training symbol in time domain (cyclic prefix + body).
+std::vector<Complex> ModulateTrainingSymbol(const OfdmConfig& config = {});
+
+// Pass baseband samples through the multipath channel: each path becomes a
+// fractional-delay tap (windowed-sinc interpolated) with the carrier-phase
+// coefficient a_i * exp(-j 2 pi f_c tau_i), offset per RX antenna by the
+// array's excess path length. Adds CFO rotation and AWGN per `config`.
+std::vector<Complex> ApplyChannel(const std::vector<Complex>& samples,
+                                  const propagation::PathSet& paths,
+                                  const UniformLinearArray& array,
+                                  std::size_t antenna, double carrier_hz,
+                                  const OfdmConfig& config, Rng& rng);
+
+// LS channel estimate from a received training symbol: remove CP, FFT,
+// divide by the known training values. Returns one complex gain per
+// occupied subcarrier (order of Ht20OccupiedSubcarriers()).
+std::vector<Complex> EstimateChannel(const std::vector<Complex>& received,
+                                     const OfdmConfig& config = {});
+
+// Reduce a 56-subcarrier HT20 estimate to the Intel 5300's 30 reported
+// subcarriers (the band plan's indices).
+std::vector<Complex> ExtractReported(const std::vector<Complex>& ht20_estimate,
+                                     const BandPlan& band);
+
+// Estimate the carrier frequency offset from cyclic-prefix correlation:
+// the CP repeats the symbol tail N samples later, so the phase of
+// sum conj(y[n]) y[n+N] over the prefix is 2 pi cfo N / fs.
+double EstimateCfo(const std::vector<Complex>& received,
+                   const OfdmConfig& config = {});
+
+// De-rotate received samples by the estimated CFO.
+std::vector<Complex> CorrectCfo(const std::vector<Complex>& received,
+                                double cfo_hz, double sample_rate_hz);
+
+// End-to-end: paths -> OFDM transmission per antenna -> estimated CSI
+// matrix (antennas x reported subcarriers). The from-first-principles
+// counterpart of SynthesizeCfr.
+linalg::CMatrix EstimateCfrViaOfdm(const propagation::PathSet& paths,
+                                   const BandPlan& band,
+                                   const UniformLinearArray& array,
+                                   const OfdmConfig& config, Rng& rng);
+
+}  // namespace mulink::wifi

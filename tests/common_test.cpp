@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/assert.h"
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mulink {
+namespace {
+
+TEST(Constants, Channel11Wavelength) {
+  // 2.462 GHz -> ~12.18 cm.
+  EXPECT_NEAR(kWavelength, 0.1218, 0.0005);
+}
+
+TEST(Constants, SubcarrierMapMatchesCsiToolFootnote) {
+  ASSERT_EQ(kIntel5300SubcarrierIndices.size(), 30u);
+  EXPECT_EQ(kIntel5300SubcarrierIndices.front(), -28);
+  EXPECT_EQ(kIntel5300SubcarrierIndices.back(), 28);
+  // Strictly increasing.
+  for (std::size_t i = 1; i < kIntel5300SubcarrierIndices.size(); ++i) {
+    EXPECT_LT(kIntel5300SubcarrierIndices[i - 1],
+              kIntel5300SubcarrierIndices[i]);
+  }
+  // The irregular center hop of the CSI tool map: ..., -2, -1, 1, 3, ...
+  EXPECT_EQ(kIntel5300SubcarrierIndices[13], -2);
+  EXPECT_EQ(kIntel5300SubcarrierIndices[14], -1);
+  EXPECT_EQ(kIntel5300SubcarrierIndices[15], 1);
+  EXPECT_EQ(kIntel5300SubcarrierIndices[16], 3);
+}
+
+TEST(Constants, SubcarrierFrequencySpansHt20) {
+  const double lo = SubcarrierFrequencyHz(0);
+  const double hi = SubcarrierFrequencyHz(29);
+  EXPECT_DOUBLE_EQ(hi - lo, 56 * kSubcarrierSpacingHz);
+  EXPECT_LT(lo, kChannel11CenterHz);
+  EXPECT_GT(hi, kChannel11CenterHz);
+}
+
+TEST(Constants, DbConversionsRoundTrip) {
+  EXPECT_NEAR(DbToPowerRatio(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(PowerRatioToDb(100.0), 20.0, 1e-12);
+  EXPECT_NEAR(DbToAmplitudeRatio(20.0), 10.0, 1e-12);
+  EXPECT_NEAR(AmplitudeRatioToDb(10.0), 20.0, 1e-12);
+  for (double db : {-37.0, -3.0, 0.0, 1.5, 12.0}) {
+    EXPECT_NEAR(PowerRatioToDb(DbToPowerRatio(db)), db, 1e-10);
+    EXPECT_NEAR(AmplitudeRatioToDb(DbToAmplitudeRatio(db)), db, 1e-10);
+  }
+}
+
+TEST(Constants, DbConversionRejectsNonPositive) {
+  EXPECT_THROW(PowerRatioToDb(0.0), PreconditionError);
+  EXPECT_THROW(AmplitudeRatioToDb(-1.0), PreconditionError);
+}
+
+TEST(Constants, DegRadRoundTrip) {
+  EXPECT_NEAR(DegToRad(180.0), kPi, 1e-12);
+  EXPECT_NEAR(RadToDeg(kPi / 2.0), 90.0, 1e-12);
+}
+
+TEST(Assert, RequireThrowsPrecondition) {
+  EXPECT_THROW(MULINK_REQUIRE(false, "boom"), PreconditionError);
+}
+
+TEST(Assert, AssertThrowsInvariant) {
+  EXPECT_THROW(MULINK_ASSERT(1 == 2), InvariantError);
+}
+
+TEST(Assert, PassingChecksDoNotThrow) {
+  EXPECT_NO_THROW(MULINK_ASSERT(true));
+  EXPECT_NO_THROW(MULINK_REQUIRE(true, "fine"));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-2.5, 7.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, GaussianMomentsRoughlyCorrect) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian(2.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.4);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child1 = parent.Fork();
+  Rng child2 = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1.NextU32() == child2.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(17);
+  const auto perm = rng.Permutation(50);
+  ASSERT_EQ(perm.size(), 50u);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, PermutationActuallyShuffles) {
+  Rng rng(19);
+  const auto perm = rng.Permutation(100);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] == i) ++fixed;
+  }
+  EXPECT_LT(fixed, 15u);
+}
+
+TEST(Rng, GaussianRejectsNegativeStddev) {
+  Rng rng(1);
+  EXPECT_THROW(rng.Gaussian(0.0, -1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mulink

@@ -1,0 +1,126 @@
+// Adaptive profile updating (closed-loop drift compensation) and the
+// promoted new-path angle estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/detector.h"
+#include "core/music.h"
+#include "core/sanitize.h"
+#include "experiments/scenario.h"
+#include "experiments/workload.h"
+
+namespace mulink::core {
+namespace {
+
+namespace ex = mulink::experiments;
+
+std::vector<wifi::CsiPacket> Scaled(std::vector<wifi::CsiPacket> window,
+                                    double gain) {
+  for (auto& packet : window) packet.csi *= Complex(gain, 0.0);
+  return window;
+}
+
+TEST(AdaptiveProfile, TracksPersistentGainShift) {
+  // A persistent +2.5 dB TX-power step (firmware update, cable reseat):
+  // without adaptation the subcarrier scheme alarms forever; repeated
+  // UpdateProfile calls on believed-empty windows absorb it.
+  const auto lc = ex::MakeClassroomLink();
+  auto sim = ex::MakeSimulator(lc);
+  Rng rng(3);
+  DetectorConfig config;
+  config.scheme = DetectionScheme::kSubcarrierWeighting;
+  auto detector = Detector::Calibrate(
+      sim.CaptureSession(200, std::nullopt, rng), sim.band(), sim.array(),
+      config);
+
+  const double gain = std::pow(10.0, 2.5 / 20.0);
+  const double before =
+      detector.Score(Scaled(sim.CaptureSession(25, std::nullopt, rng), gain));
+
+  for (int i = 0; i < 60; ++i) {
+    detector.UpdateProfile(
+        Scaled(sim.CaptureSession(25, std::nullopt, rng), gain), 0.1);
+  }
+  const double after =
+      detector.Score(Scaled(sim.CaptureSession(25, std::nullopt, rng), gain));
+  EXPECT_LT(after, 0.3 * before);
+}
+
+TEST(AdaptiveProfile, DoesNotEraseSensitivity) {
+  // After adapting to the drifted empty room, a person is still detected.
+  const auto lc = ex::MakeClassroomLink();
+  auto sim = ex::MakeSimulator(lc);
+  Rng rng(5);
+  DetectorConfig config;
+  config.scheme = DetectionScheme::kSubcarrierWeighting;
+  auto detector = Detector::Calibrate(
+      sim.CaptureSession(200, std::nullopt, rng), sim.band(), sim.array(),
+      config);
+  const double gain = std::pow(10.0, 1.5 / 20.0);
+  for (int i = 0; i < 60; ++i) {
+    detector.UpdateProfile(
+        Scaled(sim.CaptureSession(25, std::nullopt, rng), gain), 0.1);
+  }
+  propagation::HumanBody body;
+  body.position = (lc.tx + lc.rx) * 0.5;
+  const double empty_score =
+      detector.Score(Scaled(sim.CaptureSession(25, std::nullopt, rng), gain));
+  const double human_score =
+      detector.Score(Scaled(sim.CaptureSession(25, body, rng), gain));
+  EXPECT_GT(human_score, 3.0 * empty_score);
+}
+
+TEST(AdaptiveProfile, ValidatesArguments) {
+  const auto lc = ex::MakeClassroomLink();
+  auto sim = ex::MakeSimulator(lc);
+  Rng rng(7);
+  DetectorConfig config;
+  auto detector = Detector::Calibrate(
+      sim.CaptureSession(50, std::nullopt, rng), sim.band(), sim.array(),
+      config);
+  const auto window = sim.CaptureSession(10, std::nullopt, rng);
+  EXPECT_THROW(detector.UpdateProfile(window, 0.0), PreconditionError);
+  EXPECT_THROW(detector.UpdateProfile(window, 1.5), PreconditionError);
+  EXPECT_THROW(detector.UpdateProfile({}, 0.1), PreconditionError);
+}
+
+TEST(NewPathAngle, RecoversHumanReflectionAngle) {
+  const auto lc = ex::MakeShortWallLink();
+  auto sim = ex::MakeSimulator(lc);
+  Rng rng(9);
+  const auto calibration = SanitizePhase(
+      sim.CaptureSession(200, std::nullopt, rng), sim.band());
+  const auto static_cov = SampleCovariance(calibration);
+
+  // Off-LOS angles only: a person ON the LOS mostly *removes* power (the
+  // shadowed direct path), which is not a "new path" for this estimator.
+  for (double truth : {-35.0, 30.0, 50.0}) {
+    const auto spots = ex::AngularArc(lc, 1.2, {truth});
+    propagation::HumanBody body;
+    body.position = spots[0].position;
+    const auto window = SanitizePhase(sim.CaptureSession(40, body, rng),
+                                      sim.band());
+    const double estimate =
+        EstimateNewPathAngleDeg(window, static_cov, sim.array(), sim.band());
+    // 3-antenna aperture: generous tolerance (the paper's Fig. 10 reports
+    // >20-degree medians).
+    EXPECT_NEAR(estimate, spots[0].angle_deg, 25.0) << truth;
+  }
+}
+
+TEST(NewPathAngle, ValidatesCovarianceSize) {
+  const auto lc = ex::MakeClassroomLink();
+  auto sim = ex::MakeSimulator(lc);
+  Rng rng(11);
+  const auto window = sim.CaptureSession(10, std::nullopt, rng);
+  const auto wrong = linalg::CMatrix::Identity(2);
+  EXPECT_THROW(
+      EstimateNewPathAngleDeg(window, wrong, sim.array(), sim.band()),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace mulink::core

@@ -1,0 +1,158 @@
+// Crowd counting (paper ref [29]) and CFO estimation tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/crowd.h"
+#include "experiments/scenario.h"
+#include "wifi/ofdm.h"
+
+namespace mulink::core {
+namespace {
+
+namespace ex = mulink::experiments;
+
+class CrowdTest : public ::testing::Test {
+ protected:
+  CrowdTest()
+      : link_([] {
+          auto lc = ex::MakeClassroomLink();
+          lc.walker_bases.clear();
+          return lc;
+        }()),
+        sim_(ex::MakeSimulator(link_, [] {
+          auto config = ex::DefaultSimConfig();
+          config.interference_entry_prob = 0.0;  // count people, not bursts
+          return config;
+        }())),
+        rng_(31) {}
+
+  std::vector<propagation::HumanBody> People(std::size_t count) {
+    // Spread people across distinct spots near the link.
+    const std::vector<geometry::Vec2> spots = {
+        {2.0, 4.3}, {3.5, 3.6}, {4.2, 4.6}, {2.8, 5.0}, {1.6, 3.4}};
+    std::vector<propagation::HumanBody> people;
+    for (std::size_t i = 0; i < count && i < spots.size(); ++i) {
+      propagation::HumanBody body;
+      body.position = spots[i];
+      people.push_back(body);
+    }
+    return people;
+  }
+
+  std::vector<wifi::CsiPacket> Window(std::size_t count) {
+    return sim_.CaptureSessionMulti(50, People(count), rng_);
+  }
+
+  ex::LinkCase link_;
+  nic::ChannelSimulator sim_;
+  Rng rng_;
+};
+
+TEST_F(CrowdTest, PerturbedFractionGrowsWithHeadCount) {
+  const auto estimator =
+      CrowdEstimator::Calibrate(sim_.CaptureSession(200, std::nullopt, rng_));
+  double previous = -1.0;
+  for (std::size_t count : {0u, 1u, 3u}) {
+    const double fraction = estimator.PerturbedFraction(Window(count));
+    EXPECT_GT(fraction, previous) << count << " people";
+    previous = fraction;
+  }
+}
+
+TEST_F(CrowdTest, EmptyRoomFractionIsSmall) {
+  const auto estimator =
+      CrowdEstimator::Calibrate(sim_.CaptureSession(200, std::nullopt, rng_));
+  EXPECT_LT(estimator.PerturbedFraction(Window(0)), 0.25);
+}
+
+TEST_F(CrowdTest, TrainedEstimatorCountsApproximately) {
+  auto estimator =
+      CrowdEstimator::Calibrate(sim_.CaptureSession(200, std::nullopt, rng_));
+  std::vector<std::pair<std::size_t, std::vector<wifi::CsiPacket>>> labelled;
+  for (std::size_t count : {0u, 1u, 2u, 3u, 4u}) {
+    labelled.emplace_back(count, Window(count));
+  }
+  estimator.Train(labelled);
+  EXPECT_TRUE(estimator.trained());
+
+  // Fresh windows: counts within +-1 of truth.
+  for (std::size_t truth : {0u, 1u, 2u, 4u}) {
+    const auto estimate = estimator.EstimateCount(Window(truth));
+    EXPECT_LE(estimate, truth + 1) << "truth " << truth;
+    EXPECT_GE(estimate + 1, truth) << "truth " << truth;
+  }
+}
+
+TEST_F(CrowdTest, ValidatesUsage) {
+  EXPECT_THROW(CrowdEstimator::Calibrate(
+                   sim_.CaptureSession(5, std::nullopt, rng_)),
+               PreconditionError);
+  auto estimator =
+      CrowdEstimator::Calibrate(sim_.CaptureSession(50, std::nullopt, rng_));
+  EXPECT_THROW(estimator.EstimateCount(Window(1)), PreconditionError);
+  EXPECT_THROW(estimator.Train({}), PreconditionError);
+}
+
+TEST(MultiHuman, TwoPeoplePerturbMoreThanOne) {
+  auto lc = ex::MakeClassroomLink();
+  lc.walker_bases.clear();
+  auto sim = ex::MakeSimulator(lc);
+  Rng rng(7);
+  const auto empty = sim.CaptureSession(40, std::nullopt, rng);
+  double empty_power = 0.0;
+  for (const auto& packet : empty) empty_power += packet.TotalPower();
+
+  propagation::HumanBody a, b;
+  a.position = {2.5, 4.0};  // on the LOS
+  b.position = {3.5, 4.0};  // also on the LOS
+  const auto one = sim.CaptureSessionMulti(40, {a}, rng);
+  const auto two = sim.CaptureSessionMulti(40, {a, b}, rng);
+  double one_power = 0.0, two_power = 0.0;
+  for (const auto& packet : one) one_power += packet.TotalPower();
+  for (const auto& packet : two) two_power += packet.TotalPower();
+  // Two on-LOS blockers shadow more than one.
+  EXPECT_LT(two_power, one_power);
+  EXPECT_LT(one_power, empty_power);
+}
+
+TEST(Cfo, EstimatedFromCyclicPrefix) {
+  propagation::Path p;
+  p.vertices = {{0, 0}, {3, 0}};
+  p.length_m = 3.0;
+  p.gain_at_center = 1.0;
+  const wifi::UniformLinearArray array(1, kWavelength / 2.0, 0.0);
+  Rng rng(11);
+  for (double cfo : {-40e3, -5e3, 0.0, 12e3, 60e3}) {
+    wifi::OfdmConfig config;
+    config.cfo_hz = cfo;
+    config.snr_db = 35.0;
+    const auto tx = wifi::ModulateTrainingSymbol(config);
+    const auto rx = wifi::ApplyChannel(tx, {p}, array, 0, 2.462e9, config,
+                                       rng);
+    EXPECT_NEAR(wifi::EstimateCfo(rx, config), cfo, 2e3) << cfo;
+  }
+}
+
+TEST(Cfo, CorrectionRestoresTheEstimate) {
+  propagation::Path p;
+  p.vertices = {{0, 0}, {4, 0}};
+  p.length_m = 4.0;
+  p.gain_at_center = 1.0;
+  const wifi::UniformLinearArray array(1, kWavelength / 2.0, 0.0);
+  Rng rng(13);
+  wifi::OfdmConfig config;
+  config.cfo_hz = 25e3;
+  const auto tx = wifi::ModulateTrainingSymbol(config);
+  const auto rx = wifi::ApplyChannel(tx, {p}, array, 0, 2.462e9, config, rng);
+  const double estimated = wifi::EstimateCfo(rx, config);
+  const auto corrected =
+      wifi::CorrectCfo(rx, estimated, config.sample_rate_hz);
+  // Residual CFO after correction is near zero.
+  EXPECT_NEAR(wifi::EstimateCfo(corrected, config), 0.0, 500.0);
+}
+
+}  // namespace
+}  // namespace mulink::core

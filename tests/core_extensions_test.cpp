@@ -1,0 +1,203 @@
+// Tests for smoothed MUSIC (Sec. IV-B1's rejected alternative) and the
+// variance-based mobile-target scheme (Sec. III's statistic for moving
+// people).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/detector.h"
+#include "core/music.h"
+#include "linalg/hermitian_eig.h"
+#include "dsp/peaks.h"
+#include "dsp/stats.h"
+#include "experiments/scenario.h"
+#include "experiments/workload.h"
+#include "propagation/path.h"
+#include "wifi/cfr.h"
+#include "wifi/noise.h"
+
+namespace mulink::core {
+namespace {
+
+namespace ex = mulink::experiments;
+
+// Two FULLY COHERENT sources (same per-packet jitter): plain MUSIC's known
+// failure case and spatial smoothing's reason to exist.
+std::vector<wifi::CsiPacket> CoherentTwoSource(double angle1_deg,
+                                               double angle2_deg,
+                                               std::size_t antennas,
+                                               std::size_t packets, Rng& rng) {
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  const wifi::UniformLinearArray array(antennas, kWavelength / 2.0, kPi / 2.0);
+  const auto make_path = [&](double angle_deg, double length) {
+    propagation::Path p;
+    const double theta = DegToRad(angle_deg);
+    p.arrival_direction_rad =
+        kPi / 2.0 + std::acos(std::sin(theta)) + kPi;
+    p.length_m = length;
+    p.gain_at_center = 1.0;
+    return p;
+  };
+  wifi::NoiseModel noise;
+  noise.snr_db = 30.0;
+  noise.sto_range_s = 0.0;
+  noise.gain_drift_db = 0.0;
+
+  std::vector<wifi::CsiPacket> out;
+  for (std::size_t n = 0; n < packets; ++n) {
+    // Coherent: both paths share one common phase realization — they are
+    // copies of the SAME signal (multipath of one transmission).
+    const double common = rng.Uniform(0.0, 0.02);
+    propagation::PathSet paths = {make_path(angle1_deg, 3.0 + common),
+                                  make_path(angle2_deg, 3.7 + common)};
+    auto cfr = wifi::SynthesizeCfr(paths, band, array);
+    wifi::ApplyNoise(cfr, band.AllOffsetsHz(), noise, rng);
+    wifi::CsiPacket packet;
+    packet.csi = std::move(cfr);
+    out.push_back(std::move(packet));
+  }
+  return out;
+}
+
+TEST(SmoothedMusic, CovarianceShapeAndHermiticity) {
+  Rng rng(3);
+  const auto packets = CoherentTwoSource(-20.0, 30.0, 8, 20, rng);
+  const auto full = SampleCovariance(packets);
+  const auto smoothed = SpatiallySmoothedCovariance(full, 5);
+  EXPECT_EQ(smoothed.rows(), 5u);
+  EXPECT_EQ(smoothed.cols(), 5u);
+  EXPECT_TRUE(smoothed.IsHermitian(1e-9));
+}
+
+TEST(SmoothedMusic, RestoresRankForCoherentSources) {
+  // Full covariance of two coherent sources is (noise aside) rank 1; the
+  // smoothed covariance regains a second significant eigenvalue.
+  Rng rng(5);
+  const auto packets = CoherentTwoSource(-20.0, 30.0, 8, 40, rng);
+  const auto full = SampleCovariance(packets);
+  const auto eig_full = linalg::HermitianEigen(full);
+  const auto smoothed = SpatiallySmoothedCovariance(full, 5);
+  const auto eig_smooth = linalg::HermitianEigen(smoothed);
+
+  const auto second_ratio = [](const std::vector<double>& values) {
+    // second-largest / largest
+    return values[values.size() - 2] / values.back();
+  };
+  EXPECT_GT(second_ratio(eig_smooth.values),
+            3.0 * second_ratio(eig_full.values));
+}
+
+TEST(SmoothedMusic, ResolvesCoherentPairWithLargeArray) {
+  Rng rng(7);
+  const auto packets = CoherentTwoSource(-20.0, 30.0, 8, 40, rng);
+  const wifi::UniformLinearArray array(8, kWavelength / 2.0, kPi / 2.0);
+  const auto spectrum = ComputeSmoothedMusicSpectrum(
+      packets, array, wifi::BandPlan::Intel5300Channel11(), 5);
+  const auto peaks = spectrum.PeakAngles(2);
+  ASSERT_EQ(peaks.size(), 2u);
+  const double lo = std::min(peaks[0], peaks[1]);
+  const double hi = std::max(peaks[0], peaks[1]);
+  EXPECT_NEAR(lo, -20.0, 8.0);
+  EXPECT_NEAR(hi, 30.0, 8.0);
+}
+
+TEST(SmoothedMusic, ThreeAntennasResolveOnlyOnePath) {
+  // The paper's stated reason for NOT smoothing: with 3 antennas the
+  // subarrays have size 2, leaving room for a single source.
+  Rng rng(9);
+  const auto packets = CoherentTwoSource(-20.0, 30.0, 3, 40, rng);
+  const wifi::UniformLinearArray array(3, kWavelength / 2.0, kPi / 2.0);
+  MusicConfig config;
+  config.num_sources = 1;  // all a size-2 subarray allows
+  const auto spectrum = ComputeSmoothedMusicSpectrum(
+      packets, array, wifi::BandPlan::Intel5300Channel11(), 2, config);
+  // Only one broad peak: the second path cannot be separated.
+  dsp::PeakOptions options;
+  options.min_relative_height = 0.3;
+  const auto peaks = dsp::FindPeaks(spectrum.power, options);
+  EXPECT_LE(peaks.size(), 1u);
+  // And two sources are rejected outright at this subarray size.
+  MusicConfig two;
+  two.num_sources = 2;
+  EXPECT_THROW(ComputeSmoothedMusicSpectrum(
+                   packets, array, wifi::BandPlan::Intel5300Channel11(), 2,
+                   two),
+               PreconditionError);
+}
+
+TEST(SmoothedMusic, ValidatesSubarraySize) {
+  Rng rng(11);
+  const auto packets = CoherentTwoSource(-20.0, 30.0, 3, 5, rng);
+  const auto full = SampleCovariance(packets);
+  EXPECT_THROW(SpatiallySmoothedCovariance(full, 1), PreconditionError);
+  EXPECT_THROW(SpatiallySmoothedCovariance(full, 4), PreconditionError);
+}
+
+class MobileSchemeTest : public ::testing::Test {
+ protected:
+  MobileSchemeTest()
+      : link_(ex::MakeClassroomLink()),
+        sim_(ex::MakeSimulator(link_)),
+        rng_(21) {
+    DetectorConfig config;
+    config.scheme = DetectionScheme::kVarianceMobile;
+    detector_.emplace(Detector::Calibrate(
+        sim_.CaptureSession(300, std::nullopt, rng_), sim_.band(),
+        sim_.array(), config));
+  }
+
+  ex::LinkCase link_;
+  nic::ChannelSimulator sim_;
+  Rng rng_;
+  std::optional<Detector> detector_;
+};
+
+TEST_F(MobileSchemeTest, WalkerThroughRoomScoresAboveEmpty) {
+  std::vector<double> empty, moving;
+  for (int i = 0; i < 6; ++i) {
+    empty.push_back(detector_->Score(
+        sim_.CaptureSession(25, std::nullopt, rng_)));
+  }
+  // A person walking across the room at 1 m/s.
+  propagation::HumanBody body;
+  const auto trace = ex::CrossLinkWalk(link_, 0.5, 1.5);
+  const auto walk = sim_.CaptureWalk(150, body, trace.from, trace.to, 1.0,
+                                     rng_);
+  for (std::size_t start = 0; start + 25 <= walk.size(); start += 25) {
+    moving.push_back(detector_->Score(std::vector<wifi::CsiPacket>(
+        walk.begin() + static_cast<std::ptrdiff_t>(start),
+        walk.begin() + static_cast<std::ptrdiff_t>(start + 25))));
+  }
+  // The mid-walk windows (near the link) must dominate every empty window.
+  std::sort(moving.begin(), moving.end());
+  EXPECT_GT(moving.back(), 2.0 * dsp::Max(empty));
+}
+
+TEST_F(MobileSchemeTest, MovingBeatsStationaryForVarianceStatistic) {
+  // The paper's point: variance is the statistic for MOBILE targets. A
+  // walking person modulates the channel packet-to-packet far more than the
+  // same person standing still.
+  propagation::HumanBody body;
+  body.position = {3.0, 5.0};
+  const double stationary =
+      detector_->Score(sim_.CaptureSession(25, body, rng_));
+  const auto trace = ex::CrossLinkWalk(link_, 0.5, 1.0);
+  const auto walk = sim_.CaptureWalk(25, body, trace.from, trace.to, 1.5,
+                                     rng_);
+  const double moving = detector_->Score(walk);
+  EXPECT_GT(moving, stationary);
+}
+
+TEST_F(MobileSchemeTest, RequiresTwoPackets) {
+  const auto single = sim_.CaptureSession(1, std::nullopt, rng_);
+  EXPECT_THROW(detector_->Score(single), PreconditionError);
+}
+
+TEST_F(MobileSchemeTest, SchemeNameIsStable) {
+  EXPECT_STREQ(ToString(DetectionScheme::kVarianceMobile), "variance-mobile");
+}
+
+}  // namespace
+}  // namespace mulink::core

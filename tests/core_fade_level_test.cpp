@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/fade_level.h"
+#include "core/multipath_factor.h"
+#include "core/sanitize.h"
+#include "dsp/stats.h"
+#include "experiments/scenario.h"
+#include "propagation/path.h"
+#include "wifi/cfr.h"
+
+namespace mulink::core {
+namespace {
+
+wifi::CsiPacket PacketFromCfr(const std::vector<Complex>& cfr) {
+  wifi::CsiPacket packet;
+  packet.csi = linalg::CMatrix(1, cfr.size());
+  for (std::size_t k = 0; k < cfr.size(); ++k) packet.csi.At(0, k) = cfr[k];
+  return packet;
+}
+
+propagation::Path LosPath(double length, double gain) {
+  propagation::Path p;
+  p.vertices = {{0, 0}, {length, 0}};
+  p.length_m = length;
+  p.gain_at_center = gain;
+  return p;
+}
+
+TEST(FadeLevel, PureFreeSpaceLinkIsNearZero) {
+  // A channel that IS the model's prediction has fade level ~0 dB.
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  const propagation::FriisModel friis;
+  const double d = 4.0;
+  propagation::Path los = LosPath(d, friis.AmplitudeGain(d, band.center_hz()));
+  const auto packet = PacketFromCfr(wifi::SynthesizeCfrSingle({los}, band));
+  EXPECT_NEAR(MeasureFadeLevel(packet, band, d), 0.0, 0.1);
+}
+
+TEST(FadeLevel, DestructiveChannelIsDeepFade) {
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  const propagation::FriisModel friis;
+  const double d = 4.0;
+  const double a = friis.AmplitudeGain(d, band.center_hz());
+  propagation::Path los = LosPath(d, a);
+  // Near-perfect destructive second path: half a wavelength of excess.
+  propagation::Path refl = LosPath(d + kWavelength / 2.0, 0.8 * a);
+  refl.kind = propagation::PathKind::kWallReflection;
+  const auto packet =
+      PacketFromCfr(wifi::SynthesizeCfrSingle({los, refl}, band));
+  EXPECT_LT(MeasureFadeLevel(packet, band, d), -5.0);
+}
+
+TEST(FadeLevel, ConstructiveChannelIsAntiFade) {
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  const propagation::FriisModel friis;
+  const double d = 4.0;
+  const double a = friis.AmplitudeGain(d, band.center_hz());
+  propagation::Path los = LosPath(d, a);
+  propagation::Path refl = LosPath(d + kWavelength, 0.8 * a);  // in phase
+  refl.kind = propagation::PathKind::kWallReflection;
+  const auto packet =
+      PacketFromCfr(wifi::SynthesizeCfrSingle({los, refl}, band));
+  EXPECT_GT(MeasureFadeLevel(packet, band, d), 3.0);
+}
+
+TEST(FadeLevel, PerSubcarrierMatchesAggregateOnFlatChannel) {
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  const propagation::FriisModel friis;
+  const double d = 3.0;
+  propagation::Path los = LosPath(d, friis.AmplitudeGain(d, band.center_hz()));
+  const auto packet = PacketFromCfr(wifi::SynthesizeCfrSingle({los}, band));
+  const auto per_sc = MeasureFadeLevelPerSubcarrier(packet, band, d);
+  ASSERT_EQ(per_sc.size(), 30u);
+  const double aggregate = MeasureFadeLevel(packet, band, d);
+  EXPECT_NEAR(dsp::Mean(per_sc), aggregate, 0.05);
+}
+
+TEST(FadeLevel, MostFadedSubcarrierIsTheDeepestNull) {
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  const propagation::FriisModel friis;
+  const double d = 4.0;
+  const double a = friis.AmplitudeGain(d, band.center_hz());
+  propagation::Path los = LosPath(d, a);
+  propagation::Path refl = LosPath(d + 17.0, 0.7 * a);  // nulls inside band
+  refl.kind = propagation::PathKind::kWallReflection;
+  const auto cfr = wifi::SynthesizeCfrSingle({los, refl}, band);
+  const auto packet = PacketFromCfr(cfr);
+  const std::size_t chosen = MostFadedSubcarrier(packet, band, d);
+  // It must be the global minimum of |H_k|.
+  std::size_t true_min = 0;
+  for (std::size_t k = 1; k < cfr.size(); ++k) {
+    if (std::abs(cfr[k]) < std::abs(cfr[true_min])) true_min = k;
+  }
+  EXPECT_EQ(chosen, true_min);
+}
+
+TEST(FadeLevel, ModelMismatchBiasesFadeLevelButNotMu) {
+  // The paper's criticism (1): fade level leans on a propagation formula.
+  // Feed both metrics the same channel but give the fade-level model a wrong
+  // path-loss exponent: fade level shifts by several dB, mu is untouched.
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  const propagation::FriisModel truth;  // n = 2
+  const double d = 4.0;
+  propagation::Path los = LosPath(d, truth.AmplitudeGain(d, band.center_hz()));
+  const auto cfr = wifi::SynthesizeCfrSingle({los}, band);
+  const auto packet = PacketFromCfr(cfr);
+
+  FadeLevelModel right;
+  FadeLevelModel wrong;
+  wrong.friis.attenuation_factor = 3.0;  // believes a lossier world
+  const double fl_right = MeasureFadeLevel(packet, band, d, right);
+  const double fl_wrong = MeasureFadeLevel(packet, band, d, wrong);
+  EXPECT_GT(std::abs(fl_wrong - fl_right), 5.0);
+
+  // mu has no model input at all: identical by construction.
+  const auto mu = MeasureMultipathFactors(cfr, band);
+  EXPECT_FALSE(mu.empty());
+}
+
+TEST(FadeLevel, DeepFadedLinksAreMoreMotionSensitive) {
+  // The fade-level literature's core claim, reproduced end-to-end: perturb
+  // deep-fade vs anti-fade two-path channels with the same small extra path
+  // and compare the power change.
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  const propagation::FriisModel friis;
+  const double d = 4.0;
+  const double a = friis.AmplitudeGain(d, band.center_hz());
+
+  const auto response = [&](double excess) {
+    propagation::Path los = LosPath(d, a);
+    propagation::Path refl = LosPath(d + excess, 0.8 * a);
+    const auto before = wifi::SynthesizeCfrSingle({los, refl}, band);
+    propagation::Path human = LosPath(d + 0.37, 0.05 * a);
+    human.kind = propagation::PathKind::kHumanReflection;
+    const auto after = wifi::SynthesizeCfrSingle({los, refl, human}, band);
+    double change = 0.0;
+    for (std::size_t k = 0; k < band.NumSubcarriers(); ++k) {
+      change += std::abs(10.0 * std::log10(std::norm(after[k]) /
+                                           std::norm(before[k])));
+    }
+    return change / static_cast<double>(band.NumSubcarriers());
+  };
+  const double deep_fade_response = response(kWavelength / 2.0);
+  const double anti_fade_response = response(kWavelength);
+  EXPECT_GT(deep_fade_response, 2.0 * anti_fade_response);
+}
+
+TEST(FadeLevel, ArgumentValidation) {
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  wifi::CsiPacket packet;
+  packet.csi = linalg::CMatrix(1, 30);
+  EXPECT_THROW(MeasureFadeLevel(packet, band, 0.0), PreconditionError);
+  wifi::CsiPacket wrong;
+  wrong.csi = linalg::CMatrix(1, 10);
+  EXPECT_THROW(MeasureFadeLevel(wrong, band, 1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mulink::core

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "core/link_model.h"
+
+namespace mulink::core {
+namespace {
+
+TEST(MultipathFactor, PureLosLimit) {
+  // gamma -> inf: mu -> 1 (all power in the LOS).
+  EXPECT_NEAR(MultipathFactorClosedForm(1e6, 1.0), 1.0, 1e-5);
+}
+
+TEST(MultipathFactor, ConstructiveVsDestructive) {
+  const double gamma = 2.0;
+  const double constructive = MultipathFactorClosedForm(gamma, 0.0);
+  const double destructive = MultipathFactorClosedForm(gamma, kPi);
+  // Constructive superposition -> more total power -> smaller mu.
+  EXPECT_LT(constructive, destructive);
+  EXPECT_NEAR(constructive, gamma * gamma / ((gamma + 1) * (gamma + 1)),
+              1e-12);
+  EXPECT_NEAR(destructive, gamma * gamma / ((gamma - 1) * (gamma - 1)),
+              1e-12);
+}
+
+TEST(MultipathFactor, QuadraturePhaseGivesPowerShare) {
+  // phi = pi/2: |h|^2 = gamma^2 + 1, mu = gamma^2/(gamma^2+1).
+  const double gamma = 3.0;
+  EXPECT_NEAR(MultipathFactorClosedForm(gamma, kPi / 2),
+              9.0 / 10.0, 1e-12);
+}
+
+TEST(MultipathFactor, RejectsNonPositiveGamma) {
+  EXPECT_THROW(MultipathFactorClosedForm(0.0, 1.0), PreconditionError);
+  EXPECT_THROW(MultipathFactorClosedForm(-1.0, 1.0), PreconditionError);
+}
+
+TEST(MultipathFactor, DegenerateCancellationThrows) {
+  // gamma = 1, phi = pi: total power is exactly zero.
+  EXPECT_THROW(MultipathFactorClosedForm(1.0, kPi), PreconditionError);
+}
+
+TEST(Shadowing, Eq5AndEq6Agree) {
+  // Eq. 6 is Eq. 5 re-parameterized through mu; they must agree exactly.
+  for (double beta : {0.3, 0.5, 0.8}) {
+    for (double gamma : {1.5, 2.0, 5.0, 10.0}) {
+      for (double phi = 0.0; phi < 2.0 * kPi; phi += 0.37) {
+        const double mu = MultipathFactorClosedForm(gamma, phi);
+        const double via_phase = ShadowingDeltaDbFromPhase(beta, gamma, phi);
+        const double via_mu = ShadowingDeltaDbFromMu(beta, gamma, mu);
+        EXPECT_NEAR(via_phase, via_mu, 1e-9)
+            << "beta=" << beta << " gamma=" << gamma << " phi=" << phi;
+      }
+    }
+  }
+}
+
+TEST(Shadowing, SinglePathLimitRecoversTenLgBetaSquared) {
+  // gamma -> inf, any phi: Delta_s -> 10 lg beta^2.
+  const double beta = 0.4;
+  const double delta = ShadowingDeltaDbFromPhase(beta, 1e9, 1.0);
+  EXPECT_NEAR(delta, SinglePathShadowingDeltaDb(beta), 1e-4);
+  EXPECT_NEAR(SinglePathShadowingDeltaDb(beta), 20.0 * std::log10(beta),
+              1e-12);
+}
+
+TEST(Shadowing, RssRiseConditionFromPaper) {
+  // Sec. III-B: if cos(phi) < -gamma (beta^2+1) / (2...)  — operationally:
+  // with strong destructive static superposition, removing LOS energy can
+  // RAISE RSS. Verify a known such configuration.
+  const double beta = 0.3, gamma = 1.05;
+  // Near-destructive static channel.
+  const double phi = kPi * 0.98;
+  EXPECT_TRUE(ShadowingRaisesRss(beta, gamma, phi));
+  EXPECT_GT(ShadowingDeltaDbFromPhase(beta, gamma, phi), 0.0);
+  // And a constructive one always drops.
+  EXPECT_FALSE(ShadowingRaisesRss(beta, gamma, 0.0));
+}
+
+TEST(Shadowing, MultipathCanBeatSinglePathSensitivity) {
+  // Sec. III-B: |Delta_s| can exceed |10 lg beta^2| under destructive
+  // superposition — multipath can IMPROVE sensitivity.
+  const double beta = 0.8, gamma = 1.2;
+  const double single = std::abs(SinglePathShadowingDeltaDb(beta));
+  const double multi =
+      std::abs(ShadowingDeltaDbFromPhase(beta, gamma, kPi * 0.95));
+  EXPECT_GT(multi, single);
+}
+
+class ShadowingMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(ShadowingMonotonicity, DeltaSFallsWithMuWhenBetaGammaSqAboveOne) {
+  // Eq. 6: slope in mu has sign of (1-beta)(1-beta gamma^2); for
+  // beta*gamma^2 > 1 (the common strong-LOS regime) Delta_s decreases
+  // monotonically with mu — the paper's Fig. 3b trend.
+  const double beta = GetParam();
+  const double gamma = 4.0;  // beta*gamma^2 >= 16*0.1 > 1 for all params
+  double prev = 1e9;
+  for (double mu = 0.05; mu <= 1.0; mu += 0.05) {
+    const double d = ShadowingDeltaDbFromMu(beta, gamma, mu);
+    EXPECT_LT(d, prev);
+    prev = d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BetaSweep, ShadowingMonotonicity,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7,
+                                           0.8, 0.9));
+
+TEST(Shadowing, Eq6ArgumentIsAffineInMu) {
+  // Eq. 6 states Delta_s = 10 lg(a + b mu): the *power ratio* is affine in
+  // mu. Verify exact affinity: second differences of 10^(Delta_s/10) vanish.
+  const double beta = 0.4, gamma = 3.0;
+  const auto ratio = [&](double mu) {
+    return std::pow(10.0, ShadowingDeltaDbFromMu(beta, gamma, mu) / 10.0);
+  };
+  const double r1 = ratio(0.2), r2 = ratio(0.4), r3 = ratio(0.6);
+  EXPECT_NEAR(r3 - r2, r2 - r1, 1e-12);
+  // Slope sign: for beta*gamma^2 > 1 the ratio falls with mu.
+  EXPECT_LT(r2, r1);
+}
+
+TEST(Reflection, NoReflectorMeansNoChange) {
+  EXPECT_NEAR(ReflectionDeltaDbFromMu(0.0, 2.0, 1.0, 0.5, 0.5), 0.0, 1e-12);
+}
+
+TEST(Reflection, InPhaseReflectionRaisesRss) {
+  // phi' = 0 and phi = 0: the new path adds constructively.
+  const double d = ReflectionDeltaDbFromMu(0.5, 2.0, 0.0, 0.0, 0.5);
+  EXPECT_GT(d, 0.0);
+}
+
+TEST(Reflection, AntiPhaseReflectionDropsRss) {
+  // phi' = pi against a constructive static channel: destructive add.
+  const double d = ReflectionDeltaDbFromMu(0.5, 2.0, 0.0, kPi, 0.5);
+  EXPECT_LT(d, 0.0);
+}
+
+TEST(Reflection, MatchesDirectPhasorComputation) {
+  // Independent check of Eq. 8 against raw phasor arithmetic.
+  const double gamma = 2.5, eta = 0.7, phi = 1.1, phi_prime = 2.3;
+  const double aL = gamma, aR = 1.0, aRp = eta;
+  const Complex hN = aL + aR * std::polar(1.0, -phi);
+  const Complex hR = hN + aRp * std::polar(1.0, -phi_prime);
+  const double expected = 10.0 * std::log10(std::norm(hR) / std::norm(hN));
+  const double mu = MultipathFactorClosedForm(gamma, phi);
+  const double got = ReflectionDeltaDbFromMu(eta, gamma, phi, phi_prime, mu);
+  EXPECT_NEAR(got, expected, 1e-9);
+}
+
+class ReflectionPhasorProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ReflectionPhasorProperty, Eq8AgreesWithPhasors) {
+  const double gamma = std::get<0>(GetParam());
+  const double eta = std::get<1>(GetParam());
+  for (double phi = 0.1; phi < 6.2; phi += 0.53) {
+    for (double phi_prime = 0.0; phi_prime < 6.2; phi_prime += 0.71) {
+      const Complex hN = gamma + std::polar(1.0, -phi);
+      const Complex hR = hN + eta * std::polar(1.0, -phi_prime);
+      if (std::norm(hN) < 1e-6 || std::norm(hR) < 1e-9) continue;
+      const double expected =
+          10.0 * std::log10(std::norm(hR) / std::norm(hN));
+      const double mu = MultipathFactorClosedForm(gamma, phi);
+      EXPECT_NEAR(ReflectionDeltaDbFromMu(eta, gamma, phi, phi_prime, mu),
+                  expected, 1e-8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GammaEtaGrid, ReflectionPhasorProperty,
+    ::testing::Combine(::testing::Values(1.3, 2.0, 4.0, 8.0),
+                       ::testing::Values(0.1, 0.5, 1.0)));
+
+TEST(PhaseFromExcess, KnownValues) {
+  // Excess of one wavelength -> 2 pi.
+  const double lambda = kSpeedOfLight / kChannel11CenterHz;
+  EXPECT_NEAR(PhaseFromExcessLength(lambda, kChannel11CenterHz), 2.0 * kPi,
+              1e-9);
+  EXPECT_NEAR(PhaseFromExcessLength(0.0, kChannel11CenterHz), 0.0, 1e-12);
+}
+
+TEST(PhaseFromExcess, FrequencyConfigurability) {
+  // The same excess length yields different phases at different subcarrier
+  // frequencies — the basis of Sec. III-B's "Configurable Link Sensitivity".
+  const double excess = 3.0;
+  const double f_lo = SubcarrierFrequencyHz(0);
+  const double f_hi = SubcarrierFrequencyHz(29);
+  const double dphi = PhaseFromExcessLength(excess, f_hi) -
+                      PhaseFromExcessLength(excess, f_lo);
+  EXPECT_NEAR(dphi, 2.0 * kPi * (f_hi - f_lo) * excess / kSpeedOfLight, 1e-9);
+  EXPECT_GT(std::abs(dphi), 0.5);  // non-trivial across the HT20 band
+}
+
+TEST(LinkModel, ArgumentValidation) {
+  EXPECT_THROW(ShadowingDeltaDbFromPhase(0.0, 2.0, 1.0), PreconditionError);
+  EXPECT_THROW(ShadowingDeltaDbFromPhase(1.2, 2.0, 1.0), PreconditionError);
+  EXPECT_THROW(ShadowingDeltaDbFromMu(0.5, 2.0, 0.0), PreconditionError);
+  EXPECT_THROW(ReflectionDeltaDbFromMu(-0.1, 2.0, 0.0, 0.0, 0.5),
+               PreconditionError);
+  EXPECT_THROW(PhaseFromExcessLength(-1.0, 1e9), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mulink::core

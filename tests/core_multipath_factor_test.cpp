@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "core/link_model.h"
+#include "core/multipath_factor.h"
+#include "dsp/stats.h"
+#include "propagation/path.h"
+#include "wifi/cfr.h"
+
+namespace mulink::core {
+namespace {
+
+std::vector<Complex> TwoPathCfr(const wifi::BandPlan& band, double los_len,
+                                double refl_len, double refl_gain) {
+  propagation::Path los, refl;
+  los.vertices = {{0, 0}, {los_len, 0}};
+  los.length_m = los_len;
+  los.gain_at_center = 1.0;
+  refl.kind = propagation::PathKind::kWallReflection;
+  refl.vertices = los.vertices;
+  refl.length_m = refl_len;
+  refl.gain_at_center = refl_gain;
+  return wifi::SynthesizeCfrSingle({los, refl}, band);
+}
+
+TEST(LosPowerEstimate, SumsToDominantTapPower) {
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  const auto cfr = TwoPathCfr(band, 4.0, 7.0, 0.4);
+  const auto los = EstimateLosPower(cfr, band);
+  double sum = 0.0;
+  for (double p : los) sum += p;
+  // Eq. 10 splits |h(0)|^2 across subcarriers; the split must be exact.
+  Complex mean(0, 0);
+  for (const auto& h : cfr) mean += h;
+  mean /= static_cast<double>(cfr.size());
+  EXPECT_NEAR(sum, std::norm(mean), 1e-12);
+}
+
+TEST(LosPowerEstimate, FollowsInverseFrequencySquared) {
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  const auto cfr = TwoPathCfr(band, 4.0, 7.0, 0.4);
+  const auto los = EstimateLosPower(cfr, band);
+  // P_L(f_k) * f_k^2 constant across subcarriers.
+  const double ref = los[0] * band.FrequencyHz(0) * band.FrequencyHz(0);
+  for (std::size_t k = 1; k < los.size(); ++k) {
+    EXPECT_NEAR(los[k] * band.FrequencyHz(k) * band.FrequencyHz(k), ref,
+                ref * 1e-12);
+  }
+}
+
+TEST(MultipathFactor, PureLosGivesUniformFactors) {
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  propagation::Path los;
+  los.vertices = {{0, 0}, {4, 0}};
+  los.length_m = 4.0;
+  los.gain_at_center = 1.0;
+  const auto cfr = wifi::SynthesizeCfrSingle({los}, band);
+  const auto mu = MeasureMultipathFactors(cfr, band);
+  // With a single path |h(0)|^2 < |H_k|^2 * K only by the phase decoherence
+  // across subcarriers; after the delay-induced phase ramp the coherent mean
+  // loses some power, but the mu profile stays nearly flat.
+  const double mean = dsp::Mean(mu);
+  for (double v : mu) {
+    EXPECT_NEAR(v, mean, 0.15 * mean);
+  }
+}
+
+TEST(MultipathFactor, DestructiveSubcarriersGetLargerMu) {
+  // mu_k ~ 1/|H_k|^2: subcarriers in a fade have larger multipath factor.
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  const auto cfr = TwoPathCfr(band, 4.0, 9.0, 0.6);
+  const auto mu = MeasureMultipathFactors(cfr, band);
+  std::size_t k_min_amp = 0, k_max_amp = 0;
+  for (std::size_t k = 1; k < cfr.size(); ++k) {
+    if (std::abs(cfr[k]) < std::abs(cfr[k_min_amp])) k_min_amp = k;
+    if (std::abs(cfr[k]) > std::abs(cfr[k_max_amp])) k_max_amp = k;
+  }
+  EXPECT_GT(mu[k_min_amp], mu[k_max_amp]);
+}
+
+TEST(MultipathFactor, ScaleInvariant) {
+  // mu is a power ratio: scaling the CFR must not change it.
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  auto cfr = TwoPathCfr(band, 4.0, 7.5, 0.5);
+  const auto mu1 = MeasureMultipathFactors(cfr, band);
+  for (auto& h : cfr) h *= Complex(3.0, 0.0);
+  const auto mu2 = MeasureMultipathFactors(cfr, band);
+  for (std::size_t k = 0; k < mu1.size(); ++k) {
+    EXPECT_NEAR(mu1[k], mu2[k], 1e-12);
+  }
+}
+
+TEST(MultipathFactor, ZeroSubcarrierYieldsZeroMu) {
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  auto cfr = TwoPathCfr(band, 4.0, 7.5, 0.5);
+  cfr[7] = Complex(0.0, 0.0);
+  const auto mu = MeasureMultipathFactors(cfr, band);
+  EXPECT_EQ(mu[7], 0.0);
+}
+
+TEST(MultipathFactor, TracksClosedFormOrderingAcrossPhases) {
+  // Sweep the reflected path's excess length so its phase walks the circle;
+  // the measured mu (averaged over subcarriers) must rank configurations in
+  // the same order as the closed-form Eq. 3 at the center frequency.
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  const double gamma = 2.5;
+  std::vector<double> measured, closed_form;
+  for (double excess = 2.0; excess < 2.0 + kWavelength;
+       excess += kWavelength / 7.0) {
+    const auto cfr = TwoPathCfr(band, 4.0, 4.0 + excess, 1.0 / gamma);
+    const auto mu = MeasureMultipathFactors(cfr, band);
+    measured.push_back(dsp::Mean(mu));
+    const double phi = PhaseFromExcessLength(excess, band.center_hz());
+    closed_form.push_back(MultipathFactorClosedForm(gamma, phi));
+  }
+  // Strong positive rank correlation (Pearson > 0.9 suffices here).
+  EXPECT_GT(dsp::Correlation(measured, closed_form), 0.9);
+}
+
+TEST(MultipathFactor, PacketVariantAveragesAntennas) {
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  const auto cfr = TwoPathCfr(band, 4.0, 7.0, 0.4);
+  wifi::CsiPacket packet;
+  packet.csi = linalg::CMatrix(2, band.NumSubcarriers());
+  for (std::size_t k = 0; k < band.NumSubcarriers(); ++k) {
+    packet.csi.At(0, k) = cfr[k];
+    packet.csi.At(1, k) = cfr[k] * Complex(2.0, 0.0);  // same mu (scale-inv)
+  }
+  const auto mu_packet = MeasureMultipathFactors(packet, band);
+  const auto mu_single = MeasureMultipathFactors(cfr, band);
+  for (std::size_t k = 0; k < mu_single.size(); ++k) {
+    EXPECT_NEAR(mu_packet[k], mu_single[k], 1e-12);
+  }
+}
+
+TEST(MultipathFactor, SessionVariantShape) {
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  const auto cfr = TwoPathCfr(band, 4.0, 7.0, 0.4);
+  wifi::CsiPacket packet;
+  packet.csi = linalg::CMatrix(1, band.NumSubcarriers());
+  for (std::size_t k = 0; k < band.NumSubcarriers(); ++k) {
+    packet.csi.At(0, k) = cfr[k];
+  }
+  const auto mu =
+      MeasureMultipathFactors(std::vector<wifi::CsiPacket>{packet, packet},
+                              band);
+  ASSERT_EQ(mu.size(), 2u);
+  EXPECT_EQ(mu[0].size(), band.NumSubcarriers());
+  EXPECT_EQ(mu[0], mu[1]);
+}
+
+}  // namespace
+}  // namespace mulink::core

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/music.h"
+#include "propagation/path.h"
+#include "wifi/cfr.h"
+#include "wifi/noise.h"
+
+namespace mulink::core {
+namespace {
+
+// Build CSI packets for a set of plane waves at given broadside angles.
+// Uses the real forward model (SynthesizeCfr) with an array along +y so
+// arrival directions map cleanly onto broadside angles.
+std::vector<wifi::CsiPacket> MakePackets(
+    const std::vector<double>& angles_deg, const std::vector<double>& gains,
+    std::size_t num_packets, double snr_db, Rng& rng,
+    std::size_t num_antennas = 3) {
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  const wifi::UniformLinearArray array(num_antennas, kWavelength / 2.0,
+                                       kPi / 2.0);
+  propagation::PathSet paths;
+  for (std::size_t i = 0; i < angles_deg.size(); ++i) {
+    propagation::Path p;
+    const double theta = DegToRad(angles_deg[i]);
+    // Array axis +y, broadside +x/-x. A source at broadside angle theta sits
+    // at direction (cos from -x ...). toward_source - axis: we need
+    // sin(theta) = cos(toward_source - pi/2) => toward_source = pi/2 +-
+    // acos(sin theta). Choose travel = toward_source + pi.
+    const double toward_source = kPi / 2.0 + std::acos(std::sin(theta));
+    p.arrival_direction_rad = toward_source + kPi;
+    p.length_m = 3.0 + 0.37 * static_cast<double>(i);  // decorrelate phases
+    p.gain_at_center = gains[i];
+    paths.push_back(p);
+  }
+
+  std::vector<wifi::CsiPacket> packets;
+  wifi::NoiseModel noise;
+  noise.snr_db = snr_db;
+  noise.random_common_phase = true;
+  noise.sto_range_s = 0.0;
+  noise.gain_drift_db = 0.0;
+  for (std::size_t n = 0; n < num_packets; ++n) {
+    // Give each path a small random length jitter so snapshots decorrelate
+    // (a perfectly static coherent scene is MUSIC's known degenerate case).
+    propagation::PathSet jittered = paths;
+    for (auto& p : jittered) {
+      p.length_m += rng.Gaussian(0.0, 0.01);
+    }
+    auto cfr = wifi::SynthesizeCfr(jittered, band, array);
+    wifi::ApplyNoise(cfr, band.AllOffsetsHz(), noise, rng);
+    wifi::CsiPacket packet;
+    packet.csi = std::move(cfr);
+    packets.push_back(std::move(packet));
+  }
+  return packets;
+}
+
+TEST(AngleFromPhaseShift, Eq16KnownValues) {
+  EXPECT_NEAR(AngleFromPhaseShift(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(AngleFromPhaseShift(kPi / 2.0), DegToRad(30.0), 1e-9);
+  EXPECT_NEAR(AngleFromPhaseShift(kPi), DegToRad(90.0), 1e-9);
+  EXPECT_NEAR(AngleFromPhaseShift(-kPi / 2.0), DegToRad(-30.0), 1e-9);
+}
+
+TEST(AngleFromPhaseShift, ClampsOutOfRange) {
+  EXPECT_NEAR(AngleFromPhaseShift(1.5 * kPi), kPi / 2.0, 1e-12);
+  EXPECT_NEAR(AngleFromPhaseShift(-1.5 * kPi), -kPi / 2.0, 1e-12);
+}
+
+TEST(SampleCovariance, HermitianPsd) {
+  Rng rng(3);
+  const auto packets = MakePackets({0.0, 40.0}, {1.0, 0.5}, 10, 25.0, rng);
+  const auto r = SampleCovariance(packets);
+  EXPECT_EQ(r.rows(), 3u);
+  EXPECT_TRUE(r.IsHermitian(1e-9));
+  // Diagonal real and positive.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(r.At(i, i).real(), 0.0);
+    EXPECT_NEAR(r.At(i, i).imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(SampleCovariance, WeightsChangeResult) {
+  Rng rng(5);
+  const auto packets = MakePackets({10.0}, {1.0}, 5, 20.0, rng);
+  const auto r_uniform = SampleCovariance(packets);
+  std::vector<double> weights(30, 0.0);
+  weights[3] = 1.0;  // only subcarrier 3 contributes
+  const auto r_weighted = SampleCovariance(packets, weights);
+  EXPECT_GT((r_uniform - r_weighted).FrobeniusNorm(), 0.0);
+}
+
+TEST(SampleCovariance, AllZeroWeightsThrow) {
+  Rng rng(5);
+  const auto packets = MakePackets({10.0}, {1.0}, 2, 20.0, rng);
+  EXPECT_THROW(SampleCovariance(packets, std::vector<double>(30, 0.0)),
+               PreconditionError);
+}
+
+TEST(Music, ResolvesSingleSource) {
+  Rng rng(7);
+  for (double angle : {-50.0, -20.0, 0.0, 15.0, 45.0}) {
+    const auto packets = MakePackets({angle}, {1.0}, 20, 30.0, rng);
+    MusicConfig config;
+    config.num_sources = 1;
+    const auto spectrum = ComputeMusicSpectrum(packets,
+                                               wifi::UniformLinearArray(
+                                                   3, kWavelength / 2.0,
+                                                   kPi / 2.0),
+                                               wifi::BandPlan::Intel5300Channel11(),
+                                               config);
+    const auto peaks = spectrum.PeakAngles(1);
+    ASSERT_FALSE(peaks.empty()) << "angle=" << angle;
+    EXPECT_NEAR(peaks[0], angle, 4.0) << "angle=" << angle;
+  }
+}
+
+TEST(Music, ResolvesTwoWellSeparatedSources) {
+  Rng rng(11);
+  const auto packets = MakePackets({-10.0, 50.0}, {1.0, 0.7}, 40, 30.0, rng);
+  const auto spectrum = ComputeMusicSpectrum(
+      packets, wifi::UniformLinearArray(3, kWavelength / 2.0, kPi / 2.0),
+      wifi::BandPlan::Intel5300Channel11());
+  const auto peaks = spectrum.PeakAngles(2);
+  ASSERT_EQ(peaks.size(), 2u);
+  const double lo = std::min(peaks[0], peaks[1]);
+  const double hi = std::max(peaks[0], peaks[1]);
+  EXPECT_NEAR(lo, -10.0, 6.0);
+  EXPECT_NEAR(hi, 50.0, 6.0);
+}
+
+TEST(Music, StrongerSourceHasTallerPeak) {
+  Rng rng(13);
+  const auto packets = MakePackets({-30.0, 30.0}, {1.0, 0.4}, 40, 30.0, rng);
+  const auto spectrum = ComputeMusicSpectrum(
+      packets, wifi::UniformLinearArray(3, kWavelength / 2.0, kPi / 2.0),
+      wifi::BandPlan::Intel5300Channel11());
+  EXPECT_GT(spectrum.ValueAt(-30.0), spectrum.ValueAt(30.0));
+}
+
+TEST(Music, LargerArrayResolvesCloseSources) {
+  // The paper's future-work note: angular resolution is set by the antenna
+  // aperture. Two sources 14 degrees apart must be cleanly resolved by an
+  // 8-element array.
+  Rng rng(17);
+  const auto p8 = MakePackets({0.0, 14.0}, {1.0, 0.9}, 60, 30.0, rng, 8);
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  const auto s8 = ComputeMusicSpectrum(
+      p8, wifi::UniformLinearArray(8, kWavelength / 2.0, kPi / 2.0), band);
+  const auto peaks = s8.PeakAngles(2);
+  ASSERT_EQ(peaks.size(), 2u);
+  const double lo = std::min(peaks[0], peaks[1]);
+  const double hi = std::max(peaks[0], peaks[1]);
+  EXPECT_NEAR(lo, 0.0, 4.0);
+  EXPECT_NEAR(hi, 14.0, 4.0);
+}
+
+TEST(Music, NormalizedSpectrumHasUnitNorm) {
+  Rng rng(19);
+  const auto packets = MakePackets({0.0}, {1.0}, 10, 25.0, rng);
+  const auto spectrum =
+      ComputeMusicSpectrum(packets,
+                           wifi::UniformLinearArray(3, kWavelength / 2.0,
+                                                    kPi / 2.0),
+                           wifi::BandPlan::Intel5300Channel11())
+          .Normalized();
+  double norm = 0.0;
+  for (double v : spectrum.power) norm += v * v;
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+TEST(Music, ConfigValidation) {
+  Rng rng(23);
+  const auto packets = MakePackets({0.0}, {1.0}, 3, 25.0, rng);
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  const wifi::UniformLinearArray array(3, kWavelength / 2.0, kPi / 2.0);
+  MusicConfig bad;
+  bad.num_sources = 3;  // must be < antennas
+  EXPECT_THROW(ComputeMusicSpectrum(packets, array, band, bad),
+               PreconditionError);
+  bad.num_sources = 0;
+  EXPECT_THROW(ComputeMusicSpectrum(packets, array, band, bad),
+               PreconditionError);
+  MusicConfig bad_range;
+  bad_range.theta_min_deg = 10.0;
+  bad_range.theta_max_deg = -10.0;
+  EXPECT_THROW(ComputeMusicSpectrum(packets, array, band, bad_range),
+               PreconditionError);
+}
+
+TEST(Music, GridCoversConfiguredRange) {
+  Rng rng(29);
+  const auto packets = MakePackets({0.0}, {1.0}, 5, 25.0, rng);
+  MusicConfig config;
+  config.theta_min_deg = -45.0;
+  config.theta_max_deg = 45.0;
+  config.num_points = 91;
+  const auto spectrum = ComputeMusicSpectrum(
+      packets, wifi::UniformLinearArray(3, kWavelength / 2.0, kPi / 2.0),
+      wifi::BandPlan::Intel5300Channel11(), config);
+  ASSERT_EQ(spectrum.theta_deg.size(), 91u);
+  EXPECT_NEAR(spectrum.theta_deg.front(), -45.0, 1e-12);
+  EXPECT_NEAR(spectrum.theta_deg.back(), 45.0, 1e-12);
+  EXPECT_NEAR(spectrum.theta_deg[1] - spectrum.theta_deg[0], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mulink::core

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/roc.h"
+
+namespace mulink::core {
+namespace {
+
+TEST(Roc, PerfectSeparation) {
+  const auto curve = ComputeRoc({10.0, 11.0, 12.0}, {1.0, 2.0, 3.0});
+  EXPECT_NEAR(curve.Auc(), 1.0, 1e-12);
+  const auto best = curve.BestBalancedAccuracy();
+  EXPECT_NEAR(best.true_positive_rate, 1.0, 1e-12);
+  EXPECT_NEAR(best.false_positive_rate, 0.0, 1e-12);
+  EXPECT_NEAR(BalancedAccuracy(best), 1.0, 1e-12);
+}
+
+TEST(Roc, ChanceLevelForIdenticalDistributions) {
+  Rng rng(3);
+  std::vector<double> pos, neg;
+  for (int i = 0; i < 3000; ++i) {
+    pos.push_back(rng.Gaussian(0.0, 1.0));
+    neg.push_back(rng.Gaussian(0.0, 1.0));
+  }
+  const auto curve = ComputeRoc(pos, neg);
+  EXPECT_NEAR(curve.Auc(), 0.5, 0.03);
+  EXPECT_NEAR(BalancedAccuracy(curve.BestBalancedAccuracy()), 0.5, 0.05);
+}
+
+TEST(Roc, CurveIsMonotone) {
+  Rng rng(5);
+  std::vector<double> pos, neg;
+  for (int i = 0; i < 500; ++i) {
+    pos.push_back(rng.Gaussian(1.0, 1.0));
+    neg.push_back(rng.Gaussian(0.0, 1.0));
+  }
+  const auto curve = ComputeRoc(pos, neg);
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_GE(curve.points[i].true_positive_rate,
+              curve.points[i - 1].true_positive_rate);
+    EXPECT_GE(curve.points[i].false_positive_rate,
+              curve.points[i - 1].false_positive_rate);
+    EXPECT_LE(curve.points[i].threshold, curve.points[i - 1].threshold);
+  }
+  EXPECT_NEAR(curve.points.front().false_positive_rate, 0.0, 1e-12);
+  EXPECT_NEAR(curve.points.back().true_positive_rate, 1.0, 1e-12);
+}
+
+TEST(Roc, AucIncreasesWithSeparation) {
+  Rng rng(7);
+  std::vector<double> neg, pos_weak, pos_strong;
+  for (int i = 0; i < 800; ++i) {
+    neg.push_back(rng.Gaussian(0.0, 1.0));
+    pos_weak.push_back(rng.Gaussian(0.5, 1.0));
+    pos_strong.push_back(rng.Gaussian(2.5, 1.0));
+  }
+  const double auc_weak = ComputeRoc(pos_weak, neg).Auc();
+  const double auc_strong = ComputeRoc(pos_strong, neg).Auc();
+  EXPECT_GT(auc_strong, auc_weak);
+  EXPECT_GT(auc_weak, 0.5);
+}
+
+TEST(Roc, PointAtFalsePositiveRespectsCap) {
+  Rng rng(9);
+  std::vector<double> pos, neg;
+  for (int i = 0; i < 1000; ++i) {
+    pos.push_back(rng.Gaussian(1.5, 1.0));
+    neg.push_back(rng.Gaussian(0.0, 1.0));
+  }
+  const auto curve = ComputeRoc(pos, neg);
+  const auto point = curve.PointAtFalsePositive(0.05);
+  EXPECT_LE(point.false_positive_rate, 0.05);
+  // It should be the best TPR under the cap: any other point under the cap
+  // has TPR <= this one.
+  for (const auto& p : curve.points) {
+    if (p.false_positive_rate <= 0.05) {
+      EXPECT_LE(p.true_positive_rate, point.true_positive_rate + 1e-12);
+    }
+  }
+}
+
+TEST(Roc, TruePositiveAtInterpolates) {
+  // Simple hand-built case: pos = {2, 4}, neg = {1, 3}.
+  const auto curve = ComputeRoc({2.0, 4.0}, {1.0, 3.0});
+  // Threshold sweep: t=4 -> (tpr .5, fpr 0); t=3 -> (.5, .5); t=2 -> (1, .5);
+  // t=1 -> (1, 1).
+  EXPECT_NEAR(curve.TruePositiveAt(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(curve.TruePositiveAt(0.5), 1.0, 1e-12);
+  EXPECT_NEAR(curve.TruePositiveAt(0.25), 0.5, 1e-12);
+  EXPECT_NEAR(curve.TruePositiveAt(1.0), 1.0, 1e-12);
+}
+
+TEST(Roc, ThresholdSemanticsInclusive) {
+  // Scores >= threshold are detections.
+  const auto curve = ComputeRoc({1.0}, {0.0});
+  bool found = false;
+  for (const auto& p : curve.points) {
+    if (p.threshold == 1.0) {
+      EXPECT_NEAR(p.true_positive_rate, 1.0, 1e-12);
+      EXPECT_NEAR(p.false_positive_rate, 0.0, 1e-12);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Roc, EmptyInputsThrow) {
+  EXPECT_THROW(ComputeRoc({}, {1.0}), PreconditionError);
+  EXPECT_THROW(ComputeRoc({1.0}, {}), PreconditionError);
+}
+
+TEST(Roc, BalancedAccuracyFormula) {
+  RocPoint p;
+  p.true_positive_rate = 0.92;
+  p.false_positive_rate = 0.045;
+  EXPECT_NEAR(BalancedAccuracy(p), 0.9375, 1e-12);
+}
+
+}  // namespace
+}  // namespace mulink::core

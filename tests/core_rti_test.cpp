@@ -1,0 +1,164 @@
+// Radio Tomographic Imaging tests — synthetic inversion properties plus an
+// end-to-end run on the channel simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/rti.h"
+#include "core/sanitize.h"
+#include "experiments/scenario.h"
+
+namespace mulink::core {
+namespace {
+
+TEST(PerimeterNodes, EvenlySpacedOnTheBoundary) {
+  const auto nodes = PerimeterNodes(6.0, 8.0, 8, 0.5);
+  ASSERT_EQ(nodes.size(), 8u);
+  for (const auto& n : nodes) {
+    const bool on_x_edge =
+        std::abs(n.x - 0.5) < 1e-9 || std::abs(n.x - 5.5) < 1e-9;
+    const bool on_y_edge =
+        std::abs(n.y - 0.5) < 1e-9 || std::abs(n.y - 7.5) < 1e-9;
+    EXPECT_TRUE(on_x_edge || on_y_edge);
+    EXPECT_GE(n.x, 0.5 - 1e-9);
+    EXPECT_LE(n.x, 5.5 + 1e-9);
+  }
+  EXPECT_THROW(PerimeterNodes(1.0, 1.0, 8, 0.6), PreconditionError);
+  EXPECT_THROW(PerimeterNodes(6.0, 8.0, 2), PreconditionError);
+}
+
+TEST(RtiImager, LinkAndGridBookkeeping) {
+  const auto nodes = PerimeterNodes(6.0, 6.0, 6);
+  const RtiImager imager(nodes, 6.0, 6.0);
+  EXPECT_EQ(imager.links().size(), 15u);  // 6 choose 2
+  EXPECT_EQ(imager.grid().nx, 20u);       // 6 m / 0.3 m
+  EXPECT_EQ(imager.grid().ny, 20u);
+  // Pixel centers sweep the area.
+  const auto first = imager.grid().PixelCenter(0);
+  EXPECT_NEAR(first.x, 0.15, 1e-12);
+  EXPECT_NEAR(first.y, 0.15, 1e-12);
+}
+
+TEST(RtiImager, WeightsLiveInsideTheEllipse) {
+  const std::vector<geometry::Vec2> nodes = {{1, 3}, {5, 3}, {3, 1}};
+  const RtiImager imager(nodes, 6.0, 6.0);
+  // Link 0 connects (1,3)-(5,3). A pixel on that segment is inside its
+  // ellipse; a pixel far above is not.
+  const auto& grid = imager.grid();
+  std::size_t on_link = 0, far_away = 0;
+  for (std::size_t p = 0; p < grid.NumPixels(); ++p) {
+    const auto c = grid.PixelCenter(p);
+    if (std::abs(c.y - 3.0) < 0.16 && c.x > 1.2 && c.x < 4.8) on_link = p;
+    if (c.y > 5.5) far_away = p;
+  }
+  EXPECT_GT(imager.Weight(0, on_link), 0.0);
+  EXPECT_EQ(imager.Weight(0, far_away), 0.0);
+}
+
+TEST(RtiImager, ReconstructsSyntheticBlob) {
+  // Forward-project a single attenuating pixel through the weight model and
+  // invert: the image peak must land on that pixel.
+  const auto nodes = PerimeterNodes(6.0, 6.0, 8);
+  const RtiImager imager(nodes, 6.0, 6.0);
+  const auto& grid = imager.grid();
+
+  const geometry::Vec2 person{3.2, 2.6};
+  std::size_t person_pixel = 0;
+  double best = 1e9;
+  for (std::size_t p = 0; p < grid.NumPixels(); ++p) {
+    const double d = geometry::Distance(grid.PixelCenter(p), person);
+    if (d < best) {
+      best = d;
+      person_pixel = p;
+    }
+  }
+
+  std::vector<double> delta(imager.links().size(), 0.0);
+  for (std::size_t l = 0; l < imager.links().size(); ++l) {
+    delta[l] = 5.0 * imager.Weight(l, person_pixel);  // 5 dB-ish attenuation
+  }
+  const auto image = imager.Reconstruct(delta);
+  const auto located = imager.LocateMax(image);
+  EXPECT_LT(geometry::Distance(located, person), 0.5);
+  EXPECT_GT(imager.PeakValue(image), 0.0);
+}
+
+TEST(RtiImager, EmptyMeasurementsGiveFlatImage) {
+  const auto nodes = PerimeterNodes(6.0, 6.0, 6);
+  const RtiImager imager(nodes, 6.0, 6.0);
+  const std::vector<double> zeros(imager.links().size(), 0.0);
+  const auto image = imager.Reconstruct(zeros);
+  for (double v : image) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(RtiImager, RegularizationTamesNoise) {
+  const auto nodes = PerimeterNodes(6.0, 6.0, 8);
+  RtiConfig weak, strong;
+  weak.regularization = 0.5;
+  strong.regularization = 50.0;
+  const RtiImager imager_weak(nodes, 6.0, 6.0, weak);
+  const RtiImager imager_strong(nodes, 6.0, 6.0, strong);
+
+  Rng rng(5);
+  std::vector<double> noise(imager_weak.links().size());
+  for (auto& v : noise) v = rng.Gaussian(0.0, 1.0);
+  const double peak_weak = imager_weak.PeakValue(imager_weak.Reconstruct(noise));
+  const double peak_strong =
+      imager_strong.PeakValue(imager_strong.Reconstruct(noise));
+  EXPECT_LT(peak_strong, peak_weak);
+}
+
+TEST(RtiImager, ValidatesArguments) {
+  EXPECT_THROW(RtiImager({{1, 1}, {2, 2}}, 6.0, 6.0), PreconditionError);
+  const auto nodes = PerimeterNodes(6.0, 6.0, 4);
+  const RtiImager imager(nodes, 6.0, 6.0);
+  EXPECT_THROW(imager.Reconstruct({1.0}), PreconditionError);
+}
+
+TEST(RtiEndToEnd, LocalizesAPersonWithSimulatedLinks) {
+  // 8 perimeter nodes in the classroom; each pair is a simulated 1-antenna
+  // link. Delta-RSS per link feeds the imager; the peak should land near the
+  // person.
+  auto lc = experiments::MakeClassroomLink();
+  lc.walker_bases.clear();
+  const double width = lc.room.width(), depth = lc.room.depth();
+  const auto nodes = PerimeterNodes(width, depth, 8, 0.5);
+  RtiConfig config;
+  config.ellipse_excess_m = 0.3;
+  const RtiImager imager(nodes, width, depth, config);
+
+  // One simulator per link (single antenna, calmer noise for test speed).
+  auto sim_config = experiments::DefaultSimConfig();
+  sim_config.interference_entry_prob = 0.0;
+  sim_config.slow_gain_drift_db = 0.05;
+  std::vector<nic::ChannelSimulator> sims;
+  for (const auto& [a, b] : imager.links()) {
+    sims.emplace_back(lc.room, nodes[a], nodes[b],
+                      wifi::UniformLinearArray(1, kWavelength / 2.0, 0.0),
+                      wifi::BandPlan::Intel5300Channel11(), sim_config);
+  }
+
+  Rng rng(9);
+  const geometry::Vec2 person{2.5, 5.0};
+  std::vector<double> delta(imager.links().size(), 0.0);
+  for (std::size_t l = 0; l < sims.size(); ++l) {
+    const auto empty = sims[l].CaptureSession(20, std::nullopt, rng);
+    propagation::HumanBody body;
+    body.position = person;
+    const auto occupied = sims[l].CaptureSession(20, body, rng);
+    double p_empty = 0.0, p_occupied = 0.0;
+    for (const auto& packet : empty) p_empty += packet.TotalPower();
+    for (const auto& packet : occupied) p_occupied += packet.TotalPower();
+    // Attenuation in dB (positive when the person removed energy).
+    delta[l] = std::max(0.0, 10.0 * std::log10(p_empty / p_occupied));
+  }
+
+  const auto image = imager.Reconstruct(delta);
+  const auto located = imager.LocateMax(image);
+  EXPECT_LT(geometry::Distance(located, person), 1.2);
+}
+
+}  // namespace
+}  // namespace mulink::core

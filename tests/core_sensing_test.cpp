@@ -1,0 +1,218 @@
+// Higher-level sensing extensions: respiration estimation, fingerprint
+// localization, and channel-sweep frequency diversity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/breath.h"
+#include "core/fingerprint.h"
+#include "core/multipath_factor.h"
+#include "core/sanitize.h"
+#include "dsp/stats.h"
+#include "experiments/scenario.h"
+
+namespace mulink::core {
+namespace {
+
+namespace ex = mulink::experiments;
+
+nic::ChannelSimConfig CalmConfig() {
+  // Breathing is a millimetre-scale signal: suppress the bursty stressors
+  // (a sleep-monitoring deployment is a quiet bedroom, not a busy office).
+  auto config = ex::DefaultSimConfig();
+  config.interference_entry_prob = 0.0;
+  config.slow_gain_drift_db = 0.05;
+  config.human_sway_sigma_m = 0.001;
+  config.background_jitter_m = 0.001;
+  return config;
+}
+
+class BreathTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BreathTest, RecoversTheRespirationRate) {
+  const double true_rate = GetParam();
+  auto lc = ex::MakeClassroomLink();
+  lc.walker_bases.clear();
+  auto sim = ex::MakeSimulator(lc, CalmConfig());
+  Rng rng(3);
+
+  propagation::HumanBody sleeper;
+  sleeper.position = {3.0, 4.6};  // 0.6 m off the LOS
+  sleeper.breathing_amplitude_m = 0.006;
+  sleeper.breathing_rate_hz = true_rate;
+
+  // 20 s of packets at 50 pkt/s.
+  const auto session = sim.CaptureSession(1000, sleeper, rng);
+  const auto estimate = EstimateBreathing(session, 50.0);
+  EXPECT_NEAR(estimate.rate_hz, true_rate, 0.03) << "rate " << true_rate;
+  EXPECT_GT(estimate.confidence, 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, BreathTest,
+                         ::testing::Values(0.2, 0.25, 0.3, 0.4, 0.5));
+
+TEST(Breath, EmptyRoomHasLowConfidence) {
+  auto lc = ex::MakeClassroomLink();
+  lc.walker_bases.clear();
+  auto sim = ex::MakeSimulator(lc, CalmConfig());
+  Rng rng(5);
+  const auto session = sim.CaptureSession(1000, std::nullopt, rng);
+  const auto estimate = EstimateBreathing(session, 50.0);
+  EXPECT_LT(estimate.confidence, 3.0);
+}
+
+TEST(Breath, StillPersonHasLowerConfidenceThanBreather) {
+  auto lc = ex::MakeClassroomLink();
+  lc.walker_bases.clear();
+  auto sim = ex::MakeSimulator(lc, CalmConfig());
+  Rng rng(7);
+  propagation::HumanBody still;
+  still.position = {3.0, 4.6};
+  const auto still_session = sim.CaptureSession(1000, still, rng);
+  propagation::HumanBody breather = still;
+  breather.breathing_amplitude_m = 0.006;
+  breather.breathing_rate_hz = 0.3;
+  const auto breathing_session = sim.CaptureSession(1000, breather, rng);
+  EXPECT_GT(EstimateBreathing(breathing_session, 50.0).confidence,
+            2.0 * EstimateBreathing(still_session, 50.0).confidence);
+}
+
+TEST(Breath, ValidatesArguments) {
+  auto lc = ex::MakeClassroomLink();
+  auto sim = ex::MakeSimulator(lc, CalmConfig());
+  Rng rng(9);
+  const auto tiny = sim.CaptureSession(10, std::nullopt, rng);
+  EXPECT_THROW(EstimateBreathing(tiny, 50.0), PreconditionError);
+  const auto session = sim.CaptureSession(100, std::nullopt, rng);
+  BreathConfig bad;
+  bad.fft_size = 64;  // < session length
+  EXPECT_THROW(EstimateBreathing(session, 50.0, bad), PreconditionError);
+  BreathConfig nyquist;
+  nyquist.max_rate_hz = 30.0;
+  EXPECT_THROW(EstimateBreathing(session, 50.0, nyquist), PreconditionError);
+}
+
+class FingerprintTest : public ::testing::Test {
+ protected:
+  FingerprintTest()
+      : link_([] {
+          auto lc = ex::MakeClassroomLink();
+          return lc;
+        }()),
+        sim_(ex::MakeSimulator(link_)),
+        rng_(11) {}
+
+  std::vector<wifi::CsiPacket> Window(
+      const std::optional<propagation::HumanBody>& human) {
+    return sim_.CaptureSession(25, human, rng_);
+  }
+
+  ex::LinkCase link_;
+  nic::ChannelSimulator sim_;
+  Rng rng_;
+};
+
+TEST_F(FingerprintTest, LocatesTrainedCells) {
+  const std::vector<std::pair<std::string, geometry::Vec2>> cells = {
+      {"north", {3.0, 6.0}}, {"center", {3.0, 4.5}}, {"south", {3.0, 2.0}}};
+  FingerprintLocalizer localizer;
+  for (const auto& [label, pos] : cells) {
+    propagation::HumanBody body;
+    body.position = pos;
+    for (int i = 0; i < 6; ++i) {
+      localizer.AddTrainingWindow(label, Window(body));
+    }
+  }
+  localizer.AddTrainingWindow("empty", Window(std::nullopt));
+  localizer.AddTrainingWindow("empty", Window(std::nullopt));
+  localizer.AddTrainingWindow("empty", Window(std::nullopt));
+
+  int correct = 0, total = 0;
+  for (const auto& [label, pos] : cells) {
+    propagation::HumanBody body;
+    body.position = pos;
+    for (int i = 0; i < 4; ++i) {
+      ++total;
+      if (localizer.Locate(Window(body)).label == label) ++correct;
+    }
+  }
+  ++total;
+  if (localizer.Locate(Window(std::nullopt)).label == "empty") ++correct;
+  EXPECT_GE(correct, total - 2);  // a stray confusion is acceptable
+}
+
+TEST_F(FingerprintTest, FeatureIsScaleInvariant) {
+  auto window = Window(std::nullopt);
+  const auto feature = FingerprintLocalizer::Feature(window);
+  for (auto& packet : window) {
+    packet.csi *= Complex(3.7, 0.0);  // AGC / TX-power rescale
+  }
+  const auto scaled = FingerprintLocalizer::Feature(window);
+  ASSERT_EQ(feature.size(), scaled.size());
+  for (std::size_t i = 0; i < feature.size(); ++i) {
+    EXPECT_NEAR(feature[i], scaled[i], 1e-9);
+  }
+  // Unit norm.
+  double norm = 0.0;
+  for (double v : feature) norm += v * v;
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+TEST_F(FingerprintTest, ValidatesUsage) {
+  FingerprintLocalizer localizer;
+  EXPECT_THROW(localizer.Locate(Window(std::nullopt)), PreconditionError);
+  EXPECT_THROW(localizer.AddTrainingWindow("", Window(std::nullopt)),
+               PreconditionError);
+  localizer.AddTrainingWindow("a", Window(std::nullopt));
+  EXPECT_EQ(localizer.NumTrainingSamples(), 1u);
+  EXPECT_EQ(localizer.Labels().size(), 1u);
+}
+
+TEST(ChannelSweep, ChannelsHaveDistinctCenters) {
+  for (int ch = 1; ch <= 13; ++ch) {
+    const auto band = wifi::BandPlan::Intel5300Channel(ch);
+    EXPECT_NEAR(band.center_hz(), 2.412e9 + 5e6 * (ch - 1), 1.0);
+  }
+  EXPECT_NEAR(wifi::BandPlan::Intel5300Channel(11).center_hz(),
+              kChannel11CenterHz, 1.0);
+  EXPECT_THROW(wifi::BandPlan::Intel5300Channel(0), PreconditionError);
+  EXPECT_THROW(wifi::BandPlan::Intel5300Channel(14), PreconditionError);
+}
+
+TEST(ChannelSweep, SuperpositionStatusVariesAcrossChannels) {
+  // Sec. III-B "Configurable Link Sensitivity": phi = 2 pi f delta_d / c, so
+  // hopping channels re-rolls the superposition. The per-subcarrier mu
+  // pattern on channel 1 must differ measurably from channel 11.
+  auto lc = ex::MakeClassroomLink();
+  lc.walker_bases.clear();
+  auto config = CalmConfig();
+  const auto mu_on_channel = [&](int channel) {
+    nic::ChannelSimulator sim(lc.room, lc.tx, lc.rx, ex::MakeArray(lc),
+                              wifi::BandPlan::Intel5300Channel(channel),
+                              config);
+    Rng rng(13);
+    const auto clean = core::SanitizePhase(
+        sim.CaptureSession(50, std::nullopt, rng), sim.band());
+    const auto rows = core::MeasureMultipathFactors(clean, sim.band());
+    std::vector<double> mu(30, 0.0);
+    for (const auto& row : rows) {
+      for (std::size_t k = 0; k < 30; ++k) mu[k] += row[k];
+    }
+    for (auto& v : mu) v /= static_cast<double>(rows.size());
+    return mu;
+  };
+  const auto mu1 = mu_on_channel(1);
+  const auto mu11 = mu_on_channel(11);
+  // Correlated (same geometry) but clearly not identical.
+  double max_rel_diff = 0.0;
+  for (std::size_t k = 0; k < 30; ++k) {
+    max_rel_diff = std::max(max_rel_diff,
+                            std::abs(mu1[k] - mu11[k]) / mu11[k]);
+  }
+  EXPECT_GT(max_rel_diff, 0.1);
+}
+
+}  // namespace
+}  // namespace mulink::core

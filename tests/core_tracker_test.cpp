@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/tracker.h"
+#include "dsp/stats.h"
+
+namespace mulink::core {
+namespace {
+
+TEST(Tracker, FirstMeasurementInitializes) {
+  PositionTracker tracker;
+  EXPECT_FALSE(tracker.initialized());
+  const auto out = tracker.Update({2.0, 3.0}, 0.5);
+  EXPECT_TRUE(tracker.initialized());
+  EXPECT_NEAR(out.x, 2.0, 1e-12);
+  EXPECT_NEAR(out.y, 3.0, 1e-12);
+  EXPECT_NEAR(tracker.velocity().Norm(), 0.0, 1e-12);
+}
+
+TEST(Tracker, SmoothsNoisyLinearMotion) {
+  // Ground truth: walk from (1,1) at (0.8, 0.4) m/s; measurements carry
+  // 0.5 m noise. The filtered track must beat the raw fixes.
+  Rng rng(3);
+  PositionTracker tracker;
+  const geometry::Vec2 start{1.0, 1.0}, speed{0.8, 0.4};
+  const double dt = 0.5;
+  std::vector<double> raw_errors, filtered_errors;
+  for (int i = 0; i < 60; ++i) {
+    const geometry::Vec2 truth = start + speed * (i * dt);
+    const geometry::Vec2 fix{truth.x + rng.Gaussian(0.0, 0.5),
+                             truth.y + rng.Gaussian(0.0, 0.5)};
+    const auto filtered = tracker.Update(fix, dt);
+    if (i >= 10) {  // after convergence
+      raw_errors.push_back(geometry::Distance(fix, truth));
+      filtered_errors.push_back(geometry::Distance(filtered, truth));
+    }
+  }
+  EXPECT_LT(dsp::Mean(filtered_errors), 0.6 * dsp::Mean(raw_errors));
+}
+
+TEST(Tracker, EstimatesVelocity) {
+  Rng rng(5);
+  PositionTracker tracker;
+  const geometry::Vec2 speed{1.2, -0.5};
+  for (int i = 0; i < 80; ++i) {
+    const geometry::Vec2 truth{speed.x * i * 0.5, 5.0 + speed.y * i * 0.5};
+    tracker.Update({truth.x + rng.Gaussian(0.0, 0.3),
+                    truth.y + rng.Gaussian(0.0, 0.3)},
+                   0.5);
+  }
+  EXPECT_NEAR(tracker.velocity().x, speed.x, 0.3);
+  EXPECT_NEAR(tracker.velocity().y, speed.y, 0.3);
+}
+
+TEST(Tracker, PredictCoastsAlongTheTrack) {
+  Rng rng(7);
+  PositionTracker tracker;
+  for (int i = 0; i < 50; ++i) {
+    tracker.Update({0.1 * i + rng.Gaussian(0.0, 0.05), 2.0}, 0.5);
+  }
+  // 0.1 m per 0.5 s = 0.2 m/s along x; predicting 2 s ahead adds ~0.4 m.
+  const auto now = tracker.position();
+  const auto ahead = tracker.Predict(2.0);
+  EXPECT_NEAR(ahead.x - now.x, 0.4, 0.12);
+  EXPECT_NEAR(ahead.y - now.y, 0.0, 0.1);
+}
+
+TEST(Tracker, ResetForgetsTheTrack) {
+  PositionTracker tracker;
+  tracker.Update({1.0, 1.0}, 0.5);
+  tracker.Reset();
+  EXPECT_FALSE(tracker.initialized());
+  EXPECT_THROW(tracker.Predict(1.0), PreconditionError);
+}
+
+TEST(Tracker, ValidatesArguments) {
+  TrackerConfig bad;
+  bad.measurement_sigma_m = 0.0;
+  EXPECT_THROW(PositionTracker{bad}, PreconditionError);
+  PositionTracker tracker;
+  tracker.Update({0, 0}, 0.5);
+  EXPECT_THROW(tracker.Update({1, 1}, -0.1), PreconditionError);
+}
+
+TEST(Tracker, StationaryTargetConverges) {
+  Rng rng(9);
+  PositionTracker tracker;
+  geometry::Vec2 last;
+  for (int i = 0; i < 100; ++i) {
+    last = tracker.Update({4.0 + rng.Gaussian(0.0, 0.4),
+                           6.0 + rng.Gaussian(0.0, 0.4)},
+                          0.5);
+  }
+  EXPECT_NEAR(last.x, 4.0, 0.25);
+  EXPECT_NEAR(last.y, 6.0, 0.25);
+  EXPECT_LT(tracker.velocity().Norm(), 0.2);
+}
+
+}  // namespace
+}  // namespace mulink::core

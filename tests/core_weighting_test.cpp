@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/path_weighting.h"
+#include "core/subcarrier_weighting.h"
+
+namespace mulink::core {
+namespace {
+
+TEST(SubcarrierWeights, SinglePacketProportionalToMu) {
+  const std::vector<double> mu = {0.1, 0.2, 0.3, 0.4};
+  const auto w = ComputeSubcarrierWeightsSinglePacket(mu);
+  ASSERT_EQ(w.weights.size(), 4u);
+  // With one packet, r_k is 1 for mu above the median, 0 otherwise; the
+  // mean mu is mu itself. Above-median subcarriers carry all the weight.
+  EXPECT_EQ(w.stability[0], 0.0);
+  EXPECT_EQ(w.stability[1], 0.0);
+  EXPECT_EQ(w.stability[2], 1.0);
+  EXPECT_EQ(w.stability[3], 1.0);
+  EXPECT_GT(w.weights[3], w.weights[2]);
+  EXPECT_EQ(w.weights[0], 0.0);
+}
+
+TEST(SubcarrierWeights, MeanMuIsTemporalMean) {
+  const std::vector<std::vector<double>> mu = {{0.1, 0.5}, {0.3, 0.7}};
+  const auto w = ComputeSubcarrierWeights(mu);
+  EXPECT_NEAR(w.mean_mu[0], 0.2, 1e-12);
+  EXPECT_NEAR(w.mean_mu[1], 0.6, 1e-12);
+}
+
+TEST(SubcarrierWeights, StabilityCountsAboveMedianVotes) {
+  // Subcarrier 2 is above the per-packet median every time; subcarrier 0
+  // never; subcarrier 1 half the time.
+  const std::vector<std::vector<double>> mu = {
+      {0.1, 0.5, 0.9},
+      {0.1, 0.2, 0.9},
+      {0.1, 0.5, 0.9},
+      {0.1, 0.2, 0.9},
+  };
+  const auto w = ComputeSubcarrierWeights(mu);
+  EXPECT_NEAR(w.stability[0], 0.0, 1e-12);
+  EXPECT_NEAR(w.stability[1], 0.0, 1e-12);  // 0.5 and 0.2: never > median?
+  EXPECT_NEAR(w.stability[2], 1.0, 1e-12);
+}
+
+TEST(SubcarrierWeights, ConsistentlyLargeMuBeatsFlickering) {
+  // Two subcarriers with the same mean mu: one steady, one flickering.
+  // The steady one must get at least as much weight (Eq. 15's intent).
+  std::vector<std::vector<double>> mu;
+  for (int m = 0; m < 10; ++m) {
+    // sc0 steady at 0.5; sc1 alternates 0.05 / 0.95; sc2,3 background 0.2.
+    mu.push_back({0.5, (m % 2 == 0) ? 0.05 : 0.95, 0.2, 0.2});
+  }
+  const auto w = ComputeSubcarrierWeights(mu);
+  EXPECT_NEAR(w.mean_mu[0], w.mean_mu[1], 1e-12);
+  EXPECT_GT(w.stability[0], w.stability[1]);
+  EXPECT_GT(w.weights[0], w.weights[1]);
+}
+
+TEST(SubcarrierWeights, WeightsSumBounded) {
+  Rng rng(7);
+  std::vector<std::vector<double>> mu(20, std::vector<double>(30));
+  for (auto& row : mu) {
+    for (auto& v : row) v = rng.Uniform(0.0, 1.0);
+  }
+  const auto w = ComputeSubcarrierWeights(mu);
+  double sum = 0.0;
+  for (double v : w.weights) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  // sum_k mu_k r_k <= sum_k mu_k * sum_k r_k (both factors positive), so the
+  // normalized weights sum to <= 1.
+  EXPECT_LE(sum, 1.0 + 1e-12);
+  EXPECT_GT(sum, 0.0);
+}
+
+TEST(SubcarrierWeights, DegenerateAllZeroFallsBackToUniform) {
+  const std::vector<std::vector<double>> mu = {{0.0, 0.0, 0.0}};
+  const auto w = ComputeSubcarrierWeights(mu);
+  for (double v : w.weights) EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+}
+
+TEST(SubcarrierWeights, RaggedInputThrows) {
+  EXPECT_THROW(ComputeSubcarrierWeights({{0.1, 0.2}, {0.1}}),
+               PreconditionError);
+  EXPECT_THROW(ComputeSubcarrierWeights(std::vector<std::vector<double>>{}),
+               PreconditionError);
+}
+
+TEST(SubcarrierWeights, ApplyMultipliesElementwise) {
+  SubcarrierWeights w;
+  w.weights = {0.5, 0.25, 0.25};
+  const auto out = ApplySubcarrierWeights(w, {2.0, -4.0, 8.0});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_NEAR(out[0], 1.0, 1e-12);
+  EXPECT_NEAR(out[1], -1.0, 1e-12);
+  EXPECT_NEAR(out[2], 2.0, 1e-12);
+}
+
+TEST(SubcarrierWeights, ApplySizeMismatchThrows) {
+  SubcarrierWeights w;
+  w.weights = {0.5, 0.5};
+  EXPECT_THROW(ApplySubcarrierWeights(w, {1.0}), PreconditionError);
+}
+
+Pseudospectrum MakeSpectrum(std::vector<double> theta,
+                            std::vector<double> power) {
+  Pseudospectrum s;
+  s.theta_deg = std::move(theta);
+  s.power = std::move(power);
+  return s;
+}
+
+TEST(PathWeights, InverseOfStaticSpectrumInsideWindow) {
+  const auto s = MakeSpectrum({-90, -60, 0, 60, 90}, {1, 2, 4, 2, 1});
+  const auto w = ComputePathWeights(s);
+  ASSERT_EQ(w.weights.size(), 5u);
+  EXPECT_EQ(w.weights[0], 0.0);  // outside [-60, 60]
+  EXPECT_EQ(w.weights[4], 0.0);
+  EXPECT_NEAR(w.weights[1], 0.5, 1e-12);
+  EXPECT_NEAR(w.weights[2], 0.25, 1e-12);
+  EXPECT_NEAR(w.weights[3], 0.5, 1e-12);
+}
+
+TEST(PathWeights, WindowBoundsConfigurable) {
+  PathWeightingConfig config;
+  config.theta_min_deg = -30.0;
+  config.theta_max_deg = 30.0;
+  const auto s = MakeSpectrum({-60, -30, 0, 30, 60}, {1, 1, 1, 1, 1});
+  const auto w = ComputePathWeights(s, config);
+  EXPECT_EQ(w.weights[0], 0.0);
+  EXPECT_GT(w.weights[1], 0.0);
+  EXPECT_GT(w.weights[2], 0.0);
+  EXPECT_GT(w.weights[3], 0.0);
+  EXPECT_EQ(w.weights[4], 0.0);
+}
+
+TEST(PathWeights, FloorPreventsBlowup) {
+  PathWeightingConfig config;
+  config.spectrum_floor_ratio = 0.01;
+  const auto s = MakeSpectrum({-10, 0, 10}, {1e-9, 100.0, 1e-9});
+  const auto w = ComputePathWeights(s, config);
+  // Floor = 1.0 -> weight at the nulls is 1/1.0, not 1e9.
+  EXPECT_NEAR(w.weights[0], 1.0, 1e-9);
+  EXPECT_NEAR(w.weights[2], 1.0, 1e-9);
+}
+
+TEST(PathWeights, DeemphasizesLosBoostsNlos) {
+  // The core coverage mechanism: the strong LOS direction gets the smallest
+  // weight, weak NLOS directions the largest (within the window). Use a tiny
+  // floor so the weak directions are not clipped.
+  PathWeightingConfig config;
+  config.spectrum_floor_ratio = 1e-3;
+  const auto s = MakeSpectrum({-45, 0, 45}, {2.0, 50.0, 1.0});
+  const auto w = ComputePathWeights(s, config);
+  EXPECT_LT(w.weights[1], w.weights[0]);
+  EXPECT_LT(w.weights[0], w.weights[2]);
+}
+
+TEST(PathWeights, ApplyWeightsElementwise) {
+  const auto s = MakeSpectrum({-45, 0, 45}, {2.0, 4.0, 8.0});
+  PathWeights w;
+  w.theta_deg = s.theta_deg;
+  w.weights = {1.0, 0.5, 0.0};
+  const auto out = ApplyPathWeights(w, s);
+  EXPECT_NEAR(out[0], 2.0, 1e-12);
+  EXPECT_NEAR(out[1], 2.0, 1e-12);
+  EXPECT_NEAR(out[2], 0.0, 1e-12);
+}
+
+TEST(PathWeights, EqualizedStaticSpectrumIsFlat) {
+  // w(theta) * Ps(theta) == 1 inside the window, by construction — the
+  // "uniform detection coverage" intuition of Sec. IV-B2. A tiny floor
+  // keeps all of these directions un-clipped.
+  PathWeightingConfig config;
+  config.spectrum_floor_ratio = 1e-3;
+  const auto s = MakeSpectrum({-50, -20, 0, 20, 50}, {1.0, 3.0, 10.0, 2.0, 0.5});
+  const auto w = ComputePathWeights(s, config);
+  const auto flat = ApplyPathWeights(w, s);
+  for (double v : flat) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(PathWeights, ValidatesArguments) {
+  EXPECT_THROW(ComputePathWeights(MakeSpectrum({}, {})), PreconditionError);
+  PathWeightingConfig bad;
+  bad.theta_min_deg = 10.0;
+  bad.theta_max_deg = -10.0;
+  EXPECT_THROW(ComputePathWeights(MakeSpectrum({0}, {1}), bad),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace mulink::core

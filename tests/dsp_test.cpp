@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "dsp/delay_domain.h"
+#include "dsp/fit.h"
+#include "dsp/peaks.h"
+#include "dsp/stats.h"
+
+namespace mulink::dsp {
+namespace {
+
+TEST(Stats, MeanVarianceStdDev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(Mean(xs), 5.0, 1e-12);
+  EXPECT_NEAR(Variance(xs), 4.0, 1e-12);
+  EXPECT_NEAR(StdDev(xs), 2.0, 1e-12);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_NEAR(Median({3.0, 1.0, 2.0}), 2.0, 1e-12);
+  EXPECT_NEAR(Median({4.0, 1.0, 3.0, 2.0}), 2.5, 1e-12);
+  EXPECT_NEAR(Median({7.0}), 7.0, 1e-12);
+}
+
+TEST(Stats, QuantileInterpolation) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(Quantile(xs, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(Quantile(xs, 1.0), 4.0, 1e-12);
+  EXPECT_NEAR(Quantile(xs, 0.5), 2.0, 1e-12);
+  EXPECT_NEAR(Quantile(xs, 0.25), 1.0, 1e-12);
+  EXPECT_NEAR(Quantile(xs, 0.125), 0.5, 1e-12);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3.0, -1.0, 4.0};
+  EXPECT_EQ(Min(xs), -1.0);
+  EXPECT_EQ(Max(xs), 4.0);
+}
+
+TEST(Stats, CorrelationSigns) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> up = {2, 4, 6, 8, 10};
+  const std::vector<double> down = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(Correlation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(Correlation(xs, down), -1.0, 1e-12);
+}
+
+TEST(Stats, EmptyInputThrows) {
+  EXPECT_THROW(Mean({}), PreconditionError);
+  EXPECT_THROW(Median({}), PreconditionError);
+  EXPECT_THROW(Quantile({}, 0.5), PreconditionError);
+}
+
+TEST(Stats, EmpiricalCdfMonotone) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.Gaussian(0.0, 1.0));
+  const auto cdf = EmpiricalCdf(xs, 51);
+  ASSERT_EQ(cdf.size(), 51u);
+  EXPECT_NEAR(cdf.front().probability, 0.0, 1e-12);
+  EXPECT_NEAR(cdf.back().probability, 1.0, 1e-12);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LT(cdf[i - 1].probability, cdf[i].probability);
+  }
+}
+
+TEST(Stats, CdfAtEndpoints) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(CdfAt(xs, 0.5), 0.0, 1e-12);
+  EXPECT_NEAR(CdfAt(xs, 2.0), 0.5, 1e-12);
+  EXPECT_NEAR(CdfAt(xs, 10.0), 1.0, 1e-12);
+}
+
+TEST(Stats, HistogramBinning) {
+  const std::vector<double> xs = {0.1, 0.2, 0.6, 1.0, -0.5, 2.0};
+  const auto h = MakeHistogram(xs, 0.0, 1.0, 2);
+  // -0.5 and 2.0 fall outside; 1.0 lands in the last bin.
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[1], 2u);
+  EXPECT_EQ(h.TotalCount(), 4u);
+  EXPECT_NEAR(h.BinCenter(0), 0.25, 1e-12);
+  EXPECT_NEAR(h.BinWidth(), 0.5, 1e-12);
+}
+
+TEST(Fit, LinearExact) {
+  const std::vector<double> xs = {0, 1, 2, 3};
+  const std::vector<double> ys = {1, 3, 5, 7};  // y = 1 + 2x
+  const auto fit = FitLinear(xs, ys);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-10);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit.num_points, 4u);
+  EXPECT_NEAR(fit.Evaluate(10.0), 21.0, 1e-9);
+}
+
+TEST(Fit, LinearNoisyRSquaredBelowOne) {
+  Rng rng(11);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.Uniform(0.0, 10.0);
+    xs.push_back(x);
+    ys.push_back(3.0 - 0.5 * x + rng.Gaussian(0.0, 0.3));
+  }
+  const auto fit = FitLinear(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 0.15);
+  EXPECT_NEAR(fit.slope, -0.5, 0.05);
+  EXPECT_GT(fit.r_squared, 0.8);
+  EXPECT_LT(fit.r_squared, 1.0);
+}
+
+TEST(Fit, LogarithmicRecoversModel) {
+  // y = 2 + 3 ln x.
+  std::vector<double> xs, ys;
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    xs.push_back(x);
+    ys.push_back(2.0 + 3.0 * std::log(x));
+  }
+  const auto fit = FitLogarithmic(xs, ys);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(EvaluateLogFit(fit, std::exp(1.0)), 5.0, 1e-9);
+}
+
+TEST(Fit, LogarithmicSkipsNonPositiveX) {
+  const std::vector<double> xs = {-1.0, 0.0, 1.0, std::exp(1.0)};
+  const std::vector<double> ys = {99.0, 98.0, 1.0, 2.0};  // y = 1 + ln x
+  const auto fit = FitLogarithmic(xs, ys);
+  EXPECT_EQ(fit.num_points, 2u);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-10);
+  EXPECT_NEAR(fit.slope, 1.0, 1e-10);
+}
+
+TEST(Fit, TooFewPointsThrows) {
+  EXPECT_THROW(FitLinear({1.0}, {1.0}), PreconditionError);
+  EXPECT_THROW(FitLogarithmic({-1.0, -2.0, 1.0}, {0.0, 0.0, 0.0}),
+               PreconditionError);
+}
+
+TEST(DelayDomain, DominantTapIsMeanMagnitude) {
+  // Flat CFR: dominant tap power = |a|^2.
+  const std::vector<Complex> cfr(30, Complex(2.0, 0.0));
+  EXPECT_NEAR(DominantTapPower(cfr), 4.0, 1e-12);
+}
+
+TEST(DelayDomain, SinglePathPeaksAtItsDelay) {
+  // H(f) = exp(-j 2 pi f tau0) over baseband offsets.
+  const double tau0 = 30e-9;
+  std::vector<double> offsets;
+  std::vector<Complex> cfr;
+  for (int i = -28; i <= 28; i += 2) {
+    const double f = kSubcarrierSpacingHz * i;
+    offsets.push_back(f);
+    const double ph = -2.0 * kPi * f * tau0;
+    cfr.push_back(Complex(std::cos(ph), std::sin(ph)));
+  }
+  std::vector<double> delays;
+  for (int i = 0; i <= 100; ++i) delays.push_back(1e-9 * i);
+  const auto taps = DelayTransform(cfr, offsets, delays);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < taps.size(); ++i) {
+    if (std::abs(taps[i]) > std::abs(taps[best])) best = i;
+  }
+  EXPECT_NEAR(delays[best], tau0, 2e-9);
+  // At the true delay the transform is coherent: |h| = 1.
+  EXPECT_NEAR(std::abs(taps[best]), 1.0, 1e-6);
+}
+
+TEST(DelayDomain, PowerDelayProfileNormalization) {
+  const std::vector<Complex> cfr(10, Complex(1.0, 0.0));
+  const std::vector<double> offsets(10, 0.0);
+  const auto pdp = PowerDelayProfile(cfr, offsets, 100e-9, 11);
+  ASSERT_EQ(pdp.size(), 11u);
+  // Zero offsets: profile is flat at |1|^2.
+  for (double p : pdp) EXPECT_NEAR(p, 1.0, 1e-12);
+}
+
+TEST(DelayDomain, SizeMismatchThrows) {
+  EXPECT_THROW(
+      DelayTransform({Complex(1, 0)}, {0.0, 1.0}, {0.0}),
+      PreconditionError);
+}
+
+TEST(Peaks, FindsTwoSeparatedPeaks) {
+  std::vector<double> xs(101, 0.0);
+  for (int i = 0; i < 101; ++i) {
+    const double t = (i - 30) / 5.0;
+    const double u = (i - 70) / 5.0;
+    xs[static_cast<std::size_t>(i)] =
+        std::exp(-t * t) + 0.6 * std::exp(-u * u);
+  }
+  const auto peaks = FindPeaks(xs);
+  ASSERT_GE(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].index, 30u);
+  EXPECT_EQ(peaks[1].index, 70u);
+  EXPECT_GT(peaks[0].value, peaks[1].value);
+}
+
+TEST(Peaks, MaxPeaksLimit) {
+  std::vector<double> xs(50, 0.0);
+  for (int c : {10, 20, 30, 40}) {
+    xs[static_cast<std::size_t>(c)] = 1.0;
+  }
+  PeakOptions options;
+  options.max_peaks = 2;
+  const auto peaks = FindPeaks(xs, options);
+  EXPECT_EQ(peaks.size(), 2u);
+}
+
+TEST(Peaks, RejectsLowProminenceRipple) {
+  // A big peak with a tiny ripple on its shoulder.
+  std::vector<double> xs;
+  for (int i = 0; i <= 100; ++i) {
+    const double t = (i - 50) / 10.0;
+    double v = std::exp(-t * t);
+    if (i == 62) v += 0.001;
+    xs.push_back(v);
+  }
+  PeakOptions options;
+  options.min_relative_prominence = 0.05;
+  const auto peaks = FindPeaks(xs, options);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 50u);
+}
+
+TEST(Peaks, MonotoneInputHasNoPeaks) {
+  std::vector<double> xs;
+  for (int i = 0; i < 20; ++i) xs.push_back(i);
+  EXPECT_TRUE(FindPeaks(xs).empty());
+}
+
+}  // namespace
+}  // namespace mulink::dsp

@@ -1,0 +1,184 @@
+// Edge-case coverage across modules: degenerate inputs, boundary geometry,
+// and statistical sanity checks that the main suites do not reach.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/roc.h"
+#include "core/subcarrier_weighting.h"
+#include "dsp/delay_domain.h"
+#include "dsp/peaks.h"
+#include "dsp/stats.h"
+#include "geometry/fresnel.h"
+#include "geometry/segment.h"
+#include "linalg/hermitian_eig.h"
+#include "propagation/human.h"
+#include "propagation/ray_tracer.h"
+#include "wifi/array.h"
+
+namespace mulink {
+namespace {
+
+TEST(EdgeStats, SingleElementInputs) {
+  EXPECT_EQ(dsp::Mean({5.0}), 5.0);
+  EXPECT_EQ(dsp::Variance({5.0}), 0.0);
+  EXPECT_EQ(dsp::Median({5.0}), 5.0);
+  EXPECT_EQ(dsp::MedianAbsDeviation({5.0}), 0.0);
+  EXPECT_EQ(dsp::Quantile({5.0}, 0.3), 5.0);
+}
+
+TEST(EdgeStats, MadIgnoresSingleOutlier) {
+  std::vector<double> xs(21, 1.0);
+  xs[10] = 1000.0;
+  EXPECT_EQ(dsp::MedianAbsDeviation(xs), 0.0);
+  // ...where the classical std-dev explodes.
+  EXPECT_GT(dsp::StdDev(xs), 100.0);
+}
+
+TEST(EdgeStats, CorrelationRejectsConstantInput) {
+  EXPECT_THROW(dsp::Correlation({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0}),
+               PreconditionError);
+}
+
+TEST(EdgeStats, RngChiSquareUniformity) {
+  // 16-bin chi-square on 32k uniform draws; bound is ~2x the 99.9th
+  // percentile of chi2(15) — loose enough to never flake, tight enough to
+  // catch a broken generator.
+  Rng rng(12345);
+  std::array<int, 16> bins{};
+  const int n = 32768;
+  for (int i = 0; i < n; ++i) {
+    ++bins[static_cast<std::size_t>(rng.NextDouble() * 16.0)];
+  }
+  const double expected = n / 16.0;
+  double chi2 = 0.0;
+  for (int count : bins) {
+    chi2 += (count - expected) * (count - expected) / expected;
+  }
+  EXPECT_LT(chi2, 60.0);
+}
+
+TEST(EdgeGeometry, DegenerateSegment) {
+  const geometry::Segment point{{2, 3}, {2, 3}};
+  EXPECT_EQ(point.Length(), 0.0);
+  EXPECT_NEAR(geometry::DistancePointToSegment({5, 7}, point), 5.0, 1e-12);
+  EXPECT_EQ(geometry::ClosestParameter({5, 7}, point), 0.0);
+}
+
+TEST(EdgeGeometry, CollinearSegmentsDoNotIntersect) {
+  // Parallel-overlapping segments: the cross-product test reports no proper
+  // intersection (documented behaviour of the image-method helper).
+  EXPECT_FALSE(
+      geometry::Intersect({{0, 0}, {2, 0}}, {{1, 0}, {3, 0}}).has_value());
+}
+
+TEST(EdgeGeometry, FresnelAtExactEndpointIsInfinite) {
+  const geometry::Segment link{{0, 0}, {4, 0}};
+  EXPECT_TRUE(std::isinf(
+      geometry::FresnelClearanceRatio(link, {0, 0}, kWavelength)));
+  EXPECT_TRUE(std::isinf(
+      geometry::FresnelClearanceRatio(link, {4, 0}, kWavelength)));
+}
+
+TEST(EdgeEigen, NearDegenerateEigenvaluesStillOrthogonal) {
+  // Two nearly equal eigenvalues: the eigenvectors must still come out
+  // orthonormal.
+  linalg::CMatrix a(3, 3);
+  a.At(0, 0) = {1.0, 0.0};
+  a.At(1, 1) = {1.0 + 1e-9, 0.0};
+  a.At(2, 2) = {5.0, 0.0};
+  a.At(0, 1) = {1e-10, 1e-10};
+  a.At(1, 0) = std::conj(a.At(0, 1));
+  const auto es = linalg::HermitianEigen(a);
+  const auto vhv = es.vectors.Adjoint() * es.vectors;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(std::abs(vhv.At(r, c)), r == c ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(EdgeRoc, TiedScoresHandled) {
+  // All positives and negatives share one value: the ROC is the two corner
+  // points plus the all-or-nothing operating point.
+  const auto curve = core::ComputeRoc({1.0, 1.0}, {1.0, 1.0});
+  EXPECT_NEAR(curve.Auc(), 0.5, 1e-9);
+  const auto best = curve.BestBalancedAccuracy();
+  EXPECT_NEAR(core::BalancedAccuracy(best), 0.5, 1e-9);
+}
+
+TEST(EdgeRoc, ExtremeClassImbalance) {
+  std::vector<double> positives = {10.0};
+  std::vector<double> negatives(1000, 0.0);
+  negatives[0] = 20.0;  // one hot negative
+  const auto curve = core::ComputeRoc(positives, negatives);
+  // TPR 1.0 is reachable at FPR 1/1000.
+  EXPECT_NEAR(curve.TruePositiveAt(0.001), 1.0, 1e-9);
+}
+
+TEST(EdgeWeights, SingleSubcarrier) {
+  const auto w = core::ComputeSubcarrierWeights({{0.4}, {0.5}});
+  ASSERT_EQ(w.weights.size(), 1u);
+  // One subcarrier: mu is never > its own median, so the stability vote is
+  // zero and the fallback kicks in with the uniform weight.
+  EXPECT_NEAR(w.weights[0], 1.0, 1e-12);
+}
+
+TEST(EdgePeaks, EndpointMaximaAreNotPeaks) {
+  // Strictly decreasing: the maximum sits at index 0, which is not a local
+  // peak by this detector's (interior-only) definition.
+  EXPECT_TRUE(dsp::FindPeaks({5.0, 4.0, 3.0, 2.0}).empty());
+}
+
+TEST(EdgeDelay, SingleSubcarrierTransform) {
+  const std::vector<Complex> cfr = {Complex(2.0, 0.0)};
+  EXPECT_NEAR(dsp::DominantTapPower(cfr), 4.0, 1e-12);
+  const auto taps = dsp::DelayTransform(cfr, {0.0}, {0.0, 1e-9});
+  EXPECT_NEAR(std::abs(taps[0]), 2.0, 1e-12);
+}
+
+TEST(EdgeArray, SingleAntennaArray) {
+  const wifi::UniformLinearArray solo(1, kWavelength / 2.0, 0.0);
+  EXPECT_EQ(solo.AntennaOffset(0), 0.0);
+  const auto a = solo.SteeringVector(0.7, kChannel11CenterHz);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_NEAR(std::abs(a[0] - Complex(1.0, 0.0)), 0.0, 1e-12);
+}
+
+TEST(EdgeHuman, ZeroCrossSectionMeansNoReflection) {
+  const geometry::Room room = geometry::Room::Rectangular(6.0, 6.0, 0.0);
+  propagation::TraceOptions options;
+  options.include_scatterers = false;
+  options.max_wall_bounces = 0;
+  const propagation::RayTracer tracer(room, propagation::FriisModel{},
+                                      options);
+  const auto paths = tracer.Trace({1, 3}, {5, 3});
+  propagation::HumanBody ghost;
+  ghost.position = {3.0, 4.0};
+  ghost.cross_section_m2 = 0.0;
+  const auto with_ghost =
+      propagation::ApplyHuman(paths, {1, 3}, {5, 3}, ghost);
+  // The reflection path exists but carries zero gain.
+  ASSERT_EQ(with_ghost.size(), paths.size() + 1);
+  EXPECT_EQ(with_ghost.back().gain_at_center, 0.0);
+}
+
+TEST(EdgeHuman, BodyAtTxOrRxDoesNotCrash) {
+  const geometry::Room room = geometry::Room::Rectangular(6.0, 6.0, 0.3);
+  const propagation::RayTracer tracer(room, propagation::FriisModel{}, {});
+  const auto paths = tracer.Trace({1, 3}, {5, 3});
+  for (const geometry::Vec2 pos : {geometry::Vec2{1, 3}, geometry::Vec2{5, 3}}) {
+    propagation::HumanBody body;
+    body.position = pos;
+    const auto out = propagation::ApplyHuman(paths, {1, 3}, {5, 3}, body);
+    for (const auto& p : out) {
+      EXPECT_TRUE(std::isfinite(p.gain_at_center)) << p.Describe();
+      EXPECT_GE(p.gain_at_center, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mulink

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "experiments/campaign.h"
+#include "experiments/format.h"
+#include "experiments/scenario.h"
+#include "experiments/workload.h"
+
+namespace mulink::experiments {
+namespace {
+
+TEST(Scenario, ClassroomMatchesPaperSetup) {
+  const auto lc = MakeClassroomLink();
+  EXPECT_EQ(lc.room.width(), 6.0);
+  EXPECT_EQ(lc.room.depth(), 8.0);
+  EXPECT_NEAR(lc.LinkLength(), 4.0, 1e-12);
+  EXPECT_FALSE(lc.room.scatterers().empty());
+}
+
+TEST(Scenario, ShortWallLinkNearWall) {
+  const auto lc = MakeShortWallLink();
+  EXPECT_NEAR(lc.LinkLength(), 3.0, 1e-12);
+  // Near the south wall: strong reflected path geometry (Fig. 5a), yet with
+  // enough clearance for the 1 m arc of Fig. 5c test locations.
+  EXPECT_LT(lc.tx.y, 1.5);
+  EXPECT_GT(lc.tx.y, 1.0);
+}
+
+TEST(Scenario, PaperCasesCoverTwoRoomsAndFiveLinks) {
+  const auto cases = MakePaperCases();
+  ASSERT_EQ(cases.size(), 5u);
+  // Distances are diverse, 3..5 m.
+  double min_len = 1e9, max_len = 0.0;
+  for (const auto& c : cases) {
+    min_len = std::min(min_len, c.LinkLength());
+    max_len = std::max(max_len, c.LinkLength());
+    EXPECT_TRUE(c.room.Contains(c.tx));
+    EXPECT_TRUE(c.room.Contains(c.rx));
+    EXPECT_FALSE(c.room.scatterers().empty());
+  }
+  EXPECT_LT(min_len, 3.2);
+  EXPECT_GT(max_len, 4.4);
+  // Two distinct room shapes.
+  EXPECT_NE(cases[0].room.width(), cases[4].room.width());
+}
+
+TEST(Scenario, ArrayFacesTransmitter) {
+  const auto lc = MakeClassroomLink();
+  const auto array = MakeArray(lc);
+  EXPECT_EQ(array.num_antennas(), 3u);
+  // LOS travel direction maps to broadside angle 0.
+  EXPECT_NEAR(array.BroadsideAngle(lc.LinkDirection()), 0.0, 1e-9);
+}
+
+TEST(Scenario, SpotAngleConsistentWithArc) {
+  const auto lc = MakeClassroomLink();
+  for (double angle : {-45.0, 0.0, 30.0}) {
+    const auto spots = AngularArc(lc, 1.0, {angle});
+    ASSERT_EQ(spots.size(), 1u);
+    EXPECT_NEAR(spots[0].angle_deg, angle, 1.0);
+    EXPECT_NEAR(spots[0].distance_to_rx_m, 1.0, 0.05);
+  }
+}
+
+TEST(Workload, GridHasNineInRoomSpots) {
+  const auto lc = MakeClassroomLink();
+  const auto spots = Grid3x3(lc);
+  ASSERT_EQ(spots.size(), 9u);
+  for (const auto& s : spots) {
+    EXPECT_TRUE(lc.room.Contains(s.position));
+    EXPECT_GT(s.distance_to_rx_m, 0.3);
+  }
+}
+
+TEST(Workload, GridCoversNearAndFar) {
+  const auto lc = MakeClassroomLink();
+  const auto spots = Grid3x3(lc);
+  double dmin = 1e9, dmax = 0.0;
+  for (const auto& s : spots) {
+    dmin = std::min(dmin, s.distance_to_rx_m);
+    dmax = std::max(dmax, s.distance_to_rx_m);
+  }
+  EXPECT_LT(dmin, 1.6);
+  EXPECT_GT(dmax, 3.5);
+}
+
+TEST(Workload, RandomNearLinkStaysNearLink) {
+  const auto lc = MakeClassroomLink();
+  Rng rng(3);
+  const auto spots = RandomNearLink(lc, 200, 1.0, rng);
+  ASSERT_EQ(spots.size(), 200u);
+  const geometry::Segment los{lc.tx, lc.rx};
+  for (const auto& s : spots) {
+    EXPECT_TRUE(lc.room.Contains(s.position));
+    EXPECT_LE(geometry::DistancePointToSegment(s.position, los), 1.0 + 1e-9);
+  }
+}
+
+TEST(Workload, RangeSweepDistances) {
+  const auto lc = MakeClassroomLink();
+  const auto spots = RangeSweep(lc, {1.0, 2.0}, {0.0, 0.5});
+  ASSERT_EQ(spots.size(), 4u);
+  EXPECT_NEAR(spots[0].distance_to_rx_m, 1.0, 1e-9);
+  EXPECT_NEAR(spots[1].distance_to_rx_m, std::hypot(1.0, 0.5), 1e-9);
+}
+
+TEST(Workload, CrossLinkWalkPerpendicularAndCentered) {
+  const auto lc = MakeClassroomLink();
+  const auto trace = CrossLinkWalk(lc, 0.5, 1.5);
+  const geometry::Vec2 mid = (trace.from + trace.to) * 0.5;
+  const geometry::Vec2 expected = (lc.tx + lc.rx) * 0.5;
+  EXPECT_NEAR((mid - expected).Norm(), 0.0, 1e-9);
+  // Perpendicular to the link.
+  const geometry::Vec2 walk_dir = (trace.to - trace.from).Normalized();
+  const geometry::Vec2 link_dir = (lc.rx - lc.tx).Normalized();
+  EXPECT_NEAR(walk_dir.Dot(link_dir), 0.0, 1e-9);
+}
+
+TEST(Format, SeriesAndTableOutput) {
+  std::ostringstream oss;
+  PrintSeries(oss, "test", "x", "y", {1.0, 2.0}, {3.0, 4.0});
+  EXPECT_NE(oss.str().find("## test"), std::string::npos);
+  EXPECT_NE(oss.str().find("1.000\t3.000"), std::string::npos);
+
+  std::ostringstream oss2;
+  PrintTable(oss2, "tbl", {"a", "b"}, {{"1", "2"}, {"3", "4"}});
+  EXPECT_NE(oss2.str().find("tbl"), std::string::npos);
+  EXPECT_NE(oss2.str().find("3"), std::string::npos);
+  EXPECT_EQ(Fmt(1.23456, 2), "1.23");
+}
+
+TEST(Campaign, MiniCampaignProducesLabelledScores) {
+  // One case, two spots, small packet counts: structure check, not accuracy.
+  const auto lc = MakeClassroomLink();
+  CampaignConfig config;
+  config.packets_per_location = 100;
+  config.calibration_packets = 100;
+  config.empty_packets = 100;
+  config.window_packets = 25;
+
+  std::vector<HumanSpot> spots = {
+      MakeSpot(lc, (lc.tx + lc.rx) * 0.5),
+      MakeSpot(lc, {3.0, 5.0}),
+  };
+  const auto result = RunCampaign(
+      {lc}, {spots},
+      {core::DetectionScheme::kBaseline,
+       core::DetectionScheme::kSubcarrierWeighting},
+      config);
+
+  ASSERT_EQ(result.schemes.size(), 2u);
+  for (const auto& scheme : result.schemes) {
+    EXPECT_EQ(scheme.positives.size(), 2u * 4u);  // 2 spots x 4 windows
+    EXPECT_EQ(scheme.negatives.size(), 4u);
+    for (const auto& w : scheme.positives) {
+      EXPECT_EQ(w.case_index, 0);
+      EXPECT_GT(w.distance_to_rx_m, 0.0);
+    }
+  }
+  // ForScheme finds the right results.
+  EXPECT_EQ(result.ForScheme(core::DetectionScheme::kBaseline).scheme,
+            core::DetectionScheme::kBaseline);
+  EXPECT_THROW(
+      result.ForScheme(core::DetectionScheme::kSubcarrierAndPathWeighting),
+      mulink::PreconditionError);
+}
+
+TEST(Campaign, RocFromMiniCampaignBeatsChance) {
+  const auto lc = MakeClassroomLink();
+  CampaignConfig config;
+  config.packets_per_location = 150;
+  config.calibration_packets = 150;
+  config.empty_packets = 150;
+
+  // On-LOS spots: should be easily detectable.
+  std::vector<HumanSpot> spots = {
+      MakeSpot(lc, (lc.tx + lc.rx) * 0.5),
+      MakeSpot(lc, lc.tx + (lc.rx - lc.tx) * 0.25),
+  };
+  const auto result = RunCampaign(
+      {lc}, {spots}, {core::DetectionScheme::kSubcarrierWeighting}, config);
+  const auto roc = result.schemes[0].Roc();
+  EXPECT_GT(roc.Auc(), 0.9);
+}
+
+TEST(Campaign, DetectionRateFiltering) {
+  SchemeResult r;
+  r.scheme = core::DetectionScheme::kBaseline;
+  r.positives = {{1.0, 0, 1.0, 0.0}, {3.0, 0, 5.0, 0.0}};
+  r.negatives = {{0.5, 0, 0.0, 0.0}};
+  EXPECT_NEAR(r.DetectionRate(2.0), 0.5, 1e-12);
+  EXPECT_NEAR(r.DetectionRate(0.5), 1.0, 1e-12);
+  EXPECT_NEAR(r.FalsePositiveRate(0.4), 1.0, 1e-12);
+  EXPECT_NEAR(r.FalsePositiveRate(0.6), 0.0, 1e-12);
+  // Subset: only far windows.
+  EXPECT_NEAR(r.DetectionRate(2.0,
+                              [](const ScoredWindow& w) {
+                                return w.distance_to_rx_m > 3.0;
+                              }),
+              1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mulink::experiments

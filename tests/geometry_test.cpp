@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "geometry/fresnel.h"
+#include "geometry/room.h"
+#include "geometry/segment.h"
+#include "geometry/vec2.h"
+
+namespace mulink::geometry {
+namespace {
+
+TEST(Vec2, BasicArithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Vec2{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Vec2{-2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Vec2{2.0, 4.0}));
+  EXPECT_EQ((2.0 * a), (Vec2{2.0, 4.0}));
+  EXPECT_EQ((a / 2.0), (Vec2{0.5, 1.0}));
+}
+
+TEST(Vec2, NormAndDot) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_NEAR(v.Norm(), 5.0, 1e-12);
+  EXPECT_NEAR(v.NormSq(), 25.0, 1e-12);
+  EXPECT_NEAR(v.Dot({1.0, 0.0}), 3.0, 1e-12);
+  EXPECT_NEAR(v.Cross({1.0, 0.0}), -4.0, 1e-12);
+}
+
+TEST(Vec2, NormalizedAndPerp) {
+  const Vec2 v{0.0, 5.0};
+  EXPECT_NEAR((v.Normalized() - Vec2{0.0, 1.0}).Norm(), 0.0, 1e-12);
+  EXPECT_NEAR((v.Perp() - Vec2{-5.0, 0.0}).Norm(), 0.0, 1e-12);
+  // Perp is orthogonal.
+  EXPECT_NEAR(v.Dot(v.Perp()), 0.0, 1e-12);
+  // Zero vector normalizes to zero, not NaN.
+  EXPECT_EQ(Vec2{}.Normalized(), (Vec2{0.0, 0.0}));
+}
+
+TEST(Vec2, DirectionAngle) {
+  EXPECT_NEAR(DirectionAngle({0, 0}, {1, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(DirectionAngle({0, 0}, {0, 1}), kPi / 2, 1e-12);
+  EXPECT_NEAR(DirectionAngle({1, 1}, {0, 1}), kPi, 1e-12);
+}
+
+TEST(Segment, LengthMidpointPointAt) {
+  const Segment s{{0, 0}, {4, 0}};
+  EXPECT_NEAR(s.Length(), 4.0, 1e-12);
+  EXPECT_EQ(s.Midpoint(), (Vec2{2, 0}));
+  EXPECT_EQ(s.PointAt(0.25), (Vec2{1, 0}));
+}
+
+TEST(Segment, DistancePointToSegment) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_NEAR(DistancePointToSegment({5, 3}, s), 3.0, 1e-12);
+  // Beyond an endpoint, distance is to that endpoint.
+  EXPECT_NEAR(DistancePointToSegment({-3, 4}, s), 5.0, 1e-12);
+  EXPECT_NEAR(DistancePointToSegment({13, 4}, s), 5.0, 1e-12);
+  // On the segment.
+  EXPECT_NEAR(DistancePointToSegment({7, 0}, s), 0.0, 1e-12);
+}
+
+TEST(Segment, ClosestParameterClamped) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_NEAR(ClosestParameter({5, 1}, s), 0.5, 1e-12);
+  EXPECT_NEAR(ClosestParameter({-5, 1}, s), 0.0, 1e-12);
+  EXPECT_NEAR(ClosestParameter({15, 1}, s), 1.0, 1e-12);
+}
+
+TEST(Segment, IntersectCrossing) {
+  const Segment a{{0, 0}, {2, 2}};
+  const Segment b{{0, 2}, {2, 0}};
+  const auto p = Intersect(a, b);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR((*p - Vec2{1, 1}).Norm(), 0.0, 1e-12);
+}
+
+TEST(Segment, IntersectDisjointAndParallel) {
+  EXPECT_FALSE(Intersect({{0, 0}, {1, 0}}, {{0, 1}, {1, 1}}).has_value());
+  EXPECT_FALSE(Intersect({{0, 0}, {1, 1}}, {{3, 0}, {4, 0}}).has_value());
+}
+
+TEST(Segment, IntersectAtSharedEndpoint) {
+  const auto p = Intersect({{0, 0}, {1, 1}}, {{1, 1}, {2, 0}});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR((*p - Vec2{1, 1}).Norm(), 0.0, 1e-9);
+}
+
+TEST(Segment, MirrorAcrossHorizontalWall) {
+  const Segment wall{{0, 2}, {10, 2}};
+  const Vec2 m = MirrorAcross({3, 5}, wall);
+  EXPECT_NEAR((m - Vec2{3, -1}).Norm(), 0.0, 1e-12);
+}
+
+TEST(Segment, MirrorAcrossDiagonalWallIsInvolution) {
+  const Segment wall{{0, 0}, {3, 4}};
+  const Vec2 p{2.0, -1.0};
+  const Vec2 m = MirrorAcross(MirrorAcross(p, wall), wall);
+  EXPECT_NEAR((m - p).Norm(), 0.0, 1e-12);
+}
+
+TEST(Segment, MirrorPreservesDistanceToWallLine) {
+  const Segment wall{{1, 0}, {1, 5}};
+  const Vec2 p{4, 2};
+  const Vec2 m = MirrorAcross(p, wall);
+  EXPECT_NEAR((m - Vec2{-2, 2}).Norm(), 0.0, 1e-12);
+}
+
+TEST(Room, RectangularHasFourWalls) {
+  const Room room = Room::Rectangular(6.0, 8.0, 0.4);
+  EXPECT_EQ(room.walls().size(), 4u);
+  EXPECT_EQ(room.width(), 6.0);
+  EXPECT_EQ(room.depth(), 8.0);
+  for (const auto& wall : room.walls()) {
+    EXPECT_EQ(wall.reflection_coefficient, 0.4);
+  }
+}
+
+TEST(Room, ContainsWithMargin) {
+  const Room room = Room::Rectangular(6.0, 8.0);
+  EXPECT_TRUE(room.Contains({3.0, 4.0}));
+  EXPECT_FALSE(room.Contains({-0.1, 4.0}));
+  EXPECT_FALSE(room.Contains({3.0, 8.1}));
+  EXPECT_TRUE(room.Contains({0.5, 0.5}));
+  EXPECT_FALSE(room.Contains({0.5, 0.5}, 1.0));
+}
+
+TEST(Room, RejectsBadArguments) {
+  EXPECT_THROW(Room::Rectangular(-1.0, 5.0), PreconditionError);
+  EXPECT_THROW(Room::Rectangular(5.0, 5.0, 1.5), PreconditionError);
+}
+
+TEST(Fresnel, RadiusLargestAtMidpoint) {
+  const Segment link{{0, 0}, {4, 0}};
+  const double mid = FresnelRadiusAt(link, {2, 1}, kWavelength);
+  const double quarter = FresnelRadiusAt(link, {1, 1}, kWavelength);
+  EXPECT_GT(mid, quarter);
+  // r1 at midpoint of a 4 m link: sqrt(lambda * 2 * 2 / 4) = sqrt(lambda).
+  EXPECT_NEAR(mid, std::sqrt(kWavelength), 1e-9);
+}
+
+TEST(Fresnel, SecondZoneLargerByRootTwo) {
+  const Segment link{{0, 0}, {4, 0}};
+  const double z1 = FresnelRadiusAt(link, {2, 1}, kWavelength, 1);
+  const double z2 = FresnelRadiusAt(link, {2, 1}, kWavelength, 2);
+  EXPECT_NEAR(z2 / z1, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Fresnel, ClearanceZeroOnLosLine) {
+  const Segment link{{0, 0}, {4, 0}};
+  EXPECT_NEAR(FresnelClearanceRatio(link, {2, 0}, kWavelength), 0.0, 1e-12);
+}
+
+TEST(Fresnel, ClearanceGrowsWithLateralOffset) {
+  const Segment link{{0, 0}, {4, 0}};
+  const double near = FresnelClearanceRatio(link, {2, 0.1}, kWavelength);
+  const double far = FresnelClearanceRatio(link, {2, 0.5}, kWavelength);
+  EXPECT_GT(far, near);
+  EXPECT_GT(near, 0.0);
+}
+
+TEST(Fresnel, BeyondEndpointsIsInfinite) {
+  const Segment link{{0, 0}, {4, 0}};
+  EXPECT_TRUE(std::isinf(FresnelClearanceRatio(link, {-1, 0.0}, kWavelength)));
+  EXPECT_TRUE(std::isinf(FresnelClearanceRatio(link, {5, 0.2}, kWavelength)));
+}
+
+TEST(Fresnel, SensitivityRegionMatchesPaper) {
+  // The paper (citing [19]) puts the LOS sensitivity region at 5-6
+  // wavelengths around the link. For a 4 m link at 2.4 GHz the first
+  // Fresnel radius at midpoint is ~0.35 m ~ 2.9 lambda, so a person 6
+  // wavelengths away sits near clearance ratio ~2 — where our shadowing
+  // model (width 0.8) is within 2% of no-attenuation.
+  const Segment link{{0, 0}, {4, 0}};
+  const double six_lambda = 6.0 * kWavelength;
+  const double u = FresnelClearanceRatio(link, {2, six_lambda}, kWavelength);
+  EXPECT_GT(u, 1.8);
+  EXPECT_LT(u, 2.4);
+}
+
+}  // namespace
+}  // namespace mulink::geometry

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "linalg/cmatrix.h"
+#include "linalg/hermitian_eig.h"
+#include "linalg/solve.h"
+
+namespace mulink::linalg {
+namespace {
+
+CMatrix RandomHermitian(std::size_t n, Rng& rng) {
+  CMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.At(i, i) = Complex(rng.Uniform(-3.0, 3.0), 0.0);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Complex v(rng.Uniform(-2.0, 2.0), rng.Uniform(-2.0, 2.0));
+      a.At(i, j) = v;
+      a.At(j, i) = std::conj(v);
+    }
+  }
+  return a;
+}
+
+TEST(CMatrix, ZeroInitialized) {
+  CMatrix m(2, 3);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(m.At(r, c), Complex(0.0, 0.0));
+    }
+  }
+}
+
+TEST(CMatrix, IdentityMultiplicationIsIdentity) {
+  Rng rng(5);
+  CMatrix a = RandomHermitian(4, rng);
+  const CMatrix i4 = CMatrix::Identity(4);
+  const CMatrix left = i4 * a;
+  const CMatrix right = a * i4;
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(std::abs(left.At(r, c) - a.At(r, c)), 0.0, 1e-12);
+      EXPECT_NEAR(std::abs(right.At(r, c) - a.At(r, c)), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(CMatrix, AdjointTwiceIsOriginal) {
+  Rng rng(6);
+  CMatrix a(3, 5);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      a.At(r, c) = Complex(rng.Uniform(-1, 1), rng.Uniform(-1, 1));
+    }
+  }
+  const CMatrix aa = a.Adjoint().Adjoint();
+  EXPECT_EQ(aa.rows(), a.rows());
+  EXPECT_EQ(aa.cols(), a.cols());
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_NEAR(std::abs(aa.At(r, c) - a.At(r, c)), 0.0, 1e-14);
+    }
+  }
+}
+
+TEST(CMatrix, OuterProductRankOne) {
+  const std::vector<Complex> x = {{1, 0}, {0, 1}};
+  const auto m = CMatrix::OuterProduct(x, x);
+  // [ [1, -i], [i, 1] ]
+  EXPECT_NEAR(std::abs(m.At(0, 0) - Complex(1, 0)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(m.At(0, 1) - Complex(0, -1)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(m.At(1, 0) - Complex(0, 1)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(m.At(1, 1) - Complex(1, 0)), 0.0, 1e-15);
+  EXPECT_TRUE(m.IsHermitian());
+}
+
+TEST(CMatrix, MultiplyDimensionMismatchThrows) {
+  CMatrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a * b, PreconditionError);
+}
+
+TEST(CMatrix, ApplyMatchesManualProduct) {
+  CMatrix a(2, 2);
+  a.At(0, 0) = {1, 1};
+  a.At(0, 1) = {2, 0};
+  a.At(1, 0) = {0, -1};
+  a.At(1, 1) = {1, 0};
+  const std::vector<Complex> x = {{1, 0}, {0, 2}};
+  const auto y = a.Apply(x);
+  EXPECT_NEAR(std::abs(y[0] - Complex(1, 5)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(y[1] - Complex(0, 1)), 0.0, 1e-14);
+}
+
+TEST(CMatrix, TraceAndFrobenius) {
+  CMatrix a(2, 2);
+  a.At(0, 0) = {3, 0};
+  a.At(1, 1) = {4, 0};
+  EXPECT_NEAR(std::abs(a.Trace() - Complex(7, 0)), 0.0, 1e-14);
+  EXPECT_NEAR(a.FrobeniusNorm(), 5.0, 1e-14);
+}
+
+TEST(CMatrix, IsHermitianDetectsViolations) {
+  CMatrix a(2, 2);
+  a.At(0, 1) = {1, 2};
+  a.At(1, 0) = {1, 2};  // should be conj: (1,-2)
+  EXPECT_FALSE(a.IsHermitian());
+  a.At(1, 0) = {1, -2};
+  EXPECT_TRUE(a.IsHermitian());
+}
+
+TEST(Dot, ConjugateLinear) {
+  const std::vector<Complex> x = {{0, 1}};
+  const std::vector<Complex> y = {{0, 1}};
+  // <x,y> = conj(i)*i = 1.
+  EXPECT_NEAR(std::abs(Dot(x, y) - Complex(1, 0)), 0.0, 1e-15);
+}
+
+TEST(HermitianEigen, DiagonalMatrix) {
+  CMatrix a(3, 3);
+  a.At(0, 0) = {5, 0};
+  a.At(1, 1) = {-1, 0};
+  a.At(2, 2) = {2, 0};
+  const auto es = HermitianEigen(a);
+  ASSERT_EQ(es.values.size(), 3u);
+  EXPECT_NEAR(es.values[0], -1.0, 1e-10);
+  EXPECT_NEAR(es.values[1], 2.0, 1e-10);
+  EXPECT_NEAR(es.values[2], 5.0, 1e-10);
+}
+
+TEST(HermitianEigen, KnownTwoByTwo) {
+  // [[2, i], [-i, 2]] has eigenvalues 1 and 3.
+  CMatrix a(2, 2);
+  a.At(0, 0) = {2, 0};
+  a.At(0, 1) = {0, 1};
+  a.At(1, 0) = {0, -1};
+  a.At(1, 1) = {2, 0};
+  const auto es = HermitianEigen(a);
+  EXPECT_NEAR(es.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(es.values[1], 3.0, 1e-10);
+}
+
+TEST(HermitianEigen, RejectsNonHermitian) {
+  CMatrix a(2, 2);
+  a.At(0, 1) = {1, 0};
+  // a.At(1,0) stays 0 -> not Hermitian.
+  EXPECT_THROW(HermitianEigen(a), PreconditionError);
+}
+
+TEST(HermitianEigen, RejectsNonSquare) {
+  CMatrix a(2, 3);
+  EXPECT_THROW(HermitianEigen(a), PreconditionError);
+}
+
+TEST(HermitianEigen, SizeOneMatrix) {
+  CMatrix a(1, 1);
+  a.At(0, 0) = {4.5, 0};
+  const auto es = HermitianEigen(a);
+  ASSERT_EQ(es.values.size(), 1u);
+  EXPECT_NEAR(es.values[0], 4.5, 1e-14);
+}
+
+class HermitianEigenProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HermitianEigenProperty, ReconstructionAndUnitarity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 2 + static_cast<std::size_t>(GetParam()) % 7;
+  const CMatrix a = RandomHermitian(n, rng);
+  const auto es = HermitianEigen(a);
+
+  // Eigenvalues ascending.
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_LE(es.values[i - 1], es.values[i] + 1e-12);
+  }
+
+  // V unitary: V^H V = I.
+  const CMatrix vhv = es.vectors.Adjoint() * es.vectors;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      const double expected = r == c ? 1.0 : 0.0;
+      EXPECT_NEAR(std::abs(vhv.At(r, c)), expected, 1e-8);
+    }
+  }
+
+  // A v_k = lambda_k v_k.
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto v = es.Vector(k);
+    const auto av = a.Apply(v);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(av[i] - es.values[k] * v[i]), 0.0, 1e-7);
+    }
+  }
+
+  // Trace preserved.
+  double eig_sum = 0.0;
+  for (double v : es.values) eig_sum += v;
+  EXPECT_NEAR(eig_sum, a.Trace().real(), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, HermitianEigenProperty,
+                         ::testing::Range(0, 24));
+
+TEST(HermitianEigen, PositiveSemidefiniteCovarianceHasNonNegativeEigs) {
+  Rng rng(33);
+  // R = sum of outer products is PSD by construction.
+  CMatrix r(3, 3);
+  for (int s = 0; s < 10; ++s) {
+    std::vector<Complex> x(3);
+    for (auto& v : x) v = Complex(rng.Uniform(-1, 1), rng.Uniform(-1, 1));
+    r += CMatrix::OuterProduct(x, x);
+  }
+  const auto es = HermitianEigen(r);
+  for (double v : es.values) EXPECT_GE(v, -1e-9);
+}
+
+TEST(SolveLinear, KnownSystem) {
+  RMatrix a(2, 2);
+  a.At(0, 0) = 2.0;
+  a.At(0, 1) = 1.0;
+  a.At(1, 0) = 1.0;
+  a.At(1, 1) = 3.0;
+  const auto x = SolveLinear(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, RequiresPivoting) {
+  RMatrix a(2, 2);
+  a.At(0, 0) = 0.0;
+  a.At(0, 1) = 1.0;
+  a.At(1, 0) = 1.0;
+  a.At(1, 1) = 0.0;
+  const auto x = SolveLinear(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinear, SingularThrows) {
+  RMatrix a(2, 2);
+  a.At(0, 0) = 1.0;
+  a.At(0, 1) = 2.0;
+  a.At(1, 0) = 2.0;
+  a.At(1, 1) = 4.0;
+  EXPECT_THROW(SolveLinear(a, {1.0, 2.0}), NumericalError);
+}
+
+TEST(SolveLeastSquares, ExactForSquare) {
+  RMatrix a(2, 2);
+  a.At(0, 0) = 1.0;
+  a.At(0, 1) = 1.0;
+  a.At(1, 0) = 1.0;
+  a.At(1, 1) = -1.0;
+  const auto x = SolveLeastSquares(a, {3.0, 1.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveLeastSquares, OverdeterminedLine) {
+  // Fit y = 2x + 1 exactly through 4 points.
+  RMatrix a(4, 2);
+  std::vector<double> b(4);
+  for (int i = 0; i < 4; ++i) {
+    a.At(static_cast<std::size_t>(i), 0) = 1.0;
+    a.At(static_cast<std::size_t>(i), 1) = i;
+    b[static_cast<std::size_t>(i)] = 2.0 * i + 1.0;
+  }
+  const auto x = SolveLeastSquares(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 2.0, 1e-10);
+}
+
+TEST(SolveLeastSquares, MinimizesResidual) {
+  // Inconsistent system: LS solution should beat nearby perturbations.
+  RMatrix a(3, 1);
+  a.At(0, 0) = 1.0;
+  a.At(1, 0) = 1.0;
+  a.At(2, 0) = 1.0;
+  const std::vector<double> b = {1.0, 2.0, 6.0};
+  const auto x = SolveLeastSquares(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);  // the mean
+}
+
+}  // namespace
+}  // namespace mulink::linalg

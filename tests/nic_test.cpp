@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/rng.h"
+#include "experiments/scenario.h"
+#include "nic/channel_simulator.h"
+#include "nic/intel5300.h"
+
+namespace mulink::nic {
+namespace {
+
+TEST(Intel5300, PassThroughWithoutQuantization) {
+  linalg::CMatrix cfr(1, 2);
+  cfr.At(0, 0) = {0.123456, -0.654321};
+  cfr.At(0, 1) = {1e-6, 2e-6};
+  Intel5300Config config;
+  config.quantize = false;
+  const Intel5300Emulator nic(config);
+  const auto packet = nic.Report(cfr, 1.5, 42);
+  EXPECT_EQ(packet.timestamp_s, 1.5);
+  EXPECT_EQ(packet.sequence, 42u);
+  EXPECT_NEAR(std::abs(packet.csi.At(0, 0) - cfr.At(0, 0)), 0.0, 1e-15);
+}
+
+TEST(Intel5300, QuantizationPreservesScale) {
+  linalg::CMatrix cfr(1, 3);
+  cfr.At(0, 0) = {0.01, 0.0};
+  cfr.At(0, 1) = {0.005, -0.003};
+  cfr.At(0, 2) = {-0.002, 0.008};
+  const Intel5300Emulator nic;
+  const auto packet = nic.Report(cfr, 0.0, 0);
+  // Quantization error is bounded by half an LSB of the AGC scale:
+  // peak = 0.01 maps to 90 -> LSB = 0.01/90.
+  const double lsb = 0.01 / 90.0;
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(packet.csi.At(0, k).real(), cfr.At(0, k).real(), 0.51 * lsb);
+    EXPECT_NEAR(packet.csi.At(0, k).imag(), cfr.At(0, k).imag(), 0.51 * lsb);
+  }
+}
+
+TEST(Intel5300, QuantizationCrushesTinyComponents) {
+  linalg::CMatrix cfr(1, 2);
+  cfr.At(0, 0) = {1.0, 0.0};
+  cfr.At(0, 1) = {1e-5, 0.0};  // far below one LSB at full scale 90
+  const Intel5300Emulator nic;
+  const auto packet = nic.Report(cfr, 0.0, 0);
+  EXPECT_EQ(packet.csi.At(0, 1), Complex(0.0, 0.0));
+}
+
+TEST(Intel5300, RssiReflectsTotalPower) {
+  linalg::CMatrix cfr(1, 1);
+  cfr.At(0, 0) = {10.0, 0.0};
+  Intel5300Config config;
+  config.quantize = false;
+  const Intel5300Emulator nic(config);
+  const auto packet = nic.Report(cfr, 0.0, 0);
+  EXPECT_NEAR(packet.rssi_db, 20.0, 1e-9);
+}
+
+class ChannelSimulatorTest : public ::testing::Test {
+ protected:
+  ChannelSimulatorTest()
+      : link_(experiments::MakeClassroomLink()),
+        simulator_(experiments::MakeSimulator(link_)) {}
+
+  experiments::LinkCase link_;
+  ChannelSimulator simulator_;
+};
+
+TEST_F(ChannelSimulatorTest, PacketDimensions) {
+  Rng rng(1);
+  const auto packet = simulator_.CapturePacket(std::nullopt, rng);
+  EXPECT_EQ(packet.NumAntennas(), 3u);
+  EXPECT_EQ(packet.NumSubcarriers(), 30u);
+  EXPECT_GT(packet.TotalPower(), 0.0);
+}
+
+TEST_F(ChannelSimulatorTest, TimestampsFollowPacketRate) {
+  Rng rng(2);
+  const auto session = simulator_.CaptureSession(5, std::nullopt, rng);
+  ASSERT_EQ(session.size(), 5u);
+  for (std::size_t i = 1; i < session.size(); ++i) {
+    EXPECT_NEAR(session[i].timestamp_s - session[i - 1].timestamp_s,
+                1.0 / 50.0, 1e-12);
+    EXPECT_EQ(session[i].sequence, session[i - 1].sequence + 1);
+  }
+}
+
+TEST_F(ChannelSimulatorTest, DeterministicGivenSeed) {
+  auto sim_a = experiments::MakeSimulator(link_);
+  auto sim_b = experiments::MakeSimulator(link_);
+  Rng rng_a(99), rng_b(99);
+  const auto pa = sim_a.CapturePacket(std::nullopt, rng_a);
+  const auto pb = sim_b.CapturePacket(std::nullopt, rng_b);
+  for (std::size_t m = 0; m < 3; ++m) {
+    for (std::size_t k = 0; k < 30; ++k) {
+      EXPECT_EQ(pa.csi.At(m, k), pb.csi.At(m, k));
+    }
+  }
+}
+
+TEST_F(ChannelSimulatorTest, HumanOnLosReducesPower) {
+  // Average over packets to beat noise; human on the LOS midpoint shadows
+  // the dominant path.
+  Rng rng(3);
+  const auto empty = simulator_.CaptureSession(60, std::nullopt, rng);
+  propagation::HumanBody body;
+  body.position = (link_.tx + link_.rx) * 0.5;
+  const auto blocked = simulator_.CaptureSession(60, body, rng);
+  double p_empty = 0.0, p_blocked = 0.0;
+  for (const auto& p : empty) p_empty += p.TotalPower();
+  for (const auto& p : blocked) p_blocked += p.TotalPower();
+  EXPECT_LT(p_blocked, 0.75 * p_empty);
+}
+
+TEST_F(ChannelSimulatorTest, WalkCoversTrace) {
+  Rng rng(4);
+  propagation::HumanBody body;
+  const geometry::Vec2 from{3.0, 2.0}, to{3.0, 6.0};
+  // 4 m at 1 m/s at 50 pkt/s = 200 packets to finish the walk.
+  const auto packets = simulator_.CaptureWalk(200, body, from, to, 1.0, rng);
+  EXPECT_EQ(packets.size(), 200u);
+}
+
+TEST_F(ChannelSimulatorTest, StaticPathsContainLosAndReflections) {
+  const auto paths = simulator_.StaticPaths();
+  EXPECT_GE(propagation::FindLineOfSight(paths), 0);
+  bool has_wall = false;
+  for (const auto& p : paths) {
+    if (p.kind == propagation::PathKind::kWallReflection) has_wall = true;
+  }
+  EXPECT_TRUE(has_wall);
+}
+
+TEST_F(ChannelSimulatorTest, BackgroundJitterPerturbsScatterPathsOnly) {
+  // With huge background jitter, successive empty packets still carry a
+  // stable LOS (jitter affects scatterers, not walls/TX/RX).
+  nic::ChannelSimConfig config = experiments::DefaultSimConfig();
+  config.background_jitter_m = 0.5;
+  config.noise.snr_db = 300.0;
+  config.noise.random_common_phase = false;
+  config.noise.sto_range_s = 0.0;
+  config.noise.gain_drift_db = 0.0;
+  config.nic.quantize = false;
+  auto simulator = experiments::MakeSimulator(link_, config);
+  Rng rng(5);
+  const auto a = simulator.CapturePacket(std::nullopt, rng);
+  const auto b = simulator.CapturePacket(std::nullopt, rng);
+  // Packets differ (scatterers moved)...
+  double diff = 0.0;
+  for (std::size_t k = 0; k < 30; ++k) {
+    diff += std::abs(a.csi.At(0, k) - b.csi.At(0, k));
+  }
+  EXPECT_GT(diff, 0.0);
+  // ...but not wildly: scatter paths are weak relative to LOS.
+  double rel = 0.0;
+  for (std::size_t k = 0; k < 30; ++k) {
+    rel += std::abs(a.csi.At(0, k) - b.csi.At(0, k)) /
+           std::abs(a.csi.At(0, k));
+  }
+  EXPECT_LT(rel / 30.0, 0.5);
+}
+
+}  // namespace
+}  // namespace mulink::nic

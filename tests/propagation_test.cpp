@@ -1,0 +1,358 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "geometry/segment.h"
+#include "propagation/friis.h"
+#include "propagation/human.h"
+#include "propagation/path.h"
+#include "propagation/ray_tracer.h"
+
+namespace mulink::propagation {
+namespace {
+
+using geometry::Room;
+using geometry::Vec2;
+
+TEST(Friis, FreeSpaceMatchesTextbook) {
+  // Free-space path loss at 2.4 GHz over 1 m: 20 lg(4 pi f d / c) ~ 40.05 dB.
+  const FriisModel friis;
+  const double gain = friis.PowerGain(1.0, 2.4e9);
+  EXPECT_NEAR(-10.0 * std::log10(gain), 40.05, 0.1);
+}
+
+TEST(Friis, InverseSquareWithDistance) {
+  const FriisModel friis;
+  const double g1 = friis.PowerGain(1.0, kChannel11CenterHz);
+  const double g2 = friis.PowerGain(2.0, kChannel11CenterHz);
+  EXPECT_NEAR(g1 / g2, 4.0, 1e-9);
+}
+
+TEST(Friis, AttenuationFactorSteepensFalloff) {
+  FriisModel lossy;
+  lossy.attenuation_factor = 3.0;
+  const double g1 = lossy.PowerGain(1.0, kChannel11CenterHz);
+  const double g2 = lossy.PowerGain(2.0, kChannel11CenterHz);
+  EXPECT_NEAR(g1 / g2, 8.0, 1e-9);
+}
+
+TEST(Friis, FrequencySquaredDependence) {
+  const FriisModel friis;
+  const double g1 = friis.PowerGain(3.0, 2.4e9);
+  const double g2 = friis.PowerGain(3.0, 4.8e9);
+  EXPECT_NEAR(g1 / g2, 4.0, 1e-9);
+}
+
+TEST(Friis, AmplitudeIsSqrtOfPower) {
+  const FriisModel friis;
+  const double p = friis.PowerGain(2.5, kChannel11CenterHz);
+  const double a = friis.AmplitudeGain(2.5, kChannel11CenterHz);
+  EXPECT_NEAR(a * a, p, 1e-15);
+}
+
+TEST(Friis, RejectsBadArguments) {
+  const FriisModel friis;
+  EXPECT_THROW(friis.PowerGain(0.0, 2.4e9), PreconditionError);
+  EXPECT_THROW(friis.PowerGain(1.0, -1.0), PreconditionError);
+}
+
+TEST(BistaticScatter, SymmetricInLegs) {
+  const double a = BistaticScatterAmplitude(1.0, 3.0, 2.4e9, 0.5);
+  const double b = BistaticScatterAmplitude(3.0, 1.0, 2.4e9, 0.5);
+  EXPECT_NEAR(a, b, 1e-15);
+}
+
+TEST(BistaticScatter, FallsWithLegProduct) {
+  const double near = BistaticScatterAmplitude(1.0, 1.0, 2.4e9, 0.5);
+  const double far = BistaticScatterAmplitude(2.0, 2.0, 2.4e9, 0.5);
+  EXPECT_NEAR(near / far, 4.0, 1e-9);
+}
+
+TEST(BistaticScatter, ScalesWithSqrtCrossSection) {
+  const double s1 = BistaticScatterAmplitude(2.0, 2.0, 2.4e9, 1.0);
+  const double s4 = BistaticScatterAmplitude(2.0, 2.0, 2.4e9, 4.0);
+  EXPECT_NEAR(s4 / s1, 2.0, 1e-12);
+}
+
+TEST(Path, CoefficientPhaseMatchesDelay) {
+  Path p;
+  p.length_m = kSpeedOfLight / kChannel11CenterHz;  // exactly one wavelength
+  p.gain_at_center = 1.0;
+  const Complex c = p.CoefficientAt(kChannel11CenterHz);
+  // One full cycle: phase wraps to ~0.
+  EXPECT_NEAR(std::arg(c), 0.0, 1e-6);
+  EXPECT_NEAR(std::abs(c), 1.0, 1e-12);
+}
+
+TEST(Path, GainFollowsInverseFrequency) {
+  Path p;
+  p.gain_at_center = 2.0;
+  EXPECT_NEAR(p.GainAt(kChannel11CenterHz), 2.0, 1e-15);
+  EXPECT_NEAR(p.GainAt(2.0 * kChannel11CenterHz), 1.0, 1e-15);
+}
+
+TEST(Path, DelaySeconds) {
+  Path p;
+  p.length_m = 3.0;
+  EXPECT_NEAR(p.DelaySeconds(), 3.0 / kSpeedOfLight, 1e-20);
+}
+
+class RayTracerTest : public ::testing::Test {
+ protected:
+  Room room_ = Room::Rectangular(6.0, 8.0, 0.5);
+  FriisModel friis_;
+};
+
+TEST_F(RayTracerTest, LosAlwaysPresent) {
+  const RayTracer tracer(room_, friis_, {});
+  const auto paths = tracer.Trace({1, 4}, {5, 4});
+  const int los = FindLineOfSight(paths);
+  ASSERT_GE(los, 0);
+  const auto& p = paths[static_cast<std::size_t>(los)];
+  EXPECT_NEAR(p.length_m, 4.0, 1e-12);
+  EXPECT_NEAR(p.arrival_direction_rad, 0.0, 1e-12);
+}
+
+TEST_F(RayTracerTest, OneBounceCountAndGeometry) {
+  TraceOptions options;
+  options.include_scatterers = false;
+  options.min_relative_gain = 0.0;
+  const RayTracer tracer(room_, friis_, options);
+  const auto paths = tracer.Trace({1, 4}, {5, 4});
+  // LOS + 4 wall bounces in an empty rectangle.
+  ASSERT_EQ(paths.size(), 5u);
+
+  for (const auto& p : paths) {
+    if (p.kind != PathKind::kWallReflection) continue;
+    // Image method invariant: polyline length equals |image(tx) - rx|, and
+    // both legs make equal angles with the wall (specular reflection).
+    ASSERT_EQ(p.vertices.size(), 3u);
+    const Vec2 tx = p.vertices[0];
+    const Vec2 bounce = p.vertices[1];
+    const Vec2 rx = p.vertices[2];
+    // Reflection law: angle of incidence = angle of reflection. The bounce
+    // point is on a wall; check via mirrored collinearity: the mirror of tx
+    // across the wall, the bounce and rx are collinear.
+    bool found_wall = false;
+    for (const auto& wall : room_.walls()) {
+      if (geometry::DistancePointToSegment(bounce, wall.segment) < 1e-9) {
+        const Vec2 image = geometry::MirrorAcross(tx, wall.segment);
+        const Vec2 d1 = (bounce - image).Normalized();
+        const Vec2 d2 = (rx - bounce).Normalized();
+        EXPECT_NEAR((d1 - d2).Norm(), 0.0, 1e-9);
+        EXPECT_NEAR(p.length_m,
+                    geometry::Distance(tx, bounce) +
+                        geometry::Distance(bounce, rx),
+                    1e-9);
+        found_wall = true;
+      }
+    }
+    EXPECT_TRUE(found_wall);
+  }
+}
+
+TEST_F(RayTracerTest, SymmetricLinkGivesSymmetricBounces) {
+  TraceOptions options;
+  options.include_scatterers = false;
+  const RayTracer tracer(room_, friis_, options);
+  const auto paths = tracer.Trace({1, 4}, {5, 4});
+  // The y=0 and y=8 walls are equidistant from the link at y=4: equal
+  // lengths, mirrored arrival angles.
+  std::vector<const Path*> side_bounces;
+  for (const auto& p : paths) {
+    if (p.kind == PathKind::kWallReflection &&
+        std::abs(std::abs(p.arrival_direction_rad) - kPi) > 0.1 &&
+        std::abs(p.arrival_direction_rad) > 0.1) {
+      side_bounces.push_back(&p);
+    }
+  }
+  ASSERT_EQ(side_bounces.size(), 2u);
+  EXPECT_NEAR(side_bounces[0]->length_m, side_bounces[1]->length_m, 1e-9);
+  EXPECT_NEAR(side_bounces[0]->arrival_direction_rad,
+              -side_bounces[1]->arrival_direction_rad, 1e-9);
+}
+
+TEST_F(RayTracerTest, WallReflectionWeakerThanLos) {
+  const RayTracer tracer(room_, friis_, {});
+  const auto paths = tracer.Trace({1, 4}, {5, 4});
+  const int los = FindLineOfSight(paths);
+  ASSERT_GE(los, 0);
+  const double los_gain = paths[static_cast<std::size_t>(los)].gain_at_center;
+  for (const auto& p : paths) {
+    if (p.kind != PathKind::kLineOfSight) {
+      EXPECT_LT(p.gain_at_center, los_gain);
+    }
+  }
+}
+
+TEST_F(RayTracerTest, TwoBounceAddsPaths) {
+  TraceOptions one, two;
+  one.include_scatterers = two.include_scatterers = false;
+  one.max_wall_bounces = 1;
+  two.max_wall_bounces = 2;
+  one.min_relative_gain = two.min_relative_gain = 0.0;
+  const auto p1 = RayTracer(room_, friis_, one).Trace({1, 4}, {5, 4});
+  const auto p2 = RayTracer(room_, friis_, two).Trace({1, 4}, {5, 4});
+  EXPECT_GT(p2.size(), p1.size());
+}
+
+TEST_F(RayTracerTest, ScatterersAddScatterPaths) {
+  Room room = room_;
+  room.AddScatterer({{3.0, 6.0}, 0.5, "cabinet"});
+  TraceOptions options;
+  options.min_relative_gain = 0.0;
+  const RayTracer tracer(room, friis_, options);
+  const auto paths = tracer.Trace({1, 4}, {5, 4});
+  int scatter_count = 0;
+  for (const auto& p : paths) {
+    if (p.kind == PathKind::kScatter) {
+      ++scatter_count;
+      EXPECT_NEAR(p.length_m,
+                  geometry::Distance({1, 4}, {3, 6}) +
+                      geometry::Distance({3, 6}, {5, 4}),
+                  1e-12);
+    }
+  }
+  EXPECT_EQ(scatter_count, 1);
+}
+
+TEST_F(RayTracerTest, PruneDropsNegligiblePaths) {
+  Room room = room_;
+  room.AddScatterer({{3.0, 7.9}, 1e-8, "dust"});
+  TraceOptions keep_all;
+  keep_all.min_relative_gain = 0.0;
+  TraceOptions prune;
+  prune.min_relative_gain = 1e-3;
+  const auto all = RayTracer(room, friis_, keep_all).Trace({1, 4}, {5, 4});
+  const auto pruned = RayTracer(room, friis_, prune).Trace({1, 4}, {5, 4});
+  EXPECT_GT(all.size(), pruned.size());
+  // LOS survives pruning.
+  EXPECT_GE(FindLineOfSight(pruned), 0);
+}
+
+TEST_F(RayTracerTest, CoincidentEndpointsThrow) {
+  const RayTracer tracer(room_, friis_, {});
+  EXPECT_THROW(tracer.Trace({1, 4}, {1, 4}), PreconditionError);
+}
+
+TEST(HumanShadow, FullBlockHitsBetaMin) {
+  HumanBody body;
+  body.min_shadow_amplitude = 0.3;
+  EXPECT_NEAR(ShadowAttenuation(body, 0.0), 0.3, 1e-12);
+}
+
+TEST(HumanShadow, FarAwayIsTransparent) {
+  HumanBody body;
+  EXPECT_NEAR(ShadowAttenuation(body, 10.0), 1.0, 1e-9);
+  EXPECT_NEAR(ShadowAttenuation(body,
+                                std::numeric_limits<double>::infinity()),
+              1.0, 1e-12);
+}
+
+TEST(HumanShadow, MonotoneInClearance) {
+  HumanBody body;
+  double prev = 0.0;
+  for (double u = 0.0; u <= 3.0; u += 0.1) {
+    const double b = ShadowAttenuation(body, u);
+    EXPECT_GE(b, prev - 1e-12);
+    prev = b;
+  }
+}
+
+class HumanModelTest : public ::testing::Test {
+ protected:
+  Room room_ = Room::Rectangular(6.0, 8.0, 0.5);
+  FriisModel friis_;
+  Vec2 tx_{1, 4}, rx_{5, 4};
+
+  PathSet StaticPaths() const {
+    TraceOptions options;
+    options.include_scatterers = false;
+    return RayTracer(room_, friis_, options).Trace(tx_, rx_);
+  }
+};
+
+TEST_F(HumanModelTest, OnLosShadowsLosPath) {
+  const auto statics = StaticPaths();
+  HumanBody body;
+  body.position = {3, 4};  // dead on the LOS
+  const auto with_human = ApplyHuman(statics, tx_, rx_, body);
+
+  const int los_before = FindLineOfSight(statics);
+  const int los_after = FindLineOfSight(with_human);
+  ASSERT_GE(los_before, 0);
+  ASSERT_GE(los_after, 0);
+  const double g0 = statics[static_cast<std::size_t>(los_before)].gain_at_center;
+  const double g1 =
+      with_human[static_cast<std::size_t>(los_after)].gain_at_center;
+  EXPECT_NEAR(g1 / g0, body.min_shadow_amplitude, 1e-6);
+}
+
+TEST_F(HumanModelTest, AddsExactlyOneReflectionPath) {
+  const auto statics = StaticPaths();
+  HumanBody body;
+  body.position = {3, 5};
+  const auto with_human = ApplyHuman(statics, tx_, rx_, body);
+  ASSERT_EQ(with_human.size(), statics.size() + 1);
+  const auto& refl = with_human.back();
+  EXPECT_EQ(refl.kind, PathKind::kHumanReflection);
+  EXPECT_NEAR(refl.length_m,
+              geometry::Distance(tx_, body.position) +
+                  geometry::Distance(body.position, rx_),
+              1e-12);
+}
+
+TEST_F(HumanModelTest, OffLosLeavesLosUntouched) {
+  const auto statics = StaticPaths();
+  HumanBody body;
+  body.position = {3, 6.5};  // far off the LOS
+  const auto with_human = ApplyHuman(statics, tx_, rx_, body);
+  const int los = FindLineOfSight(statics);
+  ASSERT_GE(los, 0);
+  EXPECT_NEAR(
+      with_human[static_cast<std::size_t>(los)].gain_at_center /
+          statics[static_cast<std::size_t>(los)].gain_at_center,
+      1.0, 1e-3);
+}
+
+TEST_F(HumanModelTest, CanShadowReflectedPathOnly) {
+  // Stand on a wall-reflection leg but away from the LOS: the LOS keeps its
+  // gain while that reflection is attenuated (the paper's location A in
+  // Fig. 1b).
+  const auto statics = StaticPaths();
+  // South wall (y=0) bounce of the 4 m link at y=4 happens at (3, 0);
+  // stand on the TX->bounce leg at its midpoint (2, 2).
+  HumanBody body;
+  body.position = {2, 2};
+  const auto with_human = ApplyHuman(statics, tx_, rx_, body);
+
+  const int los = FindLineOfSight(statics);
+  EXPECT_NEAR(with_human[static_cast<std::size_t>(los)].gain_at_center /
+                  statics[static_cast<std::size_t>(los)].gain_at_center,
+              1.0, 1e-3);
+
+  bool shadowed_reflection = false;
+  for (std::size_t i = 0; i < statics.size(); ++i) {
+    if (statics[i].kind == PathKind::kWallReflection &&
+        with_human[i].gain_at_center < 0.9 * statics[i].gain_at_center) {
+      shadowed_reflection = true;
+    }
+  }
+  EXPECT_TRUE(shadowed_reflection);
+}
+
+TEST_F(HumanModelTest, ReflectionStrongerWhenCloserToLink) {
+  const auto statics = StaticPaths();
+  HumanBody near_body, far_body;
+  near_body.position = {3, 4.6};
+  far_body.position = {3, 7.0};
+  const auto near_paths = ApplyHuman(statics, tx_, rx_, near_body);
+  const auto far_paths = ApplyHuman(statics, tx_, rx_, far_body);
+  EXPECT_GT(near_paths.back().gain_at_center,
+            far_paths.back().gain_at_center);
+}
+
+}  // namespace
+}  // namespace mulink::propagation

@@ -1,0 +1,149 @@
+// Wall transmission / through-wall propagation tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/detector.h"
+#include "experiments/scenario.h"
+#include "propagation/ray_tracer.h"
+#include "propagation/transmission.h"
+
+namespace mulink::propagation {
+namespace {
+
+using geometry::Room;
+using geometry::Vec2;
+using geometry::Wall;
+
+Room RoomWithPartition(double loss_db) {
+  Room room = Room::Rectangular(6.0, 4.0, 0.4);
+  Wall partition;
+  partition.segment = {{3.0, 0.0}, {3.0, 4.0}};
+  partition.reflection_coefficient = 0.3;
+  partition.transmission_loss_db = loss_db;
+  partition.name = "partition";
+  room.AddWall(partition);
+  return room;
+}
+
+TEST(WallCrossings, CountsProperCrossings) {
+  const Room room = RoomWithPartition(6.0);
+  // Leg crossing the partition once.
+  EXPECT_EQ(CountWallCrossings({1, 2}, {5, 2}, room), 1u);
+  // Leg staying on one side: no crossings.
+  EXPECT_EQ(CountWallCrossings({1, 1}, {2, 3}, room), 0u);
+  // Leg ending exactly ON the outer wall (a bounce vertex): not a crossing.
+  EXPECT_EQ(CountWallCrossings({1, 2}, {0, 2}, room), 0u);
+}
+
+TEST(WallCrossings, EndpointOnPartitionNotCounted) {
+  const Room room = RoomWithPartition(6.0);
+  EXPECT_EQ(CountWallCrossings({1, 2}, {3, 2}, room), 0u);
+  EXPECT_EQ(CountWallCrossings({3, 2}, {5, 2}, room), 0u);
+}
+
+TEST(WallTransmission, AttenuatesCrossingPaths) {
+  const Room room = RoomWithPartition(6.0);
+  Path crossing;
+  crossing.vertices = {{1, 2}, {5, 2}};
+  crossing.length_m = 4.0;
+  crossing.gain_at_center = 1.0;
+  Path same_side;
+  same_side.vertices = {{1, 1}, {2, 3}};
+  same_side.length_m = 2.24;
+  same_side.gain_at_center = 1.0;
+
+  const auto out = ApplyWallTransmission({crossing, same_side}, room);
+  // 6 dB power loss = factor 10^(-6/20) ~ 0.501 on amplitude.
+  EXPECT_NEAR(out[0].gain_at_center, std::pow(10.0, -6.0 / 20.0), 1e-9);
+  EXPECT_NEAR(out[1].gain_at_center, 1.0, 1e-12);
+}
+
+TEST(WallTransmission, MultiLegPathsAccumulateLoss) {
+  const Room room = RoomWithPartition(6.0);
+  // TX west -> bounce on the east outer wall -> RX west: crosses the
+  // partition on BOTH legs.
+  Path bounce;
+  bounce.vertices = {{1.0, 1.0}, {6.0, 2.0}, {1.0, 3.0}};
+  bounce.length_m = 10.2;
+  bounce.gain_at_center = 1.0;
+  const auto out = ApplyWallTransmission({bounce}, room);
+  EXPECT_NEAR(out[0].gain_at_center, std::pow(10.0, -12.0 / 20.0), 1e-9);
+}
+
+TEST(WallTransmission, RectangularRoomIsUnaffected) {
+  // No interior walls: in-room legs never properly cross the shell.
+  const Room room = Room::Rectangular(6.0, 4.0, 0.5);
+  const FriisModel friis;
+  const RayTracer tracer(room, friis, {});
+  const auto paths = tracer.Trace({1, 2}, {5, 2});
+  const auto out = ApplyWallTransmission(paths, room);
+  ASSERT_EQ(out.size(), paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_NEAR(out[i].gain_at_center, paths[i].gain_at_center, 1e-12);
+  }
+}
+
+TEST(ThroughWall, ScenarioGeometryIsSane) {
+  const auto lc = experiments::MakeThroughWallLink();
+  // TX west of the partition, RX east.
+  EXPECT_LT(lc.tx.x, 3.0);
+  EXPECT_GT(lc.rx.x, 3.0);
+  // Partition present (6 walls: 4 shell + 2 partition segments).
+  EXPECT_EQ(lc.room.walls().size(), 6u);
+}
+
+TEST(ThroughWall, PartitionAttenuatesTheLink) {
+  // The same link with and without the partition: through-wall total power
+  // is several dB lower.
+  const auto lc = experiments::MakeThroughWallLink();
+  Room open_room = Room::Rectangular(7.0, 6.0, 0.5);
+  for (const auto& s : lc.room.scatterers()) open_room.AddScatterer(s);
+
+  const FriisModel friis;
+  TraceOptions options;
+  const RayTracer tracer_wall(lc.room, friis, options);
+  const RayTracer tracer_open(open_room, friis, options);
+
+  const auto with_wall = ApplyWallTransmission(
+      tracer_wall.Trace(lc.tx, lc.rx), lc.room);
+  const auto without = ApplyWallTransmission(
+      tracer_open.Trace(lc.tx, lc.rx), open_room);
+  const double p_wall = TotalPathPower(with_wall);
+  const double p_open = TotalPathPower(without);
+  const double loss_db = 10.0 * std::log10(p_open / p_wall);
+  EXPECT_GT(loss_db, 3.0);
+  EXPECT_LT(loss_db, 15.0);
+}
+
+TEST(ThroughWall, DetectionStillWorksThroughDrywall) {
+  // End-to-end: calibrate on the empty two-room space, then detect a person
+  // in the receiver's room — and (harder) one in the AP's room.
+  const auto lc = experiments::MakeThroughWallLink();
+  auto sim = experiments::MakeSimulator(lc);
+  Rng rng(71);
+  core::DetectorConfig config;
+  config.scheme = core::DetectionScheme::kSubcarrierAndPathWeighting;
+  auto detector = core::Detector::Calibrate(
+      sim.CaptureSession(300, std::nullopt, rng), sim.band(), sim.array(),
+      config);
+  std::vector<std::vector<wifi::CsiPacket>> empties;
+  for (int i = 0; i < 10; ++i) {
+    empties.push_back(sim.CaptureSession(25, std::nullopt, rng));
+  }
+  detector.CalibrateThreshold(empties);
+
+  propagation::HumanBody east_room_person;
+  east_room_person.position = {4.5, 3.0};  // on the LOS, east of the wall
+  int hits = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (detector.Detect(sim.CaptureSession(25, east_room_person, rng))) {
+      ++hits;
+    }
+  }
+  EXPECT_GE(hits, 4);
+}
+
+}  // namespace
+}  // namespace mulink::propagation

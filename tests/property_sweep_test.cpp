@@ -1,0 +1,213 @@
+// Cross-cutting property sweeps (TEST_P) over randomized inputs: ray-tracer
+// invariants in random rooms, link-model identities on parameter grids, and
+// detector invariances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/rng.h"
+#include "core/detector.h"
+#include "core/link_model.h"
+#include "core/multipath_factor.h"
+#include "core/subcarrier_weighting.h"
+#include "dsp/stats.h"
+#include "experiments/scenario.h"
+#include "propagation/ray_tracer.h"
+#include "propagation/transmission.h"
+#include "wifi/cfr.h"
+
+namespace mulink {
+namespace {
+
+namespace ex = mulink::experiments;
+
+class RayTracerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RayTracerProperty, InvariantsHoldInRandomRooms) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  const double width = rng.Uniform(4.0, 10.0);
+  const double depth = rng.Uniform(4.0, 10.0);
+  geometry::Room room =
+      geometry::Room::Rectangular(width, depth, rng.Uniform(0.2, 0.7));
+  const int num_scatterers = rng.UniformInt(0, 4);
+  for (int i = 0; i < num_scatterers; ++i) {
+    room.AddScatterer({{rng.Uniform(0.5, width - 0.5),
+                        rng.Uniform(0.5, depth - 0.5)},
+                       rng.Uniform(0.1, 0.5),
+                       "random"});
+  }
+  const geometry::Vec2 tx{rng.Uniform(0.5, width - 0.5),
+                          rng.Uniform(0.5, depth - 0.5)};
+  geometry::Vec2 rx{rng.Uniform(0.5, width - 0.5),
+                    rng.Uniform(0.5, depth - 0.5)};
+  if (geometry::Distance(tx, rx) < 0.5) rx.x = std::min(width - 0.5, rx.x + 1.0);
+
+  propagation::TraceOptions options;
+  options.max_wall_bounces = 2;
+  options.min_relative_gain = 0.0;
+  const propagation::RayTracer tracer(room, propagation::FriisModel{},
+                                      options);
+  const auto paths = tracer.Trace(tx, rx);
+
+  // (1) Exactly one LOS, and it is the shortest path.
+  int los_count = 0;
+  double los_length = 0.0;
+  for (const auto& p : paths) {
+    if (p.kind == propagation::PathKind::kLineOfSight) {
+      ++los_count;
+      los_length = p.length_m;
+    }
+  }
+  ASSERT_EQ(los_count, 1);
+  for (const auto& p : paths) {
+    EXPECT_GE(p.length_m, los_length - 1e-9) << p.Describe();
+    // (2) Positive finite gains, vertices anchored at TX and RX.
+    EXPECT_GT(p.gain_at_center, 0.0);
+    EXPECT_TRUE(std::isfinite(p.gain_at_center));
+    EXPECT_NEAR(geometry::Distance(p.vertices.front(), tx), 0.0, 1e-9);
+    EXPECT_NEAR(geometry::Distance(p.vertices.back(), rx), 0.0, 1e-9);
+    // (3) Polyline length equals the recorded length.
+    double poly = 0.0;
+    for (std::size_t i = 0; i + 1 < p.vertices.size(); ++i) {
+      poly += geometry::Distance(p.vertices[i], p.vertices[i + 1]);
+    }
+    EXPECT_NEAR(poly, p.length_m, 1e-9);
+    // (4) Bounce vertices lie on walls.
+    for (std::size_t i = 1; i + 1 < p.vertices.size(); ++i) {
+      if (p.kind != propagation::PathKind::kWallReflection) continue;
+      double nearest = 1e9;
+      for (const auto& wall : room.walls()) {
+        nearest = std::min(nearest, geometry::DistancePointToSegment(
+                                        p.vertices[i], wall.segment));
+      }
+      EXPECT_LT(nearest, 1e-6);
+    }
+  }
+
+  // (5) Swapping TX and RX preserves the path-length multiset (reciprocity).
+  auto reverse_paths = tracer.Trace(rx, tx);
+  ASSERT_EQ(reverse_paths.size(), paths.size());
+  std::vector<double> forward_lengths, reverse_lengths;
+  for (const auto& p : paths) forward_lengths.push_back(p.length_m);
+  for (const auto& p : reverse_paths) reverse_lengths.push_back(p.length_m);
+  std::sort(forward_lengths.begin(), forward_lengths.end());
+  std::sort(reverse_lengths.begin(), reverse_lengths.end());
+  for (std::size_t i = 0; i < forward_lengths.size(); ++i) {
+    EXPECT_NEAR(forward_lengths[i], reverse_lengths[i], 1e-9);
+  }
+
+  // (6) Wall transmission in a shell-only room is a no-op.
+  const auto transmitted = propagation::ApplyWallTransmission(paths, room);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_NEAR(transmitted[i].gain_at_center, paths[i].gain_at_center,
+                1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRooms, RayTracerProperty,
+                         ::testing::Range(0, 16));
+
+class LinkModelGrid
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(LinkModelGrid, IdentitiesAcrossTheParameterPlane) {
+  const double beta = std::get<0>(GetParam());
+  const double gamma = std::get<1>(GetParam());
+  for (double phi = 0.05; phi < 6.2; phi += 0.25) {
+    const double mu = core::MultipathFactorClosedForm(gamma, phi);
+    // mu stays within its physical range for gamma > 1.
+    if (gamma > 1.0) {
+      EXPECT_GT(mu, 0.0);
+      EXPECT_LT(mu, gamma * gamma / ((gamma - 1.0) * (gamma - 1.0)) + 1e-9);
+    }
+    // Eq. 5 == Eq. 6 through mu.
+    EXPECT_NEAR(core::ShadowingDeltaDbFromPhase(beta, gamma, phi),
+                core::ShadowingDeltaDbFromMu(beta, gamma, mu), 1e-9);
+    // beta = 1 (no attenuation) means no change.
+    EXPECT_NEAR(core::ShadowingDeltaDbFromPhase(1.0, gamma, phi), 0.0, 1e-9);
+    // eta = 0 (no new path) means no change.
+    EXPECT_NEAR(core::ReflectionDeltaDbFromMu(0.0, gamma, phi, 1.0, mu), 0.0,
+                1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BetaGammaGrid, LinkModelGrid,
+    ::testing::Combine(::testing::Values(0.2, 0.4, 0.6, 0.8),
+                       ::testing::Values(1.2, 2.0, 4.0, 8.0)));
+
+TEST(DetectorInvariance, MedianSchemesIgnorePacketOrder) {
+  const auto lc = ex::MakeClassroomLink();
+  auto sim = ex::MakeSimulator(lc);
+  Rng rng(3);
+  core::DetectorConfig config;
+  config.scheme = core::DetectionScheme::kSubcarrierWeighting;
+  const auto detector = core::Detector::Calibrate(
+      sim.CaptureSession(150, std::nullopt, rng), sim.band(), sim.array(),
+      config);
+
+  auto window = sim.CaptureSession(25, std::nullopt, rng);
+  const double forward = detector.Score(window);
+  std::reverse(window.begin(), window.end());
+  EXPECT_NEAR(detector.Score(window), forward, 1e-12);
+}
+
+TEST(DetectorInvariance, CombinedSchemeGainResponseIsPredictable) {
+  // The Bartlett angular statistic deliberately keeps amplitude sensitivity
+  // (a vacant link changes mostly in amplitude — paper case 3), so a
+  // uniform receive-gain change g moves the score to ~|g^2 - 1| (the
+  // weighted spectrum difference relative to the profile). Small AGC drift
+  // (fractions of a dB) therefore contributes only a few percent.
+  const auto lc = ex::MakeClassroomLink();
+  auto sim = ex::MakeSimulator(lc);
+  Rng rng(5);
+  core::DetectorConfig config;
+  config.scheme = core::DetectionScheme::kSubcarrierAndPathWeighting;
+  const auto detector = core::Detector::Calibrate(
+      sim.CaptureSession(150, std::nullopt, rng), sim.band(), sim.array(),
+      config);
+
+  auto window = sim.CaptureSession(25, std::nullopt, rng);
+  const double g = 1.6;
+  for (auto& packet : window) packet.csi *= Complex(g, 0.0);
+  const double expected = g * g - 1.0;
+  EXPECT_NEAR(detector.Score(window), expected, 0.15 * expected);
+
+  // A realistic 0.2 dB AGC wobble stays near the noise floor of the score.
+  auto mild = sim.CaptureSession(25, std::nullopt, rng);
+  const double baseline_score = detector.Score(mild);
+  const double wobble = std::pow(10.0, 0.2 / 20.0);
+  for (auto& packet : mild) packet.csi *= Complex(wobble, 0.0);
+  EXPECT_LT(detector.Score(mild), baseline_score + 0.08);
+}
+
+class WeightInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightInvariance, WeightsArePermutationEquivariant) {
+  // Permuting subcarrier columns of the mu matrix permutes the weights the
+  // same way (no hidden positional dependence).
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  std::vector<std::vector<double>> mu(15, std::vector<double>(30));
+  for (auto& row : mu) {
+    for (auto& v : row) v = rng.Uniform(0.0, 1.0);
+  }
+  const auto base = core::ComputeSubcarrierWeights(mu);
+
+  const auto perm = rng.Permutation(30);
+  std::vector<std::vector<double>> permuted(15, std::vector<double>(30));
+  for (std::size_t m = 0; m < 15; ++m) {
+    for (std::size_t k = 0; k < 30; ++k) {
+      permuted[m][k] = mu[m][perm[k]];
+    }
+  }
+  const auto shuffled = core::ComputeSubcarrierWeights(permuted);
+  for (std::size_t k = 0; k < 30; ++k) {
+    EXPECT_NEAR(shuffled.weights[k], base.weights[perm[k]], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightInvariance, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace mulink

@@ -1,0 +1,212 @@
+// FFT and OFDM baseband chain tests: the from-first-principles CSI
+// estimation must agree with the frequency-domain shortcut the rest of the
+// simulator uses (the substitution DESIGN.md makes for the Intel CSI Tool).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "dsp/fft.h"
+#include "experiments/scenario.h"
+#include "wifi/cfr.h"
+#include "wifi/ofdm.h"
+
+namespace mulink::wifi {
+namespace {
+
+TEST(Fft, KnownFourPointTransform) {
+  std::vector<Complex> x = {{1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  dsp::Fft(x);
+  EXPECT_NEAR(std::abs(x[0] - Complex(10, 0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(x[1] - Complex(-2, 2)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(x[2] - Complex(-2, 0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(x[3] - Complex(-2, -2)), 0.0, 1e-12);
+}
+
+TEST(Fft, RoundTripIsIdentity) {
+  Rng rng(3);
+  std::vector<Complex> x(64);
+  for (auto& v : x) v = Complex(rng.Uniform(-1, 1), rng.Uniform(-1, 1));
+  auto y = x;
+  dsp::Fft(y);
+  dsp::Ifft(y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(5);
+  std::vector<Complex> x(128);
+  for (auto& v : x) v = Complex(rng.Uniform(-1, 1), rng.Uniform(-1, 1));
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  auto y = x;
+  dsp::Fft(y);
+  double freq_energy = 0.0;
+  for (const auto& v : y) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, time_energy * 128.0, 1e-8 * freq_energy);
+}
+
+TEST(Fft, SingleToneLandsInItsBin) {
+  const std::size_t n = 64;
+  std::vector<Complex> x(n);
+  const int k0 = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 2.0 * kPi * k0 * static_cast<double>(i) / n;
+    x[i] = Complex(std::cos(phase), std::sin(phase));
+  }
+  dsp::Fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == k0) {
+      EXPECT_NEAR(std::abs(x[k]), static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> x(6);
+  EXPECT_THROW(dsp::Fft(x), PreconditionError);
+  EXPECT_TRUE(dsp::IsPowerOfTwo(64));
+  EXPECT_FALSE(dsp::IsPowerOfTwo(48));
+  EXPECT_FALSE(dsp::IsPowerOfTwo(0));
+}
+
+TEST(Ofdm, TrainingSymbolHasCyclicPrefix) {
+  const OfdmConfig config;
+  const auto symbol = ModulateTrainingSymbol(config);
+  ASSERT_EQ(symbol.size(), config.cyclic_prefix + config.fft_size);
+  for (std::size_t i = 0; i < config.cyclic_prefix; ++i) {
+    EXPECT_EQ(symbol[i], symbol[config.fft_size + i]);
+  }
+}
+
+TEST(Ofdm, OccupiedMapAndTrainingShape) {
+  const auto occupied = Ht20OccupiedSubcarriers();
+  EXPECT_EQ(occupied.size(), 56u);
+  EXPECT_EQ(occupied.front(), -28);
+  EXPECT_EQ(occupied.back(), 28);
+  const auto training = TrainingSequence();
+  EXPECT_EQ(training.size(), 56u);
+  for (double v : training) EXPECT_EQ(std::abs(v), 1.0);
+}
+
+TEST(Ofdm, IdealChannelEstimateIsFlat) {
+  // A single zero-ish-delay unit path: the estimate must be ~unit magnitude
+  // on every reported subcarrier.
+  propagation::Path p;
+  p.vertices = {{0, 0}, {0.3, 0}};
+  p.length_m = 0.3;
+  p.gain_at_center = 1.0;
+  const auto band = BandPlan::Intel5300Channel11();
+  const UniformLinearArray array(1, kWavelength / 2.0, 0.0);
+  Rng rng(7);
+  const auto csi = EstimateCfrViaOfdm({p}, band, array, {}, rng);
+  for (std::size_t k = 0; k < band.NumSubcarriers(); ++k) {
+    EXPECT_NEAR(std::abs(csi.At(0, k)), 1.0, 0.02) << k;
+  }
+}
+
+TEST(Ofdm, EstimateMatchesFrequencyDomainSynthesis) {
+  // The headline property: the OFDM receive path reproduces SynthesizeCfr
+  // on a realistic multipath channel (noiseless, no CFO).
+  const auto lc = experiments::MakeClassroomLink();
+  const auto sim = experiments::MakeSimulator(lc);
+  const auto paths = sim.StaticPaths();
+  const auto band = BandPlan::Intel5300Channel11();
+  const auto array = experiments::MakeArray(lc);
+
+  const auto reference = SynthesizeCfr(paths, band, array);
+  Rng rng(9);
+  const auto estimated = EstimateCfrViaOfdm(paths, band, array, {}, rng);
+
+  double err = 0.0, ref_power = 0.0;
+  for (std::size_t m = 0; m < 3; ++m) {
+    for (std::size_t k = 0; k < 30; ++k) {
+      err += std::norm(estimated.At(m, k) - reference.At(m, k));
+      ref_power += std::norm(reference.At(m, k));
+    }
+  }
+  // Normalized error well under 1% power (fractional-delay interpolation
+  // and the 1/f gain tilt are the residuals).
+  EXPECT_LT(err / ref_power, 0.01);
+}
+
+TEST(Ofdm, CfoAppearsAsCommonPhase) {
+  propagation::Path p;
+  p.vertices = {{0, 0}, {3, 0}};
+  p.length_m = 3.0;
+  p.gain_at_center = 1.0;
+  const auto band = BandPlan::Intel5300Channel11();
+  const UniformLinearArray array(1, kWavelength / 2.0, 0.0);
+
+  Rng rng_a(11), rng_b(11);
+  const auto clean = EstimateCfrViaOfdm({p}, band, array, {}, rng_a);
+  OfdmConfig with_cfo;
+  with_cfo.cfo_hz = 20e3;  // ~8 ppm at 2.4 GHz
+  const auto shifted = EstimateCfrViaOfdm({p}, band, array, with_cfo, rng_b);
+
+  // Per-subcarrier phase difference is dominated by a common rotation; the
+  // residual per-subcarrier spread is genuine inter-carrier interference
+  // (20 kHz CFO = 6.4% of the subcarrier spacing).
+  Complex mean_rot(0.0, 0.0);
+  std::vector<double> diffs;
+  for (std::size_t k = 0; k < 30; ++k) {
+    diffs.push_back(std::arg(shifted.At(0, k) * std::conj(clean.At(0, k))));
+    mean_rot += std::polar(1.0, diffs.back());
+  }
+  mean_rot /= 30.0;
+  EXPECT_GT(std::abs(mean_rot), 0.9);  // strongly aligned = mostly common
+  const double common = std::arg(mean_rot);
+  for (double d : diffs) {
+    EXPECT_NEAR(std::abs(std::polar(1.0, d) - std::polar(1.0, common)), 0.0,
+                0.35);
+  }
+  EXPECT_GT(std::abs(common), 0.05);  // the phase did move
+}
+
+TEST(Ofdm, NoiseScalesEstimateError) {
+  const auto lc = experiments::MakeClassroomLink();
+  const auto paths = experiments::MakeSimulator(lc).StaticPaths();
+  const auto band = BandPlan::Intel5300Channel11();
+  const auto array = experiments::MakeArray(lc);
+  const auto reference = SynthesizeCfr(paths, band, array);
+
+  const auto error_at = [&](double snr_db, std::uint64_t seed) {
+    Rng rng(seed);
+    OfdmConfig config;
+    config.snr_db = snr_db;
+    const auto est = EstimateCfrViaOfdm(paths, band, array, config, rng);
+    double err = 0.0, ref = 0.0;
+    for (std::size_t m = 0; m < 3; ++m) {
+      for (std::size_t k = 0; k < 30; ++k) {
+        err += std::norm(est.At(m, k) - reference.At(m, k));
+        ref += std::norm(reference.At(m, k));
+      }
+    }
+    return err / ref;
+  };
+  const double noisy = error_at(10.0, 13);
+  const double quiet = error_at(30.0, 13);
+  EXPECT_GT(noisy, 10.0 * quiet);
+}
+
+TEST(Ofdm, ConfigValidation) {
+  OfdmConfig bad;
+  bad.fft_size = 48;
+  EXPECT_THROW(ModulateTrainingSymbol(bad), PreconditionError);
+  bad.fft_size = 64;
+  bad.cyclic_prefix = 64;
+  EXPECT_THROW(ModulateTrainingSymbol(bad), PreconditionError);
+  EXPECT_THROW(EstimateChannel(std::vector<Complex>(10), {}),
+               PreconditionError);
+  EXPECT_THROW(ExtractReported(std::vector<Complex>(30),
+                               BandPlan::Intel5300Channel11()),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace mulink::wifi

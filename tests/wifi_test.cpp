@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "propagation/path.h"
+#include "wifi/array.h"
+#include "wifi/band.h"
+#include "wifi/cfr.h"
+#include "wifi/csi.h"
+#include "wifi/noise.h"
+
+namespace mulink::wifi {
+namespace {
+
+TEST(BandPlan, Intel5300Layout) {
+  const auto band = BandPlan::Intel5300Channel11();
+  EXPECT_EQ(band.NumSubcarriers(), 30u);
+  EXPECT_DOUBLE_EQ(band.center_hz(), kChannel11CenterHz);
+  EXPECT_DOUBLE_EQ(band.FrequencyHz(0),
+                   kChannel11CenterHz - 28 * kSubcarrierSpacingHz);
+  EXPECT_DOUBLE_EQ(band.FrequencyHz(29),
+                   kChannel11CenterHz + 28 * kSubcarrierSpacingHz);
+  EXPECT_DOUBLE_EQ(band.OffsetHz(14), -kSubcarrierSpacingHz);
+  EXPECT_NEAR(band.CenterWavelength(), kWavelength, 1e-15);
+}
+
+TEST(BandPlan, AllFrequenciesConsistent) {
+  const auto band = BandPlan::Intel5300Channel11();
+  const auto fs = band.AllFrequenciesHz();
+  const auto offs = band.AllOffsetsHz();
+  ASSERT_EQ(fs.size(), 30u);
+  for (std::size_t k = 0; k < 30; ++k) {
+    EXPECT_DOUBLE_EQ(fs[k], band.center_hz() + offs[k]);
+  }
+}
+
+TEST(BandPlan, CustomPlanValidation) {
+  EXPECT_THROW(BandPlan(0.0, {1}, 1.0), PreconditionError);
+  EXPECT_THROW(BandPlan(1e9, {}, 1.0), PreconditionError);
+  EXPECT_THROW(BandPlan(1e9, {1}, -1.0), PreconditionError);
+}
+
+TEST(Ula, AntennaOffsetsCenteredAndOrdered) {
+  const UniformLinearArray array(3, 0.06, 0.0);
+  EXPECT_NEAR(array.AntennaOffset(0), -0.06, 1e-12);
+  EXPECT_NEAR(array.AntennaOffset(1), 0.0, 1e-12);
+  EXPECT_NEAR(array.AntennaOffset(2), 0.06, 1e-12);
+  double sum = 0.0;
+  for (std::size_t m = 0; m < 3; ++m) sum += array.AntennaOffset(m);
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+}
+
+TEST(Ula, BroadsideAngleOfHeadOnRay) {
+  // Array axis along +y; broadside faces +x or -x. A ray travelling in -x
+  // (source at +x) hits broadside: theta = 0.
+  const UniformLinearArray array = UniformLinearArray::HalfWavelength3(kPi / 2);
+  EXPECT_NEAR(array.BroadsideAngle(kPi), 0.0, 1e-12);
+  EXPECT_NEAR(array.BroadsideAngle(0.0), 0.0, 1e-12);
+}
+
+TEST(Ula, BroadsideAngleSigns) {
+  // Axis along +y. Source up the axis (+y): ray travels -y, toward_source =
+  // +y = axis direction -> theta = +90 deg.
+  const UniformLinearArray array = UniformLinearArray::HalfWavelength3(kPi / 2);
+  EXPECT_NEAR(array.BroadsideAngle(-kPi / 2), kPi / 2, 1e-9);
+  EXPECT_NEAR(array.BroadsideAngle(kPi / 2), -kPi / 2, 1e-9);
+}
+
+TEST(Ula, SteeringVectorAtBroadsideIsFlat) {
+  const UniformLinearArray array = UniformLinearArray::HalfWavelength3(0.0);
+  const auto a = array.SteeringVector(0.0, kChannel11CenterHz);
+  ASSERT_EQ(a.size(), 3u);
+  for (const auto& v : a) {
+    EXPECT_NEAR(std::abs(v - Complex(1.0, 0.0)), 0.0, 1e-12);
+  }
+}
+
+TEST(Ula, SteeringVectorPhaseProgressionMatchesEq16) {
+  // At half-wavelength spacing the inter-element phase shift is
+  // pi * sin(theta) (paper Eq. 16).
+  const UniformLinearArray array = UniformLinearArray::HalfWavelength3(0.0);
+  for (double theta_deg : {-60.0, -30.0, 0.0, 15.0, 45.0, 75.0}) {
+    const double theta = DegToRad(theta_deg);
+    const auto a = array.SteeringVector(theta, kChannel11CenterHz);
+    const double measured = std::arg(a[1] * std::conj(a[0]));
+    double expected = kPi * std::sin(theta);
+    // Compare on the unit circle to dodge wrap-around.
+    EXPECT_NEAR(std::abs(std::polar(1.0, measured) - std::polar(1.0, expected)),
+                0.0, 1e-9)
+        << "theta=" << theta_deg;
+  }
+}
+
+TEST(Ula, SteeringVectorUnitModulus) {
+  const UniformLinearArray array(4, 0.05, 0.3);
+  const auto a = array.SteeringVector(0.7, kChannel11CenterHz);
+  for (const auto& v : a) EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+}
+
+TEST(Ula, RejectsBadConstruction) {
+  EXPECT_THROW(UniformLinearArray(0, 0.06, 0.0), PreconditionError);
+  EXPECT_THROW(UniformLinearArray(3, 0.0, 0.0), PreconditionError);
+}
+
+TEST(Cfr, SinglePathAmplitude) {
+  propagation::Path p;
+  p.kind = propagation::PathKind::kLineOfSight;
+  p.vertices = {{0, 0}, {3, 0}};
+  p.length_m = 3.0;
+  p.gain_at_center = 0.01;
+  p.arrival_direction_rad = 0.0;
+
+  const auto band = BandPlan::Intel5300Channel11();
+  const auto cfr = SynthesizeCfrSingle({p}, band);
+  ASSERT_EQ(cfr.size(), 30u);
+  for (std::size_t k = 0; k < 30; ++k) {
+    // |H| = gain at f_k (1/f scaling, tiny across the band).
+    EXPECT_NEAR(std::abs(cfr[k]), p.GainAt(band.FrequencyHz(k)), 1e-12);
+  }
+}
+
+TEST(Cfr, SinglePathPhaseSlopeEncodesDelay) {
+  propagation::Path p;
+  p.vertices = {{0, 0}, {3, 0}};
+  p.length_m = 3.0;
+  p.gain_at_center = 1.0;
+  const auto band = BandPlan::Intel5300Channel11();
+  const auto cfr = SynthesizeCfrSingle({p}, band);
+  // Phase difference between adjacent reported subcarriers k=0,1 (2 bins):
+  // -2 pi (2 df) d / c.
+  const double dphi = std::arg(cfr[1] * std::conj(cfr[0]));
+  const double expected =
+      -2.0 * kPi * (2.0 * kSubcarrierSpacingHz) * 3.0 / kSpeedOfLight;
+  EXPECT_NEAR(dphi, expected, 1e-9);
+}
+
+TEST(Cfr, TwoPathInterferenceVariesAcrossBand) {
+  propagation::Path los, refl;
+  los.vertices = {{0, 0}, {4, 0}};
+  los.length_m = 4.0;
+  los.gain_at_center = 1.0;
+  refl = los;
+  refl.kind = propagation::PathKind::kWallReflection;
+  // 17 m excess rotates the relative phase through a full 2 pi across the
+  // 17.5 MHz reported span, guaranteeing both constructive and destructive
+  // subcarriers somewhere in the band.
+  refl.length_m = 21.0;
+  refl.gain_at_center = 0.5;
+
+  const auto band = BandPlan::Intel5300Channel11();
+  const auto cfr = SynthesizeCfrSingle({los, refl}, band);
+  double min_amp = 1e9, max_amp = 0.0;
+  for (const auto& h : cfr) {
+    min_amp = std::min(min_amp, std::abs(h));
+    max_amp = std::max(max_amp, std::abs(h));
+  }
+  // Frequency-selective fading: somewhere near constructive (1.5) and
+  // somewhere near destructive (0.5).
+  EXPECT_GT(max_amp, 1.3);
+  EXPECT_LT(min_amp, 0.7);
+}
+
+TEST(Cfr, MultiAntennaPhaseEncodesAoa) {
+  propagation::Path p;
+  p.vertices = {{0, 0}, {3, 0}};
+  p.length_m = 3.0;
+  p.gain_at_center = 1.0;
+  // Ray travelling in +x; array axis chosen so it arrives at 30 degrees.
+  const double theta = DegToRad(30.0);
+  // toward_source = pi; want cos(pi - axis) = sin(theta).
+  const double axis = kPi - std::acos(std::sin(theta));
+  const UniformLinearArray array = UniformLinearArray::HalfWavelength3(axis);
+  p.arrival_direction_rad = 0.0;
+
+  const auto band = BandPlan::Intel5300Channel11();
+  const auto h = SynthesizeCfr({p}, band, array);
+  ASSERT_EQ(h.rows(), 3u);
+  const double measured = std::arg(h.At(1, 15) * std::conj(h.At(0, 15)));
+  const double expected = kPi * std::sin(theta) *
+                          band.FrequencyHz(15) / kChannel11CenterHz;
+  EXPECT_NEAR(std::abs(std::polar(1.0, measured) - std::polar(1.0, expected)),
+              0.0, 1e-6);
+}
+
+TEST(Cfr, EmptyPathSetThrows) {
+  const auto band = BandPlan::Intel5300Channel11();
+  EXPECT_THROW(SynthesizeCfrSingle({}, band), PreconditionError);
+}
+
+TEST(CsiPacket, AccessorsAndPower) {
+  CsiPacket packet;
+  packet.csi = linalg::CMatrix(2, 3);
+  packet.csi.At(0, 0) = {3.0, 4.0};
+  packet.csi.At(1, 2) = {0.0, 2.0};
+  EXPECT_EQ(packet.NumAntennas(), 2u);
+  EXPECT_EQ(packet.NumSubcarriers(), 3u);
+  EXPECT_NEAR(packet.SubcarrierPower(0, 0), 25.0, 1e-12);
+  EXPECT_NEAR(packet.SubcarrierPowerDb(0, 0), 10.0 * std::log10(25.0), 1e-9);
+  EXPECT_NEAR(packet.TotalPower(), 29.0, 1e-12);
+  const auto row = packet.AntennaCfr(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_NEAR(std::abs(row[2] - Complex(0.0, 2.0)), 0.0, 1e-15);
+}
+
+TEST(Noise, ZeroNoiseConfigIsIdentity) {
+  linalg::CMatrix cfr(2, 4);
+  for (std::size_t m = 0; m < 2; ++m) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      cfr.At(m, k) = Complex(1.0 + static_cast<double>(k), 0.5);
+    }
+  }
+  const linalg::CMatrix original = cfr;
+  NoiseModel quiet;
+  quiet.snr_db = 300.0;  // effectively no AWGN
+  quiet.random_common_phase = false;
+  quiet.sto_range_s = 0.0;
+  quiet.gain_drift_db = 0.0;
+  Rng rng(1);
+  ApplyNoise(cfr, std::vector<double>(4, 0.0), quiet, rng);
+  for (std::size_t m = 0; m < 2; ++m) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      EXPECT_NEAR(std::abs(cfr.At(m, k) - original.At(m, k)), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Noise, AwgnAtConfiguredSnr) {
+  const std::size_t trials = 4000;
+  const double snr_db = 20.0;
+  double signal_power = 0.0, error_power = 0.0;
+  Rng rng(5);
+  for (std::size_t t = 0; t < trials; ++t) {
+    linalg::CMatrix cfr(1, 8);
+    for (std::size_t k = 0; k < 8; ++k) cfr.At(0, k) = Complex(1.0, 0.0);
+    NoiseModel model;
+    model.snr_db = snr_db;
+    model.random_common_phase = false;
+    model.sto_range_s = 0.0;
+    model.gain_drift_db = 0.0;
+    ApplyNoise(cfr, std::vector<double>(8, 0.0), model, rng);
+    for (std::size_t k = 0; k < 8; ++k) {
+      signal_power += 1.0;
+      error_power += std::norm(cfr.At(0, k) - Complex(1.0, 0.0));
+    }
+  }
+  const double measured_snr_db = 10.0 * std::log10(signal_power / error_power);
+  EXPECT_NEAR(measured_snr_db, snr_db, 0.5);
+}
+
+TEST(Noise, CommonPhaseSharedAcrossAntennasAndSubcarriers) {
+  linalg::CMatrix cfr(3, 5);
+  for (std::size_t m = 0; m < 3; ++m) {
+    for (std::size_t k = 0; k < 5; ++k) cfr.At(m, k) = Complex(1.0, 0.0);
+  }
+  NoiseModel model;
+  model.snr_db = 300.0;
+  model.random_common_phase = true;
+  model.sto_range_s = 0.0;
+  model.gain_drift_db = 0.0;
+  Rng rng(9);
+  ApplyNoise(cfr, std::vector<double>(5, 0.0), model, rng);
+  const double phase0 = std::arg(cfr.At(0, 0));
+  for (std::size_t m = 0; m < 3; ++m) {
+    for (std::size_t k = 0; k < 5; ++k) {
+      EXPECT_NEAR(std::arg(cfr.At(m, k)), phase0, 1e-9);
+    }
+  }
+}
+
+TEST(Noise, StoAddsLinearPhaseAcrossOffsets) {
+  linalg::CMatrix cfr(1, 3);
+  for (std::size_t k = 0; k < 3; ++k) cfr.At(0, k) = Complex(1.0, 0.0);
+  const std::vector<double> offsets = {-1e6, 0.0, 1e6};
+  NoiseModel model;
+  model.snr_db = 300.0;
+  model.random_common_phase = false;
+  model.sto_range_s = 50e-9;
+  model.gain_drift_db = 0.0;
+  Rng rng(13);
+  ApplyNoise(cfr, offsets, model, rng);
+  // Center subcarrier (offset 0) untouched; edges rotated oppositely.
+  EXPECT_NEAR(std::arg(cfr.At(0, 1)), 0.0, 1e-9);
+  const double left = std::arg(cfr.At(0, 0));
+  const double right = std::arg(cfr.At(0, 2));
+  EXPECT_NEAR(left, -right, 1e-9);
+  EXPECT_GT(std::abs(left), 0.0);
+}
+
+}  // namespace
+}  // namespace mulink::wifi
