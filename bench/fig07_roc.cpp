@@ -9,6 +9,7 @@
 
 #include "experiments/campaign.h"
 #include "experiments/format.h"
+#include "experiments/parallel_runner.h"
 
 using namespace mulink;
 namespace ex = mulink::experiments;
@@ -23,7 +24,10 @@ int main() {
   config.window_packets = 25;
   config.seed = 7;
 
-  const auto result = ex::RunPaperCampaign(config);
+  // Cases fan out over all cores; the result is bit-identical to the serial
+  // RunPaperCampaign.
+  const ex::ParallelCampaignRunner runner;
+  const auto result = runner.RunPaper(config);
 
   std::vector<std::vector<std::string>> summary;
   for (const auto& scheme : result.schemes) {

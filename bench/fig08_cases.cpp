@@ -9,6 +9,7 @@
 
 #include "experiments/campaign.h"
 #include "experiments/format.h"
+#include "experiments/parallel_runner.h"
 
 using namespace mulink;
 namespace ex = mulink::experiments;
@@ -22,7 +23,8 @@ int main() {
   config.empty_packets = 1200;
   config.seed = 8;
 
-  const auto result = ex::RunPaperCampaign(config);
+  const ex::ParallelCampaignRunner runner;
+  const auto result = runner.RunPaper(config);
   const auto cases = ex::MakePaperCases();
 
   std::vector<std::vector<std::string>> rows;

@@ -8,6 +8,7 @@
 
 #include "experiments/campaign.h"
 #include "experiments/format.h"
+#include "experiments/parallel_runner.h"
 
 using namespace mulink;
 namespace ex = mulink::experiments;
@@ -31,7 +32,8 @@ int main() {
   config.empty_packets = 1000;
   config.seed = 9;
 
-  const auto result = ex::RunCampaign(
+  const ex::ParallelCampaignRunner runner;
+  const auto result = runner.Run(
       cases, spots,
       {core::DetectionScheme::kBaseline,
        core::DetectionScheme::kSubcarrierWeighting,

@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "core/detector.h"
+#include "core/engine.h"
 #include "dsp/stats.h"
 #include "experiments/format.h"
 #include "experiments/scenario.h"
@@ -35,6 +36,16 @@ int main() {
   }
   detector.CalibrateThreshold(empty_windows);
   const double enter_threshold = detector.threshold();
+
+  // Hand the calibrated detector to the sensing engine: it owns the window
+  // ring and every scratch buffer, so the monitoring loop below allocates
+  // nothing per window.
+  core::StreamingConfig stream;
+  stream.window_packets = 25;
+  stream.hop_packets = 25;
+  stream.use_hmm = false;  // the hysteresis below does the smoothing
+  core::SensingEngine engine;
+  engine.AddLink(std::move(detector), empty_scores, stream);
   // Hysteresis is temporal rather than amplitude-based: entry fires on one
   // hot window, clearing requires 3 consecutive windows back below the
   // threshold (occasional empty-room windows graze it, so a single quiet
@@ -74,7 +85,9 @@ int main() {
         human = body;
       }
       const auto window = simulator.CaptureSession(25, human, rng);
-      const double score = detector.Score(window);
+      const auto& batch =
+          engine.ProcessBatch(std::span<const wifi::CsiPacket>(window));
+      const double score = batch.decisions.back().score;
 
       const char* event = "";
       if (!occupied && score >= enter_threshold) {

@@ -9,6 +9,7 @@
 
 #include "core/breath.h"
 #include "core/detector.h"
+#include "core/engine.h"
 #include "experiments/format.h"
 #include "experiments/scenario.h"
 
@@ -39,6 +40,15 @@ int main() {
   }
   detector.CalibrateThreshold(empty_windows);
 
+  // The engine scores every 0.5 s window of each 20 s epoch in one batch on
+  // persistent scratch; the epoch's presence verdict is its last decision.
+  core::StreamingConfig stream;
+  stream.window_packets = 25;
+  stream.hop_packets = 25;
+  stream.use_hmm = false;
+  core::SensingEngine engine;
+  engine.AddLink(std::move(detector), {}, stream);
+
   ex::PrintBanner(std::cout, "Overnight monitoring (20 s epochs)");
 
   struct Epoch {
@@ -65,10 +75,10 @@ int main() {
     // One 20 s capture per epoch (1000 packets at 50 pkt/s).
     const auto session = simulator.CaptureSession(1000, epoch.occupant, rng);
 
-    // Presence: score the epoch's last window.
-    const std::vector<wifi::CsiPacket> window(session.end() - 25,
-                                              session.end());
-    const bool present = detector.Detect(window);
+    // Presence: batch the whole epoch; the verdict is the last decision.
+    const auto& batch =
+        engine.ProcessBatch(std::span<const wifi::CsiPacket>(session));
+    const bool present = batch.decisions.back().occupied;
 
     std::string respiration = "-";
     if (present) {

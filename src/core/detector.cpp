@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include <atomic>
 #include <cmath>
 
 #include "common/assert.h"
@@ -11,6 +12,18 @@
 #include "linalg/hermitian_eig.h"
 
 namespace mulink::core {
+
+namespace {
+
+// Process-unique profile versions: every (re)build of a detector's retained
+// calibration set gets a fresh value, so a DetectorScratch shared across
+// detector instances never reuses a stale covariance stack.
+std::uint64_t NextProfileVersion() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
+
+}  // namespace
 
 const char* ToString(DetectionScheme scheme) {
   switch (scheme) {
@@ -108,6 +121,7 @@ Detector Detector::Calibrate(const std::vector<wifi::CsiPacket>& empty_session,
     const std::size_t idx = i * sanitized.size() / keep;
     d.retained_calibration_.push_back(sanitized[idx]);
   }
+  d.profile_version_ = NextProfileVersion();
 
   // Static pseudospectrum and Eq. 17 path weights (combined scheme only
   // needs them, but they are cheap and useful introspection for all).
@@ -123,19 +137,48 @@ Detector Detector::Calibrate(const std::vector<wifi::CsiPacket>& empty_session,
 }
 
 double Detector::Score(const std::vector<wifi::CsiPacket>& window) const {
+  DetectorScratch scratch;
+  return Score(std::span<const wifi::CsiPacket>(window), scratch);
+}
+
+double Detector::Score(std::span<const wifi::CsiPacket> window,
+                       DetectorScratch& scratch) const {
   MULINK_REQUIRE(!window.empty(), "Detector::Score: empty window");
   MULINK_REQUIRE(window[0].NumAntennas() == num_antennas_ &&
                      window[0].NumSubcarriers() == num_subcarriers_,
                  "Detector::Score: window dimensions mismatch calibration");
+  if (config_.scheme == DetectionScheme::kBaseline) {
+    return ScoreBaseline(window);
+  }
+  SanitizePhaseInto(window, band_, scratch.sanitized, scratch.sanitize);
+  return DispatchSanitized(std::span<const wifi::CsiPacket>(scratch.sanitized),
+                           scratch);
+}
+
+double Detector::ScoreSanitized(std::span<const wifi::CsiPacket> window,
+                                DetectorScratch& scratch) const {
+  MULINK_REQUIRE(!window.empty(), "Detector::ScoreSanitized: empty window");
+  MULINK_REQUIRE(
+      window[0].NumAntennas() == num_antennas_ &&
+          window[0].NumSubcarriers() == num_subcarriers_,
+      "Detector::ScoreSanitized: window dimensions mismatch calibration");
+  if (config_.scheme == DetectionScheme::kBaseline) {
+    return ScoreBaseline(window);
+  }
+  return DispatchSanitized(window, scratch);
+}
+
+double Detector::DispatchSanitized(std::span<const wifi::CsiPacket> sanitized,
+                                   DetectorScratch& scratch) const {
   switch (config_.scheme) {
     case DetectionScheme::kBaseline:
-      return ScoreBaseline(window);
+      break;  // handled by the callers above
     case DetectionScheme::kSubcarrierWeighting:
-      return ScoreSubcarrierWeighting(window);
+      return ScoreSubcarrierWeighting(sanitized, scratch);
     case DetectionScheme::kSubcarrierAndPathWeighting:
-      return ScoreCombined(window);
+      return ScoreCombined(sanitized, scratch);
     case DetectionScheme::kVarianceMobile:
-      return ScoreVarianceMobile(window);
+      return ScoreVarianceMobile(sanitized, scratch);
   }
   return 0.0;
 }
@@ -147,12 +190,10 @@ std::vector<double> Detector::ScoreSession(
   std::vector<double> scores;
   const std::size_t m = config_.window_packets;
   scores.reserve(session.size() / m);
+  DetectorScratch scratch;
+  const std::span<const wifi::CsiPacket> all(session);
   for (std::size_t start = 0; start + m <= session.size(); start += m) {
-    std::vector<wifi::CsiPacket> window(session.begin() +
-                                            static_cast<std::ptrdiff_t>(start),
-                                        session.begin() +
-                                            static_cast<std::ptrdiff_t>(start + m));
-    scores.push_back(Score(window));
+    scores.push_back(Score(all.subspan(start, m), scratch));
   }
   return scores;
 }
@@ -170,7 +211,10 @@ void Detector::CalibrateThreshold(
                  "Detector::CalibrateThreshold: need >= 2 empty windows");
   std::vector<double> scores;
   scores.reserve(empty_windows.size());
-  for (const auto& w : empty_windows) scores.push_back(Score(w));
+  DetectorScratch scratch;
+  for (const auto& w : empty_windows) {
+    scores.push_back(Score(std::span<const wifi::CsiPacket>(w), scratch));
+  }
   threshold_ =
       dsp::Mean(scores) + config_.threshold_sigma * dsp::StdDev(scores);
   threshold_set_ = true;
@@ -228,6 +272,7 @@ void Detector::UpdateProfile(const std::vector<wifi::CsiPacket>& empty_window,
                             retained_calibration_.size()] = sanitized[i];
       ++retained_rotation_;
     }
+    profile_version_ = NextProfileVersion();
     if (num_antennas_ >= 2) {
       static_spectrum_ =
           ComputeMusicSpectrum(retained_calibration_, array_, band_,
@@ -239,8 +284,7 @@ void Detector::UpdateProfile(const std::vector<wifi::CsiPacket>& empty_window,
   }
 }
 
-double Detector::ScoreBaseline(
-    const std::vector<wifi::CsiPacket>& window) const {
+double Detector::ScoreBaseline(std::span<const wifi::CsiPacket> window) const {
   // The paper's baseline is the naive per-packet Euclidean distance of CSI
   // amplitudes against the profile (the prior-work recipe its evaluation
   // compares against). Averaging the *distances* rather than the CSI keeps
@@ -265,26 +309,31 @@ double Detector::ScoreBaseline(
 }
 
 double Detector::ScoreSubcarrierWeighting(
-    const std::vector<wifi::CsiPacket>& window) const {
-  const auto sanitized = SanitizePhase(window, band_);
-  const auto weights = ComputeSubcarrierWeights(
-      MeasureMultipathFactors(sanitized, band_), config_.weighting_mode);
+    std::span<const wifi::CsiPacket> sanitized,
+    DetectorScratch& scratch) const {
+  MeasureMultipathFactorsInto(sanitized, band_, scratch.mu,
+                              scratch.multipath);
+  ComputeSubcarrierWeightsInto(scratch.mu, config_.weighting_mode,
+                               scratch.weights, scratch.median_scratch);
+  const auto& weights = scratch.weights;
 
   // Uniform weight reference so weighting redistributes emphasis without
   // changing the overall score scale (weights sum to <= 1 by construction).
   const double uniform = 1.0 / static_cast<double>(num_subcarriers_);
 
   double score = 0.0;
-  std::vector<double> powers(sanitized.size());
+  auto& powers = scratch.powers;
+  powers.resize(sanitized.size());
   for (std::size_t m = 0; m < num_antennas_; ++m) {
     double sum_sq = 0.0;
     for (std::size_t k = 0; k < num_subcarriers_; ++k) {
       for (std::size_t i = 0; i < sanitized.size(); ++i) {
         powers[i] = sanitized[i].SubcarrierPower(m, k);
       }
-      const double window_power = config_.robust_window_aggregate
-                                      ? dsp::Median(powers)
-                                      : dsp::Mean(powers);
+      const double window_power =
+          config_.robust_window_aggregate
+              ? dsp::Median(powers, scratch.median_scratch)
+              : dsp::Mean(powers);
       // Eq. 12's linear power difference, normalized by the profile's mean
       // power so one global threshold works across links. (A dB-domain
       // difference was evaluated and rejected: the log expands the noise of
@@ -300,16 +349,20 @@ double Detector::ScoreSubcarrierWeighting(
 }
 
 double Detector::ScoreVarianceMobile(
-    const std::vector<wifi::CsiPacket>& window) const {
-  MULINK_REQUIRE(window.size() >= 2,
+    std::span<const wifi::CsiPacket> sanitized,
+    DetectorScratch& scratch) const {
+  MULINK_REQUIRE(sanitized.size() >= 2,
                  "Detector: variance statistic needs >= 2 packets");
-  const auto sanitized = SanitizePhase(window, band_);
-  const auto weights = ComputeSubcarrierWeights(
-      MeasureMultipathFactors(sanitized, band_), config_.weighting_mode);
+  MeasureMultipathFactorsInto(sanitized, band_, scratch.mu,
+                              scratch.multipath);
+  ComputeSubcarrierWeightsInto(scratch.mu, config_.weighting_mode,
+                               scratch.weights, scratch.median_scratch);
+  const auto& weights = scratch.weights;
   const double uniform = 1.0 / static_cast<double>(num_subcarriers_);
 
   double score = 0.0;
-  std::vector<double> powers(sanitized.size());
+  auto& powers = scratch.powers;
+  powers.resize(sanitized.size());
   for (std::size_t m = 0; m < num_antennas_; ++m) {
     double sum_sq = 0.0;
     for (std::size_t k = 0; k < num_subcarriers_; ++k) {
@@ -325,7 +378,7 @@ double Detector::ScoreVarianceMobile(
       double window_variance;
       if (config_.robust_window_aggregate) {
         const double robust_sigma =
-            1.4826 * dsp::MedianAbsDeviation(powers);
+            1.4826 * dsp::MedianAbsDeviation(powers, scratch.median_scratch);
         window_variance = robust_sigma * robust_sigma;
       } else {
         window_variance = dsp::Variance(powers);
@@ -341,41 +394,59 @@ double Detector::ScoreVarianceMobile(
   return score / static_cast<double>(num_antennas_);
 }
 
-double Detector::ScoreCombined(
-    const std::vector<wifi::CsiPacket>& window) const {
+double Detector::ScoreCombined(std::span<const wifi::CsiPacket> sanitized,
+                               DetectorScratch& scratch) const {
   MULINK_REQUIRE(num_antennas_ >= 2,
                  "Detector: combined scheme needs >= 2 antennas");
-  const auto sanitized = SanitizePhase(window, band_);
-  const auto weights = ComputeSubcarrierWeights(
-      MeasureMultipathFactors(sanitized, band_), config_.weighting_mode);
+  MeasureMultipathFactorsInto(sanitized, band_, scratch.mu,
+                              scratch.multipath);
+  ComputeSubcarrierWeightsInto(scratch.mu, config_.weighting_mode,
+                               scratch.weights, scratch.median_scratch);
+  const auto& weights = scratch.weights;
 
   // Same monitoring-stage subcarrier weights applied to both sides — valid
   // because the Bartlett angular spectrum is linear in per-subcarrier
   // strength (the "linear properties" argument of Sec. IV-C) — then the
   // Eq. 17 path weights from the calibration-stage MUSIC spectrum.
-  auto monitor_cov = SampleCovariance(sanitized, weights.weights);
-  auto profile_cov = SampleCovariance(retained_calibration_, weights.weights);
+  auto& monitor_cov = scratch.monitor_cov;
+  auto& profile_cov = scratch.profile_cov;
+  SampleCovarianceInto(std::span<const wifi::CsiPacket>(sanitized),
+                       weights.weights, monitor_cov, scratch.music);
+  // The profile side scores a *fixed* packet set against per-window weights,
+  // so its per-subcarrier covariance stack is cached in the workspace and
+  // only re-combined here; the full packet scan happens once per profile
+  // version (first window, or after UpdateProfile rotates the set).
+  if (scratch.profile_version != profile_version_) {
+    BuildSubcarrierCovarianceStack(
+        std::span<const wifi::CsiPacket>(retained_calibration_),
+        scratch.profile_stack);
+    scratch.profile_version = profile_version_;
+  }
+  CombineSubcarrierCovariances(scratch.profile_stack, weights.weights,
+                               profile_cov);
   if (config_.noise_floor_subtraction) {
     // Spatially-white components (AWGN, receiver-local interference) add
     // lambda_min * I to the covariance; removing it keeps the angular
     // statistic about propagation paths only.
     for (auto* cov : {&monitor_cov, &profile_cov}) {
-      const auto eig = linalg::HermitianEigen(*cov);
-      const double floor = std::max(eig.values.front(), 0.0);
+      linalg::HermitianEigen(*cov, scratch.music.eig, scratch.music.eig_ws);
+      const double floor = std::max(scratch.music.eig.values.front(), 0.0);
       for (std::size_t i = 0; i < cov->rows(); ++i) {
         cov->At(i, i) -= Complex(floor, 0.0);
       }
     }
   }
-  const auto monitor_spectrum =
-      ComputeBartlettSpectrum(monitor_cov, array_, band_, config_.music);
-  const auto profile_spectrum =
-      ComputeBartlettSpectrum(profile_cov, array_, band_, config_.music);
+  ComputeBartlettSpectrumInto(monitor_cov, array_, band_, config_.music,
+                              scratch.monitor_spectrum, scratch.music);
+  ComputeBartlettSpectrumInto(profile_cov, array_, band_, config_.music,
+                              scratch.profile_spectrum, scratch.music);
 
-  const auto weighted_monitor =
-      ApplyPathWeights(path_weights_, monitor_spectrum);
-  const auto weighted_profile =
-      ApplyPathWeights(path_weights_, profile_spectrum);
+  ApplyPathWeightsInto(path_weights_, scratch.monitor_spectrum,
+                       scratch.weighted_monitor);
+  ApplyPathWeightsInto(path_weights_, scratch.profile_spectrum,
+                       scratch.weighted_profile);
+  const auto& weighted_monitor = scratch.weighted_monitor;
+  const auto& weighted_profile = scratch.weighted_profile;
 
   // Euclidean distance of the weighted spectra, normalized by the weighted
   // profile so one global threshold works across links of different length.

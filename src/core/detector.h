@@ -25,10 +25,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
+#include "core/multipath_factor.h"
 #include "core/music.h"
 #include "core/path_weighting.h"
+#include "core/sanitize.h"
 #include "core/subcarrier_weighting.h"
 #include "wifi/array.h"
 #include "wifi/band.h"
@@ -88,6 +92,35 @@ struct DetectorConfig {
   double threshold_sigma = 3.0;
 };
 
+// Every buffer the scoring hot path needs, owned by the caller so repeated
+// Score calls perform zero heap allocations after the first window. One
+// scratch serves one detector shape at a time; sharing it across detectors
+// is safe (buffers re-grow) but defeats the warm-up.
+struct DetectorScratch {
+  SanitizeScratch sanitize;
+  std::vector<wifi::CsiPacket> sanitized;
+  MultipathScratch multipath;
+  std::vector<std::vector<double>> mu;
+  SubcarrierWeights weights;
+  std::vector<double> median_scratch;
+  std::vector<double> powers;  // per-window temporal powers of one subcarrier
+  linalg::CMatrix monitor_cov;
+  linalg::CMatrix profile_cov;
+  // Per-subcarrier covariance stack of the detector's retained calibration
+  // packets, rebuilt whenever `profile_version` falls behind the detector's
+  // profile (first use, UpdateProfile, or a different Detector instance).
+  // Amortizes the profile-side covariance scan across windows: a warm
+  // scratch combines the stack with the window's subcarrier weights in
+  // O(subcarriers * antennas^2) instead of re-scanning every packet.
+  SubcarrierCovarianceStack profile_stack;
+  std::uint64_t profile_version = 0;
+  MusicWorkspace music;
+  Pseudospectrum monitor_spectrum;
+  Pseudospectrum profile_spectrum;
+  std::vector<double> weighted_monitor;
+  std::vector<double> weighted_profile;
+};
+
 class Detector {
  public:
   // Build a detector from an empty-room calibration session. Requires >= 2
@@ -101,6 +134,29 @@ class Detector {
   // scheme needs >= 2 packets for a stable covariance). Higher = more
   // evidence of human presence.
   double Score(const std::vector<wifi::CsiPacket>& window) const;
+
+  // Workspace variant: bit-identical to Score, but all intermediate buffers
+  // live in `scratch`, so steady-state scoring is allocation-free.
+  double Score(std::span<const wifi::CsiPacket> window,
+               DetectorScratch& scratch) const;
+
+  // Score a window whose packets are already phase-sanitized (exactly as
+  // SanitizePhaseInto would produce them). Callers that ingest packets
+  // incrementally — SensingEngine — sanitize each packet once on arrival
+  // and score overlapping windows through this entry point, instead of
+  // re-sanitizing the whole window every hop. Bit-identical to Score on the
+  // raw window, because sanitization is a deterministic per-packet map.
+  double ScoreSanitized(std::span<const wifi::CsiPacket> window,
+                        DetectorScratch& scratch) const;
+
+  // Whether Score sanitizes its input (every scheme except the baseline,
+  // which is amplitude-only). When false, callers must not pre-sanitize —
+  // feed raw windows to Score.
+  bool UsesSanitizedInput() const {
+    return config_.scheme != DetectionScheme::kBaseline;
+  }
+
+  const wifi::BandPlan& band() const { return band_; }
 
   // Score every consecutive window of config.window_packets in a session.
   std::vector<double> ScoreSession(
@@ -142,11 +198,16 @@ class Detector {
   Detector(const wifi::BandPlan& band, const wifi::UniformLinearArray& array,
            const DetectorConfig& config);
 
-  double ScoreBaseline(const std::vector<wifi::CsiPacket>& window) const;
-  double ScoreSubcarrierWeighting(
-      const std::vector<wifi::CsiPacket>& window) const;
-  double ScoreCombined(const std::vector<wifi::CsiPacket>& window) const;
-  double ScoreVarianceMobile(const std::vector<wifi::CsiPacket>& window) const;
+  double ScoreBaseline(std::span<const wifi::CsiPacket> window) const;
+  // The scheme bodies below take an already-sanitized window.
+  double DispatchSanitized(std::span<const wifi::CsiPacket> sanitized,
+                           DetectorScratch& scratch) const;
+  double ScoreSubcarrierWeighting(std::span<const wifi::CsiPacket> sanitized,
+                                  DetectorScratch& scratch) const;
+  double ScoreCombined(std::span<const wifi::CsiPacket> sanitized,
+                       DetectorScratch& scratch) const;
+  double ScoreVarianceMobile(std::span<const wifi::CsiPacket> sanitized,
+                             DetectorScratch& scratch) const;
 
   wifi::BandPlan band_;
   wifi::UniformLinearArray array_;
@@ -166,6 +227,11 @@ class Detector {
 
   std::vector<wifi::CsiPacket> retained_calibration_;
   std::size_t retained_rotation_ = 0;
+  // Process-unique version of retained_calibration_'s contents; compared
+  // against DetectorScratch::profile_version to invalidate its cached
+  // covariance stack. Unique across Detector instances so one scratch can
+  // be shared between detectors without cross-talk.
+  std::uint64_t profile_version_ = 0;
   Pseudospectrum static_spectrum_;
   PathWeights path_weights_;
 

@@ -1,0 +1,180 @@
+#include "core/engine.h"
+
+#include <optional>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace mulink::core {
+
+struct SensingEngine::LinkState {
+  LinkState(Detector det, const std::vector<double>& empty_scores,
+            StreamingConfig cfg)
+      : detector(std::move(det)),
+        config(cfg),
+        pre_sanitize(detector.UsesSanitizedInput()) {
+    MULINK_REQUIRE(config.window_packets >= 2,
+                   "SensingEngine: window must hold >= 2 packets");
+    MULINK_REQUIRE(config.hop_packets >= 1 &&
+                       config.hop_packets <= config.window_packets,
+                   "SensingEngine: hop must be in [1, window]");
+    if (config.use_hmm) {
+      hmm = PresenceHmm::FitFromEmptyScores(empty_scores, config.hmm);
+      filter.emplace(*hmm);
+    }
+    ring.reserve(config.window_packets);
+    window.reserve(config.window_packets);
+  }
+
+  // Mirror of StreamingDetector::Push — same ring discipline, same HMM
+  // update — so batch and streaming decisions are bit-identical. The one
+  // deliberate difference: packets are phase-sanitized ONCE on ingest (a
+  // deterministic per-packet map), so overlapping windows score through
+  // ScoreSanitized without re-sanitizing window_packets packets every hop.
+  std::optional<PresenceDecision> Push(const wifi::CsiPacket& packet) {
+    if (write_pos >= ring.size()) {
+      ring.emplace_back();  // initial fill only; capacity is reserved
+    }
+    wifi::CsiPacket& slot = ring[write_pos];
+    if (pre_sanitize) {
+      // Writes into the slot, reusing its CSI buffer once warm.
+      SanitizePhaseInto(packet, detector.band(), slot, scratch.sanitize);
+    } else {
+      slot = packet;  // copy-assign reuses the slot's CSI buffer
+    }
+    write_pos = (write_pos + 1) % config.window_packets;
+    if (count < config.window_packets) ++count;
+    ++packets_since_decision;
+
+    if (count < config.window_packets ||
+        packets_since_decision < config.hop_packets) {
+      return std::nullopt;
+    }
+    packets_since_decision = 0;
+
+    window.resize(config.window_packets);
+    for (std::size_t i = 0; i < config.window_packets; ++i) {
+      window[i] = ring[(write_pos + i) % config.window_packets];
+    }
+    PresenceDecision decision;
+    decision.timestamp_s = window.back().timestamp_s;
+    const std::span<const wifi::CsiPacket> window_span(window);
+    decision.score = pre_sanitize
+                         ? detector.ScoreSanitized(window_span, scratch)
+                         : detector.Score(window_span, scratch);
+    if (filter.has_value()) {
+      decision.posterior = filter->Update(decision.score);
+      decision.occupied = decision.posterior >= config.decision_probability;
+    } else {
+      decision.occupied = decision.score >= detector.threshold();
+      decision.posterior = decision.occupied ? 1.0 : 0.0;
+    }
+    occupied = decision.occupied;
+    posterior = decision.posterior;
+    return decision;
+  }
+
+  void Reset() {
+    write_pos = 0;
+    count = 0;
+    packets_since_decision = 0;
+    occupied = false;
+    posterior = 0.0;
+    if (filter.has_value()) filter->Reset();
+    result.decisions.clear();
+    result.occupied = false;
+    result.posterior = 0.0;
+  }
+
+  Detector detector;
+  StreamingConfig config;
+  // Sanitize on ingest only when the scheme consumes sanitized windows (the
+  // amplitude-only baseline must see raw packets).
+  bool pre_sanitize = false;
+  std::optional<PresenceHmm> hmm;
+  std::optional<PresenceHmm::Filter> filter;  // references hmm; do not move
+  std::vector<wifi::CsiPacket> ring;
+  std::vector<wifi::CsiPacket> window;
+  std::size_t write_pos = 0;
+  std::size_t count = 0;
+  std::size_t packets_since_decision = 0;
+  bool occupied = false;
+  double posterior = 0.0;
+  DetectorScratch scratch;
+  BatchResult result;
+};
+
+SensingEngine::SensingEngine() = default;
+SensingEngine::~SensingEngine() = default;
+SensingEngine::SensingEngine(SensingEngine&&) noexcept = default;
+SensingEngine& SensingEngine::operator=(SensingEngine&&) noexcept = default;
+
+std::size_t SensingEngine::AddLink(Detector detector,
+                                   const std::vector<double>& empty_scores,
+                                   StreamingConfig config) {
+  links_.push_back(std::make_unique<LinkState>(std::move(detector),
+                                               empty_scores, config));
+  return links_.size() - 1;
+}
+
+SensingEngine::LinkState& SensingEngine::Link(std::size_t link) {
+  MULINK_REQUIRE(link < links_.size(), "SensingEngine: link out of range");
+  return *links_[link];
+}
+
+const SensingEngine::LinkState& SensingEngine::Link(std::size_t link) const {
+  MULINK_REQUIRE(link < links_.size(), "SensingEngine: link out of range");
+  return *links_[link];
+}
+
+const BatchResult& SensingEngine::ProcessBatch(
+    std::size_t link, std::span<const wifi::CsiPacket> packets) {
+  LinkState& state = Link(link);
+  state.result.decisions.clear();
+  for (const auto& packet : packets) {
+    if (auto decision = state.Push(packet)) {
+      state.result.decisions.push_back(*decision);
+    }
+  }
+  state.result.occupied = state.occupied;
+  state.result.posterior = state.posterior;
+  return state.result;
+}
+
+const BatchResult& SensingEngine::ProcessBatch(
+    std::span<const wifi::CsiPacket> packets) {
+  MULINK_REQUIRE(links_.size() == 1,
+                 "SensingEngine: single-link ProcessBatch needs exactly one "
+                 "registered link");
+  return ProcessBatch(0, packets);
+}
+
+double SensingEngine::ScoreWindow(std::size_t link,
+                                  std::span<const wifi::CsiPacket> window) {
+  LinkState& state = Link(link);
+  return state.detector.Score(window, state.scratch);
+}
+
+bool SensingEngine::occupied(std::size_t link) const {
+  return Link(link).occupied;
+}
+
+double SensingEngine::posterior(std::size_t link) const {
+  return Link(link).posterior;
+}
+
+const Detector& SensingEngine::detector(std::size_t link) const {
+  return Link(link).detector;
+}
+
+const StreamingConfig& SensingEngine::config(std::size_t link) const {
+  return Link(link).config;
+}
+
+void SensingEngine::Reset(std::size_t link) { Link(link).Reset(); }
+
+void SensingEngine::ResetAll() {
+  for (auto& link : links_) link->Reset();
+}
+
+}  // namespace mulink::core

@@ -1,0 +1,93 @@
+// Batch-oriented sensing engine: the workspace-owning composition root of
+// the ingest-to-decision hot path.
+//
+// One SensingEngine owns one LinkState per monitored link. A LinkState keeps
+// everything the link needs between batches — the calibrated Detector
+// (static profile, Eq. 15/17 weights, threshold), the packet ring buffer,
+// the HMM temporal state and every scratch buffer of the scoring pipeline —
+// so ProcessBatch ingests a span of CSI packets and emits presence decisions
+// with zero heap allocations once the buffers are warm.
+//
+// Decision semantics are bit-identical to feeding the same packets one at a
+// time through StreamingDetector::Push (see core_engine_test).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/hmm.h"
+#include "core/streaming.h"
+
+namespace mulink::core {
+
+// Decisions produced by one ProcessBatch call. The vector is a reused
+// member buffer — its contents are valid until the next ProcessBatch/Reset
+// on the same link.
+struct BatchResult {
+  std::vector<PresenceDecision> decisions;
+  // Belief after the batch (unchanged if no window completed).
+  bool occupied = false;
+  double posterior = 0.0;
+};
+
+class SensingEngine {
+ public:
+  SensingEngine();
+  ~SensingEngine();
+
+  // Engines are move-only: LinkStates hold scratch and HMM filter state
+  // that must not be duplicated silently. (Defined out of line — LinkState
+  // is incomplete here.)
+  SensingEngine(SensingEngine&&) noexcept;
+  SensingEngine& operator=(SensingEngine&&) noexcept;
+
+  // Register a calibrated link. `detector` must have its threshold set;
+  // `empty_scores` fit the HMM emission model when config.use_hmm is on.
+  // Returns the link index used by the per-link calls below.
+  std::size_t AddLink(Detector detector,
+                      const std::vector<double>& empty_scores,
+                      StreamingConfig config = {});
+
+  std::size_t NumLinks() const { return links_.size(); }
+
+  // Ingest a batch of packets for one link. Every completed window (aligned
+  // to the configured hop) contributes one decision. The returned reference
+  // stays valid until the next ProcessBatch/Reset on this link.
+  const BatchResult& ProcessBatch(std::size_t link,
+                                  std::span<const wifi::CsiPacket> packets);
+
+  // Single-link convenience (requires exactly one registered link).
+  const BatchResult& ProcessBatch(std::span<const wifi::CsiPacket> packets);
+
+  // Score one window directly on the link's scratch, bypassing the ring
+  // (for offline session scoring on engine-owned buffers).
+  double ScoreWindow(std::size_t link,
+                     std::span<const wifi::CsiPacket> window);
+
+  // Current belief per link (unoccupied before the first window).
+  bool occupied(std::size_t link) const;
+  double posterior(std::size_t link) const;
+
+  const Detector& detector(std::size_t link) const;
+  const StreamingConfig& config(std::size_t link) const;
+
+  // Drop buffered packets and temporal state; keeps all warm buffers.
+  void Reset(std::size_t link);
+  void ResetAll();
+
+ private:
+  // All per-link persistent state. Held behind unique_ptr because the HMM
+  // filter stores a reference to its PresenceHmm — LinkState addresses must
+  // survive links_ growth.
+  struct LinkState;
+
+  LinkState& Link(std::size_t link);
+  const LinkState& Link(std::size_t link) const;
+
+  std::vector<std::unique_ptr<LinkState>> links_;
+};
+
+}  // namespace mulink::core

@@ -27,6 +27,7 @@ void MultiLinkDetector::AddLink(Detector detector) {
                  "MultiLinkDetector: link threshold must be set and positive "
                  "(it doubles as the score normalizer)");
   links_.push_back(std::move(detector));
+  scratch_.emplace_back();
 }
 
 const Detector& MultiLinkDetector::link(std::size_t i) const {
@@ -36,19 +37,29 @@ const Detector& MultiLinkDetector::link(std::size_t i) const {
 
 std::vector<double> MultiLinkDetector::NormalizedScores(
     const std::vector<std::vector<wifi::CsiPacket>>& windows) const {
+  std::vector<double> scores;
+  NormalizedScoresInto(windows, scores);
+  return scores;
+}
+
+void MultiLinkDetector::NormalizedScoresInto(
+    const std::vector<std::vector<wifi::CsiPacket>>& windows,
+    std::vector<double>& out) const {
   MULINK_REQUIRE(!links_.empty(), "MultiLinkDetector: no links added");
   MULINK_REQUIRE(windows.size() == links_.size(),
                  "MultiLinkDetector: one window per link required");
-  std::vector<double> scores(links_.size());
+  out.resize(links_.size());
   for (std::size_t i = 0; i < links_.size(); ++i) {
-    scores[i] = links_[i].Score(windows[i]) / links_[i].threshold();
+    out[i] = links_[i].Score(std::span<const wifi::CsiPacket>(windows[i]),
+                             scratch_[i]) /
+             links_[i].threshold();
   }
-  return scores;
 }
 
 double MultiLinkDetector::FusedScore(
     const std::vector<std::vector<wifi::CsiPacket>>& windows) const {
-  const auto scores = NormalizedScores(windows);
+  NormalizedScoresInto(windows, scores_scratch_);
+  const auto& scores = scores_scratch_;
   switch (rule_) {
     case FusionRule::kAny:
     case FusionRule::kMajority: {

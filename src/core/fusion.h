@@ -38,6 +38,13 @@ class MultiLinkDetector {
   std::vector<double> NormalizedScores(
       const std::vector<std::vector<wifi::CsiPacket>>& windows) const;
 
+  // Scratch variant: writes into `out` and scores every link on its own
+  // persistent DetectorScratch — the steady-state fusion path is
+  // allocation-free.
+  void NormalizedScoresInto(
+      const std::vector<std::vector<wifi::CsiPacket>>& windows,
+      std::vector<double>& out) const;
+
   // Fused scalar statistic (kMeanScore / kMaxScore semantics; for the voting
   // rules this is the fraction of links alarming).
   double FusedScore(
@@ -51,6 +58,10 @@ class MultiLinkDetector {
  private:
   FusionRule rule_;
   std::vector<Detector> links_;
+  // One scratch per link plus the fused score buffer, so repeated
+  // FusedScore/Detect calls allocate nothing once warm.
+  mutable std::vector<DetectorScratch> scratch_;
+  mutable std::vector<double> scores_scratch_;
 };
 
 }  // namespace mulink::core

@@ -41,25 +41,68 @@ std::vector<double> MeasureMultipathFactors(const std::vector<Complex>& cfr,
 
 std::vector<double> MeasureMultipathFactors(const wifi::CsiPacket& packet,
                                             const wifi::BandPlan& band) {
+  std::vector<double> avg;
+  MultipathScratch scratch;
+  MeasureMultipathFactorsInto(packet, band, avg, scratch);
+  return avg;
+}
+
+void MeasureMultipathFactorsInto(const wifi::CsiPacket& packet,
+                                 const wifi::BandPlan& band,
+                                 std::vector<double>& out,
+                                 MultipathScratch& scratch) {
   MULINK_REQUIRE(packet.NumAntennas() >= 1,
                  "MeasureMultipathFactors: packet has no antennas");
-  std::vector<double> avg(packet.NumSubcarriers(), 0.0);
+  const std::size_t num_sc = packet.NumSubcarriers();
+  MULINK_REQUIRE(num_sc == band.NumSubcarriers(),
+                 "MeasureMultipathFactors: packet/band size mismatch");
+  out.assign(num_sc, 0.0);
+  scratch.cfr.resize(num_sc);
+  scratch.inv_f2.resize(num_sc);
+  scratch.los.resize(num_sc);
+  scratch.mu.resize(num_sc);
+  const Complex* csi = packet.csi.raw();
   for (std::size_t m = 0; m < packet.NumAntennas(); ++m) {
-    const auto mu = MeasureMultipathFactors(packet.AntennaCfr(m), band);
-    for (std::size_t k = 0; k < mu.size(); ++k) avg[k] += mu[k];
+    const Complex* row = csi + m * num_sc;
+    for (std::size_t k = 0; k < num_sc; ++k) scratch.cfr[k] = row[k];
+
+    // Inlined EstimateLosPower on the scratch buffers (same operations,
+    // same order as the allocating path).
+    const double dominant = dsp::DominantTapPower(scratch.cfr);
+    double inv_f2_sum = 0.0;
+    for (std::size_t k = 0; k < num_sc; ++k) {
+      const double f = band.FrequencyHz(k);
+      scratch.inv_f2[k] = 1.0 / (f * f);
+      inv_f2_sum += scratch.inv_f2[k];
+    }
+    for (std::size_t k = 0; k < num_sc; ++k) {
+      scratch.los[k] = scratch.inv_f2[k] / inv_f2_sum * dominant;
+    }
+    for (std::size_t k = 0; k < num_sc; ++k) {
+      const double power = std::norm(scratch.cfr[k]);
+      scratch.mu[k] = power > 0.0 ? scratch.los[k] / power : 0.0;
+    }
+    for (std::size_t k = 0; k < num_sc; ++k) out[k] += scratch.mu[k];
   }
-  for (auto& v : avg) v /= static_cast<double>(packet.NumAntennas());
-  return avg;
+  for (auto& v : out) v /= static_cast<double>(packet.NumAntennas());
 }
 
 std::vector<std::vector<double>> MeasureMultipathFactors(
     const std::vector<wifi::CsiPacket>& packets, const wifi::BandPlan& band) {
   std::vector<std::vector<double>> out;
-  out.reserve(packets.size());
-  for (const auto& p : packets) {
-    out.push_back(MeasureMultipathFactors(p, band));
-  }
+  MultipathScratch scratch;
+  MeasureMultipathFactorsInto(packets, band, out, scratch);
   return out;
+}
+
+void MeasureMultipathFactorsInto(std::span<const wifi::CsiPacket> packets,
+                                 const wifi::BandPlan& band,
+                                 std::vector<std::vector<double>>& out,
+                                 MultipathScratch& scratch) {
+  out.resize(packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    MeasureMultipathFactorsInto(packets[i], band, out[i], scratch);
+  }
 }
 
 }  // namespace mulink::core

@@ -7,12 +7,21 @@
 //   P_L(f_k) = (f_k^{-2} / sum_i f_i^{-2}) * |h_hat(0)|^2.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "wifi/band.h"
 #include "wifi/csi.h"
 
 namespace mulink::core {
+
+// Reusable buffers for per-packet multipath factor extraction.
+struct MultipathScratch {
+  std::vector<Complex> cfr;
+  std::vector<double> inv_f2;
+  std::vector<double> los;
+  std::vector<double> mu;
+};
 
 // Per-subcarrier LOS power estimate P_L(f_k) of Eq. 10 for one antenna's CFR.
 std::vector<double> EstimateLosPower(const std::vector<Complex>& cfr,
@@ -28,9 +37,22 @@ std::vector<double> MeasureMultipathFactors(const std::vector<Complex>& cfr,
 std::vector<double> MeasureMultipathFactors(const wifi::CsiPacket& packet,
                                             const wifi::BandPlan& band);
 
+// Scratch variant: writes the antenna-averaged factors into `out` (resized
+// to the subcarrier count) without allocating once warmed up.
+void MeasureMultipathFactorsInto(const wifi::CsiPacket& packet,
+                                 const wifi::BandPlan& band,
+                                 std::vector<double>& out,
+                                 MultipathScratch& scratch);
+
 // Multipath factors for every packet of a session: result[m][k] is packet
 // m's factor on subcarrier k.
 std::vector<std::vector<double>> MeasureMultipathFactors(
     const std::vector<wifi::CsiPacket>& packets, const wifi::BandPlan& band);
+
+// Scratch variant over a window; `out` is resized to packets.size().
+void MeasureMultipathFactorsInto(std::span<const wifi::CsiPacket> packets,
+                                 const wifi::BandPlan& band,
+                                 std::vector<std::vector<double>>& out,
+                                 MultipathScratch& scratch);
 
 }  // namespace mulink::core

@@ -81,6 +81,15 @@ Pseudospectrum Pseudospectrum::Smoothed(double sigma_deg) const {
 
 linalg::CMatrix SampleCovariance(const std::vector<wifi::CsiPacket>& packets,
                                  const std::vector<double>& weights) {
+  linalg::CMatrix r;
+  MusicWorkspace ws;
+  SampleCovarianceInto(packets, weights, r, ws);
+  return r;
+}
+
+void SampleCovarianceInto(std::span<const wifi::CsiPacket> packets,
+                          std::span<const double> weights, linalg::CMatrix& out,
+                          MusicWorkspace& ws) {
   MULINK_REQUIRE(!packets.empty(), "SampleCovariance: need >= 1 packet");
   const std::size_t num_ant = packets[0].NumAntennas();
   const std::size_t num_sc = packets[0].NumSubcarriers();
@@ -88,34 +97,153 @@ linalg::CMatrix SampleCovariance(const std::vector<wifi::CsiPacket>& packets,
   MULINK_REQUIRE(weights.empty() || weights.size() == num_sc,
                  "SampleCovariance: weights size mismatch");
 
-  linalg::CMatrix r(num_ant, num_ant);
+  out.Resize(num_ant, num_ant);
+  Complex* r = out.raw();
+  ws.x.resize(num_ant);
+  ws.wx.resize(num_ant);
+  Complex* x = ws.x.data();
+  Complex* wx = ws.wx.data();
   double total_weight = 0.0;
-  std::vector<Complex> x(num_ant);
   for (const auto& packet : packets) {
     MULINK_REQUIRE(packet.NumAntennas() == num_ant &&
                        packet.NumSubcarriers() == num_sc,
                    "SampleCovariance: inconsistent packet dimensions");
+    const Complex* csi = packet.csi.raw();
     for (std::size_t k = 0; k < num_sc; ++k) {
       const double w = weights.empty() ? 1.0 : weights[k];
       if (w <= 0.0) continue;
-      for (std::size_t m = 0; m < num_ant; ++m) x[m] = packet.csi.At(m, k);
+      // Hoist w * x[i]: the same left factor the per-entry product uses, so
+      // each accumulated term is bit-identical to w * x[i] * conj(x[j]).
+      for (std::size_t m = 0; m < num_ant; ++m) {
+        x[m] = csi[m * num_sc + k];
+        wx[m] = w * x[m];
+      }
       for (std::size_t i = 0; i < num_ant; ++i) {
+        const Complex wxi = wx[i];
+        Complex* row = r + i * num_ant;
         for (std::size_t j = 0; j < num_ant; ++j) {
-          r.At(i, j) += w * x[i] * std::conj(x[j]);
+          row[j] += wxi * std::conj(x[j]);
         }
       }
       total_weight += w;
     }
   }
   MULINK_REQUIRE(total_weight > 0.0, "SampleCovariance: all weights are zero");
-  r *= Complex(1.0 / total_weight, 0.0);
-  return r;
+  out *= Complex(1.0 / total_weight, 0.0);
 }
+
+void BuildSubcarrierCovarianceStack(std::span<const wifi::CsiPacket> packets,
+                                    SubcarrierCovarianceStack& out) {
+  MULINK_REQUIRE(!packets.empty(),
+                 "SubcarrierCovarianceStack: need >= 1 packet");
+  const std::size_t num_ant = packets[0].NumAntennas();
+  const std::size_t num_sc = packets[0].NumSubcarriers();
+  MULINK_REQUIRE(num_ant >= 2, "SubcarrierCovarianceStack: need >= 2 antennas");
+
+  out.num_antennas = num_ant;
+  out.num_subcarriers = num_sc;
+  out.num_packets = packets.size();
+  out.data.assign(num_sc * num_ant * num_ant, Complex(0.0, 0.0));
+  for (const auto& packet : packets) {
+    MULINK_REQUIRE(packet.NumAntennas() == num_ant &&
+                       packet.NumSubcarriers() == num_sc,
+                   "SubcarrierCovarianceStack: inconsistent packet dimensions");
+    const Complex* csi = packet.csi.raw();
+    for (std::size_t k = 0; k < num_sc; ++k) {
+      Complex* block = out.data.data() + k * num_ant * num_ant;
+      for (std::size_t i = 0; i < num_ant; ++i) {
+        const Complex xi = csi[i * num_sc + k];
+        for (std::size_t j = 0; j < num_ant; ++j) {
+          block[i * num_ant + j] += xi * std::conj(csi[j * num_sc + k]);
+        }
+      }
+    }
+  }
+}
+
+void CombineSubcarrierCovariances(const SubcarrierCovarianceStack& stack,
+                                  std::span<const double> weights,
+                                  linalg::CMatrix& out) {
+  MULINK_REQUIRE(stack.num_packets > 0,
+                 "CombineSubcarrierCovariances: empty stack");
+  MULINK_REQUIRE(weights.empty() || weights.size() == stack.num_subcarriers,
+                 "CombineSubcarrierCovariances: weights size mismatch");
+  const std::size_t num_ant = stack.num_antennas;
+  out.Resize(num_ant, num_ant);
+  Complex* r = out.raw();
+  double weight_sum = 0.0;
+  for (std::size_t k = 0; k < stack.num_subcarriers; ++k) {
+    const double w = weights.empty() ? 1.0 : weights[k];
+    if (w <= 0.0) continue;
+    const Complex* block = stack.Block(k);
+    for (std::size_t e = 0; e < num_ant * num_ant; ++e) {
+      r[e] += w * block[e];
+    }
+    weight_sum += w;
+  }
+  MULINK_REQUIRE(weight_sum > 0.0,
+                 "CombineSubcarrierCovariances: all weights are zero");
+  const double total = weight_sum * static_cast<double>(stack.num_packets);
+  out *= Complex(1.0 / total, 0.0);
+}
+
+namespace {
+
+// Lazily (re)build the steering-vector table for the spectrum grid. The
+// cached values are produced by the same SteeringVector math as the
+// allocating path, so spectra computed from the table are bit-identical.
+const Complex* EnsureSteeringTable(const wifi::UniformLinearArray& array,
+                                   const wifi::BandPlan& band,
+                                   const MusicConfig& config,
+                                   MusicWorkspace& ws) {
+  const std::size_t num_ant = array.num_antennas();
+  const double freq = band.center_hz();
+  const bool stale =
+      ws.table_points != config.num_points || ws.table_antennas != num_ant ||
+      ws.table_theta_min_deg != config.theta_min_deg ||
+      ws.table_theta_max_deg != config.theta_max_deg ||
+      ws.table_freq_hz != freq || ws.table_spacing_m != array.spacing_m() ||
+      ws.table_axis_rad != array.axis_angle_rad();
+  if (stale) {
+    ws.steering_table.resize(config.num_points * num_ant);
+    for (std::size_t i = 0; i < config.num_points; ++i) {
+      const double frac = static_cast<double>(i) /
+                          static_cast<double>(config.num_points - 1);
+      const double theta_deg =
+          config.theta_min_deg +
+          frac * (config.theta_max_deg - config.theta_min_deg);
+      array.SteeringVectorInto(
+          DegToRad(theta_deg), freq,
+          std::span<Complex>(ws.steering_table.data() + i * num_ant, num_ant));
+    }
+    ws.table_points = config.num_points;
+    ws.table_antennas = num_ant;
+    ws.table_theta_min_deg = config.theta_min_deg;
+    ws.table_theta_max_deg = config.theta_max_deg;
+    ws.table_freq_hz = freq;
+    ws.table_spacing_m = array.spacing_m();
+    ws.table_axis_rad = array.axis_angle_rad();
+  }
+  return ws.steering_table.data();
+}
+
+}  // namespace
 
 Pseudospectrum ComputeMusicSpectrum(const linalg::CMatrix& covariance,
                                     const wifi::UniformLinearArray& array,
                                     const wifi::BandPlan& band,
                                     const MusicConfig& config) {
+  Pseudospectrum spectrum;
+  MusicWorkspace ws;
+  ComputeMusicSpectrumInto(covariance, array, band, config, spectrum, ws);
+  return spectrum;
+}
+
+void ComputeMusicSpectrumInto(const linalg::CMatrix& covariance,
+                              const wifi::UniformLinearArray& array,
+                              const wifi::BandPlan& band,
+                              const MusicConfig& config, Pseudospectrum& out,
+                              MusicWorkspace& ws) {
   const std::size_t num_ant = array.num_antennas();
   MULINK_REQUIRE(covariance.rows() == num_ant && covariance.cols() == num_ant,
                  "ComputeMusicSpectrum: covariance/array size mismatch");
@@ -126,39 +254,51 @@ Pseudospectrum ComputeMusicSpectrum(const linalg::CMatrix& covariance,
   MULINK_REQUIRE(config.theta_max_deg > config.theta_min_deg,
                  "ComputeMusicSpectrum: empty angle range");
 
-  const auto eig = linalg::HermitianEigen(covariance);
+  linalg::HermitianEigen(covariance, ws.eig, ws.eig_ws);
   // Noise subspace: eigenvectors of the smallest (num_ant - num_sources)
   // eigenvalues (HermitianEigen sorts ascending).
   const std::size_t noise_dim = num_ant - config.num_sources;
+  const Complex* table = EnsureSteeringTable(array, band, config, ws);
+  const Complex* vectors = ws.eig.vectors.raw();
 
-  Pseudospectrum spectrum;
-  spectrum.theta_deg.resize(config.num_points);
-  spectrum.power.resize(config.num_points);
-
+  out.theta_deg.resize(config.num_points);
+  out.power.resize(config.num_points);
   for (std::size_t i = 0; i < config.num_points; ++i) {
     const double frac = static_cast<double>(i) /
                         static_cast<double>(config.num_points - 1);
     const double theta_deg =
         config.theta_min_deg + frac * (config.theta_max_deg - config.theta_min_deg);
-    const double theta = DegToRad(theta_deg);
-    const auto steering = array.SteeringVector(theta, band.center_hz());
+    const Complex* a = table + i * num_ant;
 
     // ||E_n^H a||^2 = sum over noise eigenvectors of |<e, a>|^2.
     double denom = 0.0;
     for (std::size_t n = 0; n < noise_dim; ++n) {
-      const auto e = eig.Vector(n);
-      denom += std::norm(linalg::Dot(e, steering));
+      Complex dot(0.0, 0.0);
+      for (std::size_t m = 0; m < num_ant; ++m) {
+        dot += std::conj(vectors[m * num_ant + n]) * a[m];
+      }
+      denom += std::norm(dot);
     }
-    spectrum.theta_deg[i] = theta_deg;
-    spectrum.power[i] = 1.0 / std::max(denom, 1e-12);
+    out.theta_deg[i] = theta_deg;
+    out.power[i] = 1.0 / std::max(denom, 1e-12);
   }
-  return spectrum;
 }
 
 Pseudospectrum ComputeBartlettSpectrum(const linalg::CMatrix& covariance,
                                        const wifi::UniformLinearArray& array,
                                        const wifi::BandPlan& band,
                                        const MusicConfig& config) {
+  Pseudospectrum spectrum;
+  MusicWorkspace ws;
+  ComputeBartlettSpectrumInto(covariance, array, band, config, spectrum, ws);
+  return spectrum;
+}
+
+void ComputeBartlettSpectrumInto(const linalg::CMatrix& covariance,
+                                 const wifi::UniformLinearArray& array,
+                                 const wifi::BandPlan& band,
+                                 const MusicConfig& config, Pseudospectrum& out,
+                                 MusicWorkspace& ws) {
   const std::size_t num_ant = array.num_antennas();
   MULINK_REQUIRE(covariance.rows() == num_ant && covariance.cols() == num_ant,
                  "ComputeBartlettSpectrum: covariance/array size mismatch");
@@ -167,24 +307,25 @@ Pseudospectrum ComputeBartlettSpectrum(const linalg::CMatrix& covariance,
   MULINK_REQUIRE(config.theta_max_deg > config.theta_min_deg,
                  "ComputeBartlettSpectrum: empty angle range");
 
-  Pseudospectrum spectrum;
-  spectrum.theta_deg.resize(config.num_points);
-  spectrum.power.resize(config.num_points);
+  const Complex* table = EnsureSteeringTable(array, band, config, ws);
+  out.theta_deg.resize(config.num_points);
+  out.power.resize(config.num_points);
+  ws.ra.resize(num_ant);
   for (std::size_t i = 0; i < config.num_points; ++i) {
     const double frac = static_cast<double>(i) /
                         static_cast<double>(config.num_points - 1);
     const double theta_deg =
         config.theta_min_deg +
         frac * (config.theta_max_deg - config.theta_min_deg);
-    const auto a = array.SteeringVector(DegToRad(theta_deg), band.center_hz());
+    const std::span<const Complex> a(table + i * num_ant, num_ant);
     // a^H R a — real and non-negative for Hermitian PSD R.
-    const auto ra = covariance.Apply(a);
-    const double value = linalg::Dot(a, ra).real() /
-                         static_cast<double>(num_ant * num_ant);
-    spectrum.theta_deg[i] = theta_deg;
-    spectrum.power[i] = std::max(value, 0.0);
+    covariance.ApplyInto(a, ws.ra);
+    const double value =
+        linalg::Dot(a, std::span<const Complex>(ws.ra)).real() /
+        static_cast<double>(num_ant * num_ant);
+    out.theta_deg[i] = theta_deg;
+    out.power[i] = std::max(value, 0.0);
   }
-  return spectrum;
 }
 
 Pseudospectrum ComputeBartlettSpectrum(

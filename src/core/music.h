@@ -7,9 +7,11 @@
 // effective aperture and a 3-antenna array could then resolve only one path.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "linalg/cmatrix.h"
+#include "linalg/hermitian_eig.h"
 #include "wifi/array.h"
 #include "wifi/band.h"
 #include "wifi/csi.h"
@@ -44,17 +46,83 @@ struct Pseudospectrum {
   Pseudospectrum Smoothed(double sigma_deg) const;
 };
 
+// Reusable scratch for the covariance/spectrum hot path. Besides plain
+// buffers it caches the steering-vector table for a fixed
+// (array, band, MusicConfig) grid — the table is invalidated and rebuilt
+// whenever any of those fingerprint fields change.
+struct MusicWorkspace {
+  linalg::EigWorkspace eig_ws;
+  linalg::EigenSystem eig;
+  std::vector<Complex> x;   // one snapshot (antenna vector)
+  std::vector<Complex> wx;  // weighted snapshot w * x
+  std::vector<Complex> ra;  // covariance * steering product
+
+  // Cached steering table: row i holds a(theta_i) for grid point i.
+  std::vector<Complex> steering_table;
+  std::size_t table_points = 0;
+  std::size_t table_antennas = 0;
+  double table_theta_min_deg = 0.0;
+  double table_theta_max_deg = 0.0;
+  double table_freq_hz = 0.0;
+  double table_spacing_m = 0.0;
+  double table_axis_rad = 0.0;
+};
+
 // Sample covariance across antennas, accumulated over all packets and
 // subcarriers, optionally weighting subcarrier k's contribution by
 // weights[k] (the subcarrier-weighted variant of Sec. IV-C).
 linalg::CMatrix SampleCovariance(const std::vector<wifi::CsiPacket>& packets,
                                  const std::vector<double>& weights = {});
 
+// Scratch variant: accumulates into `out` (resized to antennas x antennas)
+// with zero heap traffic after warm-up. Bit-identical to SampleCovariance.
+void SampleCovarianceInto(std::span<const wifi::CsiPacket> packets,
+                          std::span<const double> weights, linalg::CMatrix& out,
+                          MusicWorkspace& ws);
+
+// Per-subcarrier covariance stack: block k holds the *unweighted* sum over
+// packets of the antenna outer product x_k x_k^H. Because the weighted
+// sample covariance is linear in the per-subcarrier terms, a caller that
+// scores many windows against a fixed packet set (the combined scheme's
+// retained calibration profile) can build the stack once and re-combine it
+// with each window's subcarrier weights in O(K * A^2), instead of
+// re-scanning all packets every window.
+struct SubcarrierCovarianceStack {
+  std::size_t num_antennas = 0;
+  std::size_t num_subcarriers = 0;
+  std::size_t num_packets = 0;
+  // num_subcarriers blocks of num_antennas^2 row-major entries.
+  std::vector<Complex> data;
+
+  const Complex* Block(std::size_t k) const {
+    return data.data() + k * num_antennas * num_antennas;
+  }
+};
+
+// Build the stack from `packets`; deterministic, so rebuilding from the same
+// packets reproduces the stack bit-for-bit.
+void BuildSubcarrierCovarianceStack(std::span<const wifi::CsiPacket> packets,
+                                    SubcarrierCovarianceStack& out);
+
+// out = (sum_k w_k C_k) / (num_packets * sum_k w_k) over subcarriers with
+// w_k > 0 — the weighted sample covariance of the stacked packets. Pass an
+// empty weights span for uniform weighting.
+void CombineSubcarrierCovariances(const SubcarrierCovarianceStack& stack,
+                                  std::span<const double> weights,
+                                  linalg::CMatrix& out);
+
 // MUSIC pseudospectrum P(theta) = 1 / (a^H E_n E_n^H a) from a covariance.
 Pseudospectrum ComputeMusicSpectrum(const linalg::CMatrix& covariance,
                                     const wifi::UniformLinearArray& array,
                                     const wifi::BandPlan& band,
                                     const MusicConfig& config = {});
+
+// Scratch variant of the above writing into `out`.
+void ComputeMusicSpectrumInto(const linalg::CMatrix& covariance,
+                              const wifi::UniformLinearArray& array,
+                              const wifi::BandPlan& band,
+                              const MusicConfig& config, Pseudospectrum& out,
+                              MusicWorkspace& ws);
 
 // Conventional (Bartlett) beamformer spectrum B(theta) = a^H R a.
 //
@@ -67,6 +135,13 @@ Pseudospectrum ComputeBartlettSpectrum(const linalg::CMatrix& covariance,
                                        const wifi::UniformLinearArray& array,
                                        const wifi::BandPlan& band,
                                        const MusicConfig& config = {});
+
+// Scratch variant of the above writing into `out`.
+void ComputeBartlettSpectrumInto(const linalg::CMatrix& covariance,
+                                 const wifi::UniformLinearArray& array,
+                                 const wifi::BandPlan& band,
+                                 const MusicConfig& config, Pseudospectrum& out,
+                                 MusicWorkspace& ws);
 
 // Bartlett spectrum straight from packets (optionally subcarrier-weighted).
 Pseudospectrum ComputeBartlettSpectrum(

@@ -38,13 +38,20 @@ PathWeights ComputePathWeights(const Pseudospectrum& static_spectrum,
 
 std::vector<double> ApplyPathWeights(const PathWeights& weights,
                                      const Pseudospectrum& spectrum) {
+  std::vector<double> out;
+  ApplyPathWeightsInto(weights, spectrum, out);
+  return out;
+}
+
+void ApplyPathWeightsInto(const PathWeights& weights,
+                          const Pseudospectrum& spectrum,
+                          std::vector<double>& out) {
   MULINK_REQUIRE(weights.weights.size() == spectrum.power.size(),
                  "ApplyPathWeights: grid size mismatch");
-  std::vector<double> out(spectrum.power.size());
+  out.resize(spectrum.power.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] = weights.weights[i] * spectrum.power[i];
   }
-  return out;
 }
 
 }  // namespace mulink::core

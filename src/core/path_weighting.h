@@ -35,4 +35,9 @@ PathWeights ComputePathWeights(const Pseudospectrum& static_spectrum,
 std::vector<double> ApplyPathWeights(const PathWeights& weights,
                                      const Pseudospectrum& spectrum);
 
+// Scratch variant: `out` is resized to the grid; no allocation once warm.
+void ApplyPathWeightsInto(const PathWeights& weights,
+                          const Pseudospectrum& spectrum,
+                          std::vector<double>& out);
+
 }  // namespace mulink::core

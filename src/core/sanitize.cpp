@@ -10,7 +10,14 @@ namespace mulink::core {
 
 std::vector<double> UnwrapPhase(const std::vector<double>& phases) {
   std::vector<double> out(phases.size());
-  if (phases.empty()) return out;
+  UnwrapPhaseInto(phases, out);
+  return out;
+}
+
+void UnwrapPhaseInto(std::span<const double> phases, std::span<double> out) {
+  MULINK_REQUIRE(out.size() == phases.size(),
+                 "UnwrapPhaseInto: output size mismatch");
+  if (phases.empty()) return;
   out[0] = phases[0];
   double accumulator = 0.0;
   for (std::size_t i = 1; i < phases.size(); ++i) {
@@ -25,11 +32,16 @@ std::vector<double> UnwrapPhase(const std::vector<double>& phases) {
     }
     out[i] = phases[i] + accumulator;
   }
-  return out;
 }
 
 PhaseFit FitLinearPhase(const wifi::CsiPacket& packet,
                         const wifi::BandPlan& band) {
+  SanitizeScratch scratch;
+  return FitLinearPhase(packet, band, scratch);
+}
+
+PhaseFit FitLinearPhase(const wifi::CsiPacket& packet,
+                        const wifi::BandPlan& band, SanitizeScratch& scratch) {
   MULINK_REQUIRE(packet.NumSubcarriers() == band.NumSubcarriers(),
                  "FitLinearPhase: packet/band subcarrier mismatch");
   const std::size_t num_sc = packet.NumSubcarriers();
@@ -39,42 +51,67 @@ PhaseFit FitLinearPhase(const wifi::CsiPacket& packet,
 
   // Antenna-averaged phase per subcarrier. Averaging complex values rather
   // than raw angles keeps weak antennas from dominating via wrap glitches.
-  std::vector<double> avg_phase(num_sc, 0.0);
+  scratch.avg_phase.resize(num_sc);
+  const Complex* csi = packet.csi.raw();
   for (std::size_t k = 0; k < num_sc; ++k) {
     Complex acc(0.0, 0.0);
-    for (std::size_t m = 0; m < num_ant; ++m) acc += packet.csi.At(m, k);
-    avg_phase[k] = std::arg(acc);
+    for (std::size_t m = 0; m < num_ant; ++m) acc += csi[m * num_sc + k];
+    scratch.avg_phase[k] = std::arg(acc);
   }
-  const auto unwrapped = UnwrapPhase(avg_phase);
+  scratch.unwrapped.resize(num_sc);
+  UnwrapPhaseInto(scratch.avg_phase, scratch.unwrapped);
 
-  std::vector<double> offsets(num_sc);
-  for (std::size_t k = 0; k < num_sc; ++k) offsets[k] = band.OffsetHz(k);
+  scratch.offsets.resize(num_sc);
+  for (std::size_t k = 0; k < num_sc; ++k) scratch.offsets[k] = band.OffsetHz(k);
 
-  const auto fit = dsp::FitLinear(offsets, unwrapped);
+  const auto fit =
+      dsp::FitLinear(std::span<const double>(scratch.offsets),
+                     std::span<const double>(scratch.unwrapped), scratch.fit);
   return PhaseFit{fit.intercept, fit.slope};
 }
 
 wifi::CsiPacket SanitizePhase(const wifi::CsiPacket& packet,
                               const wifi::BandPlan& band) {
-  const PhaseFit fit = FitLinearPhase(packet, band);
-  wifi::CsiPacket out = packet;
-  for (std::size_t k = 0; k < packet.NumSubcarriers(); ++k) {
+  wifi::CsiPacket out;
+  SanitizeScratch scratch;
+  SanitizePhaseInto(packet, band, out, scratch);
+  return out;
+}
+
+void SanitizePhaseInto(const wifi::CsiPacket& packet,
+                       const wifi::BandPlan& band, wifi::CsiPacket& out,
+                       SanitizeScratch& scratch) {
+  const PhaseFit fit = FitLinearPhase(packet, band, scratch);
+  out = packet;  // copy-assign reuses out's CSI capacity
+  Complex* dst = out.csi.raw();
+  const Complex* src = packet.csi.raw();
+  const std::size_t num_sc = packet.NumSubcarriers();
+  for (std::size_t k = 0; k < num_sc; ++k) {
     const double correction =
         fit.offset_rad + fit.slope_rad_per_hz * band.OffsetHz(k);
     const Complex rot(std::cos(-correction), std::sin(-correction));
     for (std::size_t m = 0; m < packet.NumAntennas(); ++m) {
-      out.csi.At(m, k) = packet.csi.At(m, k) * rot;
+      dst[m * num_sc + k] = src[m * num_sc + k] * rot;
     }
   }
-  return out;
 }
 
 std::vector<wifi::CsiPacket> SanitizePhase(
     const std::vector<wifi::CsiPacket>& packets, const wifi::BandPlan& band) {
   std::vector<wifi::CsiPacket> out;
-  out.reserve(packets.size());
-  for (const auto& p : packets) out.push_back(SanitizePhase(p, band));
+  SanitizeScratch scratch;
+  SanitizePhaseInto(packets, band, out, scratch);
   return out;
+}
+
+void SanitizePhaseInto(std::span<const wifi::CsiPacket> packets,
+                       const wifi::BandPlan& band,
+                       std::vector<wifi::CsiPacket>& out,
+                       SanitizeScratch& scratch) {
+  out.resize(packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    SanitizePhaseInto(packets[i], band, out[i], scratch);
+  }
 }
 
 }  // namespace mulink::core

@@ -8,8 +8,10 @@
 // relations, which MUSIC needs, are preserved.
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "dsp/fit.h"
 #include "wifi/band.h"
 #include "wifi/csi.h"
 
@@ -21,19 +23,44 @@ struct PhaseFit {
   double slope_rad_per_hz = 0.0;
 };
 
+// Reusable buffers for the per-packet phase fit; grows on first use.
+struct SanitizeScratch {
+  std::vector<double> avg_phase;
+  std::vector<double> unwrapped;
+  std::vector<double> offsets;
+  dsp::FitScratch fit;
+};
+
 // Unwrap a phase sequence (adjacent jumps > pi are folded).
 std::vector<double> UnwrapPhase(const std::vector<double>& phases);
+
+// Allocation-free variant: out.size() must equal phases.size().
+void UnwrapPhaseInto(std::span<const double> phases, std::span<double> out);
 
 // Fit the linear phase model to the antenna-averaged unwrapped CSI phase.
 PhaseFit FitLinearPhase(const wifi::CsiPacket& packet,
                         const wifi::BandPlan& band);
+PhaseFit FitLinearPhase(const wifi::CsiPacket& packet,
+                        const wifi::BandPlan& band, SanitizeScratch& scratch);
 
 // Remove the fitted common phase and STO slope from all antennas.
 wifi::CsiPacket SanitizePhase(const wifi::CsiPacket& packet,
                               const wifi::BandPlan& band);
 
+// Scratch variant writing into `out`; no heap traffic once `out` and the
+// scratch have warmed up to the packet shape.
+void SanitizePhaseInto(const wifi::CsiPacket& packet,
+                       const wifi::BandPlan& band, wifi::CsiPacket& out,
+                       SanitizeScratch& scratch);
+
 // Convenience: sanitize a whole capture session.
 std::vector<wifi::CsiPacket> SanitizePhase(
     const std::vector<wifi::CsiPacket>& packets, const wifi::BandPlan& band);
+
+// Scratch variant over a window of packets; `out` is resized to match.
+void SanitizePhaseInto(std::span<const wifi::CsiPacket> packets,
+                       const wifi::BandPlan& band,
+                       std::vector<wifi::CsiPacket>& out,
+                       SanitizeScratch& scratch);
 
 }  // namespace mulink::core

@@ -17,10 +17,15 @@ StreamingDetector::StreamingDetector(Detector detector,
     hmm_ = PresenceHmm::FitFromEmptyScores(empty_scores, config_.hmm);
     filter_.emplace(*hmm_);
   }
+  ring_.reserve(config_.window_packets);
+  window_.reserve(config_.window_packets);
 }
 
 void StreamingDetector::Reset() {
-  buffer_.clear();
+  // Keep ring_ / window_ storage (and each packet's CSI buffer) so the next
+  // fill is still allocation-free; stale slots are overwritten before use.
+  write_pos_ = 0;
+  count_ = 0;
   packets_since_decision_ = 0;
   occupied_ = false;
   posterior_ = 0.0;
@@ -29,20 +34,31 @@ void StreamingDetector::Reset() {
 
 std::optional<PresenceDecision> StreamingDetector::Push(
     const wifi::CsiPacket& packet) {
-  buffer_.push_back(packet);
-  while (buffer_.size() > config_.window_packets) buffer_.pop_front();
+  if (write_pos_ < ring_.size()) {
+    ring_[write_pos_] = packet;  // copy-assign reuses the slot's CSI buffer
+  } else {
+    ring_.push_back(packet);  // initial fill only; capacity is reserved
+  }
+  write_pos_ = (write_pos_ + 1) % config_.window_packets;
+  if (count_ < config_.window_packets) ++count_;
   ++packets_since_decision_;
 
-  if (buffer_.size() < config_.window_packets ||
+  if (count_ < config_.window_packets ||
       packets_since_decision_ < config_.hop_packets) {
     return std::nullopt;
   }
   packets_since_decision_ = 0;
 
-  const std::vector<wifi::CsiPacket> window(buffer_.begin(), buffer_.end());
+  // Assemble the window in arrival order: the oldest packet sits at
+  // write_pos_ once the ring is full.
+  window_.resize(config_.window_packets);
+  for (std::size_t i = 0; i < config_.window_packets; ++i) {
+    window_[i] = ring_[(write_pos_ + i) % config_.window_packets];
+  }
   PresenceDecision decision;
-  decision.timestamp_s = window.back().timestamp_s;
-  decision.score = detector_.Score(window);
+  decision.timestamp_s = window_.back().timestamp_s;
+  decision.score =
+      detector_.Score(std::span<const wifi::CsiPacket>(window_), scratch_);
   if (filter_.has_value()) {
     decision.posterior = filter_->Update(decision.score);
     decision.occupied = decision.posterior >= config_.decision_probability;

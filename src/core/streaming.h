@@ -3,7 +3,6 @@
 // around Detector for live CSI feeds (50 packets/s in the paper's testbed).
 #pragma once
 
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -60,7 +59,15 @@ class StreamingDetector {
   StreamingConfig config_;
   std::optional<PresenceHmm> hmm_;
   std::optional<PresenceHmm::Filter> filter_;
-  std::deque<wifi::CsiPacket> buffer_;
+  // Fixed-capacity ring of the last window_packets packets plus an
+  // arrival-ordered window assembled for scoring. Packet slots are
+  // copy-assigned, so their CSI buffers are reused — steady-state Push
+  // performs no heap allocations.
+  std::vector<wifi::CsiPacket> ring_;
+  std::vector<wifi::CsiPacket> window_;
+  std::size_t write_pos_ = 0;
+  std::size_t count_ = 0;
+  mutable DetectorScratch scratch_;
   std::size_t packets_since_decision_ = 0;
   bool occupied_ = false;
   double posterior_ = 0.0;

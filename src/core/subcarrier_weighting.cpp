@@ -25,6 +25,15 @@ const char* ToString(WeightingMode mode) {
 SubcarrierWeights ComputeSubcarrierWeights(
     const std::vector<std::vector<double>>& mu_per_packet,
     WeightingMode mode) {
+  SubcarrierWeights w;
+  std::vector<double> median_scratch;
+  ComputeSubcarrierWeightsInto(mu_per_packet, mode, w, median_scratch);
+  return w;
+}
+
+void ComputeSubcarrierWeightsInto(
+    const std::vector<std::vector<double>>& mu_per_packet, WeightingMode mode,
+    SubcarrierWeights& out, std::vector<double>& median_scratch) {
   MULINK_REQUIRE(!mu_per_packet.empty(),
                  "ComputeSubcarrierWeights: need >= 1 packet");
   const std::size_t num_packets = mu_per_packet.size();
@@ -35,40 +44,39 @@ SubcarrierWeights ComputeSubcarrierWeights(
                    "ComputeSubcarrierWeights: ragged mu matrix");
   }
 
-  SubcarrierWeights w;
-  w.mean_mu.assign(num_sc, 0.0);
-  w.stability.assign(num_sc, 0.0);
+  out.mean_mu.assign(num_sc, 0.0);
+  out.stability.assign(num_sc, 0.0);
 
   for (std::size_t m = 0; m < num_packets; ++m) {
-    const double median = dsp::Median(mu_per_packet[m]);
+    const double median = dsp::Median(mu_per_packet[m], median_scratch);
     for (std::size_t k = 0; k < num_sc; ++k) {
-      w.mean_mu[k] += mu_per_packet[m][k];
+      out.mean_mu[k] += mu_per_packet[m][k];
       if (mu_per_packet[m][k] > median) {
-        w.stability[k] += 1.0;  // delta_m of Eq. 14
+        out.stability[k] += 1.0;  // delta_m of Eq. 14
       }
     }
   }
   for (std::size_t k = 0; k < num_sc; ++k) {
-    w.mean_mu[k] /= static_cast<double>(num_packets);
-    w.stability[k] /= static_cast<double>(num_packets);
+    out.mean_mu[k] /= static_cast<double>(num_packets);
+    out.stability[k] /= static_cast<double>(num_packets);
   }
 
   double sum_mu = 0.0, sum_r = 0.0;
   for (std::size_t k = 0; k < num_sc; ++k) {
-    sum_mu += w.mean_mu[k];
-    sum_r += w.stability[k];
+    sum_mu += out.mean_mu[k];
+    sum_r += out.stability[k];
   }
-  w.weights.assign(num_sc, 0.0);
+  out.weights.assign(num_sc, 0.0);
   const double uniform = 1.0 / static_cast<double>(num_sc);
   bool degenerate = false;
   switch (mode) {
     case WeightingMode::kUniform:
-      for (auto& v : w.weights) v = uniform;
+      for (auto& v : out.weights) v = uniform;
       break;
     case WeightingMode::kMeanMuOnly:
       if (sum_mu > 0.0) {
         for (std::size_t k = 0; k < num_sc; ++k) {
-          w.weights[k] = std::abs(w.mean_mu[k]) / sum_mu;
+          out.weights[k] = std::abs(out.mean_mu[k]) / sum_mu;
         }
       } else {
         degenerate = true;
@@ -77,7 +85,7 @@ SubcarrierWeights ComputeSubcarrierWeights(
     case WeightingMode::kStabilityOnly:
       if (sum_r > 0.0) {
         for (std::size_t k = 0; k < num_sc; ++k) {
-          w.weights[k] = w.stability[k] / sum_r;
+          out.weights[k] = out.stability[k] / sum_r;
         }
       } else {
         degenerate = true;
@@ -86,8 +94,8 @@ SubcarrierWeights ComputeSubcarrierWeights(
     case WeightingMode::kMeanMuTimesStability:
       if (sum_mu * sum_r > 0.0) {
         for (std::size_t k = 0; k < num_sc; ++k) {
-          w.weights[k] =
-              std::abs(w.mean_mu[k] * w.stability[k]) / (sum_mu * sum_r);
+          out.weights[k] =
+              std::abs(out.mean_mu[k] * out.stability[k]) / (sum_mu * sum_r);
         }
       } else {
         degenerate = true;
@@ -97,9 +105,8 @@ SubcarrierWeights ComputeSubcarrierWeights(
   if (degenerate) {
     // Degenerate window (all-zero mu or stability): fall back to uniform so
     // the detector degrades to the baseline instead of reporting zeros.
-    for (auto& v : w.weights) v = uniform;
+    for (auto& v : out.weights) v = uniform;
   }
-  return w;
 }
 
 SubcarrierWeights ComputeSubcarrierWeightsSinglePacket(

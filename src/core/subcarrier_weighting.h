@@ -39,6 +39,12 @@ SubcarrierWeights ComputeSubcarrierWeights(
     const std::vector<std::vector<double>>& mu_per_packet,
     WeightingMode mode = WeightingMode::kMeanMuTimesStability);
 
+// Scratch variant: reuses `out`'s vectors and `median_scratch` so the
+// monitoring loop computes weights without heap traffic.
+void ComputeSubcarrierWeightsInto(
+    const std::vector<std::vector<double>>& mu_per_packet, WeightingMode mode,
+    SubcarrierWeights& out, std::vector<double>& median_scratch);
+
 // Single-packet variant (Eq. 12): weights proportional to |mu_k|.
 SubcarrierWeights ComputeSubcarrierWeightsSinglePacket(
     const std::vector<double>& mu);

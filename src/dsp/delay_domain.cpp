@@ -9,10 +9,20 @@ namespace mulink::dsp {
 std::vector<Complex> DelayTransform(const std::vector<Complex>& cfr,
                                     const std::vector<double>& offsets_hz,
                                     const std::vector<double>& delays_s) {
+  std::vector<Complex> taps(delays_s.size(), Complex(0.0, 0.0));
+  DelayTransformInto(cfr, offsets_hz, delays_s, taps);
+  return taps;
+}
+
+void DelayTransformInto(std::span<const Complex> cfr,
+                        std::span<const double> offsets_hz,
+                        std::span<const double> delays_s,
+                        std::span<Complex> out) {
   MULINK_REQUIRE(cfr.size() == offsets_hz.size(),
                  "DelayTransform: CFR/offset size mismatch");
   MULINK_REQUIRE(!cfr.empty(), "DelayTransform: empty CFR");
-  std::vector<Complex> taps(delays_s.size(), Complex(0.0, 0.0));
+  MULINK_REQUIRE(out.size() == delays_s.size(),
+                 "DelayTransformInto: output size mismatch");
   const double scale = 1.0 / static_cast<double>(cfr.size());
   for (std::size_t t = 0; t < delays_s.size(); ++t) {
     Complex acc(0.0, 0.0);
@@ -20,12 +30,11 @@ std::vector<Complex> DelayTransform(const std::vector<Complex>& cfr,
       const double angle = 2.0 * kPi * offsets_hz[k] * delays_s[t];
       acc += cfr[k] * Complex(std::cos(angle), std::sin(angle));
     }
-    taps[t] = acc * scale;
+    out[t] = acc * scale;
   }
-  return taps;
 }
 
-double DominantTapPower(const std::vector<Complex>& cfr) {
+double DominantTapPower(std::span<const Complex> cfr) {
   MULINK_REQUIRE(!cfr.empty(), "DominantTapPower: empty CFR");
   Complex acc(0.0, 0.0);
   for (const auto& h : cfr) acc += h;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <complex>
+#include <span>
 #include <vector>
 
 #include "common/constants.h"
@@ -23,9 +24,15 @@ std::vector<Complex> DelayTransform(const std::vector<Complex>& cfr,
                                     const std::vector<double>& offsets_hz,
                                     const std::vector<double>& delays_s);
 
+// Allocation-free variant: out.size() must equal delays_s.size().
+void DelayTransformInto(std::span<const Complex> cfr,
+                        std::span<const double> offsets_hz,
+                        std::span<const double> delays_s,
+                        std::span<Complex> out);
+
 // Power of the zero-delay tap |h_hat(0)|^2 — the dominant-path power proxy of
 // Eq. 10. Equivalent to |mean_k H(f_k)|^2.
-double DominantTapPower(const std::vector<Complex>& cfr);
+double DominantTapPower(std::span<const Complex> cfr);
 
 // Delay profile over a uniform delay grid [0, max_delay_s] with `num_taps`
 // taps; returns per-tap |h(tau)|^2.

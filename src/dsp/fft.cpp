@@ -10,34 +10,62 @@ bool IsPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
 namespace {
 
-void Transform(std::vector<Complex>& data, bool inverse) {
-  const std::size_t n = data.size();
-  MULINK_REQUIRE(IsPowerOfTwo(n), "Fft: size must be a power of two");
-  if (n <= 1) return;
+// Concatenated per-stage twiddle tables for stages len = 2, 4, ..., n
+// (len/2 entries per stage, n-1 total). Entries are produced by the same
+// w *= w_len recurrence as the table-free path, preserving bit-identity.
+void FillTwiddles(std::vector<Complex>& table, std::size_t n, bool inverse) {
+  table.clear();
+  table.reserve(n - 1);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
+    const Complex w_len(std::cos(angle), std::sin(angle));
+    Complex w(1.0, 0.0);
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      table.push_back(w);
+      w *= w_len;
+    }
+  }
+}
 
-  // Bit-reversal permutation.
+void BitReverse(std::span<Complex> data) {
+  const std::size_t n = data.size();
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;
     for (; j & bit; bit >>= 1) j ^= bit;
     j ^= bit;
     if (i < j) std::swap(data[i], data[j]);
   }
+}
 
-  // Danielson–Lanczos butterflies.
+void Transform(std::span<Complex> data, bool inverse, FftWorkspace& ws) {
+  const std::size_t n = data.size();
+  MULINK_REQUIRE(IsPowerOfTwo(n), "Fft: size must be a power of two");
+  if (n <= 1) return;
+
+  if (ws.size != n) {
+    FillTwiddles(ws.forward, n, false);
+    FillTwiddles(ws.inverse, n, true);
+    ws.size = n;
+  }
+  const std::vector<Complex>& table = inverse ? ws.inverse : ws.forward;
+
+  BitReverse(data);
+
+  // Danielson–Lanczos butterflies with precomputed twiddles.
+  std::size_t stage_base = 0;
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle =
-        (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
-    const Complex w_len(std::cos(angle), std::sin(angle));
+    const std::size_t half = len / 2;
     for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const Complex w = table[stage_base + k];
         const Complex u = data[i + k];
-        const Complex v = data[i + k + len / 2] * w;
+        const Complex v = data[i + k + half] * w;
         data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-        w *= w_len;
+        data[i + k + half] = u - v;
       }
     }
+    stage_base += half;
   }
 
   if (inverse) {
@@ -48,8 +76,22 @@ void Transform(std::vector<Complex>& data, bool inverse) {
 
 }  // namespace
 
-void Fft(std::vector<Complex>& data) { Transform(data, false); }
+void Fft(std::span<Complex> data, FftWorkspace& ws) {
+  Transform(data, false, ws);
+}
 
-void Ifft(std::vector<Complex>& data) { Transform(data, true); }
+void Ifft(std::span<Complex> data, FftWorkspace& ws) {
+  Transform(data, true, ws);
+}
+
+void Fft(std::vector<Complex>& data) {
+  FftWorkspace ws;
+  Transform(data, false, ws);
+}
+
+void Ifft(std::vector<Complex>& data) {
+  FftWorkspace ws;
+  Transform(data, true, ws);
+}
 
 }  // namespace mulink::dsp

@@ -1,11 +1,24 @@
 // Iterative radix-2 FFT for the OFDM baseband chain.
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/constants.h"
 
 namespace mulink::dsp {
+
+// Cached twiddle-factor tables. A default-constructed workspace fills its
+// tables on first use for a given size; subsequent transforms of that size
+// perform no heap allocations. The tables are generated with the exact
+// incremental recurrence the allocating path uses, so results stay
+// bit-identical.
+struct FftWorkspace {
+  std::vector<Complex> forward;  // per-stage twiddles, stages len=2,4,...,n
+  std::vector<Complex> inverse;
+  std::size_t size = 0;
+};
 
 // In-place forward DFT: X[k] = sum_n x[n] exp(-j 2 pi k n / N).
 // Size must be a power of two.
@@ -13,6 +26,10 @@ void Fft(std::vector<Complex>& data);
 
 // In-place inverse DFT including the 1/N normalization.
 void Ifft(std::vector<Complex>& data);
+
+// Allocation-free (after warm-up) span variants.
+void Fft(std::span<Complex> data, FftWorkspace& ws);
+void Ifft(std::span<Complex> data, FftWorkspace& ws);
 
 bool IsPowerOfTwo(std::size_t n);
 

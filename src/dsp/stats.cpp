@@ -7,14 +7,14 @@
 
 namespace mulink::dsp {
 
-double Mean(const std::vector<double>& xs) {
+double Mean(std::span<const double> xs) {
   MULINK_REQUIRE(!xs.empty(), "Mean: empty input");
   double sum = 0.0;
   for (double x : xs) sum += x;
   return sum / static_cast<double>(xs.size());
 }
 
-double Variance(const std::vector<double>& xs) {
+double Variance(std::span<const double> xs) {
   MULINK_REQUIRE(!xs.empty(), "Variance: empty input");
   const double m = Mean(xs);
   double sum = 0.0;
@@ -22,9 +22,9 @@ double Variance(const std::vector<double>& xs) {
   return sum / static_cast<double>(xs.size());
 }
 
-double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+double StdDev(std::span<const double> xs) { return std::sqrt(Variance(xs)); }
 
-double Median(std::vector<double> xs) {
+double MedianInPlace(std::span<double> xs) {
   MULINK_REQUIRE(!xs.empty(), "Median: empty input");
   const std::size_t mid = xs.size() / 2;
   std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
@@ -34,6 +34,13 @@ double Median(std::vector<double> xs) {
   const double lo =
       *std::max_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
   return 0.5 * (lo + hi);
+}
+
+double Median(std::vector<double> xs) { return MedianInPlace(xs); }
+
+double Median(std::span<const double> xs, std::vector<double>& scratch) {
+  scratch.assign(xs.begin(), xs.end());
+  return MedianInPlace(scratch);
 }
 
 double Quantile(std::vector<double> xs, double q) {
@@ -48,20 +55,27 @@ double Quantile(std::vector<double> xs, double q) {
 }
 
 double MedianAbsDeviation(const std::vector<double>& xs) {
-  MULINK_REQUIRE(!xs.empty(), "MedianAbsDeviation: empty input");
-  const double med = Median(std::vector<double>(xs));
-  std::vector<double> deviations;
-  deviations.reserve(xs.size());
-  for (double x : xs) deviations.push_back(std::abs(x - med));
-  return Median(std::move(deviations));
+  std::vector<double> scratch;
+  return MedianAbsDeviation(std::span<const double>(xs), scratch);
 }
 
-double Min(const std::vector<double>& xs) {
+double MedianAbsDeviation(std::span<const double> xs,
+                          std::vector<double>& scratch) {
+  MULINK_REQUIRE(!xs.empty(), "MedianAbsDeviation: empty input");
+  scratch.assign(xs.begin(), xs.end());
+  const double med = MedianInPlace(scratch);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    scratch[i] = std::abs(xs[i] - med);
+  }
+  return MedianInPlace(scratch);
+}
+
+double Min(std::span<const double> xs) {
   MULINK_REQUIRE(!xs.empty(), "Min: empty input");
   return *std::min_element(xs.begin(), xs.end());
 }
 
-double Max(const std::vector<double>& xs) {
+double Max(std::span<const double> xs) {
   MULINK_REQUIRE(!xs.empty(), "Max: empty input");
   return *std::max_element(xs.begin(), xs.end());
 }
@@ -103,7 +117,7 @@ std::vector<CdfPoint> EmpiricalCdf(std::vector<double> xs,
   return cdf;
 }
 
-double CdfAt(const std::vector<double>& xs, double threshold) {
+double CdfAt(std::span<const double> xs, double threshold) {
   MULINK_REQUIRE(!xs.empty(), "CdfAt: empty input");
   std::size_t count = 0;
   for (double x : xs) {

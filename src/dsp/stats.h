@@ -4,16 +4,24 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace mulink::dsp {
 
-double Mean(const std::vector<double>& xs);
-double Variance(const std::vector<double>& xs);  // population variance
-double StdDev(const std::vector<double>& xs);
+double Mean(std::span<const double> xs);
+double Variance(std::span<const double> xs);  // population variance
+double StdDev(std::span<const double> xs);
 
 // Median via partial sort of a copy; exact for both parities.
 double Median(std::vector<double> xs);
+
+// Median of a mutable range, reordering it (nth_element) instead of copying.
+double MedianInPlace(std::span<double> xs);
+
+// Allocation-free (after warm-up) median: copies into `scratch` and runs
+// MedianInPlace. Bit-identical to Median on the same values.
+double Median(std::span<const double> xs, std::vector<double>& scratch);
 
 // Linear-interpolated quantile, q in [0, 1].
 double Quantile(std::vector<double> xs, double q);
@@ -22,8 +30,12 @@ double Quantile(std::vector<double> xs, double q);
 // robust, outlier-immune estimate of a Gaussian's standard deviation.
 double MedianAbsDeviation(const std::vector<double>& xs);
 
-double Min(const std::vector<double>& xs);
-double Max(const std::vector<double>& xs);
+// Scratch variant of the above; reuses one buffer for both median passes.
+double MedianAbsDeviation(std::span<const double> xs,
+                          std::vector<double>& scratch);
+
+double Min(std::span<const double> xs);
+double Max(std::span<const double> xs);
 
 // Pearson correlation coefficient.
 double Correlation(const std::vector<double>& xs, const std::vector<double>& ys);
@@ -40,7 +52,7 @@ std::vector<CdfPoint> EmpiricalCdf(std::vector<double> xs,
                                    std::size_t num_points = 101);
 
 // Fraction of samples <= threshold.
-double CdfAt(const std::vector<double>& xs, double threshold);
+double CdfAt(std::span<const double> xs, double threshold);
 
 // Uniform-bin histogram.
 struct Histogram {

@@ -34,23 +34,7 @@ const SchemeResult& CampaignResult::ForScheme(
   throw PreconditionError("CampaignResult: scheme not present in results");
 }
 
-namespace {
-
-std::vector<std::vector<wifi::CsiPacket>> SplitWindows(
-    const std::vector<wifi::CsiPacket>& session, std::size_t window) {
-  std::vector<std::vector<wifi::CsiPacket>> windows;
-  for (std::size_t start = 0; start + window <= session.size();
-       start += window) {
-    windows.emplace_back(session.begin() + static_cast<std::ptrdiff_t>(start),
-                         session.begin() +
-                             static_cast<std::ptrdiff_t>(start + window));
-  }
-  return windows;
-}
-
-}  // namespace
-
-CampaignResult RunCampaign(
+void ValidateCampaignInputs(
     const std::vector<LinkCase>& cases,
     const std::vector<std::vector<HumanSpot>>& spots_per_case,
     const std::vector<core::DetectionScheme>& schemes,
@@ -60,6 +44,97 @@ CampaignResult RunCampaign(
   MULINK_REQUIRE(!schemes.empty(), "RunCampaign: need >= 1 scheme");
   MULINK_REQUIRE(config.window_packets >= 2,
                  "RunCampaign: window must hold >= 2 packets");
+}
+
+CaseResult RunCampaignCase(const LinkCase& link_case,
+                           const std::vector<HumanSpot>& spots,
+                           const std::vector<core::DetectionScheme>& schemes,
+                           const CampaignConfig& config,
+                           std::size_t case_index, Rng case_rng) {
+  CaseResult partial;
+  partial.positives.resize(schemes.size());
+  partial.negatives.resize(schemes.size());
+
+  auto simulator = MakeSimulator(link_case, config.sim);
+
+  // Calibration session (empty room).
+  const auto calibration = simulator.CaptureSession(
+      config.calibration_packets, std::nullopt, case_rng);
+
+  // One detector per scheme, sharing the calibration capture. Each keeps a
+  // scratch so the whole case scores without per-window allocations.
+  std::vector<core::Detector> detectors;
+  detectors.reserve(schemes.size());
+  for (auto scheme : schemes) {
+    core::DetectorConfig dc = config.detector;
+    dc.scheme = scheme;
+    dc.window_packets = config.window_packets;
+    detectors.push_back(core::Detector::Calibrate(
+        calibration, simulator.band(), simulator.array(), dc));
+  }
+  std::vector<core::DetectorScratch> scratch(schemes.size());
+
+  const std::size_t window = config.window_packets;
+
+  // Negative windows: a fresh empty-room session.
+  const auto empty_session =
+      simulator.CaptureSession(config.empty_packets, std::nullopt, case_rng);
+  const std::span<const wifi::CsiPacket> empty_span(empty_session);
+  for (std::size_t start = 0; start + window <= empty_session.size();
+       start += window) {
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      ScoredWindow sw;
+      sw.score = detectors[s].Score(empty_span.subspan(start, window),
+                                    scratch[s]);
+      sw.case_index = static_cast<int>(case_index);
+      partial.negatives[s].push_back(sw);
+    }
+  }
+
+  // Positive windows: one session per human spot.
+  for (const auto& spot : spots) {
+    propagation::HumanBody body = config.human;
+    body.position = spot.position;
+    const auto session = simulator.CaptureSession(
+        config.packets_per_location, body, case_rng);
+    const std::span<const wifi::CsiPacket> session_span(session);
+    for (std::size_t start = 0; start + window <= session.size();
+         start += window) {
+      for (std::size_t s = 0; s < schemes.size(); ++s) {
+        ScoredWindow sw;
+        sw.score = detectors[s].Score(session_span.subspan(start, window),
+                                      scratch[s]);
+        sw.case_index = static_cast<int>(case_index);
+        sw.distance_to_rx_m = spot.distance_to_rx_m;
+        sw.angle_deg = spot.angle_deg;
+        partial.positives[s].push_back(sw);
+      }
+    }
+  }
+  return partial;
+}
+
+void MergeCaseResult(const CaseResult& partial, CampaignResult& result) {
+  MULINK_REQUIRE(partial.positives.size() == result.schemes.size() &&
+                     partial.negatives.size() == result.schemes.size(),
+                 "MergeCaseResult: scheme count mismatch");
+  for (std::size_t s = 0; s < result.schemes.size(); ++s) {
+    auto& scheme = result.schemes[s];
+    scheme.negatives.insert(scheme.negatives.end(),
+                            partial.negatives[s].begin(),
+                            partial.negatives[s].end());
+    scheme.positives.insert(scheme.positives.end(),
+                            partial.positives[s].begin(),
+                            partial.positives[s].end());
+  }
+}
+
+CampaignResult RunCampaign(
+    const std::vector<LinkCase>& cases,
+    const std::vector<std::vector<HumanSpot>>& spots_per_case,
+    const std::vector<core::DetectionScheme>& schemes,
+    const CampaignConfig& config) {
+  ValidateCampaignInputs(cases, spots_per_case, schemes, config);
 
   CampaignResult result;
   result.schemes.resize(schemes.size());
@@ -68,58 +143,10 @@ CampaignResult RunCampaign(
   }
 
   Rng rng(config.seed);
-
   for (std::size_t ci = 0; ci < cases.size(); ++ci) {
-    const auto& link_case = cases[ci];
-    auto simulator = MakeSimulator(link_case, config.sim);
-    Rng case_rng = rng.Fork();
-
-    // Calibration session (empty room).
-    const auto calibration =
-        simulator.CaptureSession(config.calibration_packets, std::nullopt,
-                                 case_rng);
-
-    // One detector per scheme, sharing the calibration capture.
-    std::vector<core::Detector> detectors;
-    detectors.reserve(schemes.size());
-    for (auto scheme : schemes) {
-      core::DetectorConfig dc = config.detector;
-      dc.scheme = scheme;
-      dc.window_packets = config.window_packets;
-      detectors.push_back(core::Detector::Calibrate(
-          calibration, simulator.band(), simulator.array(), dc));
-    }
-
-    // Negative windows: a fresh empty-room session.
-    const auto empty_session =
-        simulator.CaptureSession(config.empty_packets, std::nullopt, case_rng);
-    for (const auto& window :
-         SplitWindows(empty_session, config.window_packets)) {
-      for (std::size_t s = 0; s < schemes.size(); ++s) {
-        ScoredWindow sw;
-        sw.score = detectors[s].Score(window);
-        sw.case_index = static_cast<int>(ci);
-        result.schemes[s].negatives.push_back(sw);
-      }
-    }
-
-    // Positive windows: one session per human spot.
-    for (const auto& spot : spots_per_case[ci]) {
-      propagation::HumanBody body = config.human;
-      body.position = spot.position;
-      const auto session = simulator.CaptureSession(
-          config.packets_per_location, body, case_rng);
-      for (const auto& window : SplitWindows(session, config.window_packets)) {
-        for (std::size_t s = 0; s < schemes.size(); ++s) {
-          ScoredWindow sw;
-          sw.score = detectors[s].Score(window);
-          sw.case_index = static_cast<int>(ci);
-          sw.distance_to_rx_m = spot.distance_to_rx_m;
-          sw.angle_deg = spot.angle_deg;
-          result.schemes[s].positives.push_back(sw);
-        }
-      }
-    }
+    MergeCaseResult(RunCampaignCase(cases[ci], spots_per_case[ci], schemes,
+                                    config, ci, rng.Fork()),
+                    result);
   }
   return result;
 }

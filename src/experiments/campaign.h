@@ -80,4 +80,31 @@ CampaignResult RunCampaign(const std::vector<LinkCase>& cases,
 // three schemes).
 CampaignResult RunPaperCampaign(const CampaignConfig& config);
 
+// --- Building blocks shared with ParallelCampaignRunner -------------------
+
+// Partial result of one scenario cell: scored windows per scheme, in
+// capture order. One CaseResult is one merge slot of the parallel fan-out.
+struct CaseResult {
+  std::vector<std::vector<ScoredWindow>> positives;  // [scheme][window]
+  std::vector<std::vector<ScoredWindow>> negatives;  // [scheme][window]
+};
+
+// Run one case end to end (calibrate, capture, score all schemes) on its
+// own pre-forked RNG stream. Self-contained: safe to call from any thread.
+CaseResult RunCampaignCase(const LinkCase& link_case,
+                           const std::vector<HumanSpot>& spots,
+                           const std::vector<core::DetectionScheme>& schemes,
+                           const CampaignConfig& config,
+                           std::size_t case_index, Rng case_rng);
+
+// Append per-case partials to the campaign result in case order.
+void MergeCaseResult(const CaseResult& partial, CampaignResult& result);
+
+// Shared input validation for the serial and parallel runners.
+void ValidateCampaignInputs(
+    const std::vector<LinkCase>& cases,
+    const std::vector<std::vector<HumanSpot>>& spots_per_case,
+    const std::vector<core::DetectionScheme>& schemes,
+    const CampaignConfig& config);
+
 }  // namespace mulink::experiments

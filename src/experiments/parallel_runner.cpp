@@ -1,0 +1,101 @@
+#include "experiments/parallel_runner.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace mulink::experiments {
+
+ParallelCampaignRunner::ParallelCampaignRunner(std::size_t num_threads)
+    : num_threads_(num_threads) {
+  if (num_threads_ == 0) {
+    num_threads_ = std::thread::hardware_concurrency();
+    if (num_threads_ == 0) num_threads_ = 1;
+  }
+}
+
+void ParallelCampaignRunner::ParallelFor(
+    std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  if (n == 0) return;
+  const std::size_t workers = std::min(num_threads_, n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          try {
+            fn(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      });
+    }
+  }  // jthreads join here
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+CampaignResult ParallelCampaignRunner::Run(
+    const std::vector<LinkCase>& cases,
+    const std::vector<std::vector<HumanSpot>>& spots_per_case,
+    const std::vector<core::DetectionScheme>& schemes,
+    const CampaignConfig& config) const {
+  ValidateCampaignInputs(cases, spots_per_case, schemes, config);
+
+  // Fork every case's RNG stream sequentially, in case order, on THIS
+  // thread — exactly the fork sequence of the serial runner, so each case
+  // draws the same samples no matter which pool thread executes it.
+  Rng rng(config.seed);
+  std::vector<Rng> case_rngs;
+  case_rngs.reserve(cases.size());
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    case_rngs.push_back(rng.Fork());
+  }
+
+  std::vector<CaseResult> partials(cases.size());
+  ParallelFor(cases.size(), [&](std::size_t ci) {
+    partials[ci] = RunCampaignCase(cases[ci], spots_per_case[ci], schemes,
+                                   config, ci, case_rngs[ci]);
+  });
+
+  // Ordered collection: merge slots in case order regardless of which
+  // thread finished first.
+  CampaignResult result;
+  result.schemes.resize(schemes.size());
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    result.schemes[s].scheme = schemes[s];
+  }
+  for (const auto& partial : partials) MergeCaseResult(partial, result);
+  return result;
+}
+
+CampaignResult ParallelCampaignRunner::RunPaper(
+    const CampaignConfig& config) const {
+  const auto cases = MakePaperCases();
+  std::vector<std::vector<HumanSpot>> spots;
+  spots.reserve(cases.size());
+  for (const auto& c : cases) spots.push_back(Grid3x3(c));
+  return Run(cases, spots,
+             {core::DetectionScheme::kBaseline,
+              core::DetectionScheme::kSubcarrierWeighting,
+              core::DetectionScheme::kSubcarrierAndPathWeighting},
+             config);
+}
+
+}  // namespace mulink::experiments

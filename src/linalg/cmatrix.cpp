@@ -1,5 +1,6 @@
 #include "linalg/cmatrix.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/assert.h"
@@ -30,6 +31,16 @@ CMatrix CMatrix::OuterProduct(const std::vector<Complex>& x,
     }
   }
   return m;
+}
+
+void CMatrix::Resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, Complex(0.0, 0.0));
+}
+
+void CMatrix::SetZero() {
+  std::fill(data_.begin(), data_.end(), Complex(0.0, 0.0));
 }
 
 Complex& CMatrix::At(std::size_t r, std::size_t c) {
@@ -133,6 +144,21 @@ std::vector<Complex> CMatrix::Apply(const std::vector<Complex>& x) const {
   return y;
 }
 
+void CMatrix::ApplyInto(std::span<const Complex> x,
+                        std::span<Complex> y) const {
+  MULINK_REQUIRE(x.size() == cols_ && y.size() == rows_,
+                 "CMatrix::ApplyInto: dimension mismatch");
+  const Complex* a = data_.data();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    Complex acc(0.0, 0.0);
+    const Complex* row = a + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      acc += row[c] * x[c];
+    }
+    y[r] = acc;
+  }
+}
+
 double CMatrix::FrobeniusNorm() const {
   double sum = 0.0;
   for (const auto& v : data_) sum += std::norm(v);
@@ -167,6 +193,10 @@ Complex CMatrix::Trace() const {
 }
 
 Complex Dot(const std::vector<Complex>& x, const std::vector<Complex>& y) {
+  return Dot(std::span<const Complex>(x), std::span<const Complex>(y));
+}
+
+Complex Dot(std::span<const Complex> x, std::span<const Complex> y) {
   MULINK_REQUIRE(x.size() == y.size(), "Dot: dimension mismatch");
   Complex sum(0.0, 0.0);
   for (std::size_t i = 0; i < x.size(); ++i) sum += std::conj(x[i]) * y[i];
@@ -174,6 +204,10 @@ Complex Dot(const std::vector<Complex>& x, const std::vector<Complex>& y) {
 }
 
 double Norm(const std::vector<Complex>& x) {
+  return Norm(std::span<const Complex>(x));
+}
+
+double Norm(std::span<const Complex> x) {
   double sum = 0.0;
   for (const auto& v : x) sum += std::norm(v);
   return std::sqrt(sum);

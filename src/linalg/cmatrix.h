@@ -7,6 +7,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/constants.h"
@@ -33,8 +34,21 @@ class CMatrix {
   std::size_t cols() const { return cols_; }
   bool empty() const { return rows_ == 0 || cols_ == 0; }
 
+  // Reshape to rows x cols with every entry zeroed. Reuses the existing
+  // capacity, so repeated Resize to the same (or smaller) shape never
+  // touches the heap — the workspace pattern relies on this.
+  void Resize(std::size_t rows, std::size_t cols);
+
+  // Zero every entry without changing the shape.
+  void SetZero();
+
   Complex& At(std::size_t r, std::size_t c);
   const Complex& At(std::size_t r, std::size_t c) const;
+
+  // Unchecked row-major storage access for hot loops that have already
+  // validated their indices. Row r starts at raw() + r * cols().
+  Complex* raw() { return data_.data(); }
+  const Complex* raw() const { return data_.data(); }
 
   CMatrix Adjoint() const;  // conjugate transpose
   CMatrix Transpose() const;
@@ -49,6 +63,10 @@ class CMatrix {
 
   // Matrix-vector product. x.size() must equal cols().
   std::vector<Complex> Apply(const std::vector<Complex>& x) const;
+
+  // Allocation-free matrix-vector product: y = A x. x.size() must equal
+  // cols(), y.size() must equal rows(), and y must not alias x.
+  void ApplyInto(std::span<const Complex> x, std::span<Complex> y) const;
 
   double FrobeniusNorm() const;
 
@@ -70,8 +88,10 @@ class CMatrix {
 
 // Hermitian inner product <x, y> = sum conj(x_i) * y_i.
 Complex Dot(const std::vector<Complex>& x, const std::vector<Complex>& y);
+Complex Dot(std::span<const Complex> x, std::span<const Complex> y);
 
 // Euclidean norm of a complex vector.
 double Norm(const std::vector<Complex>& x);
+double Norm(std::span<const Complex> x);
 
 }  // namespace mulink::linalg

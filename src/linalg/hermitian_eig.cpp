@@ -12,8 +12,16 @@ namespace mulink::linalg {
 std::vector<Complex> EigenSystem::Vector(std::size_t k) const {
   MULINK_REQUIRE(k < values.size(), "EigenSystem::Vector: index out of range");
   std::vector<Complex> v(vectors.rows());
-  for (std::size_t i = 0; i < vectors.rows(); ++i) v[i] = vectors.At(i, k);
+  VectorInto(k, v);
   return v;
+}
+
+void EigenSystem::VectorInto(std::size_t k, std::span<Complex> out) const {
+  MULINK_REQUIRE(k < values.size(),
+                 "EigenSystem::VectorInto: index out of range");
+  MULINK_REQUIRE(out.size() == vectors.rows(),
+                 "EigenSystem::VectorInto: output size mismatch");
+  for (std::size_t i = 0; i < vectors.rows(); ++i) out[i] = vectors.At(i, k);
 }
 
 namespace {
@@ -74,20 +82,31 @@ void Rotate(CMatrix& a, CMatrix& v, std::size_t p, std::size_t q) {
 }  // namespace
 
 EigenSystem HermitianEigen(const CMatrix& input, const JacobiOptions& options) {
+  EigenSystem es;
+  EigWorkspace ws;
+  HermitianEigen(input, es, ws, options);
+  return es;
+}
+
+void HermitianEigen(const CMatrix& input, EigenSystem& out, EigWorkspace& ws,
+                    const JacobiOptions& options) {
   MULINK_REQUIRE(input.rows() == input.cols(),
                  "HermitianEigen: matrix must be square");
   MULINK_REQUIRE(input.IsHermitian(1e-8 * (1.0 + input.FrobeniusNorm())),
                  "HermitianEigen: matrix must be Hermitian");
   const std::size_t n = input.rows();
 
-  CMatrix a = input;
-  CMatrix v = CMatrix::Identity(n);
+  CMatrix& a = ws.a;
+  CMatrix& v = ws.v;
+  a = input;
+  v.Resize(n, n);
+  for (std::size_t i = 0; i < n; ++i) v.At(i, i) = Complex(1.0, 0.0);
 
   if (n <= 1) {
-    EigenSystem es;
-    es.vectors = v;
-    if (n == 1) es.values = {a.At(0, 0).real()};
-    return es;
+    out.vectors = v;
+    out.values.clear();
+    if (n == 1) out.values.push_back(a.At(0, 0).real());
+    return;
   }
 
   const double scale = std::max(1.0, a.FrobeniusNorm());
@@ -111,22 +130,21 @@ EigenSystem HermitianEigen(const CMatrix& input, const JacobiOptions& options) {
   }
 
   // Sort ascending by eigenvalue, permuting eigenvector columns to match.
-  std::vector<std::size_t> order(n);
+  std::vector<std::size_t>& order = ws.order;
+  order.resize(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
     return a.At(i, i).real() < a.At(j, j).real();
   });
 
-  EigenSystem es;
-  es.values.resize(n);
-  es.vectors = CMatrix(n, n);
+  out.values.resize(n);
+  out.vectors.Resize(n, n);
   for (std::size_t k = 0; k < n; ++k) {
-    es.values[k] = a.At(order[k], order[k]).real();
+    out.values[k] = a.At(order[k], order[k]).real();
     for (std::size_t i = 0; i < n; ++i) {
-      es.vectors.At(i, k) = v.At(i, order[k]);
+      out.vectors.At(i, k) = v.At(i, order[k]);
     }
   }
-  return es;
 }
 
 }  // namespace mulink::linalg

@@ -21,6 +21,9 @@ struct EigenSystem {
 
   // Convenience: the k-th eigenvector as a column vector.
   std::vector<Complex> Vector(std::size_t k) const;
+
+  // Allocation-free variant: out.size() must equal vectors.rows().
+  void VectorInto(std::size_t k, std::span<Complex> out) const;
 };
 
 struct JacobiOptions {
@@ -28,10 +31,24 @@ struct JacobiOptions {
   double tolerance = 1e-12;  // stop when off-diagonal Frobenius norm^2 / n^2 < tol^2
 };
 
+// Reusable scratch for the Jacobi sweeps. A default-constructed workspace
+// grows on first use; subsequent decompositions of same-sized matrices do
+// not allocate.
+struct EigWorkspace {
+  CMatrix a;                       // working copy being diagonalized
+  CMatrix v;                       // accumulated rotations
+  std::vector<std::size_t> order;  // eigenvalue sort permutation
+};
+
 // Decompose a Hermitian matrix A into V diag(values) V^H.
 //
 // Throws PreconditionError when A is not square or not Hermitian (to 1e-8),
 // NumericalError when the sweep budget is exhausted before convergence.
 EigenSystem HermitianEigen(const CMatrix& a, const JacobiOptions& options = {});
+
+// Workspace variant: writes the decomposition into `out`, reusing both the
+// workspace and `out`'s buffers. Bit-identical to the allocating overload.
+void HermitianEigen(const CMatrix& a, EigenSystem& out, EigWorkspace& ws,
+                    const JacobiOptions& options = {});
 
 }  // namespace mulink::linalg

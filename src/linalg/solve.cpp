@@ -8,8 +8,15 @@
 namespace mulink::linalg {
 
 std::vector<double> SolveLinear(RMatrix a, std::vector<double> b) {
+  std::vector<double> x(a.rows, 0.0);
+  SolveLinearInPlace(a, b, x);
+  return x;
+}
+
+void SolveLinearInPlace(RMatrix& a, std::span<double> b, std::span<double> x) {
   MULINK_REQUIRE(a.rows == a.cols, "SolveLinear: matrix must be square");
   MULINK_REQUIRE(a.rows == b.size(), "SolveLinear: dimension mismatch");
+  MULINK_REQUIRE(x.size() == a.rows, "SolveLinear: solution size mismatch");
   const std::size_t n = a.rows;
 
   for (std::size_t col = 0; col < n; ++col) {
@@ -44,36 +51,46 @@ std::vector<double> SolveLinear(RMatrix a, std::vector<double> b) {
   }
 
   // Back substitution.
-  std::vector<double> x(n, 0.0);
   for (std::size_t ri = n; ri > 0; --ri) {
     const std::size_t r = ri - 1;
     double sum = b[r];
     for (std::size_t c = r + 1; c < n; ++c) sum -= a.At(r, c) * x[c];
     x[r] = sum / a.At(r, r);
   }
-  return x;
 }
 
 std::vector<double> SolveLeastSquares(const RMatrix& a,
                                       const std::vector<double>& b) {
+  std::vector<double> x;
+  LeastSquaresScratch scratch;
+  SolveLeastSquaresInto(a, b, x, scratch);
+  return x;
+}
+
+void SolveLeastSquaresInto(const RMatrix& a, std::span<const double> b,
+                           std::vector<double>& x,
+                           LeastSquaresScratch& scratch) {
   MULINK_REQUIRE(a.rows == b.size(), "SolveLeastSquares: dimension mismatch");
   MULINK_REQUIRE(a.rows >= a.cols,
                  "SolveLeastSquares: need at least as many rows as unknowns");
   const std::size_t n = a.cols;
 
-  RMatrix ata(n, n);
-  std::vector<double> atb(n, 0.0);
+  scratch.ata.rows = n;
+  scratch.ata.cols = n;
+  scratch.ata.data.resize(n * n);
+  scratch.atb.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       double sum = 0.0;
       for (std::size_t r = 0; r < a.rows; ++r) sum += a.At(r, i) * a.At(r, j);
-      ata.At(i, j) = sum;
+      scratch.ata.At(i, j) = sum;
     }
     double sum = 0.0;
     for (std::size_t r = 0; r < a.rows; ++r) sum += a.At(r, i) * b[r];
-    atb[i] = sum;
+    scratch.atb[i] = sum;
   }
-  return SolveLinear(std::move(ata), std::move(atb));
+  x.resize(n);
+  SolveLinearInPlace(scratch.ata, scratch.atb, x);
 }
 
 }  // namespace mulink::linalg

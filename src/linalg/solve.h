@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace mulink::linalg {
@@ -24,9 +25,26 @@ struct RMatrix {
 // Throws NumericalError on (near-)singular systems.
 std::vector<double> SolveLinear(RMatrix a, std::vector<double> b);
 
+// In-place core of SolveLinear: destroys `a` and `b`, writes the solution to
+// `x` (x.size() == a.rows). No heap traffic — the allocating overload above
+// is a thin wrapper around this.
+void SolveLinearInPlace(RMatrix& a, std::span<double> b, std::span<double> x);
+
 // Minimize ||A x - b||_2 via the normal equations (A^T A) x = A^T b.
 // Adequate for the tiny, well-conditioned design matrices in this project.
 std::vector<double> SolveLeastSquares(const RMatrix& a,
                                       const std::vector<double>& b);
+
+// Reusable buffers for SolveLeastSquaresInto; grow on first use.
+struct LeastSquaresScratch {
+  RMatrix ata;
+  std::vector<double> atb;
+};
+
+// Scratch variant: allocation-free once `scratch` and `x` have warmed up to
+// the problem shape. `x` is resized to a.cols.
+void SolveLeastSquaresInto(const RMatrix& a, std::span<const double> b,
+                           std::vector<double>& x,
+                           LeastSquaresScratch& scratch);
 
 }  // namespace mulink::linalg

@@ -42,14 +42,21 @@ double UniformLinearArray::ExcessPathLength(std::size_t m,
 
 std::vector<Complex> UniformLinearArray::SteeringVector(double theta_rad,
                                                         double freq_hz) const {
-  MULINK_REQUIRE(freq_hz > 0.0, "ULA: frequency must be > 0");
   std::vector<Complex> a(num_antennas_);
+  SteeringVectorInto(theta_rad, freq_hz, a);
+  return a;
+}
+
+void UniformLinearArray::SteeringVectorInto(double theta_rad, double freq_hz,
+                                            std::span<Complex> out) const {
+  MULINK_REQUIRE(freq_hz > 0.0, "ULA: frequency must be > 0");
+  MULINK_REQUIRE(out.size() == num_antennas_,
+                 "ULA: steering vector size mismatch");
   for (std::size_t m = 0; m < num_antennas_; ++m) {
     const double phase =
         -2.0 * kPi * freq_hz * ExcessPathLength(m, theta_rad) / kSpeedOfLight;
-    a[m] = Complex(std::cos(phase), std::sin(phase));
+    out[m] = Complex(std::cos(phase), std::sin(phase));
   }
-  return a;
 }
 
 }  // namespace mulink::wifi

@@ -7,6 +7,7 @@
 // (forward model) and the MUSIC estimator (inverse model).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/constants.h"
@@ -44,6 +45,10 @@ class UniformLinearArray {
   // Steering vector a(theta) at frequency f: element m is
   // exp(-j 2 pi f * ExcessPathLength(m, theta) / c).
   std::vector<Complex> SteeringVector(double theta_rad, double freq_hz) const;
+
+  // Allocation-free variant: out.size() must equal num_antennas().
+  void SteeringVectorInto(double theta_rad, double freq_hz,
+                          std::span<Complex> out) const;
 
  private:
   std::size_t num_antennas_;

@@ -1,0 +1,321 @@
+// Equivalence suite for the workspace-based sensing engine: the scratch
+// Score path, ProcessBatch, and the streaming detector must all produce
+// BIT-IDENTICAL results to the legacy allocating APIs — the refactor is a
+// pure hot-path restructuring, not a numerical change.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/detector.h"
+#include "core/engine.h"
+#include "core/music.h"
+#include "core/streaming.h"
+#include "experiments/scenario.h"
+
+using namespace mulink;
+namespace ex = mulink::experiments;
+
+namespace {
+
+struct EngineFixture {
+  ex::LinkCase link = ex::MakeClassroomLink();
+  nic::ChannelSimulator sim = ex::MakeSimulator(link);
+  Rng rng{321};
+  std::vector<wifi::CsiPacket> calibration =
+      sim.CaptureSession(300, std::nullopt, rng);
+  std::vector<wifi::CsiPacket> empty_session =
+      sim.CaptureSession(200, std::nullopt, rng);
+  std::vector<wifi::CsiPacket> occupied_session;
+
+  EngineFixture() {
+    propagation::HumanBody body;
+    body.position = {3.0, 4.2};
+    occupied_session = sim.CaptureSession(200, body, rng);
+  }
+
+  core::Detector Calibrated(core::DetectionScheme scheme) const {
+    core::DetectorConfig config;
+    config.scheme = scheme;
+    return core::Detector::Calibrate(calibration, sim.band(), sim.array(),
+                                     config);
+  }
+};
+
+EngineFixture& Fixture() {
+  static EngineFixture f;
+  return f;
+}
+
+const core::DetectionScheme kAllSchemes[] = {
+    core::DetectionScheme::kBaseline,
+    core::DetectionScheme::kSubcarrierWeighting,
+    core::DetectionScheme::kSubcarrierAndPathWeighting,
+    core::DetectionScheme::kVarianceMobile,
+};
+
+// The scratch Score must be bit-identical to the legacy allocating Score
+// for every scheme, on empty and occupied windows alike.
+TEST(EngineEquivalence, ScratchScoreBitIdenticalAllSchemes) {
+  auto& f = Fixture();
+  for (auto scheme : kAllSchemes) {
+    const auto detector = f.Calibrated(scheme);
+    core::DetectorScratch scratch;
+    for (const auto* session : {&f.empty_session, &f.occupied_session}) {
+      const std::span<const wifi::CsiPacket> span(*session);
+      for (std::size_t start = 0; start + 25 <= session->size(); start += 25) {
+        const std::vector<wifi::CsiPacket> window(
+            session->begin() + static_cast<std::ptrdiff_t>(start),
+            session->begin() + static_cast<std::ptrdiff_t>(start + 25));
+        const double legacy = detector.Score(window);
+        const double scratch_score =
+            detector.Score(span.subspan(start, 25), scratch);
+        EXPECT_EQ(legacy, scratch_score)
+            << core::ToString(scheme) << " window at " << start;
+      }
+    }
+  }
+}
+
+// Reusing one scratch across windows of different content must not leak
+// state between calls: A, then B, then A again must reproduce A's score
+// exactly.
+TEST(EngineEquivalence, ScratchReuseIsStateless) {
+  auto& f = Fixture();
+  for (auto scheme : kAllSchemes) {
+    const auto detector = f.Calibrated(scheme);
+    core::DetectorScratch scratch;
+    const std::span<const wifi::CsiPacket> empty(f.empty_session);
+    const std::span<const wifi::CsiPacket> occupied(f.occupied_session);
+    const double a1 = detector.Score(empty.subspan(0, 25), scratch);
+    const double b = detector.Score(occupied.subspan(50, 25), scratch);
+    const double a2 = detector.Score(empty.subspan(0, 25), scratch);
+    EXPECT_EQ(a1, a2) << core::ToString(scheme);
+    EXPECT_NE(a1, b) << core::ToString(scheme)
+                     << ": occupied window scored like an empty one";
+  }
+}
+
+// ScoreSession (now span-based internally) must agree with scoring each
+// window through the legacy API.
+TEST(EngineEquivalence, ScoreSessionMatchesPerWindowScores) {
+  auto& f = Fixture();
+  const auto detector =
+      f.Calibrated(core::DetectionScheme::kSubcarrierAndPathWeighting);
+  const auto scores = detector.ScoreSession(f.occupied_session);
+  ASSERT_EQ(scores.size(), f.occupied_session.size() / 25);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const std::vector<wifi::CsiPacket> window(
+        f.occupied_session.begin() + static_cast<std::ptrdiff_t>(i * 25),
+        f.occupied_session.begin() + static_cast<std::ptrdiff_t>((i + 1) * 25));
+    EXPECT_EQ(scores[i], detector.Score(window));
+  }
+}
+
+std::vector<double> EmptyScores(const EngineFixture& f,
+                                const core::Detector& detector) {
+  std::vector<double> scores;
+  for (std::size_t start = 0; start + 25 <= f.empty_session.size();
+       start += 25) {
+    const std::vector<wifi::CsiPacket> window(
+        f.empty_session.begin() + static_cast<std::ptrdiff_t>(start),
+        f.empty_session.begin() + static_cast<std::ptrdiff_t>(start + 25));
+    scores.push_back(detector.Score(window));
+  }
+  return scores;
+}
+
+// ProcessBatch must reproduce StreamingDetector::Push decision-for-decision
+// regardless of how the packet stream is chopped into batches.
+TEST(EngineEquivalence, ProcessBatchMatchesStreamingPush) {
+  auto& f = Fixture();
+  for (bool use_hmm : {false, true}) {
+    auto detector =
+        f.Calibrated(core::DetectionScheme::kSubcarrierAndPathWeighting);
+    const auto empty_scores = EmptyScores(f, detector);
+    detector.SetThreshold(1.0);
+
+    core::StreamingConfig config;
+    config.window_packets = 25;
+    config.hop_packets = 10;
+    config.use_hmm = use_hmm;
+
+    core::StreamingDetector streaming(detector, empty_scores, config);
+    core::SensingEngine engine;
+    engine.AddLink(std::move(detector), empty_scores, config);
+
+    std::vector<core::PresenceDecision> push_decisions;
+    for (const auto& packet : f.occupied_session) {
+      if (auto d = streaming.Push(packet)) push_decisions.push_back(*d);
+    }
+
+    // Chop the same stream into uneven batches.
+    std::vector<core::PresenceDecision> batch_decisions;
+    const std::span<const wifi::CsiPacket> session(f.occupied_session);
+    const std::size_t cuts[] = {7, 40, 1, 25, 60, 3};
+    std::size_t pos = 0, cut = 0;
+    while (pos < session.size()) {
+      const std::size_t n = std::min(cuts[cut % 6], session.size() - pos);
+      const auto& result = engine.ProcessBatch(session.subspan(pos, n));
+      batch_decisions.insert(batch_decisions.end(), result.decisions.begin(),
+                             result.decisions.end());
+      pos += n;
+      ++cut;
+    }
+
+    ASSERT_EQ(push_decisions.size(), batch_decisions.size())
+        << "use_hmm=" << use_hmm;
+    for (std::size_t i = 0; i < push_decisions.size(); ++i) {
+      EXPECT_EQ(push_decisions[i].timestamp_s, batch_decisions[i].timestamp_s);
+      EXPECT_EQ(push_decisions[i].score, batch_decisions[i].score);
+      EXPECT_EQ(push_decisions[i].posterior, batch_decisions[i].posterior);
+      EXPECT_EQ(push_decisions[i].occupied, batch_decisions[i].occupied);
+    }
+    EXPECT_EQ(streaming.occupied(), engine.occupied(0));
+    EXPECT_EQ(streaming.posterior(), engine.posterior(0));
+  }
+}
+
+// Repeated ProcessBatch on the same link must keep producing identical
+// decisions after Reset — the reused result/ring/scratch buffers must not
+// accumulate state.
+TEST(EngineEquivalence, RepeatedBatchesAfterResetAreIdentical) {
+  auto& f = Fixture();
+  auto detector =
+      f.Calibrated(core::DetectionScheme::kSubcarrierWeighting);
+  const auto empty_scores = EmptyScores(f, detector);
+  detector.SetThreshold(1.0);
+
+  core::SensingEngine engine;
+  engine.AddLink(std::move(detector), empty_scores, {});
+  const std::span<const wifi::CsiPacket> session(f.occupied_session);
+
+  const auto& first = engine.ProcessBatch(session);
+  std::vector<core::PresenceDecision> reference(first.decisions);
+  ASSERT_FALSE(reference.empty());
+
+  for (int round = 0; round < 3; ++round) {
+    engine.Reset(0);
+    const auto& again = engine.ProcessBatch(session);
+    ASSERT_EQ(again.decisions.size(), reference.size()) << "round " << round;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(again.decisions[i].score, reference[i].score);
+      EXPECT_EQ(again.decisions[i].posterior, reference[i].posterior);
+      EXPECT_EQ(again.decisions[i].occupied, reference[i].occupied);
+    }
+  }
+}
+
+// The warm profile-covariance cache must be invalidated when the detector's
+// profile changes: a scratch warmed before UpdateProfile must score exactly
+// like a fresh one afterwards.
+TEST(EngineEquivalence, ProfileCacheInvalidatedByUpdateProfile) {
+  auto& f = Fixture();
+  auto detector =
+      f.Calibrated(core::DetectionScheme::kSubcarrierAndPathWeighting);
+  core::DetectorScratch warm;
+  const std::span<const wifi::CsiPacket> occupied(f.occupied_session);
+  (void)detector.Score(occupied.subspan(0, 25), warm);  // warms the cache
+
+  const std::vector<wifi::CsiPacket> update_window(
+      f.empty_session.begin(), f.empty_session.begin() + 25);
+  detector.UpdateProfile(update_window, 0.2);
+
+  const double with_warm = detector.Score(occupied.subspan(25, 25), warm);
+  core::DetectorScratch fresh;
+  const double with_fresh = detector.Score(occupied.subspan(25, 25), fresh);
+  EXPECT_EQ(with_warm, with_fresh);
+}
+
+// One scratch shared across two different detector instances must not reuse
+// the first detector's cached profile stack for the second.
+TEST(EngineEquivalence, ScratchSharedAcrossDetectorsIsSafe) {
+  auto& f = Fixture();
+  const auto d0 =
+      f.Calibrated(core::DetectionScheme::kSubcarrierAndPathWeighting);
+  core::DetectorConfig config;
+  config.scheme = core::DetectionScheme::kSubcarrierAndPathWeighting;
+  config.retained_calibration_packets = 64;  // different profile content
+  const auto d1 = core::Detector::Calibrate(f.calibration, f.sim.band(),
+                                            f.sim.array(), config);
+
+  core::DetectorScratch shared;
+  const std::span<const wifi::CsiPacket> occupied(f.occupied_session);
+  (void)d0.Score(occupied.subspan(0, 25), shared);  // warm with d0's profile
+  const double shared_score = d1.Score(occupied.subspan(0, 25), shared);
+  core::DetectorScratch fresh;
+  EXPECT_EQ(shared_score, d1.Score(occupied.subspan(0, 25), fresh));
+}
+
+// The cached per-subcarrier stack recombination computes the same weighted
+// sample covariance as the direct per-packet scan, up to summation order.
+TEST(SubcarrierCovarianceStack, MatchesDirectSampleCovariance) {
+  auto& f = Fixture();
+  const std::vector<wifi::CsiPacket> packets(
+      f.calibration.begin(), f.calibration.begin() + 64);
+  std::vector<double> weights(packets[0].NumSubcarriers());
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    weights[k] = (k % 7 == 0) ? 0.0 : 1.0 / static_cast<double>(k + 1);
+  }
+
+  const auto direct = core::SampleCovariance(packets, weights);
+  core::SubcarrierCovarianceStack stack;
+  core::BuildSubcarrierCovarianceStack(
+      std::span<const wifi::CsiPacket>(packets), stack);
+  linalg::CMatrix combined;
+  core::CombineSubcarrierCovariances(stack, weights, combined);
+
+  ASSERT_EQ(combined.rows(), direct.rows());
+  ASSERT_EQ(combined.cols(), direct.cols());
+  for (std::size_t i = 0; i < direct.rows(); ++i) {
+    for (std::size_t j = 0; j < direct.cols(); ++j) {
+      EXPECT_NEAR(std::abs(combined.At(i, j) - direct.At(i, j)), 0.0,
+                  1e-12 * std::abs(direct.At(i, j)) + 1e-15)
+          << "entry (" << i << "," << j << ")";
+    }
+  }
+}
+
+// Multi-link bookkeeping: links are independent and indexed stably.
+TEST(SensingEngine, LinksAreIndependent) {
+  auto& f = Fixture();
+  auto d0 = f.Calibrated(core::DetectionScheme::kSubcarrierWeighting);
+  auto d1 = f.Calibrated(core::DetectionScheme::kBaseline);
+  d0.SetThreshold(1.0);
+  d1.SetThreshold(1.0);
+
+  core::StreamingConfig config;
+  config.use_hmm = false;
+  core::SensingEngine engine;
+  const auto i0 = engine.AddLink(std::move(d0), {}, config);
+  const auto i1 = engine.AddLink(std::move(d1), {}, config);
+  ASSERT_EQ(engine.NumLinks(), 2u);
+
+  const std::span<const wifi::CsiPacket> session(f.occupied_session);
+  const auto& r0 = engine.ProcessBatch(i0, session.subspan(0, 50));
+  ASSERT_EQ(r0.decisions.size(), 2u);
+  // Link 1 saw nothing yet.
+  EXPECT_EQ(engine.posterior(i1), 0.0);
+  EXPECT_FALSE(engine.occupied(i1));
+
+  const auto& r1 = engine.ProcessBatch(i1, session.subspan(0, 50));
+  ASSERT_EQ(r1.decisions.size(), 2u);
+  // Different schemes -> different scores on the same packets.
+  EXPECT_NE(r0.decisions[0].score, r1.decisions[0].score);
+}
+
+// The single-link convenience overload refuses multi-link engines.
+TEST(SensingEngine, SingleLinkOverloadRequiresOneLink) {
+  auto& f = Fixture();
+  core::SensingEngine engine;
+  const std::span<const wifi::CsiPacket> session(f.occupied_session);
+  EXPECT_THROW(engine.ProcessBatch(session.subspan(0, 25)),
+               PreconditionError);
+}
+
+}  // namespace

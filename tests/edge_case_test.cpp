@@ -22,8 +22,8 @@ namespace mulink {
 namespace {
 
 TEST(EdgeStats, SingleElementInputs) {
-  EXPECT_EQ(dsp::Mean({5.0}), 5.0);
-  EXPECT_EQ(dsp::Variance({5.0}), 0.0);
+  EXPECT_EQ(dsp::Mean(std::vector<double>{5.0}), 5.0);
+  EXPECT_EQ(dsp::Variance(std::vector<double>{5.0}), 0.0);
   EXPECT_EQ(dsp::Median({5.0}), 5.0);
   EXPECT_EQ(dsp::MedianAbsDeviation({5.0}), 0.0);
   EXPECT_EQ(dsp::Quantile({5.0}, 0.3), 5.0);

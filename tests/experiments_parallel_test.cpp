@@ -1,0 +1,117 @@
+// Determinism regression for ParallelCampaignRunner: the campaign result —
+// every scored window, in order — must be bit-identical across thread
+// counts AND identical to the serial RunCampaign, because RNG streams are
+// pre-forked per case and collection is ordered.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "experiments/campaign.h"
+#include "experiments/parallel_runner.h"
+
+using namespace mulink;
+namespace ex = mulink::experiments;
+
+namespace {
+
+// A small two-case campaign that still exercises calibration, negatives and
+// positives on every scheme.
+struct SmallCampaign {
+  std::vector<ex::LinkCase> cases;
+  std::vector<std::vector<ex::HumanSpot>> spots;
+  std::vector<core::DetectionScheme> schemes = {
+      core::DetectionScheme::kBaseline,
+      core::DetectionScheme::kSubcarrierWeighting,
+      core::DetectionScheme::kSubcarrierAndPathWeighting,
+  };
+  ex::CampaignConfig config;
+
+  SmallCampaign() {
+    cases = {ex::MakeClassroomLink(), ex::MakeShortWallLink()};
+    for (const auto& c : cases) {
+      spots.push_back({ex::MakeSpot(c, {2.0, 4.5}), ex::MakeSpot(c, {1.2, 3.0})});
+    }
+    config.packets_per_location = 100;
+    config.calibration_packets = 100;
+    config.empty_packets = 100;
+    config.window_packets = 25;
+    config.seed = 1234;
+  }
+};
+
+void ExpectIdentical(const ex::CampaignResult& a, const ex::CampaignResult& b) {
+  ASSERT_EQ(a.schemes.size(), b.schemes.size());
+  for (std::size_t s = 0; s < a.schemes.size(); ++s) {
+    EXPECT_EQ(a.schemes[s].scheme, b.schemes[s].scheme);
+    ASSERT_EQ(a.schemes[s].positives.size(), b.schemes[s].positives.size());
+    ASSERT_EQ(a.schemes[s].negatives.size(), b.schemes[s].negatives.size());
+    for (std::size_t i = 0; i < a.schemes[s].positives.size(); ++i) {
+      const auto& wa = a.schemes[s].positives[i];
+      const auto& wb = b.schemes[s].positives[i];
+      EXPECT_EQ(wa.score, wb.score) << "positive " << i;
+      EXPECT_EQ(wa.case_index, wb.case_index);
+      EXPECT_EQ(wa.distance_to_rx_m, wb.distance_to_rx_m);
+      EXPECT_EQ(wa.angle_deg, wb.angle_deg);
+    }
+    for (std::size_t i = 0; i < a.schemes[s].negatives.size(); ++i) {
+      EXPECT_EQ(a.schemes[s].negatives[i].score,
+                b.schemes[s].negatives[i].score)
+          << "negative " << i;
+      EXPECT_EQ(a.schemes[s].negatives[i].case_index,
+                b.schemes[s].negatives[i].case_index);
+    }
+  }
+}
+
+TEST(ParallelCampaignRunner, BitIdenticalAcrossThreadCounts) {
+  const SmallCampaign c;
+  const auto serial =
+      ex::RunCampaign(c.cases, c.spots, c.schemes, c.config);
+  ASSERT_FALSE(serial.schemes.empty());
+  ASSERT_FALSE(serial.schemes[0].positives.empty());
+  ASSERT_FALSE(serial.schemes[0].negatives.empty());
+
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    const ex::ParallelCampaignRunner runner(threads);
+    EXPECT_EQ(runner.num_threads(), threads);
+    const auto parallel = runner.Run(c.cases, c.spots, c.schemes, c.config);
+    ExpectIdentical(serial, parallel);
+  }
+}
+
+TEST(ParallelCampaignRunner, RepeatedRunsAreIdentical) {
+  const SmallCampaign c;
+  const ex::ParallelCampaignRunner runner(4);
+  const auto first = runner.Run(c.cases, c.spots, c.schemes, c.config);
+  const auto second = runner.Run(c.cases, c.spots, c.schemes, c.config);
+  ExpectIdentical(first, second);
+}
+
+TEST(ParallelCampaignRunner, ParallelForCoversAllIndicesOnce) {
+  const ex::ParallelCampaignRunner runner(8);
+  std::vector<int> hits(100, 0);
+  runner.ParallelFor(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelCampaignRunner, ParallelForPropagatesExceptions) {
+  const ex::ParallelCampaignRunner runner(4);
+  EXPECT_THROW(
+      runner.ParallelFor(16,
+                         [](std::size_t i) {
+                           if (i == 7) throw PreconditionError("boom");
+                         }),
+      PreconditionError);
+}
+
+TEST(ParallelCampaignRunner, ValidatesInputs) {
+  const SmallCampaign c;
+  const ex::ParallelCampaignRunner runner(2);
+  EXPECT_THROW(runner.Run(c.cases, {}, c.schemes, c.config),
+               PreconditionError);
+}
+
+}  // namespace

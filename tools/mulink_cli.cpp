@@ -20,6 +20,7 @@
 #include "common/rng.h"
 #include "core/breath.h"
 #include "core/detector.h"
+#include "core/engine.h"
 #include "core/music.h"
 #include "core/sanitize.h"
 #include "dsp/stats.h"
@@ -197,15 +198,24 @@ int Detect(const Args& args) {
   std::cout << "scheme " << core::ToString(config.scheme) << ", threshold "
             << ex::Fmt(detector.threshold(), 4) << "\n";
 
-  const auto scores = detector.ScoreSession(session);
-  for (std::size_t i = 0; i < scores.size(); ++i) {
+  // Batch the whole session through the sensing engine: one decision per
+  // non-overlapping window, scored on persistent per-link scratch.
+  core::StreamingConfig stream;
+  stream.window_packets = config.window_packets;
+  stream.hop_packets = config.window_packets;
+  stream.use_hmm = false;
+  core::SensingEngine engine;
+  engine.AddLink(std::move(detector), {}, stream);
+  const auto& batch =
+      engine.ProcessBatch(std::span<const wifi::CsiPacket>(session));
+  for (std::size_t i = 0; i < batch.decisions.size(); ++i) {
+    const auto& decision = batch.decisions[i];
     std::cout << "window " << i << "  t="
               << ex::Fmt(static_cast<double>(i * config.window_packets) /
                              50.0,
                          1)
-              << "s  score " << ex::Fmt(scores[i], 4) << "  "
-              << (scores[i] >= detector.threshold() ? "PRESENT" : "-")
-              << "\n";
+              << "s  score " << ex::Fmt(decision.score, 4) << "  "
+              << (decision.occupied ? "PRESENT" : "-") << "\n";
   }
   return 0;
 }
