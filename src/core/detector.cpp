@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include <atomic>
+#include <bit>
 #include <cmath>
 
 #include "common/assert.h"
@@ -148,7 +149,7 @@ double Detector::Score(std::span<const wifi::CsiPacket> window,
                      window[0].NumSubcarriers() == num_subcarriers_,
                  "Detector::Score: window dimensions mismatch calibration");
   if (config_.scheme == DetectionScheme::kBaseline) {
-    return ScoreBaseline(window);
+    return ScoreBaseline(window, FullAntennaMask());
   }
   SanitizePhaseInto(window, band_, scratch.sanitized, scratch.sanitize);
   return DispatchSanitized(std::span<const wifi::CsiPacket>(scratch.sanitized),
@@ -163,9 +164,69 @@ double Detector::ScoreSanitized(std::span<const wifi::CsiPacket> window,
           window[0].NumSubcarriers() == num_subcarriers_,
       "Detector::ScoreSanitized: window dimensions mismatch calibration");
   if (config_.scheme == DetectionScheme::kBaseline) {
-    return ScoreBaseline(window);
+    return ScoreBaseline(window, FullAntennaMask());
   }
   return DispatchSanitized(window, scratch);
+}
+
+std::uint32_t Detector::FullAntennaMask() const {
+  return num_antennas_ >= 32 ? 0xffffffffu
+                             : ((1u << num_antennas_) - 1u);
+}
+
+double Detector::ScoreDegraded(std::span<const wifi::CsiPacket> window,
+                               DetectorScratch& scratch,
+                               std::uint32_t live_mask) const {
+  MULINK_REQUIRE(!window.empty(), "Detector::ScoreDegraded: empty window");
+  MULINK_REQUIRE(window[0].NumAntennas() == num_antennas_ &&
+                     window[0].NumSubcarriers() == num_subcarriers_,
+                 "Detector::ScoreDegraded: window dimensions mismatch "
+                 "calibration");
+  MULINK_REQUIRE((live_mask & FullAntennaMask()) != 0,
+                 "Detector::ScoreDegraded: no live antennas");
+  if (config_.scheme == DetectionScheme::kBaseline) {
+    return ScoreBaseline(window, live_mask);
+  }
+  SanitizePhaseInto(window, band_, scratch.sanitized, scratch.sanitize);
+  return DispatchSanitizedDegraded(
+      std::span<const wifi::CsiPacket>(scratch.sanitized), scratch,
+      live_mask);
+}
+
+double Detector::ScoreSanitizedDegraded(
+    std::span<const wifi::CsiPacket> window, DetectorScratch& scratch,
+    std::uint32_t live_mask) const {
+  MULINK_REQUIRE(!window.empty(),
+                 "Detector::ScoreSanitizedDegraded: empty window");
+  MULINK_REQUIRE(window[0].NumAntennas() == num_antennas_ &&
+                     window[0].NumSubcarriers() == num_subcarriers_,
+                 "Detector::ScoreSanitizedDegraded: window dimensions "
+                 "mismatch calibration");
+  MULINK_REQUIRE((live_mask & FullAntennaMask()) != 0,
+                 "Detector::ScoreSanitizedDegraded: no live antennas");
+  if (config_.scheme == DetectionScheme::kBaseline) {
+    return ScoreBaseline(window, live_mask);
+  }
+  return DispatchSanitizedDegraded(window, scratch, live_mask);
+}
+
+double Detector::DispatchSanitizedDegraded(
+    std::span<const wifi::CsiPacket> sanitized, DetectorScratch& scratch,
+    std::uint32_t live_mask) const {
+  switch (config_.scheme) {
+    case DetectionScheme::kBaseline:
+      break;  // handled by the callers above
+    case DetectionScheme::kSubcarrierWeighting:
+      return ScoreSubcarrierWeighting(sanitized, scratch, live_mask);
+    case DetectionScheme::kSubcarrierAndPathWeighting:
+      // MUSIC needs the full 3-element ULA; with a dead chain the angular
+      // statistic is meaningless, so fall back to subcarrier-only
+      // weighting over the live rows (decisions use fallback_threshold()).
+      return ScoreSubcarrierWeighting(sanitized, scratch, live_mask);
+    case DetectionScheme::kVarianceMobile:
+      return ScoreVarianceMobile(sanitized, scratch, live_mask);
+  }
+  return 0.0;
 }
 
 double Detector::DispatchSanitized(std::span<const wifi::CsiPacket> sanitized,
@@ -174,11 +235,11 @@ double Detector::DispatchSanitized(std::span<const wifi::CsiPacket> sanitized,
     case DetectionScheme::kBaseline:
       break;  // handled by the callers above
     case DetectionScheme::kSubcarrierWeighting:
-      return ScoreSubcarrierWeighting(sanitized, scratch);
+      return ScoreSubcarrierWeighting(sanitized, scratch, FullAntennaMask());
     case DetectionScheme::kSubcarrierAndPathWeighting:
       return ScoreCombined(sanitized, scratch);
     case DetectionScheme::kVarianceMobile:
-      return ScoreVarianceMobile(sanitized, scratch);
+      return ScoreVarianceMobile(sanitized, scratch, FullAntennaMask());
   }
   return 0.0;
 }
@@ -218,6 +279,24 @@ void Detector::CalibrateThreshold(
   threshold_ =
       dsp::Mean(scores) + config_.threshold_sigma * dsp::StdDev(scores);
   threshold_set_ = true;
+
+  // The combined scheme's degraded fallback (subcarrier-only weighting)
+  // lives on a different scale than the angular statistic, so derive its
+  // threshold from the same empty windows. The other schemes' degraded
+  // statistic is a per-antenna average of the primary one — same scale,
+  // same threshold.
+  if (config_.scheme == DetectionScheme::kSubcarrierAndPathWeighting) {
+    std::vector<double> fallback_scores;
+    fallback_scores.reserve(empty_windows.size());
+    for (const auto& w : empty_windows) {
+      fallback_scores.push_back(
+          ScoreDegraded(std::span<const wifi::CsiPacket>(w), scratch,
+                        FullAntennaMask()));
+    }
+    fallback_threshold_ = dsp::Mean(fallback_scores) +
+                          config_.threshold_sigma * dsp::StdDev(fallback_scores);
+    fallback_threshold_set_ = true;
+  }
 }
 
 void Detector::UpdateProfile(const std::vector<wifi::CsiPacket>& empty_window,
@@ -284,16 +363,22 @@ void Detector::UpdateProfile(const std::vector<wifi::CsiPacket>& empty_window,
   }
 }
 
-double Detector::ScoreBaseline(std::span<const wifi::CsiPacket> window) const {
+double Detector::ScoreBaseline(std::span<const wifi::CsiPacket> window,
+                               std::uint32_t live_mask) const {
   // The paper's baseline is the naive per-packet Euclidean distance of CSI
   // amplitudes against the profile (the prior-work recipe its evaluation
   // compares against). Averaging the *distances* rather than the CSI keeps
   // the per-packet noise floor inside the statistic — which is exactly why
-  // this baseline loses weak/faraway targets.
+  // this baseline loses weak/faraway targets. The statistic is a
+  // per-antenna average, so restricting it to the live rows of a degraded
+  // window preserves its scale (and the calibrated threshold).
+  const std::size_t live = static_cast<std::size_t>(
+      std::popcount(live_mask & FullAntennaMask()));
   double score = 0.0;
   for (const auto& packet : window) {
     double packet_score = 0.0;
     for (std::size_t m = 0; m < num_antennas_; ++m) {
+      if (((live_mask >> m) & 1u) == 0) continue;
       double sum_sq = 0.0;
       for (std::size_t k = 0; k < num_subcarriers_; ++k) {
         const double amp = std::sqrt(packet.SubcarrierPower(m, k));
@@ -303,14 +388,14 @@ double Detector::ScoreBaseline(std::span<const wifi::CsiPacket> window) const {
       }
       packet_score += std::sqrt(sum_sq);
     }
-    score += packet_score / static_cast<double>(num_antennas_);
+    score += packet_score / static_cast<double>(live);
   }
   return score / static_cast<double>(window.size());
 }
 
 double Detector::ScoreSubcarrierWeighting(
-    std::span<const wifi::CsiPacket> sanitized,
-    DetectorScratch& scratch) const {
+    std::span<const wifi::CsiPacket> sanitized, DetectorScratch& scratch,
+    std::uint32_t live_mask) const {
   MeasureMultipathFactorsInto(sanitized, band_, scratch.mu,
                               scratch.multipath);
   ComputeSubcarrierWeightsInto(scratch.mu, config_.weighting_mode,
@@ -321,10 +406,17 @@ double Detector::ScoreSubcarrierWeighting(
   // changing the overall score scale (weights sum to <= 1 by construction).
   const double uniform = 1.0 / static_cast<double>(num_subcarriers_);
 
+  // Dead rows contribute zero mu to the antenna-averaged factors, which
+  // scales every mu_bar_k by the same constant — Eq. 15 normalizes it away,
+  // so the weights are unaffected. Only the power distance below must skip
+  // the dead rows (a silent chain reads as a full-profile deviation).
+  const std::size_t live = static_cast<std::size_t>(
+      std::popcount(live_mask & FullAntennaMask()));
   double score = 0.0;
   auto& powers = scratch.powers;
   powers.resize(sanitized.size());
   for (std::size_t m = 0; m < num_antennas_; ++m) {
+    if (((live_mask >> m) & 1u) == 0) continue;
     double sum_sq = 0.0;
     for (std::size_t k = 0; k < num_subcarriers_; ++k) {
       for (std::size_t i = 0; i < sanitized.size(); ++i) {
@@ -345,12 +437,12 @@ double Detector::ScoreSubcarrierWeighting(
     }
     score += std::sqrt(sum_sq);
   }
-  return score / static_cast<double>(num_antennas_);
+  return score / static_cast<double>(live);
 }
 
 double Detector::ScoreVarianceMobile(
-    std::span<const wifi::CsiPacket> sanitized,
-    DetectorScratch& scratch) const {
+    std::span<const wifi::CsiPacket> sanitized, DetectorScratch& scratch,
+    std::uint32_t live_mask) const {
   MULINK_REQUIRE(sanitized.size() >= 2,
                  "Detector: variance statistic needs >= 2 packets");
   MeasureMultipathFactorsInto(sanitized, band_, scratch.mu,
@@ -360,10 +452,13 @@ double Detector::ScoreVarianceMobile(
   const auto& weights = scratch.weights;
   const double uniform = 1.0 / static_cast<double>(num_subcarriers_);
 
+  const std::size_t live = static_cast<std::size_t>(
+      std::popcount(live_mask & FullAntennaMask()));
   double score = 0.0;
   auto& powers = scratch.powers;
   powers.resize(sanitized.size());
   for (std::size_t m = 0; m < num_antennas_; ++m) {
+    if (((live_mask >> m) & 1u) == 0) continue;
     double sum_sq = 0.0;
     for (std::size_t k = 0; k < num_subcarriers_; ++k) {
       for (std::size_t i = 0; i < sanitized.size(); ++i) {
@@ -391,7 +486,7 @@ double Detector::ScoreVarianceMobile(
     }
     score += std::sqrt(sum_sq);
   }
-  return score / static_cast<double>(num_antennas_);
+  return score / static_cast<double>(live);
 }
 
 double Detector::ScoreCombined(std::span<const wifi::CsiPacket> sanitized,

@@ -149,6 +149,23 @@ class Detector {
   double ScoreSanitized(std::span<const wifi::CsiPacket> window,
                         DetectorScratch& scratch) const;
 
+  // Degraded-mode statistic for windows with dead RX chains: only the
+  // antennas set in `live_mask` (bit m = antenna m) contribute. The
+  // combined scheme always falls back to subcarrier-only weighting here —
+  // MUSIC needs the full ULA — and its decisions compare against
+  // fallback_threshold(); the other schemes score their own statistic over
+  // the live rows and keep their primary threshold (their score is a
+  // per-antenna average, so the scale is preserved). For those schemes a
+  // full live_mask is bit-identical to Score.
+  double ScoreDegraded(std::span<const wifi::CsiPacket> window,
+                       DetectorScratch& scratch,
+                       std::uint32_t live_mask) const;
+
+  // Degraded scoring of an already-sanitized window (engine ingest path).
+  double ScoreSanitizedDegraded(std::span<const wifi::CsiPacket> window,
+                                DetectorScratch& scratch,
+                                std::uint32_t live_mask) const;
+
   // Whether Score sanitizes its input (every scheme except the baseline,
   // which is amplitude-only). When false, callers must not pre-sanitize —
   // feed raw windows to Score.
@@ -170,6 +187,19 @@ class Detector {
     threshold_set_ = true;
   }
   double threshold() const { return threshold_; }
+  bool has_threshold() const { return threshold_set_; }
+
+  // Threshold for ScoreDegraded decisions. CalibrateThreshold derives it
+  // from the same empty windows when the scheme is the combined one (whose
+  // fallback statistic lives on a different scale); every other scheme
+  // shares the primary threshold.
+  void SetFallbackThreshold(double threshold) {
+    fallback_threshold_ = threshold;
+    fallback_threshold_set_ = true;
+  }
+  double fallback_threshold() const {
+    return fallback_threshold_set_ ? fallback_threshold_ : threshold_;
+  }
 
   // Derive the threshold from held-out empty-room windows:
   // mean + threshold_sigma * std of their scores.
@@ -186,6 +216,11 @@ class Detector {
   void UpdateProfile(const std::vector<wifi::CsiPacket>& empty_window,
                      double alpha = 0.05);
 
+  // Calibrated shape (rows / columns of every CSI matrix this detector
+  // accepts).
+  std::size_t num_antennas() const { return num_antennas_; }
+  std::size_t num_subcarriers() const { return num_subcarriers_; }
+
   // Introspection for the characterization benches.
   const Pseudospectrum& static_spectrum() const { return static_spectrum_; }
   const PathWeights& path_weights() const { return path_weights_; }
@@ -198,16 +233,27 @@ class Detector {
   Detector(const wifi::BandPlan& band, const wifi::UniformLinearArray& array,
            const DetectorConfig& config);
 
-  double ScoreBaseline(std::span<const wifi::CsiPacket> window) const;
-  // The scheme bodies below take an already-sanitized window.
+  // All antennas usable (the non-degraded case; bit m = antenna m).
+  std::uint32_t FullAntennaMask() const;
+
+  double ScoreBaseline(std::span<const wifi::CsiPacket> window,
+                       std::uint32_t live_mask) const;
+  // The scheme bodies below take an already-sanitized window; only antennas
+  // in live_mask contribute (the full mask reproduces the clean statistic
+  // bit for bit).
   double DispatchSanitized(std::span<const wifi::CsiPacket> sanitized,
                            DetectorScratch& scratch) const;
+  double DispatchSanitizedDegraded(std::span<const wifi::CsiPacket> sanitized,
+                                   DetectorScratch& scratch,
+                                   std::uint32_t live_mask) const;
   double ScoreSubcarrierWeighting(std::span<const wifi::CsiPacket> sanitized,
-                                  DetectorScratch& scratch) const;
+                                  DetectorScratch& scratch,
+                                  std::uint32_t live_mask) const;
   double ScoreCombined(std::span<const wifi::CsiPacket> sanitized,
                        DetectorScratch& scratch) const;
   double ScoreVarianceMobile(std::span<const wifi::CsiPacket> sanitized,
-                             DetectorScratch& scratch) const;
+                             DetectorScratch& scratch,
+                             std::uint32_t live_mask) const;
 
   wifi::BandPlan band_;
   wifi::UniformLinearArray array_;
@@ -237,6 +283,8 @@ class Detector {
 
   double threshold_ = 0.0;
   bool threshold_set_ = false;
+  double fallback_threshold_ = 0.0;
+  bool fallback_threshold_set_ = false;
 };
 
 }  // namespace mulink::core

@@ -12,7 +12,8 @@ struct SensingEngine::LinkState {
             StreamingConfig cfg)
       : detector(std::move(det)),
         config(cfg),
-        pre_sanitize(detector.UsesSanitizedInput()) {
+        pre_sanitize(detector.UsesSanitizedInput()),
+        ingest(config) {
     MULINK_REQUIRE(config.window_packets >= 2,
                    "SensingEngine: window must hold >= 2 packets");
     MULINK_REQUIRE(config.hop_packets >= 1 &&
@@ -32,6 +33,14 @@ struct SensingEngine::LinkState {
   // deterministic per-packet map), so overlapping windows score through
   // ScoreSanitized without re-sanitizing window_packets packets every hop.
   std::optional<PresenceDecision> Push(const wifi::CsiPacket& packet) {
+    const auto report = ingest.Admit(packet);
+    if (!report.has_value()) return std::nullopt;  // quarantined
+    if (report->resync) {
+      // Gap too wide to straddle: flush the ring, keep the temporal state.
+      write_pos = 0;
+      count = 0;
+      packets_since_decision = 0;
+    }
     if (write_pos >= ring.size()) {
       ring.emplace_back();  // initial fill only; capacity is reserved
     }
@@ -59,15 +68,44 @@ struct SensingEngine::LinkState {
     PresenceDecision decision;
     decision.timestamp_s = window.back().timestamp_s;
     const std::span<const wifi::CsiPacket> window_span(window);
-    decision.score = pre_sanitize
-                         ? detector.ScoreSanitized(window_span, scratch)
-                         : detector.Score(window_span, scratch);
-    if (filter.has_value()) {
-      decision.posterior = filter->Update(decision.score);
-      decision.occupied = decision.posterior >= config.decision_probability;
-    } else {
-      decision.occupied = decision.score >= detector.threshold();
+
+    const std::uint32_t live_mask = ingest.LiveMask(detector.num_antennas());
+    const std::uint32_t full_mask =
+        GuardedIngest::FullMask(detector.num_antennas());
+    if (live_mask == 0 ||
+        (live_mask != full_mask && !config.degraded_fallback)) {
+      // Every chain dead, or fallback disabled while one is: pause
+      // decisions until the chain revives.
+      return std::nullopt;
+    }
+    if (live_mask != full_mask && detector.has_threshold()) {
+      // Degraded mode: surviving antennas only, fallback threshold, HMM
+      // frozen (its emission model belongs to the primary statistic). The
+      // ring holds sanitized packets when pre_sanitize is on, so the
+      // degraded score matches StreamingDetector's bit for bit.
+      decision.score =
+          pre_sanitize
+              ? detector.ScoreSanitizedDegraded(window_span, scratch,
+                                                live_mask)
+              : detector.ScoreDegraded(window_span, scratch, live_mask);
+      decision.occupied = decision.score >= detector.fallback_threshold();
       decision.posterior = decision.occupied ? 1.0 : 0.0;
+      decision.degraded = true;
+      ingest.degraded = true;
+      ++ingest.degraded_decisions;
+    } else {
+      decision.score = pre_sanitize
+                           ? detector.ScoreSanitized(window_span, scratch)
+                           : detector.Score(window_span, scratch);
+      if (filter.has_value()) {
+        decision.posterior = filter->Update(decision.score);
+        decision.occupied = decision.posterior >= config.decision_probability;
+      } else {
+        decision.occupied = decision.score >= detector.threshold();
+        decision.posterior = decision.occupied ? 1.0 : 0.0;
+      }
+      ingest.degraded = false;
+      ingest.ObserveDecision(decision, detector, config);
     }
     occupied = decision.occupied;
     posterior = decision.posterior;
@@ -81,6 +119,7 @@ struct SensingEngine::LinkState {
     occupied = false;
     posterior = 0.0;
     if (filter.has_value()) filter->Reset();
+    ingest.Reset();
     result.decisions.clear();
     result.occupied = false;
     result.posterior = 0.0;
@@ -91,6 +130,7 @@ struct SensingEngine::LinkState {
   // Sanitize on ingest only when the scheme consumes sanitized windows (the
   // amplitude-only baseline must see raw packets).
   bool pre_sanitize = false;
+  GuardedIngest ingest;
   std::optional<PresenceHmm> hmm;
   std::optional<PresenceHmm::Filter> filter;  // references hmm; do not move
   std::vector<wifi::CsiPacket> ring;
@@ -161,6 +201,10 @@ bool SensingEngine::occupied(std::size_t link) const {
 
 double SensingEngine::posterior(std::size_t link) const {
   return Link(link).posterior;
+}
+
+nic::LinkHealth SensingEngine::Health(std::size_t link) const {
+  return Link(link).ingest.Health();
 }
 
 const Detector& SensingEngine::detector(std::size_t link) const {

@@ -71,6 +71,11 @@ class SensingEngine {
   bool occupied(std::size_t link) const;
   double posterior(std::size_t link) const;
 
+  // Link health snapshot: frame-guard fault counters, dead-antenna mask,
+  // degraded-mode and profile-drift watchdog state. All-zero when the
+  // link's guard is disabled.
+  nic::LinkHealth Health(std::size_t link) const;
+
   const Detector& detector(std::size_t link) const;
   const StreamingConfig& config(std::size_t link) const;
 

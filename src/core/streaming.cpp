@@ -4,10 +4,69 @@
 
 namespace mulink::core {
 
+std::optional<nic::FrameReport> GuardedIngest::Admit(
+    const wifi::CsiPacket& packet) {
+  if (!guard.has_value()) return nic::FrameReport{};
+  const nic::FrameReport report = guard->Inspect(packet);
+  if (report.verdict == nic::FrameVerdict::kQuarantine) return std::nullopt;
+  return report;
+}
+
+std::uint32_t GuardedIngest::FullMask(std::size_t num_antennas) {
+  return num_antennas >= 32
+             ? 0xffffffffu
+             : ((1u << static_cast<std::uint32_t>(num_antennas)) - 1u);
+}
+
+std::uint32_t GuardedIngest::LiveMask(std::size_t num_antennas) const {
+  const std::uint32_t full = FullMask(num_antennas);
+  if (!guard.has_value()) return full;
+  return full & ~guard->dead_antenna_mask();
+}
+
+void GuardedIngest::ObserveDecision(const PresenceDecision& decision,
+                                    const Detector& detector,
+                                    const StreamingConfig& config) {
+  if (!guard.has_value()) return;
+  if (decision.posterior > config.watchdog_empty_posterior) return;
+  if (empty_windows_seen == 0) {
+    empty_score_ewma = decision.score;
+  } else {
+    empty_score_ewma +=
+        config.watchdog_ewma_alpha * (decision.score - empty_score_ewma);
+  }
+  ++empty_windows_seen;
+  if (detector.has_threshold() &&
+      empty_windows_seen >= config.watchdog_min_windows &&
+      empty_score_ewma >
+          config.watchdog_score_fraction * detector.threshold()) {
+    profile_drift = true;
+  }
+}
+
+nic::LinkHealth GuardedIngest::Health() const {
+  nic::LinkHealth health;
+  if (guard.has_value()) health = guard->health();
+  health.degraded = degraded;
+  health.degraded_decisions = degraded_decisions;
+  health.profile_drift = profile_drift;
+  health.empty_score_ewma = empty_score_ewma;
+  return health;
+}
+
+void GuardedIngest::Reset() {
+  if (guard.has_value()) guard->Reset();
+  degraded = false;
+  degraded_decisions = 0;
+  empty_windows_seen = 0;
+  empty_score_ewma = 0.0;
+  profile_drift = false;
+}
+
 StreamingDetector::StreamingDetector(Detector detector,
                                      const std::vector<double>& empty_scores,
                                      StreamingConfig config)
-    : detector_(std::move(detector)), config_(config) {
+    : detector_(std::move(detector)), config_(config), ingest_(config_) {
   MULINK_REQUIRE(config_.window_packets >= 2,
                  "StreamingDetector: window must hold >= 2 packets");
   MULINK_REQUIRE(config_.hop_packets >= 1 &&
@@ -30,10 +89,20 @@ void StreamingDetector::Reset() {
   occupied_ = false;
   posterior_ = 0.0;
   if (filter_.has_value()) filter_->Reset();
+  ingest_.Reset();
 }
 
 std::optional<PresenceDecision> StreamingDetector::Push(
     const wifi::CsiPacket& packet) {
+  const auto report = ingest_.Admit(packet);
+  if (!report.has_value()) return std::nullopt;  // quarantined
+  if (report->resync) {
+    // Gap too wide to straddle: the buffered packets and this one no longer
+    // form a contiguous window. Flush the ring, keep the temporal state.
+    write_pos_ = 0;
+    count_ = 0;
+    packets_since_decision_ = 0;
+  }
   if (write_pos_ < ring_.size()) {
     ring_[write_pos_] = packet;  // copy-assign reuses the slot's CSI buffer
   } else {
@@ -57,14 +126,38 @@ std::optional<PresenceDecision> StreamingDetector::Push(
   }
   PresenceDecision decision;
   decision.timestamp_s = window_.back().timestamp_s;
-  decision.score =
-      detector_.Score(std::span<const wifi::CsiPacket>(window_), scratch_);
-  if (filter_.has_value()) {
-    decision.posterior = filter_->Update(decision.score);
-    decision.occupied = decision.posterior >= config_.decision_probability;
-  } else {
-    decision.occupied = decision.score >= detector_.threshold();
+  const std::span<const wifi::CsiPacket> window_span(window_);
+
+  const std::uint32_t live_mask = ingest_.LiveMask(detector_.num_antennas());
+  const std::uint32_t full_mask =
+      GuardedIngest::FullMask(detector_.num_antennas());
+  if (live_mask == 0 ||
+      (live_mask != full_mask && !config_.degraded_fallback)) {
+    // Every chain dead, or fallback disabled while one is: pause decisions
+    // until the chain revives (the belief holds at its last value).
+    return std::nullopt;
+  }
+  if (live_mask != full_mask && detector_.has_threshold()) {
+    // Degraded mode: score the surviving antennas, compare against the
+    // fallback threshold, keep the HMM frozen (its emission model belongs
+    // to the primary statistic).
+    decision.score = detector_.ScoreDegraded(window_span, scratch_, live_mask);
+    decision.occupied = decision.score >= detector_.fallback_threshold();
     decision.posterior = decision.occupied ? 1.0 : 0.0;
+    decision.degraded = true;
+    ingest_.degraded = true;
+    ++ingest_.degraded_decisions;
+  } else {
+    decision.score = detector_.Score(window_span, scratch_);
+    if (filter_.has_value()) {
+      decision.posterior = filter_->Update(decision.score);
+      decision.occupied = decision.posterior >= config_.decision_probability;
+    } else {
+      decision.occupied = decision.score >= detector_.threshold();
+      decision.posterior = decision.occupied ? 1.0 : 0.0;
+    }
+    ingest_.degraded = false;
+    ingest_.ObserveDecision(decision, detector_, config_);
   }
   occupied_ = decision.occupied;
   posterior_ = decision.posterior;

@@ -3,11 +3,13 @@
 // around Detector for live CSI feeds (50 packets/s in the paper's testbed).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "core/detector.h"
 #include "core/hmm.h"
+#include "nic/frame_guard.h"
 
 namespace mulink::core {
 
@@ -23,6 +25,34 @@ struct StreamingConfig {
   HmmConfig hmm;
   // Posterior above which the room is declared occupied (HMM mode).
   double decision_probability = 0.5;
+
+  // Frame validation (nic::FrameGuard) in front of the ring. Quarantined
+  // frames never reach a window; repairable frames are ingested with their
+  // faults counted; a sequence gap wider than the guard's resync limit
+  // flushes the ring (the buffered packets and the new one no longer form a
+  // contiguous window). Off by default — guarded ingest of a clean stream
+  // is bit-identical to unguarded ingest.
+  bool guard_enabled = false;
+  nic::FrameGuardConfig guard;
+
+  // When the guard confirms a dead RX chain, keep deciding on the surviving
+  // antennas via Detector::ScoreDegraded (the combined scheme falls back to
+  // subcarrier-only weighting; MUSIC needs the full array). When false,
+  // decisions pause until the chain revives. Degraded decisions bypass the
+  // HMM — its emission model was fitted to the primary statistic — and the
+  // filter resumes, state intact, on recovery.
+  bool degraded_fallback = true;
+
+  // Profile-drift watchdog: an EWMA of scores over windows the detector
+  // itself believes are empty (posterior at or below this bound). When the
+  // EWMA of believed-empty scores climbs to a fraction of the decision
+  // threshold, the static profile s(0) no longer matches the quiet channel
+  // and LinkHealth::profile_drift flags that recalibration (or
+  // Detector::UpdateProfile) is due.
+  double watchdog_empty_posterior = 0.2;
+  double watchdog_ewma_alpha = 0.1;
+  double watchdog_score_fraction = 0.9;
+  std::size_t watchdog_min_windows = 8;
 };
 
 struct PresenceDecision {
@@ -30,6 +60,49 @@ struct PresenceDecision {
   double score = 0.0;         // raw detector statistic
   double posterior = 0.0;     // P(occupied); equals score>threshold when !use_hmm
   bool occupied = false;
+  // Decided on the degraded (dead-chain fallback) statistic against the
+  // fallback threshold; posterior is the hard 0/1 of that comparison.
+  bool degraded = false;
+};
+
+// Guard, degraded-mode and watchdog state shared by StreamingDetector and
+// SensingEngine's per-link state, so batch and streaming ingest stay
+// bit-identical under the same fault stream.
+struct GuardedIngest {
+  GuardedIngest() = default;
+  explicit GuardedIngest(const StreamingConfig& config) {
+    if (config.guard_enabled) guard.emplace(config.guard);
+  }
+
+  // Inspect one arriving frame. nullopt means the frame is quarantined and
+  // must not reach the ring; otherwise the report's `resync` flag tells the
+  // caller to flush its ring before ingesting the frame.
+  std::optional<nic::FrameReport> Admit(const wifi::CsiPacket& packet);
+
+  // All-antennas mask for a detector with `num_antennas` chains.
+  static std::uint32_t FullMask(std::size_t num_antennas);
+
+  // Live-antenna mask (FullMask when unguarded or nothing is dead).
+  std::uint32_t LiveMask(std::size_t num_antennas) const;
+
+  // Watchdog bookkeeping after a clean (non-degraded) decision.
+  void ObserveDecision(const PresenceDecision& decision,
+                       const Detector& detector,
+                       const StreamingConfig& config);
+
+  // Aggregate guard counters plus the degradation/watchdog fields.
+  nic::LinkHealth Health() const;
+
+  // Back to the just-constructed state (guard counters included), so a
+  // reset link decides bit-identically to a fresh one fed the same tail.
+  void Reset();
+
+  std::optional<nic::FrameGuard> guard;
+  bool degraded = false;  // last decision used the fallback statistic
+  std::size_t degraded_decisions = 0;
+  std::size_t empty_windows_seen = 0;
+  double empty_score_ewma = 0.0;
+  bool profile_drift = false;
 };
 
 class StreamingDetector {
@@ -48,6 +121,10 @@ class StreamingDetector {
   bool occupied() const { return occupied_; }
   double posterior() const { return posterior_; }
 
+  // Link health snapshot: frame-guard counters plus degraded-mode and
+  // profile-drift state. All-zero when the guard is disabled.
+  nic::LinkHealth Health() const { return ingest_.Health(); }
+
   // Drop buffered packets and reset the temporal state.
   void Reset();
 
@@ -57,6 +134,7 @@ class StreamingDetector {
  private:
   Detector detector_;
   StreamingConfig config_;
+  GuardedIngest ingest_;
   std::optional<PresenceHmm> hmm_;
   std::optional<PresenceHmm::Filter> filter_;
   // Fixed-capacity ring of the last window_packets packets plus an

@@ -23,6 +23,7 @@ ChannelSimulator::ChannelSimulator(geometry::Room room, Vec2 tx, Vec2 rx,
       offsets_hz_(band_.AllOffsetsHz()) {
   MULINK_REQUIRE(config_.packet_rate_hz > 0.0,
                  "ChannelSimulator: packet rate must be > 0");
+  if (config_.faults.enabled) injector_.emplace(config_.faults);
   walker_positions_.reserve(config_.walkers.size());
   for (const auto& w : config_.walkers) walker_positions_.push_back(w.base);
 }
@@ -148,7 +149,17 @@ wifi::CsiPacket ChannelSimulator::CapturePacket(
 
   const double timestamp = clock_s_;
   clock_s_ += 1.0 / config_.packet_rate_hz;
-  return emulator_.Report(cfr, timestamp, next_sequence_++);
+  if (!injector_) {
+    return emulator_.Report(cfr, timestamp, next_sequence_++);
+  }
+  // Fault path: the dead chain is silenced inside the report (the AGC
+  // retrains on the surviving rows), then in-frame corruption and AGC jumps
+  // are applied from the injector's private RNG stream. Stream-level faults
+  // (drop/duplicate/reorder) are applied per session, below.
+  wifi::CsiPacket packet = emulator_.Report(cfr, timestamp, next_sequence_++,
+                                            injector_->DeadAntennaMask());
+  injector_->CorruptPacket(packet);
+  return packet;
 }
 
 std::vector<wifi::CsiPacket> ChannelSimulator::CaptureSession(
@@ -167,6 +178,7 @@ std::vector<wifi::CsiPacket> ChannelSimulator::CaptureSessionMulti(
   for (std::size_t i = 0; i < count; ++i) {
     packets.push_back(CapturePacket(humans, rng));
   }
+  if (injector_) injector_->ApplyStreamFaults(packets);
   return packets;
 }
 
@@ -185,6 +197,7 @@ std::vector<wifi::CsiPacket> ChannelSimulator::CaptureWalk(
     packets.push_back(CapturePacket(body, rng));
     travelled += speed_mps * step_s;
   }
+  if (injector_) injector_->ApplyStreamFaults(packets);
   return packets;
 }
 

@@ -12,6 +12,7 @@
 
 #include "common/rng.h"
 #include "geometry/room.h"
+#include "nic/fault_injection.h"
 #include "nic/intel5300.h"
 #include "propagation/human.h"
 #include "propagation/ray_tracer.h"
@@ -88,6 +89,12 @@ struct ChannelSimConfig {
   double interference_exit_prob = 0.45;    // per packet while active
   std::size_t interference_width_subcarriers = 4;
   double interference_power_db = 9.0;      // relative to mean subcarrier power
+
+  // NIC/firmware fault processes (drop, reorder, corruption, dead chain,
+  // AGC jumps). Disabled by default; when enabled the injector draws from
+  // its own pre-forked RNG stream, so the channel realization is unchanged
+  // and the parallel campaign runner stays bit-identical.
+  FaultInjectionConfig faults;
 };
 
 class ChannelSimulator {
@@ -144,6 +151,7 @@ class ChannelSimulator {
   wifi::BandPlan band_;
   ChannelSimConfig config_;
   Intel5300Emulator emulator_;
+  std::optional<FaultInjector> injector_;
   std::vector<double> offsets_hz_;
   std::vector<geometry::Vec2> walker_positions_;
   double gain_drift_state_db_ = 0.0;

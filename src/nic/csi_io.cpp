@@ -1,5 +1,6 @@
 #include "nic/csi_io.h"
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 
@@ -66,7 +67,8 @@ void WriteCsiSession(const std::string& path,
   }
 }
 
-std::vector<wifi::CsiPacket> ReadCsiSession(const std::string& path) {
+std::vector<wifi::CsiPacket> ReadCsiSession(const std::string& path,
+                                            CsiReadMode mode) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw Error("ReadCsiSession: cannot open " + path);
@@ -84,6 +86,26 @@ std::vector<wifi::CsiPacket> ReadCsiSession(const std::string& path) {
   const auto subcarriers = ReadValue<std::uint32_t>(in);
   MULINK_REQUIRE(packets > 0 && antennas > 0 && subcarriers > 0,
                  "ReadCsiSession: empty or malformed header");
+  // Plausibility caps: no NIC reports anywhere near these, and they bound
+  // the allocation a corrupted header can demand.
+  MULINK_REQUIRE(antennas <= 64 && subcarriers <= 16384,
+                 "ReadCsiSession: implausible antenna/subcarrier count");
+
+  // The header's packet count must match the bytes actually present —
+  // catches both truncated files and trailing garbage before any packet is
+  // parsed (and before the count drives an allocation).
+  const std::streamoff payload_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::streamoff file_size = in.tellg();
+  in.seekg(payload_start);
+  const std::uint64_t packet_bytes =
+      3 * 8 + static_cast<std::uint64_t>(antennas) * subcarriers * 16;
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(payload_start) +
+      static_cast<std::uint64_t>(packets) * packet_bytes;
+  MULINK_REQUIRE(static_cast<std::uint64_t>(file_size) == expected,
+                 "ReadCsiSession: file size does not match the header's "
+                 "packet count (truncated or trailing bytes)");
 
   std::vector<wifi::CsiPacket> session;
   session.reserve(packets);
@@ -92,11 +114,18 @@ std::vector<wifi::CsiPacket> ReadCsiSession(const std::string& path) {
     packet.timestamp_s = ReadValue<double>(in);
     packet.rssi_db = ReadValue<double>(in);
     packet.sequence = ReadValue<std::uint64_t>(in);
+    MULINK_REQUIRE(mode == CsiReadMode::kTolerant ||
+                       (std::isfinite(packet.timestamp_s) &&
+                        std::isfinite(packet.rssi_db)),
+                   "ReadCsiSession: non-finite packet metadata");
     packet.csi = linalg::CMatrix(antennas, subcarriers);
     for (std::uint32_t m = 0; m < antennas; ++m) {
       for (std::uint32_t k = 0; k < subcarriers; ++k) {
         const double re = ReadValue<double>(in);
         const double im = ReadValue<double>(in);
+        MULINK_REQUIRE(mode == CsiReadMode::kTolerant ||
+                           (std::isfinite(re) && std::isfinite(im)),
+                       "ReadCsiSession: non-finite CSI value");
         packet.csi.At(m, k) = Complex(re, im);
       }
     }

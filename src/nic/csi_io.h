@@ -19,11 +19,21 @@ namespace mulink::nic {
 // All packets in a session must share one (antennas, subcarriers) shape.
 //
 // Throws mulink::Error on IO failure and PreconditionError on malformed
-// input (bad magic/version, truncated file, inconsistent shapes).
+// input: bad magic/version, inconsistent shapes, implausible header
+// dimensions, a file size that disagrees with the header's packet count
+// (truncation or trailing bytes), or non-finite values in the payload.
+// A session that loads is safe to feed straight into the pipeline.
 void WriteCsiSession(const std::string& path,
                      const std::vector<wifi::CsiPacket>& session);
 
-std::vector<wifi::CsiPacket> ReadCsiSession(const std::string& path);
+// kStrict rejects non-finite payload values; kTolerant admits them so a
+// FrameGuard-fronted pipeline can see (and quarantine) the corrupt frames a
+// real driver emits. Everything structural — magic, version, shape,
+// size-vs-header — is enforced in both modes.
+enum class CsiReadMode { kStrict, kTolerant };
+
+std::vector<wifi::CsiPacket> ReadCsiSession(
+    const std::string& path, CsiReadMode mode = CsiReadMode::kStrict);
 
 // CSV export for plotting: one row per (packet, antenna) with columns
 //   sequence, timestamp_s, antenna, amp_db_1..amp_db_K

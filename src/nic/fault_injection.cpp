@@ -1,0 +1,105 @@
+#include "nic/fault_injection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace mulink::nic {
+
+FaultInjector::FaultInjector(FaultInjectionConfig config)
+    : config_(config), rng_(config.seed, /*stream=*/0x5eed5) {
+  MULINK_REQUIRE(config_.drop_prob >= 0.0 && config_.drop_prob < 1.0,
+                 "FaultInjector: drop_prob must be in [0, 1)");
+  MULINK_REQUIRE(config_.corrupt_width >= 1,
+                 "FaultInjector: corrupt_width must be >= 1");
+}
+
+std::uint32_t FaultInjector::DeadAntennaMask() const {
+  if (config_.dead_antenna < 0 ||
+      packet_index_ < config_.dead_from_packet) {
+    return 0;
+  }
+  return 1u << static_cast<std::uint32_t>(config_.dead_antenna);
+}
+
+void FaultInjector::CorruptPacket(wifi::CsiPacket& packet) {
+  const std::size_t ants = packet.NumAntennas();
+  const std::size_t scs = packet.NumSubcarriers();
+
+  // Garbage subcarriers: firmware desync writes junk into a clump of one
+  // chain's report (NaN from the unpacker, or a saturated lattice value).
+  if (config_.corrupt_prob > 0.0 &&
+      rng_.NextDouble() < config_.corrupt_prob && ants > 0 && scs > 0) {
+    const std::size_t m = static_cast<std::size_t>(
+        rng_.UniformInt(0, static_cast<int>(ants) - 1));
+    const std::size_t width = std::min(config_.corrupt_width, scs);
+    const std::size_t start = static_cast<std::size_t>(
+        rng_.UniformInt(0, static_cast<int>(scs - width)));
+    for (std::size_t k = start; k < start + width; ++k) {
+      if (rng_.NextDouble() < config_.corrupt_nan_prob) {
+        packet.csi.At(m, k) =
+            Complex(std::numeric_limits<double>::quiet_NaN(),
+                    std::numeric_limits<double>::quiet_NaN());
+      } else {
+        // Saturated garbage, orders of magnitude above any channel gain.
+        packet.csi.At(m, k) = Complex(1e9, -1e9);
+      }
+    }
+  }
+
+  // AGC jump: the receive gain steps for a burst of frames; CSI amplitudes
+  // and the RSSI indicator move together, like a real AGC retrain.
+  if (config_.agc_jump_prob > 0.0) {
+    if (agc_jump_remaining_ == 0 &&
+        rng_.NextDouble() < config_.agc_jump_prob) {
+      agc_jump_remaining_ = std::max<std::size_t>(1, config_.agc_jump_packets);
+      agc_gain_linear_ = std::pow(10.0, config_.agc_jump_db / 20.0);
+    }
+    if (agc_jump_remaining_ > 0) {
+      for (std::size_t m = 0; m < ants; ++m) {
+        for (std::size_t k = 0; k < scs; ++k) {
+          packet.csi.At(m, k) *= Complex(agc_gain_linear_, 0.0);
+        }
+      }
+      packet.rssi_db += 20.0 * std::log10(agc_gain_linear_);
+      --agc_jump_remaining_;
+    }
+  }
+
+  ++packet_index_;
+}
+
+void FaultInjector::ApplyStreamFaults(std::vector<wifi::CsiPacket>& session) {
+  if (config_.drop_prob <= 0.0 && config_.duplicate_prob <= 0.0 &&
+      config_.reorder_prob <= 0.0) {
+    return;
+  }
+  std::vector<wifi::CsiPacket> out;
+  out.reserve(session.size() + session.size() / 8);
+  for (auto& packet : session) {
+    if (config_.drop_prob > 0.0 && rng_.NextDouble() < config_.drop_prob) {
+      continue;  // lost in the air / kernel ring overrun
+    }
+    out.push_back(std::move(packet));
+    if (config_.duplicate_prob > 0.0 &&
+        rng_.NextDouble() < config_.duplicate_prob) {
+      out.push_back(out.back());  // delivered twice
+    }
+  }
+  // Reorder pass: adjacent swaps model frames overtaking each other in the
+  // driver's report queue.
+  if (config_.reorder_prob > 0.0 && out.size() >= 2) {
+    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+      if (rng_.NextDouble() < config_.reorder_prob) {
+        std::swap(out[i], out[i + 1]);
+        ++i;  // a swapped pair is not re-swapped
+      }
+    }
+  }
+  session = std::move(out);
+}
+
+}  // namespace mulink::nic

@@ -1,0 +1,82 @@
+// Configurable NIC/firmware fault processes for the capture chain.
+//
+// The emulated Intel 5300 report path is too clean: real CSI Tool traces
+// drop frames under contention, reorder them in the kernel ring, hand the
+// pipeline garbage subcarriers after a firmware desync, lose whole RX
+// chains to a loose pigtail, and jump the AGC gain when a neighboring
+// transmitter keys up. A FaultInjector reproduces those processes on top of
+// an otherwise-untouched capture so the frame_guard / degraded-mode pipeline
+// can be exercised and regression-tested.
+//
+// Determinism: the injector owns a dedicated Rng seeded from its config —
+// pre-forked, never shared with the channel's RNG — so (a) enabling faults
+// does not perturb the channel sample stream and (b) the parallel campaign
+// runner stays bit-identical across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "wifi/csi.h"
+
+namespace mulink::nic {
+
+struct FaultInjectionConfig {
+  bool enabled = false;
+  // Seed of the injector's private RNG stream.
+  std::uint64_t seed = 1;
+
+  // Stream-level processes (applied per captured session, per frame):
+  double drop_prob = 0.0;       // frame lost (sequence gap downstream)
+  double duplicate_prob = 0.0;  // frame delivered twice
+  double reorder_prob = 0.0;    // frame swapped with its successor
+
+  // In-frame corruption: a clump of subcarriers on one RX chain overwritten
+  // with garbage (NaN with corrupt_nan_prob, else a huge saturated value).
+  double corrupt_prob = 0.0;
+  std::size_t corrupt_width = 3;
+  double corrupt_nan_prob = 0.5;
+
+  // Dead RX chain: antenna index (negative = none) silenced from the given
+  // packet index onward.
+  int dead_antenna = -1;
+  std::size_t dead_from_packet = 0;
+
+  // AGC jump: with agc_jump_prob per frame the receive gain steps by
+  // agc_jump_db for agc_jump_packets frames (RSSI and CSI scale together,
+  // the commodity-NIC signature the guard's RSSI outlier check keys on).
+  double agc_jump_prob = 0.0;
+  double agc_jump_db = 12.0;
+  std::size_t agc_jump_packets = 8;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectionConfig config);
+
+  // Dead-chain bitmask for the *next* frame (consumed by the emulator's
+  // report path before quantization so the AGC rescales to the live rows).
+  std::uint32_t DeadAntennaMask() const;
+
+  // In-frame faults (corruption, AGC jump) on one reported packet; advances
+  // the injector's packet index.
+  void CorruptPacket(wifi::CsiPacket& packet);
+
+  // Stream-level faults (drop / duplicate / reorder) over a captured
+  // session, in capture order.
+  void ApplyStreamFaults(std::vector<wifi::CsiPacket>& session);
+
+  const FaultInjectionConfig& config() const { return config_; }
+  std::size_t packets_seen() const { return packet_index_; }
+
+ private:
+  FaultInjectionConfig config_;
+  Rng rng_;
+  std::size_t packet_index_ = 0;
+  std::size_t agc_jump_remaining_ = 0;
+  double agc_gain_linear_ = 1.0;
+};
+
+}  // namespace mulink::nic

@@ -1,0 +1,251 @@
+#include "nic/frame_guard.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace mulink::nic {
+
+namespace {
+
+std::size_t FaultIndex(FrameFault fault) {
+  std::size_t index = 0;
+  std::uint32_t bit = FaultBit(fault);
+  while (bit > 1u) {
+    bit >>= 1u;
+    ++index;
+  }
+  return index;
+}
+
+}  // namespace
+
+const char* ToString(FrameFault fault) {
+  switch (fault) {
+    case FrameFault::kNone:
+      return "none";
+    case FrameFault::kNonFinite:
+      return "non-finite";
+    case FrameFault::kZeroEnergy:
+      return "zero-energy";
+    case FrameFault::kDeadAntenna:
+      return "dead-antenna";
+    case FrameFault::kDuplicateSequence:
+      return "duplicate-sequence";
+    case FrameFault::kReorderedSequence:
+      return "reordered-sequence";
+    case FrameFault::kSequenceGap:
+      return "sequence-gap";
+    case FrameFault::kRssiOutlier:
+      return "rssi-outlier";
+    case FrameFault::kShapeMismatch:
+      return "shape-mismatch";
+  }
+  return "unknown";
+}
+
+const char* ToString(FrameVerdict verdict) {
+  switch (verdict) {
+    case FrameVerdict::kAccept:
+      return "accept";
+    case FrameVerdict::kRepair:
+      return "repair";
+    case FrameVerdict::kQuarantine:
+      return "quarantine";
+  }
+  return "unknown";
+}
+
+const char* ToString(LinkStatus status) {
+  switch (status) {
+    case LinkStatus::kHealthy:
+      return "healthy";
+    case LinkStatus::kDegraded:
+      return "degraded";
+    case LinkStatus::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+std::uint64_t LinkHealth::FaultCount(FrameFault fault) const {
+  if (fault == FrameFault::kNone) return 0;
+  return fault_counts[FaultIndex(fault)];
+}
+
+LinkStatus Status(const LinkHealth& health) {
+  if (health.received > 0 && health.quarantined * 2 > health.received) {
+    return LinkStatus::kCritical;
+  }
+  if (health.dead_antenna_mask != 0 || health.profile_drift ||
+      health.degraded) {
+    return LinkStatus::kDegraded;
+  }
+  return LinkStatus::kHealthy;
+}
+
+FrameGuard::FrameGuard(FrameGuardConfig config) : config_(config) {
+  MULINK_REQUIRE(config_.dead_antenna_packets >= 1,
+                 "FrameGuard: dead_antenna_packets must be >= 1");
+  MULINK_REQUIRE(config_.rssi_outlier_sigma > 0.0,
+                 "FrameGuard: rssi_outlier_sigma must be > 0");
+  MULINK_REQUIRE(
+      config_.rssi_ewma_alpha > 0.0 && config_.rssi_ewma_alpha <= 1.0,
+      "FrameGuard: rssi_ewma_alpha must be in (0, 1]");
+  locked_antennas_ = config_.expected_antennas;
+  locked_subcarriers_ = config_.expected_subcarriers;
+}
+
+void FrameGuard::Reset() {
+  health_ = LinkHealth{};
+  have_sequence_ = false;
+  last_sequence_ = 0;
+  rssi_mean_ = 0.0;
+  rssi_var_ = 0.0;
+  rssi_seen_ = 0;
+  dead_streak_.assign(dead_streak_.size(), 0);
+  live_streak_.assign(live_streak_.size(), 0);
+}
+
+FrameReport FrameGuard::Inspect(const wifi::CsiPacket& packet) {
+  FrameReport report;
+  ++health_.received;
+
+  auto flag = [&](FrameFault fault) {
+    report.faults |= FaultBit(fault);
+    ++health_.fault_counts[FaultIndex(fault)];
+  };
+  auto quarantine = [&](FrameFault fault) {
+    flag(fault);
+    report.verdict = FrameVerdict::kQuarantine;
+    ++health_.quarantined;
+    return report;
+  };
+
+  // Shape: lock onto the first frame (or the configured shape) and reject
+  // anything else — the ring's packet slots and the detector's profile are
+  // shaped for exactly one (antennas, subcarriers) pair.
+  const std::size_t ants = packet.NumAntennas();
+  const std::size_t scs = packet.NumSubcarriers();
+  if (locked_antennas_ == 0) locked_antennas_ = ants;
+  if (locked_subcarriers_ == 0) locked_subcarriers_ = scs;
+  if (ants != locked_antennas_ || scs != locked_subcarriers_ || ants == 0 ||
+      scs == 0) {
+    return quarantine(FrameFault::kShapeMismatch);
+  }
+  if (dead_streak_.size() != ants) {
+    dead_streak_.assign(ants, 0);
+    live_streak_.assign(ants, 0);
+  }
+
+  // Non-finite scan over the CSI and the metadata the pipeline consumes.
+  bool finite = std::isfinite(packet.timestamp_s) &&
+                std::isfinite(packet.rssi_db);
+  const Complex* csi = packet.csi.raw();
+  const std::size_t cells = ants * scs;
+  for (std::size_t i = 0; finite && i < cells; ++i) {
+    finite = std::isfinite(csi[i].real()) && std::isfinite(csi[i].imag());
+  }
+  if (!finite) {
+    return quarantine(FrameFault::kNonFinite);
+  }
+
+  // Per-antenna energy (reused for zero-energy and dead-chain checks).
+  double max_row_power = 0.0;
+  double total_power = 0.0;
+  std::array<double, 64> row_power_buf{};
+  MULINK_ASSERT_MSG(ants <= row_power_buf.size(),
+                    "FrameGuard: more antennas than supported");
+  for (std::size_t m = 0; m < ants; ++m) {
+    double row = 0.0;
+    const Complex* p = csi + m * scs;
+    for (std::size_t k = 0; k < scs; ++k) row += std::norm(p[k]);
+    row_power_buf[m] = row;
+    total_power += row;
+    if (row > max_row_power) max_row_power = row;
+  }
+  if (total_power <= 0.0) {
+    return quarantine(FrameFault::kZeroEnergy);
+  }
+
+  // Sequence discipline. Only usable frames advance the reference, so a
+  // quarantined frame surfaces as a gap on the next good one — from the
+  // ring's point of view it *is* missing.
+  if (have_sequence_) {
+    if (packet.sequence == last_sequence_) {
+      return quarantine(FrameFault::kDuplicateSequence);
+    }
+    if (packet.sequence < last_sequence_) {
+      return quarantine(FrameFault::kReorderedSequence);
+    }
+    if (packet.sequence > last_sequence_ + 1) {
+      report.gap =
+          static_cast<std::size_t>(packet.sequence - last_sequence_ - 1);
+      health_.missing += report.gap;
+      flag(FrameFault::kSequenceGap);
+      report.resync = report.gap > config_.max_gap_packets;
+    }
+  }
+  have_sequence_ = true;
+  last_sequence_ = packet.sequence;
+
+  // Dead RX chain: a row far below the strongest chain for N consecutive
+  // frames is declared dead; the same streak of live frames revives it.
+  for (std::size_t m = 0; m < ants; ++m) {
+    const bool silent =
+        row_power_buf[m] < config_.dead_antenna_rel_power * max_row_power;
+    const std::uint32_t bit = 1u << m;
+    if (silent) {
+      live_streak_[m] = 0;
+      if (dead_streak_[m] < config_.dead_antenna_packets) ++dead_streak_[m];
+      if (dead_streak_[m] >= config_.dead_antenna_packets &&
+          (health_.dead_antenna_mask & bit) == 0) {
+        health_.dead_antenna_mask |= bit;
+        report.antenna_died = static_cast<int>(m);
+      }
+    } else {
+      dead_streak_[m] = 0;
+      if (live_streak_[m] < config_.dead_antenna_packets) ++live_streak_[m];
+      if (live_streak_[m] >= config_.dead_antenna_packets) {
+        health_.dead_antenna_mask &= ~bit;
+      }
+    }
+  }
+  if (health_.dead_antenna_mask != 0) {
+    flag(FrameFault::kDeadAntenna);
+    report.verdict = FrameVerdict::kRepair;
+  }
+
+  // RSSI outlier (AGC jump). EWMA statistics update on every usable frame —
+  // a persistent gain step is flagged while the mean converges to the new
+  // level, a one-frame glitch is flagged exactly once.
+  if (rssi_seen_ >= config_.rssi_warmup_packets) {
+    const double sigma = std::sqrt(std::max(rssi_var_, 1e-12));
+    if (std::abs(packet.rssi_db - rssi_mean_) >
+        config_.rssi_outlier_sigma * sigma) {
+      flag(FrameFault::kRssiOutlier);
+      report.verdict = FrameVerdict::kRepair;
+    }
+  }
+  if (rssi_seen_ == 0) {
+    rssi_mean_ = packet.rssi_db;
+    rssi_var_ = 0.0;
+  } else {
+    const double alpha = config_.rssi_ewma_alpha;
+    const double delta = packet.rssi_db - rssi_mean_;
+    rssi_mean_ += alpha * delta;
+    rssi_var_ = (1.0 - alpha) * (rssi_var_ + alpha * delta * delta);
+  }
+  ++rssi_seen_;
+
+  if (report.verdict == FrameVerdict::kRepair) {
+    ++health_.repaired;
+  } else {
+    ++health_.accepted;
+  }
+  return report;
+}
+
+}  // namespace mulink::nic

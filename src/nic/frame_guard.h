@@ -1,0 +1,163 @@
+// Fault-tolerant CSI ingest: per-link frame validation with a typed fault
+// taxonomy.
+//
+// Real commodity-NIC traces are riddled with firmware glitches — dropped,
+// reordered and duplicated frames, garbage subcarriers (NaN/Inf after the
+// driver's fixed-point unpacking), silently dead RX chains, and AGC-induced
+// RSSI jumps. The detection pipeline downstream (Detector, SensingEngine)
+// assumes clean input: one NaN subcarrier poisons the window score, the
+// Eq. 15 weights, and the MUSIC pseudospectrum at once.
+//
+// A FrameGuard sits between the NIC and the ring buffer. Every CsiPacket is
+// classified into one of three verdicts:
+//   * accept     — clean frame, enters the window ring untouched.
+//   * repair     — usable but flagged (dead RX chain, RSSI outlier): the
+//                  frame enters the ring and downstream consumers degrade
+//                  (e.g. fall back to subcarrier-only weighting, which does
+//                  not need the full ULA).
+//   * quarantine — unusable (non-finite CSI, zero energy, duplicate or
+//                  late sequence, wrong shape): the frame must not enter
+//                  the ring. Sequence gaps created this way are tracked.
+// Per-link fault counters are exposed through LinkHealth, which the engine
+// augments with its degradation state and surfaces through the CLI and
+// examples.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "wifi/csi.h"
+
+namespace mulink::nic {
+
+// Fault taxonomy (bitmask: one frame can carry several faults at once).
+enum class FrameFault : std::uint32_t {
+  kNone = 0,
+  kNonFinite = 1u << 0,      // NaN/Inf in the CSI matrix or metadata
+  kZeroEnergy = 1u << 1,     // whole frame carries no power
+  kDeadAntenna = 1u << 2,    // one RX chain silent while the others are live
+  kDuplicateSequence = 1u << 3,
+  kReorderedSequence = 1u << 4,  // arrived after a newer frame
+  kSequenceGap = 1u << 5,        // one or more frames lost before this one
+  kRssiOutlier = 1u << 6,        // AGC jump: RSSI far off its running mean
+  kShapeMismatch = 1u << 7,      // antenna/subcarrier count changed mid-link
+};
+
+inline constexpr std::size_t kNumFrameFaults = 8;
+
+constexpr std::uint32_t FaultBit(FrameFault fault) {
+  return static_cast<std::uint32_t>(fault);
+}
+
+const char* ToString(FrameFault fault);
+
+enum class FrameVerdict { kAccept, kRepair, kQuarantine };
+
+const char* ToString(FrameVerdict verdict);
+
+struct FrameGuardConfig {
+  // Frame shape every packet must match; 0 locks onto the first frame seen.
+  std::size_t expected_antennas = 0;
+  std::size_t expected_subcarriers = 0;
+
+  // An antenna whose per-frame energy stays below dead_antenna_rel_power x
+  // the strongest chain's energy for dead_antenna_packets consecutive
+  // frames is declared dead; the same count of live frames revives it.
+  double dead_antenna_rel_power = 1e-6;
+  std::size_t dead_antenna_packets = 10;
+
+  // RSSI outlier (AGC jump): |rssi - EWMA mean| > rssi_outlier_sigma x the
+  // EWMA standard deviation, evaluated after rssi_warmup_packets frames.
+  double rssi_outlier_sigma = 6.0;
+  double rssi_ewma_alpha = 0.05;
+  std::size_t rssi_warmup_packets = 20;
+
+  // A sequence gap larger than this asks downstream consumers to flush
+  // their window ring: the buffered context predates the outage.
+  std::size_t max_gap_packets = 50;
+};
+
+// Classification of one frame.
+struct FrameReport {
+  FrameVerdict verdict = FrameVerdict::kAccept;
+  std::uint32_t faults = 0;  // FrameFault bitmask
+  // Frames lost between the previous accepted frame and this one.
+  std::size_t gap = 0;
+  // The gap exceeded max_gap_packets: buffered windows are stale.
+  bool resync = false;
+  // RX chain newly confirmed dead by this frame (-1 otherwise).
+  int antenna_died = -1;
+
+  bool Has(FrameFault fault) const { return (faults & FaultBit(fault)) != 0; }
+};
+
+// Per-link ingest health. The guard fills the counters; SensingEngine /
+// StreamingDetector fill the degradation fields before handing the report
+// to callers.
+struct LinkHealth {
+  std::uint64_t received = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t repaired = 0;
+  std::uint64_t quarantined = 0;
+  // Frames lost to sequence gaps (never seen at all).
+  std::uint64_t missing = 0;
+  // Per-fault occurrence counts, indexed by the bit position of FrameFault.
+  std::uint64_t fault_counts[kNumFrameFaults] = {};
+  // Currently-dead RX chains (bit m = antenna m).
+  std::uint32_t dead_antenna_mask = 0;
+
+  // Filled by the sensing layer:
+  bool degraded = false;         // last decision used the fallback statistic
+  std::uint64_t degraded_decisions = 0;
+  bool profile_drift = false;    // watchdog: s(0) no longer matches empty air
+  double empty_score_ewma = 0.0; // watchdog state (quarantine-filtered)
+
+  std::uint64_t FaultCount(FrameFault fault) const;
+};
+
+enum class LinkStatus { kHealthy, kDegraded, kCritical };
+
+const char* ToString(LinkStatus status);
+
+// Summary verdict over a LinkHealth snapshot: critical when most frames are
+// unusable or every chain is dead, degraded when a chain died, the profile
+// drifted, or fallback scoring is active.
+LinkStatus Status(const LinkHealth& health);
+
+class FrameGuard {
+ public:
+  explicit FrameGuard(FrameGuardConfig config = {});
+
+  // Classify one frame and update the health counters. Does not modify the
+  // frame; callers act on the verdict (quarantined frames must not reach
+  // the window ring).
+  FrameReport Inspect(const wifi::CsiPacket& packet);
+
+  const LinkHealth& health() const { return health_; }
+  std::uint32_t dead_antenna_mask() const { return health_.dead_antenna_mask; }
+  const FrameGuardConfig& config() const { return config_; }
+
+  // Forget sequence/RSSI/dead-chain state and zero the counters (matches a
+  // link Reset; the locked frame shape is kept).
+  void Reset();
+
+ private:
+  FrameGuardConfig config_;
+  LinkHealth health_;
+
+  std::size_t locked_antennas_ = 0;
+  std::size_t locked_subcarriers_ = 0;
+
+  bool have_sequence_ = false;
+  std::uint64_t last_sequence_ = 0;
+
+  double rssi_mean_ = 0.0;
+  double rssi_var_ = 0.0;
+  std::uint64_t rssi_seen_ = 0;
+
+  std::vector<std::uint32_t> dead_streak_;
+  std::vector<std::uint32_t> live_streak_;
+};
+
+}  // namespace mulink::nic

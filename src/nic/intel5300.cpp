@@ -15,19 +15,32 @@ Intel5300Emulator::Intel5300Emulator(Intel5300Config config)
 
 wifi::CsiPacket Intel5300Emulator::Report(const linalg::CMatrix& cfr,
                                           double timestamp_s,
-                                          std::uint64_t sequence) const {
+                                          std::uint64_t sequence,
+                                          std::uint32_t dead_antenna_mask) const {
   wifi::CsiPacket packet;
   packet.timestamp_s = timestamp_s;
   packet.sequence = sequence;
 
+  const auto dead = [dead_antenna_mask](std::size_t m) {
+    return (dead_antenna_mask >> m) & 1u;
+  };
+
   if (!config_.quantize) {
     packet.csi = cfr;
+    for (std::size_t m = 0; m < cfr.rows(); ++m) {
+      if (!dead(m)) continue;
+      for (std::size_t k = 0; k < cfr.cols(); ++k) {
+        packet.csi.At(m, k) = Complex(0.0, 0.0);
+      }
+    }
   } else {
     // AGC: scale the strongest component to (near) full scale, snap to the
     // integer lattice, then undo the scale so the packet stays in channel
-    // units with quantization error baked in.
+    // units with quantization error baked in. Dead chains are excluded from
+    // the peak scan — the gain retrains on the surviving rows.
     double peak = 0.0;
     for (std::size_t m = 0; m < cfr.rows(); ++m) {
+      if (dead(m)) continue;
       for (std::size_t k = 0; k < cfr.cols(); ++k) {
         peak = std::max({peak, std::abs(cfr.At(m, k).real()),
                          std::abs(cfr.At(m, k).imag())});
@@ -37,6 +50,7 @@ wifi::CsiPacket Intel5300Emulator::Report(const linalg::CMatrix& cfr,
     if (peak > 0.0) {
       const double agc = config_.full_scale / peak;
       for (std::size_t m = 0; m < cfr.rows(); ++m) {
+        if (dead(m)) continue;
         for (std::size_t k = 0; k < cfr.cols(); ++k) {
           const Complex v = cfr.At(m, k) * agc;
           const double re = std::clamp(std::round(v.real()), -128.0, 127.0);

@@ -27,8 +27,13 @@ class Intel5300Emulator {
   explicit Intel5300Emulator(Intel5300Config config = {});
 
   // Turn an impaired CFR into a reported CsiPacket (quantization applied).
+  // `dead_antenna_mask` silences RX chains (bit m = antenna m) *before* the
+  // AGC peak scan, the way a dead pigtail looks to the real hardware: the
+  // gain retrains on the surviving rows and the dead row reports the noise
+  // floor (exact zeros after quantization). A zero mask is the clean path.
   wifi::CsiPacket Report(const linalg::CMatrix& cfr, double timestamp_s,
-                         std::uint64_t sequence) const;
+                         std::uint64_t sequence,
+                         std::uint32_t dead_antenna_mask = 0) const;
 
   const Intel5300Config& config() const { return config_; }
 

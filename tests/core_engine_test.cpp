@@ -309,6 +309,86 @@ TEST(SensingEngine, LinksAreIndependent) {
   EXPECT_NE(r0.decisions[0].score, r1.decisions[0].score);
 }
 
+// Reset mid-stream must restore a link to its just-constructed state:
+// decisions on the tail after Reset are bit-identical to a fresh engine fed
+// the same tail, for both a mid-window cut and a mid-hop cut.
+TEST(SensingEngine, ResetMidStreamMatchesFreshEngine) {
+  auto& f = Fixture();
+  for (std::size_t cut : {13u, 30u}) {
+    for (bool guard : {false, true}) {
+      core::StreamingConfig config;
+      config.use_hmm = false;
+      config.guard_enabled = guard;
+
+      auto detector =
+          f.Calibrated(core::DetectionScheme::kSubcarrierWeighting);
+      detector.SetThreshold(1.0);
+      const std::span<const wifi::CsiPacket> session(f.occupied_session);
+
+      core::SensingEngine resumed;
+      resumed.AddLink(detector, {}, config);
+      resumed.ProcessBatch(0, session.subspan(0, cut));
+      resumed.Reset(0);
+      const auto& after_reset =
+          resumed.ProcessBatch(0, session.subspan(cut));
+
+      core::SensingEngine fresh;
+      fresh.AddLink(std::move(detector), {}, config);
+      const auto& from_fresh = fresh.ProcessBatch(0, session.subspan(cut));
+
+      ASSERT_EQ(after_reset.decisions.size(), from_fresh.decisions.size())
+          << "cut=" << cut << " guard=" << guard;
+      for (std::size_t i = 0; i < from_fresh.decisions.size(); ++i) {
+        EXPECT_EQ(after_reset.decisions[i].timestamp_s,
+                  from_fresh.decisions[i].timestamp_s);
+        EXPECT_EQ(after_reset.decisions[i].score,
+                  from_fresh.decisions[i].score);
+        EXPECT_EQ(after_reset.decisions[i].posterior,
+                  from_fresh.decisions[i].posterior);
+        EXPECT_EQ(after_reset.decisions[i].occupied,
+                  from_fresh.decisions[i].occupied);
+      }
+    }
+  }
+}
+
+// ResetAll is Reset over every link: both links of a two-link engine must
+// match their fresh counterparts on the tail.
+TEST(SensingEngine, ResetAllMatchesFreshEngines) {
+  auto& f = Fixture();
+  core::StreamingConfig config;
+  config.use_hmm = false;
+  config.guard_enabled = true;
+
+  auto d0 = f.Calibrated(core::DetectionScheme::kSubcarrierWeighting);
+  auto d1 = f.Calibrated(core::DetectionScheme::kBaseline);
+  d0.SetThreshold(1.0);
+  d1.SetThreshold(1.0);
+  const std::span<const wifi::CsiPacket> session(f.occupied_session);
+
+  core::SensingEngine resumed;
+  resumed.AddLink(d0, {}, config);
+  resumed.AddLink(d1, {}, config);
+  resumed.ProcessBatch(0, session.subspan(0, 40));
+  resumed.ProcessBatch(1, session.subspan(0, 17));
+  resumed.ResetAll();
+
+  core::SensingEngine fresh;
+  fresh.AddLink(std::move(d0), {}, config);
+  fresh.AddLink(std::move(d1), {}, config);
+
+  for (std::size_t link = 0; link < 2; ++link) {
+    const auto& a = resumed.ProcessBatch(link, session.subspan(40));
+    std::vector<core::PresenceDecision> reference(a.decisions);
+    const auto& b = fresh.ProcessBatch(link, session.subspan(40));
+    ASSERT_EQ(reference.size(), b.decisions.size()) << "link " << link;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(reference[i].score, b.decisions[i].score);
+      EXPECT_EQ(reference[i].occupied, b.decisions[i].occupied);
+    }
+  }
+}
+
 // The single-link convenience overload refuses multi-link engines.
 TEST(SensingEngine, SingleLinkOverloadRequiresOneLink) {
   auto& f = Fixture();

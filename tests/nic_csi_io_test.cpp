@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include "common/error.h"
@@ -85,6 +87,90 @@ TEST(CsiIo, RejectsTruncatedFile) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out.write(data.data(), static_cast<std::streamsize>(data.size()));
   out.close();
+  EXPECT_THROW(ReadCsiSession(path), PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(CsiIo, RejectsTrailingBytes) {
+  const auto session = SampleSession(3);
+  const auto path = TempPath("trailing.mlnk");
+  WriteCsiSession(path, session);
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write("extra", 5);
+  out.close();
+  EXPECT_THROW(ReadCsiSession(path), PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(CsiIo, RejectsHeaderPacketCountMismatch) {
+  const auto session = SampleSession(4);
+  const auto path = TempPath("count-mismatch.mlnk");
+  WriteCsiSession(path, session);
+  // Claim one more packet than the body holds (offset 8: after magic and
+  // version).
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(8);
+  const std::uint32_t lied = 5;
+  file.write(reinterpret_cast<const char*>(&lied), sizeof(lied));
+  file.close();
+  EXPECT_THROW(ReadCsiSession(path), PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(CsiIo, RejectsNonFiniteCsiValues) {
+  const auto session = SampleSession(3);
+  const auto path = TempPath("nan-patch.mlnk");
+  WriteCsiSession(path, session);
+  // Overwrite the first CSI double of packet 0 with NaN: header is 20
+  // bytes, per-packet metadata 24 bytes.
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(20 + 24);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  file.write(reinterpret_cast<const char*>(&nan), sizeof(nan));
+  file.close();
+  EXPECT_THROW(ReadCsiSession(path), PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(CsiIo, TolerantModeAdmitsNonFinitePayloadForTheGuard) {
+  const auto session = SampleSession(3);
+  const auto path = TempPath("nan-tolerant.mlnk");
+  WriteCsiSession(path, session);
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(20 + 24);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  file.write(reinterpret_cast<const char*>(&nan), sizeof(nan));
+  file.close();
+  // Strict read refuses; the tolerant read hands the corrupt frame through
+  // so a FrameGuard can quarantine it with a diagnosis.
+  EXPECT_THROW(ReadCsiSession(path), PreconditionError);
+  const auto loaded = ReadCsiSession(path, CsiReadMode::kTolerant);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_TRUE(std::isnan(loaded[0].csi.At(0, 0).real()));
+  // Structural checks still apply in tolerant mode.
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write("extra", 5);
+  out.close();
+  EXPECT_THROW(ReadCsiSession(path, CsiReadMode::kTolerant),
+               PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(CsiIo, RejectsImplausibleHeaderDimensions) {
+  const auto session = SampleSession(2);
+  const auto path = TempPath("huge-header.mlnk");
+  WriteCsiSession(path, session);
+  // Claim 2^31 antennas (offset 12) — must be rejected before any
+  // allocation is attempted.
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(12);
+  const std::uint32_t absurd = 1u << 31;
+  file.write(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  file.close();
   EXPECT_THROW(ReadCsiSession(path), PreconditionError);
   std::remove(path.c_str());
 }

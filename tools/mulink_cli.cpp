@@ -105,6 +105,27 @@ int Simulate(const Args& args) {
   Rng rng(std::stoull(Option(args, "seed", "1")));
 
   auto sim_config = ex::DefaultSimConfig();
+  // NIC fault processes (nic/fault_injection.h). Any --fault-* option turns
+  // the injector on; it draws from its own RNG stream, so the channel
+  // realization matches the clean capture packet for packet.
+  auto& faults = sim_config.faults;
+  if (args.options.count("fault-drop")) {
+    faults.drop_prob = std::stod(args.options.at("fault-drop"));
+  }
+  if (args.options.count("fault-reorder")) {
+    faults.reorder_prob = std::stod(args.options.at("fault-reorder"));
+  }
+  if (args.options.count("fault-corrupt")) {
+    faults.corrupt_prob = std::stod(args.options.at("fault-corrupt"));
+  }
+  if (args.options.count("fault-dead-antenna")) {
+    faults.dead_antenna = std::stoi(args.options.at("fault-dead-antenna"));
+  }
+  faults.enabled = faults.drop_prob > 0.0 || faults.reorder_prob > 0.0 ||
+                   faults.corrupt_prob > 0.0 || faults.dead_antenna >= 0;
+  if (faults.enabled) {
+    faults.seed = std::stoull(Option(args, "fault-seed", "1"));
+  }
   if (args.options.count("calm")) {
     // Bedroom-style conditions for respiration captures: no co-channel
     // bursts, minimal drift and sway.
@@ -171,8 +192,15 @@ int Detect(const Args& args) {
     throw PreconditionError(
         "--calibration <file> and --session <file> are required");
   }
+  // With --guard the session is read tolerantly: corrupt (non-finite)
+  // frames reach the frame guard, which quarantines them with a diagnosis
+  // instead of the loader rejecting the whole file. Calibration must be
+  // clean either way.
+  const bool guard = args.options.count("guard") > 0;
   const auto calibration = nic::ReadCsiSession(calibration_path);
-  const auto session = nic::ReadCsiSession(session_path);
+  const auto session = nic::ReadCsiSession(
+      session_path,
+      guard ? nic::CsiReadMode::kTolerant : nic::CsiReadMode::kStrict);
 
   core::DetectorConfig config;
   config.scheme = SchemeByName(Option(args, "scheme", "combined"));
@@ -204,6 +232,7 @@ int Detect(const Args& args) {
   stream.window_packets = config.window_packets;
   stream.hop_packets = config.window_packets;
   stream.use_hmm = false;
+  stream.guard_enabled = guard;
   core::SensingEngine engine;
   engine.AddLink(std::move(detector), {}, stream);
   const auto& batch =
@@ -215,7 +244,36 @@ int Detect(const Args& args) {
                              50.0,
                          1)
               << "s  score " << ex::Fmt(decision.score, 4) << "  "
-              << (decision.occupied ? "PRESENT" : "-") << "\n";
+              << (decision.occupied ? "PRESENT" : "-")
+              << (decision.degraded ? "  [degraded]" : "") << "\n";
+  }
+  if (guard) {
+    const nic::LinkHealth health = engine.Health(0);
+    std::cout << "link health:  " << nic::ToString(nic::Status(health))
+              << "\n"
+              << "  frames:     " << health.received << " received, "
+              << health.accepted << " accepted, " << health.repaired
+              << " repaired, " << health.quarantined << " quarantined, "
+              << health.missing << " missing\n";
+    for (std::size_t f = 0; f < nic::kNumFrameFaults; ++f) {
+      const auto fault = static_cast<nic::FrameFault>(1u << f);
+      if (health.fault_counts[f] > 0) {
+        std::cout << "  fault:      " << nic::ToString(fault) << " x"
+                  << health.fault_counts[f] << "\n";
+      }
+    }
+    if (health.dead_antenna_mask != 0) {
+      std::cout << "  dead mask:  0x" << std::hex << health.dead_antenna_mask
+                << std::dec << "\n";
+    }
+    if (health.degraded_decisions > 0) {
+      std::cout << "  degraded:   " << health.degraded_decisions
+                << " decisions on the fallback statistic\n";
+    }
+    if (health.profile_drift) {
+      std::cout << "  WATCHDOG:   static profile drift detected — "
+                   "recalibration due\n";
+    }
   }
   return 0;
 }
@@ -269,19 +327,28 @@ void Usage() {
       "commands:\n"
       "  simulate    --scenario <name> --packets <n> --out <file.mlnk>\n"
       "              [--human x,y] [--breathing-bpm n] [--seed n] [--calm]\n"
+      "              [--fault-drop p] [--fault-reorder p] [--fault-corrupt p]\n"
+      "              [--fault-dead-antenna m] [--fault-seed n]\n"
       "  info        <file.mlnk>\n"
       "  export-csv  <in.mlnk> <out.csv>\n"
       "  detect      --calibration <file> --session <file>\n"
       "              [--scheme baseline|subcarrier|combined|variance]\n"
-      "              [--window n]\n"
+      "              [--window n] [--guard]\n"
       "  spectrum    --calibration <file>\n"
-      "  breath      --session <file> [--rate hz]\n";
+      "  breath      --session <file> [--rate hz]\n"
+      "\n"
+      "exit codes: 0 ok, 1 runtime error, 2 bad usage/input,\n"
+      "            3 numerical failure, 4 internal invariant violation,\n"
+      "            5 unexpected exception\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
+  // Each tier of the mulink error hierarchy maps to its own exit code so
+  // scripts can tell bad input (2) from numerical trouble (3) from library
+  // bugs (4) without parsing stderr.
   try {
     if (args.command == "simulate") return Simulate(args);
     if (args.command == "info") return Info(args);
@@ -290,9 +357,21 @@ int main(int argc, char** argv) {
     if (args.command == "spectrum") return Spectrum(args);
     if (args.command == "breath") return Breath(args);
     Usage();
-    return args.command.empty() ? 0 : 1;
+    return args.command.empty() ? 0 : 2;
+  } catch (const PreconditionError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const NumericalError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 3;
+  } catch (const InvariantError& e) {
+    std::cerr << "internal error: " << e.what() << "\n";
+    return 4;
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "unexpected error: " << e.what() << "\n";
+    return 5;
   }
 }
