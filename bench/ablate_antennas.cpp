@@ -16,7 +16,9 @@
 using namespace mulink;
 namespace ex = mulink::experiments;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = ex::SmokeMode(argc, argv);
+  (void)smoke;
   ex::PrintBanner(std::cout, "Ablation — antenna count");
 
   // (a) AoA accuracy of the static reflected path on the short wall link.
@@ -73,9 +75,9 @@ int main() {
     std::vector<std::vector<std::string>> rows;
     for (std::size_t antennas : {2u, 3u, 4u, 8u}) {
       ex::CampaignConfig config;
-      config.packets_per_location = 300;
-      config.calibration_packets = 300;
-      config.empty_packets = 900;
+      config.packets_per_location = smoke ? 75 : 300;
+      config.calibration_packets = smoke ? 100 : 300;
+      config.empty_packets = smoke ? 150 : 900;
       config.seed = 22;
 
       // Campaign with a custom antenna count: build the spots and run.

@@ -14,14 +14,16 @@ namespace ex = mulink::experiments;
 
 namespace {
 
+bool g_smoke = false;
+
 void RunOne(const std::vector<ex::LinkCase>& cases,
             const std::vector<std::vector<ex::HumanSpot>>& spots,
             const core::DetectorConfig& detector, const std::string& label,
             std::vector<std::vector<std::string>>& rows) {
   ex::CampaignConfig config;
-  config.packets_per_location = 400;
-  config.calibration_packets = 400;
-  config.empty_packets = 1000;
+  config.packets_per_location = g_smoke ? 75 : 400;
+  config.calibration_packets = g_smoke ? 100 : 400;
+  config.empty_packets = g_smoke ? 150 : 1000;
   config.seed = 16;
   config.detector = detector;
 
@@ -37,7 +39,8 @@ void RunOne(const std::vector<ex::LinkCase>& cases,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_smoke = ex::SmokeMode(argc, argv);
   ex::PrintBanner(std::cout, "Ablation — path weighting design (Eq. 17)");
 
   const auto cases = ex::MakePaperCases();

@@ -12,7 +12,9 @@
 using namespace mulink;
 namespace ex = mulink::experiments;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = ex::SmokeMode(argc, argv);
+  (void)smoke;
   ex::PrintBanner(std::cout, "Ablation — subcarrier weighting design (Eq. 15)");
 
   const auto cases = ex::MakePaperCases();
@@ -26,9 +28,9 @@ int main() {
                     core::WeightingMode::kMeanMuTimesStability}) {
     for (bool robust : {false, true}) {
       ex::CampaignConfig config;
-      config.packets_per_location = 400;
-      config.calibration_packets = 400;
-      config.empty_packets = 1000;
+      config.packets_per_location = smoke ? 75 : 400;
+      config.calibration_packets = smoke ? 100 : 400;
+      config.empty_packets = smoke ? 150 : 1000;
       config.seed = 15;
       config.detector.weighting_mode = mode;
       config.detector.robust_window_aggregate = robust;

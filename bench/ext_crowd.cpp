@@ -12,7 +12,9 @@
 using namespace mulink;
 namespace ex = mulink::experiments;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = ex::SmokeMode(argc, argv);
+  (void)smoke;
   ex::PrintBanner(std::cout, "Extension — crowd counting (perturbed fraction)");
 
   auto lc = ex::MakeClassroomLink();

@@ -19,7 +19,9 @@
 using namespace mulink;
 namespace ex = mulink::experiments;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = ex::SmokeMode(argc, argv);
+  (void)smoke;
   ex::PrintBanner(std::cout, "Extension — HMM smoothing of window decisions");
 
   std::size_t raw_fp = 0, raw_fn = 0;

@@ -21,7 +21,9 @@
 using namespace mulink;
 namespace ex = mulink::experiments;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = ex::SmokeMode(argc, argv);
+  (void)smoke;
   ex::PrintBanner(std::cout,
                   "Extension — multipath factor vs fade level as proxies");
 

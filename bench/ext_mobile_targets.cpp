@@ -13,7 +13,9 @@
 using namespace mulink;
 namespace ex = mulink::experiments;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = ex::SmokeMode(argc, argv);
+  (void)smoke;
   ex::PrintBanner(std::cout, "Extension — detecting WALKING intruders");
 
   const auto cases = ex::MakePaperCases();
@@ -30,11 +32,11 @@ int main() {
       core::DetectorConfig config;
       config.scheme = scheme;
       auto detector = core::Detector::Calibrate(
-          sim.CaptureSession(400, std::nullopt, rng), sim.band(), sim.array(),
-          config);
+          sim.CaptureSession(smoke ? 100 : 400, std::nullopt, rng),
+          sim.band(), sim.array(), config);
 
       // Negatives: empty-room windows.
-      for (int i = 0; i < 32; ++i) {
+      for (int i = 0; i < (smoke ? 8 : 32); ++i) {
         negatives.push_back(
             detector.Score(sim.CaptureSession(25, std::nullopt, rng)));
       }
@@ -43,8 +45,8 @@ int main() {
         for (double speed : {0.6, 1.2}) {
           const auto trace = ex::CrossLinkWalk(lc, cross_t, 1.8);
           propagation::HumanBody body;
-          const auto walk =
-              sim.CaptureWalk(150, body, trace.from, trace.to, speed, rng);
+          const auto walk = sim.CaptureWalk(smoke ? 50 : 150, body,
+                                            trace.from, trace.to, speed, rng);
           for (std::size_t start = 0; start + 25 <= walk.size();
                start += 25) {
             positives.push_back(detector.Score(std::vector<wifi::CsiPacket>(

@@ -43,7 +43,9 @@ LinkRig MakeRig(const ex::LinkCase& lc, core::DetectionScheme scheme,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = ex::SmokeMode(argc, argv);
+  (void)smoke;
   ex::PrintBanner(std::cout,
                   "Extension — single adapted link vs naive link bundles");
 

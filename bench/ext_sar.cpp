@@ -53,7 +53,9 @@ wifi::CsiPacket VirtualAperturePacket(const ex::LinkCase& lc,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = ex::SmokeMode(argc, argv);
+  (void)smoke;
   ex::PrintBanner(std::cout, "Extension — SAR virtual apertures for AoA");
 
   auto lc = ex::MakeShortWallLink();

@@ -14,7 +14,9 @@
 using namespace mulink;
 namespace ex = mulink::experiments;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = ex::SmokeMode(argc, argv);
+  (void)smoke;
   ex::PrintBanner(std::cout, "Extension — through-wall human detection");
 
   const auto lc = ex::MakeThroughWallLink();

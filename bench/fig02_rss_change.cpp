@@ -39,7 +39,9 @@ std::vector<double> ProfileDb(nic::ChannelSimulator& sim, Rng& rng,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = ex::SmokeMode(argc, argv);
+  (void)smoke;
   ex::PrintBanner(std::cout, "Fig. 2a — CDF of RSS change, 500 locations");
 
   const ex::LinkCase lc = ex::MakeClassroomLink();

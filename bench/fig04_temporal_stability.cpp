@@ -71,7 +71,9 @@ void ReportLocation(const char* title,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = ex::SmokeMode(argc, argv);
+  (void)smoke;
   const ex::LinkCase lc = ex::MakeShortWallLink();  // the paper's 3 m link
   auto sim = ex::MakeSimulator(lc);
   Rng rng(4);

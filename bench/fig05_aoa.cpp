@@ -20,7 +20,9 @@
 using namespace mulink;
 namespace ex = mulink::experiments;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = ex::SmokeMode(argc, argv);
+  (void)smoke;
   const ex::LinkCase lc = ex::MakeShortWallLink();
   auto sim = ex::MakeSimulator(lc);
   Rng rng(5);

@@ -14,13 +14,15 @@
 using namespace mulink;
 namespace ex = mulink::experiments;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = ex::SmokeMode(argc, argv);
+  (void)smoke;
   ex::PrintBanner(std::cout, "Fig. 7 — ROC of the three detection schemes");
 
   ex::CampaignConfig config;
-  config.packets_per_location = 600;
-  config.calibration_packets = 400;
-  config.empty_packets = 1200;
+  config.packets_per_location = smoke ? 75 : 600;
+  config.calibration_packets = smoke ? 100 : 400;
+  config.empty_packets = smoke ? 150 : 1200;
   config.window_packets = 25;
   config.seed = 7;
 

@@ -13,7 +13,9 @@
 using namespace mulink;
 namespace ex = mulink::experiments;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = ex::SmokeMode(argc, argv);
+  (void)smoke;
   ex::PrintBanner(std::cout, "Fig. 9 — Detection rate vs distance to RX");
 
   // Distance-sweep workload aggregated over all five links, mirroring the
@@ -27,9 +29,9 @@ int main() {
   }
 
   ex::CampaignConfig config;
-  config.packets_per_location = 400;
-  config.calibration_packets = 400;
-  config.empty_packets = 1000;
+  config.packets_per_location = smoke ? 75 : 400;
+  config.calibration_packets = smoke ? 100 : 400;
+  config.empty_packets = smoke ? 150 : 1000;
   config.seed = 9;
 
   const ex::ParallelCampaignRunner runner;

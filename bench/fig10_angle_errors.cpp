@@ -19,7 +19,9 @@
 using namespace mulink;
 namespace ex = mulink::experiments;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = ex::SmokeMode(argc, argv);
+  (void)smoke;
   ex::PrintBanner(std::cout, "Fig. 10 — Angle estimation error CDF");
 
   const ex::LinkCase lc = ex::MakeShortWallLink();

@@ -12,7 +12,9 @@
 using namespace mulink;
 namespace ex = mulink::experiments;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = ex::SmokeMode(argc, argv);
+  (void)smoke;
   ex::PrintBanner(std::cout, "Fig. 11 — Detection rate vs human angle");
 
   const auto all_cases = ex::MakePaperCases();
@@ -25,9 +27,9 @@ int main() {
   }
 
   ex::CampaignConfig config;
-  config.packets_per_location = 600;
-  config.calibration_packets = 400;
-  config.empty_packets = 1000;
+  config.packets_per_location = smoke ? 75 : 600;
+  config.calibration_packets = smoke ? 100 : 400;
+  config.empty_packets = smoke ? 150 : 1000;
   config.seed = 11;
 
   const auto result = ex::RunCampaign(

@@ -12,7 +12,9 @@
 using namespace mulink;
 namespace ex = mulink::experiments;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = ex::SmokeMode(argc, argv);
+  (void)smoke;
   ex::PrintBanner(std::cout, "Fig. 12 — Detection rate vs window packets");
 
   const auto all_cases = ex::MakePaperCases();
@@ -24,9 +26,9 @@ int main() {
   for (std::size_t window : {5u, 10u, 15u, 25u, 50u, 100u}) {
     ex::CampaignConfig config;
     config.window_packets = window;
-    config.packets_per_location = 400;
-    config.calibration_packets = 400;
-    config.empty_packets = 1200;
+    config.packets_per_location = smoke ? 100 : 400;
+    config.calibration_packets = smoke ? 100 : 400;
+    config.empty_packets = smoke ? 200 : 1200;
     config.seed = 12;
 
     const auto result = ex::RunCampaign(

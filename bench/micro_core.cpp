@@ -17,6 +17,7 @@
 #include <new>
 #include <optional>
 #include <span>
+#include <string>
 
 #include "common/rng.h"
 #include "core/detector.h"
@@ -26,6 +27,7 @@
 #include "core/sanitize.h"
 #include "core/subcarrier_weighting.h"
 #include "experiments/scenario.h"
+#include "obs/metrics.h"
 
 // ---- Counting global allocator -------------------------------------------
 // Every heap allocation in the process bumps this counter; benchmarks diff
@@ -274,6 +276,11 @@ struct EngineRow {
   double scratch_allocs = 0.0;
   double engine_ns = 0.0;
   double engine_allocs = 0.0;
+  // Same engine path with the observability registry attached — the cost of
+  // metrics is (engine_metrics_ns - engine_ns) / engine_ns, and the
+  // allocation column proves recording stays heap-free.
+  double engine_metrics_ns = 0.0;
+  double engine_metrics_allocs = 0.0;
 };
 
 // Replays StreamingDetector's ring discipline over a batch so the legacy and
@@ -313,12 +320,17 @@ struct StreamEmulator {
   }
 };
 
+// Smoke mode (--smoke): one calibration round instead of ~50 ms per column
+// and no Google-benchmark run — CI executes the binary as a crash canary.
+bool g_smoke = false;
+
 template <typename Fn>
 void MeasureLoop(Fn&& score_once, double& ns_per_window,
                  double& allocs_per_window) {
   using clock = std::chrono::steady_clock;
   score_once();  // warm-up
-  // Calibrate iteration count to ~50 ms of work.
+  // Calibrate iteration count to ~50 ms of work (~0.5 ms in smoke mode).
+  const double target_ns = g_smoke ? 5e5 : 5e7;
   std::size_t iters = 8;
   for (;;) {
     const auto t0 = clock::now();
@@ -327,7 +339,7 @@ void MeasureLoop(Fn&& score_once, double& ns_per_window,
         static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                                 clock::now() - t0)
                                 .count());
-    if (elapsed_ns > 5e7 || iters >= (1u << 20)) {
+    if (elapsed_ns > target_ns || iters >= (1u << 20)) {
       const std::uint64_t allocs_before = AllocCount();
       const auto m0 = clock::now();
       for (std::size_t i = 0; i < iters; ++i) score_once();
@@ -362,6 +374,9 @@ void WriteEngineJson(const char* path) {
       static_cast<double>(f.batch.size()) / static_cast<double>(kHop);
 
   std::vector<EngineRow> rows;
+  // Merged per-stage histograms from every metrics-on engine run; the
+  // "stages" object divides each stage's total by the decisions it served.
+  obs::Registry stage_totals;
   for (auto scheme : schemes) {
     core::DetectorConfig config;
     config.scheme = scheme;
@@ -402,12 +417,31 @@ void WriteEngineJson(const char* path) {
     stream.use_hmm = false;
     core::SensingEngine engine;
     engine.AddLink(std::move(engine_detector), {}, stream);
+    engine.SetMetricsEnabled(false);  // runtime no-op sink
     double batch_ns = 0.0, batch_allocs = 0.0;
     MeasureLoop(
         [&] { benchmark::DoNotOptimize(&engine.ProcessBatch(batch)); },
         batch_ns, batch_allocs);
     row.engine_ns = batch_ns / decisions_per_pass;
     row.engine_allocs = batch_allocs / decisions_per_pass;
+
+    // Metrics-on twin: identical engine, registry attached. Its per-stage
+    // histograms also feed the top-level "stages" breakdown below.
+    auto metrics_detector = core::Detector::Calibrate(
+        f.calibration, f.sim.band(), f.sim.array(), config);
+    metrics_detector.SetThreshold(1.0);
+    core::SensingEngine metrics_engine;
+    metrics_engine.AddLink(std::move(metrics_detector), {}, stream);
+    metrics_engine.SetMetricsEnabled(true);
+    double mbatch_ns = 0.0, mbatch_allocs = 0.0;
+    MeasureLoop(
+        [&] {
+          benchmark::DoNotOptimize(&metrics_engine.ProcessBatch(batch));
+        },
+        mbatch_ns, mbatch_allocs);
+    row.engine_metrics_ns = mbatch_ns / decisions_per_pass;
+    row.engine_metrics_allocs = mbatch_allocs / decisions_per_pass;
+    stage_totals.MergeFrom(metrics_engine.Metrics(0));
     rows.push_back(row);
   }
 
@@ -426,17 +460,52 @@ void WriteEngineJson(const char* path) {
         << "\"scratch_allocs_per_decision\": " << r.scratch_allocs << ", "
         << "\"engine_ns_per_decision\": " << r.engine_ns << ", "
         << "\"engine_allocs_per_decision\": " << r.engine_allocs << ", "
+        << "\"engine_metrics_ns_per_decision\": " << r.engine_metrics_ns
+        << ", "
+        << "\"engine_metrics_allocs_per_decision\": "
+        << r.engine_metrics_allocs << ", "
+        << "\"metrics_overhead_pct\": "
+        << (r.engine_ns > 0.0
+                ? 100.0 * (r.engine_metrics_ns - r.engine_ns) / r.engine_ns
+                : 0.0)
+        << ", "
         << "\"speedup\": " << (r.engine_ns > 0.0 ? r.legacy_ns / r.engine_ns
                                                  : 0.0)
         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  // Per-stage breakdown from the metrics-on runs. Every stage key is always
+  // present (zeros when a stage did not run or obs is compiled out), so the
+  // CI schema check can rely on the shape.
+  const double total_decisions = static_cast<double>(
+      stage_totals.Get(obs::Counter::kDecisions));
+  out << "  ],\n  \"obs_enabled\": "
+      << (obs::kEnabled ? "true" : "false") << ",\n  \"stages\": {\n";
+  for (std::size_t s = 0; s < obs::kNumStages; ++s) {
+    const auto stage = static_cast<obs::Stage>(s);
+    const auto& h = stage_totals.StageLatency(stage);
+    out << "    \"" << obs::ToString(stage) << "\": {\"count\": " << h.count
+        << ", \"ns_per_decision\": "
+        << (total_decisions > 0.0 ? h.total_ns / total_decisions : 0.0)
+        << ", \"mean_ns\": " << h.MeanNs() << "}"
+        << (s + 1 < obs::kNumStages ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      g_smoke = true;
+      // Hide the flag from benchmark::Initialize.
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
   WriteEngineJson("BENCH_engine.json");
+  if (g_smoke) return 0;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -20,6 +20,7 @@
 #include "experiments/format.h"
 #include "experiments/scenario.h"
 #include "nic/frame_guard.h"
+#include "obs/export.h"
 
 int main() {
   using namespace mulink;
@@ -116,6 +117,13 @@ int main() {
                 << (occupied ? "OCCUPIED" : "  idle  ") << "]  score "
                 << ex::Fmt(score, 3) << "  (" << phase.label << ")" << event
                 << "\n";
+      // Live health/metrics line every 2 s, the way a deployed monitor
+      // would emit a heartbeat (counters come from the engine's per-link
+      // observability shard; all zeros when obs is compiled out).
+      if (window_index % 4 == 3) {
+        std::cout << "        [obs] "
+                  << obs::OneLineSummary(engine.Metrics(0)) << "\n";
+      }
     }
   }
   std::cout << "\nNote: sub-second reaction (one 0.5 s window) matches the "
@@ -177,5 +185,7 @@ int main() {
               << ": " << health.fault_counts[f] << "\n";
   }
   std::cout << "  degraded decisions: " << health.degraded_decisions << "\n";
+  std::cout << "  metrics: " << obs::OneLineSummary(engine.Metrics(0))
+            << "\n";
   return 0;
 }

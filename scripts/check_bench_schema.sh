@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Schema check for the BENCH_engine.json artifact micro_core emits.
+#
+# CI fails here if a refactor silently drops the per-stage breakdown or the
+# counting-allocator columns — the two signals that prove the engine's
+# observability stays cheap (metrics_overhead_pct) and allocation-free
+# (engine*_allocs_per_decision == 0 in steady state).
+#
+# usage: check_bench_schema.sh <path/to/BENCH_engine.json>
+set -euo pipefail
+
+json="${1:?usage: check_bench_schema.sh <BENCH_engine.json>}"
+
+python3 - "$json" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+errors = []
+
+def require(cond, message):
+    if not cond:
+        errors.append(message)
+
+for key in ("benchmark", "window_packets", "hop_packets", "stream_packets",
+            "schemes", "obs_enabled", "stages"):
+    require(key in doc, f"missing top-level key '{key}'")
+
+scheme_keys = (
+    "scheme",
+    "legacy_ns_per_decision", "legacy_allocs_per_decision",
+    "scratch_ns_per_decision", "scratch_allocs_per_decision",
+    "engine_ns_per_decision", "engine_allocs_per_decision",
+    "engine_metrics_ns_per_decision", "engine_metrics_allocs_per_decision",
+    "metrics_overhead_pct", "speedup",
+)
+rows = doc.get("schemes", [])
+require(len(rows) == 4, f"expected 4 scheme rows, found {len(rows)}")
+for row in rows:
+    for key in scheme_keys:
+        require(key in row, f"scheme row {row.get('scheme', '?')} lost '{key}'")
+
+# Steady-state decisions must stay allocation-free, with or without metrics.
+for row in rows:
+    for key in ("engine_allocs_per_decision",
+                "engine_metrics_allocs_per_decision"):
+        value = row.get(key)
+        require(isinstance(value, (int, float)) and value == 0,
+                f"{row.get('scheme', '?')}: {key} = {value}, expected 0")
+
+# The named pipeline stages must all be present in the breakdown.
+stage_names = (
+    "guard_classify", "ingest_sanitize", "subcarrier_weighting",
+    "music_path_weighting", "score", "hmm_filter", "fusion",
+    "calibrate", "capture", "case",
+)
+stages = doc.get("stages", {})
+for name in stage_names:
+    require(name in stages, f"stages object lost '{name}'")
+    for key in ("count", "ns_per_decision", "mean_ns"):
+        require(key in stages.get(name, {}), f"stage '{name}' lost '{key}'")
+
+# With obs compiled in, the hot stages must actually have samples (the HMM
+# and fusion stages legitimately stay zero: micro_core runs hmm off,
+# single link).
+if doc.get("obs_enabled"):
+    for name in ("score", "ingest_sanitize", "music_path_weighting"):
+        require(stages.get(name, {}).get("count", 0) > 0,
+                f"obs enabled but stage '{name}' recorded no samples")
+
+if errors:
+    for error in errors:
+        print(f"schema check FAILED: {error}", file=sys.stderr)
+    sys.exit(1)
+print(f"schema check OK: {path} "
+      f"({len(rows)} schemes, {len(stages)} stages, "
+      f"obs_enabled={doc.get('obs_enabled')})")
+EOF

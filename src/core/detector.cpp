@@ -148,10 +148,17 @@ double Detector::Score(std::span<const wifi::CsiPacket> window,
   MULINK_REQUIRE(window[0].NumAntennas() == num_antennas_ &&
                      window[0].NumSubcarriers() == num_subcarriers_,
                  "Detector::Score: window dimensions mismatch calibration");
+  if (scratch.metrics != nullptr) {
+    scratch.metrics->Add(obs::Counter::kWindowsScored);
+  }
   if (config_.scheme == DetectionScheme::kBaseline) {
+    obs::ScopedStageTimer timer(scratch.metrics, obs::Stage::kScore);
     return ScoreBaseline(window, FullAntennaMask());
   }
-  SanitizePhaseInto(window, band_, scratch.sanitized, scratch.sanitize);
+  {
+    obs::ScopedStageTimer timer(scratch.metrics, obs::Stage::kIngestSanitize);
+    SanitizePhaseInto(window, band_, scratch.sanitized, scratch.sanitize);
+  }
   return DispatchSanitized(std::span<const wifi::CsiPacket>(scratch.sanitized),
                            scratch);
 }
@@ -163,7 +170,11 @@ double Detector::ScoreSanitized(std::span<const wifi::CsiPacket> window,
       window[0].NumAntennas() == num_antennas_ &&
           window[0].NumSubcarriers() == num_subcarriers_,
       "Detector::ScoreSanitized: window dimensions mismatch calibration");
+  if (scratch.metrics != nullptr) {
+    scratch.metrics->Add(obs::Counter::kWindowsScored);
+  }
   if (config_.scheme == DetectionScheme::kBaseline) {
+    obs::ScopedStageTimer timer(scratch.metrics, obs::Stage::kScore);
     return ScoreBaseline(window, FullAntennaMask());
   }
   return DispatchSanitized(window, scratch);
@@ -184,10 +195,17 @@ double Detector::ScoreDegraded(std::span<const wifi::CsiPacket> window,
                  "calibration");
   MULINK_REQUIRE((live_mask & FullAntennaMask()) != 0,
                  "Detector::ScoreDegraded: no live antennas");
+  if (scratch.metrics != nullptr) {
+    scratch.metrics->Add(obs::Counter::kWindowsScored);
+  }
   if (config_.scheme == DetectionScheme::kBaseline) {
+    obs::ScopedStageTimer timer(scratch.metrics, obs::Stage::kScore);
     return ScoreBaseline(window, live_mask);
   }
-  SanitizePhaseInto(window, band_, scratch.sanitized, scratch.sanitize);
+  {
+    obs::ScopedStageTimer timer(scratch.metrics, obs::Stage::kIngestSanitize);
+    SanitizePhaseInto(window, band_, scratch.sanitized, scratch.sanitize);
+  }
   return DispatchSanitizedDegraded(
       std::span<const wifi::CsiPacket>(scratch.sanitized), scratch,
       live_mask);
@@ -204,7 +222,11 @@ double Detector::ScoreSanitizedDegraded(
                  "mismatch calibration");
   MULINK_REQUIRE((live_mask & FullAntennaMask()) != 0,
                  "Detector::ScoreSanitizedDegraded: no live antennas");
+  if (scratch.metrics != nullptr) {
+    scratch.metrics->Add(obs::Counter::kWindowsScored);
+  }
   if (config_.scheme == DetectionScheme::kBaseline) {
+    obs::ScopedStageTimer timer(scratch.metrics, obs::Stage::kScore);
     return ScoreBaseline(window, live_mask);
   }
   return DispatchSanitizedDegraded(window, scratch, live_mask);
@@ -396,10 +418,15 @@ double Detector::ScoreBaseline(std::span<const wifi::CsiPacket> window,
 double Detector::ScoreSubcarrierWeighting(
     std::span<const wifi::CsiPacket> sanitized, DetectorScratch& scratch,
     std::uint32_t live_mask) const {
-  MeasureMultipathFactorsInto(sanitized, band_, scratch.mu,
-                              scratch.multipath);
-  ComputeSubcarrierWeightsInto(scratch.mu, config_.weighting_mode,
-                               scratch.weights, scratch.median_scratch);
+  {
+    obs::ScopedStageTimer timer(scratch.metrics,
+                                obs::Stage::kSubcarrierWeighting);
+    MeasureMultipathFactorsInto(sanitized, band_, scratch.mu,
+                                scratch.multipath);
+    ComputeSubcarrierWeightsInto(scratch.mu, config_.weighting_mode,
+                                 scratch.weights, scratch.median_scratch);
+  }
+  obs::ScopedStageTimer score_timer(scratch.metrics, obs::Stage::kScore);
   const auto& weights = scratch.weights;
 
   // Uniform weight reference so weighting redistributes emphasis without
@@ -445,10 +472,15 @@ double Detector::ScoreVarianceMobile(
     std::uint32_t live_mask) const {
   MULINK_REQUIRE(sanitized.size() >= 2,
                  "Detector: variance statistic needs >= 2 packets");
-  MeasureMultipathFactorsInto(sanitized, band_, scratch.mu,
-                              scratch.multipath);
-  ComputeSubcarrierWeightsInto(scratch.mu, config_.weighting_mode,
-                               scratch.weights, scratch.median_scratch);
+  {
+    obs::ScopedStageTimer timer(scratch.metrics,
+                                obs::Stage::kSubcarrierWeighting);
+    MeasureMultipathFactorsInto(sanitized, band_, scratch.mu,
+                                scratch.multipath);
+    ComputeSubcarrierWeightsInto(scratch.mu, config_.weighting_mode,
+                                 scratch.weights, scratch.median_scratch);
+  }
+  obs::ScopedStageTimer score_timer(scratch.metrics, obs::Stage::kScore);
   const auto& weights = scratch.weights;
   const double uniform = 1.0 / static_cast<double>(num_subcarriers_);
 
@@ -493,10 +525,14 @@ double Detector::ScoreCombined(std::span<const wifi::CsiPacket> sanitized,
                                DetectorScratch& scratch) const {
   MULINK_REQUIRE(num_antennas_ >= 2,
                  "Detector: combined scheme needs >= 2 antennas");
-  MeasureMultipathFactorsInto(sanitized, band_, scratch.mu,
-                              scratch.multipath);
-  ComputeSubcarrierWeightsInto(scratch.mu, config_.weighting_mode,
-                               scratch.weights, scratch.median_scratch);
+  {
+    obs::ScopedStageTimer timer(scratch.metrics,
+                                obs::Stage::kSubcarrierWeighting);
+    MeasureMultipathFactorsInto(sanitized, band_, scratch.mu,
+                                scratch.multipath);
+    ComputeSubcarrierWeightsInto(scratch.mu, config_.weighting_mode,
+                                 scratch.weights, scratch.median_scratch);
+  }
   const auto& weights = scratch.weights;
 
   // Same monitoring-stage subcarrier weights applied to both sides — valid
@@ -505,41 +541,52 @@ double Detector::ScoreCombined(std::span<const wifi::CsiPacket> sanitized,
   // Eq. 17 path weights from the calibration-stage MUSIC spectrum.
   auto& monitor_cov = scratch.monitor_cov;
   auto& profile_cov = scratch.profile_cov;
-  SampleCovarianceInto(std::span<const wifi::CsiPacket>(sanitized),
-                       weights.weights, monitor_cov, scratch.music);
-  // The profile side scores a *fixed* packet set against per-window weights,
-  // so its per-subcarrier covariance stack is cached in the workspace and
-  // only re-combined here; the full packet scan happens once per profile
-  // version (first window, or after UpdateProfile rotates the set).
-  if (scratch.profile_version != profile_version_) {
-    BuildSubcarrierCovarianceStack(
-        std::span<const wifi::CsiPacket>(retained_calibration_),
-        scratch.profile_stack);
-    scratch.profile_version = profile_version_;
-  }
-  CombineSubcarrierCovariances(scratch.profile_stack, weights.weights,
-                               profile_cov);
-  if (config_.noise_floor_subtraction) {
-    // Spatially-white components (AWGN, receiver-local interference) add
-    // lambda_min * I to the covariance; removing it keeps the angular
-    // statistic about propagation paths only.
-    for (auto* cov : {&monitor_cov, &profile_cov}) {
-      linalg::HermitianEigen(*cov, scratch.music.eig, scratch.music.eig_ws);
-      const double floor = std::max(scratch.music.eig.values.front(), 0.0);
-      for (std::size_t i = 0; i < cov->rows(); ++i) {
-        cov->At(i, i) -= Complex(floor, 0.0);
+  {
+    obs::ScopedStageTimer timer(scratch.metrics,
+                                obs::Stage::kMusicPathWeighting);
+    SampleCovarianceInto(std::span<const wifi::CsiPacket>(sanitized),
+                         weights.weights, monitor_cov, scratch.music);
+    // The profile side scores a *fixed* packet set against per-window
+    // weights, so its per-subcarrier covariance stack is cached in the
+    // workspace and only re-combined here; the full packet scan happens once
+    // per profile version (first window, or after UpdateProfile rotates the
+    // set).
+    if (scratch.profile_version != profile_version_) {
+      if (scratch.metrics != nullptr) {
+        scratch.metrics->Add(obs::Counter::kProfileStackRebuilds);
+      }
+      BuildSubcarrierCovarianceStack(
+          std::span<const wifi::CsiPacket>(retained_calibration_),
+          scratch.profile_stack);
+      scratch.profile_version = profile_version_;
+    } else if (scratch.metrics != nullptr) {
+      scratch.metrics->Add(obs::Counter::kProfileStackHits);
+    }
+    CombineSubcarrierCovariances(scratch.profile_stack, weights.weights,
+                                 profile_cov);
+    if (config_.noise_floor_subtraction) {
+      // Spatially-white components (AWGN, receiver-local interference) add
+      // lambda_min * I to the covariance; removing it keeps the angular
+      // statistic about propagation paths only.
+      for (auto* cov : {&monitor_cov, &profile_cov}) {
+        linalg::HermitianEigen(*cov, scratch.music.eig, scratch.music.eig_ws);
+        const double floor = std::max(scratch.music.eig.values.front(), 0.0);
+        for (std::size_t i = 0; i < cov->rows(); ++i) {
+          cov->At(i, i) -= Complex(floor, 0.0);
+        }
       }
     }
-  }
-  ComputeBartlettSpectrumInto(monitor_cov, array_, band_, config_.music,
-                              scratch.monitor_spectrum, scratch.music);
-  ComputeBartlettSpectrumInto(profile_cov, array_, band_, config_.music,
-                              scratch.profile_spectrum, scratch.music);
+    ComputeBartlettSpectrumInto(monitor_cov, array_, band_, config_.music,
+                                scratch.monitor_spectrum, scratch.music);
+    ComputeBartlettSpectrumInto(profile_cov, array_, band_, config_.music,
+                                scratch.profile_spectrum, scratch.music);
 
-  ApplyPathWeightsInto(path_weights_, scratch.monitor_spectrum,
-                       scratch.weighted_monitor);
-  ApplyPathWeightsInto(path_weights_, scratch.profile_spectrum,
-                       scratch.weighted_profile);
+    ApplyPathWeightsInto(path_weights_, scratch.monitor_spectrum,
+                         scratch.weighted_monitor);
+    ApplyPathWeightsInto(path_weights_, scratch.profile_spectrum,
+                         scratch.weighted_profile);
+  }
+  obs::ScopedStageTimer score_timer(scratch.metrics, obs::Stage::kScore);
   const auto& weighted_monitor = scratch.weighted_monitor;
   const auto& weighted_profile = scratch.weighted_profile;
 

@@ -34,6 +34,7 @@
 #include "core/path_weighting.h"
 #include "core/sanitize.h"
 #include "core/subcarrier_weighting.h"
+#include "obs/metrics.h"
 #include "wifi/array.h"
 #include "wifi/band.h"
 #include "wifi/csi.h"
@@ -97,6 +98,12 @@ struct DetectorConfig {
 // scratch serves one detector shape at a time; sharing it across detectors
 // is safe (buffers re-grow) but defeats the warm-up.
 struct DetectorScratch {
+  // Observability shard the scoring path reports into: per-stage timings
+  // (sanitize, subcarrier weighting, MUSIC/path weighting, score) plus the
+  // windows-scored and profile-stack cache counters. Null (the default) is
+  // the no-op sink — scoring reads no clocks and bumps no counters.
+  // Recording never changes a score.
+  obs::Registry* metrics = nullptr;
   SanitizeScratch sanitize;
   std::vector<wifi::CsiPacket> sanitized;
   MultipathScratch multipath;

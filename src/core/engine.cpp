@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <bit>
 #include <optional>
 #include <utility>
 
@@ -33,6 +34,9 @@ struct SensingEngine::LinkState {
   // deterministic per-packet map), so overlapping windows score through
   // ScoreSanitized without re-sanitizing window_packets packets every hop.
   std::optional<PresenceDecision> Push(const wifi::CsiPacket& packet) {
+    obs::Registry* const sink = metrics_on ? &metrics : nullptr;
+    ingest.metrics = sink;
+    scratch.metrics = sink;
     const auto report = ingest.Admit(packet);
     if (!report.has_value()) return std::nullopt;  // quarantined
     if (report->resync) {
@@ -46,7 +50,12 @@ struct SensingEngine::LinkState {
     }
     wifi::CsiPacket& slot = ring[write_pos];
     if (pre_sanitize) {
-      // Writes into the slot, reusing its CSI buffer once warm.
+      // Writes into the slot, reusing its CSI buffer once warm. Per-packet
+      // sanitize latency is sampled on the shard's deterministic tick, like
+      // the guard-classify stage.
+      obs::Registry* const timed =
+          (sink != nullptr && sink->SampleIngestTick()) ? sink : nullptr;
+      obs::ScopedStageTimer timer(timed, obs::Stage::kIngestSanitize);
       SanitizePhaseInto(packet, detector.band(), slot, scratch.sanitize);
     } else {
       slot = packet;  // copy-assign reuses the slot's CSI buffer
@@ -72,10 +81,15 @@ struct SensingEngine::LinkState {
     const std::uint32_t live_mask = ingest.LiveMask(detector.num_antennas());
     const std::uint32_t full_mask =
         GuardedIngest::FullMask(detector.num_antennas());
+    if (sink != nullptr) {
+      sink->Set(obs::Gauge::kLiveAntennas,
+                static_cast<double>(std::popcount(live_mask)));
+    }
     if (live_mask == 0 ||
         (live_mask != full_mask && !config.degraded_fallback)) {
       // Every chain dead, or fallback disabled while one is: pause
       // decisions until the chain revives.
+      if (sink != nullptr) sink->Add(obs::Counter::kDecisionsSuppressed);
       return std::nullopt;
     }
     if (live_mask != full_mask && detector.has_threshold()) {
@@ -93,13 +107,16 @@ struct SensingEngine::LinkState {
       decision.degraded = true;
       ingest.degraded = true;
       ++ingest.degraded_decisions;
+      if (sink != nullptr) sink->Add(obs::Counter::kDegradedDecisions);
     } else {
       decision.score = pre_sanitize
                            ? detector.ScoreSanitized(window_span, scratch)
                            : detector.Score(window_span, scratch);
       if (filter.has_value()) {
+        obs::ScopedStageTimer hmm_timer(sink, obs::Stage::kHmmFilter);
         decision.posterior = filter->Update(decision.score);
         decision.occupied = decision.posterior >= config.decision_probability;
+        if (sink != nullptr) sink->Add(obs::Counter::kHmmUpdates);
       } else {
         decision.occupied = decision.score >= detector.threshold();
         decision.posterior = decision.occupied ? 1.0 : 0.0;
@@ -109,6 +126,11 @@ struct SensingEngine::LinkState {
     }
     occupied = decision.occupied;
     posterior = decision.posterior;
+    if (sink != nullptr) {
+      sink->Add(obs::Counter::kDecisions);
+      sink->Set(obs::Gauge::kLastScore, decision.score);
+      sink->Set(obs::Gauge::kPosterior, decision.posterior);
+    }
     return decision;
   }
 
@@ -120,6 +142,7 @@ struct SensingEngine::LinkState {
     posterior = 0.0;
     if (filter.has_value()) filter->Reset();
     ingest.Reset();
+    metrics.Reset();
     result.decisions.clear();
     result.occupied = false;
     result.posterior = 0.0;
@@ -142,6 +165,9 @@ struct SensingEngine::LinkState {
   double posterior = 0.0;
   DetectorScratch scratch;
   BatchResult result;
+  // Per-link observability shard; merged in link order by AggregateMetrics.
+  obs::Registry metrics;
+  bool metrics_on = true;
 };
 
 SensingEngine::SensingEngine() = default;
@@ -170,6 +196,8 @@ const SensingEngine::LinkState& SensingEngine::Link(std::size_t link) const {
 const BatchResult& SensingEngine::ProcessBatch(
     std::size_t link, std::span<const wifi::CsiPacket> packets) {
   LinkState& state = Link(link);
+  state.metrics_on = metrics_enabled_;
+  if (metrics_enabled_) state.metrics.Add(obs::Counter::kBatches);
   state.result.decisions.clear();
   for (const auto& packet : packets) {
     if (auto decision = state.Push(packet)) {
@@ -192,6 +220,7 @@ const BatchResult& SensingEngine::ProcessBatch(
 double SensingEngine::ScoreWindow(std::size_t link,
                                   std::span<const wifi::CsiPacket> window) {
   LinkState& state = Link(link);
+  state.scratch.metrics = metrics_enabled_ ? &state.metrics : nullptr;
   return state.detector.Score(window, state.scratch);
 }
 
@@ -205,6 +234,16 @@ double SensingEngine::posterior(std::size_t link) const {
 
 nic::LinkHealth SensingEngine::Health(std::size_t link) const {
   return Link(link).ingest.Health();
+}
+
+const obs::Registry& SensingEngine::Metrics(std::size_t link) const {
+  return Link(link).metrics;
+}
+
+obs::Registry SensingEngine::AggregateMetrics() const {
+  obs::Registry total;
+  for (const auto& link : links_) total.MergeFrom(link->metrics);
+  return total;
 }
 
 const Detector& SensingEngine::detector(std::size_t link) const {

@@ -76,6 +76,18 @@ class SensingEngine {
   // link's guard is disabled.
   nic::LinkHealth Health(std::size_t link) const;
 
+  // Observability. Each link records into its own Registry shard (ingest
+  // and decision counters, per-stage latency histograms, profile-stack
+  // cache stats); AggregateMetrics merges the shards in link order, so the
+  // totals are deterministic for a fixed ingest sequence. Enabled by
+  // default; disabling detaches every link's shard (runtime no-op sink)
+  // without clearing what was recorded. Decisions are bit-identical with
+  // metrics on, off, or compiled out (-DMULINK_OBS=OFF).
+  void SetMetricsEnabled(bool enabled) { metrics_enabled_ = enabled; }
+  bool metrics_enabled() const { return metrics_enabled_; }
+  const obs::Registry& Metrics(std::size_t link) const;
+  obs::Registry AggregateMetrics() const;
+
   const Detector& detector(std::size_t link) const;
   const StreamingConfig& config(std::size_t link) const;
 
@@ -93,6 +105,7 @@ class SensingEngine {
   const LinkState& Link(std::size_t link) const;
 
   std::vector<std::unique_ptr<LinkState>> links_;
+  bool metrics_enabled_ = true;
 };
 
 }  // namespace mulink::core

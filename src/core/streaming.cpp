@@ -1,13 +1,43 @@
 #include "core/streaming.h"
 
+#include <bit>
+
 #include "common/assert.h"
 
 namespace mulink::core {
 
 std::optional<nic::FrameReport> GuardedIngest::Admit(
     const wifi::CsiPacket& packet) {
-  if (!guard.has_value()) return nic::FrameReport{};
-  const nic::FrameReport report = guard->Inspect(packet);
+  if (metrics != nullptr) metrics->Add(obs::Counter::kPacketsIngested);
+  if (!guard.has_value()) {
+    if (metrics != nullptr) metrics->Add(obs::Counter::kPacketsAccepted);
+    return nic::FrameReport{};
+  }
+  // Per-frame latency is sampled 1-in-kIngestSampleEvery (deterministic
+  // tick, so totals merge bit-identically across shards); the verdict
+  // counters below stay exact.
+  obs::Registry* const timed =
+      (metrics != nullptr && metrics->SampleIngestTick()) ? metrics : nullptr;
+  nic::FrameReport report;
+  {
+    obs::ScopedStageTimer timer(timed, obs::Stage::kGuardClassify);
+    report = guard->Inspect(packet);
+  }
+  if (metrics != nullptr) {
+    if (report.resync) metrics->Add(obs::Counter::kRingResyncs);
+    switch (report.verdict) {
+      case nic::FrameVerdict::kQuarantine:
+        metrics->Add(obs::Counter::kPacketsQuarantined);
+        break;
+      case nic::FrameVerdict::kRepair:
+        metrics->Add(obs::Counter::kPacketsRepaired);
+        metrics->Add(obs::Counter::kPacketsAccepted);
+        break;
+      default:
+        metrics->Add(obs::Counter::kPacketsAccepted);
+        break;
+    }
+  }
   if (report.verdict == nic::FrameVerdict::kQuarantine) return std::nullopt;
   return report;
 }
@@ -36,6 +66,9 @@ void GuardedIngest::ObserveDecision(const PresenceDecision& decision,
         config.watchdog_ewma_alpha * (decision.score - empty_score_ewma);
   }
   ++empty_windows_seen;
+  if (metrics != nullptr) {
+    metrics->Set(obs::Gauge::kEmptyScoreEwma, empty_score_ewma);
+  }
   if (detector.has_threshold() &&
       empty_windows_seen >= config.watchdog_min_windows &&
       empty_score_ewma >
@@ -80,6 +113,10 @@ StreamingDetector::StreamingDetector(Detector detector,
   window_.reserve(config_.window_packets);
 }
 
+void StreamingDetector::SetMetricsEnabled(bool enabled) {
+  metrics_enabled_ = enabled;
+}
+
 void StreamingDetector::Reset() {
   // Keep ring_ / window_ storage (and each packet's CSI buffer) so the next
   // fill is still allocation-free; stale slots are overwritten before use.
@@ -90,10 +127,16 @@ void StreamingDetector::Reset() {
   posterior_ = 0.0;
   if (filter_.has_value()) filter_->Reset();
   ingest_.Reset();
+  metrics_.Reset();
 }
 
 std::optional<PresenceDecision> StreamingDetector::Push(
     const wifi::CsiPacket& packet) {
+  // Re-point the shard every packet so a moved detector never records into
+  // its old address; two stores, then everything downstream sees one sink.
+  obs::Registry* const sink = metrics_enabled_ ? &metrics_ : nullptr;
+  ingest_.metrics = sink;
+  scratch_.metrics = sink;
   const auto report = ingest_.Admit(packet);
   if (!report.has_value()) return std::nullopt;  // quarantined
   if (report->resync) {
@@ -131,10 +174,15 @@ std::optional<PresenceDecision> StreamingDetector::Push(
   const std::uint32_t live_mask = ingest_.LiveMask(detector_.num_antennas());
   const std::uint32_t full_mask =
       GuardedIngest::FullMask(detector_.num_antennas());
+  if (sink != nullptr) {
+    sink->Set(obs::Gauge::kLiveAntennas,
+              static_cast<double>(std::popcount(live_mask)));
+  }
   if (live_mask == 0 ||
       (live_mask != full_mask && !config_.degraded_fallback)) {
     // Every chain dead, or fallback disabled while one is: pause decisions
     // until the chain revives (the belief holds at its last value).
+    if (sink != nullptr) sink->Add(obs::Counter::kDecisionsSuppressed);
     return std::nullopt;
   }
   if (live_mask != full_mask && detector_.has_threshold()) {
@@ -147,11 +195,14 @@ std::optional<PresenceDecision> StreamingDetector::Push(
     decision.degraded = true;
     ingest_.degraded = true;
     ++ingest_.degraded_decisions;
+    if (sink != nullptr) sink->Add(obs::Counter::kDegradedDecisions);
   } else {
     decision.score = detector_.Score(window_span, scratch_);
     if (filter_.has_value()) {
+      obs::ScopedStageTimer hmm_timer(sink, obs::Stage::kHmmFilter);
       decision.posterior = filter_->Update(decision.score);
       decision.occupied = decision.posterior >= config_.decision_probability;
+      if (sink != nullptr) sink->Add(obs::Counter::kHmmUpdates);
     } else {
       decision.occupied = decision.score >= detector_.threshold();
       decision.posterior = decision.occupied ? 1.0 : 0.0;
@@ -161,6 +212,11 @@ std::optional<PresenceDecision> StreamingDetector::Push(
   }
   occupied_ = decision.occupied;
   posterior_ = decision.posterior;
+  if (sink != nullptr) {
+    sink->Add(obs::Counter::kDecisions);
+    sink->Set(obs::Gauge::kLastScore, decision.score);
+    sink->Set(obs::Gauge::kPosterior, decision.posterior);
+  }
   return decision;
 }
 

@@ -10,6 +10,7 @@
 #include "core/detector.h"
 #include "core/hmm.h"
 #include "nic/frame_guard.h"
+#include "obs/metrics.h"
 
 namespace mulink::core {
 
@@ -95,7 +96,14 @@ struct GuardedIngest {
 
   // Back to the just-constructed state (guard counters included), so a
   // reset link decides bit-identically to a fresh one fed the same tail.
+  // The metrics pointer is kept — the owning link resets its own registry.
   void Reset();
+
+  // Observability shard (owned by the enclosing link). Admit mirrors the
+  // guard's accept/repair/quarantine tallies and ring resyncs into it, with
+  // the per-frame inspection latency sampled 1-in-kIngestSampleEvery; null
+  // is the no-op sink.
+  obs::Registry* metrics = nullptr;
 
   std::optional<nic::FrameGuard> guard;
   bool degraded = false;  // last decision used the fallback statistic
@@ -125,7 +133,15 @@ class StreamingDetector {
   // profile-drift state. All-zero when the guard is disabled.
   nic::LinkHealth Health() const { return ingest_.Health(); }
 
-  // Drop buffered packets and reset the temporal state.
+  // Observability: ingest/guard counters, decision counters and per-stage
+  // latency histograms recorded by this detector. Enabled by default;
+  // disabling detaches the registry (the runtime no-op sink) without
+  // touching recorded values. Decisions are bit-identical either way.
+  void SetMetricsEnabled(bool enabled);
+  bool metrics_enabled() const { return metrics_enabled_; }
+  const obs::Registry& Metrics() const { return metrics_; }
+
+  // Drop buffered packets and reset the temporal state (metrics included).
   void Reset();
 
   const StreamingConfig& config() const { return config_; }
@@ -149,6 +165,8 @@ class StreamingDetector {
   std::size_t packets_since_decision_ = 0;
   bool occupied_ = false;
   double posterior_ = 0.0;
+  obs::Registry metrics_;
+  bool metrics_enabled_ = true;
 };
 
 }  // namespace mulink::core

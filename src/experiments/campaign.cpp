@@ -1,5 +1,7 @@
 #include "experiments/campaign.h"
 
+#include <optional>
+
 #include "common/assert.h"
 
 namespace mulink::experiments {
@@ -50,7 +52,10 @@ CaseResult RunCampaignCase(const LinkCase& link_case,
                            const std::vector<HumanSpot>& spots,
                            const std::vector<core::DetectionScheme>& schemes,
                            const CampaignConfig& config,
-                           std::size_t case_index, Rng case_rng) {
+                           std::size_t case_index, Rng case_rng,
+                           obs::Registry* metrics, obs::TraceRing* trace) {
+  const auto scope = static_cast<std::int32_t>(case_index);
+  obs::TraceSpan case_span(trace, obs::Stage::kCase, scope);
   CaseResult partial;
   partial.positives.resize(schemes.size());
   partial.negatives.resize(schemes.size());
@@ -58,27 +63,43 @@ CaseResult RunCampaignCase(const LinkCase& link_case,
   auto simulator = MakeSimulator(link_case, config.sim);
 
   // Calibration session (empty room).
-  const auto calibration = simulator.CaptureSession(
-      config.calibration_packets, std::nullopt, case_rng);
+  std::vector<wifi::CsiPacket> calibration;
+  {
+    obs::TraceSpan span(trace, obs::Stage::kCapture, scope);
+    calibration = simulator.CaptureSession(config.calibration_packets,
+                                           std::nullopt, case_rng);
+    if (metrics != nullptr) metrics->Add(obs::Counter::kSessionsCaptured);
+  }
 
   // One detector per scheme, sharing the calibration capture. Each keeps a
   // scratch so the whole case scores without per-window allocations.
   std::vector<core::Detector> detectors;
   detectors.reserve(schemes.size());
-  for (auto scheme : schemes) {
-    core::DetectorConfig dc = config.detector;
-    dc.scheme = scheme;
-    dc.window_packets = config.window_packets;
-    detectors.push_back(core::Detector::Calibrate(
-        calibration, simulator.band(), simulator.array(), dc));
+  {
+    obs::TraceSpan span(trace, obs::Stage::kCalibrate, scope);
+    obs::ScopedStageTimer timer(metrics, obs::Stage::kCalibrate);
+    for (auto scheme : schemes) {
+      core::DetectorConfig dc = config.detector;
+      dc.scheme = scheme;
+      dc.window_packets = config.window_packets;
+      detectors.push_back(core::Detector::Calibrate(
+          calibration, simulator.band(), simulator.array(), dc));
+      if (metrics != nullptr) metrics->Add(obs::Counter::kCalibrations);
+    }
   }
   std::vector<core::DetectorScratch> scratch(schemes.size());
+  for (auto& s : scratch) s.metrics = metrics;
 
   const std::size_t window = config.window_packets;
 
   // Negative windows: a fresh empty-room session.
-  const auto empty_session =
-      simulator.CaptureSession(config.empty_packets, std::nullopt, case_rng);
+  std::vector<wifi::CsiPacket> empty_session;
+  {
+    obs::TraceSpan span(trace, obs::Stage::kCapture, scope);
+    empty_session = simulator.CaptureSession(config.empty_packets,
+                                             std::nullopt, case_rng);
+    if (metrics != nullptr) metrics->Add(obs::Counter::kSessionsCaptured);
+  }
   const std::span<const wifi::CsiPacket> empty_span(empty_session);
   for (std::size_t start = 0; start + window <= empty_session.size();
        start += window) {
@@ -92,11 +113,16 @@ CaseResult RunCampaignCase(const LinkCase& link_case,
   }
 
   // Positive windows: one session per human spot.
+  std::vector<wifi::CsiPacket> session;
   for (const auto& spot : spots) {
     propagation::HumanBody body = config.human;
     body.position = spot.position;
-    const auto session = simulator.CaptureSession(
-        config.packets_per_location, body, case_rng);
+    {
+      obs::TraceSpan span(trace, obs::Stage::kCapture, scope);
+      session = simulator.CaptureSession(config.packets_per_location, body,
+                                         case_rng);
+      if (metrics != nullptr) metrics->Add(obs::Counter::kSessionsCaptured);
+    }
     const std::span<const wifi::CsiPacket> session_span(session);
     for (std::size_t start = 0; start + window <= session.size();
          start += window) {
@@ -111,6 +137,7 @@ CaseResult RunCampaignCase(const LinkCase& link_case,
       }
     }
   }
+  if (metrics != nullptr) metrics->Add(obs::Counter::kCasesRun);
   return partial;
 }
 
@@ -143,10 +170,24 @@ CampaignResult RunCampaign(
   }
 
   Rng rng(config.seed);
+  // Per-case shards merged in case order — the exact merge discipline the
+  // parallel runner uses, so serial and N-thread totals are bit-identical.
+  const auto epoch = obs::TraceRing::Clock::now();
   for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    obs::Registry shard;
+    std::optional<obs::TraceRing> ring;
+    if (config.collect_trace && obs::kEnabled) {
+      ring.emplace(config.trace_capacity, epoch, /*tid=*/0);
+    }
     MergeCaseResult(RunCampaignCase(cases[ci], spots_per_case[ci], schemes,
-                                    config, ci, rng.Fork()),
+                                    config, ci, rng.Fork(), &shard,
+                                    ring ? &*ring : nullptr),
                     result);
+    result.metrics.MergeFrom(shard);
+    if (ring.has_value()) {
+      result.metrics.Add(obs::Counter::kTraceEventsDropped, ring->dropped());
+      ring->DrainInto(result.trace);
+    }
   }
   return result;
 }

@@ -11,6 +11,7 @@
 #include "core/roc.h"
 #include "experiments/scenario.h"
 #include "experiments/workload.h"
+#include "obs/trace.h"
 
 namespace mulink::experiments {
 
@@ -29,6 +30,13 @@ struct CampaignConfig {
   nic::ChannelSimConfig sim = DefaultSimConfig();
   propagation::HumanBody human;  // template body (position overwritten)
   std::uint64_t seed = 7;
+
+  // Record case/calibrate/capture spans into CampaignResult::trace
+  // (exportable as Chrome trace_event JSON). Metrics counters are always
+  // collected when the obs subsystem is compiled in; the trace ring is
+  // opt-in because it buffers trace_capacity events per case.
+  bool collect_trace = false;
+  std::size_t trace_capacity = 4096;
 };
 
 // One scored monitoring window with its ground-truth metadata.
@@ -66,6 +74,13 @@ struct SchemeResult {
 struct CampaignResult {
   std::vector<SchemeResult> schemes;
 
+  // Campaign-wide observability: per-case metric shards merged in case
+  // order (bit-identical counter totals for any worker count) and, when
+  // CampaignConfig::collect_trace is set, the per-case trace spans in the
+  // same order. Empty when the obs subsystem is compiled out.
+  obs::Registry metrics;
+  std::vector<obs::TraceEvent> trace;
+
   const SchemeResult& ForScheme(core::DetectionScheme scheme) const;
 };
 
@@ -91,11 +106,15 @@ struct CaseResult {
 
 // Run one case end to end (calibrate, capture, score all schemes) on its
 // own pre-forked RNG stream. Self-contained: safe to call from any thread.
+// `metrics`/`trace` are this case's private observability shards (null =
+// record nothing); the caller merges shards in case order.
 CaseResult RunCampaignCase(const LinkCase& link_case,
                            const std::vector<HumanSpot>& spots,
                            const std::vector<core::DetectionScheme>& schemes,
                            const CampaignConfig& config,
-                           std::size_t case_index, Rng case_rng);
+                           std::size_t case_index, Rng case_rng,
+                           obs::Registry* metrics = nullptr,
+                           obs::TraceRing* trace = nullptr);
 
 // Append per-case partials to the campaign result in case order.
 void MergeCaseResult(const CaseResult& partial, CampaignResult& result);

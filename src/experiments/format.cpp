@@ -61,4 +61,11 @@ void PrintBanner(std::ostream& os, const std::string& text) {
   os << "\n=== " << text << " ===\n\n";
 }
 
+bool SmokeMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") return true;
+  }
+  return false;
+}
+
 }  // namespace mulink::experiments

@@ -23,4 +23,10 @@ std::string Fmt(double value, int precision = 3);
 // Section banner.
 void PrintBanner(std::ostream& os, const std::string& text);
 
+// True when argv contains "--smoke": the bench should shrink its workload
+// (fewer packets, locations, trials) so CI can execute every figure binary
+// in seconds as a crash/regression canary (ctest label `bench_smoke`). A
+// smoke run exercises the same code paths; its numbers are not meaningful.
+bool SmokeMode(int argc, char** argv);
+
 }  // namespace mulink::experiments

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -20,10 +21,16 @@ ParallelCampaignRunner::ParallelCampaignRunner(std::size_t num_threads)
 
 void ParallelCampaignRunner::ParallelFor(
     std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  ParallelFor(n, [&fn](std::size_t i, std::size_t) { fn(i); });
+}
+
+void ParallelCampaignRunner::ParallelFor(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& fn) const {
   if (n == 0) return;
   const std::size_t workers = std::min(num_threads_, n);
   if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
     return;
   }
 
@@ -34,12 +41,12 @@ void ParallelCampaignRunner::ParallelFor(
     std::vector<std::jthread> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
+      pool.emplace_back([&, w] {
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= n) return;
           try {
-            fn(i);
+            fn(i, w);
           } catch (...) {
             std::lock_guard<std::mutex> lock(error_mutex);
             if (!first_error) first_error = std::current_exception();
@@ -68,10 +75,24 @@ CampaignResult ParallelCampaignRunner::Run(
     case_rngs.push_back(rng.Fork());
   }
 
+  // Per-case observability shards, merged in case order below — counter
+  // totals and histogram counts are then bit-identical for any thread
+  // count (only measured nanoseconds vary). Trace rings share one epoch so
+  // their spans land on one timeline; each is stamped with the worker that
+  // ran the case.
   std::vector<CaseResult> partials(cases.size());
-  ParallelFor(cases.size(), [&](std::size_t ci) {
+  std::vector<obs::Registry> shards(cases.size());
+  std::vector<std::optional<obs::TraceRing>> rings(cases.size());
+  const bool tracing = config.collect_trace && obs::kEnabled;
+  const auto epoch = obs::TraceRing::Clock::now();
+  ParallelFor(cases.size(), [&](std::size_t ci, std::size_t worker) {
+    if (tracing) {
+      rings[ci].emplace(config.trace_capacity, epoch,
+                        static_cast<std::uint32_t>(worker));
+    }
     partials[ci] = RunCampaignCase(cases[ci], spots_per_case[ci], schemes,
-                                   config, ci, case_rngs[ci]);
+                                   config, ci, case_rngs[ci], &shards[ci],
+                                   rings[ci] ? &*rings[ci] : nullptr);
   });
 
   // Ordered collection: merge slots in case order regardless of which
@@ -81,7 +102,15 @@ CampaignResult ParallelCampaignRunner::Run(
   for (std::size_t s = 0; s < schemes.size(); ++s) {
     result.schemes[s].scheme = schemes[s];
   }
-  for (const auto& partial : partials) MergeCaseResult(partial, result);
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    MergeCaseResult(partials[ci], result);
+    result.metrics.MergeFrom(shards[ci]);
+    if (rings[ci].has_value()) {
+      result.metrics.Add(obs::Counter::kTraceEventsDropped,
+                         rings[ci]->dropped());
+      rings[ci]->DrainInto(result.trace);
+    }
+  }
   return result;
 }
 

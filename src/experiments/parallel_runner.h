@@ -30,6 +30,12 @@ class ParallelCampaignRunner {
   void ParallelFor(std::size_t n,
                    const std::function<void(std::size_t)>& fn) const;
 
+  // Same, with the executing worker's index [0, num_threads) as the second
+  // argument — used to stamp trace events with the thread that ran them.
+  void ParallelFor(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& fn) const;
+
   // Campaign entry points: same inputs and bit-identical outputs as the
   // serial RunCampaign / RunPaperCampaign, with cases fanned out over the
   // pool.

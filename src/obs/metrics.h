@@ -1,0 +1,250 @@
+// Observability spine: named pipeline stages, counters, gauges and
+// fixed-bucket latency histograms collected into a Registry.
+//
+// Design rules (DESIGN.md §11):
+//  * Zero steady-state allocations — a Registry is a few std::arrays, a
+//    histogram is a fixed bucket vector. Recording never touches the heap.
+//  * Zero overhead when off — the compile-time kill switch (configure with
+//    -DMULINK_OBS=OFF, which defines MULINK_OBS_DISABLED) turns every
+//    recording method into an empty inline; at runtime a null Registry
+//    pointer is the no-op sink, costing one predictable branch.
+//  * Deterministic aggregation — each thread (or campaign case, or link)
+//    records into its own Registry shard; shards are merged with MergeFrom
+//    in submission order. Counter totals and histogram *counts* are then
+//    bit-identical for any thread count; only the measured nanoseconds vary
+//    run to run (they are wall-clock observations, not derived state).
+//  * Recording must never change decisions — instrumentation reads clocks
+//    and bumps integers; it never feeds back into the pipeline.
+//
+// Per-packet stages (guard classify, ingest sanitize) are latency-sampled
+// 1-in-kIngestSampleEvery on a deterministic per-shard tick so a 50 pkt/s
+// link pays ~2 clock reads per window, not per packet; per-window stages are
+// always timed. Counters are never sampled.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(MULINK_OBS_DISABLED)
+#define MULINK_OBS_ENABLED 0
+#else
+#define MULINK_OBS_ENABLED 1
+#endif
+
+namespace mulink::obs {
+
+// Compile-time kill switch state, queryable from tests and tools.
+inline constexpr bool kEnabled = MULINK_OBS_ENABLED != 0;
+
+// Named stages of the sensing pipeline (plus the campaign-level spans the
+// runners record). Display order follows packet flow.
+enum class Stage : std::uint8_t {
+  kGuardClassify,        // nic::FrameGuard::Inspect on one arriving frame
+  kIngestSanitize,       // phase sanitization (ingest-time or window-time)
+  kSubcarrierWeighting,  // multipath factors + Eq. 15 weights
+  kMusicPathWeighting,   // covariances, spectra, Eq. 17 path weighting
+  kScore,                // the remaining distance / statistic computation
+  kHmmFilter,            // temporal posterior update
+  kFusion,               // multi-link score fusion
+  kCalibrate,            // Detector::Calibrate (campaign / setup)
+  kCapture,              // simulator session capture (campaign)
+  kCase,                 // one whole campaign case, end to end
+};
+
+inline constexpr std::size_t kNumStages = 10;
+
+const char* ToString(Stage stage);
+
+enum class Counter : std::uint8_t {
+  kPacketsIngested,      // frames offered to a link (pre-guard)
+  kPacketsAccepted,      // clean frames entering the window ring
+  kPacketsRepaired,      // flagged-but-usable frames entering the ring
+  kPacketsQuarantined,   // frames the guard kept out of the ring
+  kRingResyncs,          // sequence gaps that flushed a window ring
+  kWindowsScored,        // Detector::Score* invocations
+  kDecisions,            // presence decisions emitted
+  kDegradedDecisions,    // decisions on the dead-chain fallback statistic
+  kDecisionsSuppressed,  // completed windows with no usable antennas
+  kHmmUpdates,           // posterior filter updates
+  kProfileStackRebuilds, // profile covariance stack rebuilt (cache miss)
+  kProfileStackHits,     // profile covariance stack reused (cache hit)
+  kBatches,              // SensingEngine::ProcessBatch calls
+  kCalibrations,         // Detector::Calibrate calls observed
+  kSessionsCaptured,     // simulator sessions captured (campaign)
+  kCasesRun,             // campaign cases completed
+  kTraceEventsDropped,   // trace events lost to a full ring
+};
+
+inline constexpr std::size_t kNumCounters = 17;
+
+const char* ToString(Counter counter);
+
+enum class Gauge : std::uint8_t {
+  kPosterior,       // last decision's P(occupied)
+  kLastScore,       // last decision's raw statistic
+  kEmptyScoreEwma,  // profile-drift watchdog EWMA
+  kLiveAntennas,    // live RX chains at the last decision
+};
+
+inline constexpr std::size_t kNumGauges = 4;
+
+const char* ToString(Gauge gauge);
+
+// Per-packet stages record latency once per this many ticks (counters are
+// exact regardless). Power of two; sampling is a deterministic per-shard
+// modulo, so histogram counts stay bit-identical across thread counts.
+inline constexpr std::uint64_t kIngestSampleEvery = 16;
+
+// Fixed-bucket latency histogram: bucket i holds durations in
+// [kBucketFloorNs * 2^i, kBucketFloorNs * 2^(i+1)), the last bucket is the
+// overflow. 250 ns .. ~4 ms covers everything from one guard inspection to
+// a full combined-scheme window score.
+struct LatencyHistogram {
+  static constexpr std::size_t kNumBuckets = 15;
+  static constexpr double kBucketFloorNs = 250.0;
+
+  std::array<std::uint64_t, kNumBuckets> buckets{};
+  std::uint64_t count = 0;
+  double total_ns = 0.0;
+  double min_ns = 0.0;
+  double max_ns = 0.0;
+
+  // Upper edge of bucket i (the last bucket has no upper edge).
+  static double BucketUpperNs(std::size_t i);
+
+  void Record(double ns);
+  void MergeFrom(const LatencyHistogram& other);
+  void Reset();
+
+  // Bucket-interpolated quantile in ns (0 when empty).
+  double ApproxQuantileNs(double q) const;
+  double MeanNs() const {
+    return count > 0 ? total_ns / static_cast<double>(count) : 0.0;
+  }
+};
+
+// One shard of metrics: plain arrays, no heap, cheap to merge. Everything
+// the pipeline reports flows through a Registry — per-link shards inside
+// SensingEngine, per-case shards inside the campaign runners — and shards
+// are merged in submission order for deterministic totals.
+class Registry {
+ public:
+  void Add(Counter counter, std::uint64_t n = 1) noexcept {
+#if MULINK_OBS_ENABLED
+    counters_[static_cast<std::size_t>(counter)] += n;
+#else
+    (void)counter;
+    (void)n;
+#endif
+  }
+
+  std::uint64_t Get(Counter counter) const noexcept {
+    return counters_[static_cast<std::size_t>(counter)];
+  }
+
+  void Set(Gauge gauge, double value) noexcept {
+#if MULINK_OBS_ENABLED
+    gauges_[static_cast<std::size_t>(gauge)] = value;
+    gauge_set_ |= 1u << static_cast<std::size_t>(gauge);
+#else
+    (void)gauge;
+    (void)value;
+#endif
+  }
+
+  double Get(Gauge gauge) const noexcept {
+    return gauges_[static_cast<std::size_t>(gauge)];
+  }
+
+  bool GaugeSet(Gauge gauge) const noexcept {
+    return (gauge_set_ >> static_cast<std::size_t>(gauge)) & 1u;
+  }
+
+  void RecordStageNs(Stage stage, double ns) noexcept {
+#if MULINK_OBS_ENABLED
+    stages_[static_cast<std::size_t>(stage)].Record(ns);
+#else
+    (void)stage;
+    (void)ns;
+#endif
+  }
+
+  const LatencyHistogram& StageLatency(Stage stage) const noexcept {
+    return stages_[static_cast<std::size_t>(stage)];
+  }
+
+  // Deterministic per-shard tick for ingest-stage latency sampling.
+  bool SampleIngestTick() noexcept {
+#if MULINK_OBS_ENABLED
+    return (ingest_tick_++ % kIngestSampleEvery) == 0;
+#else
+    return false;
+#endif
+  }
+
+  // Fold `shard` into this registry. Counters and histograms accumulate;
+  // gauges take the shard's value when the shard wrote one (submission
+  // order == last writer wins, deterministically).
+  void MergeFrom(const Registry& shard) noexcept;
+
+  void Reset() noexcept;
+
+  // True when nothing has been recorded (all counters and stage counts 0).
+  bool Empty() const noexcept;
+
+  const std::array<std::uint64_t, kNumCounters>& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  std::array<std::uint64_t, kNumCounters> counters_{};
+  std::array<double, kNumGauges> gauges_{};
+  std::uint32_t gauge_set_ = 0;
+  std::uint64_t ingest_tick_ = 0;
+  std::array<LatencyHistogram, kNumStages> stages_{};
+};
+
+// RAII stage timer: records the scope's duration into the registry's stage
+// histogram on destruction. A null registry is the runtime no-op sink — no
+// clock is read at all.
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(Registry* registry, Stage stage) noexcept
+#if MULINK_OBS_ENABLED
+      : registry_(registry), stage_(stage) {
+    if (registry_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+#else
+  {
+    (void)registry;
+    (void)stage;
+  }
+#endif
+
+  ~ScopedStageTimer() {
+#if MULINK_OBS_ENABLED
+    if (registry_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      registry_->RecordStageNs(
+          stage_,
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count()));
+    }
+#endif
+  }
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+#if MULINK_OBS_ENABLED
+  Registry* registry_ = nullptr;
+  Stage stage_{};
+  std::chrono::steady_clock::time_point start_{};
+#endif
+};
+
+}  // namespace mulink::obs

@@ -1,0 +1,45 @@
+#include "obs/trace.h"
+
+namespace mulink::obs {
+
+TraceRing::TraceRing(std::size_t capacity, Clock::time_point epoch,
+                     std::uint32_t tid)
+    : epoch_(epoch), tid_(tid) {
+  events_.resize(capacity > 0 ? capacity : 1);
+}
+
+void TraceRing::Record(const TraceEvent& event) noexcept {
+#if MULINK_OBS_ENABLED
+  if (size_ == events_.size()) ++dropped_;  // the overwritten oldest event
+  events_[head_] = event;
+  head_ = (head_ + 1) % events_.size();
+  if (size_ < events_.size()) ++size_;
+#else
+  (void)event;
+#endif
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  const std::size_t start = (head_ + events_.size() - size_) % events_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(events_[(start + i) % events_.size()]);
+  }
+  return out;
+}
+
+void TraceRing::DrainInto(std::vector<TraceEvent>& out) {
+  const std::size_t start = (head_ + events_.size() - size_) % events_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(events_[(start + i) % events_.size()]);
+  }
+  Clear();
+}
+
+void TraceRing::Clear() noexcept {
+  head_ = 0;
+  size_ = 0;
+}
+
+}  // namespace mulink::obs

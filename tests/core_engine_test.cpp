@@ -17,6 +17,7 @@
 #include "core/music.h"
 #include "core/streaming.h"
 #include "experiments/scenario.h"
+#include "obs/metrics.h"
 
 using namespace mulink;
 namespace ex = mulink::experiments;
@@ -396,6 +397,87 @@ TEST(SensingEngine, SingleLinkOverloadRequiresOneLink) {
   const std::span<const wifi::CsiPacket> session(f.occupied_session);
   EXPECT_THROW(engine.ProcessBatch(session.subspan(0, 25)),
                PreconditionError);
+}
+
+// Recording metrics must never change decisions: the same stream scored with
+// metrics on and off produces bit-identical scores, posteriors and verdicts.
+TEST(SensingEngine, MetricsOnOffDecisionsBitIdentical) {
+  auto& f = Fixture();
+  for (bool guard : {false, true}) {
+    core::StreamingConfig config;
+    config.guard_enabled = guard;
+
+    auto detector =
+        f.Calibrated(core::DetectionScheme::kSubcarrierAndPathWeighting);
+    const auto empty_scores = EmptyScores(f, detector);
+    detector.SetThreshold(1.0);
+    const std::span<const wifi::CsiPacket> session(f.occupied_session);
+
+    core::SensingEngine with_metrics;
+    with_metrics.AddLink(detector, empty_scores, config);
+    with_metrics.SetMetricsEnabled(true);
+    const auto& on = with_metrics.ProcessBatch(0, session);
+    std::vector<core::PresenceDecision> reference(on.decisions);
+
+    core::SensingEngine without_metrics;
+    without_metrics.AddLink(std::move(detector), empty_scores, config);
+    without_metrics.SetMetricsEnabled(false);
+    const auto& off = without_metrics.ProcessBatch(0, session);
+
+    ASSERT_EQ(reference.size(), off.decisions.size()) << "guard=" << guard;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(reference[i].score, off.decisions[i].score);
+      EXPECT_EQ(reference[i].posterior, off.decisions[i].posterior);
+      EXPECT_EQ(reference[i].occupied, off.decisions[i].occupied);
+    }
+    // The disabled engine must have recorded nothing at all.
+    EXPECT_TRUE(without_metrics.Metrics(0).Empty());
+  }
+}
+
+// The per-link registry mirrors what the engine actually did: exact packet
+// and decision counts, windows scored, and the profile cache hit pattern
+// (first window rebuilds, later windows hit the warm stack).
+TEST(SensingEngine, MetricsCountersMatchBatchActivity) {
+  auto& f = Fixture();
+  auto detector =
+      f.Calibrated(core::DetectionScheme::kSubcarrierAndPathWeighting);
+  const auto empty_scores = EmptyScores(f, detector);
+  detector.SetThreshold(1.0);
+
+  core::StreamingConfig config;
+  config.window_packets = 25;
+  config.hop_packets = 25;
+  core::SensingEngine engine;
+  engine.AddLink(std::move(detector), empty_scores, config);
+
+  const std::span<const wifi::CsiPacket> session(f.occupied_session);
+  const auto& result = engine.ProcessBatch(0, session);
+  const auto& m = engine.Metrics(0);
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(m.Get(obs::Counter::kPacketsIngested), session.size());
+    EXPECT_EQ(m.Get(obs::Counter::kBatches), 1u);
+    EXPECT_EQ(m.Get(obs::Counter::kDecisions), result.decisions.size());
+    EXPECT_EQ(m.Get(obs::Counter::kWindowsScored), result.decisions.size());
+    EXPECT_EQ(m.Get(obs::Counter::kHmmUpdates), result.decisions.size());
+    ASSERT_GT(result.decisions.size(), 1u);
+    EXPECT_EQ(m.Get(obs::Counter::kProfileStackRebuilds), 1u);
+    EXPECT_EQ(m.Get(obs::Counter::kProfileStackHits),
+              result.decisions.size() - 1);
+    EXPECT_EQ(m.StageLatency(obs::Stage::kScore).count,
+              result.decisions.size());
+    EXPECT_TRUE(m.GaugeSet(obs::Gauge::kLastScore));
+    EXPECT_DOUBLE_EQ(m.Get(obs::Gauge::kLastScore),
+                     result.decisions.back().score);
+    // AggregateMetrics over one link is that link's registry.
+    const obs::Registry totals = engine.AggregateMetrics();
+    EXPECT_EQ(totals.counters(), m.counters());
+    // Reset clears the shard with the rest of the link state.
+    engine.Reset(0);
+    EXPECT_TRUE(engine.Metrics(0).Empty());
+  } else {
+    EXPECT_TRUE(m.Empty());
+  }
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "common/error.h"
 #include "experiments/campaign.h"
 #include "experiments/parallel_runner.h"
+#include "obs/metrics.h"
 
 using namespace mulink;
 namespace ex = mulink::experiments;
@@ -77,6 +78,57 @@ TEST(ParallelCampaignRunner, BitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(runner.num_threads(), threads);
     const auto parallel = runner.Run(c.cases, c.spots, c.schemes, c.config);
     ExpectIdentical(serial, parallel);
+  }
+}
+
+// Histogram counts (how many times each stage ran) are part of the
+// determinism contract; the recorded nanoseconds are wall-clock
+// observations and deliberately are not.
+void ExpectIdenticalMetrics(const obs::Registry& a, const obs::Registry& b) {
+  for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+    EXPECT_EQ(a.counters()[i], b.counters()[i])
+        << "counter " << obs::ToString(static_cast<obs::Counter>(i));
+  }
+  for (std::size_t i = 0; i < obs::kNumStages; ++i) {
+    const auto stage = static_cast<obs::Stage>(i);
+    EXPECT_EQ(a.StageLatency(stage).count, b.StageLatency(stage).count)
+        << "stage " << obs::ToString(stage);
+  }
+}
+
+TEST(ParallelCampaignRunner, MetricTotalsBitIdenticalAcrossThreadCounts) {
+  const SmallCampaign c;
+  const auto serial = ex::RunCampaign(c.cases, c.spots, c.schemes, c.config);
+  if constexpr (obs::kEnabled) {
+    EXPECT_GT(serial.metrics.Get(obs::Counter::kCasesRun), 0u);
+    EXPECT_GT(serial.metrics.Get(obs::Counter::kWindowsScored), 0u);
+    EXPECT_GT(serial.metrics.Get(obs::Counter::kCalibrations), 0u);
+  }
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    const ex::ParallelCampaignRunner runner(threads);
+    const auto parallel = runner.Run(c.cases, c.spots, c.schemes, c.config);
+    ExpectIdenticalMetrics(serial.metrics, parallel.metrics);
+  }
+}
+
+TEST(ParallelCampaignRunner, TraceCollectionCoversEveryCase) {
+  SmallCampaign c;
+  c.config.collect_trace = true;
+  const ex::ParallelCampaignRunner runner(2);
+  const auto result = runner.Run(c.cases, c.spots, c.schemes, c.config);
+  if constexpr (obs::kEnabled) {
+    ASSERT_FALSE(result.trace.empty());
+    std::vector<bool> seen(c.cases.size(), false);
+    for (const auto& event : result.trace) {
+      if (event.stage == obs::Stage::kCase && event.scope >= 0) {
+        seen[static_cast<std::size_t>(event.scope)] = true;
+      }
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_TRUE(seen[i]) << "no kCase span for case " << i;
+    }
+  } else {
+    EXPECT_TRUE(result.trace.empty());
   }
 }
 

@@ -1,0 +1,135 @@
+// Exit-code contract tests for the mulink CLI, run in-process via RunCli.
+//
+// The table scripts rely on (tools/cli.h):
+//   0  success
+//   1  runtime Error (e.g. unreadable file)
+//   2  PreconditionError — every argument-parse failure lands here
+//   3  NumericalError, 4 InvariantError, 5 anything else
+//
+// Every parse failure must carry a "usage: mulink" hint on stderr, and
+// option validation must run before any file IO so a malformed flag is
+// exit 2 even when the files are bad too.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli.h"
+
+using mulink::tools::RunCli;
+
+namespace {
+
+struct CliResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult Cli(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  CliResult result;
+  result.code = RunCli(args, out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "mulink_cli_test_" + name;
+}
+
+TEST(CliExitCodes, NoArgumentsPrintsUsageAndSucceeds) {
+  const auto r = Cli({});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("commands:"), std::string::npos);
+  EXPECT_NE(r.out.find("exit codes:"), std::string::npos);
+}
+
+TEST(CliExitCodes, UnknownCommandIsPreconditionError) {
+  const auto r = Cli({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliExitCodes, UnknownOptionIsExitTwoWithUsageHint) {
+  const auto r = Cli({"detect", "--no-such-flag"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown option '--no-such-flag'"), std::string::npos);
+  EXPECT_NE(r.err.find("usage: mulink"), std::string::npos);
+}
+
+TEST(CliExitCodes, MissingOptionValueIsExitTwo) {
+  const auto r = Cli({"simulate", "--packets"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("needs a value"), std::string::npos);
+  EXPECT_NE(r.err.find("usage: mulink"), std::string::npos);
+}
+
+TEST(CliExitCodes, MalformedNumericIsExitTwoEvenWithMissingFiles) {
+  // --window must be rejected before the (nonexistent) files are opened.
+  const auto r = Cli({"detect", "--calibration", "/nonexistent/cal.mlnk",
+                      "--session", "/nonexistent/ses.mlnk", "--window",
+                      "25abc"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("expects a number"), std::string::npos);
+}
+
+TEST(CliExitCodes, NegativePacketCountIsExitTwo) {
+  const auto r = Cli({"simulate", "--packets", "-5", "--out",
+                      TempPath("never_written.mlnk")});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("non-negative integer"), std::string::npos);
+}
+
+TEST(CliExitCodes, WrongPositionalCountIsExitTwo) {
+  EXPECT_EQ(Cli({"info"}).code, 2);
+  EXPECT_EQ(Cli({"info", "a.mlnk", "extra.mlnk"}).code, 2);
+  EXPECT_EQ(Cli({"export-csv", "only_one.mlnk"}).code, 2);
+}
+
+TEST(CliExitCodes, UnknownSchemeAndScenarioAreExitTwo) {
+  EXPECT_EQ(Cli({"detect", "--calibration", "c", "--session", "s", "--scheme",
+                 "psychic"})
+                .code,
+            2);
+  EXPECT_EQ(
+      Cli({"simulate", "--scenario", "atlantis", "--out", TempPath("x.mlnk")})
+          .code,
+      2);
+}
+
+TEST(CliExitCodes, UnreadableFileIsRuntimeErrorExitOne) {
+  const auto r = Cli({"info", "/nonexistent/path/session.mlnk"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_FALSE(r.err.empty());
+}
+
+TEST(CliRoundTrip, SimulateInfoDetectSucceed) {
+  const auto empty_path = TempPath("empty.mlnk");
+  const auto person_path = TempPath("person.mlnk");
+  ASSERT_EQ(Cli({"simulate", "--scenario", "classroom", "--packets", "150",
+                 "--out", empty_path})
+                .code,
+            0);
+  ASSERT_EQ(Cli({"simulate", "--scenario", "classroom", "--packets", "100",
+                 "--human", "3.0,4.5", "--out", person_path})
+                .code,
+            0);
+
+  const auto info = Cli({"info", empty_path});
+  EXPECT_EQ(info.code, 0);
+  EXPECT_NE(info.out.find("packets:"), std::string::npos);
+
+  const auto detect = Cli({"detect", "--calibration", empty_path, "--session",
+                           person_path, "--metrics-json", "--guard-json"});
+  EXPECT_EQ(detect.code, 0);
+  // Both machine-readable surfaces ride on the obs serializers.
+  EXPECT_NE(detect.out.find("\"obs_enabled\""), std::string::npos);
+  EXPECT_NE(detect.out.find("\"counters\""), std::string::npos);
+  EXPECT_NE(detect.out.find("\"quarantined\""), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,30 @@
+// The mulink command-line tool as a library, so its behaviour — argument
+// validation, exit codes, output formats — is testable in-process.
+//
+// RunCli is exactly `main` minus the process boundary: `args` is argv
+// without the program name, normal output goes to `out`, diagnostics to
+// `err`, and the return value is the process exit code:
+//
+//   0  success
+//   1  runtime error (e.g. unreadable file)        mulink::Error
+//   2  bad usage or bad input                      mulink::PreconditionError
+//   3  numerical failure                           mulink::NumericalError
+//   4  internal invariant violation                mulink::InvariantError
+//   5  unexpected exception                        anything else
+//
+// Every argument-parse failure — unknown command, unknown option, an option
+// missing its value, malformed numerics — is routed through
+// PreconditionError, so scripts can rely on exit code 2 meaning "fix the
+// invocation", never "the library broke".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mulink::tools {
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace mulink::tools

@@ -1,377 +1,14 @@
-// mulink command-line tool: simulate, inspect, and analyze CSI sessions.
-//
-//   mulink simulate --scenario classroom --packets 500 --out empty.mlnk
-//   mulink simulate --scenario classroom --human 3.0,4.5 --out person.mlnk
-//   mulink info session.mlnk
-//   mulink export-csv session.mlnk session.csv
-//   mulink detect --calibration empty.mlnk --session person.mlnk
-//                 [--scheme combined] [--window 25]
-//   mulink spectrum --calibration empty.mlnk
-//   mulink breath --session sleeper.mlnk --rate 50
-//
-// Files use the binary format of nic/csi_io.h, so sessions converted from
-// real Intel 5300 CSI Tool traces drop straight in.
+// Thin process wrapper around the CLI library (tools/cli.h) — all behaviour
+// lives in RunCli so the exit-code contract is tested in-process.
 #include <iostream>
-#include <map>
-#include <optional>
 #include <string>
+#include <vector>
 
-#include "common/error.h"
-#include "common/rng.h"
-#include "core/breath.h"
-#include "core/detector.h"
-#include "core/engine.h"
-#include "core/music.h"
-#include "core/sanitize.h"
-#include "dsp/stats.h"
-#include "experiments/format.h"
-#include "experiments/scenario.h"
-#include "nic/csi_io.h"
-
-using namespace mulink;
-namespace ex = mulink::experiments;
-
-namespace {
-
-struct Args {
-  std::string command;
-  std::vector<std::string> positional;
-  std::map<std::string, std::string> options;
-};
-
-Args Parse(int argc, char** argv) {
-  Args args;
-  if (argc >= 2) args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    std::string token = argv[i];
-    if (token.rfind("--", 0) == 0) {
-      const std::string key = token.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        args.options[key] = argv[++i];
-      } else {
-        args.options[key] = "true";
-      }
-    } else {
-      args.positional.push_back(std::move(token));
-    }
-  }
-  return args;
-}
-
-std::string Option(const Args& args, const std::string& key,
-                   const std::string& fallback) {
-  const auto it = args.options.find(key);
-  return it == args.options.end() ? fallback : it->second;
-}
-
-ex::LinkCase ScenarioByName(const std::string& name) {
-  if (name == "classroom") return ex::MakeClassroomLink();
-  if (name == "wall") return ex::MakeShortWallLink();
-  if (name == "through-wall") return ex::MakeThroughWallLink();
-  const auto cases = ex::MakePaperCases();
-  for (std::size_t i = 0; i < cases.size(); ++i) {
-    if (name == "case" + std::to_string(i + 1)) return cases[i];
-  }
-  throw PreconditionError(
-      "unknown scenario '" + name +
-      "' (try: classroom, wall, through-wall, case1..case5)");
-}
-
-core::DetectionScheme SchemeByName(const std::string& name) {
-  if (name == "baseline") return core::DetectionScheme::kBaseline;
-  if (name == "subcarrier") return core::DetectionScheme::kSubcarrierWeighting;
-  if (name == "combined") {
-    return core::DetectionScheme::kSubcarrierAndPathWeighting;
-  }
-  if (name == "variance") return core::DetectionScheme::kVarianceMobile;
-  throw PreconditionError("unknown scheme '" + name +
-                          "' (baseline|subcarrier|combined|variance)");
-}
-
-geometry::Vec2 ParsePoint(const std::string& text) {
-  const auto comma = text.find(',');
-  if (comma == std::string::npos) {
-    throw PreconditionError("expected x,y but got '" + text + "'");
-  }
-  return {std::stod(text.substr(0, comma)), std::stod(text.substr(comma + 1))};
-}
-
-int Simulate(const Args& args) {
-  const auto lc = ScenarioByName(Option(args, "scenario", "classroom"));
-  const auto packets =
-      static_cast<std::size_t>(std::stoul(Option(args, "packets", "500")));
-  const auto out = Option(args, "out", "");
-  if (out.empty()) throw PreconditionError("--out <file.mlnk> is required");
-  Rng rng(std::stoull(Option(args, "seed", "1")));
-
-  auto sim_config = ex::DefaultSimConfig();
-  // NIC fault processes (nic/fault_injection.h). Any --fault-* option turns
-  // the injector on; it draws from its own RNG stream, so the channel
-  // realization matches the clean capture packet for packet.
-  auto& faults = sim_config.faults;
-  if (args.options.count("fault-drop")) {
-    faults.drop_prob = std::stod(args.options.at("fault-drop"));
-  }
-  if (args.options.count("fault-reorder")) {
-    faults.reorder_prob = std::stod(args.options.at("fault-reorder"));
-  }
-  if (args.options.count("fault-corrupt")) {
-    faults.corrupt_prob = std::stod(args.options.at("fault-corrupt"));
-  }
-  if (args.options.count("fault-dead-antenna")) {
-    faults.dead_antenna = std::stoi(args.options.at("fault-dead-antenna"));
-  }
-  faults.enabled = faults.drop_prob > 0.0 || faults.reorder_prob > 0.0 ||
-                   faults.corrupt_prob > 0.0 || faults.dead_antenna >= 0;
-  if (faults.enabled) {
-    faults.seed = std::stoull(Option(args, "fault-seed", "1"));
-  }
-  if (args.options.count("calm")) {
-    // Bedroom-style conditions for respiration captures: no co-channel
-    // bursts, minimal drift and sway.
-    sim_config.interference_entry_prob = 0.0;
-    sim_config.slow_gain_drift_db = 0.05;
-    sim_config.human_sway_sigma_m = 0.001;
-    sim_config.background_jitter_m = 0.001;
-  }
-  auto sim = ex::MakeSimulator(lc, sim_config);
-  std::optional<propagation::HumanBody> human;
-  if (args.options.count("human")) {
-    propagation::HumanBody body;
-    body.position = ParsePoint(args.options.at("human"));
-    if (args.options.count("breathing-bpm")) {
-      body.breathing_rate_hz =
-          std::stod(args.options.at("breathing-bpm")) / 60.0;
-      body.breathing_amplitude_m = 0.006;
-    }
-    human = body;
-  }
-  const auto session = sim.CaptureSession(packets, human, rng);
-  nic::WriteCsiSession(out, session);
-  std::cout << "wrote " << session.size() << " packets (" << lc.name << ", "
-            << (human.has_value() ? "human present" : "empty room") << ") to "
-            << out << "\n";
-  return 0;
-}
-
-int Info(const Args& args) {
-  if (args.positional.empty()) {
-    throw PreconditionError("usage: mulink info <file.mlnk>");
-  }
-  const auto session = nic::ReadCsiSession(args.positional[0]);
-  const auto& first = session.front();
-  std::cout << "packets:      " << session.size() << "\n"
-            << "antennas:     " << first.NumAntennas() << "\n"
-            << "subcarriers:  " << first.NumSubcarriers() << "\n"
-            << "duration:     "
-            << ex::Fmt(session.back().timestamp_s - first.timestamp_s, 2)
-            << " s\n";
-  std::vector<double> rssi;
-  for (const auto& packet : session) rssi.push_back(packet.rssi_db);
-  std::cout << "rssi (dB):    median " << ex::Fmt(dsp::Median(rssi), 1)
-            << ", p5 " << ex::Fmt(dsp::Quantile(rssi, 0.05), 1) << ", p95 "
-            << ex::Fmt(dsp::Quantile(rssi, 0.95), 1) << "\n";
-  return 0;
-}
-
-int ExportCsv(const Args& args) {
-  if (args.positional.size() < 2) {
-    throw PreconditionError("usage: mulink export-csv <in.mlnk> <out.csv>");
-  }
-  const auto session = nic::ReadCsiSession(args.positional[0]);
-  nic::ExportCsiCsv(args.positional[1], session);
-  std::cout << "exported " << session.size() << " packets to "
-            << args.positional[1] << "\n";
-  return 0;
-}
-
-int Detect(const Args& args) {
-  const auto calibration_path = Option(args, "calibration", "");
-  const auto session_path = Option(args, "session", "");
-  if (calibration_path.empty() || session_path.empty()) {
-    throw PreconditionError(
-        "--calibration <file> and --session <file> are required");
-  }
-  // With --guard the session is read tolerantly: corrupt (non-finite)
-  // frames reach the frame guard, which quarantines them with a diagnosis
-  // instead of the loader rejecting the whole file. Calibration must be
-  // clean either way.
-  const bool guard = args.options.count("guard") > 0;
-  const auto calibration = nic::ReadCsiSession(calibration_path);
-  const auto session = nic::ReadCsiSession(
-      session_path,
-      guard ? nic::CsiReadMode::kTolerant : nic::CsiReadMode::kStrict);
-
-  core::DetectorConfig config;
-  config.scheme = SchemeByName(Option(args, "scheme", "combined"));
-  config.window_packets =
-      static_cast<std::size_t>(std::stoul(Option(args, "window", "25")));
-
-  const auto band = wifi::BandPlan::Intel5300Channel11();
-  const wifi::UniformLinearArray array(calibration.front().NumAntennas(),
-                                       kWavelength / 2.0, kPi / 2.0);
-  auto detector = core::Detector::Calibrate(calibration, band, array, config);
-
-  // Threshold from the calibration session's own windows.
-  std::vector<std::vector<wifi::CsiPacket>> empty_windows;
-  for (std::size_t start = 0;
-       start + config.window_packets <= calibration.size();
-       start += config.window_packets) {
-    empty_windows.emplace_back(
-        calibration.begin() + static_cast<std::ptrdiff_t>(start),
-        calibration.begin() +
-            static_cast<std::ptrdiff_t>(start + config.window_packets));
-  }
-  detector.CalibrateThreshold(empty_windows);
-  std::cout << "scheme " << core::ToString(config.scheme) << ", threshold "
-            << ex::Fmt(detector.threshold(), 4) << "\n";
-
-  // Batch the whole session through the sensing engine: one decision per
-  // non-overlapping window, scored on persistent per-link scratch.
-  core::StreamingConfig stream;
-  stream.window_packets = config.window_packets;
-  stream.hop_packets = config.window_packets;
-  stream.use_hmm = false;
-  stream.guard_enabled = guard;
-  core::SensingEngine engine;
-  engine.AddLink(std::move(detector), {}, stream);
-  const auto& batch =
-      engine.ProcessBatch(std::span<const wifi::CsiPacket>(session));
-  for (std::size_t i = 0; i < batch.decisions.size(); ++i) {
-    const auto& decision = batch.decisions[i];
-    std::cout << "window " << i << "  t="
-              << ex::Fmt(static_cast<double>(i * config.window_packets) /
-                             50.0,
-                         1)
-              << "s  score " << ex::Fmt(decision.score, 4) << "  "
-              << (decision.occupied ? "PRESENT" : "-")
-              << (decision.degraded ? "  [degraded]" : "") << "\n";
-  }
-  if (guard) {
-    const nic::LinkHealth health = engine.Health(0);
-    std::cout << "link health:  " << nic::ToString(nic::Status(health))
-              << "\n"
-              << "  frames:     " << health.received << " received, "
-              << health.accepted << " accepted, " << health.repaired
-              << " repaired, " << health.quarantined << " quarantined, "
-              << health.missing << " missing\n";
-    for (std::size_t f = 0; f < nic::kNumFrameFaults; ++f) {
-      const auto fault = static_cast<nic::FrameFault>(1u << f);
-      if (health.fault_counts[f] > 0) {
-        std::cout << "  fault:      " << nic::ToString(fault) << " x"
-                  << health.fault_counts[f] << "\n";
-      }
-    }
-    if (health.dead_antenna_mask != 0) {
-      std::cout << "  dead mask:  0x" << std::hex << health.dead_antenna_mask
-                << std::dec << "\n";
-    }
-    if (health.degraded_decisions > 0) {
-      std::cout << "  degraded:   " << health.degraded_decisions
-                << " decisions on the fallback statistic\n";
-    }
-    if (health.profile_drift) {
-      std::cout << "  WATCHDOG:   static profile drift detected — "
-                   "recalibration due\n";
-    }
-  }
-  return 0;
-}
-
-int Spectrum(const Args& args) {
-  const auto calibration_path = Option(args, "calibration", "");
-  if (calibration_path.empty()) {
-    throw PreconditionError("--calibration <file> is required");
-  }
-  const auto calibration = nic::ReadCsiSession(calibration_path);
-  const auto band = wifi::BandPlan::Intel5300Channel11();
-  const wifi::UniformLinearArray array(calibration.front().NumAntennas(),
-                                       kWavelength / 2.0, kPi / 2.0);
-  const auto clean = core::SanitizePhase(calibration, band);
-  const auto spectrum = core::ComputeMusicSpectrum(clean, array, band);
-  const double peak = dsp::Max(spectrum.power);
-  for (std::size_t i = 0; i < spectrum.theta_deg.size(); i += 5) {
-    const double db =
-        10.0 * std::log10(std::max(spectrum.power[i] / peak, 1e-9));
-    const int bars = std::max(0, static_cast<int>(40.0 + db));
-    std::cout << ex::Fmt(spectrum.theta_deg[i], 0) << "\t"
-              << std::string(static_cast<std::size_t>(bars), '#') << "\n";
-  }
-  std::cout << "peaks:";
-  for (double angle : spectrum.PeakAngles(3)) {
-    std::cout << " " << ex::Fmt(angle, 1) << "deg";
-  }
-  std::cout << "\n";
-  return 0;
-}
-
-int Breath(const Args& args) {
-  const auto session_path = Option(args, "session", "");
-  if (session_path.empty()) {
-    throw PreconditionError("--session <file> is required");
-  }
-  const auto session = nic::ReadCsiSession(session_path);
-  const double rate = std::stod(Option(args, "rate", "50"));
-  const auto estimate = core::EstimateBreathing(session, rate);
-  std::cout << "respiration: " << ex::Fmt(estimate.rate_hz * 60.0, 1)
-            << " breaths/min (confidence "
-            << ex::Fmt(estimate.confidence, 1) << ", "
-            << (estimate.confidence > 3.0 ? "tracking" : "no clear breather")
-            << ")\n";
-  return 0;
-}
-
-void Usage() {
-  std::cout <<
-      "mulink — multipath link characterization toolkit\n\n"
-      "commands:\n"
-      "  simulate    --scenario <name> --packets <n> --out <file.mlnk>\n"
-      "              [--human x,y] [--breathing-bpm n] [--seed n] [--calm]\n"
-      "              [--fault-drop p] [--fault-reorder p] [--fault-corrupt p]\n"
-      "              [--fault-dead-antenna m] [--fault-seed n]\n"
-      "  info        <file.mlnk>\n"
-      "  export-csv  <in.mlnk> <out.csv>\n"
-      "  detect      --calibration <file> --session <file>\n"
-      "              [--scheme baseline|subcarrier|combined|variance]\n"
-      "              [--window n] [--guard]\n"
-      "  spectrum    --calibration <file>\n"
-      "  breath      --session <file> [--rate hz]\n"
-      "\n"
-      "exit codes: 0 ok, 1 runtime error, 2 bad usage/input,\n"
-      "            3 numerical failure, 4 internal invariant violation,\n"
-      "            5 unexpected exception\n";
-}
-
-}  // namespace
+#include "cli.h"
 
 int main(int argc, char** argv) {
-  const Args args = Parse(argc, argv);
-  // Each tier of the mulink error hierarchy maps to its own exit code so
-  // scripts can tell bad input (2) from numerical trouble (3) from library
-  // bugs (4) without parsing stderr.
-  try {
-    if (args.command == "simulate") return Simulate(args);
-    if (args.command == "info") return Info(args);
-    if (args.command == "export-csv") return ExportCsv(args);
-    if (args.command == "detect") return Detect(args);
-    if (args.command == "spectrum") return Spectrum(args);
-    if (args.command == "breath") return Breath(args);
-    Usage();
-    return args.command.empty() ? 0 : 2;
-  } catch (const PreconditionError& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 2;
-  } catch (const NumericalError& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 3;
-  } catch (const InvariantError& e) {
-    std::cerr << "internal error: " << e.what() << "\n";
-    return 4;
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  } catch (const std::exception& e) {
-    std::cerr << "unexpected error: " << e.what() << "\n";
-    return 5;
-  }
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return mulink::tools::RunCli(args, std::cout, std::cerr);
 }
