@@ -108,7 +108,9 @@ int main(int argc, char** argv) {
       errors.push_back(best_err);
     }
     rows.push_back({std::to_string(elements),
-                    ex::Fmt((elements - 1) * kWavelength / 2.0 * 100.0, 0) +
+                    ex::Fmt(static_cast<double>(elements - 1) * kWavelength /
+                                2.0 * 100.0,
+                            0) +
                         " cm",
                     ex::Fmt(dsp::Median(errors), 1),
                     ex::Fmt(dsp::Quantile(errors, 0.9), 1)});

@@ -143,7 +143,12 @@ int main(int argc, char** argv) {
   std::vector<std::vector<std::string>> rows;
   for (std::size_t k : chosen) {
     const auto fit = dsp::FitLogarithmic(mu_samples[k], ds_samples[k]);
-    rows.push_back({"f" + std::to_string(k + 1), ex::Fmt(fit.intercept),
+    // Built via append, not operator+: the rvalue string operator+ overloads
+    // trip GCC 12's -Wrestrict false positive (PR105651) at -O3, which
+    // MULINK_STRICT's -Werror would make fatal.
+    std::string label = "f";
+    label += std::to_string(k + 1);
+    rows.push_back({std::move(label), ex::Fmt(fit.intercept),
                     ex::Fmt(fit.slope), ex::Fmt(fit.r_squared),
                     fit.slope < 0.0 ? "decreasing" : "INCREASING(!)"});
   }

@@ -296,8 +296,8 @@ struct StreamEmulator {
   std::size_t count = 0;
   std::size_t since = 0;
 
-  StreamEmulator(std::size_t window_packets, std::size_t hop)
-      : window_packets(window_packets), hop(hop) {
+  StreamEmulator(std::size_t window_size, std::size_t hop_size)
+      : window_packets(window_size), hop(hop_size) {
     ring.resize(window_packets);
     window.reserve(window_packets);
   }
