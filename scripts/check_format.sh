@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Check (never rewrite) clang-format conformance.
+#
+# Usage:
+#   scripts/check_format.sh FILE...      check the named files
+#   scripts/check_format.sh --diff REF   check files changed since REF
+#   scripts/check_format.sh --all        check the whole tree
+#
+# Default (no args): files changed relative to the merge base with main —
+# the "no reformat churn beyond files already touched" policy: formatting is
+# only ever enforced on code a change is already editing.
+#
+# Exit codes: 0 clean / 1 files need formatting / 2 usage or env error.
+# Like run_clang_tidy.sh, a missing clang-format binary is a skip (exit 0)
+# unless MULINK_REQUIRE_CLANG_FORMAT=1 (CI sets it).
+set -u
+cd "$(dirname "$0")/.."
+
+FMT_BIN="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$FMT_BIN" >/dev/null 2>&1; then
+  if [ "${MULINK_REQUIRE_CLANG_FORMAT:-0}" = "1" ]; then
+    echo "check_format: $FMT_BIN not found and MULINK_REQUIRE_CLANG_FORMAT=1" >&2
+    exit 2
+  fi
+  echo "check_format: $FMT_BIN not found; skipping (enforced in CI)" >&2
+  exit 0
+fi
+
+declare -a FILES=()
+case "${1:-}" in
+  --all)
+    mapfile -t FILES < <(git ls-files 'src/*' 'tools/*' 'examples/*' \
+      'bench/*' 'tests/*' | grep -E '\.(cpp|h|hpp)$' | sort)
+    ;;
+  --diff)
+    REF="${2:?check_format: --diff needs a ref}" || exit 2
+    mapfile -t FILES < <(git diff --name-only --diff-filter=d "$REF" -- \
+      '*.cpp' '*.h' '*.hpp' | sort)
+    ;;
+  "")
+    BASE="$(git merge-base HEAD origin/main 2>/dev/null \
+        || git rev-parse 'HEAD~1' 2>/dev/null || true)"
+    if [ -z "$BASE" ]; then
+      echo "check_format: cannot determine a base ref; pass files or --all" >&2
+      exit 2
+    fi
+    mapfile -t FILES < <(git diff --name-only --diff-filter=d "$BASE" -- \
+      '*.cpp' '*.h' '*.hpp' | sort)
+    ;;
+  -*)
+    echo "check_format: unknown option $1" >&2
+    exit 2
+    ;;
+  *)
+    FILES=("$@")
+    ;;
+esac
+
+[ "${#FILES[@]}" -eq 0 ] && { echo "check_format: nothing to check"; exit 0; }
+
+STATUS=0
+for f in "${FILES[@]}"; do
+  [ -f "$f" ] || { echo "check_format: no such file: $f" >&2; exit 2; }
+  if ! "$FMT_BIN" --dry-run --Werror "$f"; then
+    STATUS=1
+  fi
+done
+[ "$STATUS" -eq 0 ] && echo "check_format: ${#FILES[@]} file(s) clean"
+exit "$STATUS"

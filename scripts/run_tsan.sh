@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Configure, build and run the full test suite under ThreadSanitizer.
+#
+# Usage: scripts/run_tsan.sh [BUILD_DIR] [-- ctest args]
+#   BUILD_DIR defaults to build-tsan. Pass extra ctest args after --, e.g.
+#   scripts/run_tsan.sh build-tsan -- -R Parallel to focus the campaign
+#   determinism tests.
+#
+# The suppressions file (.tsan-suppressions) is checked in and empty for
+# first-party code — races get fixed, not suppressed. history_size is
+# raised because the campaign tests run hundreds of windows per thread and
+# the default history drops the allocation stacks TSan needs for a useful
+# report.
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+cmake -B "$BUILD_DIR" -S . -DMULINK_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+export TSAN_OPTIONS="suppressions=$PWD/.tsan-suppressions history_size=7 ${TSAN_OPTIONS:-}"
+
+# Negative control first: the deliberately racy canary MUST be flagged. A
+# passing canary means TSan is not armed and a green suite proves nothing.
+if TSAN_OPTIONS="$TSAN_OPTIONS halt_on_error=1" \
+    "$BUILD_DIR/tests/tsan_canary" >/dev/null 2>&1; then
+  echo "run_tsan: tsan_canary ran clean — ThreadSanitizer is NOT armed" >&2
+  exit 2
+fi
+echo "run_tsan: canary race detected as expected; sanitizer armed"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"

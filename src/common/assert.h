@@ -42,3 +42,20 @@ namespace mulink::detail {
                                         __LINE__, (msg));                    \
     }                                                                        \
   } while (false)
+
+// Debug-only invariant check for per-packet/per-element hot loops where even
+// the predicate's evaluation is a measurable cost. In NDEBUG builds
+// (Release / RelWithDebInfo) the expression is parsed but never evaluated —
+// `sizeof` keeps it type-checked with zero codegen and zero side effects —
+// so the check compiles out cleanly (tests/common_assert_test.cpp pins both
+// behaviours). Anything guarding a decision or an external input stays on
+// MULINK_ASSERT / MULINK_REQUIRE: for library results, wrong is worse than
+// slow.
+#if defined(NDEBUG)
+#define MULINK_DASSERT(expr)                                                 \
+  do {                                                                       \
+    (void)sizeof((expr) ? 1 : 0);                                            \
+  } while (false)
+#else
+#define MULINK_DASSERT(expr) MULINK_ASSERT(expr)
+#endif

@@ -1,4 +1,5 @@
 #include "core/breath.h"
+// mulink-lint: cold-tu(offline breathing-rate analysis, not the per-decision path)
 
 #include <algorithm>
 #include <cmath>

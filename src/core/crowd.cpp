@@ -1,4 +1,5 @@
 #include "core/crowd.h"
+// mulink-lint: cold-tu(offline crowd-count fitting, not the per-decision path)
 
 #include <algorithm>
 #include <cmath>

@@ -69,7 +69,9 @@ Detector Detector::Calibrate(const std::vector<wifi::CsiPacket>& empty_session,
   const auto sanitized = SanitizePhase(empty_session, band);
 
   // Static power/amplitude profile s(0).
+  // mulink-lint: allow(alloc): calibration path
   d.profile_power_.assign(num_ant, std::vector<double>(num_sc, 0.0));
+  // mulink-lint: allow(alloc): calibration path
   d.profile_amplitude_.assign(num_ant, std::vector<double>(num_sc, 0.0));
   for (const auto& packet : sanitized) {
     for (std::size_t m = 0; m < num_ant; ++m) {
@@ -92,6 +94,7 @@ Detector Detector::Calibrate(const std::vector<wifi::CsiPacket>& empty_session,
   }
   // Empty-room temporal variance per (antenna, subcarrier) — the noise/
   // dynamics floor the mobile-target variance statistic must exceed.
+  // mulink-lint: allow(alloc): calibration path
   d.profile_variance_.assign(num_ant, std::vector<double>(num_sc, 0.0));
   for (const auto& packet : sanitized) {
     for (std::size_t m = 0; m < num_ant; ++m) {
@@ -117,9 +120,11 @@ Detector Detector::Calibrate(const std::vector<wifi::CsiPacket>& empty_session,
   // re-weighted pseudospectrum computation.
   const std::size_t keep =
       std::min(config.retained_calibration_packets, sanitized.size());
+  // mulink-lint: allow(alloc): calibration path
   d.retained_calibration_.reserve(keep);
   for (std::size_t i = 0; i < keep; ++i) {
     const std::size_t idx = i * sanitized.size() / keep;
+    // mulink-lint: allow(alloc): calibration path
     d.retained_calibration_.push_back(sanitized[idx]);
   }
   d.profile_version_ = NextProfileVersion();
@@ -148,15 +153,13 @@ double Detector::Score(std::span<const wifi::CsiPacket> window,
   MULINK_REQUIRE(window[0].NumAntennas() == num_antennas_ &&
                      window[0].NumSubcarriers() == num_subcarriers_,
                  "Detector::Score: window dimensions mismatch calibration");
-  if (scratch.metrics != nullptr) {
-    scratch.metrics->Add(obs::Counter::kWindowsScored);
-  }
+  MULINK_OBS_COUNT(scratch.metrics, kWindowsScored);
   if (config_.scheme == DetectionScheme::kBaseline) {
-    obs::ScopedStageTimer timer(scratch.metrics, obs::Stage::kScore);
+    MULINK_OBS_STAGE_TIMER(timer, scratch.metrics, kScore);
     return ScoreBaseline(window, FullAntennaMask());
   }
   {
-    obs::ScopedStageTimer timer(scratch.metrics, obs::Stage::kIngestSanitize);
+    MULINK_OBS_STAGE_TIMER(timer, scratch.metrics, kIngestSanitize);
     SanitizePhaseInto(window, band_, scratch.sanitized, scratch.sanitize);
   }
   return DispatchSanitized(std::span<const wifi::CsiPacket>(scratch.sanitized),
@@ -170,11 +173,9 @@ double Detector::ScoreSanitized(std::span<const wifi::CsiPacket> window,
       window[0].NumAntennas() == num_antennas_ &&
           window[0].NumSubcarriers() == num_subcarriers_,
       "Detector::ScoreSanitized: window dimensions mismatch calibration");
-  if (scratch.metrics != nullptr) {
-    scratch.metrics->Add(obs::Counter::kWindowsScored);
-  }
+  MULINK_OBS_COUNT(scratch.metrics, kWindowsScored);
   if (config_.scheme == DetectionScheme::kBaseline) {
-    obs::ScopedStageTimer timer(scratch.metrics, obs::Stage::kScore);
+    MULINK_OBS_STAGE_TIMER(timer, scratch.metrics, kScore);
     return ScoreBaseline(window, FullAntennaMask());
   }
   return DispatchSanitized(window, scratch);
@@ -195,15 +196,13 @@ double Detector::ScoreDegraded(std::span<const wifi::CsiPacket> window,
                  "calibration");
   MULINK_REQUIRE((live_mask & FullAntennaMask()) != 0,
                  "Detector::ScoreDegraded: no live antennas");
-  if (scratch.metrics != nullptr) {
-    scratch.metrics->Add(obs::Counter::kWindowsScored);
-  }
+  MULINK_OBS_COUNT(scratch.metrics, kWindowsScored);
   if (config_.scheme == DetectionScheme::kBaseline) {
-    obs::ScopedStageTimer timer(scratch.metrics, obs::Stage::kScore);
+    MULINK_OBS_STAGE_TIMER(timer, scratch.metrics, kScore);
     return ScoreBaseline(window, live_mask);
   }
   {
-    obs::ScopedStageTimer timer(scratch.metrics, obs::Stage::kIngestSanitize);
+    MULINK_OBS_STAGE_TIMER(timer, scratch.metrics, kIngestSanitize);
     SanitizePhaseInto(window, band_, scratch.sanitized, scratch.sanitize);
   }
   return DispatchSanitizedDegraded(
@@ -222,11 +221,9 @@ double Detector::ScoreSanitizedDegraded(
                  "mismatch calibration");
   MULINK_REQUIRE((live_mask & FullAntennaMask()) != 0,
                  "Detector::ScoreSanitizedDegraded: no live antennas");
-  if (scratch.metrics != nullptr) {
-    scratch.metrics->Add(obs::Counter::kWindowsScored);
-  }
+  MULINK_OBS_COUNT(scratch.metrics, kWindowsScored);
   if (config_.scheme == DetectionScheme::kBaseline) {
-    obs::ScopedStageTimer timer(scratch.metrics, obs::Stage::kScore);
+    MULINK_OBS_STAGE_TIMER(timer, scratch.metrics, kScore);
     return ScoreBaseline(window, live_mask);
   }
   return DispatchSanitizedDegraded(window, scratch, live_mask);
@@ -272,10 +269,12 @@ std::vector<double> Detector::ScoreSession(
                  "Detector::ScoreSession: session shorter than one window");
   std::vector<double> scores;
   const std::size_t m = config_.window_packets;
+  // mulink-lint: allow(alloc): legacy convenience API; engine path is allocation-free
   scores.reserve(session.size() / m);
   DetectorScratch scratch;
   const std::span<const wifi::CsiPacket> all(session);
   for (std::size_t start = 0; start + m <= session.size(); start += m) {
+    // mulink-lint: allow(alloc): legacy convenience API; engine path is allocation-free
     scores.push_back(Score(all.subspan(start, m), scratch));
   }
   return scores;
@@ -293,9 +292,11 @@ void Detector::CalibrateThreshold(
   MULINK_REQUIRE(empty_windows.size() >= 2,
                  "Detector::CalibrateThreshold: need >= 2 empty windows");
   std::vector<double> scores;
+  // mulink-lint: allow(alloc): calibration path
   scores.reserve(empty_windows.size());
   DetectorScratch scratch;
   for (const auto& w : empty_windows) {
+    // mulink-lint: allow(alloc): calibration path
     scores.push_back(Score(std::span<const wifi::CsiPacket>(w), scratch));
   }
   threshold_ =
@@ -309,9 +310,10 @@ void Detector::CalibrateThreshold(
   // same threshold.
   if (config_.scheme == DetectionScheme::kSubcarrierAndPathWeighting) {
     std::vector<double> fallback_scores;
+    // mulink-lint: allow(alloc): calibration path
     fallback_scores.reserve(empty_windows.size());
     for (const auto& w : empty_windows) {
-      fallback_scores.push_back(
+      fallback_scores.push_back(  // mulink-lint: allow(alloc): calibration path
           ScoreDegraded(std::span<const wifi::CsiPacket>(w), scratch,
                         FullAntennaMask()));
     }
@@ -419,14 +421,13 @@ double Detector::ScoreSubcarrierWeighting(
     std::span<const wifi::CsiPacket> sanitized, DetectorScratch& scratch,
     std::uint32_t live_mask) const {
   {
-    obs::ScopedStageTimer timer(scratch.metrics,
-                                obs::Stage::kSubcarrierWeighting);
+    MULINK_OBS_STAGE_TIMER(timer, scratch.metrics, kSubcarrierWeighting);
     MeasureMultipathFactorsInto(sanitized, band_, scratch.mu,
                                 scratch.multipath);
     ComputeSubcarrierWeightsInto(scratch.mu, config_.weighting_mode,
                                  scratch.weights, scratch.median_scratch);
   }
-  obs::ScopedStageTimer score_timer(scratch.metrics, obs::Stage::kScore);
+  MULINK_OBS_STAGE_TIMER(score_timer, scratch.metrics, kScore);
   const auto& weights = scratch.weights;
 
   // Uniform weight reference so weighting redistributes emphasis without
@@ -441,6 +442,7 @@ double Detector::ScoreSubcarrierWeighting(
       std::popcount(live_mask & FullAntennaMask()));
   double score = 0.0;
   auto& powers = scratch.powers;
+  // mulink-lint: allow(alloc): warm scratch; capacity sticks after first window
   powers.resize(sanitized.size());
   for (std::size_t m = 0; m < num_antennas_; ++m) {
     if (((live_mask >> m) & 1u) == 0) continue;
@@ -473,14 +475,13 @@ double Detector::ScoreVarianceMobile(
   MULINK_REQUIRE(sanitized.size() >= 2,
                  "Detector: variance statistic needs >= 2 packets");
   {
-    obs::ScopedStageTimer timer(scratch.metrics,
-                                obs::Stage::kSubcarrierWeighting);
+    MULINK_OBS_STAGE_TIMER(timer, scratch.metrics, kSubcarrierWeighting);
     MeasureMultipathFactorsInto(sanitized, band_, scratch.mu,
                                 scratch.multipath);
     ComputeSubcarrierWeightsInto(scratch.mu, config_.weighting_mode,
                                  scratch.weights, scratch.median_scratch);
   }
-  obs::ScopedStageTimer score_timer(scratch.metrics, obs::Stage::kScore);
+  MULINK_OBS_STAGE_TIMER(score_timer, scratch.metrics, kScore);
   const auto& weights = scratch.weights;
   const double uniform = 1.0 / static_cast<double>(num_subcarriers_);
 
@@ -488,6 +489,7 @@ double Detector::ScoreVarianceMobile(
       std::popcount(live_mask & FullAntennaMask()));
   double score = 0.0;
   auto& powers = scratch.powers;
+  // mulink-lint: allow(alloc): warm scratch; capacity sticks after first window
   powers.resize(sanitized.size());
   for (std::size_t m = 0; m < num_antennas_; ++m) {
     if (((live_mask >> m) & 1u) == 0) continue;
@@ -526,8 +528,7 @@ double Detector::ScoreCombined(std::span<const wifi::CsiPacket> sanitized,
   MULINK_REQUIRE(num_antennas_ >= 2,
                  "Detector: combined scheme needs >= 2 antennas");
   {
-    obs::ScopedStageTimer timer(scratch.metrics,
-                                obs::Stage::kSubcarrierWeighting);
+    MULINK_OBS_STAGE_TIMER(timer, scratch.metrics, kSubcarrierWeighting);
     MeasureMultipathFactorsInto(sanitized, band_, scratch.mu,
                                 scratch.multipath);
     ComputeSubcarrierWeightsInto(scratch.mu, config_.weighting_mode,
@@ -542,8 +543,7 @@ double Detector::ScoreCombined(std::span<const wifi::CsiPacket> sanitized,
   auto& monitor_cov = scratch.monitor_cov;
   auto& profile_cov = scratch.profile_cov;
   {
-    obs::ScopedStageTimer timer(scratch.metrics,
-                                obs::Stage::kMusicPathWeighting);
+    MULINK_OBS_STAGE_TIMER(timer, scratch.metrics, kMusicPathWeighting);
     SampleCovarianceInto(std::span<const wifi::CsiPacket>(sanitized),
                          weights.weights, monitor_cov, scratch.music);
     // The profile side scores a *fixed* packet set against per-window
@@ -552,15 +552,13 @@ double Detector::ScoreCombined(std::span<const wifi::CsiPacket> sanitized,
     // per profile version (first window, or after UpdateProfile rotates the
     // set).
     if (scratch.profile_version != profile_version_) {
-      if (scratch.metrics != nullptr) {
-        scratch.metrics->Add(obs::Counter::kProfileStackRebuilds);
-      }
+      MULINK_OBS_COUNT(scratch.metrics, kProfileStackRebuilds);
       BuildSubcarrierCovarianceStack(
           std::span<const wifi::CsiPacket>(retained_calibration_),
           scratch.profile_stack);
       scratch.profile_version = profile_version_;
-    } else if (scratch.metrics != nullptr) {
-      scratch.metrics->Add(obs::Counter::kProfileStackHits);
+    } else {
+      MULINK_OBS_COUNT(scratch.metrics, kProfileStackHits);
     }
     CombineSubcarrierCovariances(scratch.profile_stack, weights.weights,
                                  profile_cov);
@@ -586,7 +584,7 @@ double Detector::ScoreCombined(std::span<const wifi::CsiPacket> sanitized,
     ApplyPathWeightsInto(path_weights_, scratch.profile_spectrum,
                          scratch.weighted_profile);
   }
-  obs::ScopedStageTimer score_timer(scratch.metrics, obs::Stage::kScore);
+  MULINK_OBS_STAGE_TIMER(score_timer, scratch.metrics, kScore);
   const auto& weighted_monitor = scratch.weighted_monitor;
   const auto& weighted_profile = scratch.weighted_profile;
 

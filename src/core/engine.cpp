@@ -22,9 +22,11 @@ struct SensingEngine::LinkState {
                    "SensingEngine: hop must be in [1, window]");
     if (config.use_hmm) {
       hmm = PresenceHmm::FitFromEmptyScores(empty_scores, config.hmm);
-      filter.emplace(*hmm);
+      filter.emplace(*hmm);  // mulink-lint: allow(alloc): ctor, setup path
     }
+    // mulink-lint: allow(alloc): ctor, setup path
     ring.reserve(config.window_packets);
+    // mulink-lint: allow(alloc): ctor, setup path
     window.reserve(config.window_packets);
   }
 
@@ -46,6 +48,7 @@ struct SensingEngine::LinkState {
       packets_since_decision = 0;
     }
     if (write_pos >= ring.size()) {
+      // mulink-lint: allow(alloc): initial ring fill only; capacity reserved in ctor
       ring.emplace_back();  // initial fill only; capacity is reserved
     }
     wifi::CsiPacket& slot = ring[write_pos];
@@ -53,9 +56,8 @@ struct SensingEngine::LinkState {
       // Writes into the slot, reusing its CSI buffer once warm. Per-packet
       // sanitize latency is sampled on the shard's deterministic tick, like
       // the guard-classify stage.
-      obs::Registry* const timed =
-          (sink != nullptr && sink->SampleIngestTick()) ? sink : nullptr;
-      obs::ScopedStageTimer timer(timed, obs::Stage::kIngestSanitize);
+      obs::Registry* const timed = MULINK_OBS_SAMPLED(sink);
+      MULINK_OBS_STAGE_TIMER(timer, timed, kIngestSanitize);
       SanitizePhaseInto(packet, detector.band(), slot, scratch.sanitize);
     } else {
       slot = packet;  // copy-assign reuses the slot's CSI buffer
@@ -70,6 +72,7 @@ struct SensingEngine::LinkState {
     }
     packets_since_decision = 0;
 
+    // mulink-lint: allow(alloc): capacity reserved in ctor; resize never reallocates
     window.resize(config.window_packets);
     for (std::size_t i = 0; i < config.window_packets; ++i) {
       window[i] = ring[(write_pos + i) % config.window_packets];
@@ -81,15 +84,13 @@ struct SensingEngine::LinkState {
     const std::uint32_t live_mask = ingest.LiveMask(detector.num_antennas());
     const std::uint32_t full_mask =
         GuardedIngest::FullMask(detector.num_antennas());
-    if (sink != nullptr) {
-      sink->Set(obs::Gauge::kLiveAntennas,
-                static_cast<double>(std::popcount(live_mask)));
-    }
+    MULINK_OBS_GAUGE(sink, kLiveAntennas,
+                     static_cast<double>(std::popcount(live_mask)));
     if (live_mask == 0 ||
         (live_mask != full_mask && !config.degraded_fallback)) {
       // Every chain dead, or fallback disabled while one is: pause
       // decisions until the chain revives.
-      if (sink != nullptr) sink->Add(obs::Counter::kDecisionsSuppressed);
+      MULINK_OBS_COUNT(sink, kDecisionsSuppressed);
       return std::nullopt;
     }
     if (live_mask != full_mask && detector.has_threshold()) {
@@ -107,16 +108,16 @@ struct SensingEngine::LinkState {
       decision.degraded = true;
       ingest.degraded = true;
       ++ingest.degraded_decisions;
-      if (sink != nullptr) sink->Add(obs::Counter::kDegradedDecisions);
+      MULINK_OBS_COUNT(sink, kDegradedDecisions);
     } else {
       decision.score = pre_sanitize
                            ? detector.ScoreSanitized(window_span, scratch)
                            : detector.Score(window_span, scratch);
       if (filter.has_value()) {
-        obs::ScopedStageTimer hmm_timer(sink, obs::Stage::kHmmFilter);
+        MULINK_OBS_STAGE_TIMER(hmm_timer, sink, kHmmFilter);
         decision.posterior = filter->Update(decision.score);
         decision.occupied = decision.posterior >= config.decision_probability;
-        if (sink != nullptr) sink->Add(obs::Counter::kHmmUpdates);
+        MULINK_OBS_COUNT(sink, kHmmUpdates);
       } else {
         decision.occupied = decision.score >= detector.threshold();
         decision.posterior = decision.occupied ? 1.0 : 0.0;
@@ -126,11 +127,9 @@ struct SensingEngine::LinkState {
     }
     occupied = decision.occupied;
     posterior = decision.posterior;
-    if (sink != nullptr) {
-      sink->Add(obs::Counter::kDecisions);
-      sink->Set(obs::Gauge::kLastScore, decision.score);
-      sink->Set(obs::Gauge::kPosterior, decision.posterior);
-    }
+    MULINK_OBS_COUNT(sink, kDecisions);
+    MULINK_OBS_GAUGE(sink, kLastScore, decision.score);
+    MULINK_OBS_GAUGE(sink, kPosterior, decision.posterior);
     return decision;
   }
 
@@ -178,6 +177,7 @@ SensingEngine& SensingEngine::operator=(SensingEngine&&) noexcept = default;
 std::size_t SensingEngine::AddLink(Detector detector,
                                    const std::vector<double>& empty_scores,
                                    StreamingConfig config) {
+  // mulink-lint: allow(alloc): AddLink, setup path
   links_.push_back(std::make_unique<LinkState>(std::move(detector),
                                                empty_scores, config));
   return links_.size() - 1;
@@ -197,10 +197,11 @@ const BatchResult& SensingEngine::ProcessBatch(
     std::size_t link, std::span<const wifi::CsiPacket> packets) {
   LinkState& state = Link(link);
   state.metrics_on = metrics_enabled_;
-  if (metrics_enabled_) state.metrics.Add(obs::Counter::kBatches);
+  if (metrics_enabled_) MULINK_OBS_COUNT_REF(state.metrics, kBatches, 1);
   state.result.decisions.clear();
   for (const auto& packet : packets) {
     if (auto decision = state.Push(packet)) {
+      // mulink-lint: allow(alloc): batch output; clear() keeps capacity, warm after first batch
       state.result.decisions.push_back(*decision);
     }
   }

@@ -1,4 +1,5 @@
 #include "core/fingerprint.h"
+// mulink-lint: cold-tu(offline localization training/query, not the per-decision path)
 
 #include <algorithm>
 #include <cmath>

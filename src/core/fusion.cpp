@@ -26,8 +26,9 @@ void MultiLinkDetector::AddLink(Detector detector) {
   MULINK_REQUIRE(detector.threshold() > 0.0,
                  "MultiLinkDetector: link threshold must be set and positive "
                  "(it doubles as the score normalizer)");
+  // mulink-lint: allow(alloc): AddLink, setup path
   links_.push_back(std::move(detector));
-  scratch_.emplace_back();
+  scratch_.emplace_back();  // mulink-lint: allow(alloc): AddLink, setup path
 }
 
 const Detector& MultiLinkDetector::link(std::size_t i) const {
@@ -48,6 +49,7 @@ void MultiLinkDetector::NormalizedScoresInto(
   MULINK_REQUIRE(!links_.empty(), "MultiLinkDetector: no links added");
   MULINK_REQUIRE(windows.size() == links_.size(),
                  "MultiLinkDetector: one window per link required");
+  // mulink-lint: allow(alloc): output sized to link count; warm after first call
   out.resize(links_.size());
   for (std::size_t i = 0; i < links_.size(); ++i) {
     out[i] = links_[i].Score(std::span<const wifi::CsiPacket>(windows[i]),

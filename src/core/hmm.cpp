@@ -32,9 +32,11 @@ namespace {
 // Fitted (mean, sigma) of log-scores with a sigma floor.
 std::pair<double, double> FitLogGaussian(const std::vector<double>& scores) {
   std::vector<double> logs;
+  // mulink-lint: allow(alloc): HMM fit, calibration path
   logs.reserve(scores.size());
   for (double s : scores) {
     MULINK_REQUIRE(s >= 0.0, "PresenceHmm: scores must be non-negative");
+    // mulink-lint: allow(alloc): HMM fit, calibration path
     logs.push_back(std::log(std::max(s, kScoreFloor)));
   }
   return {dsp::Mean(logs), std::max(dsp::StdDev(logs), 0.05)};

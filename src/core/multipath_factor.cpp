@@ -56,11 +56,12 @@ void MeasureMultipathFactorsInto(const wifi::CsiPacket& packet,
   const std::size_t num_sc = packet.NumSubcarriers();
   MULINK_REQUIRE(num_sc == band.NumSubcarriers(),
                  "MeasureMultipathFactors: packet/band size mismatch");
+  // mulink-lint: allow(alloc): warm output; no realloc once sized
   out.assign(num_sc, 0.0);
-  scratch.cfr.resize(num_sc);
-  scratch.inv_f2.resize(num_sc);
-  scratch.los.resize(num_sc);
-  scratch.mu.resize(num_sc);
+  scratch.cfr.resize(num_sc);  // mulink-lint: allow(alloc): warm scratch
+  scratch.inv_f2.resize(num_sc);  // mulink-lint: allow(alloc): warm scratch
+  scratch.los.resize(num_sc);  // mulink-lint: allow(alloc): warm scratch
+  scratch.mu.resize(num_sc);  // mulink-lint: allow(alloc): warm scratch
   const Complex* csi = packet.csi.raw();
   for (std::size_t m = 0; m < packet.NumAntennas(); ++m) {
     const Complex* row = csi + m * num_sc;
@@ -99,6 +100,7 @@ void MeasureMultipathFactorsInto(std::span<const wifi::CsiPacket> packets,
                                  const wifi::BandPlan& band,
                                  std::vector<std::vector<double>>& out,
                                  MultipathScratch& scratch) {
+  // mulink-lint: allow(alloc): warm per-packet output rows
   out.resize(packets.size());
   for (std::size_t i = 0; i < packets.size(); ++i) {
     MeasureMultipathFactorsInto(packets[i], band, out[i], scratch);

@@ -19,7 +19,9 @@ std::vector<double> Pseudospectrum::PeakAngles(std::size_t max_peaks) const {
   options.min_relative_prominence = 1e-6;
   const auto peaks = dsp::FindPeaks(power, options);
   std::vector<double> angles;
+  // mulink-lint: allow(alloc): AoA analysis API, off the decision path
   angles.reserve(peaks.size());
+  // mulink-lint: allow(alloc): AoA analysis API, off the decision path
   for (const auto& p : peaks) angles.push_back(theta_deg[p.index]);
   return angles;
 }
@@ -99,8 +101,8 @@ void SampleCovarianceInto(std::span<const wifi::CsiPacket> packets,
 
   out.Resize(num_ant, num_ant);
   Complex* r = out.raw();
-  ws.x.resize(num_ant);
-  ws.wx.resize(num_ant);
+  ws.x.resize(num_ant);  // mulink-lint: allow(alloc): warm scratch
+  ws.wx.resize(num_ant);  // mulink-lint: allow(alloc): warm scratch
   Complex* x = ws.x.data();
   Complex* wx = ws.wx.data();
   double total_weight = 0.0;
@@ -143,6 +145,7 @@ void BuildSubcarrierCovarianceStack(std::span<const wifi::CsiPacket> packets,
   out.num_antennas = num_ant;
   out.num_subcarriers = num_sc;
   out.num_packets = packets.size();
+  // mulink-lint: allow(alloc): covariance stack rebuild, cached per profile version
   out.data.assign(num_sc * num_ant * num_ant, Complex(0.0, 0.0));
   for (const auto& packet : packets) {
     MULINK_REQUIRE(packet.NumAntennas() == num_ant &&
@@ -205,6 +208,7 @@ const Complex* EnsureSteeringTable(const wifi::UniformLinearArray& array,
       ws.table_freq_hz != freq || ws.table_spacing_m != array.spacing_m() ||
       ws.table_axis_rad != array.axis_angle_rad();
   if (stale) {
+    // mulink-lint: allow(alloc): steering table rebuild, cached until geometry changes
     ws.steering_table.resize(config.num_points * num_ant);
     for (std::size_t i = 0; i < config.num_points; ++i) {
       const double frac = static_cast<double>(i) /
@@ -261,7 +265,9 @@ void ComputeMusicSpectrumInto(const linalg::CMatrix& covariance,
   const Complex* table = EnsureSteeringTable(array, band, config, ws);
   const Complex* vectors = ws.eig.vectors.raw();
 
+  // mulink-lint: allow(alloc): warm spectrum output
   out.theta_deg.resize(config.num_points);
+  // mulink-lint: allow(alloc): warm spectrum output
   out.power.resize(config.num_points);
   for (std::size_t i = 0; i < config.num_points; ++i) {
     const double frac = static_cast<double>(i) /
@@ -308,9 +314,11 @@ void ComputeBartlettSpectrumInto(const linalg::CMatrix& covariance,
                  "ComputeBartlettSpectrum: empty angle range");
 
   const Complex* table = EnsureSteeringTable(array, band, config, ws);
+  // mulink-lint: allow(alloc): warm spectrum output
   out.theta_deg.resize(config.num_points);
+  // mulink-lint: allow(alloc): warm spectrum output
   out.power.resize(config.num_points);
-  ws.ra.resize(num_ant);
+  ws.ra.resize(num_ant);  // mulink-lint: allow(alloc): warm scratch
   for (std::size_t i = 0; i < config.num_points; ++i) {
     const double frac = static_cast<double>(i) /
                         static_cast<double>(config.num_points - 1);

@@ -24,6 +24,7 @@ PathWeights ComputePathWeights(const Pseudospectrum& static_spectrum,
 
   PathWeights w;
   w.theta_deg = static_spectrum.theta_deg;
+  // mulink-lint: allow(alloc): calibration path
   w.weights.resize(static_spectrum.power.size());
   for (std::size_t i = 0; i < w.weights.size(); ++i) {
     const double theta = static_spectrum.theta_deg[i];
@@ -48,6 +49,7 @@ void ApplyPathWeightsInto(const PathWeights& weights,
                           std::vector<double>& out) {
   MULINK_REQUIRE(weights.weights.size() == spectrum.power.size(),
                  "ApplyPathWeights: grid size mismatch");
+  // mulink-lint: allow(alloc): warm output; sized to the fixed angular grid
   out.resize(spectrum.power.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] = weights.weights[i] * spectrum.power[i];

@@ -1,4 +1,5 @@
 #include "core/roc.h"
+// mulink-lint: cold-tu(campaign ROC analysis, runs after scoring)
 
 #include <algorithm>
 #include <cmath>

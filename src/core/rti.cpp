@@ -1,4 +1,5 @@
 #include "core/rti.h"
+// mulink-lint: cold-tu(tomographic imaging extension, image-rate not packet-rate)
 
 #include <algorithm>
 #include <cmath>

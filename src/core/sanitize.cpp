@@ -51,17 +51,17 @@ PhaseFit FitLinearPhase(const wifi::CsiPacket& packet,
 
   // Antenna-averaged phase per subcarrier. Averaging complex values rather
   // than raw angles keeps weak antennas from dominating via wrap glitches.
-  scratch.avg_phase.resize(num_sc);
+  scratch.avg_phase.resize(num_sc);  // mulink-lint: allow(alloc): warm scratch
   const Complex* csi = packet.csi.raw();
   for (std::size_t k = 0; k < num_sc; ++k) {
     Complex acc(0.0, 0.0);
     for (std::size_t m = 0; m < num_ant; ++m) acc += csi[m * num_sc + k];
     scratch.avg_phase[k] = std::arg(acc);
   }
-  scratch.unwrapped.resize(num_sc);
+  scratch.unwrapped.resize(num_sc);  // mulink-lint: allow(alloc): warm scratch
   UnwrapPhaseInto(scratch.avg_phase, scratch.unwrapped);
 
-  scratch.offsets.resize(num_sc);
+  scratch.offsets.resize(num_sc);  // mulink-lint: allow(alloc): warm scratch
   for (std::size_t k = 0; k < num_sc; ++k) scratch.offsets[k] = band.OffsetHz(k);
 
   const auto fit =
@@ -108,6 +108,7 @@ void SanitizePhaseInto(std::span<const wifi::CsiPacket> packets,
                        const wifi::BandPlan& band,
                        std::vector<wifi::CsiPacket>& out,
                        SanitizeScratch& scratch) {
+  // mulink-lint: allow(alloc): warm batch output rows
   out.resize(packets.size());
   for (std::size_t i = 0; i < packets.size(); ++i) {
     SanitizePhaseInto(packets[i], band, out[i], scratch);

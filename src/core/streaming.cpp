@@ -8,35 +8,32 @@ namespace mulink::core {
 
 std::optional<nic::FrameReport> GuardedIngest::Admit(
     const wifi::CsiPacket& packet) {
-  if (metrics != nullptr) metrics->Add(obs::Counter::kPacketsIngested);
+  MULINK_OBS_COUNT(metrics, kPacketsIngested);
   if (!guard.has_value()) {
-    if (metrics != nullptr) metrics->Add(obs::Counter::kPacketsAccepted);
+    MULINK_OBS_COUNT(metrics, kPacketsAccepted);
     return nic::FrameReport{};
   }
   // Per-frame latency is sampled 1-in-kIngestSampleEvery (deterministic
   // tick, so totals merge bit-identically across shards); the verdict
   // counters below stay exact.
-  obs::Registry* const timed =
-      (metrics != nullptr && metrics->SampleIngestTick()) ? metrics : nullptr;
+  obs::Registry* const timed = MULINK_OBS_SAMPLED(metrics);
   nic::FrameReport report;
   {
-    obs::ScopedStageTimer timer(timed, obs::Stage::kGuardClassify);
+    MULINK_OBS_STAGE_TIMER(timer, timed, kGuardClassify);
     report = guard->Inspect(packet);
   }
-  if (metrics != nullptr) {
-    if (report.resync) metrics->Add(obs::Counter::kRingResyncs);
-    switch (report.verdict) {
-      case nic::FrameVerdict::kQuarantine:
-        metrics->Add(obs::Counter::kPacketsQuarantined);
-        break;
-      case nic::FrameVerdict::kRepair:
-        metrics->Add(obs::Counter::kPacketsRepaired);
-        metrics->Add(obs::Counter::kPacketsAccepted);
-        break;
-      default:
-        metrics->Add(obs::Counter::kPacketsAccepted);
-        break;
-    }
+  if (report.resync) MULINK_OBS_COUNT(metrics, kRingResyncs);
+  switch (report.verdict) {
+    case nic::FrameVerdict::kQuarantine:
+      MULINK_OBS_COUNT(metrics, kPacketsQuarantined);
+      break;
+    case nic::FrameVerdict::kRepair:
+      MULINK_OBS_COUNT(metrics, kPacketsRepaired);
+      MULINK_OBS_COUNT(metrics, kPacketsAccepted);
+      break;
+    default:
+      MULINK_OBS_COUNT(metrics, kPacketsAccepted);
+      break;
   }
   if (report.verdict == nic::FrameVerdict::kQuarantine) return std::nullopt;
   return report;
@@ -66,9 +63,7 @@ void GuardedIngest::ObserveDecision(const PresenceDecision& decision,
         config.watchdog_ewma_alpha * (decision.score - empty_score_ewma);
   }
   ++empty_windows_seen;
-  if (metrics != nullptr) {
-    metrics->Set(obs::Gauge::kEmptyScoreEwma, empty_score_ewma);
-  }
+  MULINK_OBS_GAUGE(metrics, kEmptyScoreEwma, empty_score_ewma);
   if (detector.has_threshold() &&
       empty_windows_seen >= config.watchdog_min_windows &&
       empty_score_ewma >
@@ -107,9 +102,11 @@ StreamingDetector::StreamingDetector(Detector detector,
                  "StreamingDetector: hop must be in [1, window]");
   if (config_.use_hmm) {
     hmm_ = PresenceHmm::FitFromEmptyScores(empty_scores, config_.hmm);
-    filter_.emplace(*hmm_);
+    filter_.emplace(*hmm_);  // mulink-lint: allow(alloc): ctor, setup path
   }
+  // mulink-lint: allow(alloc): ctor, setup path
   ring_.reserve(config_.window_packets);
+  // mulink-lint: allow(alloc): ctor, setup path
   window_.reserve(config_.window_packets);
 }
 
@@ -149,6 +146,7 @@ std::optional<PresenceDecision> StreamingDetector::Push(
   if (write_pos_ < ring_.size()) {
     ring_[write_pos_] = packet;  // copy-assign reuses the slot's CSI buffer
   } else {
+    // mulink-lint: allow(alloc): initial ring fill only; capacity reserved in ctor
     ring_.push_back(packet);  // initial fill only; capacity is reserved
   }
   write_pos_ = (write_pos_ + 1) % config_.window_packets;
@@ -163,6 +161,7 @@ std::optional<PresenceDecision> StreamingDetector::Push(
 
   // Assemble the window in arrival order: the oldest packet sits at
   // write_pos_ once the ring is full.
+  // mulink-lint: allow(alloc): capacity reserved in ctor; resize never reallocates
   window_.resize(config_.window_packets);
   for (std::size_t i = 0; i < config_.window_packets; ++i) {
     window_[i] = ring_[(write_pos_ + i) % config_.window_packets];
@@ -174,15 +173,13 @@ std::optional<PresenceDecision> StreamingDetector::Push(
   const std::uint32_t live_mask = ingest_.LiveMask(detector_.num_antennas());
   const std::uint32_t full_mask =
       GuardedIngest::FullMask(detector_.num_antennas());
-  if (sink != nullptr) {
-    sink->Set(obs::Gauge::kLiveAntennas,
-              static_cast<double>(std::popcount(live_mask)));
-  }
+  MULINK_OBS_GAUGE(sink, kLiveAntennas,
+                   static_cast<double>(std::popcount(live_mask)));
   if (live_mask == 0 ||
       (live_mask != full_mask && !config_.degraded_fallback)) {
     // Every chain dead, or fallback disabled while one is: pause decisions
     // until the chain revives (the belief holds at its last value).
-    if (sink != nullptr) sink->Add(obs::Counter::kDecisionsSuppressed);
+    MULINK_OBS_COUNT(sink, kDecisionsSuppressed);
     return std::nullopt;
   }
   if (live_mask != full_mask && detector_.has_threshold()) {
@@ -195,14 +192,14 @@ std::optional<PresenceDecision> StreamingDetector::Push(
     decision.degraded = true;
     ingest_.degraded = true;
     ++ingest_.degraded_decisions;
-    if (sink != nullptr) sink->Add(obs::Counter::kDegradedDecisions);
+    MULINK_OBS_COUNT(sink, kDegradedDecisions);
   } else {
     decision.score = detector_.Score(window_span, scratch_);
     if (filter_.has_value()) {
-      obs::ScopedStageTimer hmm_timer(sink, obs::Stage::kHmmFilter);
+      MULINK_OBS_STAGE_TIMER(hmm_timer, sink, kHmmFilter);
       decision.posterior = filter_->Update(decision.score);
       decision.occupied = decision.posterior >= config_.decision_probability;
-      if (sink != nullptr) sink->Add(obs::Counter::kHmmUpdates);
+      MULINK_OBS_COUNT(sink, kHmmUpdates);
     } else {
       decision.occupied = decision.score >= detector_.threshold();
       decision.posterior = decision.occupied ? 1.0 : 0.0;
@@ -212,11 +209,9 @@ std::optional<PresenceDecision> StreamingDetector::Push(
   }
   occupied_ = decision.occupied;
   posterior_ = decision.posterior;
-  if (sink != nullptr) {
-    sink->Add(obs::Counter::kDecisions);
-    sink->Set(obs::Gauge::kLastScore, decision.score);
-    sink->Set(obs::Gauge::kPosterior, decision.posterior);
-  }
+  MULINK_OBS_COUNT(sink, kDecisions);
+  MULINK_OBS_GAUGE(sink, kLastScore, decision.score);
+  MULINK_OBS_GAUGE(sink, kPosterior, decision.posterior);
   return decision;
 }
 

@@ -72,6 +72,7 @@ struct PresenceDecision {
 struct GuardedIngest {
   GuardedIngest() = default;
   explicit GuardedIngest(const StreamingConfig& config) {
+    // mulink-lint: allow(alloc): ctor, setup path
     if (config.guard_enabled) guard.emplace(config.guard);
   }
 

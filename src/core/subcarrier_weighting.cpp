@@ -44,7 +44,9 @@ void ComputeSubcarrierWeightsInto(
                    "ComputeSubcarrierWeights: ragged mu matrix");
   }
 
+  // mulink-lint: allow(alloc): warm output; assign reuses capacity
   out.mean_mu.assign(num_sc, 0.0);
+  // mulink-lint: allow(alloc): warm output; assign reuses capacity
   out.stability.assign(num_sc, 0.0);
 
   for (std::size_t m = 0; m < num_packets; ++m) {
@@ -66,6 +68,7 @@ void ComputeSubcarrierWeightsInto(
     sum_mu += out.mean_mu[k];
     sum_r += out.stability[k];
   }
+  // mulink-lint: allow(alloc): warm output; assign reuses capacity
   out.weights.assign(num_sc, 0.0);
   const double uniform = 1.0 / static_cast<double>(num_sc);
   bool degenerate = false;

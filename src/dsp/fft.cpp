@@ -15,6 +15,7 @@ namespace {
 // w *= w_len recurrence as the table-free path, preserving bit-identity.
 void FillTwiddles(std::vector<Complex>& table, std::size_t n, bool inverse) {
   table.clear();
+  // mulink-lint: allow(alloc): twiddle table, cached per FFT size
   table.reserve(n - 1);
   for (std::size_t len = 2; len <= n; len <<= 1) {
     const double angle =
@@ -22,6 +23,7 @@ void FillTwiddles(std::vector<Complex>& table, std::size_t n, bool inverse) {
     const Complex w_len(std::cos(angle), std::sin(angle));
     Complex w(1.0, 0.0);
     for (std::size_t k = 0; k < len / 2; ++k) {
+      // mulink-lint: allow(alloc): twiddle table, cached per FFT size
       table.push_back(w);
       w *= w_len;
     }

@@ -41,6 +41,7 @@ LinearFit FitLinear(std::span<const double> xs, std::span<const double> ys,
 
   scratch.design.rows = xs.size();
   scratch.design.cols = 2;
+  // mulink-lint: allow(alloc): warm scratch
   scratch.design.data.resize(xs.size() * 2);
   for (std::size_t i = 0; i < xs.size(); ++i) {
     scratch.design.At(i, 0) = 1.0;
@@ -61,11 +62,15 @@ LinearFit FitLogarithmic(const std::vector<double>& xs,
                          const std::vector<double>& ys) {
   MULINK_REQUIRE(xs.size() == ys.size(), "FitLogarithmic: size mismatch");
   std::vector<double> lx, ly;
+  // mulink-lint: allow(alloc): model fitting, calibration path
   lx.reserve(xs.size());
+  // mulink-lint: allow(alloc): model fitting, calibration path
   ly.reserve(ys.size());
   for (std::size_t i = 0; i < xs.size(); ++i) {
     if (xs[i] > 0.0) {
+      // mulink-lint: allow(alloc): model fitting, calibration path
       lx.push_back(std::log(xs[i]));
+      // mulink-lint: allow(alloc): model fitting, calibration path
       ly.push_back(ys[i]);
     }
   }

@@ -37,12 +37,14 @@ std::vector<Peak> FindPeaks(const std::vector<double>& xs,
       if (p.value < options.min_relative_height * global_max) continue;
       if (p.prominence < options.min_relative_prominence * global_max) continue;
     }
+    // mulink-lint: allow(alloc): peak list returned by value; AoA analysis path
     peaks.push_back(p);
   }
 
   std::sort(peaks.begin(), peaks.end(),
             [](const Peak& a, const Peak& b) { return a.value > b.value; });
   if (options.max_peaks > 0 && peaks.size() > options.max_peaks) {
+    // mulink-lint: allow(alloc): peak list returned by value; AoA analysis path
     peaks.resize(options.max_peaks);
   }
   return peaks;

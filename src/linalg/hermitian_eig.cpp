@@ -105,6 +105,7 @@ void HermitianEigen(const CMatrix& input, EigenSystem& out, EigWorkspace& ws,
   if (n <= 1) {
     out.vectors = v;
     out.values.clear();
+    // mulink-lint: allow(alloc): 1x1 edge case; at most one element
     if (n == 1) out.values.push_back(a.At(0, 0).real());
     return;
   }
@@ -131,13 +132,13 @@ void HermitianEigen(const CMatrix& input, EigenSystem& out, EigWorkspace& ws,
 
   // Sort ascending by eigenvalue, permuting eigenvector columns to match.
   std::vector<std::size_t>& order = ws.order;
-  order.resize(n);
+  order.resize(n);  // mulink-lint: allow(alloc): warm scratch
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
     return a.At(i, i).real() < a.At(j, j).real();
   });
 
-  out.values.resize(n);
+  out.values.resize(n);  // mulink-lint: allow(alloc): warm output
   out.vectors.Resize(n, n);
   for (std::size_t k = 0; k < n; ++k) {
     out.values[k] = a.At(order[k], order[k]).real();

@@ -77,8 +77,8 @@ void SolveLeastSquaresInto(const RMatrix& a, std::span<const double> b,
 
   scratch.ata.rows = n;
   scratch.ata.cols = n;
-  scratch.ata.data.resize(n * n);
-  scratch.atb.resize(n);
+  scratch.ata.data.resize(n * n);  // mulink-lint: allow(alloc): warm scratch
+  scratch.atb.resize(n);  // mulink-lint: allow(alloc): warm scratch
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       double sum = 0.0;
@@ -89,7 +89,7 @@ void SolveLeastSquaresInto(const RMatrix& a, std::span<const double> b,
     for (std::size_t r = 0; r < a.rows; ++r) sum += a.At(r, i) * b[r];
     scratch.atb[i] = sum;
   }
-  x.resize(n);
+  x.resize(n);  // mulink-lint: allow(alloc): warm output
   SolveLinearInPlace(scratch.ata, scratch.atb, x);
 }
 

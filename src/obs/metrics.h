@@ -206,6 +206,60 @@ class Registry {
   std::array<LatencyHistogram, kNumStages> stages_{};
 };
 
+// Recording macros — the only way library code (src/** outside src/obs) may
+// record observability data. tools/mulink-lint enforces this statically
+// (rule `obs-macro`): direct Add/Set/RecordStageNs/ScopedStageTimer calls in
+// library TUs fail CI. Routing every recording call through one macro family
+// guarantees three things at once: the null-registry no-op check is never
+// forgotten, the MULINK_OBS compile-time kill switch reaches every call site
+// (the macros expand to the same empty inlines when recording is compiled
+// out), and a grep for MULINK_OBS_ finds the complete instrumentation
+// surface of the pipeline.
+//
+// `counter` / `gauge` / `stage` are bare enumerator names (kDecisions, not
+// obs::Counter::kDecisions); the macros qualify them.
+
+// Increment a counter by 1 on a nullable registry pointer.
+#define MULINK_OBS_COUNT(registry_ptr, counter)                            \
+  do {                                                                     \
+    if ((registry_ptr) != nullptr) {                                       \
+      (registry_ptr)->Add(::mulink::obs::Counter::counter);                \
+    }                                                                      \
+  } while (false)
+
+// Increment a counter by `n` on a nullable registry pointer.
+#define MULINK_OBS_COUNT_N(registry_ptr, counter, n)                       \
+  do {                                                                     \
+    if ((registry_ptr) != nullptr) {                                       \
+      (registry_ptr)->Add(::mulink::obs::Counter::counter, (n));           \
+    }                                                                      \
+  } while (false)
+
+// Increment a counter by `n` on a registry held by value (collection /
+// merge paths that own their registry outright).
+#define MULINK_OBS_COUNT_REF(registry_ref, counter, n)                     \
+  (registry_ref).Add(::mulink::obs::Counter::counter, (n))
+
+// Set a gauge on a nullable registry pointer.
+#define MULINK_OBS_GAUGE(registry_ptr, gauge, value)                       \
+  do {                                                                     \
+    if ((registry_ptr) != nullptr) {                                       \
+      (registry_ptr)->Set(::mulink::obs::Gauge::gauge, (value));           \
+    }                                                                      \
+  } while (false)
+
+// Declare a named RAII timer recording this scope's duration into `stage`.
+#define MULINK_OBS_STAGE_TIMER(name, registry_ptr, stage)                  \
+  ::mulink::obs::ScopedStageTimer name((registry_ptr),                     \
+                                       ::mulink::obs::Stage::stage)
+
+// Evaluates to `registry_ptr` on 1-in-kIngestSampleEvery deterministic
+// ticks and nullptr otherwise — the sampled sink for per-packet stages.
+#define MULINK_OBS_SAMPLED(registry_ptr)                                   \
+  (((registry_ptr) != nullptr && (registry_ptr)->SampleIngestTick())       \
+       ? (registry_ptr)                                                    \
+       : nullptr)
+
 // RAII stage timer: records the scope's duration into the registry's stage
 // histogram on destruction. A null registry is the runtime no-op sink — no
 // clock is read at all.

@@ -1,0 +1,109 @@
+// Contract-macro coverage (DESIGN.md §12): the always-on macros must fire —
+// as typed exceptions for in-process recovery and as a hard nonzero-exit
+// death when nothing catches them — and the debug-only MULINK_DASSERT must
+// compile out of NDEBUG builds without evaluating its expression.
+#include "common/assert.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mulink {
+namespace {
+
+TEST(ContractMacros, AssertThrowsInvariantErrorWithContext) {
+  try {
+    MULINK_ASSERT(1 + 1 == 3);
+    FAIL() << "MULINK_ASSERT(false) did not throw";
+  } catch (const InvariantError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("assertion"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("common_assert_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(ContractMacros, AssertMsgCarriesMessage) {
+  EXPECT_THROW(MULINK_ASSERT_MSG(false, "ledger corrupted"), InvariantError);
+  try {
+    MULINK_ASSERT_MSG(false, "ledger corrupted");
+  } catch (const InvariantError& err) {
+    EXPECT_NE(std::string(err.what()).find("ledger corrupted"),
+              std::string::npos);
+  }
+}
+
+TEST(ContractMacros, RequireThrowsPreconditionError) {
+  EXPECT_THROW(MULINK_REQUIRE(false, "caller bug"), PreconditionError);
+  // PreconditionError and InvariantError stay distinct types: callers
+  // catch the former at API boundaries, never the latter.
+  EXPECT_NO_THROW({
+    try {
+      MULINK_REQUIRE(false, "caller bug");
+    } catch (const PreconditionError&) {
+    }
+  });
+}
+
+TEST(ContractMacros, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(MULINK_ASSERT(true));
+  EXPECT_NO_THROW(MULINK_ASSERT_MSG(true, "unused"));
+  EXPECT_NO_THROW(MULINK_REQUIRE(true, "unused"));
+}
+
+// The exit-code half of the contract: a failed check nobody catches must
+// kill the process with a nonzero status (std::terminate -> SIGABRT), with
+// the contract kind and expression visible on stderr. Long-running monitors
+// rely on this — a supervisor restarts a crashed process, but nothing can
+// restart one that silently kept going on a corrupted ledger.
+//
+// The noexcept boundary is load-bearing: GTest's death-test child catches
+// exceptions that escape the statement directly and reports "threw" instead
+// of dying, so the throw must hit std::terminate before unwinding reaches
+// the harness — exactly what happens in production when a contract failure
+// crosses a worker-thread or callback boundary. terminate's handler prints
+// the exception's what() to stderr, which the regexes match.
+void AssertAcrossNoexceptBoundary() noexcept { MULINK_ASSERT(2 < 1); }
+void RequireAcrossNoexceptBoundary() noexcept {
+  MULINK_REQUIRE(false, "bad argument");
+}
+
+TEST(ContractDeathTest, UncaughtAssertDiesNonzero) {
+  EXPECT_DEATH(AssertAcrossNoexceptBoundary(), "assertion.*2 < 1");
+}
+
+TEST(ContractDeathTest, UncaughtRequireDiesNonzero) {
+  EXPECT_DEATH(RequireAcrossNoexceptBoundary(), "precondition.*bad argument");
+}
+
+#if defined(NDEBUG)
+
+TEST(ContractMacros, DassertCompilesOutInRelease) {
+  int evaluations = 0;
+  // The predicate must never run: sizeof keeps it unevaluated, so a Release
+  // build pays nothing — no branch, no side effect.
+  MULINK_DASSERT(++evaluations > 0);
+  EXPECT_EQ(evaluations, 0);
+  // And a failing predicate must not fire.
+  EXPECT_NO_THROW(MULINK_DASSERT(false));
+}
+
+#else
+
+TEST(ContractMacros, DassertFiresInDebug) {
+  int evaluations = 0;
+  MULINK_DASSERT(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_THROW(MULINK_DASSERT(false), InvariantError);
+}
+
+void DassertAcrossNoexceptBoundary() noexcept { MULINK_DASSERT(0 == 1); }
+
+TEST(ContractDeathTest, UncaughtDassertDiesNonzeroInDebug) {
+  EXPECT_DEATH(DassertAcrossNoexceptBoundary(), "assertion");
+}
+
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace mulink

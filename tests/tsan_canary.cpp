@@ -1,0 +1,27 @@
+// Negative control for the ThreadSanitizer wiring (DESIGN.md §12): two
+// threads increment one counter with no synchronization — the textbook data
+// race. scripts/run_tsan.sh and the tsan CI job run this binary EXPECTING a
+// nonzero exit (TSAN_OPTIONS=halt_on_error=1): if the canary ever passes,
+// the sanitizer is not actually armed and the green "race-clean" suite
+// means nothing. Built only under -DMULINK_TSAN=ON and deliberately never
+// registered with ctest.
+#include <cstdio>
+#include <thread>
+
+namespace {
+int racy_counter = 0;  // intentionally unsynchronized
+}  // namespace
+
+int main() {
+  std::thread a([] {
+    for (int i = 0; i < 100000; ++i) ++racy_counter;
+  });
+  std::thread b([] {
+    for (int i = 0; i < 100000; ++i) ++racy_counter;
+  });
+  a.join();
+  b.join();
+  std::printf("tsan_canary: counter=%d (expected a TSan report, not this)\n",
+              racy_counter);
+  return 0;
+}

@@ -1,0 +1,383 @@
+#!/usr/bin/env python3
+"""mulink-lint — static enforcement of mulink's hot-path contracts.
+
+The engine's headline guarantees (DESIGN.md §12) are behavioural: an
+allocation-free per-decision hot path, deterministic private RNG streams,
+silent library code, and observability recording that compiles out with the
+MULINK_OBS kill switch. Runtime tests exercise those properties on the
+inputs they happen to run; this lint makes the *textual* form of each
+contract a CI failure, so a careless edit cannot silently reintroduce a
+heap allocation or an ambient RNG that the tests never see.
+
+Rules
+-----
+hot-alloc   Heap-allocation tokens (`new`, `malloc`, `resize`, `push_back`,
+            `emplace_back`, `reserve`, `make_unique`, `make_shared`, ...)
+            inside the hot-path TUs (src/core, src/linalg, src/dsp) must
+            carry an explicit `// mulink-lint: allow(alloc): <why>`
+            annotation on the same or the preceding line. The annotation
+            is a reviewed claim that the allocation is setup-path or
+            capacity-reserved, not a per-decision cost. Offline-analysis
+            TUs opt out with `// mulink-lint: cold-tu(<why>)` near the top.
+
+rng         `std::rand`, `srand`, `std::random_device`, `mt19937` and
+            friends, and time-seeded RNGs are forbidden everywhere except
+            src/common/rng.* — every stochastic draw must flow through the
+            explicitly seeded, forkable mulink::Rng so campaigns stay
+            reproducible bit-for-bit across thread counts.
+
+stdout      Library code (src/**) may not write to stdout (`std::cout`,
+            `printf`, `puts`); presentation belongs to tools/, examples/
+            and bench/. Serializers that take an std::ostream& are fine —
+            the caller chooses the sink.
+
+obs-macro   Library code records observability data only through the
+            MULINK_OBS_* macros (obs/metrics.h, obs/trace.h) — never by
+            calling Registry::Add/Set/RecordStageNs or constructing
+            ScopedStageTimer/TraceSpan directly. The macros guarantee the
+            null-sink check and keep the MULINK_OBS kill switch total.
+
+Annotations (all inside comments, so the compiler never sees them):
+  // mulink-lint: allow(<rule-tag>): reason     suppress one finding, on the
+                                                same or the preceding line
+  // mulink-lint: cold-tu(reason)               opt a src/core|linalg|dsp TU
+                                                out of hot-alloc (first 30
+                                                lines of the file)
+
+Exit codes (pinned by mulink_lint_test.py, same table as the mulink CLI):
+  0  clean
+  1  violations found
+  2  usage error (unknown flag/rule, unreadable path)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+SOURCE_SUFFIXES = {".cpp", ".h", ".hpp", ".cc"}
+
+# Directories whose TUs form the per-decision hot path (rule hot-alloc).
+HOT_PATH_DIRS = ("src/core", "src/linalg", "src/dsp")
+
+# Directories holding library code (rules stdout / obs-macro). tools/,
+# examples/ and bench/ are presentation layers and may print.
+LIBRARY_DIRS = ("src",)
+
+# The one blessed home for raw generators (rule rng).
+RNG_HOME = re.compile(r"^src/common/rng\.(h|cpp)$")
+
+ANNOTATION_RE = re.compile(r"//\s*mulink-lint:\s*(allow|cold-tu)\(([^)]*)\)")
+
+ALLOC_TOKEN_RE = re.compile(
+    r"\bnew\b(?!\s*\()"  # placement-new over scratch is still `new(`-free
+    r"|\bnew\s*\("
+    r"|\b(?:malloc|calloc|realloc|aligned_alloc|strdup)\s*\("
+    r"|\.\s*(?:resize|push_back|emplace_back|reserve|insert|emplace|"
+    r"shrink_to_fit|assign|append)\s*\("
+    r"|->\s*(?:resize|push_back|emplace_back|reserve)\s*\("
+    r"|\bmake_unique\b|\bmake_shared\b"
+)
+
+RNG_TOKEN_RE = re.compile(
+    r"\bstd::rand\b|\bsrand\s*\(|\brand\s*\(\s*\)"
+    r"|\brandom_device\b|\bmt19937(?:_64)?\b|\bdefault_random_engine\b"
+    r"|\bminstd_rand0?\b|\branlux(?:24|48)\b|\bknuth_b\b"
+    r"|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+)
+
+STDOUT_TOKEN_RE = re.compile(
+    r"\bstd::cout\b|\bprintf\s*\(|\bputs\s*\(|\bfputs?\s*\(\s*[^,]+,\s*stdout"
+    r"|\bfprintf\s*\(\s*stdout\b"
+)
+
+OBS_DIRECT_RE = re.compile(
+    r"(?:->|\.)\s*Add\s*\(\s*(?:::mulink::)?obs::Counter::"
+    r"|(?:->|\.)\s*Set\s*\(\s*(?:::mulink::)?obs::Gauge::"
+    r"|(?:->|\.)\s*RecordStageNs\s*\("
+    r"|(?:->|\.)\s*SampleIngestTick\s*\("
+    r"|\bobs::ScopedStageTimer\b|\bobs::TraceSpan\b"
+)
+
+RULES = ("hot-alloc", "rng", "stdout", "obs-macro")
+
+
+class Violation:
+    def __init__(self, rule: str, path: str, line: int, text: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.text = text
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.text.strip()}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "file": self.path,
+            "line": self.line,
+            "text": self.text.strip(),
+        }
+
+
+def strip_code(lines: list[str]) -> list[str]:
+    """Return lines with string literals and comments blanked out, so token
+    regexes only ever match real code. Handles // and /* */ comments and
+    double-quoted strings; it does not try to be a full C++ lexer (raw
+    strings spanning lines are rare enough to annotate if they ever trip a
+    rule)."""
+    stripped: list[str] = []
+    in_block_comment = False
+    for line in lines:
+        out = []
+        i = 0
+        n = len(line)
+        while i < n:
+            if in_block_comment:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = n
+                else:
+                    in_block_comment = False
+                    i = end + 2
+                continue
+            ch = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if ch == "/" and nxt == "/":
+                break  # rest of line is a comment
+            if ch == "/" and nxt == "*":
+                in_block_comment = True
+                i += 2
+                continue
+            if ch == '"':
+                # Skip the string literal, honouring escapes.
+                i += 1
+                while i < n and line[i] != '"':
+                    i += 2 if line[i] == "\\" else 1
+                i += 1
+                continue
+            if ch == "'":
+                i += 1
+                while i < n and line[i] != "'":
+                    i += 2 if line[i] == "\\" else 1
+                i += 1
+                continue
+            out.append(ch)
+            i += 1
+        stripped.append("".join(out))
+    return stripped
+
+
+def annotations(lines: list[str]) -> dict[int, set[str]]:
+    """Map 0-based line index -> set of annotation tags on that line."""
+    found: dict[int, set[str]] = {}
+    for idx, line in enumerate(lines):
+        for match in ANNOTATION_RE.finditer(line):
+            kind, arg = match.group(1), match.group(2)
+            if kind == "allow":
+                # allow(alloc): reason / allow(rng) ...; tag is the first word
+                tag = arg.split(":")[0].split(",")[0].strip()
+                found.setdefault(idx, set()).add(f"allow:{tag}")
+            elif kind == "cold-tu":
+                found.setdefault(idx, set()).add("cold-tu")
+    return found
+
+
+def allowed(notes: dict[int, set[str]], idx: int, tag: str) -> bool:
+    """An allow annotation counts on the flagged line or the line above."""
+    want = f"allow:{tag}"
+    return want in notes.get(idx, set()) or want in notes.get(idx - 1, set())
+
+
+def rel_posix(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_file(path: Path, root: Path, active_rules: set[str]) -> list[Violation]:
+    rel = rel_posix(path, root)
+    try:
+        raw = path.read_text(encoding="utf-8", errors="replace").splitlines()
+    except OSError as err:
+        raise UsageError(f"cannot read {path}: {err}") from err
+    notes = annotations(raw)
+    code = strip_code(raw)
+    out: list[Violation] = []
+
+    in_hot_dir = any(rel.startswith(d + "/") for d in HOT_PATH_DIRS)
+    cold_tu = any("cold-tu" in notes.get(i, set()) for i in range(min(len(raw), 30)))
+    in_library = any(rel.startswith(d + "/") for d in LIBRARY_DIRS)
+    in_obs = rel.startswith("src/obs/")
+    is_rng_home = bool(RNG_HOME.match(rel))
+
+    for idx, line in enumerate(code):
+        lineno = idx + 1
+        if (
+            "hot-alloc" in active_rules
+            and in_hot_dir
+            and not cold_tu
+            and ALLOC_TOKEN_RE.search(line)
+            and not allowed(notes, idx, "alloc")
+        ):
+            out.append(
+                Violation(
+                    "hot-alloc",
+                    rel,
+                    lineno,
+                    "allocation token in hot-path TU without "
+                    "`// mulink-lint: allow(alloc): <why>`",
+                )
+            )
+        if (
+            "rng" in active_rules
+            and not is_rng_home
+            and RNG_TOKEN_RE.search(line)
+            and not allowed(notes, idx, "rng")
+        ):
+            out.append(
+                Violation(
+                    "rng",
+                    rel,
+                    lineno,
+                    "raw/ambient RNG outside src/common/rng — draw through "
+                    "mulink::Rng so runs stay reproducible",
+                )
+            )
+        if (
+            "stdout" in active_rules
+            and in_library
+            and STDOUT_TOKEN_RE.search(line)
+            and not allowed(notes, idx, "stdout")
+        ):
+            out.append(
+                Violation(
+                    "stdout",
+                    rel,
+                    lineno,
+                    "stdout write in library code — return data or take an "
+                    "std::ostream&; printing belongs to tools/examples/bench",
+                )
+            )
+        if (
+            "obs-macro" in active_rules
+            and in_library
+            and not in_obs
+            and OBS_DIRECT_RE.search(line)
+            and not allowed(notes, idx, "obs")
+        ):
+            out.append(
+                Violation(
+                    "obs-macro",
+                    rel,
+                    lineno,
+                    "direct obs recording call — route through the "
+                    "MULINK_OBS_* macros (obs/metrics.h, obs/trace.h)",
+                )
+            )
+    return out
+
+
+class UsageError(Exception):
+    pass
+
+
+def collect_files(root: Path, args_files: list[str]) -> list[Path]:
+    if args_files:
+        files = []
+        for name in args_files:
+            p = Path(name)
+            if not p.is_absolute():
+                p = root / p
+            if not p.exists():
+                raise UsageError(f"no such file: {name}")
+            files.append(p)
+        return files
+    files = []
+    for top in ("src", "tools", "examples", "bench"):
+        base = root / top
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix in SOURCE_SUFFIXES and p.is_file():
+                if "mulink-lint" in p.parts:
+                    continue  # the lint's own fixtures are not the tree
+                files.append(p)
+    return files
+
+
+def run(argv: list[str], stdout=sys.stdout, stderr=sys.stderr) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mulink-lint", add_help=True, description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument(
+        "--rule",
+        action="append",
+        choices=RULES,
+        help="run only this rule (repeatable; default: all)",
+    )
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--json", action="store_true", help="machine output")
+    parser.add_argument("files", nargs="*", help="files to lint (default: tree)")
+    try:
+        opts = parser.parse_args(argv)
+    except SystemExit as err:
+        # argparse exits 2 on bad usage and 0 on --help; preserve both.
+        return EXIT_USAGE if err.code not in (0, None) else EXIT_CLEAN
+
+    if opts.list_rules:
+        for rule in RULES:
+            print(rule, file=stdout)
+        return EXIT_CLEAN
+
+    root = Path(opts.root)
+    if not root.is_dir():
+        print(f"mulink-lint: no such directory: {opts.root}", file=stderr)
+        return EXIT_USAGE
+    active = set(opts.rule) if opts.rule else set(RULES)
+
+    try:
+        files = collect_files(root, opts.files)
+        violations: list[Violation] = []
+        for path in files:
+            violations.extend(lint_file(path, root, active))
+    except UsageError as err:
+        print(f"mulink-lint: {err}", file=stderr)
+        return EXIT_USAGE
+
+    if opts.json:
+        json.dump(
+            {
+                "files_scanned": len(files),
+                "violations": [v.as_dict() for v in violations],
+            },
+            stdout,
+            indent=2,
+        )
+        print(file=stdout)
+    else:
+        for v in violations:
+            print(str(v), file=stdout)
+        print(
+            f"mulink-lint: {len(files)} files, {len(violations)} violation(s)",
+            file=stdout,
+        )
+    return EXIT_VIOLATIONS if violations else EXIT_CLEAN
+
+
+def main() -> None:
+    sys.exit(run(sys.argv[1:]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,308 @@
+#!/usr/bin/env python3
+"""Unit tests for mulink-lint, run under ctest (MulinkLint.UnitTests).
+
+Everything runs in-process through mulink_lint.run() — the same entry the
+CLI uses — so the exit-code contract (0 clean / 1 violations / 2 usage
+error, the table tools/cli.h also follows) is pinned exactly where it is
+implemented, not approximated through a subprocess.
+
+The acceptance demo lives here too: planting a bare `new` / `push_back` in
+a hot-path TU makes the hot-alloc rule fail, planting an ambient RNG or a
+raw std::cout in library code fails the respective rule, and an unannotated
+direct Registry call fails obs-macro.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import mulink_lint  # noqa: E402
+
+
+def make_tree(root: Path, files: dict[str, str]) -> None:
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content, encoding="utf-8")
+
+
+class LintHarness(unittest.TestCase):
+    def run_lint(self, argv):
+        out, err = io.StringIO(), io.StringIO()
+        code = mulink_lint.run(argv, stdout=out, stderr=err)
+        return code, out.getvalue(), err.getvalue()
+
+    def lint_tree(self, files: dict[str, str], extra_argv=()):
+        with tempfile.TemporaryDirectory() as tmp:
+            make_tree(Path(tmp), files)
+            return self.run_lint(["--root", tmp, *extra_argv])
+
+
+CLEAN_HOT_TU = """\
+#include "core/thing.h"
+void Warm(std::vector<double>& scratch) {
+  for (auto& v : scratch) v = 0.0;  // no allocation tokens at all
+}
+"""
+
+
+class ExitCodeContract(LintHarness):
+    """Exit codes 0/1/2, matching the mulink CLI table (tools/cli.h)."""
+
+    def test_clean_tree_exits_0(self):
+        code, out, _ = self.lint_tree({"src/core/thing.cpp": CLEAN_HOT_TU})
+        self.assertEqual(code, mulink_lint.EXIT_CLEAN)
+        self.assertIn("0 violation(s)", out)
+
+    def test_violations_exit_1(self):
+        code, _, _ = self.lint_tree(
+            {"src/core/thing.cpp": "int* p = new int[8];\n"}
+        )
+        self.assertEqual(code, mulink_lint.EXIT_VIOLATIONS)
+
+    def test_unknown_flag_exits_2(self):
+        code, _, _ = self.run_lint(["--no-such-flag"])
+        self.assertEqual(code, mulink_lint.EXIT_USAGE)
+
+    def test_unknown_rule_exits_2(self):
+        code, _, _ = self.run_lint(["--rule", "no-such-rule"])
+        self.assertEqual(code, mulink_lint.EXIT_USAGE)
+
+    def test_missing_root_exits_2(self):
+        code, _, err = self.run_lint(["--root", "/no/such/dir/anywhere"])
+        self.assertEqual(code, mulink_lint.EXIT_USAGE)
+        self.assertIn("no such directory", err)
+
+    def test_missing_file_argument_exits_2(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            code, _, err = self.run_lint(["--root", tmp, "ghost.cpp"])
+        self.assertEqual(code, mulink_lint.EXIT_USAGE)
+        self.assertIn("no such file", err)
+
+    def test_list_rules_exits_0(self):
+        code, out, _ = self.run_lint(["--list-rules"])
+        self.assertEqual(code, mulink_lint.EXIT_CLEAN)
+        for rule in mulink_lint.RULES:
+            self.assertIn(rule, out)
+
+
+class HotAllocRule(LintHarness):
+    """Planting an allocation in a hot-path TU fails CI (acceptance demo)."""
+
+    def test_planted_new_in_hot_tu_fails(self):
+        code, out, _ = self.lint_tree(
+            {
+                "src/core/detector.cpp": (
+                    "void Score() {\n"
+                    "  double* tmp = new double[64];\n"
+                    "  delete[] tmp;\n"
+                    "}\n"
+                )
+            }
+        )
+        self.assertEqual(code, mulink_lint.EXIT_VIOLATIONS)
+        self.assertIn("[hot-alloc]", out)
+        self.assertIn("src/core/detector.cpp:2", out)
+
+    def test_planted_push_back_in_linalg_fails(self):
+        code, out, _ = self.lint_tree(
+            {"src/linalg/solve.cpp": "void F(V& v) { v.push_back(1.0); }\n"}
+        )
+        self.assertEqual(code, mulink_lint.EXIT_VIOLATIONS)
+        self.assertIn("[hot-alloc]", out)
+
+    def test_annotated_allocation_is_allowed(self):
+        code, _, _ = self.lint_tree(
+            {
+                "src/dsp/fft.cpp": (
+                    "void Setup(V& v, int n) {\n"
+                    "  // mulink-lint: allow(alloc): ctor, setup path\n"
+                    "  v.reserve(n);\n"
+                    "  v.resize(n);  // mulink-lint: allow(alloc): warm\n"
+                    "}\n"
+                )
+            }
+        )
+        self.assertEqual(code, mulink_lint.EXIT_CLEAN)
+
+    def test_cold_tu_marker_opts_out(self):
+        code, _, _ = self.lint_tree(
+            {
+                "src/core/roc.cpp": (
+                    "// mulink-lint: cold-tu(offline analysis)\n"
+                    "void Build(V& v) { v.push_back(1); }\n"
+                )
+            }
+        )
+        self.assertEqual(code, mulink_lint.EXIT_CLEAN)
+
+    def test_alloc_outside_hot_dirs_is_fine(self):
+        code, _, _ = self.lint_tree(
+            {"src/wifi/csi.cpp": "void F(V& v) { v.push_back(1); }\n"}
+        )
+        self.assertEqual(code, mulink_lint.EXIT_CLEAN)
+
+    def test_tokens_in_comments_and_strings_ignored(self):
+        code, _, _ = self.lint_tree(
+            {
+                "src/core/detector.cpp": (
+                    "// the newest window wins; we never resize( here\n"
+                    "/* malloc( would be bad */\n"
+                    'const char* kDoc = "call v.push_back(x) upstream";\n'
+                )
+            }
+        )
+        self.assertEqual(code, mulink_lint.EXIT_CLEAN)
+
+
+class RngRule(LintHarness):
+    def test_ambient_rng_fails_anywhere(self):
+        for rel in ("src/nic/sim.cpp", "bench/micro.cpp", "tools/x.cpp"):
+            code, out, _ = self.lint_tree(
+                {rel: "#include <random>\nstd::mt19937 gen(std::rand());\n"}
+            )
+            self.assertEqual(code, mulink_lint.EXIT_VIOLATIONS, rel)
+            self.assertIn("[rng]", out)
+
+    def test_time_seeding_fails(self):
+        code, out, _ = self.lint_tree(
+            {"src/nic/sim.cpp": "auto seed = time(nullptr);\n"}
+        )
+        self.assertEqual(code, mulink_lint.EXIT_VIOLATIONS)
+        self.assertIn("[rng]", out)
+
+    def test_rng_home_is_exempt(self):
+        code, _, _ = self.lint_tree(
+            {
+                "src/common/rng.cpp": "// PCG32, no std::mt19937 needed\n"
+                "std::uint32_t x = std::random_device{}();\n"
+            }
+        )
+        self.assertEqual(code, mulink_lint.EXIT_CLEAN)
+
+
+class StdoutRule(LintHarness):
+    def test_cout_in_library_fails(self):
+        code, out, _ = self.lint_tree(
+            {"src/obs/export.cpp": 'void P() { std::cout << "hi"; }\n'}
+        )
+        self.assertEqual(code, mulink_lint.EXIT_VIOLATIONS)
+        self.assertIn("[stdout]", out)
+
+    def test_printf_in_library_fails(self):
+        code, _, _ = self.lint_tree(
+            {"src/core/engine.cpp": 'void P() { printf("x"); }\n'}
+        )
+        self.assertEqual(code, mulink_lint.EXIT_VIOLATIONS)
+
+    def test_tools_examples_bench_may_print(self):
+        code, _, _ = self.lint_tree(
+            {
+                "tools/cli.cpp": 'void P() { std::cout << "ok"; }\n',
+                "examples/quickstart.cpp": 'void Q() { printf("ok"); }\n',
+                "bench/micro.cpp": 'void R() { puts("ok"); }\n',
+            }
+        )
+        self.assertEqual(code, mulink_lint.EXIT_CLEAN)
+
+
+class ObsMacroRule(LintHarness):
+    def test_direct_registry_call_in_library_fails(self):
+        code, out, _ = self.lint_tree(
+            {
+                "src/core/engine.cpp": (
+                    "void F(R* m) { m->Add(obs::Counter::kDecisions); }\n"
+                )
+            }
+        )
+        self.assertEqual(code, mulink_lint.EXIT_VIOLATIONS)
+        self.assertIn("[obs-macro]", out)
+
+    def test_direct_timer_construction_fails(self):
+        code, _, _ = self.lint_tree(
+            {
+                "src/core/engine.cpp": (
+                    "void F(R* m) {\n"
+                    "  obs::ScopedStageTimer t(m, obs::Stage::kScore);\n"
+                    "}\n"
+                )
+            }
+        )
+        self.assertEqual(code, mulink_lint.EXIT_VIOLATIONS)
+
+    def test_macro_call_is_clean(self):
+        code, _, _ = self.lint_tree(
+            {
+                "src/core/engine.cpp": (
+                    "void F(R* m) { MULINK_OBS_COUNT(m, kDecisions); }\n"
+                )
+            }
+        )
+        self.assertEqual(code, mulink_lint.EXIT_CLEAN)
+
+    def test_obs_subsystem_itself_is_exempt(self):
+        code, _, _ = self.lint_tree(
+            {
+                "src/obs/metrics.cpp": (
+                    "void Registry::MergeFrom(const Registry& s) {\n"
+                    "  RecordStageNs(stage, ns);  // within obs itself\n"
+                    "}\n"
+                )
+            }
+        )
+        self.assertEqual(code, mulink_lint.EXIT_CLEAN)
+
+
+class CliSurface(LintHarness):
+    def test_rule_filter_runs_only_that_rule(self):
+        files = {
+            "src/core/detector.cpp": "int* p = new int[4];\n",
+            "src/nic/sim.cpp": "auto g = std::mt19937{};\n",
+        }
+        code, out, _ = self.lint_tree(files, ["--rule", "rng"])
+        self.assertEqual(code, mulink_lint.EXIT_VIOLATIONS)
+        self.assertIn("[rng]", out)
+        self.assertNotIn("[hot-alloc]", out)
+
+    def test_json_output_is_machine_readable(self):
+        code, out, _ = self.lint_tree(
+            {"src/core/detector.cpp": "int* p = new int[4];\n"}, ["--json"]
+        )
+        self.assertEqual(code, mulink_lint.EXIT_VIOLATIONS)
+        payload = json.loads(out)
+        self.assertEqual(payload["violations"][0]["rule"], "hot-alloc")
+        self.assertEqual(payload["violations"][0]["file"],
+                         "src/core/detector.cpp")
+
+    def test_explicit_file_list_restricts_scan(self):
+        files = {
+            "src/core/detector.cpp": "int* p = new int[4];\n",
+            "src/core/clean.cpp": "int x = 0;\n",
+        }
+        with tempfile.TemporaryDirectory() as tmp:
+            make_tree(Path(tmp), files)
+            code, _, _ = self.run_lint(
+                ["--root", tmp, "src/core/clean.cpp"]
+            )
+        self.assertEqual(code, mulink_lint.EXIT_CLEAN)
+
+
+class RealTree(unittest.TestCase):
+    """The shipped tree must be lint-clean — the same gate CI enforces."""
+
+    def test_repository_is_clean(self):
+        repo = Path(__file__).resolve().parents[2]
+        if not (repo / "src").is_dir():
+            self.skipTest("not running from a source checkout")
+        out = io.StringIO()
+        code = mulink_lint.run(["--root", str(repo)], stdout=out, stderr=out)
+        self.assertEqual(code, mulink_lint.EXIT_CLEAN, out.getvalue())
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
