@@ -1,0 +1,449 @@
+// Drift campaign — adaptive vs static calibration over a simulated week.
+//
+// The paper's 92% / 4.5% operating point is measured minutes after
+// calibration; this bench asks what is left of it after 7 simulated days of
+// the long-horizon faults real deployments see: a slow multiplicative gain
+// ramp (RF front-end temperature drift), a furniture move (step change in
+// the static multipath profile), and daily scheduled AGC retrains. Two
+// engines consume the IDENTICAL packet stream per link: one with the
+// core/calibration recalibration ladder enabled, one frozen on its day-0
+// profile and threshold. The adaptive arm must hold the operating point
+// (>= 90% detection at <= 5.5% FP over the full horizon) while the static
+// arm visibly decays.
+//
+// Emits BENCH_drift.json (schema-gated in CI by check_bench_schema.sh) with
+// overall and per-day rates for both arms, ladder statistics, and a
+// determinism section proving the campaign is bit-identical across 1/2/4
+// worker threads (per-link work is independent and deterministic; results
+// merge in link order).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "core/detector.h"
+#include "core/engine.h"
+#include "experiments/format.h"
+#include "experiments/scenario.h"
+#include "experiments/workload.h"
+
+using namespace mulink;
+namespace ex = mulink::experiments;
+
+namespace {
+
+struct CampaignShape {
+  std::size_t links = 3;
+  std::size_t days = 7;
+  std::size_t hours_per_day = 24;
+  std::size_t windows_per_hour = 12;
+  // 50-packet windows: a 25-packet sample covariance over 3 antennas x 30
+  // subcarriers is noisy enough that vacant scores carry a heavy tail
+  // (several percent of clean windows flip on some links); doubling the
+  // window drops the clean false-positive floor below 1% on every paper
+  // link, which is the headroom the drift campaign's 5.5% budget lives in.
+  std::size_t window_packets = 50;
+  // Occupancy is episodic, like a real deployment day: one walk-in episode
+  // of episode_windows consecutive occupied windows in every hour where
+  // hour-of-day % occupied_hour_stride == occupied_hour_stride / 2 (4
+  // episodes/day at stride 6). Everything else is vacant — the FP
+  // denominator and the ladder's quiet-evidence diet.
+  std::size_t occupied_hour_stride = 6;
+  std::size_t episode_start_window = 3;
+  std::size_t episode_windows = 6;
+
+  // Long-horizon fault process (per link, per-packet clock). At 14400
+  // packets per simulated day the ramp gains ~1.1 dB/day — a window's
+  // score crosses the day-0 threshold near 1.2-1.5 dB, so the static arm
+  // starts leaking false positives during day 1-2 while the adaptive arm
+  // must re-baseline repeatedly to stay ahead. The furniture move fires
+  // once, mid-campaign (day 3.5); AGC retrains once per day.
+  double drift_ramp_db_per_1k = 0.075;
+  double drift_ramp_max_db = 9.0;
+  std::size_t furniture_step_packets = 50400;
+  double furniture_step_sigma_db = 1.0;
+  std::size_t agc_schedule_every_packets = 14400;
+
+  // Smoke compresses the clock ~100x, so the ladder's confirmation and
+  // evidence-collection spans shrink with it.
+  bool fast_ladder = false;
+
+  std::size_t WindowsPerHour() const { return windows_per_hour; }
+  std::size_t Hours() const { return days * hours_per_day; }
+  bool OccupiedTruth(std::size_t hour, std::size_t window_in_hour) const {
+    return hour % occupied_hour_stride == occupied_hour_stride / 2 &&
+           window_in_hour >= episode_start_window &&
+           window_in_hour < episode_start_window + episode_windows;
+  }
+};
+
+struct DayTally {
+  std::size_t tp = 0, fn = 0, fp = 0, tn = 0;
+  double DetectionPct() const {
+    const std::size_t n = tp + fn;
+    return n > 0 ? 100.0 * static_cast<double>(tp) / static_cast<double>(n)
+                 : 0.0;
+  }
+  double FpPct() const {
+    const std::size_t n = fp + tn;
+    return n > 0 ? 100.0 * static_cast<double>(fp) / static_cast<double>(n)
+                 : 0.0;
+  }
+};
+
+struct ArmResult {
+  std::vector<DayTally> per_day;
+  DayTally overall;
+  // Ladder statistics (all zero for the static arm).
+  std::uint64_t quiet_windows = 0;
+  std::uint64_t profile_swaps = 0;
+  std::uint64_t agc_rebaselines = 0;
+  std::string final_state = "healthy";
+};
+
+struct LinkResult {
+  ArmResult adaptive;
+  ArmResult statics;
+};
+
+void Tally(ArmResult& arm, std::size_t day, bool truth, bool decided) {
+  DayTally& d = arm.per_day[day];
+  if (truth) {
+    ++(decided ? d.tp : d.fn);
+    ++(decided ? arm.overall.tp : arm.overall.fn);
+  } else {
+    ++(decided ? d.fp : d.tn);
+    ++(decided ? arm.overall.fp : arm.overall.tn);
+  }
+}
+
+// One link's whole campaign: calibrate on a clean day-0 twin, then stream
+// the drifting week through the adaptive and the static engine in lockstep.
+LinkResult RunLink(const ex::LinkCase& link_case, const CampaignShape& shape,
+                   std::uint64_t seed) {
+  // Day-0 calibration on a clean simulator: the deployment's fresh profile.
+  auto clean = ex::MakeSimulator(link_case);
+  Rng calib_rng(seed);
+  core::DetectorConfig config;
+  config.scheme = core::DetectionScheme::kSubcarrierAndPathWeighting;
+  auto detector =
+      core::Detector::Calibrate(clean.CaptureSession(400, std::nullopt,
+                                                     calib_rng),
+                                clean.band(), clean.array(), config);
+  std::vector<std::vector<wifi::CsiPacket>> empty_windows;
+  std::vector<double> empty_scores;
+  for (int i = 0; i < 16; ++i) {
+    empty_windows.push_back(
+        clean.CaptureSession(shape.window_packets, std::nullopt, calib_rng));
+    empty_scores.push_back(detector.Score(empty_windows.back()));
+  }
+  detector.CalibrateThreshold(empty_windows);
+
+  // The drifting week: same link, long-horizon faults on the capture chain.
+  auto sim_config = ex::DefaultSimConfig();
+  sim_config.faults.enabled = true;
+  sim_config.faults.seed = seed;
+  sim_config.faults.drift_ramp_db_per_1k = shape.drift_ramp_db_per_1k;
+  sim_config.faults.drift_ramp_max_db = shape.drift_ramp_max_db;
+  sim_config.faults.furniture_step_packets = shape.furniture_step_packets;
+  sim_config.faults.furniture_step_sigma_db = shape.furniture_step_sigma_db;
+  sim_config.faults.agc_schedule_every_packets =
+      shape.agc_schedule_every_packets;
+  auto sim = ex::MakeSimulator(link_case, sim_config);
+
+  core::StreamingConfig stream;
+  stream.window_packets = shape.window_packets;
+  stream.hop_packets = shape.window_packets;
+  stream.use_hmm = true;
+  // Rooms here change occupancy on the minutes scale; the HMM default
+  // (2% per window) is tuned for far longer dwells and would hold the
+  // occupied belief for several windows after a walk-out, charging false
+  // positives to every episode tail. Both arms get the same setting.
+  stream.hmm.transition_prob = 0.1;
+  // Emission geometry for 50-packet windows. The tight quiet fit (log-sigma
+  // ~0.1 at this window length) would put the default occupied shift (4
+  // sigma) at only ~1.5x the quiet mean — inside the vacant tail — so the
+  // shift is widened until the flip point sits ~2.75 quiet-sigmas out. The
+  // broad occupied sigma flattens the occupied likelihood so that weak
+  // mid-episode windows are carried by the temporal prior instead of being
+  // overruled by a confident empty verdict.
+  stream.hmm.occupied_shift_sigmas = 8.0;
+  stream.hmm.occupied_sigma_scale = 5.0;
+  // The wide occupied emission shifts probability mass toward "empty" for
+  // weak presence; a slightly lower decision bar rebalances the operating
+  // point. Both arms decide with the same rule.
+  stream.decision_probability = 0.4;
+  stream.guard_enabled = true;
+  core::StreamingConfig adaptive_stream = stream;
+  adaptive_stream.calibration.enabled = true;
+  // The HMM posterior under active drift sits above the conservative
+  // default before the ladder has confirmed anything; windows the filter
+  // still calls probably-empty are acceptable evidence here (occupied
+  // windows saturate near 1 either way).
+  adaptive_stream.calibration.quiet_posterior_max = 0.4;
+  // Trigger recalibration earlier than the default 0.9: under a continuous
+  // ramp the corridor between "EWMA near threshold" and "scores above
+  // threshold" is a fraction of a dB, and the swap needs ~16 quiet windows
+  // of runway inside it.
+  adaptive_stream.calibration.drift_score_fraction = 0.75;
+  // The HMM's flip point tracks the quiet posterior window-by-window, so
+  // the trigger no longer races the filter — it only has to fire before
+  // the quiet gates (~2x the anchored level) starve the EWMA of evidence.
+  // A fast EWMA with short confirmation/collection keeps the swap cycle
+  // well under an hour of simulated time once the trigger does fire.
+  adaptive_stream.calibration.drift_ewma_alpha = 0.3;
+  adaptive_stream.calibration.drift_confirm_windows = 2;
+  adaptive_stream.calibration.recalibration_quiet_windows = 6;
+  if (shape.fast_ladder) {
+    adaptive_stream.calibration.drift_ewma_alpha = 0.3;
+    adaptive_stream.calibration.drift_confirm_windows = 2;
+    adaptive_stream.calibration.recalibration_quiet_windows = 4;
+    adaptive_stream.calibration.heal_windows = 4;
+  }
+
+  core::SensingEngine engine;
+  const std::size_t kAdaptive =
+      engine.AddLink(detector, empty_scores, adaptive_stream);
+  const std::size_t kStatic =
+      engine.AddLink(detector, empty_scores, stream);
+
+  LinkResult result;
+  result.adaptive.per_day.resize(shape.days);
+  result.statics.per_day.resize(shape.days);
+
+  Rng rng(seed + 17);
+  const auto grid = ex::Grid3x3(link_case);
+  std::size_t window_index = 0;
+  for (std::size_t hour = 0; hour < shape.Hours(); ++hour) {
+    const std::size_t day = hour / shape.hours_per_day;
+    for (std::size_t w = 0; w < shape.WindowsPerHour(); ++w, ++window_index) {
+      const bool occupied_truth = shape.OccupiedTruth(hour, w);
+      std::optional<propagation::HumanBody> human;
+      if (occupied_truth) {
+        propagation::HumanBody body;
+        body.position = grid[window_index % grid.size()].position;
+        human = body;
+      }
+      const auto burst =
+          sim.CaptureSession(shape.window_packets, human, rng);
+      for (const auto link :
+           {std::size_t{kAdaptive}, std::size_t{kStatic}}) {
+        const auto& batch = engine.ProcessBatch(
+            link, std::span<const wifi::CsiPacket>(burst));
+        // No drop/reorder faults are configured, so every burst completes
+        // exactly one window.
+        MULINK_REQUIRE(batch.decisions.size() == 1,
+                       "fig_drift: burst did not complete one window");
+        Tally(link == kAdaptive ? result.adaptive : result.statics, day,
+              occupied_truth, batch.decisions[0].occupied);
+      }
+    }
+  }
+
+  const nic::LinkHealth health = engine.Health(kAdaptive);
+  result.adaptive.quiet_windows = health.quiet_windows;
+  result.adaptive.profile_swaps = health.profile_swaps;
+  result.adaptive.agc_rebaselines = engine.Calibrator(kAdaptive).agc_rebaselines();
+  result.adaptive.final_state = nic::ToString(health.calibration_state);
+  return result;
+}
+
+// Merge per-link tallies (already ordered by link index).
+ArmResult MergeArm(const std::vector<LinkResult>& links, bool adaptive,
+                   std::size_t days) {
+  ArmResult merged;
+  merged.per_day.resize(days);
+  for (const auto& link : links) {
+    const ArmResult& arm = adaptive ? link.adaptive : link.statics;
+    for (std::size_t d = 0; d < days; ++d) {
+      merged.per_day[d].tp += arm.per_day[d].tp;
+      merged.per_day[d].fn += arm.per_day[d].fn;
+      merged.per_day[d].fp += arm.per_day[d].fp;
+      merged.per_day[d].tn += arm.per_day[d].tn;
+    }
+    merged.overall.tp += arm.overall.tp;
+    merged.overall.fn += arm.overall.fn;
+    merged.overall.fp += arm.overall.fp;
+    merged.overall.tn += arm.overall.tn;
+    merged.quiet_windows += arm.quiet_windows;
+    merged.profile_swaps += arm.profile_swaps;
+    merged.agc_rebaselines += arm.agc_rebaselines;
+  }
+  return merged;
+}
+
+// Deterministic fingerprint of a campaign run: every integer tally in link
+// order. Two runs are bit-identical iff their fingerprints match.
+std::string Fingerprint(const std::vector<LinkResult>& links) {
+  std::ostringstream os;
+  for (const auto& link : links) {
+    for (const ArmResult* arm : {&link.adaptive, &link.statics}) {
+      for (const auto& d : arm->per_day) {
+        os << d.tp << ',' << d.fn << ',' << d.fp << ',' << d.tn << ';';
+      }
+      os << arm->quiet_windows << '/' << arm->profile_swaps << '/'
+         << arm->agc_rebaselines << '/' << arm->final_state << '|';
+    }
+  }
+  return os.str();
+}
+
+// Run all links on `threads` workers. Each link's campaign is sequential
+// and self-seeded; workers pick links round-robin and write into their own
+// slot, so the result vector is independent of the thread count.
+std::vector<LinkResult> RunCampaign(const std::vector<ex::LinkCase>& cases,
+                                    const CampaignShape& shape,
+                                    std::size_t threads) {
+  std::vector<LinkResult> results(cases.size());
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      for (std::size_t i = t; i < cases.size(); i += threads) {
+        results[i] = RunLink(cases[i], shape, /*seed=*/101 + 13 * i);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  return results;
+}
+
+void WriteArmJson(std::ostream& out, const char* name, const ArmResult& arm,
+                  bool with_ladder) {
+  out << "  \"" << name << "\": {\n"
+      << "    \"detection_pct\": " << arm.overall.DetectionPct() << ",\n"
+      << "    \"fp_pct\": " << arm.overall.FpPct() << ",\n";
+  if (with_ladder) {
+    out << "    \"quiet_windows\": " << arm.quiet_windows << ",\n"
+        << "    \"profile_swaps\": " << arm.profile_swaps << ",\n"
+        << "    \"agc_rebaselines\": " << arm.agc_rebaselines << ",\n";
+  }
+  out << "    \"per_day\": [\n";
+  for (std::size_t d = 0; d < arm.per_day.size(); ++d) {
+    const auto& day = arm.per_day[d];
+    out << "      {\"day\": " << d
+        << ", \"detection_pct\": " << day.DetectionPct()
+        << ", \"fp_pct\": " << day.FpPct() << "}"
+        << (d + 1 < arm.per_day.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n  }";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = ex::SmokeMode(argc, argv);
+  ex::PrintBanner(std::cout,
+                  "Drift campaign — adaptive vs static calibration");
+
+  CampaignShape shape;
+  std::vector<std::size_t> thread_counts = {1, 2, 4};
+  if (smoke) {
+    // Same code paths, compressed clock: faster ramp, earlier furniture
+    // move, hourly AGC bursts, one link, a day and a half.
+    shape.links = 1;
+    shape.days = 2;
+    shape.hours_per_day = 3;
+    shape.occupied_hour_stride = 3;
+    shape.drift_ramp_db_per_1k = 0.3;
+    shape.drift_ramp_max_db = 9.0;
+    shape.furniture_step_packets = 2000;
+    shape.agc_schedule_every_packets = 1000;
+    shape.fast_ladder = true;
+    thread_counts = {1, 2};
+  }
+
+  const auto all_cases = ex::MakePaperCases();
+  MULINK_REQUIRE(shape.links <= all_cases.size(),
+                 "fig_drift: more links requested than paper cases");
+  const std::vector<ex::LinkCase> cases(all_cases.begin(),
+                                        all_cases.begin() +
+                                            static_cast<std::ptrdiff_t>(
+                                                shape.links));
+
+  // Determinism sweep: the same campaign on every thread count must produce
+  // identical tallies (per-link work is independent; merge order is fixed).
+  std::vector<LinkResult> results;
+  std::string reference_fingerprint;
+  bool bit_identical = true;
+  for (const std::size_t threads : thread_counts) {
+    auto run = RunCampaign(cases, shape, threads);
+    const std::string fingerprint = Fingerprint(run);
+    if (threads == thread_counts.front()) {
+      reference_fingerprint = fingerprint;
+      results = std::move(run);
+    } else if (fingerprint != reference_fingerprint) {
+      bit_identical = false;
+      std::cout << "DETERMINISM FAILURE at " << threads << " threads\n";
+    }
+  }
+
+  const ArmResult adaptive = MergeArm(results, /*adaptive=*/true, shape.days);
+  const ArmResult statics = MergeArm(results, /*adaptive=*/false, shape.days);
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t d = 0; d < shape.days; ++d) {
+    rows.push_back({"day " + std::to_string(d),
+                    ex::Fmt(adaptive.per_day[d].DetectionPct(), 1),
+                    ex::Fmt(adaptive.per_day[d].FpPct(), 1),
+                    ex::Fmt(statics.per_day[d].DetectionPct(), 1),
+                    ex::Fmt(statics.per_day[d].FpPct(), 1)});
+  }
+  rows.push_back({"overall", ex::Fmt(adaptive.overall.DetectionPct(), 1),
+                  ex::Fmt(adaptive.overall.FpPct(), 1),
+                  ex::Fmt(statics.overall.DetectionPct(), 1),
+                  ex::Fmt(statics.overall.FpPct(), 1)});
+  ex::PrintTable(std::cout, "detection / false-positive rates per day (%)",
+                 {"day", "adaptive TP%", "adaptive FP%", "static TP%",
+                  "static FP%"},
+                 rows);
+  std::cout << "ladder: " << adaptive.quiet_windows << " quiet windows, "
+            << adaptive.profile_swaps << " profile swaps, "
+            << adaptive.agc_rebaselines << " AGC re-baselines\n"
+            << "determinism: "
+            << (bit_identical ? "bit-identical" : "MISMATCH") << " across ";
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    std::cout << (i ? "/" : "") << thread_counts[i];
+  }
+  std::cout << " threads\n";
+
+  std::ofstream out("BENCH_drift.json");
+  out << "{\n  \"benchmark\": \"fig_drift\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"days\": " << shape.days << ",\n"
+      << "  \"links\": " << shape.links << ",\n"
+      << "  \"window_packets\": " << shape.window_packets << ",\n"
+      << "  \"windows_per_hour\": " << shape.WindowsPerHour() << ",\n"
+      << "  \"hours_per_day\": " << shape.hours_per_day << ",\n"
+      << "  \"faults\": {\"drift_ramp_db_per_1k\": "
+      << shape.drift_ramp_db_per_1k
+      << ", \"drift_ramp_max_db\": " << shape.drift_ramp_max_db
+      << ", \"furniture_step_packets\": " << shape.furniture_step_packets
+      << ", \"agc_schedule_every_packets\": "
+      << shape.agc_schedule_every_packets << "},\n";
+  WriteArmJson(out, "adaptive", adaptive, /*with_ladder=*/true);
+  out << ",\n";
+  WriteArmJson(out, "static", statics, /*with_ladder=*/false);
+  out << ",\n  \"determinism\": {\"thread_counts\": [";
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    out << (i ? ", " : "") << thread_counts[i];
+  }
+  out << "], \"bit_identical\": " << (bit_identical ? "true" : "false")
+      << "}\n}\n";
+  std::cout << "wrote BENCH_drift.json\n";
+
+  if (!bit_identical) return 1;
+  if (!smoke) {
+    // The acceptance gate: the adaptive arm holds the paper's operating
+    // point over the whole horizon; the smoke run only proves the code
+    // paths execute.
+    const bool holds = adaptive.overall.DetectionPct() >= 90.0 &&
+                       adaptive.overall.FpPct() <= 5.5;
+    std::cout << (holds ? "PASS" : "FAIL")
+              << ": adaptive arm vs >=90% detection at <=5.5% FP\n";
+    if (!holds) return 1;
+  }
+  return 0;
+}

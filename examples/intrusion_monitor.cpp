@@ -55,6 +55,9 @@ int main() {
   // Guarded ingest costs one inspection per frame and is bit-identical to
   // unguarded ingest on a clean stream — so act one runs guarded too.
   stream.guard_enabled = true;
+  // Adaptive calibration: quiet windows keep the profile posterior warm and
+  // the recalibration ladder re-baselines in place if the room drifts.
+  stream.calibration.enabled = true;
   core::SensingEngine engine;
   engine.AddLink(std::move(detector), empty_scores, stream);
   // Hysteresis is temporal rather than amplitude-based: entry fires on one
@@ -185,6 +188,9 @@ int main() {
               << ": " << health.fault_counts[f] << "\n";
   }
   std::cout << "  degraded decisions: " << health.degraded_decisions << "\n";
+  std::cout << "  calibration: " << nic::ToString(health.calibration_state)
+            << " (" << health.quiet_windows << " quiet windows, "
+            << health.profile_swaps << " profile swaps)\n";
   std::cout << "  metrics: " << obs::OneLineSummary(engine.Metrics(0))
             << "\n";
   return 0;

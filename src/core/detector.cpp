@@ -387,6 +387,81 @@ void Detector::UpdateProfile(const std::vector<wifi::CsiPacket>& empty_window,
   }
 }
 
+void Detector::ApplyProfile(std::span<const double> power,
+                            std::span<const double> amplitude,
+                            std::span<const double> variance) {
+  const std::size_t cells = num_antennas_ * num_subcarriers_;
+  MULINK_REQUIRE(power.size() == cells && amplitude.size() == cells &&
+                     variance.size() == cells,
+                 "Detector::ApplyProfile: shape mismatch");
+  double power_sum = 0.0, amp_sum = 0.0;
+  for (std::size_t m = 0; m < num_antennas_; ++m) {
+    for (std::size_t k = 0; k < num_subcarriers_; ++k) {
+      const std::size_t idx = m * num_subcarriers_ + k;
+      profile_power_[m][k] = power[idx];
+      profile_amplitude_[m][k] = amplitude[idx];
+      profile_variance_[m][k] = variance[idx];
+      power_sum += power[idx];
+      amp_sum += amplitude[idx];
+    }
+  }
+  profile_scale_power_ = power_sum / static_cast<double>(cells);
+  profile_scale_amplitude_ = amp_sum / static_cast<double>(cells);
+  MULINK_REQUIRE(profile_scale_power_ > 0.0,
+                 "Detector::ApplyProfile: staged profile has no power");
+}
+
+void Detector::RefreshAngularProfile(
+    std::span<const wifi::CsiPacket> staged) {
+  if (staged.empty() || retained_calibration_.empty() || num_antennas_ < 2) {
+    return;
+  }
+  MULINK_REQUIRE(staged[0].NumAntennas() == num_antennas_ &&
+                     staged[0].NumSubcarriers() == num_subcarriers_,
+                 "Detector::RefreshAngularProfile: packet shape mismatch");
+  // Re-anchor the retained packets onto the ACTIVE profile's per-cell
+  // amplitude before rotating the staged slice in. The rotation below only
+  // replaces a fraction of the set, and both the pseudospectrum and the
+  // combined scheme's profile-side covariance are built from the retained
+  // packets — left at the pre-drift gain they would dominate the profile
+  // statistics no matter what ApplyProfile installed. Scaling each cell's
+  // amplitude to the applied profile keeps the packets' phase structure
+  // (the angular information) while moving their scale to the new operating
+  // point; a gain ramp or AGC step is a real scalar, so for those faults
+  // the correction is exact.
+  for (std::size_t m = 0; m < num_antennas_; ++m) {
+    for (std::size_t k = 0; k < num_subcarriers_; ++k) {
+      double stale_amp = 0.0;
+      for (const auto& packet : retained_calibration_) {
+        stale_amp += std::sqrt(packet.SubcarrierPower(m, k));
+      }
+      stale_amp /= static_cast<double>(retained_calibration_.size());
+      const double target = profile_amplitude_[m][k];
+      if (stale_amp <= 0.0 || target <= 0.0) continue;
+      const double scale = target / stale_amp;
+      for (auto& packet : retained_calibration_) {
+        packet.csi.At(m, k) *= scale;
+      }
+    }
+  }
+  const std::size_t rotate =
+      std::min(staged.size(), retained_calibration_.size());
+  for (std::size_t i = 0; i < rotate; ++i) {
+    // Copy-assign reuses the slot's CSI buffer; the rotation cursor keeps
+    // replacing the oldest retained packets first, like UpdateProfile.
+    retained_calibration_[retained_rotation_ %
+                          retained_calibration_.size()] = staged[i];
+    ++retained_rotation_;
+  }
+  profile_version_ = NextProfileVersion();
+  static_spectrum_ =
+      ComputeMusicSpectrum(retained_calibration_, array_, band_,
+                           config_.music)
+          .Smoothed(config_.spectrum_smoothing_deg);
+  path_weights_ =
+      ComputePathWeights(static_spectrum_, config_.path_weighting);
+}
+
 double Detector::ScoreBaseline(std::span<const wifi::CsiPacket> window,
                                std::uint32_t live_mask) const {
   // The paper's baseline is the naive per-packet Euclidean distance of CSI

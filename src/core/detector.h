@@ -223,6 +223,24 @@ class Detector {
   void UpdateProfile(const std::vector<wifi::CsiPacket>& empty_window,
                      double alpha = 0.05);
 
+  // In-place recalibration entry points for core/calibration's ladder. Both
+  // run between windows, never mid-score — the caller owns that contract.
+  //
+  // Overwrite the static profile with posterior means (flattened row-major
+  // [antenna][subcarrier] spans) and re-derive the normalization scales.
+  // Allocation-free: the double-buffered swap writes the staged values over
+  // the active profile without touching packet buffers or the threshold.
+  void ApplyProfile(std::span<const double> power,
+                    std::span<const double> amplitude,
+                    std::span<const double> variance);
+
+  // Rotate staged sanitized quiet packets into the retained calibration set
+  // (oldest first, reusing each slot's CSI buffer) and recompute the static
+  // pseudospectrum and Eq. 17 path weights, so the combined scheme's
+  // angular profile follows the recalibrated environment. Cold path; no-op
+  // for single-antenna links or an empty `staged`.
+  void RefreshAngularProfile(std::span<const wifi::CsiPacket> staged);
+
   // Calibrated shape (rows / columns of every CSI matrix this detector
   // accepts).
   std::size_t num_antennas() const { return num_antennas_; }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/assert.h"
+#include "dsp/stats.h"
 
 namespace mulink::core {
 
@@ -24,6 +25,15 @@ struct SensingEngine::LinkState {
       hmm = PresenceHmm::FitFromEmptyScores(empty_scores, config.hmm);
       filter.emplace(*hmm);  // mulink-lint: allow(alloc): ctor, setup path
     }
+    // Seed the drift watchdog's EWMA at the expected quiet score so the
+    // first windows after construction or Reset cannot spuriously trip the
+    // flag (mirrors StreamingDetector).
+    if (!empty_scores.empty()) {
+      ingest.quiet_score_seed = dsp::Mean(empty_scores);
+      ingest.empty_score_ewma = ingest.quiet_score_seed;
+    }
+    calibrator.Configure(detector, std::span<const double>(empty_scores),
+                         config.calibration);
     // mulink-lint: allow(alloc): ctor, setup path
     ring.reserve(config.window_packets);
     // mulink-lint: allow(alloc): ctor, setup path
@@ -39,6 +49,7 @@ struct SensingEngine::LinkState {
     obs::Registry* const sink = metrics_on ? &metrics : nullptr;
     ingest.metrics = sink;
     scratch.metrics = sink;
+    calibrator.metrics = sink;
     const auto report = ingest.Admit(packet);
     if (!report.has_value()) return std::nullopt;  // quarantined
     if (report->resync) {
@@ -116,7 +127,10 @@ struct SensingEngine::LinkState {
       if (filter.has_value()) {
         MULINK_OBS_STAGE_TIMER(hmm_timer, sink, kHmmFilter);
         decision.posterior = filter->Update(decision.score);
-        decision.occupied = decision.posterior >= config.decision_probability;
+        decision.occupied =
+            decision.posterior >= config.decision_probability ||
+            (config.hmm_threshold_fusion && detector.has_threshold() &&
+             decision.score >= detector.threshold());
         MULINK_OBS_COUNT(sink, kHmmUpdates);
       } else {
         decision.occupied = decision.score >= detector.threshold();
@@ -125,6 +139,28 @@ struct SensingEngine::LinkState {
       ingest.degraded = false;
       ingest.ObserveDecision(decision, detector, config);
     }
+    if (calibrator.enabled()) {
+      CalibrationWindowContext context;
+      context.degraded = decision.degraded;
+      context.repaired_frames = ingest.repaired_since_decision;
+      context.agc_frames = ingest.agc_frames_since_decision;
+      // The ring already holds packets in the detector's expected
+      // sanitization state (sanitized on ingest iff the scheme consumes
+      // sanitized windows), so the posteriors learn from window_span
+      // directly — bit-identical to StreamingDetector's per-window copy.
+      calibrator.ObserveDecision(decision.score, decision.posterior,
+                                 window_span, detector, context);
+      if (hmm.has_value()) {
+        // Every-window emission refit from the live quiet posterior —
+        // same rationale and ordering as StreamingDetector (bit-identical
+        // flip points between the two paths).
+        hmm->RefitEmptyEmission(calibrator.quiet_log_mean(),
+                                calibrator.quiet_log_sigma());
+      }
+      ingest.profile_drift = calibrator.drift_flagged();
+    }
+    ingest.repaired_since_decision = 0;
+    ingest.agc_frames_since_decision = 0;
     occupied = decision.occupied;
     posterior = decision.posterior;
     MULINK_OBS_COUNT(sink, kDecisions);
@@ -141,6 +177,7 @@ struct SensingEngine::LinkState {
     posterior = 0.0;
     if (filter.has_value()) filter->Reset();
     ingest.Reset();
+    calibrator.Reset(detector);
     metrics.Reset();
     result.decisions.clear();
     result.occupied = false;
@@ -153,6 +190,7 @@ struct SensingEngine::LinkState {
   // amplitude-only baseline must see raw packets).
   bool pre_sanitize = false;
   GuardedIngest ingest;
+  LinkCalibrator calibrator;
   std::optional<PresenceHmm> hmm;
   std::optional<PresenceHmm::Filter> filter;  // references hmm; do not move
   std::vector<wifi::CsiPacket> ring;
@@ -234,7 +272,13 @@ double SensingEngine::posterior(std::size_t link) const {
 }
 
 nic::LinkHealth SensingEngine::Health(std::size_t link) const {
-  return Link(link).ingest.Health();
+  nic::LinkHealth health = Link(link).ingest.Health();
+  Link(link).calibrator.FillHealth(health);
+  return health;
+}
+
+const LinkCalibrator& SensingEngine::Calibrator(std::size_t link) const {
+  return Link(link).calibrator;
 }
 
 const obs::Registry& SensingEngine::Metrics(std::size_t link) const {

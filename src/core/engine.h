@@ -72,9 +72,13 @@ class SensingEngine {
   double posterior(std::size_t link) const;
 
   // Link health snapshot: frame-guard fault counters, dead-antenna mask,
-  // degraded-mode and profile-drift watchdog state. All-zero when the
-  // link's guard is disabled.
+  // degraded-mode, profile-drift watchdog and calibration-ladder state.
+  // All-zero when the link's guard and adaptive calibration are disabled.
   nic::LinkHealth Health(std::size_t link) const;
+
+  // Adaptive-calibration state for one link (inert when the link's
+  // config.calibration.enabled is false).
+  const LinkCalibrator& Calibrator(std::size_t link) const;
 
   // Observability. Each link records into its own Registry shard (ingest
   // and decision counters, per-stage latency histograms, profile-stack

@@ -85,6 +85,14 @@ PresenceHmm PresenceHmm::FitFromEmptyScores(
                      config.occupied_sigma_scale * sigma, config);
 }
 
+void PresenceHmm::RefitEmptyEmission(double log_mean, double log_sigma) {
+  empty_log_mean_ = log_mean;
+  empty_log_sigma_ = std::max(log_sigma, 0.05);  // FitLogGaussian's floor
+  occupied_log_mean_ =
+      empty_log_mean_ + config_.occupied_shift_sigmas * empty_log_sigma_;
+  occupied_log_sigma_ = config_.occupied_sigma_scale * empty_log_sigma_;
+}
+
 double PresenceHmm::LogLikelihoodEmpty(double score) const {
   const double x = std::log(std::max(score, kScoreFloor));
   const double gauss = GaussianLogPdf(x, empty_log_mean_, empty_log_sigma_);

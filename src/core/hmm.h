@@ -73,6 +73,16 @@ class PresenceHmm {
     double posterior_;
   };
 
+  // Online recalibration hook (core/calibration): re-centre the empty-state
+  // emission on the adapted quiet-score log statistics and re-derive the
+  // occupied state per config (shift/scale) — the same construction
+  // FitFromEmptyScores uses, including its sigma floor. Transitions, the
+  // outlier mixture and any live Filter posterior are untouched, so the
+  // filter rides through a profile swap without losing temporal state.
+  // (A labelled occupied fit from FitFromLabelledScores is overwritten by
+  // the shift-derived one; streaming links fit from empty scores only.)
+  void RefitEmptyEmission(double log_mean, double log_sigma);
+
   double empty_log_mean() const { return empty_log_mean_; }
   double empty_log_sigma() const { return empty_log_sigma_; }
   double occupied_log_mean() const { return occupied_log_mean_; }

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/assert.h"
+#include "dsp/stats.h"
 
 namespace mulink::core {
 
@@ -28,6 +29,13 @@ std::optional<nic::FrameReport> GuardedIngest::Admit(
       MULINK_OBS_COUNT(metrics, kPacketsQuarantined);
       break;
     case nic::FrameVerdict::kRepair:
+      // Taint bookkeeping for the calibration ladder: a repaired frame in
+      // the hop disqualifies its window as quiet evidence, and a burst of
+      // RSSI-outlier repairs is the AGC fast re-baseline trigger.
+      ++repaired_since_decision;
+      if (report.Has(nic::FrameFault::kRssiOutlier)) {
+        ++agc_frames_since_decision;
+      }
       MULINK_OBS_COUNT(metrics, kPacketsRepaired);
       MULINK_OBS_COUNT(metrics, kPacketsAccepted);
       break;
@@ -56,9 +64,14 @@ void GuardedIngest::ObserveDecision(const PresenceDecision& decision,
                                     const StreamingConfig& config) {
   if (!guard.has_value()) return;
   if (decision.posterior > config.watchdog_empty_posterior) return;
-  if (empty_windows_seen == 0) {
+  if (empty_windows_seen == 0 && quiet_score_seed <= 0.0) {
+    // No calibration scores to seed from: legacy cold start, the first
+    // believed-empty window sets the EWMA outright.
     empty_score_ewma = decision.score;
   } else {
+    // Seeded (at construction and after Reset the EWMA already sits at the
+    // expected quiet score), so early windows blend instead of jumping —
+    // a reset cannot spuriously trip profile_drift on its first windows.
     empty_score_ewma +=
         config.watchdog_ewma_alpha * (decision.score - empty_score_ewma);
   }
@@ -87,8 +100,10 @@ void GuardedIngest::Reset() {
   degraded = false;
   degraded_decisions = 0;
   empty_windows_seen = 0;
-  empty_score_ewma = 0.0;
+  empty_score_ewma = quiet_score_seed;  // cold-start seed survives a reset
   profile_drift = false;
+  repaired_since_decision = 0;
+  agc_frames_since_decision = 0;
 }
 
 StreamingDetector::StreamingDetector(Detector detector,
@@ -104,6 +119,14 @@ StreamingDetector::StreamingDetector(Detector detector,
     hmm_ = PresenceHmm::FitFromEmptyScores(empty_scores, config_.hmm);
     filter_.emplace(*hmm_);  // mulink-lint: allow(alloc): ctor, setup path
   }
+  // Seed the drift watchdog's EWMA at the expected quiet score so the first
+  // windows after construction or Reset cannot spuriously trip the flag.
+  if (!empty_scores.empty()) {
+    ingest_.quiet_score_seed = dsp::Mean(empty_scores);
+    ingest_.empty_score_ewma = ingest_.quiet_score_seed;
+  }
+  calibrator_.Configure(detector_, std::span<const double>(empty_scores),
+                        config_.calibration);
   // mulink-lint: allow(alloc): ctor, setup path
   ring_.reserve(config_.window_packets);
   // mulink-lint: allow(alloc): ctor, setup path
@@ -124,6 +147,7 @@ void StreamingDetector::Reset() {
   posterior_ = 0.0;
   if (filter_.has_value()) filter_->Reset();
   ingest_.Reset();
+  calibrator_.Reset(detector_);
   metrics_.Reset();
 }
 
@@ -134,6 +158,7 @@ std::optional<PresenceDecision> StreamingDetector::Push(
   obs::Registry* const sink = metrics_enabled_ ? &metrics_ : nullptr;
   ingest_.metrics = sink;
   scratch_.metrics = sink;
+  calibrator_.metrics = sink;
   const auto report = ingest_.Admit(packet);
   if (!report.has_value()) return std::nullopt;  // quarantined
   if (report->resync) {
@@ -198,7 +223,10 @@ std::optional<PresenceDecision> StreamingDetector::Push(
     if (filter_.has_value()) {
       MULINK_OBS_STAGE_TIMER(hmm_timer, sink, kHmmFilter);
       decision.posterior = filter_->Update(decision.score);
-      decision.occupied = decision.posterior >= config_.decision_probability;
+      decision.occupied =
+          decision.posterior >= config_.decision_probability ||
+          (config_.hmm_threshold_fusion && detector_.has_threshold() &&
+           decision.score >= detector_.threshold());
       MULINK_OBS_COUNT(sink, kHmmUpdates);
     } else {
       decision.occupied = decision.score >= detector_.threshold();
@@ -207,6 +235,41 @@ std::optional<PresenceDecision> StreamingDetector::Push(
     ingest_.degraded = false;
     ingest_.ObserveDecision(decision, detector_, config_);
   }
+  if (calibrator_.enabled()) {
+    CalibrationWindowContext context;
+    context.degraded = decision.degraded;
+    context.repaired_frames = ingest_.repaired_since_decision;
+    context.agc_frames = ingest_.agc_frames_since_decision;
+    // The posteriors learn from the window in the detector's expected
+    // sanitization state: Score left the sanitized copy in the scratch
+    // (bit-identical to the engine's ingest-time sanitization); the
+    // amplitude-only baseline learns from raw packets.
+    const std::span<const wifi::CsiPacket> learn_window =
+        detector_.UsesSanitizedInput() && !decision.degraded
+            ? std::span<const wifi::CsiPacket>(scratch_.sanitized)
+            : window_span;
+    calibrator_.ObserveDecision(decision.score, decision.posterior,
+                                learn_window, detector_, context);
+    if (hmm_.has_value()) {
+      // Pin the HMM's empty emission to the live quiet posterior every
+      // window, not just after a profile swap: the posterior absorbs slow
+      // drift online, so the filter's flip point moves with the link and
+      // the corridor between drift onset and the next swap stops charging
+      // false positives. On quiet windows this is a real update; otherwise
+      // the posterior (and hence the refit) is a no-op. The filter's
+      // temporal state rides through untouched, and step changes still go
+      // through the ladder — the posterior refuses to learn from windows
+      // the filter calls occupied, so a jump stalls this refit until the
+      // swap re-anchors the posterior.
+      hmm_->RefitEmptyEmission(calibrator_.quiet_log_mean(),
+                               calibrator_.quiet_log_sigma());
+    }
+    // The ladder owns the drift flag when enabled — unlike the flag-only
+    // watchdog it can clear it again by recalibrating in place.
+    ingest_.profile_drift = calibrator_.drift_flagged();
+  }
+  ingest_.repaired_since_decision = 0;
+  ingest_.agc_frames_since_decision = 0;
   occupied_ = decision.occupied;
   posterior_ = decision.posterior;
   MULINK_OBS_COUNT(sink, kDecisions);

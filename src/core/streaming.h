@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/calibration/calibration.h"
 #include "core/detector.h"
 #include "core/hmm.h"
 #include "nic/frame_guard.h"
@@ -26,6 +27,16 @@ struct StreamingConfig {
   HmmConfig hmm;
   // Posterior above which the room is declared occupied (HMM mode).
   double decision_probability = 0.5;
+  // Decision fusion (HMM mode): also declare occupied when the raw score
+  // crosses the detector's active threshold, even if the posterior stayed
+  // below decision_probability. With adaptive calibration the HMM's empty
+  // emission legitimately tracks the drifting quiet level, which makes
+  // weak presence — scores between the quiet fit's flip point and the
+  // calibrated threshold — read as vacant; the re-anchored threshold is
+  // the absolute operating point that still catches it. Off by default:
+  // without calibration a stale threshold under drift charges every
+  // vacant window above it as a false positive.
+  bool hmm_threshold_fusion = false;
 
   // Frame validation (nic::FrameGuard) in front of the ring. Quarantined
   // frames never reach a window; repairable frames are ingested with their
@@ -54,6 +65,14 @@ struct StreamingConfig {
   double watchdog_ewma_alpha = 0.1;
   double watchdog_score_fraction = 0.9;
   std::size_t watchdog_min_windows = 8;
+
+  // Online Bayesian calibration (core/calibration): per-link posteriors
+  // over the quiet profile and threshold plus the recalibration ladder
+  // Healthy -> DriftSuspected -> Recalibrating -> Degraded -> Frozen. When
+  // enabled, the ladder owns LinkHealth::profile_drift (it can clear the
+  // flag by recalibrating in place); the legacy watchdog above keeps
+  // feeding its EWMA either way. Off by default.
+  CalibrationConfig calibration;
 };
 
 struct PresenceDecision {
@@ -112,6 +131,17 @@ struct GuardedIngest {
   std::size_t empty_windows_seen = 0;
   double empty_score_ewma = 0.0;
   bool profile_drift = false;
+  // Expected quiet score from the calibration empty scores (0 when none
+  // were provided). Seeds empty_score_ewma at construction and on Reset so
+  // the first windows after a reset cannot spuriously trip profile_drift
+  // from a cold EWMA; with no seed the legacy first-window hard set stays.
+  double quiet_score_seed = 0.0;
+  // Taint bookkeeping for the calibration ladder: repaired (flagged but
+  // usable) frames — and the subset carrying the RSSI-outlier AGC fault —
+  // admitted since the last emitted decision. The owner zeroes both after
+  // each decision.
+  std::size_t repaired_since_decision = 0;
+  std::size_t agc_frames_since_decision = 0;
 };
 
 class StreamingDetector {
@@ -130,9 +160,18 @@ class StreamingDetector {
   bool occupied() const { return occupied_; }
   double posterior() const { return posterior_; }
 
-  // Link health snapshot: frame-guard counters plus degraded-mode and
-  // profile-drift state. All-zero when the guard is disabled.
-  nic::LinkHealth Health() const { return ingest_.Health(); }
+  // Link health snapshot: frame-guard counters plus degraded-mode,
+  // profile-drift and calibration-ladder state. All-zero when the guard and
+  // adaptive calibration are disabled.
+  nic::LinkHealth Health() const {
+    nic::LinkHealth health = ingest_.Health();
+    calibrator_.FillHealth(health);
+    return health;
+  }
+
+  // Adaptive-calibration state (inert when config.calibration.enabled is
+  // false).
+  const LinkCalibrator& calibrator() const { return calibrator_; }
 
   // Observability: ingest/guard counters, decision counters and per-stage
   // latency histograms recorded by this detector. Enabled by default;
@@ -152,6 +191,7 @@ class StreamingDetector {
   Detector detector_;
   StreamingConfig config_;
   GuardedIngest ingest_;
+  LinkCalibrator calibrator_;
   std::optional<PresenceHmm> hmm_;
   std::optional<PresenceHmm::Filter> filter_;
   // Fixed-capacity ring of the last window_packets packets plus an

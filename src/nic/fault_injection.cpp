@@ -10,11 +10,18 @@
 namespace mulink::nic {
 
 FaultInjector::FaultInjector(FaultInjectionConfig config)
-    : config_(config), rng_(config.seed, /*stream=*/0x5eed5) {
+    : config_(config),
+      rng_(config.seed, /*stream=*/0x5eed5),
+      drift_rng_(config.seed, /*stream=*/0xd21f7) {
   MULINK_REQUIRE(config_.drop_prob >= 0.0 && config_.drop_prob < 1.0,
                  "FaultInjector: drop_prob must be in [0, 1)");
   MULINK_REQUIRE(config_.corrupt_width >= 1,
                  "FaultInjector: corrupt_width must be >= 1");
+  MULINK_REQUIRE(config_.drift_ramp_db_per_1k >= 0.0 &&
+                     config_.drift_ramp_max_db >= 0.0,
+                 "FaultInjector: drift ramp must be non-negative");
+  MULINK_REQUIRE(config_.furniture_step_sigma_db >= 0.0,
+                 "FaultInjector: furniture step sigma must be non-negative");
 }
 
 std::uint32_t FaultInjector::DeadAntennaMask() const {
@@ -28,6 +35,58 @@ std::uint32_t FaultInjector::DeadAntennaMask() const {
 void FaultInjector::CorruptPacket(wifi::CsiPacket& packet) {
   const std::size_t ants = packet.NumAntennas();
   const std::size_t scs = packet.NumSubcarriers();
+
+  // Furniture move: a step change in the static multipath profile. At each
+  // multiple of the step period a persistent per-cell field 1 + eps is
+  // drawn, eps ~ CN(0, s^2) with s set so the per-cell RMS change is
+  // sigma_db — a moved scatterer adds a small complex term to each cell's
+  // multipath sum rather than scrambling its phase. Every subsequent frame
+  // is multiplied by the field (steps compose — a second move perturbs the
+  // already-moved room).
+  if (config_.furniture_step_packets > 0 && ants > 0 && scs > 0) {
+    if (packet_index_ > 0 &&
+        packet_index_ % config_.furniture_step_packets == 0) {
+      // mulink-lint: allow(alloc): sized once at the first step; reused after
+      furniture_field_.resize(ants * scs);
+      const double scale =
+          std::pow(10.0, config_.furniture_step_sigma_db / 20.0) - 1.0;
+      const double component_sigma = scale / std::sqrt(2.0);
+      for (std::size_t i = 0; i < furniture_field_.size(); ++i) {
+        const Complex step =
+            Complex(1.0, 0.0) +
+            Complex(drift_rng_.Gaussian(0.0, component_sigma),
+                    drift_rng_.Gaussian(0.0, component_sigma));
+        furniture_field_[i] =
+            furniture_steps_seen_ == 0 ? step : furniture_field_[i] * step;
+      }
+      ++furniture_steps_seen_;
+    }
+    if (furniture_steps_seen_ > 0) {
+      for (std::size_t m = 0; m < ants; ++m) {
+        for (std::size_t k = 0; k < scs; ++k) {
+          packet.csi.At(m, k) *= furniture_field_[m * scs + k];
+        }
+      }
+    }
+  }
+
+  // Slow multiplicative gain ramp: front-end temperature drift. CSI and
+  // RSSI move together, far below the guard's per-frame outlier radar.
+  if (config_.drift_ramp_db_per_1k > 0.0) {
+    const double ramp_db =
+        std::min(config_.drift_ramp_db_per_1k *
+                     static_cast<double>(packet_index_) / 1000.0,
+                 config_.drift_ramp_max_db);
+    if (ramp_db > 0.0) {
+      const double gain = std::pow(10.0, ramp_db / 20.0);
+      for (std::size_t m = 0; m < ants; ++m) {
+        for (std::size_t k = 0; k < scs; ++k) {
+          packet.csi.At(m, k) *= Complex(gain, 0.0);
+        }
+      }
+      packet.rssi_db += ramp_db;
+    }
+  }
 
   // Garbage subcarriers: firmware desync writes junk into a clump of one
   // chain's report (NaN from the unpacker, or a saturated lattice value).
@@ -51,22 +110,27 @@ void FaultInjector::CorruptPacket(wifi::CsiPacket& packet) {
   }
 
   // AGC jump: the receive gain steps for a burst of frames; CSI amplitudes
-  // and the RSSI indicator move together, like a real AGC retrain.
-  if (config_.agc_jump_prob > 0.0) {
-    if (agc_jump_remaining_ == 0 &&
-        rng_.NextDouble() < config_.agc_jump_prob) {
-      agc_jump_remaining_ = std::max<std::size_t>(1, config_.agc_jump_packets);
-      agc_gain_linear_ = std::pow(10.0, config_.agc_jump_db / 20.0);
-    }
-    if (agc_jump_remaining_ > 0) {
-      for (std::size_t m = 0; m < ants; ++m) {
-        for (std::size_t k = 0; k < scs; ++k) {
-          packet.csi.At(m, k) *= Complex(agc_gain_linear_, 0.0);
-        }
+  // and the RSSI indicator move together, like a real AGC retrain. Bursts
+  // trigger randomly (agc_jump_prob) or on the drift campaign's schedule.
+  if (agc_jump_remaining_ == 0 && config_.agc_jump_prob > 0.0 &&
+      rng_.NextDouble() < config_.agc_jump_prob) {
+    agc_jump_remaining_ = std::max<std::size_t>(1, config_.agc_jump_packets);
+    agc_gain_linear_ = std::pow(10.0, config_.agc_jump_db / 20.0);
+  }
+  if (agc_jump_remaining_ == 0 && config_.agc_schedule_every_packets > 0 &&
+      packet_index_ > 0 &&
+      packet_index_ % config_.agc_schedule_every_packets == 0) {
+    agc_jump_remaining_ = std::max<std::size_t>(1, config_.agc_jump_packets);
+    agc_gain_linear_ = std::pow(10.0, config_.agc_jump_db / 20.0);
+  }
+  if (agc_jump_remaining_ > 0) {
+    for (std::size_t m = 0; m < ants; ++m) {
+      for (std::size_t k = 0; k < scs; ++k) {
+        packet.csi.At(m, k) *= Complex(agc_gain_linear_, 0.0);
       }
-      packet.rssi_db += 20.0 * std::log10(agc_gain_linear_);
-      --agc_jump_remaining_;
     }
+    packet.rssi_db += 20.0 * std::log10(agc_gain_linear_);
+    --agc_jump_remaining_;
   }
 
   ++packet_index_;

@@ -50,6 +50,29 @@ struct FaultInjectionConfig {
   double agc_jump_prob = 0.0;
   double agc_jump_db = 12.0;
   std::size_t agc_jump_packets = 8;
+
+  // Long-horizon drift processes (the adaptive-calibration campaign's fault
+  // vocabulary). All deterministic in the packet index / injector RNG:
+  //
+  // Slow multiplicative gain ramp: every frame scales by an accumulated
+  // gain of drift_ramp_db_per_1k dB per 1000 packets (temperature drift of
+  // the RF front end), clamped at drift_ramp_max_db.
+  double drift_ramp_db_per_1k = 0.0;
+  double drift_ramp_max_db = 12.0;
+
+  // Furniture move: at each multiple of furniture_step_packets a persistent
+  // per-cell field 1 + eps is drawn (eps complex Gaussian, RMS magnitude
+  // change furniture_step_sigma_db — a moved scatterer adds a small term to
+  // each cell's multipath sum) and applied to every subsequent frame — a
+  // step change in the static multipath profile, not a transient. 0
+  // disables.
+  std::size_t furniture_step_packets = 0;
+  double furniture_step_sigma_db = 1.5;
+
+  // Scheduled AGC jumps: every agc_schedule_every_packets the AGC burst
+  // machinery above fires regardless of agc_jump_prob (same agc_jump_db /
+  // agc_jump_packets). 0 disables.
+  std::size_t agc_schedule_every_packets = 0;
 };
 
 class FaultInjector {
@@ -74,9 +97,16 @@ class FaultInjector {
  private:
   FaultInjectionConfig config_;
   Rng rng_;
+  // Drift processes draw from their own stream so enabling a furniture step
+  // never perturbs the corrupt / AGC draw sequence of the main stream.
+  Rng drift_rng_;
   std::size_t packet_index_ = 0;
   std::size_t agc_jump_remaining_ = 0;
   double agc_gain_linear_ = 1.0;
+  // Persistent per-cell complex gain field of the last furniture step
+  // (empty until the first step fires; sized ants*scs on first use).
+  std::vector<Complex> furniture_field_;
+  std::size_t furniture_steps_seen_ = 0;
 };
 
 }  // namespace mulink::nic

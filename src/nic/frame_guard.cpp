@@ -70,6 +70,22 @@ const char* ToString(LinkStatus status) {
   return "unknown";
 }
 
+const char* ToString(CalibrationLadder state) {
+  switch (state) {
+    case CalibrationLadder::kHealthy:
+      return "healthy";
+    case CalibrationLadder::kDriftSuspected:
+      return "drift-suspected";
+    case CalibrationLadder::kRecalibrating:
+      return "recalibrating";
+    case CalibrationLadder::kDegraded:
+      return "degraded";
+    case CalibrationLadder::kFrozen:
+      return "frozen";
+  }
+  return "unknown";
+}
+
 std::uint64_t LinkHealth::FaultCount(FrameFault fault) const {
   if (fault == FrameFault::kNone) return 0;
   return fault_counts[FaultIndex(fault)];
@@ -80,7 +96,8 @@ LinkStatus Status(const LinkHealth& health) {
     return LinkStatus::kCritical;
   }
   if (health.dead_antenna_mask != 0 || health.profile_drift ||
-      health.degraded) {
+      health.degraded ||
+      health.calibration_state >= CalibrationLadder::kDegraded) {
     return LinkStatus::kDegraded;
   }
   return LinkStatus::kHealthy;
@@ -218,13 +235,25 @@ FrameReport FrameGuard::Inspect(const wifi::CsiPacket& packet) {
     report.verdict = FrameVerdict::kRepair;
   }
 
-  // RSSI outlier (AGC jump). EWMA statistics update on every usable frame —
-  // a persistent gain step is flagged while the mean converges to the new
-  // level, a one-frame glitch is flagged exactly once.
+  // RSSI outlier (AGC jump). The EWMA statistics update on every usable
+  // frame, but a flagged outlier contributes a residual clamped to
+  // rssi_outlier_clamp_sigma x sigma (see FrameGuardConfig): folded in at
+  // full weight, one 12 dB excursion inflates the variance so much that
+  // the rest of an AGC burst sails under the sigma gate — the guard would
+  // flag exactly one frame per burst, too few for the calibration ladder's
+  // AGC fast re-baseline. With the clamp every frame of a short burst is
+  // flagged, while a persistent gain step still converges: each clamped
+  // update walks the mean toward the new level and widens sigma until the
+  // step is in-family, after which flagging stops.
+  bool rssi_outlier = false;
+  double rssi_clamp = 0.0;
   if (rssi_seen_ >= config_.rssi_warmup_packets) {
     const double sigma = std::sqrt(std::max(rssi_var_, 1e-12));
+    rssi_clamp = config_.rssi_outlier_clamp_sigma * sigma;
     if (std::abs(packet.rssi_db - rssi_mean_) >
-        config_.rssi_outlier_sigma * sigma) {
+        std::max(config_.rssi_outlier_sigma * sigma,
+                 config_.rssi_outlier_min_db)) {
+      rssi_outlier = true;
       flag(FrameFault::kRssiOutlier);
       report.verdict = FrameVerdict::kRepair;
     }
@@ -234,7 +263,8 @@ FrameReport FrameGuard::Inspect(const wifi::CsiPacket& packet) {
     rssi_var_ = 0.0;
   } else {
     const double alpha = config_.rssi_ewma_alpha;
-    const double delta = packet.rssi_db - rssi_mean_;
+    double delta = packet.rssi_db - rssi_mean_;
+    if (rssi_outlier) delta = std::clamp(delta, -rssi_clamp, rssi_clamp);
     rssi_mean_ += alpha * delta;
     rssi_var_ = (1.0 - alpha) * (rssi_var_ + alpha * delta * delta);
   }

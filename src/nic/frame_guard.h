@@ -69,7 +69,25 @@ struct FrameGuardConfig {
 
   // RSSI outlier (AGC jump): |rssi - EWMA mean| > rssi_outlier_sigma x the
   // EWMA standard deviation, evaluated after rssi_warmup_packets frames.
+  // A flagged frame's residual is folded into the EWMA clamped to
+  // rssi_outlier_clamp_sigma x sigma (a Huber-style robust update): at full
+  // weight one 12 dB excursion inflates the variance enough that the rest
+  // of an AGC burst passes under the gate, so a multi-frame burst would be
+  // flagged exactly once — too few flagged frames to ever drive the
+  // calibration ladder's AGC fast re-baseline. The clamp keeps a short
+  // burst out-of-family for its full length while a persistent gain step
+  // still converges (each clamped update widens sigma ~alpha x clamp^2, so
+  // the gate reaches the step within a few tens of frames).
+  // The absolute floor under the sigma gate: deviations below
+  // rssi_outlier_min_db never flag, whatever the EWMA sigma says. Fading
+  // RSSI is heavy-tailed and temporally correlated — a deep-fade excursion
+  // of a few dB can run for several frames and would read as a burst of
+  // outliers against a tight sigma estimate — while genuine AGC steps come
+  // in half-dozen-dB quanta. The floor keeps the flag on gain steps and
+  // off channel dynamics.
   double rssi_outlier_sigma = 6.0;
+  double rssi_outlier_min_db = 6.0;
+  double rssi_outlier_clamp_sigma = 1.0;
   double rssi_ewma_alpha = 0.05;
   std::size_t rssi_warmup_packets = 20;
 
@@ -92,6 +110,20 @@ struct FrameReport {
   bool Has(FrameFault fault) const { return (faults & FaultBit(fault)) != 0; }
 };
 
+// Adaptive-calibration ladder state. The state machine itself lives in
+// core/calibration (which depends on this layer, not the reverse); the enum
+// is declared here so LinkHealth snapshots and the obs exporters can carry
+// and name the state without a core dependency.
+enum class CalibrationLadder : std::uint8_t {
+  kHealthy = 0,         // profile matches quiet air; posterior learns slowly
+  kDriftSuspected = 1,  // quiet-score EWMA persistently near the threshold
+  kRecalibrating = 2,   // collecting quiet evidence for an in-place swap
+  kDegraded = 3,        // repeated recalibrations failed; retrying on backoff
+  kFrozen = 4,          // gave up; only an explicit Reset re-arms the ladder
+};
+
+const char* ToString(CalibrationLadder state);
+
 // Per-link ingest health. The guard fills the counters; SensingEngine /
 // StreamingDetector fill the degradation fields before handing the report
 // to callers.
@@ -112,6 +144,13 @@ struct LinkHealth {
   std::uint64_t degraded_decisions = 0;
   bool profile_drift = false;    // watchdog: s(0) no longer matches empty air
   double empty_score_ewma = 0.0; // watchdog state (quarantine-filtered)
+
+  // Filled by the adaptive-calibration ladder (core/calibration); all at
+  // their zero values when adaptive calibration is off.
+  CalibrationLadder calibration_state = CalibrationLadder::kHealthy;
+  std::uint64_t quiet_windows = 0;   // windows accepted as quiet evidence
+  std::uint64_t profile_swaps = 0;   // in-place recalibrations applied
+  double adaptive_threshold = 0.0;   // active threshold (0 before any swap)
 
   std::uint64_t FaultCount(FrameFault fault) const;
 };

@@ -130,6 +130,13 @@ void WriteLinkHealthJson(std::ostream& out, const nic::LinkHealth& health) {
       << ",\n  \"degraded_decisions\": " << health.degraded_decisions
       << ",\n  \"profile_drift\": " << (health.profile_drift ? "true" : "false")
       << ",\n  \"empty_score_ewma\": " << Finite(health.empty_score_ewma)
+      << ",\n  \"calibration_state\": \""
+      << nic::ToString(health.calibration_state) << "\""
+      << ",\n  \"calibration_state_id\": "
+      << static_cast<unsigned>(health.calibration_state)
+      << ",\n  \"quiet_windows\": " << health.quiet_windows
+      << ",\n  \"profile_swaps\": " << health.profile_swaps
+      << ",\n  \"adaptive_threshold\": " << Finite(health.adaptive_threshold)
       << "\n}\n";
 }
 

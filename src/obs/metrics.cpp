@@ -66,6 +66,14 @@ const char* ToString(Counter counter) {
       return "cases_run";
     case Counter::kTraceEventsDropped:
       return "trace_events_dropped";
+    case Counter::kQuietWindows:
+      return "quiet_windows";
+    case Counter::kProfileSwaps:
+      return "profile_swaps";
+    case Counter::kLadderTransitions:
+      return "ladder_transitions";
+    case Counter::kAgcRebaselines:
+      return "agc_rebaselines";
   }
   return "unknown";
 }
@@ -80,6 +88,10 @@ const char* ToString(Gauge gauge) {
       return "empty_score_ewma";
     case Gauge::kLiveAntennas:
       return "live_antennas";
+    case Gauge::kLadderState:
+      return "ladder_state";
+    case Gauge::kAdaptiveThreshold:
+      return "adaptive_threshold";
   }
   return "unknown";
 }

@@ -75,9 +75,13 @@ enum class Counter : std::uint8_t {
   kSessionsCaptured,     // simulator sessions captured (campaign)
   kCasesRun,             // campaign cases completed
   kTraceEventsDropped,   // trace events lost to a full ring
+  kQuietWindows,         // windows accepted as quiet calibration evidence
+  kProfileSwaps,         // adaptive profile/threshold swaps applied
+  kLadderTransitions,    // recalibration-ladder state transitions
+  kAgcRebaselines,       // AGC-jump fast re-baseline paths taken
 };
 
-inline constexpr std::size_t kNumCounters = 17;
+inline constexpr std::size_t kNumCounters = 21;
 
 const char* ToString(Counter counter);
 
@@ -86,9 +90,11 @@ enum class Gauge : std::uint8_t {
   kLastScore,       // last decision's raw statistic
   kEmptyScoreEwma,  // profile-drift watchdog EWMA
   kLiveAntennas,    // live RX chains at the last decision
+  kLadderState,     // recalibration-ladder state (CalibrationLadder value)
+  kAdaptiveThreshold,  // threshold installed by the last profile swap
 };
 
-inline constexpr std::size_t kNumGauges = 4;
+inline constexpr std::size_t kNumGauges = 6;
 
 const char* ToString(Gauge gauge);
 

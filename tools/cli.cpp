@@ -6,7 +6,7 @@
 //   mulink export-csv session.mlnk session.csv
 //   mulink detect --calibration empty.mlnk --session person.mlnk
 //                 [--scheme combined] [--window 25] [--guard]
-//                 [--metrics] [--metrics-json] [--guard-json]
+//                 [--metrics] [--metrics-json] [--guard-json] [--adaptive]
 //   mulink campaign [--threads n] [--metrics] [--trace-json trace.json]
 //   mulink spectrum --calibration empty.mlnk
 //   mulink breath --session sleeper.mlnk --rate 50
@@ -77,9 +77,10 @@ const std::vector<CommandSpec>& Specs() {
       {"detect",
        "detect --calibration <file> --session <file>\n"
        "       [--scheme baseline|subcarrier|combined|variance] [--window n]\n"
-       "       [--guard] [--guard-json] [--metrics] [--metrics-json]",
+       "       [--guard] [--guard-json] [--metrics] [--metrics-json]\n"
+       "       [--adaptive]",
        {"calibration", "session", "scheme", "window"},
-       {"guard", "guard-json", "metrics", "metrics-json"}},
+       {"guard", "guard-json", "metrics", "metrics-json", "adaptive"}},
       {"campaign",
        "campaign [--threads n] [--seed n] [--window n]\n"
        "         [--packets-per-location n] [--calibration-packets n]\n"
@@ -352,13 +353,25 @@ int Detect(const Args& args, std::ostream& out) {
 
   // Batch the whole session through the sensing engine: one decision per
   // non-overlapping window, scored on persistent per-link scratch.
+  const bool adaptive = args.options.count("adaptive") > 0;
   core::StreamingConfig stream;
   stream.window_packets = config.window_packets;
   stream.hop_packets = config.window_packets;
   stream.use_hmm = false;
   stream.guard_enabled = guard;
+  stream.calibration.enabled = adaptive;
+  // The calibrator's quiet-score prior comes from the calibration session's
+  // own window scores (the same windows the threshold was fitted on).
+  std::vector<double> empty_scores;
+  if (adaptive) {
+    core::DetectorScratch scratch;
+    for (const auto& window : empty_windows) {
+      empty_scores.push_back(
+          detector.Score(std::span<const wifi::CsiPacket>(window), scratch));
+    }
+  }
   core::SensingEngine engine;
-  engine.AddLink(std::move(detector), {}, stream);
+  engine.AddLink(std::move(detector), empty_scores, stream);
   const auto& batch =
       engine.ProcessBatch(std::span<const wifi::CsiPacket>(session));
   for (std::size_t i = 0; i < batch.decisions.size(); ++i) {
@@ -395,6 +408,16 @@ int Detect(const Args& args, std::ostream& out) {
       out << "  WATCHDOG:   static profile drift detected — "
              "recalibration due\n";
     }
+  }
+  if (adaptive) {
+    const nic::LinkHealth health = engine.Health(0);
+    out << "calibration:  " << nic::ToString(health.calibration_state) << ", "
+        << health.quiet_windows << " quiet windows, " << health.profile_swaps
+        << " swaps";
+    if (health.profile_swaps > 0) {
+      out << ", threshold " << ex::Fmt(health.adaptive_threshold, 4);
+    }
+    out << "\n";
   }
   if (guard_json) {
     obs::WriteLinkHealthJson(out, engine.Health(0));
