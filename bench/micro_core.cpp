@@ -340,17 +340,27 @@ void MeasureLoop(Fn&& score_once, double& ns_per_window,
                                 clock::now() - t0)
                                 .count());
     if (elapsed_ns > target_ns || iters >= (1u << 20)) {
+      // Min of three timed passes: the box runs other tenants, and a single
+      // pass can absorb a scheduling gap several times the cost of the work
+      // being measured. The minimum is the standard noise-robust estimator
+      // for a deterministic loop. Allocations are counted across all
+      // passes — any pass allocating would make the quotient non-zero.
       const std::uint64_t allocs_before = AllocCount();
-      const auto m0 = clock::now();
-      for (std::size_t i = 0; i < iters; ++i) score_once();
-      const double measured_ns = static_cast<double>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
-                                                               m0)
-              .count());
-      ns_per_window = measured_ns / static_cast<double>(iters);
+      double best_ns = 0.0;
+      const int passes = g_smoke ? 1 : 3;
+      for (int pass = 0; pass < passes; ++pass) {
+        const auto m0 = clock::now();
+        for (std::size_t i = 0; i < iters; ++i) score_once();
+        const double measured_ns = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                 m0)
+                .count());
+        if (pass == 0 || measured_ns < best_ns) best_ns = measured_ns;
+      }
+      ns_per_window = best_ns / static_cast<double>(iters);
       allocs_per_window =
           static_cast<double>(AllocCount() - allocs_before) /
-          static_cast<double>(iters);
+          static_cast<double>(iters * static_cast<std::size_t>(passes));
       return;
     }
     iters *= 2;
@@ -377,6 +387,9 @@ void WriteEngineJson(const char* path) {
   // Merged per-stage histograms from every metrics-on engine run; the
   // "stages" object divides each stage's total by the decisions it served.
   obs::Registry stage_totals;
+  // The combined scheme's histograms alone, for the per-stage roofline
+  // block (merging schemes would blend unrelated score loops).
+  obs::Registry combined_metrics;
   for (auto scheme : schemes) {
     core::DetectorConfig config;
     config.scheme = scheme;
@@ -442,6 +455,9 @@ void WriteEngineJson(const char* path) {
     row.engine_metrics_ns = mbatch_ns / decisions_per_pass;
     row.engine_metrics_allocs = mbatch_allocs / decisions_per_pass;
     stage_totals.MergeFrom(metrics_engine.Metrics(0));
+    if (scheme == core::DetectionScheme::kSubcarrierAndPathWeighting) {
+      combined_metrics.MergeFrom(metrics_engine.Metrics(0));
+    }
     rows.push_back(row);
   }
 
@@ -489,7 +505,76 @@ void WriteEngineJson(const char* path) {
         << ", \"mean_ns\": " << h.MeanNs() << "}"
         << (s + 1 < obs::kNumStages ? "," : "") << "\n";
   }
-  out << "  }\n}\n";
+
+  // Per-stage roofline for the combined scheme: analytic traffic and FLOP
+  // counts per decision from the pipeline shape, next to the measured
+  // latency. The analytic side counts the algorithmic work (reads/writes of
+  // the buffers each kernel touches, mul/add/div/sqrt as one FLOP each,
+  // libm-grade trig at its polynomial cost) — cache reuse is not modeled,
+  // so bytes are an upper bound on DRAM traffic and a lower bound on
+  // load/store traffic.
+  {
+    const double A = static_cast<double>(f.window[0].NumAntennas());
+    const double K = static_cast<double>(f.window[0].NumSubcarriers());
+    const double W = static_cast<double>(window_packets);
+    const double H = static_cast<double>(kHop);
+    const double G = static_cast<double>(core::MusicConfig{}.num_points);
+    const double pairs = A * (A - 1.0) / 2.0;
+    // Kernel-layer trig cost per element (polynomial + reduction, counted
+    // from trig_core.h): ~30 flops a sincos pair, ~40 an atan2 (two
+    // half-angle reductions burn div/sqrt).
+    const double kSinCosFlops = 30.0, kAtan2Flops = 40.0;
+
+    struct RooflineRow {
+      const char* stage;
+      obs::Stage id;
+      double per_decision;  // timed invocations per decision
+      double bytes;
+      double flops;
+    };
+    const RooflineRow roofline[] = {
+        // Sanitize + ingest-time mu/median per packet, x hop packets per
+        // decision. Bytes: CSI in+out, split-complex lanes, mu row.
+        {"ingest_sanitize", obs::Stage::kIngestSanitize, H,
+         H * (2.0 * A * K * 16.0 + 8.0 * K * 8.0 + K * 8.0),
+         H * (2.0 * A * K + (kAtan2Flops + kSinCosFlops) * K + 18.0 * K +
+              6.0 * A * K + A * (2.0 * K + 3.0 * K) + 8.0 * K)},
+        // Eq. 13-15 from the prepared rows: one fused mean/stability pass
+        // over W rows plus the normalization tail.
+        {"subcarrier_weighting", obs::Stage::kSubcarrierWeighting, 1.0,
+         W * (K * 8.0 + 2.0 * K * 8.0) + 4.0 * K * 8.0,
+         W * 3.0 * K + 8.0 * K},
+        // Window covariance pack+reduce, profile stack combine, two
+        // closed-form lambda_min, the batched two-spectrum Bartlett scan
+        // and the Eq. 17 path-weight products.
+        {"music_path_weighting", obs::Stage::kMusicPathWeighting, 1.0,
+         W * A * K * 16.0 * 2.0 + K * A * A * 16.0 +
+             2.0 * A * G * 8.0 + 2.0 * A * A * 16.0 + 4.0 * G * 8.0,
+         (A + 4.0 * pairs) * W * K * 4.0 + K * A * A * 8.0 + 2.0 * 60.0 +
+             2.0 * G * (2.0 * A + 8.0 * pairs) + 2.0 * G},
+        // Normalized Euclidean distance of the two weighted spectra.
+        {"score", obs::Stage::kScore, 1.0, 3.0 * G * 8.0, 6.0 * G},
+    };
+    const double combined_decisions = static_cast<double>(
+        combined_metrics.Get(obs::Counter::kDecisions));
+    out << "  },\n  \"roofline\": {\n";
+    for (std::size_t r = 0; r < std::size(roofline); ++r) {
+      const auto& row = roofline[r];
+      const auto& h = combined_metrics.StageLatency(row.id);
+      // ingest_sanitize is sampled 1-in-N, so scale its per-invocation mean
+      // by invocations per decision instead of dividing a sampled total.
+      const double ns = combined_decisions > 0.0 && h.count > 0
+                            ? h.MeanNs() * row.per_decision
+                            : 0.0;
+      out << "    \"" << row.stage
+          << "\": {\"bytes_per_decision\": " << row.bytes
+          << ", \"flops_per_decision\": " << row.flops
+          << ", \"ns_per_decision\": " << ns << "}"
+          << (r + 1 < std::size(roofline) ? "," : "") << "\n";
+    }
+    out << "  }\n}\n";
+    return;
+  }
 }
 
 }  // namespace

@@ -34,7 +34,7 @@ def require(cond, message):
 
 def check_engine(doc):
     for key in ("benchmark", "window_packets", "hop_packets", "stream_packets",
-                "schemes", "obs_enabled", "stages"):
+                "schemes", "obs_enabled", "stages", "roofline"):
         require(key in doc, f"missing top-level key '{key}'")
 
     scheme_keys = (
@@ -82,7 +82,26 @@ def check_engine(doc):
             require(stages.get(name, {}).get("count", 0) > 0,
                     f"obs enabled but stage '{name}' recorded no samples")
 
+    # Per-stage roofline rows for the combined scheme: analytic traffic and
+    # arithmetic per decision alongside the measured time. Losing a row (or
+    # the analytic columns going non-positive) means the kernel-layer
+    # accounting in WriteEngineJson fell out of sync with the pipeline.
+    roofline_stages = ("ingest_sanitize", "subcarrier_weighting",
+                      "music_path_weighting", "score")
+    roofline = doc.get("roofline", {})
+    for name in roofline_stages:
+        require(name in roofline, f"roofline object lost '{name}'")
+        row = roofline.get(name, {})
+        for key in ("bytes_per_decision", "flops_per_decision",
+                    "ns_per_decision"):
+            require(key in row, f"roofline '{name}' lost '{key}'")
+        for key in ("bytes_per_decision", "flops_per_decision"):
+            value = row.get(key)
+            require(isinstance(value, (int, float)) and value > 0,
+                    f"roofline '{name}': {key} = {value}, expected > 0")
+
     return (f"{len(rows)} schemes, {len(stages)} stages, "
+            f"{len(roofline)} roofline rows, "
             f"obs_enabled={doc.get('obs_enabled')}")
 
 

@@ -10,6 +10,7 @@
 #include "core/multipath_factor.h"
 #include "core/sanitize.h"
 #include "dsp/stats.h"
+#include "kernels/kernels.h"
 #include "linalg/hermitian_eig.h"
 
 namespace mulink::core {
@@ -163,7 +164,7 @@ double Detector::Score(std::span<const wifi::CsiPacket> window,
     SanitizePhaseInto(window, band_, scratch.sanitized, scratch.sanitize);
   }
   return DispatchSanitized(std::span<const wifi::CsiPacket>(scratch.sanitized),
-                           scratch);
+                           scratch, nullptr);
 }
 
 double Detector::ScoreSanitized(std::span<const wifi::CsiPacket> window,
@@ -178,7 +179,28 @@ double Detector::ScoreSanitized(std::span<const wifi::CsiPacket> window,
     MULINK_OBS_STAGE_TIMER(timer, scratch.metrics, kScore);
     return ScoreBaseline(window, FullAntennaMask());
   }
-  return DispatchSanitized(window, scratch);
+  return DispatchSanitized(window, scratch, nullptr);
+}
+
+double Detector::ScoreSanitizedPrepared(
+    std::span<const wifi::CsiPacket> window,
+    const PreparedWindowFactors& factors, DetectorScratch& scratch) const {
+  MULINK_REQUIRE(!window.empty(),
+                 "Detector::ScoreSanitizedPrepared: empty window");
+  MULINK_REQUIRE(window[0].NumAntennas() == num_antennas_ &&
+                     window[0].NumSubcarriers() == num_subcarriers_,
+                 "Detector::ScoreSanitizedPrepared: window dimensions "
+                 "mismatch calibration");
+  MULINK_REQUIRE(factors.mu_rows.size() == window.size() &&
+                     factors.medians.size() == window.size(),
+                 "Detector::ScoreSanitizedPrepared: factors/window size "
+                 "mismatch");
+  MULINK_OBS_COUNT(scratch.metrics, kWindowsScored);
+  if (config_.scheme == DetectionScheme::kBaseline) {
+    MULINK_OBS_STAGE_TIMER(timer, scratch.metrics, kScore);
+    return ScoreBaseline(window, FullAntennaMask());
+  }
+  return DispatchSanitized(window, scratch, &factors);
 }
 
 std::uint32_t Detector::FullAntennaMask() const {
@@ -236,31 +258,52 @@ double Detector::DispatchSanitizedDegraded(
     case DetectionScheme::kBaseline:
       break;  // handled by the callers above
     case DetectionScheme::kSubcarrierWeighting:
-      return ScoreSubcarrierWeighting(sanitized, scratch, live_mask);
+      return ScoreSubcarrierWeighting(sanitized, scratch, live_mask, nullptr);
     case DetectionScheme::kSubcarrierAndPathWeighting:
       // MUSIC needs the full 3-element ULA; with a dead chain the angular
       // statistic is meaningless, so fall back to subcarrier-only
       // weighting over the live rows (decisions use fallback_threshold()).
-      return ScoreSubcarrierWeighting(sanitized, scratch, live_mask);
+      return ScoreSubcarrierWeighting(sanitized, scratch, live_mask, nullptr);
     case DetectionScheme::kVarianceMobile:
-      return ScoreVarianceMobile(sanitized, scratch, live_mask);
+      return ScoreVarianceMobile(sanitized, scratch, live_mask, nullptr);
   }
   return 0.0;
 }
 
 double Detector::DispatchSanitized(std::span<const wifi::CsiPacket> sanitized,
-                                   DetectorScratch& scratch) const {
+                                   DetectorScratch& scratch,
+                                   const PreparedWindowFactors* prepared)
+    const {
   switch (config_.scheme) {
     case DetectionScheme::kBaseline:
       break;  // handled by the callers above
     case DetectionScheme::kSubcarrierWeighting:
-      return ScoreSubcarrierWeighting(sanitized, scratch, FullAntennaMask());
+      return ScoreSubcarrierWeighting(sanitized, scratch, FullAntennaMask(),
+                                      prepared);
     case DetectionScheme::kSubcarrierAndPathWeighting:
-      return ScoreCombined(sanitized, scratch);
+      return ScoreCombined(sanitized, scratch, prepared);
     case DetectionScheme::kVarianceMobile:
-      return ScoreVarianceMobile(sanitized, scratch, FullAntennaMask());
+      return ScoreVarianceMobile(sanitized, scratch, FullAntennaMask(),
+                                 prepared);
   }
   return 0.0;
+}
+
+void Detector::ComputeWindowWeights(std::span<const wifi::CsiPacket> sanitized,
+                                    DetectorScratch& scratch,
+                                    const PreparedWindowFactors* prepared)
+    const {
+  MULINK_OBS_STAGE_TIMER(timer, scratch.metrics, kSubcarrierWeighting);
+  if (prepared != nullptr) {
+    ComputeSubcarrierWeightsInto(prepared->mu_rows, prepared->medians,
+                                 num_subcarriers_, config_.weighting_mode,
+                                 scratch.weights);
+  } else {
+    MeasureMultipathFactorsInto(sanitized, band_, scratch.mu,
+                                scratch.multipath);
+    ComputeSubcarrierWeightsInto(scratch.mu, config_.weighting_mode,
+                                 scratch.weights, scratch.median_scratch);
+  }
 }
 
 std::vector<double> Detector::ScoreSession(
@@ -494,14 +537,8 @@ double Detector::ScoreBaseline(std::span<const wifi::CsiPacket> window,
 
 double Detector::ScoreSubcarrierWeighting(
     std::span<const wifi::CsiPacket> sanitized, DetectorScratch& scratch,
-    std::uint32_t live_mask) const {
-  {
-    MULINK_OBS_STAGE_TIMER(timer, scratch.metrics, kSubcarrierWeighting);
-    MeasureMultipathFactorsInto(sanitized, band_, scratch.mu,
-                                scratch.multipath);
-    ComputeSubcarrierWeightsInto(scratch.mu, config_.weighting_mode,
-                                 scratch.weights, scratch.median_scratch);
-  }
+    std::uint32_t live_mask, const PreparedWindowFactors* prepared) const {
+  ComputeWindowWeights(sanitized, scratch, prepared);
   MULINK_OBS_STAGE_TIMER(score_timer, scratch.metrics, kScore);
   const auto& weights = scratch.weights;
 
@@ -546,16 +583,10 @@ double Detector::ScoreSubcarrierWeighting(
 
 double Detector::ScoreVarianceMobile(
     std::span<const wifi::CsiPacket> sanitized, DetectorScratch& scratch,
-    std::uint32_t live_mask) const {
+    std::uint32_t live_mask, const PreparedWindowFactors* prepared) const {
   MULINK_REQUIRE(sanitized.size() >= 2,
                  "Detector: variance statistic needs >= 2 packets");
-  {
-    MULINK_OBS_STAGE_TIMER(timer, scratch.metrics, kSubcarrierWeighting);
-    MeasureMultipathFactorsInto(sanitized, band_, scratch.mu,
-                                scratch.multipath);
-    ComputeSubcarrierWeightsInto(scratch.mu, config_.weighting_mode,
-                                 scratch.weights, scratch.median_scratch);
-  }
+  ComputeWindowWeights(sanitized, scratch, prepared);
   MULINK_OBS_STAGE_TIMER(score_timer, scratch.metrics, kScore);
   const auto& weights = scratch.weights;
   const double uniform = 1.0 / static_cast<double>(num_subcarriers_);
@@ -599,16 +630,11 @@ double Detector::ScoreVarianceMobile(
 }
 
 double Detector::ScoreCombined(std::span<const wifi::CsiPacket> sanitized,
-                               DetectorScratch& scratch) const {
+                               DetectorScratch& scratch,
+                               const PreparedWindowFactors* prepared) const {
   MULINK_REQUIRE(num_antennas_ >= 2,
                  "Detector: combined scheme needs >= 2 antennas");
-  {
-    MULINK_OBS_STAGE_TIMER(timer, scratch.metrics, kSubcarrierWeighting);
-    MeasureMultipathFactorsInto(sanitized, band_, scratch.mu,
-                                scratch.multipath);
-    ComputeSubcarrierWeightsInto(scratch.mu, config_.weighting_mode,
-                                 scratch.weights, scratch.median_scratch);
-  }
+  ComputeWindowWeights(sanitized, scratch, prepared);
   const auto& weights = scratch.weights;
 
   // Same monitoring-stage subcarrier weights applied to both sides — valid
@@ -640,19 +666,21 @@ double Detector::ScoreCombined(std::span<const wifi::CsiPacket> sanitized,
     if (config_.noise_floor_subtraction) {
       // Spatially-white components (AWGN, receiver-local interference) add
       // lambda_min * I to the covariance; removing it keeps the angular
-      // statistic about propagation paths only.
+      // statistic about propagation paths only. Only lambda_min is needed,
+      // so the closed-form smallest-eigenvalue path skips the full Jacobi
+      // diagonalization the MUSIC calibration stage still uses.
       for (auto* cov : {&monitor_cov, &profile_cov}) {
-        linalg::HermitianEigen(*cov, scratch.music.eig, scratch.music.eig_ws);
-        const double floor = std::max(scratch.music.eig.values.front(), 0.0);
+        const double floor =
+            std::max(linalg::SmallestHermitianEigenvalue(*cov), 0.0);
         for (std::size_t i = 0; i < cov->rows(); ++i) {
           cov->At(i, i) -= Complex(floor, 0.0);
         }
       }
     }
-    ComputeBartlettSpectrumInto(monitor_cov, array_, band_, config_.music,
-                                scratch.monitor_spectrum, scratch.music);
-    ComputeBartlettSpectrumInto(profile_cov, array_, band_, config_.music,
-                                scratch.profile_spectrum, scratch.music);
+    // Both Bartlett scans share one pass over the steering table.
+    ComputeBartlettSpectraInto(monitor_cov, profile_cov, array_, band_,
+                               config_.music, scratch.monitor_spectrum,
+                               scratch.profile_spectrum, scratch.music);
 
     ApplyPathWeightsInto(path_weights_, scratch.monitor_spectrum,
                          scratch.weighted_monitor);
@@ -665,18 +693,13 @@ double Detector::ScoreCombined(std::span<const wifi::CsiPacket> sanitized,
 
   // Euclidean distance of the weighted spectra, normalized by the weighted
   // profile so one global threshold works across links of different length.
-  double norm_profile = 0.0;
-  for (double v : weighted_profile) norm_profile += v * v;
-  norm_profile = std::sqrt(norm_profile);
+  const double norm_profile = std::sqrt(
+      kernels::SumSquares(weighted_profile.data(), weighted_profile.size()));
   MULINK_ASSERT_MSG(norm_profile > 0.0,
                     "combined score: weighted profile spectrum is all zero");
-
-  double sum_sq = 0.0;
-  for (std::size_t i = 0; i < weighted_monitor.size(); ++i) {
-    const double diff = (weighted_monitor[i] - weighted_profile[i]) / norm_profile;
-    sum_sq += diff * diff;
-  }
-  return std::sqrt(sum_sq);
+  return std::sqrt(kernels::NormalizedDistanceSq(
+      weighted_monitor.data(), weighted_profile.data(), norm_profile,
+      weighted_monitor.size()));
 }
 
 }  // namespace mulink::core

@@ -156,6 +156,24 @@ class Detector {
   double ScoreSanitized(std::span<const wifi::CsiPacket> window,
                         DetectorScratch& scratch) const;
 
+  // Per-packet multipath factors prepared once at ingest (the engine fast
+  // path): mu_rows[m] points at packet m's num_subcarriers() factors and
+  // medians[m] is that row's cross-subcarrier median, both in window order.
+  // Like sanitization, mu extraction is a deterministic per-packet map, so
+  // caching it at ingest instead of re-deriving window_packets rows every
+  // hop changes no bits of the score.
+  struct PreparedWindowFactors {
+    std::span<const double* const> mu_rows;
+    std::span<const double> medians;
+  };
+
+  // ScoreSanitized with ingest-prepared multipath factors. Bit-identical to
+  // ScoreSanitized on the same window when the factors match what
+  // MeasureMultipathFactorsInto / dsp::Median produce for its packets.
+  double ScoreSanitizedPrepared(std::span<const wifi::CsiPacket> window,
+                                const PreparedWindowFactors& factors,
+                                DetectorScratch& scratch) const;
+
   // Degraded-mode statistic for windows with dead RX chains: only the
   // antennas set in `live_mask` (bit m = antenna m) contribute. The
   // combined scheme always falls back to subcarrier-only weighting here —
@@ -267,18 +285,26 @@ class Detector {
   // in live_mask contribute (the full mask reproduces the clean statistic
   // bit for bit).
   double DispatchSanitized(std::span<const wifi::CsiPacket> sanitized,
-                           DetectorScratch& scratch) const;
+                           DetectorScratch& scratch,
+                           const PreparedWindowFactors* prepared) const;
   double DispatchSanitizedDegraded(std::span<const wifi::CsiPacket> sanitized,
                                    DetectorScratch& scratch,
                                    std::uint32_t live_mask) const;
+  // Eq. 13–15 window weights into scratch.weights — from the prepared
+  // per-packet factors when given, else measured from the sanitized window.
+  void ComputeWindowWeights(std::span<const wifi::CsiPacket> sanitized,
+                            DetectorScratch& scratch,
+                            const PreparedWindowFactors* prepared) const;
   double ScoreSubcarrierWeighting(std::span<const wifi::CsiPacket> sanitized,
                                   DetectorScratch& scratch,
-                                  std::uint32_t live_mask) const;
+                                  std::uint32_t live_mask,
+                                  const PreparedWindowFactors* prepared) const;
   double ScoreCombined(std::span<const wifi::CsiPacket> sanitized,
-                       DetectorScratch& scratch) const;
+                       DetectorScratch& scratch,
+                       const PreparedWindowFactors* prepared) const;
   double ScoreVarianceMobile(std::span<const wifi::CsiPacket> sanitized,
-                             DetectorScratch& scratch,
-                             std::uint32_t live_mask) const;
+                             DetectorScratch& scratch, std::uint32_t live_mask,
+                             const PreparedWindowFactors* prepared) const;
 
   wifi::BandPlan band_;
   wifi::UniformLinearArray array_;

@@ -38,6 +38,16 @@ struct SensingEngine::LinkState {
     ring.reserve(config.window_packets);
     // mulink-lint: allow(alloc): ctor, setup path
     window.reserve(config.window_packets);
+    if (pre_sanitize) {
+      // mulink-lint: allow(alloc): ctor, setup path
+      mu_ring.resize(config.window_packets);
+      // mulink-lint: allow(alloc): ctor, setup path
+      mu_median_ring.resize(config.window_packets, 0.0);
+      // mulink-lint: allow(alloc): ctor, setup path
+      mu_window.resize(config.window_packets, nullptr);
+      // mulink-lint: allow(alloc): ctor, setup path
+      median_window.resize(config.window_packets, 0.0);
+    }
   }
 
   // Mirror of StreamingDetector::Push — same ring discipline, same HMM
@@ -70,6 +80,15 @@ struct SensingEngine::LinkState {
       obs::Registry* const timed = MULINK_OBS_SAMPLED(sink);
       MULINK_OBS_STAGE_TIMER(timer, timed, kIngestSanitize);
       SanitizePhaseInto(packet, detector.band(), slot, scratch.sanitize);
+      // Multipath factors and their median are per-packet maps of the
+      // sanitized slot, so they ride the ring too: each hop's decision
+      // reuses window-hop rows instead of re-deriving all window_packets
+      // of them (ScoreSanitizedPrepared is bit-identical to the
+      // recompute-per-window path on the same packets).
+      MeasureMultipathFactorsInto(slot, detector.band(), mu_ring[write_pos],
+                                  scratch.multipath);
+      mu_median_ring[write_pos] =
+          dsp::Median(mu_ring[write_pos], scratch.median_scratch);
     } else {
       slot = packet;  // copy-assign reuses the slot's CSI buffer
     }
@@ -86,7 +105,12 @@ struct SensingEngine::LinkState {
     // mulink-lint: allow(alloc): capacity reserved in ctor; resize never reallocates
     window.resize(config.window_packets);
     for (std::size_t i = 0; i < config.window_packets; ++i) {
-      window[i] = ring[(write_pos + i) % config.window_packets];
+      const std::size_t slot_idx = (write_pos + i) % config.window_packets;
+      window[i] = ring[slot_idx];
+      if (pre_sanitize) {
+        mu_window[i] = mu_ring[slot_idx].data();
+        median_window[i] = mu_median_ring[slot_idx];
+      }
     }
     PresenceDecision decision;
     decision.timestamp_s = window.back().timestamp_s;
@@ -121,9 +145,15 @@ struct SensingEngine::LinkState {
       ++ingest.degraded_decisions;
       MULINK_OBS_COUNT(sink, kDegradedDecisions);
     } else {
-      decision.score = pre_sanitize
-                           ? detector.ScoreSanitized(window_span, scratch)
-                           : detector.Score(window_span, scratch);
+      if (pre_sanitize) {
+        Detector::PreparedWindowFactors factors;
+        factors.mu_rows = std::span<const double* const>(mu_window);
+        factors.medians = std::span<const double>(median_window);
+        decision.score =
+            detector.ScoreSanitizedPrepared(window_span, factors, scratch);
+      } else {
+        decision.score = detector.Score(window_span, scratch);
+      }
       if (filter.has_value()) {
         MULINK_OBS_STAGE_TIMER(hmm_timer, sink, kHmmFilter);
         decision.posterior = filter->Update(decision.score);
@@ -195,6 +225,14 @@ struct SensingEngine::LinkState {
   std::optional<PresenceHmm::Filter> filter;  // references hmm; do not move
   std::vector<wifi::CsiPacket> ring;
   std::vector<wifi::CsiPacket> window;
+  // Ingest-time multipath factors riding the packet ring (pre_sanitize
+  // links only): mu_ring[slot] / mu_median_ring[slot] belong to ring[slot];
+  // mu_window / median_window are their window-ordered views for
+  // ScoreSanitizedPrepared.
+  std::vector<std::vector<double>> mu_ring;
+  std::vector<double> mu_median_ring;
+  std::vector<const double*> mu_window;
+  std::vector<double> median_window;
   std::size_t write_pos = 0;
   std::size_t count = 0;
   std::size_t packets_since_decision = 0;

@@ -4,8 +4,40 @@
 
 #include "common/assert.h"
 #include "dsp/delay_domain.h"
+#include "kernels/kernels.h"
 
 namespace mulink::core {
+
+namespace {
+
+// (Re)build the cached LOS fractions when the band fingerprint changes.
+// The fractions are produced by the same sequential ops as
+// EstimateLosPower's inv_f2 pass, so factors computed from the cache match
+// the allocating path bit-for-bit.
+void EnsureLosFractions(const wifi::BandPlan& band, MultipathScratch& scratch) {
+  const std::size_t num_sc = band.NumSubcarriers();
+  const bool stale = scratch.los_frac.size() != num_sc ||
+                     scratch.band_center_hz != band.center_hz() ||
+                     scratch.band_spacing_hz != band.spacing_hz() ||
+                     scratch.band_indices != band.indices();
+  if (!stale) return;
+  // mulink-lint: allow(alloc): band-fingerprint cache rebuild, cold
+  scratch.los_frac.resize(num_sc);
+  double inv_f2_sum = 0.0;
+  for (std::size_t k = 0; k < num_sc; ++k) {
+    const double f = band.FrequencyHz(k);
+    scratch.los_frac[k] = 1.0 / (f * f);
+    inv_f2_sum += scratch.los_frac[k];
+  }
+  for (std::size_t k = 0; k < num_sc; ++k) {
+    scratch.los_frac[k] /= inv_f2_sum;
+  }
+  scratch.band_center_hz = band.center_hz();
+  scratch.band_spacing_hz = band.spacing_hz();
+  scratch.band_indices = band.indices();  // allow(alloc): cache rebuild, cold
+}
+
+}  // namespace
 
 std::vector<double> EstimateLosPower(const std::vector<Complex>& cfr,
                                      const wifi::BandPlan& band) {
@@ -58,32 +90,18 @@ void MeasureMultipathFactorsInto(const wifi::CsiPacket& packet,
                  "MeasureMultipathFactors: packet/band size mismatch");
   // mulink-lint: allow(alloc): warm output; no realloc once sized
   out.assign(num_sc, 0.0);
-  scratch.cfr.resize(num_sc);  // mulink-lint: allow(alloc): warm scratch
-  scratch.inv_f2.resize(num_sc);  // mulink-lint: allow(alloc): warm scratch
-  scratch.los.resize(num_sc);  // mulink-lint: allow(alloc): warm scratch
-  scratch.mu.resize(num_sc);  // mulink-lint: allow(alloc): warm scratch
+  EnsureLosFractions(band, scratch);
   const Complex* csi = packet.csi.raw();
   for (std::size_t m = 0; m < packet.NumAntennas(); ++m) {
     const Complex* row = csi + m * num_sc;
-    for (std::size_t k = 0; k < num_sc; ++k) scratch.cfr[k] = row[k];
-
-    // Inlined EstimateLosPower on the scratch buffers (same operations,
-    // same order as the allocating path).
-    const double dominant = dsp::DominantTapPower(scratch.cfr);
-    double inv_f2_sum = 0.0;
-    for (std::size_t k = 0; k < num_sc; ++k) {
-      const double f = band.FrequencyHz(k);
-      scratch.inv_f2[k] = 1.0 / (f * f);
-      inv_f2_sum += scratch.inv_f2[k];
-    }
-    for (std::size_t k = 0; k < num_sc; ++k) {
-      scratch.los[k] = scratch.inv_f2[k] / inv_f2_sum * dominant;
-    }
-    for (std::size_t k = 0; k < num_sc; ++k) {
-      const double power = std::norm(scratch.cfr[k]);
-      scratch.mu[k] = power > 0.0 ? scratch.los[k] / power : 0.0;
-    }
-    for (std::size_t k = 0; k < num_sc; ++k) out[k] += scratch.mu[k];
+    // Eq. 10/11 with the cached LOS fractions: the per-antenna work is one
+    // dominant-tap mean plus the vectorized mu accumulation. The kernel's
+    // (los_frac * dominant) / power matches the historical
+    // (inv_f2/sum) * dominant then /power evaluation order exactly.
+    const double dominant =
+        dsp::DominantTapPower(std::span<const Complex>(row, num_sc));
+    kernels::MuAccumulateRow(row, scratch.los_frac.data(), dominant, num_sc,
+                             out.data());
   }
   for (auto& v : out) v /= static_cast<double>(packet.NumAntennas());
 }

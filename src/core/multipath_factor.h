@@ -15,12 +15,16 @@
 
 namespace mulink::core {
 
-// Reusable buffers for per-packet multipath factor extraction.
+// Reusable buffers for per-packet multipath factor extraction. The Friis
+// f^{-2} LOS fractions depend only on the band plan, so they are computed
+// once and cached against the band fingerprint below instead of being
+// rebuilt per antenna row (they were the bulk of the per-packet cost).
 struct MultipathScratch {
-  std::vector<Complex> cfr;
-  std::vector<double> inv_f2;
-  std::vector<double> los;
-  std::vector<double> mu;
+  // los_frac[k] = f_k^{-2} / sum_i f_i^{-2} for the cached band.
+  std::vector<double> los_frac;
+  double band_center_hz = 0.0;
+  double band_spacing_hz = 0.0;
+  std::vector<int> band_indices;
 };
 
 // Per-subcarrier LOS power estimate P_L(f_k) of Eq. 10 for one antenna's CFR.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/assert.h"
 #include "dsp/peaks.h"
+#include "kernels/kernels.h"
 #include "linalg/hermitian_eig.h"
 
 namespace mulink::core {
@@ -100,37 +102,44 @@ void SampleCovarianceInto(std::span<const wifi::CsiPacket> packets,
                  "SampleCovariance: weights size mismatch");
 
   out.Resize(num_ant, num_ant);
-  Complex* r = out.raw();
-  ws.x.resize(num_ant);  // mulink-lint: allow(alloc): warm scratch
-  ws.wx.resize(num_ant);  // mulink-lint: allow(alloc): warm scratch
-  Complex* x = ws.x.data();
-  Complex* wx = ws.wx.data();
-  double total_weight = 0.0;
-  for (const auto& packet : packets) {
+
+  // Pack the window into split-complex SoA planes (plane m = antenna m,
+  // packet-major) and the per-lane replicated weight plane, then hand the
+  // whole reduction to the covariance kernel. Subcarriers with w <= 0 stay
+  // in the planes with weight 0 — an exact multiply-by-zero no-op that
+  // keeps the lanes dense for SIMD.
+  const std::size_t num_pk = packets.size();
+  const std::size_t n = num_pk * num_sc;
+  ws.plane_re.Ensure(num_ant * n);
+  ws.plane_im.Ensure(num_ant * n);
+  ws.w_rep.Ensure(n);
+  for (std::size_t p = 0; p < num_pk; ++p) {
+    const auto& packet = packets[p];
     MULINK_REQUIRE(packet.NumAntennas() == num_ant &&
                        packet.NumSubcarriers() == num_sc,
                    "SampleCovariance: inconsistent packet dimensions");
     const Complex* csi = packet.csi.raw();
-    for (std::size_t k = 0; k < num_sc; ++k) {
-      const double w = weights.empty() ? 1.0 : weights[k];
-      if (w <= 0.0) continue;
-      // Hoist w * x[i]: the same left factor the per-entry product uses, so
-      // each accumulated term is bit-identical to w * x[i] * conj(x[j]).
-      for (std::size_t m = 0; m < num_ant; ++m) {
-        x[m] = csi[m * num_sc + k];
-        wx[m] = w * x[m];
-      }
-      for (std::size_t i = 0; i < num_ant; ++i) {
-        const Complex wxi = wx[i];
-        Complex* row = r + i * num_ant;
-        for (std::size_t j = 0; j < num_ant; ++j) {
-          row[j] += wxi * std::conj(x[j]);
-        }
-      }
-      total_weight += w;
+    for (std::size_t m = 0; m < num_ant; ++m) {
+      kernels::Deinterleave(csi + m * num_sc, num_sc,
+                            ws.plane_re.data() + m * n + p * num_sc,
+                            ws.plane_im.data() + m * n + p * num_sc);
     }
   }
-  MULINK_REQUIRE(total_weight > 0.0, "SampleCovariance: all weights are zero");
+  double weight_sum = 0.0;
+  for (std::size_t k = 0; k < num_sc; ++k) {
+    const double w = weights.empty() ? 1.0 : weights[k];
+    const double clipped = w > 0.0 ? w : 0.0;
+    ws.w_rep[k] = clipped;
+    weight_sum += clipped;
+  }
+  for (std::size_t p = 1; p < num_pk; ++p) {
+    std::memcpy(ws.w_rep.data() + p * num_sc, ws.w_rep.data(),
+                num_sc * sizeof(double));
+  }
+  MULINK_REQUIRE(weight_sum > 0.0, "SampleCovariance: all weights are zero");
+  kernels::WeightedCovariance(ws.plane_re.data(), ws.plane_im.data(), num_ant,
+                              n, ws.w_rep.data(), out.raw());
+  const double total_weight = weight_sum * static_cast<double>(num_pk);
   out *= Complex(1.0 / total_weight, 0.0);
 }
 
@@ -210,15 +219,29 @@ const Complex* EnsureSteeringTable(const wifi::UniformLinearArray& array,
   if (stale) {
     // mulink-lint: allow(alloc): steering table rebuild, cached until geometry changes
     ws.steering_table.resize(config.num_points * num_ant);
+    // mulink-lint: allow(alloc): steering table rebuild, cached until geometry changes
+    ws.theta_grid_deg.resize(config.num_points);
     for (std::size_t i = 0; i < config.num_points; ++i) {
       const double frac = static_cast<double>(i) /
                           static_cast<double>(config.num_points - 1);
       const double theta_deg =
           config.theta_min_deg +
           frac * (config.theta_max_deg - config.theta_min_deg);
+      ws.theta_grid_deg[i] = theta_deg;
       array.SteeringVectorInto(
           DegToRad(theta_deg), freq,
           std::span<Complex>(ws.steering_table.data() + i * num_ant, num_ant));
+    }
+    // Mirror the table into split SoA planes (plane m = antenna m, grid
+    // point contiguous) for the scan kernels.
+    ws.steer_re.Ensure(config.num_points * num_ant);
+    ws.steer_im.Ensure(config.num_points * num_ant);
+    for (std::size_t i = 0; i < config.num_points; ++i) {
+      for (std::size_t m = 0; m < num_ant; ++m) {
+        const Complex a = ws.steering_table[i * num_ant + m];
+        ws.steer_re[m * config.num_points + i] = a.real();
+        ws.steer_im[m * config.num_points + i] = a.imag();
+      }
     }
     ws.table_points = config.num_points;
     ws.table_antennas = num_ant;
@@ -262,32 +285,31 @@ void ComputeMusicSpectrumInto(const linalg::CMatrix& covariance,
   // Noise subspace: eigenvectors of the smallest (num_ant - num_sources)
   // eigenvalues (HermitianEigen sorts ascending).
   const std::size_t noise_dim = num_ant - config.num_sources;
-  const Complex* table = EnsureSteeringTable(array, band, config, ws);
+  EnsureSteeringTable(array, band, config, ws);
   const Complex* vectors = ws.eig.vectors.raw();
 
+  // Split the noise eigenvectors into SoA planes (vector e at offset
+  // e * num_ant) and hand the ||E_n^H a||^2 scan to the kernel — the same
+  // per-point accumulation order as the historical loop, so spectra are
+  // unchanged bit-for-bit.
+  ws.noise_re.Ensure(noise_dim * num_ant);
+  ws.noise_im.Ensure(noise_dim * num_ant);
+  for (std::size_t e = 0; e < noise_dim; ++e) {
+    for (std::size_t m = 0; m < num_ant; ++m) {
+      const Complex v = vectors[m * num_ant + e];
+      ws.noise_re[e * num_ant + m] = v.real();
+      ws.noise_im[e * num_ant + m] = v.imag();
+    }
+  }
   // mulink-lint: allow(alloc): warm spectrum output
   out.theta_deg.resize(config.num_points);
   // mulink-lint: allow(alloc): warm spectrum output
   out.power.resize(config.num_points);
-  for (std::size_t i = 0; i < config.num_points; ++i) {
-    const double frac = static_cast<double>(i) /
-                        static_cast<double>(config.num_points - 1);
-    const double theta_deg =
-        config.theta_min_deg + frac * (config.theta_max_deg - config.theta_min_deg);
-    const Complex* a = table + i * num_ant;
-
-    // ||E_n^H a||^2 = sum over noise eigenvectors of |<e, a>|^2.
-    double denom = 0.0;
-    for (std::size_t n = 0; n < noise_dim; ++n) {
-      Complex dot(0.0, 0.0);
-      for (std::size_t m = 0; m < num_ant; ++m) {
-        dot += std::conj(vectors[m * num_ant + n]) * a[m];
-      }
-      denom += std::norm(dot);
-    }
-    out.theta_deg[i] = theta_deg;
-    out.power[i] = 1.0 / std::max(denom, 1e-12);
-  }
+  std::memcpy(out.theta_deg.data(), ws.theta_grid_deg.data(),
+              config.num_points * sizeof(double));
+  kernels::MusicScan(ws.steer_re.data(), ws.steer_im.data(), config.num_points,
+                     num_ant, ws.noise_re.data(), ws.noise_im.data(), noise_dim,
+                     1e-12, out.power.data());
 }
 
 Pseudospectrum ComputeBartlettSpectrum(const linalg::CMatrix& covariance,
@@ -300,40 +322,74 @@ Pseudospectrum ComputeBartlettSpectrum(const linalg::CMatrix& covariance,
   return spectrum;
 }
 
+namespace {
+
+// Shared tail of the Bartlett scans: pack covariances, run the kernel over
+// the cached steering planes, copy the cached grid angles out.
+void BartlettScanInto(std::span<const linalg::CMatrix* const> covariances,
+                      std::span<Pseudospectrum* const> outs,
+                      const wifi::UniformLinearArray& array,
+                      const wifi::BandPlan& band, const MusicConfig& config,
+                      MusicWorkspace& ws) {
+  const std::size_t num_ant = array.num_antennas();
+  MULINK_REQUIRE(config.num_points >= 3,
+                 "ComputeBartlettSpectrum: need >= 3 grid points");
+  MULINK_REQUIRE(config.theta_max_deg > config.theta_min_deg,
+                 "ComputeBartlettSpectrum: empty angle range");
+  for (const linalg::CMatrix* covariance : covariances) {
+    MULINK_REQUIRE(
+        covariance->rows() == num_ant && covariance->cols() == num_ant,
+        "ComputeBartlettSpectrum: covariance/array size mismatch");
+  }
+  EnsureSteeringTable(array, band, config, ws);
+
+  const std::size_t packed_size = kernels::PackedHermitianSize(num_ant);
+  kernels::AlignedBuffer* const packed_bufs[2] = {&ws.packed_a, &ws.packed_b};
+  const double* packed[2] = {nullptr, nullptr};
+  double* powers[2] = {nullptr, nullptr};
+  MULINK_ASSERT(covariances.size() <= 2);
+  for (std::size_t c = 0; c < covariances.size(); ++c) {
+    packed_bufs[c]->Ensure(packed_size);
+    kernels::PackHermitian(covariances[c]->raw(), num_ant,
+                           packed_bufs[c]->data());
+    packed[c] = packed_bufs[c]->data();
+    Pseudospectrum& out = *outs[c];
+    // mulink-lint: allow(alloc): warm spectrum output
+    out.theta_deg.resize(config.num_points);
+    // mulink-lint: allow(alloc): warm spectrum output
+    out.power.resize(config.num_points);
+    std::memcpy(out.theta_deg.data(), ws.theta_grid_deg.data(),
+                config.num_points * sizeof(double));
+    powers[c] = out.power.data();
+  }
+  const double inv_norm = 1.0 / static_cast<double>(num_ant * num_ant);
+  kernels::BartlettScan(ws.steer_re.data(), ws.steer_im.data(),
+                        config.num_points, num_ant, packed, covariances.size(),
+                        inv_norm, powers);
+}
+
+}  // namespace
+
 void ComputeBartlettSpectrumInto(const linalg::CMatrix& covariance,
                                  const wifi::UniformLinearArray& array,
                                  const wifi::BandPlan& band,
                                  const MusicConfig& config, Pseudospectrum& out,
                                  MusicWorkspace& ws) {
-  const std::size_t num_ant = array.num_antennas();
-  MULINK_REQUIRE(covariance.rows() == num_ant && covariance.cols() == num_ant,
-                 "ComputeBartlettSpectrum: covariance/array size mismatch");
-  MULINK_REQUIRE(config.num_points >= 3,
-                 "ComputeBartlettSpectrum: need >= 3 grid points");
-  MULINK_REQUIRE(config.theta_max_deg > config.theta_min_deg,
-                 "ComputeBartlettSpectrum: empty angle range");
+  const linalg::CMatrix* const covariances[1] = {&covariance};
+  Pseudospectrum* const outs[1] = {&out};
+  BartlettScanInto(covariances, outs, array, band, config, ws);
+}
 
-  const Complex* table = EnsureSteeringTable(array, band, config, ws);
-  // mulink-lint: allow(alloc): warm spectrum output
-  out.theta_deg.resize(config.num_points);
-  // mulink-lint: allow(alloc): warm spectrum output
-  out.power.resize(config.num_points);
-  ws.ra.resize(num_ant);  // mulink-lint: allow(alloc): warm scratch
-  for (std::size_t i = 0; i < config.num_points; ++i) {
-    const double frac = static_cast<double>(i) /
-                        static_cast<double>(config.num_points - 1);
-    const double theta_deg =
-        config.theta_min_deg +
-        frac * (config.theta_max_deg - config.theta_min_deg);
-    const std::span<const Complex> a(table + i * num_ant, num_ant);
-    // a^H R a — real and non-negative for Hermitian PSD R.
-    covariance.ApplyInto(a, ws.ra);
-    const double value =
-        linalg::Dot(a, std::span<const Complex>(ws.ra)).real() /
-        static_cast<double>(num_ant * num_ant);
-    out.theta_deg[i] = theta_deg;
-    out.power[i] = std::max(value, 0.0);
-  }
+void ComputeBartlettSpectraInto(const linalg::CMatrix& covariance_a,
+                                const linalg::CMatrix& covariance_b,
+                                const wifi::UniformLinearArray& array,
+                                const wifi::BandPlan& band,
+                                const MusicConfig& config,
+                                Pseudospectrum& out_a, Pseudospectrum& out_b,
+                                MusicWorkspace& ws) {
+  const linalg::CMatrix* const covariances[2] = {&covariance_a, &covariance_b};
+  Pseudospectrum* const outs[2] = {&out_a, &out_b};
+  BartlettScanInto(covariances, outs, array, band, config, ws);
 }
 
 Pseudospectrum ComputeBartlettSpectrum(

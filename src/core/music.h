@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "kernels/aligned.h"
 #include "linalg/cmatrix.h"
 #include "linalg/hermitian_eig.h"
 #include "wifi/array.h"
@@ -49,16 +50,36 @@ struct Pseudospectrum {
 // Reusable scratch for the covariance/spectrum hot path. Besides plain
 // buffers it caches the steering-vector table for a fixed
 // (array, band, MusicConfig) grid — the table is invalidated and rebuilt
-// whenever any of those fingerprint fields change.
+// whenever any of those fingerprint fields change. The buffers are the
+// split-complex SoA planes the kernel layer (src/kernels, DESIGN.md §14)
+// consumes: 64-byte aligned, grown once during warm-up, zero hot-path
+// allocations afterwards.
 struct MusicWorkspace {
   linalg::EigWorkspace eig_ws;
   linalg::EigenSystem eig;
-  std::vector<Complex> x;   // one snapshot (antenna vector)
-  std::vector<Complex> wx;  // weighted snapshot w * x
-  std::vector<Complex> ra;  // covariance * steering product
 
-  // Cached steering table: row i holds a(theta_i) for grid point i.
+  // Split-complex window planes for the covariance kernel: plane m holds
+  // packets.size() * num_subcarriers lanes of antenna m, packet-major;
+  // w_rep is the per-lane subcarrier weight (replicated across packets,
+  // zero-clipped).
+  kernels::AlignedBuffer plane_re;
+  kernels::AlignedBuffer plane_im;
+  kernels::AlignedBuffer w_rep;
+
+  // Packed Hermitian covariances (kernels::PackHermitian layout) for the
+  // batched Bartlett scan, and split noise-eigenvector planes for MUSIC.
+  kernels::AlignedBuffer packed_a;
+  kernels::AlignedBuffer packed_b;
+  kernels::AlignedBuffer noise_re;
+  kernels::AlignedBuffer noise_im;
+
+  // Cached steering table: row i holds a(theta_i) for grid point i, plus the
+  // split SoA mirror (plane m = steer_re/im[m * points ..]) and the grid
+  // angles, all rebuilt together when the fingerprint below goes stale.
   std::vector<Complex> steering_table;
+  kernels::AlignedBuffer steer_re;
+  kernels::AlignedBuffer steer_im;
+  std::vector<double> theta_grid_deg;
   std::size_t table_points = 0;
   std::size_t table_antennas = 0;
   double table_theta_min_deg = 0.0;
@@ -142,6 +163,18 @@ void ComputeBartlettSpectrumInto(const linalg::CMatrix& covariance,
                                  const wifi::BandPlan& band,
                                  const MusicConfig& config, Pseudospectrum& out,
                                  MusicWorkspace& ws);
+
+// Batched pair variant: both covariances are scanned in one pass over the
+// cached steering table, so the per-grid-point steering loads amortize
+// across the monitor/profile pair the combined scheme evaluates every
+// window. Each output is bit-identical to the single-covariance scratch
+// variant above.
+void ComputeBartlettSpectraInto(const linalg::CMatrix& covariance_a,
+                                const linalg::CMatrix& covariance_b,
+                                const wifi::UniformLinearArray& array,
+                                const wifi::BandPlan& band,
+                                const MusicConfig& config, Pseudospectrum& out_a,
+                                Pseudospectrum& out_b, MusicWorkspace& ws);
 
 // Bartlett spectrum straight from packets (optionally subcarrier-weighted).
 Pseudospectrum ComputeBartlettSpectrum(

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "kernels/kernels.h"
 
 namespace mulink::core {
 
@@ -51,9 +52,8 @@ void ApplyPathWeightsInto(const PathWeights& weights,
                  "ApplyPathWeights: grid size mismatch");
   // mulink-lint: allow(alloc): warm output; sized to the fixed angular grid
   out.resize(spectrum.power.size());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = weights.weights[i] * spectrum.power[i];
-  }
+  kernels::Multiply(weights.weights.data(), spectrum.power.data(), out.size(),
+                    out.data());
 }
 
 }  // namespace mulink::core

@@ -5,8 +5,33 @@
 #include "common/assert.h"
 #include "common/constants.h"
 #include "dsp/fit.h"
+#include "kernels/kernels.h"
 
 namespace mulink::core {
+
+namespace {
+
+// (Re)fill the cached subcarrier offsets when the band fingerprint changes.
+// The cached values are exactly BandPlan::OffsetHz(k), so warm and cold
+// packets sanitize bit-identically.
+void EnsureOffsets(const wifi::BandPlan& band, SanitizeScratch& scratch) {
+  const std::size_t num_sc = band.NumSubcarriers();
+  const bool stale = scratch.offsets.size() != num_sc ||
+                     scratch.band_center_hz != band.center_hz() ||
+                     scratch.band_spacing_hz != band.spacing_hz() ||
+                     scratch.band_indices != band.indices();
+  if (!stale) return;
+  // mulink-lint: allow(alloc): band-fingerprint cache rebuild, cold
+  scratch.offsets.resize(num_sc);
+  for (std::size_t k = 0; k < num_sc; ++k) {
+    scratch.offsets[k] = band.OffsetHz(k);
+  }
+  scratch.band_center_hz = band.center_hz();
+  scratch.band_spacing_hz = band.spacing_hz();
+  scratch.band_indices = band.indices();  // allow(alloc): cache rebuild, cold
+}
+
+}  // namespace
 
 std::vector<double> UnwrapPhase(const std::vector<double>& phases) {
   std::vector<double> out(phases.size());
@@ -51,18 +76,26 @@ PhaseFit FitLinearPhase(const wifi::CsiPacket& packet,
 
   // Antenna-averaged phase per subcarrier. Averaging complex values rather
   // than raw angles keeps weak antennas from dominating via wrap glitches.
+  // The sums stay in split-complex lanes so the angle extraction runs
+  // through the vectorized kernels::Atan2 (same accumulation order as the
+  // historical std::arg loop; the atan2 itself is the kernel-layer
+  // polynomial, re-baselined per DESIGN.md §14).
   scratch.avg_phase.resize(num_sc);  // mulink-lint: allow(alloc): warm scratch
+  scratch.sum_re.Ensure(num_sc);
+  scratch.sum_im.Ensure(num_sc);
   const Complex* csi = packet.csi.raw();
   for (std::size_t k = 0; k < num_sc; ++k) {
     Complex acc(0.0, 0.0);
     for (std::size_t m = 0; m < num_ant; ++m) acc += csi[m * num_sc + k];
-    scratch.avg_phase[k] = std::arg(acc);
+    scratch.sum_re[k] = acc.real();
+    scratch.sum_im[k] = acc.imag();
   }
+  kernels::Atan2(scratch.sum_im.data(), scratch.sum_re.data(), num_sc,
+                 scratch.avg_phase.data());
   scratch.unwrapped.resize(num_sc);  // mulink-lint: allow(alloc): warm scratch
   UnwrapPhaseInto(scratch.avg_phase, scratch.unwrapped);
 
-  scratch.offsets.resize(num_sc);  // mulink-lint: allow(alloc): warm scratch
-  for (std::size_t k = 0; k < num_sc; ++k) scratch.offsets[k] = band.OffsetHz(k);
+  EnsureOffsets(band, scratch);
 
   const auto fit =
       dsp::FitLinear(std::span<const double>(scratch.offsets),
@@ -83,17 +116,23 @@ void SanitizePhaseInto(const wifi::CsiPacket& packet,
                        SanitizeScratch& scratch) {
   const PhaseFit fit = FitLinearPhase(packet, band, scratch);
   out = packet;  // copy-assign reuses out's CSI capacity
-  Complex* dst = out.csi.raw();
-  const Complex* src = packet.csi.raw();
   const std::size_t num_sc = packet.NumSubcarriers();
+  // Per-subcarrier rotation e^{-j correction}, with the sin/cos pair from
+  // the vectorized kernel and the rotation applied row-wise across all
+  // antennas (they share the correction — inter-antenna phase is preserved).
+  scratch.corrections.Ensure(num_sc);
+  scratch.rot_cos.Ensure(num_sc);
+  scratch.rot_sin.Ensure(num_sc);
+  // scratch.offsets is warm: FitLinearPhase above ran EnsureOffsets.
   for (std::size_t k = 0; k < num_sc; ++k) {
-    const double correction =
-        fit.offset_rad + fit.slope_rad_per_hz * band.OffsetHz(k);
-    const Complex rot(std::cos(-correction), std::sin(-correction));
-    for (std::size_t m = 0; m < packet.NumAntennas(); ++m) {
-      dst[m * num_sc + k] = src[m * num_sc + k] * rot;
-    }
+    scratch.corrections[k] =
+        -(fit.offset_rad + fit.slope_rad_per_hz * scratch.offsets[k]);
   }
+  kernels::SinCos(scratch.corrections.data(), num_sc, scratch.rot_sin.data(),
+                  scratch.rot_cos.data());
+  kernels::RotateRows(packet.csi.raw(), packet.NumAntennas(), num_sc,
+                      scratch.rot_cos.data(), scratch.rot_sin.data(),
+                      out.csi.raw());
 }
 
 std::vector<wifi::CsiPacket> SanitizePhase(

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dsp/fit.h"
+#include "kernels/aligned.h"
 #include "wifi/band.h"
 #include "wifi/csi.h"
 
@@ -23,12 +24,25 @@ struct PhaseFit {
   double slope_rad_per_hz = 0.0;
 };
 
-// Reusable buffers for the per-packet phase fit; grows on first use.
+// Reusable buffers for the per-packet phase fit; grows on first use. The
+// aligned buffers are the SoA lanes the kernel-layer trig maps
+// (kernels::Atan2 / kernels::SinCos / kernels::RotateRows) consume.
 struct SanitizeScratch {
   std::vector<double> avg_phase;
   std::vector<double> unwrapped;
+  // Subcarrier baseband offsets, cached against the band fingerprint below
+  // (BandPlan::OffsetHz is an out-of-line call; two full sweeps per packet
+  // were measurable at the ingest cadence).
   std::vector<double> offsets;
+  double band_center_hz = 0.0;
+  double band_spacing_hz = 0.0;
+  std::vector<int> band_indices;
   dsp::FitScratch fit;
+  kernels::AlignedBuffer sum_re;       // antenna-summed CSI, split complex
+  kernels::AlignedBuffer sum_im;
+  kernels::AlignedBuffer corrections;  // -(offset + slope * f_off) per k
+  kernels::AlignedBuffer rot_cos;
+  kernels::AlignedBuffer rot_sin;
 };
 
 // Unwrap a phase sequence (adjacent jumps > pi are folded).

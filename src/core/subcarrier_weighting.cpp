@@ -5,6 +5,7 @@
 #include "common/assert.h"
 #include "core/multipath_factor.h"
 #include "dsp/stats.h"
+#include "kernels/kernels.h"
 
 namespace mulink::core {
 
@@ -31,33 +32,13 @@ SubcarrierWeights ComputeSubcarrierWeights(
   return w;
 }
 
-void ComputeSubcarrierWeightsInto(
-    const std::vector<std::vector<double>>& mu_per_packet, WeightingMode mode,
-    SubcarrierWeights& out, std::vector<double>& median_scratch) {
-  MULINK_REQUIRE(!mu_per_packet.empty(),
-                 "ComputeSubcarrierWeights: need >= 1 packet");
-  const std::size_t num_packets = mu_per_packet.size();
-  const std::size_t num_sc = mu_per_packet[0].size();
-  MULINK_REQUIRE(num_sc >= 1, "ComputeSubcarrierWeights: empty mu vector");
-  for (const auto& row : mu_per_packet) {
-    MULINK_REQUIRE(row.size() == num_sc,
-                   "ComputeSubcarrierWeights: ragged mu matrix");
-  }
+namespace {
 
-  // mulink-lint: allow(alloc): warm output; assign reuses capacity
-  out.mean_mu.assign(num_sc, 0.0);
-  // mulink-lint: allow(alloc): warm output; assign reuses capacity
-  out.stability.assign(num_sc, 0.0);
-
-  for (std::size_t m = 0; m < num_packets; ++m) {
-    const double median = dsp::Median(mu_per_packet[m], median_scratch);
-    for (std::size_t k = 0; k < num_sc; ++k) {
-      out.mean_mu[k] += mu_per_packet[m][k];
-      if (mu_per_packet[m][k] > median) {
-        out.stability[k] += 1.0;  // delta_m of Eq. 14
-      }
-    }
-  }
+// Shared Eq. 15 tail: out.mean_mu / out.stability hold the per-subcarrier
+// sums over `num_packets` rows; normalize them and derive the weights.
+void FinishSubcarrierWeights(std::size_t num_packets, WeightingMode mode,
+                             SubcarrierWeights& out) {
+  const std::size_t num_sc = out.mean_mu.size();
   for (std::size_t k = 0; k < num_sc; ++k) {
     out.mean_mu[k] /= static_cast<double>(num_packets);
     out.stability[k] /= static_cast<double>(num_packets);
@@ -110,6 +91,57 @@ void ComputeSubcarrierWeightsInto(
     // the detector degrades to the baseline instead of reporting zeros.
     for (auto& v : out.weights) v = uniform;
   }
+}
+
+}  // namespace
+
+void ComputeSubcarrierWeightsInto(
+    const std::vector<std::vector<double>>& mu_per_packet, WeightingMode mode,
+    SubcarrierWeights& out, std::vector<double>& median_scratch) {
+  MULINK_REQUIRE(!mu_per_packet.empty(),
+                 "ComputeSubcarrierWeights: need >= 1 packet");
+  const std::size_t num_packets = mu_per_packet.size();
+  const std::size_t num_sc = mu_per_packet[0].size();
+  MULINK_REQUIRE(num_sc >= 1, "ComputeSubcarrierWeights: empty mu vector");
+  for (const auto& row : mu_per_packet) {
+    MULINK_REQUIRE(row.size() == num_sc,
+                   "ComputeSubcarrierWeights: ragged mu matrix");
+  }
+
+  // mulink-lint: allow(alloc): warm output; assign reuses capacity
+  out.mean_mu.assign(num_sc, 0.0);
+  // mulink-lint: allow(alloc): warm output; assign reuses capacity
+  out.stability.assign(num_sc, 0.0);
+
+  for (std::size_t m = 0; m < num_packets; ++m) {
+    const double median = dsp::Median(mu_per_packet[m], median_scratch);
+    // mean_mu[k] += mu; stability[k] += (mu > median) — delta_m of Eq. 14.
+    kernels::MeanStabilityAccumulate(mu_per_packet[m].data(), median, num_sc,
+                                     out.mean_mu.data(), out.stability.data());
+  }
+  FinishSubcarrierWeights(num_packets, mode, out);
+}
+
+void ComputeSubcarrierWeightsInto(std::span<const double* const> mu_rows,
+                                  std::span<const double> medians,
+                                  std::size_t num_sc, WeightingMode mode,
+                                  SubcarrierWeights& out) {
+  MULINK_REQUIRE(!mu_rows.empty(),
+                 "ComputeSubcarrierWeights: need >= 1 packet");
+  MULINK_REQUIRE(medians.size() == mu_rows.size(),
+                 "ComputeSubcarrierWeights: median/row count mismatch");
+  MULINK_REQUIRE(num_sc >= 1, "ComputeSubcarrierWeights: empty mu vector");
+
+  // mulink-lint: allow(alloc): warm output; assign reuses capacity
+  out.mean_mu.assign(num_sc, 0.0);
+  // mulink-lint: allow(alloc): warm output; assign reuses capacity
+  out.stability.assign(num_sc, 0.0);
+
+  for (std::size_t m = 0; m < mu_rows.size(); ++m) {
+    kernels::MeanStabilityAccumulate(mu_rows[m], medians[m], num_sc,
+                                     out.mean_mu.data(), out.stability.data());
+  }
+  FinishSubcarrierWeights(mu_rows.size(), mode, out);
 }
 
 SubcarrierWeights ComputeSubcarrierWeightsSinglePacket(

@@ -9,6 +9,7 @@
 // mu_k exceeds the per-packet median across subcarriers — a stability vote.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "wifi/band.h"
@@ -44,6 +45,16 @@ SubcarrierWeights ComputeSubcarrierWeights(
 void ComputeSubcarrierWeightsInto(
     const std::vector<std::vector<double>>& mu_per_packet, WeightingMode mode,
     SubcarrierWeights& out, std::vector<double>& median_scratch);
+
+// Prepared-factors variant: each window packet's mu row (`mu_rows[m]`, a
+// pointer to `num_sc` doubles) and its cross-subcarrier median were computed
+// once at ingest, so overlapping windows skip re-deriving them per decision.
+// Bit-identical to the scratch variant fed the same rows, because it runs
+// the same accumulation in the same order.
+void ComputeSubcarrierWeightsInto(std::span<const double* const> mu_rows,
+                                  std::span<const double> medians,
+                                  std::size_t num_sc, WeightingMode mode,
+                                  SubcarrierWeights& out);
 
 // Single-packet variant (Eq. 12): weights proportional to |mu_k|.
 SubcarrierWeights ComputeSubcarrierWeightsSinglePacket(

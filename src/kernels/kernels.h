@@ -1,0 +1,133 @@
+// Vectorized kernel layer for the scoring core (DESIGN.md §14).
+//
+// A small set of typed kernels — split-complex covariance accumulation,
+// steering-table spectral scans (Bartlett / MUSIC), the sanitize trig maps,
+// and the weighting / scoring reductions — each available as a portable
+// scalar implementation and, when MULINK_SIMD is ON and the CPU supports it,
+// an AVX2 implementation selected by runtime CPUID dispatch.
+//
+// Contract: for identical inputs, every backend produces bit-identical
+// outputs. Elementwise kernels vectorize with lane == output element, so the
+// scalar loop and the SIMD lanes perform the same rounded operations per
+// element. Reductions are defined with a fixed 4-way striped accumulation
+// (acc[t % 4], combined as (l0+l2)+(l1+l3)); the scalar backend implements
+// exactly that striping, so reassociation never diverges between backends.
+// The trig kernels (Atan2/SinCos) share one polynomial definition across
+// backends — they agree with libm to ~1e-13 but are NOT bit-identical to it;
+// call sites that switched from libm re-baselined (tolerance policy in
+// DESIGN.md §14).
+#pragma once
+
+#include <cstddef>
+
+#include "common/constants.h"
+
+namespace mulink::kernels {
+
+enum class Backend {
+  kScalar,  // portable fallback; also the semantic reference
+  kAvx2,    // AVX2 (no FMA — contraction would break cross-backend parity)
+};
+
+const char* ToString(Backend backend);
+
+// Whether the AVX2 backend was compiled in (-DMULINK_SIMD=ON).
+bool SimdCompiledIn();
+
+// Whether `backend` can execute on this machine (compiled in + CPUID).
+bool BackendAvailable(Backend backend);
+
+// The backend every kernel below currently dispatches to. Defaults to the
+// fastest available one (AVX2 when compiled in and supported by the CPU).
+Backend ActiveBackend();
+
+// Override dispatch (parity tests score the same window under both
+// backends). Requires BackendAvailable(backend).
+void SetBackend(Backend backend);
+
+// Restore the default (auto-detected) backend.
+void ResetBackend();
+
+// ---- sanitize trig maps ------------------------------------------------
+
+// out[i] = atan2(y[i], x[i]). Shared half-angle + series definition across
+// backends; agrees with std::atan2 to ~1e-13 rad (exact for the axis cases
+// atan2(±0, x)). Both zero -> ±0 like libm.
+void Atan2(const double* y, const double* x, std::size_t n, double* out);
+
+// sin_out[i] = sin(x[i]), cos_out[i] = cos(x[i]) via Cody–Waite reduction
+// and the classic fdlibm kernel polynomials; ~1e-14 absolute error for the
+// |x| < 1e6 range the sanitize corrections live in.
+void SinCos(const double* x, std::size_t n, double* sin_out, double* cos_out);
+
+// ---- complex layout / rotation -----------------------------------------
+
+// Split an interleaved complex array into SoA planes: re[i] = src[i].real().
+void Deinterleave(const Complex* src, std::size_t n, double* re, double* im);
+
+// dst[r*cols + k] = src[r*cols + k] * (cos_v[k] + i*sin_v[k]) — the common
+// per-subcarrier phase rotation applied to every antenna row. In-place
+// (dst == src) is allowed.
+void RotateRows(const Complex* src, std::size_t rows, std::size_t cols,
+                const double* cos_v, const double* sin_v, Complex* dst);
+
+// ---- multipath / weighting reductions ----------------------------------
+
+// Eq. 11 per-subcarrier multipath factors of one antenna row, accumulated:
+// mu_accum[k] += |row[k]|^2 > 0 ? (los_frac[k] * dominant) / |row[k]|^2 : 0.
+void MuAccumulateRow(const Complex* row, const double* los_frac,
+                     double dominant, std::size_t n, double* mu_accum);
+
+// Eq. 14/15 accumulation for one packet's mu row:
+// mean_mu[k] += mu_row[k]; stability[k] += (mu_row[k] > median) ? 1 : 0.
+void MeanStabilityAccumulate(const double* mu_row, double median,
+                             std::size_t n, double* mean_mu,
+                             double* stability);
+
+// out[i] = a[i] * b[i] (path-weight application).
+void Multiply(const double* a, const double* b, std::size_t n, double* out);
+
+// Striped sum of a[i]^2 (spectrum norm).
+double SumSquares(const double* a, std::size_t n);
+
+// Striped sum of ((a[i] - b[i]) / norm)^2 (the combined scheme's
+// profile-normalized spectrum distance).
+double NormalizedDistanceSq(const double* a, const double* b, double norm,
+                            std::size_t n);
+
+// ---- covariance --------------------------------------------------------
+
+// Weighted Hermitian sample covariance from split-complex planes.
+// re/im hold `antennas` planes of n elements each (plane m at offset m*n);
+// w_rep holds the per-element weight (the subcarrier weight replicated
+// across packets, zero-clipped). Writes the full antennas x antennas
+// row-major Hermitian matrix: out[i][j] = striped-sum_t w[t] * x_i(t) *
+// conj(x_j(t)), with out[j][i] its exact conjugate and a real diagonal.
+void WeightedCovariance(const double* re, const double* im,
+                        std::size_t antennas, std::size_t n,
+                        const double* w_rep, Complex* out);
+
+// ---- spectral scans ----------------------------------------------------
+
+// Packed real layout of a Hermitian matrix consumed by the scans below:
+// [diag_0 .. diag_{A-1}, re_01, im_01, re_02, im_02, ..] (pairs i<j in
+// row-major order). Size is A^2 doubles.
+std::size_t PackedHermitianSize(std::size_t antennas);
+void PackHermitian(const Complex* cov, std::size_t antennas, double* packed);
+
+// Bartlett scan over an SoA steering table (steer_re/steer_im: plane m at
+// offset m*points), batched across `num_covs` packed covariances so the
+// steering work amortizes: outs[c][i] = max(a_i^H R_c a_i * inv_norm, 0).
+void BartlettScan(const double* steer_re, const double* steer_im,
+                  std::size_t points, std::size_t antennas,
+                  const double* const* packed_covs, std::size_t num_covs,
+                  double inv_norm, double* const* outs);
+
+// MUSIC scan: out[i] = 1 / max(sum_e |<v_e, a_i>|^2, denom_floor) over the
+// noise eigenvectors v_e (noise_re/noise_im: vector e at offset e*antennas).
+void MusicScan(const double* steer_re, const double* steer_im,
+               std::size_t points, std::size_t antennas,
+               const double* noise_re, const double* noise_im,
+               std::size_t noise_dim, double denom_floor, double* out);
+
+}  // namespace mulink::kernels

@@ -1,0 +1,122 @@
+// Shared scalar definitions of the kernel-layer trig maps.
+//
+// Both backends include this header: the scalar backend loops over these
+// functions directly, and the AVX2 backend evaluates the SAME constants and
+// operation DAG with vector instructions (plus these scalars for tails), so
+// the two backends are bit-identical by construction. The definitions follow
+// the classic fdlibm structure — Cody–Waite two-term π/2 reduction with the
+// __kernel_sin / __kernel_cos minimax polynomials — but are NOT bit-identical
+// to libm (call sites re-baselined; tolerance policy in DESIGN.md §14).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace mulink::kernels::detail {
+
+// 2/π and the two-term Cody–Waite split of π/2 (fdlibm e_rem_pio2 constants).
+inline constexpr double kTwoOverPi = 6.36619772367581382433e-01;
+inline constexpr double kPiOver2Hi = 1.57079632673412561417e+00;
+inline constexpr double kPiOver2Lo = 6.07710050650619224932e-11;
+
+// fdlibm __kernel_sin coefficients (odd series in r over |r| <= π/4).
+inline constexpr double kS1 = -1.66666666666666324348e-01;
+inline constexpr double kS2 = 8.33333333332248946124e-03;
+inline constexpr double kS3 = -1.98412698298579493134e-04;
+inline constexpr double kS4 = 2.75573137070700676789e-06;
+inline constexpr double kS5 = -2.50507602534068634195e-08;
+inline constexpr double kS6 = 1.58969099521155010221e-10;
+
+// fdlibm __kernel_cos coefficients (even series in r).
+inline constexpr double kC1 = 4.16666666666666019037e-02;
+inline constexpr double kC2 = -1.38888888888741095749e-03;
+inline constexpr double kC3 = 2.48015872894767294178e-05;
+inline constexpr double kC4 = -2.75573143513906633035e-07;
+inline constexpr double kC5 = 2.08757232129817482790e-09;
+inline constexpr double kC6 = -1.13596475577881948265e-11;
+
+inline constexpr double kHalfPi = 1.57079632679489661923;
+inline constexpr double kPi = 3.14159265358979323846;
+
+// atan Taylor coefficients: atan(z) = z + z^3 * P(z^2) with P evaluated in
+// Horner form; after two half-angle reductions |z| <= tan(π/16) ≈ 0.1989, so
+// truncating after the z^21 term leaves < 4e-18 series error.
+inline constexpr double kA1 = -1.0 / 3.0;
+inline constexpr double kA2 = 1.0 / 5.0;
+inline constexpr double kA3 = -1.0 / 7.0;
+inline constexpr double kA4 = 1.0 / 9.0;
+inline constexpr double kA5 = -1.0 / 11.0;
+inline constexpr double kA6 = 1.0 / 13.0;
+inline constexpr double kA7 = -1.0 / 15.0;
+inline constexpr double kA8 = 1.0 / 17.0;
+inline constexpr double kA9 = -1.0 / 19.0;
+
+struct SinCosPair {
+  double sin;
+  double cos;
+};
+
+// Argument reduction uses round-to-nearest-even (std::nearbyint under the
+// default FP environment == _mm256_round_pd(_MM_FROUND_TO_NEAREST_INT)); the
+// quadrant index comes from the reduced multiple of π/2 masked to 2 bits,
+// which two's-complement arithmetic makes consistent for negative n.
+inline SinCosPair SinCosScalar(double x) {
+  const double fn = std::nearbyint(x * kTwoOverPi);
+  const double r = (x - fn * kPiOver2Hi) - fn * kPiOver2Lo;
+  const double t = r * r;
+  const double sin_r =
+      r + r * t *
+              (kS1 + t * (kS2 + t * (kS3 + t * (kS4 + t * (kS5 + t * kS6)))));
+  const double cos_r =
+      1.0 + t * (-0.5 +
+                 t * (kC1 +
+                      t * (kC2 + t * (kC3 + t * (kC4 + t * (kC5 + t * kC6))))));
+  const int quadrant = static_cast<int>(static_cast<std::int64_t>(fn)) & 3;
+  switch (quadrant) {
+    case 0:
+      return {sin_r, cos_r};
+    case 1:
+      return {cos_r, -sin_r};
+    case 2:
+      return {-sin_r, -cos_r};
+    default:
+      return {-cos_r, sin_r};
+  }
+}
+
+// atan2 via octant fold + two half-angle reductions + Taylor series. The
+// fold computes atan(min/max) on [0, 1], the half-angle steps
+// t' = t / (1 + sqrt(1 + t^2)) each halve the angle (so the final series
+// argument is tan(angle/4) <= tan(π/16)), and the quadrant is restored from
+// the signs. Division and sqrt are exactly rounded on every backend, and the
+// branches map to blends whose scalar semantics are replicated here, so the
+// backends agree bitwise. atan2(±0, x>0) = ±0 and atan2(±0, x<0) = ±π match
+// libm exactly.
+inline double Atan2Scalar(double y, double x) {
+  const double ax = std::fabs(x);
+  const double ay = std::fabs(y);
+  const bool swap = ay > ax;
+  const double num = swap ? ax : ay;
+  const double den = swap ? ay : ax;
+  const double t = den > 0.0 ? num / den : 0.0;
+  const double t1 = t / (1.0 + std::sqrt(1.0 + t * t));
+  const double t2 = t1 / (1.0 + std::sqrt(1.0 + t1 * t1));
+  const double u = t2 * t2;
+  const double poly =
+      kA1 +
+      u * (kA2 +
+           u * (kA3 +
+                u * (kA4 +
+                     u * (kA5 +
+                          u * (kA6 + u * (kA7 + u * (kA8 + u * kA9)))))));
+  double base = 4.0 * (t2 + t2 * u * poly);
+  if (swap) {
+    base = kHalfPi - base;
+  }
+  if (std::signbit(x)) {
+    base = kPi - base;
+  }
+  return std::copysign(base, y);
+}
+
+}  // namespace mulink::kernels::detail

@@ -148,4 +148,63 @@ void HermitianEigen(const CMatrix& input, EigenSystem& out, EigWorkspace& ws,
   }
 }
 
+double SmallestHermitianEigenvalue(const CMatrix& a) {
+  MULINK_REQUIRE(a.rows() == a.cols(),
+                 "SmallestHermitianEigenvalue: matrix must be square");
+  const std::size_t n = a.rows();
+  MULINK_REQUIRE(n > 0, "SmallestHermitianEigenvalue: matrix must be nonempty");
+  if (n == 1) {
+    return a.At(0, 0).real();
+  }
+  if (n == 2) {
+    const double d0 = a.At(0, 0).real();
+    const double d1 = a.At(1, 1).real();
+    const double mean = 0.5 * (d0 + d1);
+    const double half_gap = 0.5 * (d0 - d1);
+    return mean - std::sqrt(half_gap * half_gap + std::norm(a.At(0, 1)));
+  }
+  if (n == 3) {
+    // Trigonometric solution of the Hermitian 3x3 characteristic cubic
+    // (Smith 1961): shift by q = tr/3, scale by p = sqrt(tr((A-qI)^2)/6),
+    // then the eigenvalues are q + 2p cos(phi + 2πk/3).
+    const double d0 = a.At(0, 0).real();
+    const double d1 = a.At(1, 1).real();
+    const double d2 = a.At(2, 2).real();
+    const Complex x = a.At(0, 1);
+    const Complex y = a.At(0, 2);
+    const Complex z = a.At(1, 2);
+    const double off_sq = std::norm(x) + std::norm(y) + std::norm(z);
+    if (off_sq == 0.0) {
+      return std::min(d0, std::min(d1, d2));
+    }
+    const double q = (d0 + d1 + d2) / 3.0;
+    const double b0 = d0 - q;
+    const double b1 = d1 - q;
+    const double b2 = d2 - q;
+    const double p2 = b0 * b0 + b1 * b1 + b2 * b2 + 2.0 * off_sq;
+    const double p = std::sqrt(p2 / 6.0);
+    // det(B) for Hermitian B = (A - qI)/p with diag b0/p.. and the same
+    // (scaled) off-diagonals: b0 b1 b2 - b0|z|^2 - b1|y|^2 - b2|x|^2
+    // + 2 Re(x z conj(y)), all real.
+    const double inv_p = 1.0 / p;
+    const double c0 = b0 * inv_p;
+    const double c1 = b1 * inv_p;
+    const double c2 = b2 * inv_p;
+    const Complex sx = x * inv_p;
+    const Complex sy = y * inv_p;
+    const Complex sz = z * inv_p;
+    const double det_b = c0 * c1 * c2 - c0 * std::norm(sz) -
+                         c1 * std::norm(sy) - c2 * std::norm(sx) +
+                         2.0 * (sx * sz * std::conj(sy)).real();
+    const double r = std::clamp(det_b / 2.0, -1.0, 1.0);
+    const double phi = std::acos(r) / 3.0;
+    // cos(phi + 2π/3) is the smallest of the three cosines for phi in
+    // [0, π/3], so this is the minimum eigenvalue.
+    return q + 2.0 * p * std::cos(phi + 2.0 * kPi / 3.0);
+  }
+  // Cold fallback: full decomposition (allocates; n > 3 never occurs on the
+  // scoring hot path).
+  return HermitianEigen(a).values.front();
+}
+
 }  // namespace mulink::linalg

@@ -51,4 +51,13 @@ EigenSystem HermitianEigen(const CMatrix& a, const JacobiOptions& options = {});
 void HermitianEigen(const CMatrix& a, EigenSystem& out, EigWorkspace& ws,
                     const JacobiOptions& options = {});
 
+// Smallest eigenvalue only, allocation-free and closed-form for the sizes
+// the detector's noise-floor subtraction actually sees: n == 1 trivially,
+// n == 2 by the quadratic formula, n == 3 by the trigonometric (Cardano)
+// method for Hermitian 3x3 matrices. Falls back to a full Jacobi
+// decomposition for n > 3 (allocating; off the hot path). Agrees with
+// HermitianEigen().values.front() to ~1e-12 * ||A|| — the callers that
+// switched from the full decomposition re-baselined (DESIGN.md §14).
+double SmallestHermitianEigenvalue(const CMatrix& a);
+
 }  // namespace mulink::linalg

@@ -13,7 +13,8 @@ Rules
 -----
 hot-alloc   Heap-allocation tokens (`new`, `malloc`, `resize`, `push_back`,
             `emplace_back`, `reserve`, `make_unique`, `make_shared`, ...)
-            inside the hot-path TUs (src/core, src/linalg, src/dsp) must
+            inside the hot-path TUs (src/core, src/linalg, src/dsp,
+            src/kernels) must
             carry an explicit `// mulink-lint: allow(alloc): <why>`
             annotation on the same or the preceding line. The annotation
             is a reviewed claim that the allocation is setup-path or
@@ -36,6 +37,13 @@ obs-macro   Library code records observability data only through the
             calling Registry::Add/Set/RecordStageNs or constructing
             ScopedStageTimer/TraceSpan directly. The macros guarantee the
             null-sink check and keep the MULINK_OBS kill switch total.
+
+intrinsics  SIMD intrinsics (<immintrin.h>/<x86intrin.h> includes, _mm*_*
+            calls, __m128/__m256/__m512 types) may appear only in
+            src/kernels TUs. The kernel layer is the single place where
+            vector code lives, behind runtime dispatch with a scalar twin,
+            so the scalar/AVX2 parity tests cover every vectorized path.
+            Escape hatch: `// mulink-lint: allow(intrinsics): <why>`.
 
 Annotations (all inside comments, so the compiler never sees them):
   // mulink-lint: allow(<rule-tag>): reason     suppress one finding, on the
@@ -65,7 +73,10 @@ EXIT_USAGE = 2
 SOURCE_SUFFIXES = {".cpp", ".h", ".hpp", ".cc"}
 
 # Directories whose TUs form the per-decision hot path (rule hot-alloc).
-HOT_PATH_DIRS = ("src/core", "src/linalg", "src/dsp")
+HOT_PATH_DIRS = ("src/core", "src/linalg", "src/dsp", "src/kernels")
+
+# The one blessed home for SIMD vector code (rule intrinsics).
+KERNEL_DIR = "src/kernels"
 
 # Directories holding library code (rules stdout / obs-macro). tools/,
 # examples/ and bench/ are presentation layers and may print.
@@ -106,7 +117,13 @@ OBS_DIRECT_RE = re.compile(
     r"|\bobs::ScopedStageTimer\b|\bobs::TraceSpan\b"
 )
 
-RULES = ("hot-alloc", "rng", "stdout", "obs-macro")
+INTRINSICS_TOKEN_RE = re.compile(
+    r"#\s*include\s*<(?:immintrin|x86intrin)\.h>"
+    r"|\b_mm\d*_\w+\s*\("
+    r"|\b__m(?:128|256|512)[di]?\b"
+)
+
+RULES = ("hot-alloc", "rng", "stdout", "obs-macro", "intrinsics")
 
 
 class Violation:
@@ -215,6 +232,7 @@ def lint_file(path: Path, root: Path, active_rules: set[str]) -> list[Violation]
     out: list[Violation] = []
 
     in_hot_dir = any(rel.startswith(d + "/") for d in HOT_PATH_DIRS)
+    in_kernels = rel.startswith(KERNEL_DIR + "/")
     cold_tu = any("cold-tu" in notes.get(i, set()) for i in range(min(len(raw), 30)))
     in_library = any(rel.startswith(d + "/") for d in LIBRARY_DIRS)
     in_obs = rel.startswith("src/obs/")
@@ -282,6 +300,21 @@ def lint_file(path: Path, root: Path, active_rules: set[str]) -> list[Violation]
                     lineno,
                     "direct obs recording call — route through the "
                     "MULINK_OBS_* macros (obs/metrics.h, obs/trace.h)",
+                )
+            )
+        if (
+            "intrinsics" in active_rules
+            and not in_kernels
+            and INTRINSICS_TOKEN_RE.search(line)
+            and not allowed(notes, idx, "intrinsics")
+        ):
+            out.append(
+                Violation(
+                    "intrinsics",
+                    rel,
+                    lineno,
+                    "SIMD intrinsics outside src/kernels — the kernel layer "
+                    "owns vector code so scalar/AVX2 parity stays testable",
                 )
             )
     return out

@@ -258,6 +258,74 @@ class ObsMacroRule(LintHarness):
         self.assertEqual(code, mulink_lint.EXIT_CLEAN)
 
 
+class IntrinsicsRule(LintHarness):
+    """Vector code lives only in src/kernels, behind the dispatch layer."""
+
+    def test_immintrin_include_outside_kernels_fails(self):
+        code, out, _ = self.lint_tree(
+            {"src/core/detector.cpp": "#include <immintrin.h>\n"}
+        )
+        self.assertEqual(code, mulink_lint.EXIT_VIOLATIONS)
+        self.assertIn("[intrinsics]", out)
+        self.assertIn("src/core/detector.cpp:1", out)
+
+    def test_mm_call_and_vector_type_fail_outside_kernels(self):
+        for rel in ("src/dsp/filter.cpp", "bench/micro.cpp", "tools/x.cpp"):
+            code, out, _ = self.lint_tree(
+                {
+                    rel: (
+                        "void F(double* p) {\n"
+                        "  __m256d v = _mm256_loadu_pd(p);\n"
+                        "  _mm256_storeu_pd(p, v);\n"
+                        "}\n"
+                    )
+                }
+            )
+            self.assertEqual(code, mulink_lint.EXIT_VIOLATIONS, rel)
+            self.assertIn("[intrinsics]", out)
+
+    def test_kernels_dir_is_exempt(self):
+        code, _, _ = self.lint_tree(
+            {
+                "src/kernels/kernels_avx2.cpp": (
+                    "#include <immintrin.h>\n"
+                    "void F(double* p) { _mm256_storeu_pd(p, _mm256_setzero_pd()); }\n"
+                )
+            }
+        )
+        self.assertEqual(code, mulink_lint.EXIT_CLEAN)
+
+    def test_annotated_intrinsic_is_allowed(self):
+        code, _, _ = self.lint_tree(
+            {
+                "src/dsp/fft.cpp": (
+                    "// mulink-lint: allow(intrinsics): prefetch hint only\n"
+                    "void F(const double* p) { _mm_prefetch(p, 1); }\n"
+                )
+            }
+        )
+        self.assertEqual(code, mulink_lint.EXIT_CLEAN)
+
+    def test_intrinsic_tokens_in_comments_ignored(self):
+        code, _, _ = self.lint_tree(
+            {
+                "src/core/detector.cpp": (
+                    "// the kernels layer uses _mm256_fmadd_pd( internally\n"
+                    'const char* kDoc = "__m256d lanes";\n'
+                )
+            }
+        )
+        self.assertEqual(code, mulink_lint.EXIT_CLEAN)
+
+    def test_kernels_dir_is_hot_for_alloc(self):
+        code, out, _ = self.lint_tree(
+            {"src/kernels/scratch.cpp": "void F(V& v) { v.resize(8); }\n"}
+        )
+        self.assertEqual(code, mulink_lint.EXIT_VIOLATIONS)
+        self.assertIn("[hot-alloc]", out)
+        self.assertIn("src/kernels/scratch.cpp", out)
+
+
 class CliSurface(LintHarness):
     def test_rule_filter_runs_only_that_rule(self):
         files = {
