@@ -11,6 +11,10 @@
 #     either arm, the per-day decay curves, the adaptive arm's ladder
 #     statistics, or the multi-thread determinism verdict (bit_identical
 #     must be true).
+#   * BENCH_serve.json (mulink_serve) — CI fails if the serving tier loses
+#     its fleet rows, the per-shard queue-depth percentiles, the headline's
+#     zero-allocation guarantee, the scaling curve, or the shard-count
+#     determinism verdict (bit_identical must be true).
 #
 # usage: check_bench_schema.sh <path/to/BENCH_*.json>
 set -euo pipefail
@@ -144,8 +148,68 @@ def check_drift(doc):
             f"bit_identical={determinism.get('bit_identical')}")
 
 
+def check_serve(doc):
+    for key in ("benchmark", "smoke", "scheme", "window_packets",
+                "hop_packets", "queue_capacity", "policy",
+                "hardware_concurrency", "rows", "scaling", "headline",
+                "determinism"):
+        require(key in doc, f"missing top-level key '{key}'")
+
+    row_keys = ("links", "shards", "window_packets", "churn",
+                "frames_routed", "decisions", "elapsed_s", "decisions_per_s",
+                "allocs_per_decision", "links_admitted", "links_evicted",
+                "queue_depth")
+    rows = doc.get("rows", [])
+    require(len(rows) >= 2, f"expected >= 2 fleet rows, found {len(rows)}")
+    for row in rows:
+        for key in row_keys:
+            require(key in row,
+                    f"fleet row links={row.get('links', '?')} lost '{key}'")
+        depths = row.get("queue_depth", [])
+        require(len(depths) == row.get("shards"),
+                f"fleet row links={row.get('links', '?')}: "
+                f"{len(depths)} depth rows for {row.get('shards')} shards")
+        for depth in depths:
+            for key in ("p50", "p90", "p99", "max", "samples"):
+                require(key in depth, f"queue_depth row lost '{key}'")
+        # Resident (non-churn) fleets must stay allocation-free per
+        # decision; churn rows legitimately allocate on the admission path.
+        if not row.get("churn"):
+            value = row.get("allocs_per_decision")
+            require(isinstance(value, (int, float)) and value == 0,
+                    f"resident fleet links={row.get('links', '?')}: "
+                    f"allocs_per_decision = {value}, expected 0")
+
+    scaling = doc.get("scaling", [])
+    require(len(scaling) >= 2,
+            f"scaling curve has {len(scaling)} points, expected >= 2")
+    for point in scaling:
+        for key in ("shards", "links", "decisions_per_s", "oversubscribed"):
+            require(key in point, f"scaling point lost '{key}'")
+
+    headline = doc.get("headline", {})
+    for key in ("links", "shards", "window_packets", "decisions_per_s",
+                "allocs_per_decision"):
+        require(key in headline, f"headline lost '{key}'")
+    require(headline.get("allocs_per_decision") == 0,
+            "headline fleet is not allocation-free per decision")
+
+    determinism = doc.get("determinism", {})
+    require(len(determinism.get("shard_counts", [])) >= 2,
+            "determinism ran fewer than 2 shard counts")
+    require(determinism.get("bit_identical") is True,
+            "decision log is not bit-identical across shard counts")
+
+    return (f"{len(rows)} fleet rows, {len(scaling)} scaling points, "
+            f"headline {headline.get('decisions_per_s')} decisions/s, "
+            f"smoke={doc.get('smoke')}, "
+            f"bit_identical={determinism.get('bit_identical')}")
+
+
 if doc.get("benchmark") == "fig_drift":
     summary = check_drift(doc)
+elif doc.get("benchmark") == "mulink_serve":
+    summary = check_serve(doc)
 else:
     summary = check_engine(doc)
 

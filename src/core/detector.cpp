@@ -129,6 +129,7 @@ Detector Detector::Calibrate(const std::vector<wifi::CsiPacket>& empty_session,
     d.retained_calibration_.push_back(sanitized[idx]);
   }
   d.profile_version_ = NextProfileVersion();
+  d.profile_epoch_ = NextProfileVersion();
 
   // Static pseudospectrum and Eq. 17 path weights (combined scheme only
   // needs them, but they are cheap and useful introspection for all).
@@ -185,14 +186,22 @@ double Detector::ScoreSanitized(std::span<const wifi::CsiPacket> window,
 double Detector::ScoreSanitizedPrepared(
     std::span<const wifi::CsiPacket> window,
     const PreparedWindowFactors& factors, DetectorScratch& scratch) const {
-  MULINK_REQUIRE(!window.empty(),
+  // With ingest-split slabs the combined scheme never touches the window
+  // packets, so the caller may pass an empty window span.
+  const bool slab_window =
+      window.empty() && !factors.csi_slabs.empty() &&
+      config_.scheme == DetectionScheme::kSubcarrierAndPathWeighting;
+  const std::size_t window_packets =
+      slab_window ? factors.csi_slabs.size() : window.size();
+  MULINK_REQUIRE(window_packets > 0,
                  "Detector::ScoreSanitizedPrepared: empty window");
-  MULINK_REQUIRE(window[0].NumAntennas() == num_antennas_ &&
-                     window[0].NumSubcarriers() == num_subcarriers_,
+  MULINK_REQUIRE(slab_window ||
+                     (window[0].NumAntennas() == num_antennas_ &&
+                      window[0].NumSubcarriers() == num_subcarriers_),
                  "Detector::ScoreSanitizedPrepared: window dimensions "
                  "mismatch calibration");
-  MULINK_REQUIRE(factors.mu_rows.size() == window.size() &&
-                     factors.medians.size() == window.size(),
+  MULINK_REQUIRE(factors.mu_rows.size() == window_packets &&
+                     factors.medians.size() == window_packets,
                  "Detector::ScoreSanitizedPrepared: factors/window size "
                  "mismatch");
   MULINK_OBS_COUNT(scratch.metrics, kWindowsScored);
@@ -406,6 +415,7 @@ void Detector::UpdateProfile(const std::vector<wifi::CsiPacket>& empty_window,
       power_sum / static_cast<double>(num_antennas_ * num_subcarriers_);
   profile_scale_amplitude_ =
       amp_sum / static_cast<double>(num_antennas_ * num_subcarriers_);
+  profile_epoch_ = NextProfileVersion();
 
   // Rotate a slice of the retained calibration packets (oldest first) so the
   // combined scheme's angular profile follows the environment.
@@ -452,6 +462,7 @@ void Detector::ApplyProfile(std::span<const double> power,
   profile_scale_amplitude_ = amp_sum / static_cast<double>(cells);
   MULINK_REQUIRE(profile_scale_power_ > 0.0,
                  "Detector::ApplyProfile: staged profile has no power");
+  profile_epoch_ = NextProfileVersion();
 }
 
 void Detector::RefreshAngularProfile(
@@ -533,6 +544,43 @@ double Detector::ScoreBaseline(std::span<const wifi::CsiPacket> window,
     score += packet_score / static_cast<double>(live);
   }
   return score / static_cast<double>(window.size());
+}
+
+double Detector::BaselinePacketScore(const wifi::CsiPacket& packet) const {
+  // Exactly one full-mask iteration of ScoreBaseline's packet loop: the
+  // antennas accumulate in index order and the per-antenna subcarrier walk
+  // is unchanged, so folding these values with ScoreBaselinePrepared below
+  // reproduces ScoreBaseline bit for bit.
+  double packet_score = 0.0;
+  for (std::size_t m = 0; m < num_antennas_; ++m) {
+    double sum_sq = 0.0;
+    for (std::size_t k = 0; k < num_subcarriers_; ++k) {
+      const double amp = std::sqrt(packet.SubcarrierPower(m, k));
+      const double diff =
+          (amp - profile_amplitude_[m][k]) / profile_scale_amplitude_;
+      sum_sq += diff * diff;
+    }
+    packet_score += std::sqrt(sum_sq);
+  }
+  return packet_score;
+}
+
+double Detector::ScoreBaselinePrepared(std::span<const double> packet_scores,
+                                       DetectorScratch& scratch) const {
+  MULINK_REQUIRE(config_.scheme == DetectionScheme::kBaseline,
+                 "Detector::ScoreBaselinePrepared: baseline scheme only");
+  MULINK_REQUIRE(!packet_scores.empty(),
+                 "Detector::ScoreBaselinePrepared: empty window");
+  MULINK_OBS_COUNT(scratch.metrics, kWindowsScored);
+  MULINK_OBS_STAGE_TIMER(timer, scratch.metrics, kScore);
+  // Same accumulation order and divisors as the full-mask ScoreBaseline
+  // (live == num_antennas_ there), so the fold is bit-identical.
+  const double live = static_cast<double>(num_antennas_);
+  double score = 0.0;
+  for (const double packet_score : packet_scores) {
+    score += packet_score / live;
+  }
+  return score / static_cast<double>(packet_scores.size());
 }
 
 double Detector::ScoreSubcarrierWeighting(
@@ -645,8 +693,15 @@ double Detector::ScoreCombined(std::span<const wifi::CsiPacket> sanitized,
   auto& profile_cov = scratch.profile_cov;
   {
     MULINK_OBS_STAGE_TIMER(timer, scratch.metrics, kMusicPathWeighting);
-    SampleCovarianceInto(std::span<const wifi::CsiPacket>(sanitized),
-                         weights.weights, monitor_cov, scratch.music);
+    if (prepared != nullptr && !prepared->csi_slabs.empty()) {
+      // Ingest-split slabs: same bytes, no per-window re-deinterleave.
+      SampleCovarianceSlabsInto(prepared->csi_slabs, num_antennas_,
+                                num_subcarriers_, weights.weights,
+                                monitor_cov, scratch.music);
+    } else {
+      SampleCovarianceInto(std::span<const wifi::CsiPacket>(sanitized),
+                           weights.weights, monitor_cov, scratch.music);
+    }
     // The profile side scores a *fixed* packet set against per-window
     // weights, so its per-subcarrier covariance stack is cached in the
     // workspace and only re-combined here; the full packet scan happens once

@@ -165,6 +165,13 @@ class Detector {
   struct PreparedWindowFactors {
     std::span<const double* const> mu_rows;
     std::span<const double> medians;
+    // Optional ingest-split CSI slabs, one per window packet (antenna-major
+    // re rows then im rows, exactly kernels::Deinterleave's bytes — see
+    // SampleCovarianceSlabsInto). When set, the combined scheme's monitor
+    // covariance reads these instead of the window packets, so the caller
+    // can skip materializing the window entirely (pass an empty window span
+    // to ScoreSanitizedPrepared). Ignored by the other schemes.
+    std::span<const double* const> csi_slabs;
   };
 
   // ScoreSanitized with ingest-prepared multipath factors. Bit-identical to
@@ -173,6 +180,27 @@ class Detector {
   double ScoreSanitizedPrepared(std::span<const wifi::CsiPacket> window,
                                 const PreparedWindowFactors& factors,
                                 DetectorScratch& scratch) const;
+
+  // Per-packet contribution to the baseline statistic: the full-mask inner
+  // body of ScoreBaseline (sum over antennas of the normalized amplitude
+  // distance to the profile). A deterministic per-packet map of the RAW
+  // packet, so ingest paths cache one double per ring slot and fold the
+  // window's statistic with ScoreBaselinePrepared instead of re-walking
+  // window_packets x antennas x subcarriers every hop. Values are tied to
+  // profile_epoch(): a profile rewrite invalidates them.
+  double BaselinePacketScore(const wifi::CsiPacket& packet) const;
+
+  // Fold ingest-cached per-packet baseline scores (window order) into the
+  // window statistic. Bit-identical to Score on the same raw window when
+  // every entry equals BaselinePacketScore of its packet under the current
+  // profile epoch. Baseline scheme only.
+  double ScoreBaselinePrepared(std::span<const double> packet_scores,
+                               DetectorScratch& scratch) const;
+
+  // Monotonic epoch of the amplitude profile the baseline statistic reads;
+  // bumped by Calibrate, UpdateProfile and ApplyProfile. Caches of
+  // BaselinePacketScore stamped with an older epoch must recompute.
+  std::uint64_t profile_epoch() const { return profile_epoch_; }
 
   // Degraded-mode statistic for windows with dead RX chains: only the
   // antennas set in `live_mask` (bit m = antenna m) contribute. The
@@ -329,6 +357,10 @@ class Detector {
   // covariance stack. Unique across Detector instances so one scratch can
   // be shared between detectors without cross-talk.
   std::uint64_t profile_version_ = 0;
+  // Epoch of profile_amplitude_/profile_scale_amplitude_ (the baseline
+  // statistic's inputs); drawn from the same process-unique counter as
+  // profile_version_ so sharing a scratch across detectors stays safe.
+  std::uint64_t profile_epoch_ = 0;
   Pseudospectrum static_spectrum_;
   PathWeights path_weights_;
 

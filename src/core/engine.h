@@ -8,12 +8,21 @@
 // so ProcessBatch ingests a span of CSI packets and emits presence decisions
 // with zero heap allocations once the buffers are warm.
 //
+// Fleet mode (src/serve): links that share a channel configuration can be
+// registered against one immutable shared Detector (AddLink shared_ptr
+// overload) and score through one engine-owned shared scratch
+// (UseSharedScratch), so per-link memory shrinks to the packet ring and the
+// profile-side covariance stack stays warm across consecutive links of the
+// same config. Shared-detector links cannot run adaptive calibration (the
+// ladder mutates the detector in place); register an owned copy for that.
+//
 // Decision semantics are bit-identical to feeding the same packets one at a
 // time through StreamingDetector::Push (see core_engine_test).
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -46,12 +55,38 @@ class SensingEngine {
 
   // Register a calibrated link. `detector` must have its threshold set;
   // `empty_scores` fit the HMM emission model when config.use_hmm is on.
-  // Returns the link index used by the per-link calls below.
+  // Returns the link index used by the per-link calls below (freed slots
+  // from RemoveLink are reused before new ones are appended).
   std::size_t AddLink(Detector detector,
                       const std::vector<double>& empty_scores,
                       StreamingConfig config = {});
 
+  // Fleet-mode registration: many links share one immutable calibrated
+  // detector (one channel config group). Requires
+  // !config.calibration.enabled — the recalibration ladder mutates the
+  // detector in place, which a shared profile must never see.
+  std::size_t AddLink(std::shared_ptr<const Detector> detector,
+                      const std::vector<double>& empty_scores,
+                      StreamingConfig config = {});
+
+  // Drop one link entirely (serving-tier eviction). Its slot index is
+  // recycled by the next AddLink; every other link keeps its index. The
+  // slot is invalid until then — per-link calls on it are precondition
+  // errors.
+  void RemoveLink(std::size_t link);
+  bool LinkActive(std::size_t link) const;
+
+  // Total slots ever created (including freed ones awaiting reuse) and the
+  // number currently active.
   std::size_t NumLinks() const { return links_.size(); }
+  std::size_t NumActiveLinks() const { return active_links_; }
+
+  // Route every link's scoring through one engine-owned scratch workspace
+  // instead of per-link scratch. Serving shards use this: resident links
+  // share one warm workspace, and links that share a detector reuse its
+  // profile covariance stack across consecutive decisions. Must be called
+  // before the first AddLink.
+  void UseSharedScratch();
 
   // Ingest a batch of packets for one link. Every completed window (aligned
   // to the configured hop) contributes one decision. The returned reference
@@ -61,6 +96,12 @@ class SensingEngine {
 
   // Single-link convenience (requires exactly one registered link).
   const BatchResult& ProcessBatch(std::span<const wifi::CsiPacket> packets);
+
+  // Packet-at-a-time ingest for serving loops: identical semantics to
+  // ProcessBatch over a one-packet span, without touching the BatchResult
+  // buffer. Returns a decision when this packet completed a window.
+  std::optional<PresenceDecision> ProcessPacket(std::size_t link,
+                                                const wifi::CsiPacket& packet);
 
   // Score one window directly on the link's scratch, bypassing the ring
   // (for offline session scoring on engine-owned buffers).
@@ -105,10 +146,17 @@ class SensingEngine {
   // survive links_ growth.
   struct LinkState;
 
+  std::size_t InstallLink(std::unique_ptr<LinkState> state);
+
   LinkState& Link(std::size_t link);
   const LinkState& Link(std::size_t link) const;
 
   std::vector<std::unique_ptr<LinkState>> links_;
+  std::vector<std::size_t> free_slots_;
+  std::size_t active_links_ = 0;
+  // Engine-owned workspace shared by every link when UseSharedScratch() was
+  // called (null otherwise; links then own their scratch).
+  std::unique_ptr<DetectorScratch> shared_scratch_;
   bool metrics_enabled_ = true;
 };
 

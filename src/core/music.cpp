@@ -143,6 +143,54 @@ void SampleCovarianceInto(std::span<const wifi::CsiPacket> packets,
   out *= Complex(1.0 / total_weight, 0.0);
 }
 
+void SampleCovarianceSlabsInto(std::span<const double* const> slabs,
+                               std::size_t num_antennas,
+                               std::size_t num_subcarriers,
+                               std::span<const double> weights,
+                               linalg::CMatrix& out, MusicWorkspace& ws) {
+  MULINK_REQUIRE(!slabs.empty(), "SampleCovariance: need >= 1 packet");
+  MULINK_REQUIRE(num_antennas >= 2, "SampleCovariance: need >= 2 antennas");
+  MULINK_REQUIRE(weights.empty() || weights.size() == num_subcarriers,
+                 "SampleCovariance: weights size mismatch");
+
+  out.Resize(num_antennas, num_antennas);
+
+  // Assemble the packet-major planes by memcpy from the per-packet slabs —
+  // the same bytes the Deinterleave path writes, so the kernel reduction
+  // (and the score downstream) is bit-identical.
+  const std::size_t num_pk = slabs.size();
+  const std::size_t n = num_pk * num_subcarriers;
+  const std::size_t row_bytes = num_subcarriers * sizeof(double);
+  ws.plane_re.Ensure(num_antennas * n);
+  ws.plane_im.Ensure(num_antennas * n);
+  ws.w_rep.Ensure(n);
+  for (std::size_t p = 0; p < num_pk; ++p) {
+    const double* slab = slabs[p];
+    for (std::size_t m = 0; m < num_antennas; ++m) {
+      std::memcpy(ws.plane_re.data() + m * n + p * num_subcarriers,
+                  slab + m * num_subcarriers, row_bytes);
+      std::memcpy(ws.plane_im.data() + m * n + p * num_subcarriers,
+                  slab + (num_antennas + m) * num_subcarriers, row_bytes);
+    }
+  }
+  double weight_sum = 0.0;
+  for (std::size_t k = 0; k < num_subcarriers; ++k) {
+    const double w = weights.empty() ? 1.0 : weights[k];
+    const double clipped = w > 0.0 ? w : 0.0;
+    ws.w_rep[k] = clipped;
+    weight_sum += clipped;
+  }
+  for (std::size_t p = 1; p < num_pk; ++p) {
+    std::memcpy(ws.w_rep.data() + p * num_subcarriers, ws.w_rep.data(),
+                num_subcarriers * sizeof(double));
+  }
+  MULINK_REQUIRE(weight_sum > 0.0, "SampleCovariance: all weights are zero");
+  kernels::WeightedCovariance(ws.plane_re.data(), ws.plane_im.data(),
+                              num_antennas, n, ws.w_rep.data(), out.raw());
+  const double total_weight = weight_sum * static_cast<double>(num_pk);
+  out *= Complex(1.0 / total_weight, 0.0);
+}
+
 void BuildSubcarrierCovarianceStack(std::span<const wifi::CsiPacket> packets,
                                     SubcarrierCovarianceStack& out) {
   MULINK_REQUIRE(!packets.empty(),

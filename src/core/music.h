@@ -101,6 +101,20 @@ void SampleCovarianceInto(std::span<const wifi::CsiPacket> packets,
                           std::span<const double> weights, linalg::CMatrix& out,
                           MusicWorkspace& ws);
 
+// Pre-split variant for ingest-cached windows: slab p points at packet p's
+// split-complex block — antenna-major re rows then im rows, each
+// num_antennas * num_subcarriers doubles, exactly the bytes
+// kernels::Deinterleave produces from the packet's CSI. Callers that score
+// overlapping windows (SensingEngine) split each packet once at ingest and
+// assemble the window by memcpy here, instead of re-deinterleaving every
+// packet on every hop. Bit-identical to SampleCovarianceInto on the packets
+// the slabs were split from.
+void SampleCovarianceSlabsInto(std::span<const double* const> slabs,
+                               std::size_t num_antennas,
+                               std::size_t num_subcarriers,
+                               std::span<const double> weights,
+                               linalg::CMatrix& out, MusicWorkspace& ws);
+
 // Per-subcarrier covariance stack: block k holds the *unweighted* sum over
 // packets of the antenna outer product x_k x_k^H. Because the weighted
 // sample covariance is linear in the per-subcarrier terms, a caller that

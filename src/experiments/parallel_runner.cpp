@@ -1,8 +1,5 @@
 #include "experiments/parallel_runner.h"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -21,41 +18,13 @@ ParallelCampaignRunner::ParallelCampaignRunner(std::size_t num_threads)
 
 void ParallelCampaignRunner::ParallelFor(
     std::size_t n, const std::function<void(std::size_t)>& fn) const {
-  ParallelFor(n, [&fn](std::size_t i, std::size_t) { fn(i); });
+  ForIndexed(n, [&fn](std::size_t i, std::size_t) { fn(i); });
 }
 
 void ParallelCampaignRunner::ParallelFor(
     std::size_t n,
     const std::function<void(std::size_t, std::size_t)>& fn) const {
-  if (n == 0) return;
-  const std::size_t workers = std::min(num_threads_, n);
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
-    return;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  {
-    std::vector<std::jthread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&, w] {
-        for (;;) {
-          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= n) return;
-          try {
-            fn(i, w);
-          } catch (...) {
-            std::lock_guard<std::mutex> lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
-          }
-        }
-      });
-    }
-  }  // jthreads join here
-  if (first_error) std::rethrow_exception(first_error);
+  ForIndexed(n, [&fn](std::size_t i, std::size_t w) { fn(i, w); });
 }
 
 CampaignResult ParallelCampaignRunner::Run(
@@ -85,7 +54,7 @@ CampaignResult ParallelCampaignRunner::Run(
   std::vector<std::optional<obs::TraceRing>> rings(cases.size());
   const bool tracing = config.collect_trace && obs::kEnabled;
   const auto epoch = obs::TraceRing::Clock::now();
-  ParallelFor(cases.size(), [&](std::size_t ci, std::size_t worker) {
+  ForIndexed(cases.size(), [&](std::size_t ci, std::size_t worker) {
     if (tracing) {
       rings[ci].emplace(config.trace_capacity, epoch,
                         static_cast<std::uint32_t>(worker));

@@ -10,8 +10,13 @@
 // case order — bit-for-bit identical output regardless of thread count.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "experiments/campaign.h"
 
@@ -24,14 +29,53 @@ class ParallelCampaignRunner {
 
   std::size_t num_threads() const { return num_threads_; }
 
-  // Ordered parallel-for: executes fn(i) for every i in [0, n) on the pool.
-  // fn must only write to index-i state. The first exception thrown by any
-  // task is rethrown here after all threads have joined.
+  // Ordered parallel-for over any callable: executes fn(i, worker) for every
+  // i in [0, n) on the pool, with the executing worker's index
+  // [0, num_threads) as the second argument. The callable is invoked
+  // directly (no std::function boxing — serving shards and tight per-case
+  // loops pay zero type-erasure dispatch). fn must only write to index-i
+  // state. The first exception thrown by any task is rethrown here after
+  // all threads have joined.
+  template <typename Fn>
+  void ForIndexed(std::size_t n, Fn&& fn) const {
+    if (n == 0) return;
+    const std::size_t workers = std::min(num_threads_, n);
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i, std::size_t{0});
+      return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    {
+      std::vector<std::jthread> pool;
+      pool.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+          for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) return;
+            try {
+              fn(i, w);
+            } catch (...) {
+              std::lock_guard<std::mutex> lock(error_mutex);
+              if (!first_error) first_error = std::current_exception();
+            }
+          }
+        });
+      }
+    }  // jthreads join here
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  // Type-erased convenience wrappers over ForIndexed for callers that
+  // already hold a std::function (one boxed dispatch per task).
   void ParallelFor(std::size_t n,
                    const std::function<void(std::size_t)>& fn) const;
 
-  // Same, with the executing worker's index [0, num_threads) as the second
-  // argument — used to stamp trace events with the thread that ran them.
+  // Same, with the worker index — used to stamp trace events with the
+  // thread that ran them.
   void ParallelFor(
       std::size_t n,
       const std::function<void(std::size_t, std::size_t)>& fn) const;

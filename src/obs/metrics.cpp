@@ -74,6 +74,18 @@ const char* ToString(Counter counter) {
       return "ladder_transitions";
     case Counter::kAgcRebaselines:
       return "agc_rebaselines";
+    case Counter::kFramesRouted:
+      return "frames_routed";
+    case Counter::kFramesDropped:
+      return "frames_dropped";
+    case Counter::kFramesRejected:
+      return "frames_rejected";
+    case Counter::kLinksAdmitted:
+      return "links_admitted";
+    case Counter::kLinksEvicted:
+      return "links_evicted";
+    case Counter::kLinksReadmitted:
+      return "links_readmitted";
   }
   return "unknown";
 }
@@ -92,6 +104,10 @@ const char* ToString(Gauge gauge) {
       return "ladder_state";
     case Gauge::kAdaptiveThreshold:
       return "adaptive_threshold";
+    case Gauge::kQueueDepth:
+      return "queue_depth";
+    case Gauge::kResidentLinks:
+      return "resident_links";
   }
   return "unknown";
 }

@@ -79,9 +79,15 @@ enum class Counter : std::uint8_t {
   kProfileSwaps,         // adaptive profile/threshold swaps applied
   kLadderTransitions,    // recalibration-ladder state transitions
   kAgcRebaselines,       // AGC-jump fast re-baseline paths taken
+  kFramesRouted,         // frames the serve demux routed to a shard queue
+  kFramesDropped,        // frames displaced by drop-oldest back-pressure
+  kFramesRejected,       // frames refused by reject-newest back-pressure
+  kLinksAdmitted,        // links admitted to a serving shard roster
+  kLinksEvicted,         // links evicted (capacity or health)
+  kLinksReadmitted,      // evicted links re-admitted after cooldown
 };
 
-inline constexpr std::size_t kNumCounters = 21;
+inline constexpr std::size_t kNumCounters = 27;
 
 const char* ToString(Counter counter);
 
@@ -92,9 +98,11 @@ enum class Gauge : std::uint8_t {
   kLiveAntennas,    // live RX chains at the last decision
   kLadderState,     // recalibration-ladder state (CalibrationLadder value)
   kAdaptiveThreshold,  // threshold installed by the last profile swap
+  kQueueDepth,         // shard ingest-queue depth at the last poll
+  kResidentLinks,      // links resident on the shard roster
 };
 
-inline constexpr std::size_t kNumGauges = 6;
+inline constexpr std::size_t kNumGauges = 8;
 
 const char* ToString(Gauge gauge);
 

@@ -1,0 +1,454 @@
+#include "serve/serve.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/assert.h"
+
+namespace mulink::serve {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche mix so structured link ids (dense
+// ranges, strided ids) still spread evenly over the shards.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::size_t DepthBucket(std::size_t depth) {
+  const std::size_t bucket =
+      depth <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(depth) - 1);
+  return std::min(bucket, ShardStats::kDepthBuckets - 1);
+}
+
+constexpr std::uint32_t kNil = 0xffffffffu;
+
+}  // namespace
+
+const char* ToString(BackPressure policy) {
+  switch (policy) {
+    case BackPressure::kBlock:
+      return "block";
+    case BackPressure::kDropOldest:
+      return "drop-oldest";
+    case BackPressure::kRejectNewest:
+      return "reject-newest";
+  }
+  return "unknown";
+}
+
+struct ServeCore::Shard {
+  explicit Shard(const ServeConfig& cfg) : ring(cfg.queue_capacity) {
+    // Resident links share one warm scoring workspace: consecutive
+    // decisions for links of the same profile reuse the profile covariance
+    // stack instead of rebuilding it per link.
+    engine.UseSharedScratch();
+  }
+
+  // Roster entry slab with an intrusive LRU list (head = most recent).
+  struct LinkEntry {
+    std::uint64_t link_id = 0;
+    std::size_t slot = 0;  // engine slot
+    std::uint32_t profile = 0;
+    std::uint64_t frames = 0;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
+
+  void TouchLru(std::uint32_t idx) {
+    if (lru_head == idx) return;
+    Unlink(idx);
+    LinkEntry& e = entries[idx];
+    e.prev = kNil;
+    e.next = lru_head;
+    if (lru_head != kNil) entries[lru_head].prev = idx;
+    lru_head = idx;
+    if (lru_tail == kNil) lru_tail = idx;
+  }
+
+  void Unlink(std::uint32_t idx) {
+    LinkEntry& e = entries[idx];
+    if (e.prev != kNil) entries[e.prev].next = e.next;
+    if (e.next != kNil) entries[e.next].prev = e.prev;
+    if (lru_head == idx) lru_head = e.next;
+    if (lru_tail == idx) lru_tail = e.prev;
+    e.prev = kNil;
+    e.next = kNil;
+  }
+
+  SpscRing<Frame> ring;
+  core::SensingEngine engine;
+
+  // ---- producer-owned (demux thread) ----
+  std::uint64_t frames_routed = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_rejected = 0;
+
+  // ---- shared cursors (queue accounting) ----
+  std::atomic<std::uint64_t> produced{0};
+  std::atomic<std::uint64_t> consumed{0};
+
+  // ---- worker-owned ----
+  std::vector<LinkEntry> entries;
+  std::vector<std::uint32_t> free_entries;
+  std::unordered_map<std::uint64_t, std::uint32_t> roster;
+  std::uint32_t lru_head = kNil;
+  std::uint32_t lru_tail = kNil;
+  // Health-evicted links barred from readmission for this many of their own
+  // frames (link-local countdown keeps eviction shard-topology-free).
+  std::unordered_map<std::uint64_t, std::uint64_t> cooldown;
+  // Every link ever evicted, to classify later admissions as readmissions.
+  std::unordered_set<std::uint64_t> evicted_ever;
+  std::vector<DecisionRecord> log;
+  std::uint64_t frames_processed_local = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t links_admitted = 0;
+  std::uint64_t links_evicted = 0;
+  std::uint64_t links_readmitted = 0;
+  std::uint64_t depth_buckets[ShardStats::kDepthBuckets] = {};
+  std::uint64_t depth_samples = 0;
+  std::size_t max_depth = 0;
+  obs::Registry metrics;
+};
+
+ServeCore::ServeCore(ServeConfig config)
+    : config_(config),
+      effective_policy_(config.deterministic ? BackPressure::kBlock
+                                             : config.policy) {
+  MULINK_REQUIRE(config_.num_shards >= 1, "ServeCore: need >= 1 shard");
+  MULINK_REQUIRE(config_.queue_capacity >= 2,
+                 "ServeCore: queue capacity must be >= 2");
+  // mulink-lint: allow(alloc): ctor, setup path
+  shards_.reserve(config_.num_shards);
+  for (std::size_t i = 0; i < config_.num_shards; ++i) {
+    // mulink-lint: allow(alloc): ctor, setup path
+    shards_.push_back(std::make_unique<Shard>(config_));
+  }
+}
+
+ServeCore::~ServeCore() { Stop(); }
+
+std::uint32_t ServeCore::RegisterProfile(
+    std::shared_ptr<const core::Detector> detector,
+    std::vector<double> empty_scores, bool per_link_calibration) {
+  MULINK_REQUIRE(!started_, "ServeCore: register profiles before Start()");
+  MULINK_REQUIRE(detector != nullptr, "ServeCore: null profile detector");
+  // mulink-lint: allow(alloc): profile registration, setup path
+  profiles_.push_back(Profile{std::move(detector), std::move(empty_scores),
+                              per_link_calibration});
+  return static_cast<std::uint32_t>(profiles_.size() - 1);
+}
+
+std::size_t ServeCore::ShardOf(std::uint64_t link_id) const {
+  return static_cast<std::size_t>(Mix64(link_id) % config_.num_shards);
+}
+
+void ServeCore::Start() {
+  MULINK_REQUIRE(!started_, "ServeCore: already started");
+  started_ = true;
+  // mulink-lint: allow(alloc): worker spawn, setup path
+  workers_.reserve(config_.num_shards);
+  for (std::size_t i = 0; i < config_.num_shards; ++i) {
+    Shard* shard = shards_[i].get();
+    // mulink-lint: allow(alloc): worker spawn, setup path
+    workers_.emplace_back(
+        [this, shard](std::stop_token stop) { WorkerLoop(stop, *shard); });
+  }
+}
+
+bool ServeCore::Submit(std::uint64_t link_id, std::uint32_t profile_id,
+                       const wifi::CsiPacket& packet) {
+  MULINK_REQUIRE(started_ && !stopped_,
+                 "ServeCore: Submit outside Start()/Stop()");
+  MULINK_REQUIRE(profile_id < profiles_.size(),
+                 "ServeCore: unknown profile id");
+  Shard& shard = *shards_[ShardOf(link_id)];
+  // In-place produce: the packet is copy-assigned straight into the claimed
+  // ring cell (whose CSI buffer sticks once warm), so routing costs one
+  // packet copy total instead of staging + cell.
+  const auto fill = [&](Frame& cell) {
+    cell.link_id = link_id;
+    cell.profile_id = profile_id;
+    cell.packet = packet;  // copy-assign reuses the cell's CSI buffer
+  };
+
+  if (!shard.ring.TryProduce(fill)) {
+    switch (effective_policy_) {
+      case BackPressure::kRejectNewest:
+        ++shard.frames_rejected;
+        MULINK_OBS_COUNT_REF(router_metrics_, kFramesRejected, 1);
+        return false;
+      case BackPressure::kDropOldest:
+        // Displace until the push lands. DiscardOldest can lose the race
+        // with the worker draining the queue — then the retry push wins.
+        while (!shard.ring.TryProduce(fill)) {
+          if (shard.ring.DiscardOldest()) {
+            ++shard.frames_dropped;
+            shard.consumed.fetch_add(1, std::memory_order_release);
+            MULINK_OBS_COUNT_REF(router_metrics_, kFramesDropped, 1);
+          }
+        }
+        break;
+      case BackPressure::kBlock:
+        // Batched hand-off: a full ring means the workers are the
+        // bottleneck, so yielding per failed push would context-switch once
+        // per frame (ruinous when demux and worker share a core). Back off
+        // until the worker has drained half the ring, then burst again —
+        // the alternation cost amortizes over capacity/2 frames.
+        while (!shard.ring.TryProduce(fill)) {
+          std::this_thread::yield();
+          while (shard.ring.ApproxSize() > shard.ring.capacity() / 2) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+        }
+        break;
+    }
+  }
+  ++shard.frames_routed;
+  shard.produced.fetch_add(1, std::memory_order_release);
+  MULINK_OBS_COUNT_REF(router_metrics_, kFramesRouted, 1);
+  return true;
+}
+
+void ServeCore::Drain() {
+  for (const auto& shard : shards_) {
+    while (shard->consumed.load(std::memory_order_acquire) !=
+           shard->produced.load(std::memory_order_acquire)) {
+      // A deep backlog takes the worker milliseconds to score; sleeping
+      // instead of yield-spinning keeps the core with the worker.
+      if (shard->ring.ApproxSize() > 64) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+}
+
+void ServeCore::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  for (auto& worker : workers_) worker.request_stop();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void ServeCore::WorkerLoop(std::stop_token stop, Shard& shard) {
+  for (;;) {
+    // In-place consume: the frame is scored where it sits in the claimed
+    // cell (no pop copy). The CAS claim keeps the cell private until the
+    // sequence release, so the producer — including its drop-oldest
+    // dequeuer — cannot touch it mid-score.
+    const bool popped = shard.ring.TryConsume([&](const Frame& frame) {
+      // Backlog remaining after this claim — the shard's instantaneous lag.
+      const std::size_t depth = shard.ring.ApproxSize();
+      shard.depth_buckets[DepthBucket(depth)] += 1;
+      ++shard.depth_samples;
+      if (depth > shard.max_depth) shard.max_depth = depth;
+      MULINK_OBS_GAUGE(&shard.metrics, kQueueDepth,
+                       static_cast<double>(depth));
+      ProcessFrame(shard, frame);
+    });
+    if (popped) {
+      ++shard.frames_processed_local;
+      shard.consumed.fetch_add(1, std::memory_order_release);
+      continue;
+    }
+    if (stop.stop_requested() &&
+        shard.consumed.load(std::memory_order_acquire) ==
+            shard.produced.load(std::memory_order_acquire)) {
+      return;  // producer finished and the queue is fully drained
+    }
+    std::this_thread::yield();
+  }
+}
+
+void ServeCore::ProcessFrame(Shard& shard, const Frame& frame) {
+  std::uint32_t idx;
+  const auto it = shard.roster.find(frame.link_id);
+  if (it == shard.roster.end()) {
+    const auto barred = shard.cooldown.find(frame.link_id);
+    if (barred != shard.cooldown.end()) {
+      if (barred->second > 0) {
+        // The bar is counted in the link's own frames, so the readmission
+        // point is independent of shard topology.
+        --barred->second;
+        return;
+      }
+      shard.cooldown.erase(barred);
+    }
+    idx = static_cast<std::uint32_t>(
+        AdmitLink(shard, frame.link_id, frame.profile_id));
+  } else {
+    idx = it->second;
+  }
+  Shard::LinkEntry& entry = shard.entries[idx];
+  ++entry.frames;
+  shard.TouchLru(idx);
+
+  const auto decision = shard.engine.ProcessPacket(entry.slot, frame.packet);
+  if (!decision.has_value()) return;
+  ++shard.decisions;
+  if (config_.collect_decision_log) {
+    // mulink-lint: allow(alloc): opt-in determinism artifact, off for throughput runs
+    shard.log.push_back(DecisionRecord{frame.link_id, *decision});
+  }
+  if (config_.evict_unhealthy &&
+      entry.frames >= config_.health_check_min_frames) {
+    const nic::LinkHealth health = shard.engine.Health(entry.slot);
+    const std::size_t num_antennas =
+        shard.engine.detector(entry.slot).num_antennas();
+    const bool all_dead =
+        static_cast<std::size_t>(std::popcount(health.dead_antenna_mask)) >=
+        num_antennas;
+    const double quarantine_ratio =
+        health.received == 0
+            ? 0.0
+            : static_cast<double>(health.quarantined) /
+                  static_cast<double>(health.received);
+    if (all_dead || quarantine_ratio > config_.max_quarantine_ratio) {
+      EvictEntry(shard, idx, config_.readmit_after_frames);
+    }
+  }
+}
+
+std::size_t ServeCore::AdmitLink(Shard& shard, std::uint64_t link_id,
+                                 std::uint32_t profile_id) {
+  if (config_.max_resident_per_shard != 0 &&
+      shard.roster.size() >= config_.max_resident_per_shard) {
+    // Capacity eviction: LRU tail goes, no readmission bar (it only lost a
+    // residency race, nothing is wrong with the link).
+    MULINK_REQUIRE(shard.lru_tail != kNil,
+                   "ServeCore: full roster with empty LRU list");
+    EvictEntry(shard, shard.lru_tail, 0);
+  }
+
+  const Profile& profile = profiles_[profile_id];
+  core::StreamingConfig stream = config_.stream;
+  std::size_t slot;
+  if (profile.per_link_calibration) {
+    // mulink-lint: allow(alloc): link admission, control plane
+    slot = shard.engine.AddLink(core::Detector(*profile.detector),
+                                profile.empty_scores, stream);
+  } else {
+    // Shared immutable detector: the ladder would mutate it in place, so
+    // calibration is structurally off for this profile group.
+    stream.calibration.enabled = false;
+    slot =
+        shard.engine.AddLink(profile.detector, profile.empty_scores, stream);
+  }
+
+  std::uint32_t idx;
+  if (!shard.free_entries.empty()) {
+    idx = shard.free_entries.back();
+    shard.free_entries.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(shard.entries.size());
+    // mulink-lint: allow(alloc): link admission, control plane
+    shard.entries.emplace_back();
+  }
+  Shard::LinkEntry& entry = shard.entries[idx];
+  entry.link_id = link_id;
+  entry.slot = slot;
+  entry.profile = profile_id;
+  entry.frames = 0;
+  entry.prev = kNil;
+  entry.next = kNil;
+  // mulink-lint: allow(alloc): link admission, control plane
+  shard.roster.emplace(link_id, idx);
+  shard.TouchLru(idx);
+
+  ++shard.links_admitted;
+  MULINK_OBS_COUNT_REF(shard.metrics, kLinksAdmitted, 1);
+  if (shard.evicted_ever.contains(link_id)) {
+    ++shard.links_readmitted;
+    MULINK_OBS_COUNT_REF(shard.metrics, kLinksReadmitted, 1);
+  }
+  MULINK_OBS_GAUGE(&shard.metrics, kResidentLinks,
+                   static_cast<double>(shard.roster.size()));
+  return idx;
+}
+
+void ServeCore::EvictEntry(Shard& shard, std::uint32_t entry_idx,
+                           std::uint64_t cooldown_frames) {
+  Shard::LinkEntry& entry = shard.entries[entry_idx];
+  shard.engine.RemoveLink(entry.slot);
+  shard.Unlink(entry_idx);
+  shard.roster.erase(entry.link_id);
+  if (cooldown_frames > 0) {
+    // mulink-lint: allow(alloc): eviction bookkeeping, control plane
+    shard.cooldown.emplace(entry.link_id, cooldown_frames);
+  }
+  // mulink-lint: allow(alloc): eviction bookkeeping, control plane
+  shard.evicted_ever.insert(entry.link_id);
+  // mulink-lint: allow(alloc): eviction bookkeeping, control plane
+  shard.free_entries.push_back(entry_idx);
+  ++shard.links_evicted;
+  MULINK_OBS_COUNT_REF(shard.metrics, kLinksEvicted, 1);
+  MULINK_OBS_GAUGE(&shard.metrics, kResidentLinks,
+                   static_cast<double>(shard.roster.size()));
+}
+
+std::vector<ShardStats> ServeCore::Stats() const {
+  std::vector<ShardStats> stats;
+  // mulink-lint: allow(alloc): monitoring snapshot, off the frame path
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStats s;
+    s.frames_routed = shard->frames_routed;
+    s.frames_dropped = shard->frames_dropped;
+    s.frames_rejected = shard->frames_rejected;
+    s.frames_processed = shard->frames_processed_local;
+    s.decisions = shard->decisions;
+    s.links_admitted = shard->links_admitted;
+    s.links_evicted = shard->links_evicted;
+    s.links_readmitted = shard->links_readmitted;
+    s.resident_links = shard->roster.size();
+    for (std::size_t b = 0; b < ShardStats::kDepthBuckets; ++b) {
+      s.depth_buckets[b] = shard->depth_buckets[b];
+    }
+    s.depth_samples = shard->depth_samples;
+    s.max_depth = shard->max_depth;
+    // mulink-lint: allow(alloc): monitoring snapshot, off the frame path
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+std::vector<DecisionRecord> ServeCore::MergedDecisionLog() const {
+  std::vector<DecisionRecord> merged;
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->log.size();
+  // mulink-lint: allow(alloc): post-run log merge, off the frame path
+  merged.reserve(total);
+  for (const auto& shard : shards_) {
+    // mulink-lint: allow(alloc): post-run log merge, off the frame path
+    merged.insert(merged.end(), shard->log.begin(), shard->log.end());
+  }
+  // Link-id-major with per-link arrival order preserved: per-link order is
+  // already FIFO within each shard's log, and a link lives on exactly one
+  // shard, so a stable sort by link id is the canonical merge.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const DecisionRecord& a, const DecisionRecord& b) {
+                     return a.link_id < b.link_id;
+                   });
+  return merged;
+}
+
+obs::Registry ServeCore::AggregateMetrics() const {
+  obs::Registry total;
+  total.MergeFrom(router_metrics_);
+  for (const auto& shard : shards_) {
+    total.MergeFrom(shard->metrics);
+    total.MergeFrom(shard->engine.AggregateMetrics());
+  }
+  return total;
+}
+
+}  // namespace mulink::serve

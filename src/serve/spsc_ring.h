@@ -1,0 +1,157 @@
+// Bounded lock-free ingest queue for serving shards.
+//
+// Layout is the classic sequence-stamped bounded queue (Vyukov): every cell
+// carries an atomic sequence number that encodes whose turn the cell is on,
+// so producer and consumers synchronize exclusively through cell-local
+// acquire/release pairs — no locks, no shared mutable cursor between sides.
+//
+// The serving tier uses it single-producer (the demux thread) with TWO
+// logical dequeuers: the shard worker pops frames, and under the
+// drop-oldest back-pressure policy the *producer* legally dequeues-and-
+// discards the oldest frame to make room. That second dequeuer is why the
+// pop side uses a CAS on the tail cursor rather than a plain store — a
+// producer-side overwrite of a cell the consumer is mid-copy on would be a
+// data race; a CAS-claimed discard is not.
+//
+// Cells hold T by value and are written with copy-assignment, so element
+// types that reuse heap capacity on assignment (wifi::CsiPacket) allocate
+// only while the ring warms up — the steady state touches no allocator.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "common/assert.h"
+
+namespace mulink::serve {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to a power of two (minimum 2) so cell indexing
+  // is a mask, not a modulo.
+  explicit SpscRing(std::size_t capacity) {
+    MULINK_REQUIRE(capacity >= 2, "SpscRing: capacity must be >= 2");
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    // mulink-lint: allow(alloc): ctor, setup path
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Producer only. False when the ring is full (caller picks the
+  // back-pressure policy: reject, discard-oldest-and-retry, or spin).
+  bool TryPush(const T& value) {
+    const std::size_t pos = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    if (seq != pos) return false;  // cell not yet released by dequeuers
+    cell.data = value;  // copy-assign: reuses the cell's heap capacity
+    cell.seq.store(pos + 1, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  // In-place producer variant: instead of copy-assigning a caller-side
+  // staging value into the cell, the writer callback fills the claimed
+  // cell's T directly (reusing its heap capacity), saving one full copy of
+  // T per enqueue on the hot path. Same cell-sequence protocol as TryPush.
+  template <typename Writer>
+  bool TryProduce(Writer&& write) {
+    const std::size_t pos = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    if (seq != pos) return false;  // cell not yet released by dequeuers
+    write(cell.data);
+    cell.seq.store(pos + 1, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Any dequeuer. False when empty.
+  bool TryPop(T& out) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      if (seq != pos + 1) return false;  // empty (or cell still being filled)
+      if (tail_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed)) {
+        out = cell.data;  // copy-assign into the caller's reusable slot
+        cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+        return true;
+      }
+      // CAS failure reloaded pos; another dequeuer claimed the cell.
+    }
+  }
+
+  // In-place dequeuer variant: the consumer callback runs on the claimed
+  // cell's T before the cell is released, so the worker processes the frame
+  // where it sits instead of copying it out first. The CAS claim makes the
+  // cell private to this dequeuer for the callback's duration — the
+  // producer cannot reuse it until the sequence store below — so this is
+  // race-free even with the drop-oldest producer-side dequeuer active.
+  // Keep the callback short: the cell is unavailable to TryPush while it
+  // runs, effectively shrinking the ring by one.
+  template <typename Consumer>
+  bool TryConsume(Consumer&& consume) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      if (seq != pos + 1) return false;  // empty (or cell still being filled)
+      if (tail_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed)) {
+        consume(cell.data);
+        cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+        return true;
+      }
+      // CAS failure reloaded pos; another dequeuer claimed the cell.
+    }
+  }
+
+  // Dequeue-and-discard the oldest element without copying it out (the
+  // abandoned value is overwritten in place by a future TryPush). Used by
+  // the producer to implement drop-oldest back-pressure.
+  bool DiscardOldest() {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      if (seq != pos + 1) return false;
+      if (tail_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed)) {
+        cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+        return true;
+      }
+    }
+  }
+
+  // Racy snapshot (monitoring only — cursors move under the reader).
+  std::size_t ApproxSize() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return head >= tail ? head - tail : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T data{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  // Separate cache lines so the producer's head updates don't false-share
+  // with consumer-side tail traffic.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace mulink::serve

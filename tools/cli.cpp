@@ -10,12 +10,15 @@
 //   mulink campaign [--threads n] [--metrics] [--trace-json trace.json]
 //   mulink spectrum --calibration empty.mlnk
 //   mulink breath --session sleeper.mlnk --rate 50
+//   mulink serve --links 1000 --shards 4 [--deterministic]
+//                [--decision-log decisions.log]
 //
 // Files use the binary format of nic/csi_io.h, so sessions converted from
 // real Intel 5300 CSI Tool traces drop straight in.
 #include "cli.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -37,6 +40,7 @@
 #include "experiments/scenario.h"
 #include "nic/csi_io.h"
 #include "obs/export.h"
+#include "serve/serve.h"
 
 using namespace mulink;
 namespace ex = mulink::experiments;
@@ -92,6 +96,16 @@ const std::vector<CommandSpec>& Specs() {
       {"spectrum", "spectrum --calibration <file>", {"calibration"}, {}},
       {"breath", "breath --session <file> [--rate hz]", {"session", "rate"},
        {}},
+      {"serve",
+       "serve [--links n] [--shards n] [--packets n]\n"
+       "      [--scheme baseline|subcarrier|combined|variance] [--window n]\n"
+       "      [--hop n] [--queue n]\n"
+       "      [--policy block|drop-oldest|reject-newest] [--max-resident n]\n"
+       "      [--deterministic] [--decision-log <file>] [--seed n]\n"
+       "      [--metrics-json]",
+       {"links", "shards", "packets", "scheme", "window", "hop", "queue",
+        "policy", "max-resident", "decision-log", "seed"},
+       {"deterministic", "metrics-json"}},
   };
   return specs;
 }
@@ -522,6 +536,156 @@ int Breath(const Args& args, std::ostream& out) {
   return 0;
 }
 
+serve::BackPressure PolicyByName(const std::string& name) {
+  if (name == "block") return serve::BackPressure::kBlock;
+  if (name == "drop-oldest") return serve::BackPressure::kDropOldest;
+  if (name == "reject-newest") return serve::BackPressure::kRejectNewest;
+  throw PreconditionError("unknown policy '" + name +
+                          "' (block|drop-oldest|reject-newest)");
+}
+
+int Serve(const Args& args, std::ostream& out) {
+  const auto num_links = static_cast<std::size_t>(
+      ParseU64("links", Option(args, "links", "32")));
+  const auto num_shards = static_cast<std::size_t>(
+      ParseU64("shards", Option(args, "shards", "1")));
+  const auto packets_per_link = static_cast<std::size_t>(
+      ParseU64("packets", Option(args, "packets", "120")));
+  if (num_links == 0 || packets_per_link == 0) {
+    throw PreconditionError("--links and --packets must be >= 1");
+  }
+  core::DetectorConfig config;
+  config.scheme = SchemeByName(Option(args, "scheme", "combined"));
+  config.window_packets = static_cast<std::size_t>(
+      ParseU64("window", Option(args, "window", "25")));
+  const auto hop = static_cast<std::size_t>(
+      ParseU64("hop", Option(args, "hop", "1")));
+
+  serve::ServeConfig scfg;
+  scfg.num_shards = num_shards;
+  scfg.queue_capacity = static_cast<std::size_t>(
+      ParseU64("queue", Option(args, "queue", "1024")));
+  scfg.policy = PolicyByName(Option(args, "policy", "drop-oldest"));
+  scfg.deterministic = args.options.count("deterministic") > 0;
+  scfg.max_resident_per_shard = static_cast<std::size_t>(
+      ParseU64("max-resident", Option(args, "max-resident", "0")));
+  const auto log_path = Option(args, "decision-log", "");
+  scfg.collect_decision_log = !log_path.empty();
+  scfg.stream.window_packets = config.window_packets;
+  scfg.stream.hop_packets = hop;
+  scfg.stream.use_hmm = false;
+
+  // One channel-config profile calibrated from a simulated empty capture;
+  // every fleet link shares its immutable detector and scores through the
+  // shard's shared scratch.
+  Rng rng(ParseU64("seed", Option(args, "seed", "7")));
+  const auto lc = ex::MakeClassroomLink();
+  auto sim = ex::MakeSimulator(lc);
+  const auto calibration = sim.CaptureSession(400, std::nullopt, rng);
+  const auto band = wifi::BandPlan::Intel5300Channel11();
+  const wifi::UniformLinearArray array(calibration.front().NumAntennas(),
+                                       kWavelength / 2.0, kPi / 2.0);
+  auto detector = core::Detector::Calibrate(calibration, band, array, config);
+  std::vector<std::vector<wifi::CsiPacket>> empty_windows;
+  for (std::size_t start = 0;
+       start + config.window_packets <= calibration.size();
+       start += config.window_packets) {
+    empty_windows.emplace_back(
+        calibration.begin() + static_cast<std::ptrdiff_t>(start),
+        calibration.begin() +
+            static_cast<std::ptrdiff_t>(start + config.window_packets));
+  }
+  detector.CalibrateThreshold(empty_windows);
+  std::vector<double> empty_scores;
+  {
+    core::DetectorScratch scratch;
+    for (const auto& window : empty_windows) {
+      empty_scores.push_back(
+          detector.Score(std::span<const wifi::CsiPacket>(window), scratch));
+    }
+  }
+  const auto shared =
+      std::make_shared<const core::Detector>(std::move(detector));
+
+  serve::ServeCore core(scfg);
+  const auto profile = core.RegisterProfile(shared, empty_scores);
+  core.Start();
+
+  // Per-link RNG streams forked in link order on this thread, so every
+  // link's frame sequence is invariant under shard count — the determinism
+  // contract's precondition.
+  std::vector<Rng> link_rngs;
+  link_rngs.reserve(num_links);
+  for (std::size_t l = 0; l < num_links; ++l) link_rngs.push_back(rng.Fork());
+
+  const auto start_time = std::chrono::steady_clock::now();
+  for (std::size_t p = 0; p < packets_per_link; ++p) {
+    for (std::size_t l = 0; l < num_links; ++l) {
+      core.Submit(static_cast<std::uint64_t>(l), profile,
+                  sim.CapturePacket(std::nullopt, link_rngs[l]));
+    }
+  }
+  core.Drain();
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_time)
+                           .count();
+  core.Stop();
+
+  const auto stats = core.Stats();
+  std::uint64_t routed = 0, dropped = 0, rejected = 0, decisions = 0;
+  std::uint64_t admitted = 0, evicted = 0;
+  for (const auto& s : stats) {
+    routed += s.frames_routed;
+    dropped += s.frames_dropped;
+    rejected += s.frames_rejected;
+    decisions += s.decisions;
+    admitted += s.links_admitted;
+    evicted += s.links_evicted;
+  }
+  out << "serve: " << num_links << " links over " << stats.size()
+      << " shard(s), policy "
+      << serve::ToString(scfg.deterministic ? serve::BackPressure::kBlock
+                                            : scfg.policy)
+      << (scfg.deterministic ? " (deterministic)" : "") << "\n"
+      << "  frames:    " << routed << " routed, " << dropped << " dropped, "
+      << rejected << " rejected\n"
+      << "  links:     " << admitted << " admitted, " << evicted
+      << " evicted\n"
+      << "  decisions: " << decisions << " ("
+      << ex::Fmt(elapsed > 0.0 ? static_cast<double>(decisions) / elapsed
+                               : 0.0,
+                 0)
+      << " decisions/s)\n";
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    out << "  shard " << i << ":   " << stats[i].frames_processed
+        << " frames, " << stats[i].decisions << " decisions, "
+        << stats[i].resident_links << " resident, max queue depth "
+        << stats[i].max_depth << "\n";
+  }
+
+  if (!log_path.empty()) {
+    // Hexfloat serialization so bit-identity across shard counts can be
+    // checked with a byte compare of the files.
+    std::ofstream log(log_path);
+    if (!log) {
+      throw Error("cannot write decision log '" + log_path + "'");
+    }
+    log << std::hexfloat;
+    for (const auto& record : core.MergedDecisionLog()) {
+      log << record.link_id << " " << record.decision.score << " "
+          << (record.decision.occupied ? 1 : 0) << " "
+          << record.decision.posterior << " "
+          << (record.decision.degraded ? 1 : 0) << "\n";
+    }
+    out << "  log:       wrote decision log to " << log_path << "\n";
+  }
+  if (args.options.count("metrics-json") > 0) {
+    obs::WriteMetricsJson(out, core.AggregateMetrics());
+    out << "\n";
+  }
+  return 0;
+}
+
 void Usage(std::ostream& out) {
   out << "mulink — multipath link characterization toolkit\n\ncommands:\n";
   for (const auto& spec : Specs()) {
@@ -558,6 +722,7 @@ int RunCli(const std::vector<std::string>& argv, std::ostream& out,
       if (command == "campaign") return Campaign(args, out);
       if (command == "spectrum") return Spectrum(args, out);
       if (command == "breath") return Breath(args, out);
+      if (command == "serve") return Serve(args, out);
     }
     throw PreconditionError("unknown command '" + command +
                             "' (run 'mulink' for usage)");

@@ -73,7 +73,8 @@ EXIT_USAGE = 2
 SOURCE_SUFFIXES = {".cpp", ".h", ".hpp", ".cc"}
 
 # Directories whose TUs form the per-decision hot path (rule hot-alloc).
-HOT_PATH_DIRS = ("src/core", "src/linalg", "src/dsp", "src/kernels")
+HOT_PATH_DIRS = ("src/core", "src/linalg", "src/dsp", "src/kernels",
+                 "src/serve")
 
 # The one blessed home for SIMD vector code (rule intrinsics).
 KERNEL_DIR = "src/kernels"
