@@ -18,7 +18,14 @@ BUILD_DIR="${1:-build-tsan}"
 shift || true
 [ "${1:-}" = "--" ] && shift
 
-cmake -B "$BUILD_DIR" -S . -DMULINK_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+# The default build dir goes through the `tsan` preset (CMakePresets.json),
+# so local runs and CI configure identically; a custom BUILD_DIR keeps the
+# documented explicit-flags path.
+if [ "$BUILD_DIR" = "build-tsan" ]; then
+  cmake --preset tsan
+else
+  cmake -B "$BUILD_DIR" -S . -DMULINK_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 export TSAN_OPTIONS="suppressions=$PWD/.tsan-suppressions history_size=7 ${TSAN_OPTIONS:-}"

@@ -193,6 +193,8 @@ void ProfilePosterior::Reset() {
 void LinkCalibrator::Configure(const Detector& detector,
                                std::span<const double> empty_scores,
                                const CalibrationConfig& config) {
+  // Wiring entry point: this caller is the link's single owner.
+  ScopedRole owner(owner_role_);
   config_ = config;
   state_ = LadderState::kHealthy;
   drift_streak_ = calm_streak_ = 0;
@@ -424,6 +426,10 @@ bool LinkCalibrator::ObserveDecision(double score, double posterior,
                                      std::span<const wifi::CsiPacket> window,
                                      Detector& detector,
                                      const CalibrationWindowContext& context) {
+  // The one per-decision entry point: the caller (streaming detector,
+  // engine worker, serving shard) is the link's single driving thread, so
+  // this call IS the owner role for the double-buffer swap state.
+  ScopedRole owner(owner_role_);
   if (!config_.enabled || state_ == LadderState::kFrozen) return false;
 
   // Every decision — quiet or not — advances the ladder's clocks.
@@ -650,6 +656,8 @@ void LinkCalibrator::FillHealth(nic::LinkHealth& health) const {
 }
 
 void LinkCalibrator::Reset(const Detector& detector) {
+  // Operator re-arm: same single-owner contract as ObserveDecision.
+  ScopedRole owner(owner_role_);
   if (!config_.enabled) return;
   state_ = LadderState::kHealthy;
   score_posterior_.Reset();

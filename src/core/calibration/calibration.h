@@ -50,6 +50,7 @@
 #include <span>
 #include <vector>
 
+#include "common/annotations.h"
 #include "core/detector.h"
 #include "nic/frame_guard.h"
 #include "obs/metrics.h"
@@ -363,13 +364,14 @@ class LinkCalibrator {
 
  private:
   void TransitionTo(LadderState next);
-  void EnterRecalibrating(bool agc_path);
+  void EnterRecalibrating(bool agc_path) MULINK_REQUIRES(owner_role_);
   // A recalibration attempt ended without a swap (quiet evidence never
   // materialized): degrade, or freeze on the second degradation.
   void AbortRecalibration();
   // Install the staged profile, threshold and angular refresh in place.
-  void ApplySwap(Detector& detector);
-  void StageQuietPackets(std::span<const wifi::CsiPacket> window);
+  void ApplySwap(Detector& detector) MULINK_REQUIRES(owner_role_);
+  void StageQuietPackets(std::span<const wifi::CsiPacket> window)
+      MULINK_REQUIRES(owner_role_);
 
   CalibrationConfig config_;
   bool stage_packets_ = false;    // staged_quiet_packets > 0
@@ -378,9 +380,18 @@ class LinkCalibrator {
   // threshold / quiet-score-mean at Configure time: the calibrated margin a
   // swap re-applies relative to the rebased quiet level.
   double baseline_threshold_ratio_ = 0.0;
+  // Single-owner capability for the double-buffered swap state below: a
+  // link's calibrator is driven by exactly one thread (the link's streaming
+  // detector, an engine worker, or a serving shard). The public entry
+  // points (Configure, ObserveDecision, Reset) acquire the role for their
+  // scope; the swap internals REQUIRE it, so under Clang -Wthread-safety
+  // nothing can reach the staged ring or the in-place swap from outside a
+  // driving entry point (DESIGN.md §16).
+  ThreadRole owner_role_;
+
   // Scratch for scoring the staged packets under the new profile on swap
   // (cold path; buffers warm up on the first swap).
-  DetectorScratch swap_scratch_;
+  DetectorScratch swap_scratch_ MULINK_GUARDED_BY(owner_role_);
 
   QuietScorePosterior score_posterior_;
   ProfilePosterior profile_posterior_;
@@ -422,10 +433,12 @@ class LinkCalibrator {
   // Post-swap probation countdown (see CalibrationConfig::heal_windows).
   std::size_t probation_left_ = 0;
 
-  // Staged quiet packets for the post-swap re-anchor and angular refresh.
-  std::vector<wifi::CsiPacket> staged_;
-  std::size_t staged_write_ = 0;
-  std::size_t staged_count_ = 0;
+  // Staged quiet packets for the post-swap re-anchor and angular refresh —
+  // the shadow half of the double-buffered swap (the live half is the
+  // detector profile ApplySwap overwrites in place).
+  std::vector<wifi::CsiPacket> staged_ MULINK_GUARDED_BY(owner_role_);
+  std::size_t staged_write_ MULINK_GUARDED_BY(owner_role_) = 0;
+  std::size_t staged_count_ MULINK_GUARDED_BY(owner_role_) = 0;
 
   std::uint64_t quiet_windows_ = 0;
   std::uint64_t profile_swaps_ = 0;

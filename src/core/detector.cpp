@@ -22,7 +22,10 @@ namespace {
 // detector instances never reuses a stale covariance stack.
 std::uint64_t NextProfileVersion() {
   static std::atomic<std::uint64_t> counter{0};
-  return ++counter;
+  // Relaxed is sufficient (and what the analyzer's atomics rule demands be
+  // said out loud): the value is only used for uniqueness, never to order
+  // other memory.
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 }  // namespace

@@ -29,6 +29,7 @@
 #include <span>
 #include <vector>
 
+#include "common/annotations.h"
 #include "core/multipath_factor.h"
 #include "core/music.h"
 #include "core/path_weighting.h"
@@ -144,8 +145,8 @@ class Detector {
 
   // Workspace variant: bit-identical to Score, but all intermediate buffers
   // live in `scratch`, so steady-state scoring is allocation-free.
-  double Score(std::span<const wifi::CsiPacket> window,
-               DetectorScratch& scratch) const;
+  MULINK_HOT double Score(std::span<const wifi::CsiPacket> window,
+                          DetectorScratch& scratch) const;
 
   // Score a window whose packets are already phase-sanitized (exactly as
   // SanitizePhaseInto would produce them). Callers that ingest packets
@@ -153,8 +154,8 @@ class Detector {
   // and score overlapping windows through this entry point, instead of
   // re-sanitizing the whole window every hop. Bit-identical to Score on the
   // raw window, because sanitization is a deterministic per-packet map.
-  double ScoreSanitized(std::span<const wifi::CsiPacket> window,
-                        DetectorScratch& scratch) const;
+  MULINK_HOT double ScoreSanitized(std::span<const wifi::CsiPacket> window,
+                                   DetectorScratch& scratch) const;
 
   // Per-packet multipath factors prepared once at ingest (the engine fast
   // path): mu_rows[m] points at packet m's num_subcarriers() factors and
@@ -177,9 +178,9 @@ class Detector {
   // ScoreSanitized with ingest-prepared multipath factors. Bit-identical to
   // ScoreSanitized on the same window when the factors match what
   // MeasureMultipathFactorsInto / dsp::Median produce for its packets.
-  double ScoreSanitizedPrepared(std::span<const wifi::CsiPacket> window,
-                                const PreparedWindowFactors& factors,
-                                DetectorScratch& scratch) const;
+  MULINK_HOT double ScoreSanitizedPrepared(
+      std::span<const wifi::CsiPacket> window,
+      const PreparedWindowFactors& factors, DetectorScratch& scratch) const;
 
   // Per-packet contribution to the baseline statistic: the full-mask inner
   // body of ScoreBaseline (sum over antennas of the normalized amplitude
@@ -188,7 +189,7 @@ class Detector {
   // window's statistic with ScoreBaselinePrepared instead of re-walking
   // window_packets x antennas x subcarriers every hop. Values are tied to
   // profile_epoch(): a profile rewrite invalidates them.
-  double BaselinePacketScore(const wifi::CsiPacket& packet) const;
+  MULINK_HOT double BaselinePacketScore(const wifi::CsiPacket& packet) const;
 
   // Fold ingest-cached per-packet baseline scores (window order) into the
   // window statistic. Bit-identical to Score on the same raw window when
@@ -215,9 +216,9 @@ class Detector {
                        std::uint32_t live_mask) const;
 
   // Degraded scoring of an already-sanitized window (engine ingest path).
-  double ScoreSanitizedDegraded(std::span<const wifi::CsiPacket> window,
-                                DetectorScratch& scratch,
-                                std::uint32_t live_mask) const;
+  MULINK_HOT double ScoreSanitizedDegraded(
+      std::span<const wifi::CsiPacket> window, DetectorScratch& scratch,
+      std::uint32_t live_mask) const;
 
   // Whether Score sanitizes its input (every scheme except the baseline,
   // which is amplitude-only). When false, callers must not pre-sanitize —

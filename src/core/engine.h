@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "common/annotations.h"
 #include "core/detector.h"
 #include "core/hmm.h"
 #include "core/streaming.h"
@@ -100,8 +101,8 @@ class SensingEngine {
   // Packet-at-a-time ingest for serving loops: identical semantics to
   // ProcessBatch over a one-packet span, without touching the BatchResult
   // buffer. Returns a decision when this packet completed a window.
-  std::optional<PresenceDecision> ProcessPacket(std::size_t link,
-                                                const wifi::CsiPacket& packet);
+  MULINK_HOT std::optional<PresenceDecision> ProcessPacket(
+      std::size_t link, const wifi::CsiPacket& packet);
 
   // Score one window directly on the link's scratch, bypassing the ring
   // (for offline session scoring on engine-owned buffers).

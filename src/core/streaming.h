@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/annotations.h"
 #include "core/calibration/calibration.h"
 #include "core/detector.h"
 #include "core/hmm.h"
@@ -154,7 +155,7 @@ class StreamingDetector {
 
   // Feed one packet. Returns a decision whenever a full window (aligned to
   // the hop) completes, nullopt otherwise.
-  std::optional<PresenceDecision> Push(const wifi::CsiPacket& packet);
+  MULINK_HOT std::optional<PresenceDecision> Push(const wifi::CsiPacket& packet);
 
   // Current belief (last decision; unoccupied before the first window).
   bool occupied() const { return occupied_; }

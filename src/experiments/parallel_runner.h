@@ -14,13 +14,39 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "experiments/campaign.h"
 
 namespace mulink::experiments {
+
+// First-exception capture shared by the pool workers. The annotated
+// capability (common/annotations.h) lets Clang -Wthread-safety prove the
+// slot is the ONLY cross-thread mutable state in ForIndexed: `error_` is
+// unreachable without `mu_`, so a future edit that hoists it out of the
+// lock is a compile error under MULINK_STRICT on Clang.
+class FirstErrorSlot {
+ public:
+  // Keep the first error, drop the rest (racing tasks may all throw).
+  void Store(std::exception_ptr error) MULINK_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (!error_) error_ = std::move(error);
+  }
+
+  // Take the stored error (if any) for rethrow after the pool has joined.
+  std::exception_ptr Take() MULINK_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    std::exception_ptr out = error_;
+    error_ = nullptr;
+    return out;
+  }
+
+ private:
+  Mutex mu_;
+  std::exception_ptr error_ MULINK_GUARDED_BY(mu_);
+};
 
 class ParallelCampaignRunner {
  public:
@@ -46,8 +72,7 @@ class ParallelCampaignRunner {
     }
 
     std::atomic<std::size_t> next{0};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
+    FirstErrorSlot first_error;
     {
       std::vector<std::jthread> pool;
       pool.reserve(workers);
@@ -59,14 +84,13 @@ class ParallelCampaignRunner {
             try {
               fn(i, w);
             } catch (...) {
-              std::lock_guard<std::mutex> lock(error_mutex);
-              if (!first_error) first_error = std::current_exception();
+              first_error.Store(std::current_exception());
             }
           }
         });
       }
     }  // jthreads join here
-    if (first_error) std::rethrow_exception(first_error);
+    if (auto error = first_error.Take()) std::rethrow_exception(error);
   }
 
   // Type-erased convenience wrappers over ForIndexed for callers that

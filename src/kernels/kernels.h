@@ -20,6 +20,7 @@
 
 #include <cstddef>
 
+#include "common/annotations.h"
 #include "common/constants.h"
 
 namespace mulink::kernels {
@@ -53,46 +54,46 @@ void ResetBackend();
 // out[i] = atan2(y[i], x[i]). Shared half-angle + series definition across
 // backends; agrees with std::atan2 to ~1e-13 rad (exact for the axis cases
 // atan2(±0, x)). Both zero -> ±0 like libm.
-void Atan2(const double* y, const double* x, std::size_t n, double* out);
+MULINK_HOT void Atan2(const double* y, const double* x, std::size_t n, double* out);
 
 // sin_out[i] = sin(x[i]), cos_out[i] = cos(x[i]) via Cody–Waite reduction
 // and the classic fdlibm kernel polynomials; ~1e-14 absolute error for the
 // |x| < 1e6 range the sanitize corrections live in.
-void SinCos(const double* x, std::size_t n, double* sin_out, double* cos_out);
+MULINK_HOT void SinCos(const double* x, std::size_t n, double* sin_out, double* cos_out);
 
 // ---- complex layout / rotation -----------------------------------------
 
 // Split an interleaved complex array into SoA planes: re[i] = src[i].real().
-void Deinterleave(const Complex* src, std::size_t n, double* re, double* im);
+MULINK_HOT void Deinterleave(const Complex* src, std::size_t n, double* re, double* im);
 
 // dst[r*cols + k] = src[r*cols + k] * (cos_v[k] + i*sin_v[k]) — the common
 // per-subcarrier phase rotation applied to every antenna row. In-place
 // (dst == src) is allowed.
-void RotateRows(const Complex* src, std::size_t rows, std::size_t cols,
+MULINK_HOT void RotateRows(const Complex* src, std::size_t rows, std::size_t cols,
                 const double* cos_v, const double* sin_v, Complex* dst);
 
 // ---- multipath / weighting reductions ----------------------------------
 
 // Eq. 11 per-subcarrier multipath factors of one antenna row, accumulated:
 // mu_accum[k] += |row[k]|^2 > 0 ? (los_frac[k] * dominant) / |row[k]|^2 : 0.
-void MuAccumulateRow(const Complex* row, const double* los_frac,
+MULINK_HOT void MuAccumulateRow(const Complex* row, const double* los_frac,
                      double dominant, std::size_t n, double* mu_accum);
 
 // Eq. 14/15 accumulation for one packet's mu row:
 // mean_mu[k] += mu_row[k]; stability[k] += (mu_row[k] > median) ? 1 : 0.
-void MeanStabilityAccumulate(const double* mu_row, double median,
+MULINK_HOT void MeanStabilityAccumulate(const double* mu_row, double median,
                              std::size_t n, double* mean_mu,
                              double* stability);
 
 // out[i] = a[i] * b[i] (path-weight application).
-void Multiply(const double* a, const double* b, std::size_t n, double* out);
+MULINK_HOT void Multiply(const double* a, const double* b, std::size_t n, double* out);
 
 // Striped sum of a[i]^2 (spectrum norm).
-double SumSquares(const double* a, std::size_t n);
+MULINK_HOT double SumSquares(const double* a, std::size_t n);
 
 // Striped sum of ((a[i] - b[i]) / norm)^2 (the combined scheme's
 // profile-normalized spectrum distance).
-double NormalizedDistanceSq(const double* a, const double* b, double norm,
+MULINK_HOT double NormalizedDistanceSq(const double* a, const double* b, double norm,
                             std::size_t n);
 
 // ---- covariance --------------------------------------------------------
@@ -103,7 +104,7 @@ double NormalizedDistanceSq(const double* a, const double* b, double norm,
 // across packets, zero-clipped). Writes the full antennas x antennas
 // row-major Hermitian matrix: out[i][j] = striped-sum_t w[t] * x_i(t) *
 // conj(x_j(t)), with out[j][i] its exact conjugate and a real diagonal.
-void WeightedCovariance(const double* re, const double* im,
+MULINK_HOT void WeightedCovariance(const double* re, const double* im,
                         std::size_t antennas, std::size_t n,
                         const double* w_rep, Complex* out);
 
@@ -113,19 +114,19 @@ void WeightedCovariance(const double* re, const double* im,
 // [diag_0 .. diag_{A-1}, re_01, im_01, re_02, im_02, ..] (pairs i<j in
 // row-major order). Size is A^2 doubles.
 std::size_t PackedHermitianSize(std::size_t antennas);
-void PackHermitian(const Complex* cov, std::size_t antennas, double* packed);
+MULINK_HOT void PackHermitian(const Complex* cov, std::size_t antennas, double* packed);
 
 // Bartlett scan over an SoA steering table (steer_re/steer_im: plane m at
 // offset m*points), batched across `num_covs` packed covariances so the
 // steering work amortizes: outs[c][i] = max(a_i^H R_c a_i * inv_norm, 0).
-void BartlettScan(const double* steer_re, const double* steer_im,
+MULINK_HOT void BartlettScan(const double* steer_re, const double* steer_im,
                   std::size_t points, std::size_t antennas,
                   const double* const* packed_covs, std::size_t num_covs,
                   double inv_norm, double* const* outs);
 
 // MUSIC scan: out[i] = 1 / max(sum_e |<v_e, a_i>|^2, denom_floor) over the
 // noise eigenvectors v_e (noise_re/noise_im: vector e at offset e*antennas).
-void MusicScan(const double* steer_re, const double* steer_im,
+MULINK_HOT void MusicScan(const double* steer_re, const double* steer_im,
                std::size_t points, std::size_t antennas,
                const double* noise_re, const double* noise_im,
                std::size_t noise_dim, double denom_floor, double* out);

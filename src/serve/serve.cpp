@@ -43,6 +43,16 @@ const char* ToString(BackPressure policy) {
   return "unknown";
 }
 
+// Ownership is the shard's whole concurrency story: everything below is
+// either worker-owned (touched only by the shard's worker thread), demux-
+// owned (touched only by the producer), or an atomic cursor. The two
+// ThreadRole phantom capabilities make that discipline compiler-checked
+// under Clang -Wthread-safety (DESIGN.md §16): worker-owned fields are
+// GUARDED_BY(worker_role), demux-owned counters by producer_role, and the
+// owning loops acquire the matching role for their scope. Post-join
+// snapshot readers (Stats, MergedDecisionLog, AggregateMetrics) carry an
+// explicit do-not-analyze waiver instead of silently reading across the
+// boundary.
 struct ServeCore::Shard {
   explicit Shard(const ServeConfig& cfg) : ring(cfg.queue_capacity) {
     // Resident links share one warm scoring workspace: consecutive
@@ -61,7 +71,7 @@ struct ServeCore::Shard {
     std::uint32_t next = kNil;
   };
 
-  void TouchLru(std::uint32_t idx) {
+  void TouchLru(std::uint32_t idx) MULINK_REQUIRES(worker_role) {
     if (lru_head == idx) return;
     Unlink(idx);
     LinkEntry& e = entries[idx];
@@ -72,7 +82,7 @@ struct ServeCore::Shard {
     if (lru_tail == kNil) lru_tail = idx;
   }
 
-  void Unlink(std::uint32_t idx) {
+  void Unlink(std::uint32_t idx) MULINK_REQUIRES(worker_role) {
     LinkEntry& e = entries[idx];
     if (e.prev != kNil) entries[e.prev].next = e.next;
     if (e.next != kNil) entries[e.next].prev = e.prev;
@@ -83,38 +93,47 @@ struct ServeCore::Shard {
   }
 
   SpscRing<Frame> ring;
-  core::SensingEngine engine;
+
+  // ---- ownership capabilities (phantom; no runtime state) ----
+  ThreadRole worker_role;    // held by WorkerLoop for the worker's lifetime
+  ThreadRole producer_role;  // held by Submit on the demux thread
+
+  core::SensingEngine engine MULINK_GUARDED_BY(worker_role);
 
   // ---- producer-owned (demux thread) ----
-  std::uint64_t frames_routed = 0;
-  std::uint64_t frames_dropped = 0;
-  std::uint64_t frames_rejected = 0;
+  std::uint64_t frames_routed MULINK_GUARDED_BY(producer_role) = 0;
+  std::uint64_t frames_dropped MULINK_GUARDED_BY(producer_role) = 0;
+  std::uint64_t frames_rejected MULINK_GUARDED_BY(producer_role) = 0;
 
-  // ---- shared cursors (queue accounting) ----
+  // ---- shared cursors (queue accounting; atomics need no capability) ----
   std::atomic<std::uint64_t> produced{0};
   std::atomic<std::uint64_t> consumed{0};
 
   // ---- worker-owned ----
-  std::vector<LinkEntry> entries;
-  std::vector<std::uint32_t> free_entries;
-  std::unordered_map<std::uint64_t, std::uint32_t> roster;
-  std::uint32_t lru_head = kNil;
-  std::uint32_t lru_tail = kNil;
+  std::vector<LinkEntry> entries MULINK_GUARDED_BY(worker_role);
+  std::vector<std::uint32_t> free_entries MULINK_GUARDED_BY(worker_role);
+  std::unordered_map<std::uint64_t, std::uint32_t> roster
+      MULINK_GUARDED_BY(worker_role);
+  std::uint32_t lru_head MULINK_GUARDED_BY(worker_role) = kNil;
+  std::uint32_t lru_tail MULINK_GUARDED_BY(worker_role) = kNil;
   // Health-evicted links barred from readmission for this many of their own
   // frames (link-local countdown keeps eviction shard-topology-free).
-  std::unordered_map<std::uint64_t, std::uint64_t> cooldown;
+  std::unordered_map<std::uint64_t, std::uint64_t> cooldown
+      MULINK_GUARDED_BY(worker_role);
   // Every link ever evicted, to classify later admissions as readmissions.
-  std::unordered_set<std::uint64_t> evicted_ever;
-  std::vector<DecisionRecord> log;
-  std::uint64_t frames_processed_local = 0;
-  std::uint64_t decisions = 0;
-  std::uint64_t links_admitted = 0;
-  std::uint64_t links_evicted = 0;
-  std::uint64_t links_readmitted = 0;
-  std::uint64_t depth_buckets[ShardStats::kDepthBuckets] = {};
-  std::uint64_t depth_samples = 0;
-  std::size_t max_depth = 0;
-  obs::Registry metrics;
+  std::unordered_set<std::uint64_t> evicted_ever
+      MULINK_GUARDED_BY(worker_role);
+  std::vector<DecisionRecord> log MULINK_GUARDED_BY(worker_role);
+  std::uint64_t frames_processed_local MULINK_GUARDED_BY(worker_role) = 0;
+  std::uint64_t decisions MULINK_GUARDED_BY(worker_role) = 0;
+  std::uint64_t links_admitted MULINK_GUARDED_BY(worker_role) = 0;
+  std::uint64_t links_evicted MULINK_GUARDED_BY(worker_role) = 0;
+  std::uint64_t links_readmitted MULINK_GUARDED_BY(worker_role) = 0;
+  std::uint64_t depth_buckets[ShardStats::kDepthBuckets]
+      MULINK_GUARDED_BY(worker_role) = {};
+  std::uint64_t depth_samples MULINK_GUARDED_BY(worker_role) = 0;
+  std::size_t max_depth MULINK_GUARDED_BY(worker_role) = 0;
+  obs::Registry metrics MULINK_GUARDED_BY(worker_role);
 };
 
 ServeCore::ServeCore(ServeConfig config)
@@ -169,6 +188,8 @@ bool ServeCore::Submit(std::uint64_t link_id, std::uint32_t profile_id,
   MULINK_REQUIRE(profile_id < profiles_.size(),
                  "ServeCore: unknown profile id");
   Shard& shard = *shards_[ShardOf(link_id)];
+  // Single demux thread by contract: this call IS the producer role.
+  ScopedRole producer(shard.producer_role);
   // In-place produce: the packet is copy-assigned straight into the claimed
   // ring cell (whose CSI buffer sticks once warm), so routing costs one
   // packet copy total instead of staging + cell.
@@ -240,12 +261,17 @@ void ServeCore::Stop() {
 }
 
 void ServeCore::WorkerLoop(std::stop_token stop, Shard& shard) {
+  // This thread owns every worker_role-guarded field for its lifetime.
+  ScopedRole worker(shard.worker_role);
   for (;;) {
     // In-place consume: the frame is scored where it sits in the claimed
     // cell (no pop copy). The CAS claim keeps the cell private until the
     // sequence release, so the producer — including its drop-oldest
     // dequeuer — cannot touch it mid-score.
     const bool popped = shard.ring.TryConsume([&](const Frame& frame) {
+      // The lambda body is a fresh function to the thread-safety analysis;
+      // it runs on this worker thread, so re-assert the role it holds.
+      shard.worker_role.AssertHeld();
       // Backlog remaining after this claim — the shard's instantaneous lag.
       const std::size_t depth = shard.ring.ApproxSize();
       shard.depth_buckets[DepthBucket(depth)] += 1;
@@ -269,7 +295,8 @@ void ServeCore::WorkerLoop(std::stop_token stop, Shard& shard) {
   }
 }
 
-void ServeCore::ProcessFrame(Shard& shard, const Frame& frame) {
+void ServeCore::ProcessFrame(Shard& shard, const Frame& frame)
+    MULINK_REQUIRES(shard.worker_role) {
   std::uint32_t idx;
   const auto it = shard.roster.find(frame.link_id);
   if (it == shard.roster.end()) {
@@ -319,7 +346,8 @@ void ServeCore::ProcessFrame(Shard& shard, const Frame& frame) {
 }
 
 std::size_t ServeCore::AdmitLink(Shard& shard, std::uint64_t link_id,
-                                 std::uint32_t profile_id) {
+                                 std::uint32_t profile_id)
+    MULINK_REQUIRES(shard.worker_role) {
   if (config_.max_resident_per_shard != 0 &&
       shard.roster.size() >= config_.max_resident_per_shard) {
     // Capacity eviction: LRU tail goes, no readmission bar (it only lost a
@@ -376,7 +404,8 @@ std::size_t ServeCore::AdmitLink(Shard& shard, std::uint64_t link_id,
 }
 
 void ServeCore::EvictEntry(Shard& shard, std::uint32_t entry_idx,
-                           std::uint64_t cooldown_frames) {
+                           std::uint64_t cooldown_frames)
+    MULINK_REQUIRES(shard.worker_role) {
   Shard::LinkEntry& entry = shard.entries[entry_idx];
   shard.engine.RemoveLink(entry.slot);
   shard.Unlink(entry_idx);
@@ -395,7 +424,12 @@ void ServeCore::EvictEntry(Shard& shard, std::uint32_t entry_idx,
                    static_cast<double>(shard.roster.size()));
 }
 
-std::vector<ShardStats> ServeCore::Stats() const {
+// Post-run snapshot: called after Drain()/Stop() when the workers are idle
+// or joined, so the cross-role reads below are quiescent by contract (the
+// serve tests and bench drive exactly this sequence). The waiver is the
+// explicit marker that this function reads across the ownership boundary.
+std::vector<ShardStats> ServeCore::Stats() const
+    MULINK_NO_THREAD_SAFETY_ANALYSIS {
   std::vector<ShardStats> stats;
   // mulink-lint: allow(alloc): monitoring snapshot, off the frame path
   stats.reserve(shards_.size());
@@ -421,7 +455,9 @@ std::vector<ShardStats> ServeCore::Stats() const {
   return stats;
 }
 
-std::vector<DecisionRecord> ServeCore::MergedDecisionLog() const {
+// Post-run snapshot (see Stats).
+std::vector<DecisionRecord> ServeCore::MergedDecisionLog() const
+    MULINK_NO_THREAD_SAFETY_ANALYSIS {
   std::vector<DecisionRecord> merged;
   std::size_t total = 0;
   for (const auto& shard : shards_) total += shard->log.size();
@@ -441,7 +477,9 @@ std::vector<DecisionRecord> ServeCore::MergedDecisionLog() const {
   return merged;
 }
 
-obs::Registry ServeCore::AggregateMetrics() const {
+// Post-run snapshot (see Stats).
+obs::Registry ServeCore::AggregateMetrics() const
+    MULINK_NO_THREAD_SAFETY_ANALYSIS {
   obs::Registry total;
   total.MergeFrom(router_metrics_);
   for (const auto& shard : shards_) {

@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "core/engine.h"
 #include "serve/spsc_ring.h"
 
@@ -128,8 +129,8 @@ class ServeCore {
   // Demux entry point — single producer thread. Routes the frame to its
   // link's shard under the configured back-pressure policy. Returns false
   // iff the frame was rejected (kRejectNewest on a full queue).
-  bool Submit(std::uint64_t link_id, std::uint32_t profile_id,
-              const wifi::CsiPacket& packet);
+  MULINK_HOT bool Submit(std::uint64_t link_id, std::uint32_t profile_id,
+                         const wifi::CsiPacket& packet);
 
   // Block until every submitted frame has been consumed (workers stay up).
   void Drain();
@@ -165,7 +166,7 @@ class ServeCore {
   struct Shard;
 
   void WorkerLoop(std::stop_token stop, Shard& shard);
-  void ProcessFrame(Shard& shard, const Frame& frame);
+  MULINK_HOT void ProcessFrame(Shard& shard, const Frame& frame);
   std::size_t AdmitLink(Shard& shard, std::uint64_t link_id,
                         std::uint32_t profile_id);
   void EvictEntry(Shard& shard, std::uint32_t entry_idx,

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <memory>
 
+#include "common/annotations.h"
 #include "common/assert.h"
 
 namespace mulink::serve {
@@ -47,7 +48,7 @@ class SpscRing {
 
   // Producer only. False when the ring is full (caller picks the
   // back-pressure policy: reject, discard-oldest-and-retry, or spin).
-  bool TryPush(const T& value) {
+  MULINK_HOT bool TryPush(const T& value) {
     const std::size_t pos = head_.load(std::memory_order_relaxed);
     Cell& cell = cells_[pos & mask_];
     const std::size_t seq = cell.seq.load(std::memory_order_acquire);
@@ -63,7 +64,7 @@ class SpscRing {
   // cell's T directly (reusing its heap capacity), saving one full copy of
   // T per enqueue on the hot path. Same cell-sequence protocol as TryPush.
   template <typename Writer>
-  bool TryProduce(Writer&& write) {
+  MULINK_HOT bool TryProduce(Writer&& write) {
     const std::size_t pos = head_.load(std::memory_order_relaxed);
     Cell& cell = cells_[pos & mask_];
     const std::size_t seq = cell.seq.load(std::memory_order_acquire);
@@ -75,7 +76,7 @@ class SpscRing {
   }
 
   // Any dequeuer. False when empty.
-  bool TryPop(T& out) {
+  MULINK_HOT bool TryPop(T& out) {
     std::size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[pos & mask_];
@@ -100,7 +101,7 @@ class SpscRing {
   // Keep the callback short: the cell is unavailable to TryPush while it
   // runs, effectively shrinking the ring by one.
   template <typename Consumer>
-  bool TryConsume(Consumer&& consume) {
+  MULINK_HOT bool TryConsume(Consumer&& consume) {
     std::size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[pos & mask_];
@@ -119,7 +120,7 @@ class SpscRing {
   // Dequeue-and-discard the oldest element without copying it out (the
   // abandoned value is overwritten in place by a future TryPush). Used by
   // the producer to implement drop-oldest back-pressure.
-  bool DiscardOldest() {
+  MULINK_HOT bool DiscardOldest() {
     std::size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[pos & mask_];

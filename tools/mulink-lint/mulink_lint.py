@@ -146,19 +146,32 @@ class Violation:
         }
 
 
+_RAW_STRING_OPEN_RE = re.compile(r'(?:u8|u|U|L)?R"([^()\\ \t]{0,16})\(')
+
+
 def strip_code(lines: list[str]) -> list[str]:
     """Return lines with string literals and comments blanked out, so token
-    regexes only ever match real code. Handles // and /* */ comments and
-    double-quoted strings; it does not try to be a full C++ lexer (raw
-    strings spanning lines are rare enough to annotate if they ever trip a
-    rule)."""
+    regexes only ever match real code. Handles // and /* */ comments,
+    double-quoted strings, and raw strings — including R"delim(...)delim"
+    literals spanning lines, whose bodies used to leak into the token
+    stream and trip rules on the embedded text (usage strings mentioning
+    `push_back(` produced hot-alloc violations)."""
     stripped: list[str] = []
     in_block_comment = False
+    raw_delim: str | None = None  # inside R"delim( ... when not None
     for line in lines:
         out = []
         i = 0
         n = len(line)
         while i < n:
+            if raw_delim is not None:
+                close = line.find(")" + raw_delim + '"', i)
+                if close < 0:
+                    i = n
+                else:
+                    i = close + len(raw_delim) + 2
+                    raw_delim = None
+                continue
             if in_block_comment:
                 end = line.find("*/", i)
                 if end < 0:
@@ -175,6 +188,13 @@ def strip_code(lines: list[str]) -> list[str]:
                 in_block_comment = True
                 i += 2
                 continue
+            if ch in 'RuUL' and (i == 0 or not (line[i - 1].isalnum()
+                                                or line[i - 1] == "_")):
+                m = _RAW_STRING_OPEN_RE.match(line, i)
+                if m:
+                    raw_delim = m.group(1)
+                    i = m.end()
+                    continue  # the raw-string branch consumes to the close
             if ch == '"':
                 # Skip the string literal, honouring escapes.
                 i += 1

@@ -159,6 +159,49 @@ class HotAllocRule(LintHarness):
         )
         self.assertEqual(code, mulink_lint.EXIT_CLEAN)
 
+    def test_multiline_raw_string_is_opaque(self):
+        # Regression: R"(...)"" bodies spanning lines used to leak into the
+        # token stream, so a usage string mentioning push_back( or an
+        # intrinsic produced hot-alloc / intrinsics violations.
+        code, _, _ = self.lint_tree(
+            {
+                "src/core/usage.cpp": (
+                    "const char* kUsage = R\"(usage:\n"
+                    "  push_back( frames onto the ring; new int[4] per slab\n"
+                    "  _mm256_add_pd( is kernel-layer only\n"
+                    ")\";\n"
+                    "void After(V& v) { (void)v; }\n"
+                )
+            }
+        )
+        self.assertEqual(code, mulink_lint.EXIT_CLEAN)
+
+    def test_delimited_raw_string_is_opaque(self):
+        code, _, _ = self.lint_tree(
+            {
+                "src/core/usage.cpp": (
+                    "const char* kJson = R\"json({\n"
+                    "  \"hint\": \"resize( the pool)\"\n"
+                    "})json\";\n"
+                )
+            }
+        )
+        self.assertEqual(code, mulink_lint.EXIT_CLEAN)
+
+    def test_code_after_raw_string_close_still_linted(self):
+        # The stripper must resume lexing right after )": real violations
+        # on the same line as the close are still caught.
+        code, out, _ = self.lint_tree(
+            {
+                "src/core/usage.cpp": (
+                    "const char* kDoc = R\"(doc\n"
+                    "text)\"; int* p = new int[4];\n"
+                )
+            }
+        )
+        self.assertEqual(code, mulink_lint.EXIT_VIOLATIONS)
+        self.assertIn("hot-alloc", out)
+
 
 class RngRule(LintHarness):
     def test_ambient_rng_fails_anywhere(self):
